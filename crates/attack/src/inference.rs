@@ -1,0 +1,146 @@
+//! Sensitive-attribute inference for re-identified workers.
+//!
+//! §2: "we could infer the respiratory health (and likelihood of
+//! tuberculosis) for 18 of these de-anonymized individuals from the fourth
+//! survey using their unique ID, resulting in a serious breach of
+//! privacy." The inference itself is mundane — read the smoking and
+//! coughing answers the worker volunteered "anonymously" — which is the
+//! paper's point: the breach comes from *linkage*, not from clever
+//! modeling.
+
+use crate::population::PersonId;
+use crate::reident::Reidentification;
+use serde::{Deserialize, Serialize};
+
+/// Respiratory-health inference thresholds (on the 1–5 answer scale).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthInferenceRule {
+    /// Smoking level at or above which the worker counts as a smoker.
+    pub smoking_threshold: f64,
+    /// Cough level at or above which coughing counts as frequent.
+    pub cough_threshold: f64,
+}
+
+impl Default for HealthInferenceRule {
+    fn default() -> Self {
+        HealthInferenceRule {
+            smoking_threshold: 4.0,
+            cough_threshold: 4.0,
+        }
+    }
+}
+
+/// A named person whose respiratory health the adversary now knows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthExposure {
+    /// The re-identified person.
+    pub person: PersonId,
+    /// The platform ID the answers arrived under.
+    pub reported_id: String,
+    /// Harvested smoking level.
+    pub smoking_level: f64,
+    /// Harvested cough level.
+    pub cough_level: f64,
+    /// The inference: elevated respiratory risk (the paper's "likelihood
+    /// of tuberculosis").
+    pub at_risk: bool,
+}
+
+impl HealthInferenceRule {
+    /// Applies the rule to one re-identified dossier. Returns `None` when
+    /// the dossier lacks health answers (the worker skipped survey 4).
+    pub fn infer(&self, reid: &Reidentification) -> Option<HealthExposure> {
+        let smoking = reid.dossier.smoking_level()?;
+        let cough = reid.dossier.cough_level()?;
+        Some(HealthExposure {
+            person: reid.person,
+            reported_id: reid.reported_id.clone(),
+            smoking_level: smoking,
+            cough_level: cough,
+            at_risk: smoking >= self.smoking_threshold && cough >= self.cough_threshold,
+        })
+    }
+
+    /// Applies the rule to every re-identified worker, returning all
+    /// exposures (workers whose health is now known by name).
+    pub fn infer_all(&self, reids: &[Reidentification]) -> Vec<HealthExposure> {
+        reids.iter().filter_map(|r| self.infer(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkage::{LinkedDossier, SensitiveDisclosure, SensitiveKind};
+    use loki_survey::SurveyId;
+
+    fn reid_with_health(smoking: Option<f64>, cough: Option<f64>) -> Reidentification {
+        let mut dossier = LinkedDossier::default();
+        if let Some(s) = smoking {
+            dossier.sensitive.push(SensitiveDisclosure {
+                survey: SurveyId(4),
+                kind: SensitiveKind::Smoking,
+                value: s,
+            });
+        }
+        if let Some(c) = cough {
+            dossier.sensitive.push(SensitiveDisclosure {
+                survey: SurveyId(4),
+                kind: SensitiveKind::Cough,
+                value: c,
+            });
+        }
+        Reidentification {
+            reported_id: "W".into(),
+            person: PersonId(1),
+            dossier,
+        }
+    }
+
+    #[test]
+    fn smoker_with_cough_flagged() {
+        let rule = HealthInferenceRule::default();
+        let e = rule.infer(&reid_with_health(Some(5.0), Some(4.0))).unwrap();
+        assert!(e.at_risk);
+    }
+
+    #[test]
+    fn non_smoker_not_flagged() {
+        let rule = HealthInferenceRule::default();
+        let e = rule.infer(&reid_with_health(Some(1.0), Some(5.0))).unwrap();
+        assert!(!e.at_risk);
+    }
+
+    #[test]
+    fn missing_health_answers_yield_none() {
+        let rule = HealthInferenceRule::default();
+        assert!(rule.infer(&reid_with_health(None, None)).is_none());
+        assert!(rule.infer(&reid_with_health(Some(5.0), None)).is_none());
+    }
+
+    #[test]
+    fn infer_all_filters() {
+        let rule = HealthInferenceRule::default();
+        let reids = vec![
+            reid_with_health(Some(5.0), Some(5.0)),
+            reid_with_health(None, None),
+            reid_with_health(Some(2.0), Some(2.0)),
+        ];
+        let exposures = rule.infer_all(&reids);
+        assert_eq!(exposures.len(), 2);
+        assert_eq!(exposures.iter().filter(|e| e.at_risk).count(), 1);
+    }
+
+    #[test]
+    fn duplicate_smoking_answers_averaged() {
+        // Survey 4 asks smoking twice (redundancy pair); the dossier
+        // averages them.
+        let mut reid = reid_with_health(Some(4.0), Some(4.0));
+        reid.dossier.sensitive.push(SensitiveDisclosure {
+            survey: SurveyId(4),
+            kind: SensitiveKind::Smoking,
+            value: 5.0,
+        });
+        assert_eq!(reid.dossier.smoking_level(), Some(4.5));
+    }
+}

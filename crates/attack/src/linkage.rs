@@ -1,0 +1,317 @@
+//! Cross-survey linkage by reported worker ID.
+//!
+//! The adversary's view: for each survey, a [`ResponseSet`] keyed by the
+//! platform's reported worker IDs, plus the survey's question semantics
+//! (which the adversary knows — they wrote the surveys). The linker
+//! groups responses by reported ID and accumulates demographic fragments
+//! and sensitive answers into a per-ID [`LinkedDossier`].
+//!
+//! Under AMT's stable IDs the dossier of a multi-survey worker fills up;
+//! under per-survey pseudonyms every dossier contains a single survey's
+//! fragment and the attack collapses (EXP-7).
+
+use loki_platform::spec::{QuestionSemantics, SurveySpec};
+use loki_survey::demographics::{Gender, PartialProfile, ZipCode};
+use loki_survey::question::Answer;
+use loki_survey::response::ResponseSet;
+use loki_survey::SurveyId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything the adversary has accumulated about one reported worker ID.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkedDossier {
+    /// Demographic fragments harvested so far.
+    pub profile: PartialProfile,
+    /// Surveys this ID appeared in.
+    pub surveys: Vec<SurveyId>,
+    /// Sensitive answers harvested, as (survey, question semantics label,
+    /// numeric value) — e.g. smoking/cough levels from survey 4.
+    pub sensitive: Vec<SensitiveDisclosure>,
+}
+
+/// A harvested sensitive answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitiveDisclosure {
+    /// Survey it came from.
+    pub survey: SurveyId,
+    /// What the question was about.
+    pub kind: SensitiveKind,
+    /// The numeric answer value.
+    pub value: f64,
+}
+
+/// Classes of sensitive information the paper's campaign harvests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SensitiveKind {
+    /// Smoking frequency rating.
+    Smoking,
+    /// Coughing frequency rating.
+    Cough,
+}
+
+impl LinkedDossier {
+    /// The harvested smoking level, averaging duplicates (redundant
+    /// questions ask it twice).
+    pub fn smoking_level(&self) -> Option<f64> {
+        self.mean_of(SensitiveKind::Smoking)
+    }
+
+    /// The harvested cough level.
+    pub fn cough_level(&self) -> Option<f64> {
+        self.mean_of(SensitiveKind::Cough)
+    }
+
+    fn mean_of(&self, kind: SensitiveKind) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .sensitive
+            .iter()
+            .filter(|d| d.kind == kind)
+            .map(|d| d.value)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+/// Accumulates dossiers across surveys.
+#[derive(Debug, Clone, Default)]
+pub struct Linker {
+    dossiers: BTreeMap<String, LinkedDossier>,
+}
+
+impl Linker {
+    /// Creates an empty linker.
+    pub fn new() -> Linker {
+        Linker::default()
+    }
+
+    /// Ingests one survey's worth of responses.
+    pub fn ingest(&mut self, spec: &SurveySpec, responses: &ResponseSet) {
+        for response in responses.iter() {
+            let dossier = self.dossiers.entry(response.worker.clone()).or_default();
+            if !dossier.surveys.contains(&spec.survey.id) {
+                dossier.surveys.push(spec.survey.id);
+            }
+            let mut fragment = PartialProfile::new();
+            for q in &spec.survey.questions {
+                let Some(sem) = spec.semantics_of(q.id) else {
+                    continue;
+                };
+                let Some(answer) = response.get(q.id) else {
+                    continue;
+                };
+                match (sem, answer) {
+                    (QuestionSemantics::BirthDay, Answer::Numeric(v)) => {
+                        fragment.day = u8::try_from(*v).ok();
+                    }
+                    (QuestionSemantics::BirthMonth, Answer::Numeric(v)) => {
+                        fragment.month = u8::try_from(*v).ok();
+                    }
+                    (QuestionSemantics::BirthYear, Answer::Numeric(v)) => {
+                        fragment.year = u16::try_from(*v).ok();
+                    }
+                    (QuestionSemantics::Gender, Answer::Choice(c)) => {
+                        fragment.gender = match c {
+                            0 => Some(Gender::Female),
+                            1 => Some(Gender::Male),
+                            _ => None,
+                        };
+                    }
+                    (QuestionSemantics::ZipCode, Answer::Numeric(v)) => {
+                        fragment.zip = u32::try_from(*v).ok().and_then(ZipCode::new);
+                    }
+                    (QuestionSemantics::SmokingLevel, a) => {
+                        if let Some(v) = a.as_f64() {
+                            dossier.sensitive.push(SensitiveDisclosure {
+                                survey: spec.survey.id,
+                                kind: SensitiveKind::Smoking,
+                                value: v,
+                            });
+                        }
+                    }
+                    (QuestionSemantics::CoughLevel, a) => {
+                        if let Some(v) = a.as_f64() {
+                            dossier.sensitive.push(SensitiveDisclosure {
+                                survey: spec.survey.id,
+                                kind: SensitiveKind::Cough,
+                                value: v,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            dossier.profile.merge(&fragment);
+        }
+    }
+
+    /// All dossiers, keyed by reported worker ID.
+    pub fn dossiers(&self) -> &BTreeMap<String, LinkedDossier> {
+        &self.dossiers
+    }
+
+    /// Number of distinct reported IDs seen.
+    pub fn unique_ids(&self) -> usize {
+        self.dossiers.len()
+    }
+
+    /// Dossiers whose quasi-identifier is complete — the candidates for
+    /// re-identification.
+    pub fn complete_dossiers(&self) -> impl Iterator<Item = (&String, &LinkedDossier)> {
+        self.dossiers
+            .iter()
+            .filter(|(_, d)| d.profile.quasi_identifier().is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_platform::behavior::BehaviorModel;
+    use loki_platform::spec::paper_surveys;
+    use loki_platform::worker::{HealthProfile, PrivacyAttitude, WorkerId, WorkerProfile};
+    use loki_survey::demographics::{BirthDate, QuasiIdentifier};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn worker(id: u64) -> WorkerProfile {
+        WorkerProfile::new(
+            WorkerId(id),
+            QuasiIdentifier {
+                birth: BirthDate::new(1970 + (id % 20) as u16, 1 + (id % 12) as u8, 1 + (id % 28) as u8)
+                    .unwrap(),
+                gender: if id.is_multiple_of(2) { Gender::Female } else { Gender::Male },
+                zip: ZipCode::new(30_000 + id as u32).unwrap(),
+            },
+            HealthProfile {
+                smoking_level: 5,
+                cough_level: 4,
+            },
+            PrivacyAttitude {
+                aware_of_profiling: false,
+                would_participate_if_profiled: false,
+            },
+        )
+    }
+
+    /// Runs one worker through all five paper surveys under a stable ID.
+    fn full_campaign_dossier(id: u64) -> LinkedDossier {
+        let specs = paper_surveys();
+        let w = worker(id);
+        let model = BehaviorModel::Honest { opinion_noise: 0.3 };
+        let mut rng = ChaCha20Rng::seed_from_u64(id);
+        let mut linker = Linker::new();
+        for spec in &specs {
+            let mut set = ResponseSet::new();
+            set.push(model.respond(&mut rng, &w, spec, "STABLE-ID"));
+            linker.ingest(spec, &set);
+        }
+        linker.dossiers().get("STABLE-ID").cloned().unwrap()
+    }
+
+    #[test]
+    fn stable_id_completes_quasi_identifier() {
+        let d = full_campaign_dossier(6);
+        let qi = d.profile.quasi_identifier().expect("QI completes");
+        let w = worker(6);
+        assert_eq!(qi, w.demographics);
+        assert_eq!(d.surveys.len(), 5);
+    }
+
+    #[test]
+    fn sensitive_answers_harvested() {
+        let d = full_campaign_dossier(7);
+        assert_eq!(d.smoking_level(), Some(5.0));
+        assert_eq!(d.cough_level(), Some(4.0));
+    }
+
+    #[test]
+    fn single_survey_does_not_complete_qi() {
+        let specs = paper_surveys();
+        let w = worker(8);
+        let model = BehaviorModel::Honest { opinion_noise: 0.3 };
+        let mut rng = ChaCha20Rng::seed_from_u64(8);
+        for spec in &specs {
+            let mut linker = Linker::new();
+            let mut set = ResponseSet::new();
+            set.push(model.respond(&mut rng, &w, spec, "ID"));
+            linker.ingest(spec, &set);
+            let d = &linker.dossiers()["ID"];
+            assert!(
+                d.profile.quasi_identifier().is_none(),
+                "{} alone completed the QI",
+                spec.survey.title
+            );
+        }
+    }
+
+    #[test]
+    fn per_survey_pseudonyms_fragment_dossiers() {
+        let specs = paper_surveys();
+        let w = worker(9);
+        let model = BehaviorModel::Honest { opinion_noise: 0.3 };
+        let mut rng = ChaCha20Rng::seed_from_u64(9);
+        let mut linker = Linker::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let mut set = ResponseSet::new();
+            set.push(model.respond(&mut rng, &w, spec, &format!("PSEUDO-{i}")));
+            linker.ingest(spec, &set);
+        }
+        assert_eq!(linker.unique_ids(), 5);
+        assert_eq!(linker.complete_dossiers().count(), 0);
+    }
+
+    #[test]
+    fn lying_answers_poison_the_dossier() {
+        // A privacy-protective worker's dossier completes but with wrong
+        // values (checked against ground truth).
+        let specs = paper_surveys();
+        let w = worker(10);
+        let model = BehaviorModel::PrivacyProtective;
+        let mut rng = ChaCha20Rng::seed_from_u64(10);
+        let mut linker = Linker::new();
+        for spec in &specs {
+            let mut set = ResponseSet::new();
+            set.push(model.respond(&mut rng, &w, spec, "LIAR"));
+            linker.ingest(spec, &set);
+        }
+        let d = &linker.dossiers()["LIAR"];
+        if let Some(qi) = d.profile.quasi_identifier() {
+            assert_ne!(qi, w.demographics, "fabricated QI matched truth — suspicious");
+        }
+        // (If the fabricated date was invalid, the QI is simply absent —
+        // also fine for this test.)
+    }
+
+    #[test]
+    fn invalid_fragments_ignored() {
+        // Hand-craft a response with an out-of-range month: linker should
+        // keep day but not complete the date.
+        let specs = paper_surveys();
+        let spec = &specs[0];
+        let mut set = ResponseSet::new();
+        let mut r = loki_survey::response::Response::new("X", spec.survey.id);
+        for q in &spec.survey.questions {
+            match spec.semantics_of(q.id).unwrap() {
+                QuestionSemantics::BirthDay => {
+                    r.answer(q.id, Answer::Numeric(12));
+                }
+                QuestionSemantics::BirthMonth => {
+                    r.answer(q.id, Answer::Numeric(400)); // nonsense month
+                }
+                _ => {}
+            }
+        }
+        set.push(r);
+        let mut linker = Linker::new();
+        linker.ingest(spec, &set);
+        let d = &linker.dossiers()["X"];
+        assert_eq!(d.profile.day, Some(12));
+        // 400 fits in u8? No — u8::try_from(400) fails, so month is None.
+        assert_eq!(d.profile.month, None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Attack-quality metrics shared by the experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Precision/recall of a binary classifier (used to score the
+//  random-responder filter in EXP-8 and the attack's victim selection).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionRecall {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl PrecisionRecall {
+    /// Builds the confusion matrix from parallel prediction/truth slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(predicted: &[bool], truth: &[bool]) -> PrecisionRecall {
+        assert_eq!(predicted.len(), truth.len(), "slice length mismatch");
+        let mut m = PrecisionRecall {
+            tp: 0,
+            fp: 0,
+            fn_: 0,
+            tn: 0,
+        };
+        for (&p, &t) in predicted.iter().zip(truth) {
+            match (p, t) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, true) => m.fn_ += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        m
+    }
+
+    /// Precision = TP / (TP + FP); 1.0 when nothing was predicted positive
+    /// (vacuously precise).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when there were no positives to find.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall; 0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Re-identification rate: unique matches over observed IDs.
+pub fn reidentification_rate(unique_matches: usize, total_ids: usize) -> f64 {
+    if total_ids == 0 {
+        0.0
+    } else {
+        unique_matches as f64 / total_ids as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_from_predictions() {
+        let predicted = [true, true, false, false, true];
+        let truth = [true, false, true, false, true];
+        let m = PrecisionRecall::from_predictions(&predicted, &truth);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (2, 1, 1, 1));
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let none = PrecisionRecall::from_predictions(&[false, false], &[false, false]);
+        assert_eq!(none.precision(), 1.0);
+        assert_eq!(none.recall(), 1.0);
+
+        let all_wrong = PrecisionRecall::from_predictions(&[true], &[false]);
+        assert_eq!(all_wrong.precision(), 0.0);
+        assert_eq!(all_wrong.f1(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_slices_rejected() {
+        let _ = PrecisionRecall::from_predictions(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn reident_rate() {
+        assert_eq!(reidentification_rate(72, 400), 0.18);
+        assert_eq!(reidentification_rate(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! The external identified dataset the adversary joins against.
+//!
+//! Sweeney's original attack joined an "anonymized" medical dataset with
+//! the Cambridge, MA voter roll. The registry here plays that role: a
+//! public list of (name, date of birth, gender, ZIP) records. It is built
+//! from the synthetic population — in the real world a voter roll *is*
+//! (a projection of) the population.
+
+use crate::population::{Person, PersonId, Population};
+use loki_survey::demographics::{PartialProfile, QuasiIdentifier, ZipCode};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An index over identified records by quasi-identifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Registry {
+    by_qi: HashMap<QuasiIdentifier, Vec<PersonId>>,
+    names: HashMap<PersonId, String>,
+    /// All covered records, for partial-identifier scans.
+    records: Vec<(PersonId, QuasiIdentifier)>,
+    /// Indices into `records` by ZIP — the usual first filter (ZIP is the
+    /// most selective commonly-disclosed attribute).
+    by_zip: HashMap<ZipCode, Vec<u32>>,
+}
+
+impl Registry {
+    /// Builds a registry covering a fraction of the population (voter
+    /// rolls never cover everyone; `coverage = 1.0` covers all, and the
+    /// covered subset is the deterministic prefix — callers who need a
+    /// random subset can shuffle the population first).
+    ///
+    /// # Panics
+    /// Panics if `coverage` is outside `[0, 1]`.
+    pub fn from_population(pop: &Population, coverage: f64) -> Registry {
+        assert!(
+            (0.0..=1.0).contains(&coverage),
+            "coverage must be in [0,1], got {coverage}"
+        );
+        let n = (pop.len() as f64 * coverage).round() as usize;
+        let mut by_qi: HashMap<QuasiIdentifier, Vec<PersonId>> = HashMap::new();
+        let mut names = HashMap::new();
+        let mut records = Vec::with_capacity(n);
+        let mut by_zip: HashMap<ZipCode, Vec<u32>> = HashMap::new();
+        for p in &pop.people()[..n] {
+            by_qi.entry(p.demographics).or_default().push(p.id);
+            names.insert(p.id, p.name.clone());
+            by_zip
+                .entry(p.demographics.zip)
+                .or_default()
+                .push(records.len() as u32);
+            records.push((p.id, p.demographics));
+        }
+        Registry {
+            by_qi,
+            names,
+            records,
+            by_zip,
+        }
+    }
+
+    /// People consistent with every *disclosed* fragment of a partial
+    /// profile — the attacker's candidate set before the profile
+    /// completes. An empty profile matches everyone.
+    ///
+    /// Uses the ZIP index when ZIP is disclosed (the common case after
+    /// survey 3); otherwise scans all covered records.
+    pub fn candidates(&self, profile: &PartialProfile) -> Vec<PersonId> {
+        let matches = |qi: &QuasiIdentifier| -> bool {
+            profile.day.is_none_or(|d| qi.birth.day == d)
+                && profile.month.is_none_or(|m| qi.birth.month == m)
+                && profile.year.is_none_or(|y| qi.birth.year == y)
+                && profile.gender.is_none_or(|g| qi.gender == g)
+                && profile.zip.is_none_or(|z| qi.zip == z)
+        };
+        match profile.zip {
+            Some(zip) => self
+                .by_zip
+                .get(&zip)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+                .iter()
+                .map(|&i| &self.records[i as usize])
+                .filter(|(_, qi)| matches(qi))
+                .map(|(id, _)| *id)
+                .collect(),
+            None => self
+                .records
+                .iter()
+                .filter(|(_, qi)| matches(qi))
+                .map(|(id, _)| *id)
+                .collect(),
+        }
+    }
+
+    /// Size of the candidate set without materializing it.
+    pub fn candidate_count(&self, profile: &PartialProfile) -> usize {
+        let matches = |qi: &QuasiIdentifier| -> bool {
+            profile.day.is_none_or(|d| qi.birth.day == d)
+                && profile.month.is_none_or(|m| qi.birth.month == m)
+                && profile.year.is_none_or(|y| qi.birth.year == y)
+                && profile.gender.is_none_or(|g| qi.gender == g)
+                && profile.zip.is_none_or(|z| qi.zip == z)
+        };
+        match profile.zip {
+            Some(zip) => self
+                .by_zip
+                .get(&zip)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+                .iter()
+                .filter(|&&i| matches(&self.records[i as usize].1))
+                .count(),
+            None => self.records.iter().filter(|(_, qi)| matches(qi)).count(),
+        }
+    }
+
+    /// Number of registered people.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Everyone registered under a quasi-identifier (the k-anonymity
+    /// equivalence class).
+    pub fn lookup(&self, qi: &QuasiIdentifier) -> &[PersonId] {
+        self.by_qi.get(qi).map_or(&[], Vec::as_slice)
+    }
+
+    /// The registered name of a person.
+    pub fn name_of(&self, id: PersonId) -> Option<&str> {
+        self.names.get(&id).map(String::as_str)
+    }
+
+    /// Convenience for tests and reports: a registered person record.
+    pub fn record(&self, id: PersonId, pop: &Population) -> Option<Person> {
+        self.names.get(&id)?;
+        pop.person(id).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn pop() -> Population {
+        Population::synthesize(
+            PopulationConfig {
+                size: 20_000,
+                zip_count: 4,
+                ..PopulationConfig::default()
+            },
+            &mut ChaCha20Rng::seed_from_u64(11),
+        )
+    }
+
+    #[test]
+    fn full_coverage_indexes_everyone() {
+        let p = pop();
+        let r = Registry::from_population(&p, 1.0);
+        assert_eq!(r.len(), p.len());
+        for person in p.people().iter().take(50) {
+            let class = r.lookup(&person.demographics);
+            assert!(class.contains(&person.id));
+            assert_eq!(r.name_of(person.id), Some(person.name.as_str()));
+        }
+    }
+
+    #[test]
+    fn partial_coverage_counts() {
+        let p = pop();
+        let r = Registry::from_population(&p, 0.5);
+        assert_eq!(r.len(), p.len() / 2);
+    }
+
+    #[test]
+    fn zero_coverage_is_empty() {
+        let p = pop();
+        let r = Registry::from_population(&p, 0.0);
+        assert!(r.is_empty());
+        assert_eq!(r.lookup(&p.people()[0].demographics), &[]);
+    }
+
+    #[test]
+    fn unknown_qi_yields_empty_class() {
+        let p = pop();
+        let r = Registry::from_population(&p, 1.0);
+        use loki_survey::demographics::{BirthDate, Gender, ZipCode};
+        let ghost = QuasiIdentifier {
+            birth: BirthDate::new(1901, 1, 1).unwrap(),
+            gender: Gender::Female,
+            zip: ZipCode::new(99_999).unwrap(),
+        };
+        assert!(r.lookup(&ghost).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage must be in [0,1]")]
+    fn bad_coverage_rejected() {
+        let p = pop();
+        let _ = Registry::from_population(&p, 1.5);
+    }
+
+    #[test]
+    fn empty_profile_matches_everyone() {
+        let p = pop();
+        let r = Registry::from_population(&p, 1.0);
+        assert_eq!(r.candidate_count(&PartialProfile::new()), p.len());
+    }
+
+    #[test]
+    fn candidates_shrink_as_fragments_accumulate() {
+        let p = pop();
+        let r = Registry::from_population(&p, 1.0);
+        let person = &p.people()[0];
+        let qi = person.demographics;
+
+        let mut profile = PartialProfile::new();
+        let all = r.candidate_count(&profile);
+
+        profile.day = Some(qi.birth.day);
+        profile.month = Some(qi.birth.month);
+        let after_s1 = r.candidate_count(&profile);
+
+        profile.gender = Some(qi.gender);
+        profile.year = Some(qi.birth.year);
+        let after_s2 = r.candidate_count(&profile);
+
+        profile.zip = Some(qi.zip);
+        let after_s3 = r.candidate_count(&profile);
+
+        assert!(all > after_s1, "{all} !> {after_s1}");
+        assert!(after_s1 > after_s2, "{after_s1} !> {after_s2}");
+        assert!(after_s2 >= after_s3);
+        assert!(after_s3 >= 1, "the true person must remain a candidate");
+        // Full profile: candidates == the exact-QI class.
+        assert_eq!(after_s3, r.lookup(&qi).len());
+    }
+
+    #[test]
+    fn candidates_and_count_agree() {
+        let p = pop();
+        let r = Registry::from_population(&p, 1.0);
+        let person = &p.people()[7];
+        let profile = PartialProfile {
+            day: Some(person.demographics.birth.day),
+            month: None,
+            year: None,
+            gender: Some(person.demographics.gender),
+            zip: Some(person.demographics.zip),
+        };
+        let list = r.candidates(&profile);
+        assert_eq!(list.len(), r.candidate_count(&profile));
+        assert!(list.contains(&person.id));
+    }
+
+    #[test]
+    fn zip_only_profile_uses_index() {
+        let p = pop();
+        let r = Registry::from_population(&p, 1.0);
+        let zip = p.people()[0].demographics.zip;
+        let profile = PartialProfile {
+            zip: Some(zip),
+            ..PartialProfile::new()
+        };
+        let count = r.candidate_count(&profile);
+        let brute = p
+            .people()
+            .iter()
+            .filter(|q| q.demographics.zip == zip)
+            .count();
+        assert_eq!(count, brute);
+    }
+}

@@ -1,0 +1,262 @@
+//! Re-identification: joining completed quasi-identifiers against the
+//! registry.
+//!
+//! A dossier whose (date of birth, gender, ZIP) matches exactly one
+//! registry record is *de-anonymized*: the adversary now knows the
+//! worker's name. Matches with k > 1 candidates give a k-anonymity set —
+//! still a privacy loss, quantified but not counted as de-anonymization
+//! (matching the paper's "72 could be de-anonymized" accounting).
+
+use crate::linkage::{LinkedDossier, Linker};
+use crate::population::PersonId;
+use crate::registry::Registry;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of matching one dossier against the registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MatchOutcome {
+    /// The quasi-identifier never completed (not enough surveys linked).
+    Incomplete,
+    /// Completed but matches no registry record (e.g. fabricated
+    /// demographics, or a person outside registry coverage).
+    NoMatch,
+    /// Matches exactly one person: de-anonymized.
+    Unique(PersonId),
+    /// Matches k > 1 people (the k-anonymity class).
+    Ambiguous(Vec<PersonId>),
+}
+
+impl MatchOutcome {
+    /// Whether this is a unique (de-anonymizing) match.
+    pub fn is_unique(&self) -> bool {
+        matches!(self, MatchOutcome::Unique(_))
+    }
+}
+
+/// One re-identified worker: reported ID, person, and the dossier that
+/// did it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reidentification {
+    /// The platform-reported worker ID.
+    pub reported_id: String,
+    /// Who they are.
+    pub person: PersonId,
+    /// The accumulated dossier.
+    pub dossier: LinkedDossier,
+}
+
+/// Matches dossiers against a registry.
+#[derive(Debug)]
+pub struct Reidentifier<'a> {
+    registry: &'a Registry,
+}
+
+/// Summary statistics of a re-identification pass — the numbers §2
+/// reports (400 unique users → 72 de-anonymized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReidentStats {
+    /// Distinct reported worker IDs observed.
+    pub total_ids: usize,
+    /// Dossiers with a complete quasi-identifier.
+    pub complete: usize,
+    /// Dossiers uniquely matched (de-anonymized).
+    pub unique_matches: usize,
+    /// Dossiers matched to k > 1 candidates.
+    pub ambiguous_matches: usize,
+    /// Complete dossiers matching nothing.
+    pub no_matches: usize,
+}
+
+impl<'a> Reidentifier<'a> {
+    /// Creates a re-identifier over a registry.
+    pub fn new(registry: &'a Registry) -> Reidentifier<'a> {
+        Reidentifier { registry }
+    }
+
+    /// Matches one dossier.
+    pub fn match_dossier(&self, dossier: &LinkedDossier) -> MatchOutcome {
+        let Some(qi) = dossier.profile.quasi_identifier() else {
+            return MatchOutcome::Incomplete;
+        };
+        match self.registry.lookup(&qi) {
+            [] => MatchOutcome::NoMatch,
+            [one] => MatchOutcome::Unique(*one),
+            many => MatchOutcome::Ambiguous(many.to_vec()),
+        }
+    }
+
+    /// Runs the full pass over a linker's dossiers, returning the
+    /// de-anonymized workers and summary statistics.
+    pub fn run(&self, linker: &Linker) -> (Vec<Reidentification>, ReidentStats) {
+        let mut reidentified = Vec::new();
+        let mut stats = ReidentStats {
+            total_ids: linker.unique_ids(),
+            complete: 0,
+            unique_matches: 0,
+            ambiguous_matches: 0,
+            no_matches: 0,
+        };
+        for (id, dossier) in linker.dossiers() {
+            match self.match_dossier(dossier) {
+                MatchOutcome::Incomplete => {}
+                MatchOutcome::NoMatch => {
+                    stats.complete += 1;
+                    stats.no_matches += 1;
+                }
+                MatchOutcome::Ambiguous(_) => {
+                    stats.complete += 1;
+                    stats.ambiguous_matches += 1;
+                }
+                MatchOutcome::Unique(person) => {
+                    stats.complete += 1;
+                    stats.unique_matches += 1;
+                    reidentified.push(Reidentification {
+                        reported_id: id.clone(),
+                        person,
+                        dossier: dossier.clone(),
+                    });
+                }
+            }
+        }
+        (reidentified, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{Population, PopulationConfig};
+    use loki_survey::demographics::{BirthDate, Gender, PartialProfile, ZipCode};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn pop() -> Population {
+        Population::synthesize(
+            PopulationConfig {
+                size: 30_000,
+                zip_count: 5,
+                ..PopulationConfig::default()
+            },
+            &mut ChaCha20Rng::seed_from_u64(21),
+        )
+    }
+
+    fn dossier_for(qi: &loki_survey::demographics::QuasiIdentifier) -> LinkedDossier {
+        LinkedDossier {
+            profile: PartialProfile {
+                day: Some(qi.birth.day),
+                month: Some(qi.birth.month),
+                year: Some(qi.birth.year),
+                gender: Some(qi.gender),
+                zip: Some(qi.zip),
+            },
+            surveys: vec![],
+            sensitive: vec![],
+        }
+    }
+
+    #[test]
+    fn unique_person_is_reidentified() {
+        let p = pop();
+        let r = Registry::from_population(&p, 1.0);
+        let reid = Reidentifier::new(&r);
+        // Find a person who is unique in the registry.
+        let unique_person = p
+            .people()
+            .iter()
+            .find(|person| r.lookup(&person.demographics).len() == 1)
+            .expect("some unique person exists");
+        let outcome = reid.match_dossier(&dossier_for(&unique_person.demographics));
+        assert_eq!(outcome, MatchOutcome::Unique(unique_person.id));
+        assert!(outcome.is_unique());
+    }
+
+    #[test]
+    fn shared_qi_is_ambiguous() {
+        let p = pop();
+        let r = Registry::from_population(&p, 1.0);
+        let reid = Reidentifier::new(&r);
+        let shared = p
+            .people()
+            .iter()
+            .find(|person| r.lookup(&person.demographics).len() > 1)
+            .expect("some non-unique person exists");
+        match reid.match_dossier(&dossier_for(&shared.demographics)) {
+            MatchOutcome::Ambiguous(class) => {
+                assert!(class.len() > 1);
+                assert!(class.contains(&shared.id));
+            }
+            o => panic!("expected ambiguous, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_dossier_not_matched() {
+        let p = pop();
+        let r = Registry::from_population(&p, 1.0);
+        let reid = Reidentifier::new(&r);
+        let d = LinkedDossier::default();
+        assert_eq!(reid.match_dossier(&d), MatchOutcome::Incomplete);
+    }
+
+    #[test]
+    fn fabricated_qi_no_match() {
+        let p = pop();
+        let r = Registry::from_population(&p, 1.0);
+        let reid = Reidentifier::new(&r);
+        let ghost = loki_survey::demographics::QuasiIdentifier {
+            birth: BirthDate::new(1900, 1, 1).unwrap(),
+            gender: Gender::Male,
+            zip: ZipCode::new(1).unwrap(),
+        };
+        assert_eq!(reid.match_dossier(&dossier_for(&ghost)), MatchOutcome::NoMatch);
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let p = pop();
+        let r = Registry::from_population(&p, 1.0);
+        let reid = Reidentifier::new(&r);
+        let mut linker = Linker::new();
+        // Build dossiers straight into the linker via ingest of synthetic
+        // responses is heavier; instead exercise `run` through match
+        // outcomes by constructing a linker with known dossiers.
+        // Simplest: ingest nothing and check zeros.
+        let (list, stats) = reid.run(&linker);
+        assert!(list.is_empty());
+        assert_eq!(stats.total_ids, 0);
+        assert_eq!(stats.complete, 0);
+
+        // Ingest one synthetic full-QI worker through the real path.
+        use loki_platform::behavior::BehaviorModel;
+        use loki_platform::spec::paper_surveys;
+        use loki_platform::worker::{HealthProfile, PrivacyAttitude, WorkerId, WorkerProfile};
+        let person = &p.people()[0];
+        let w = WorkerProfile::new(
+            WorkerId(person.id.0),
+            person.demographics,
+            HealthProfile {
+                smoking_level: 1,
+                cough_level: 1,
+            },
+            PrivacyAttitude {
+                aware_of_profiling: true,
+                would_participate_if_profiled: true,
+            },
+        );
+        let model = BehaviorModel::Honest { opinion_noise: 0.3 };
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        for spec in &paper_surveys() {
+            let mut set = loki_survey::response::ResponseSet::new();
+            set.push(model.respond(&mut rng, &w, spec, "W0"));
+            linker.ingest(spec, &set);
+        }
+        let (_, stats) = reid.run(&linker);
+        assert_eq!(stats.total_ids, 1);
+        assert_eq!(stats.complete, 1);
+        assert_eq!(
+            stats.unique_matches + stats.ambiguous_matches + stats.no_matches,
+            stats.complete
+        );
+    }
+}

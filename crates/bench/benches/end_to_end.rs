@@ -1,0 +1,107 @@
+//! EXP-9c — end-to-end platform benchmarks over real sockets: the full
+//! submit round-trip (client-side obfuscation → HTTP → validation →
+//! store → ledger) and the results query, plus the marketplace
+//! simulator's campaign throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loki_client::LokiClient;
+use loki_core::privacy_level::PrivacyLevel;
+use loki_platform::behavior::BehaviorModel;
+use loki_platform::marketplace::{Marketplace, MarketplaceConfig};
+use loki_platform::spec::paper_surveys;
+use loki_platform::worker::{HealthProfile, PrivacyAttitude, WorkerId, WorkerProfile};
+use loki_server::{serve, AppState};
+use loki_survey::demographics::{BirthDate, Gender, QuasiIdentifier, ZipCode};
+use loki_survey::question::{Answer, QuestionKind};
+use loki_survey::survey::{SurveyBuilder, SurveyId};
+use loki_survey::QuestionId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_submit_roundtrip(c: &mut Criterion) {
+    let state = Arc::new(AppState::new());
+    let mut b = SurveyBuilder::new(SurveyId(1), "bench");
+    b.question("rate", QuestionKind::likert5(), false);
+    let survey = b.build().unwrap();
+    state.add_survey(survey.clone());
+    let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+    let base = handle.base_url();
+
+    let mut rng = ChaCha20Rng::seed_from_u64(1);
+    let mut answers = BTreeMap::new();
+    answers.insert(QuestionId(0), Answer::Rating(4.0));
+
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(50);
+    let mut i = 0u64;
+    g.bench_function("submit_roundtrip", |bch| {
+        bch.iter(|| {
+            // Fresh user each iteration (duplicates are rejected).
+            i += 1;
+            let mut client = LokiClient::connect(&base, format!("bench-user-{i}")).unwrap();
+            black_box(
+                client
+                    .submit(&mut rng, &survey, &answers, PrivacyLevel::Medium)
+                    .unwrap(),
+            )
+        })
+    });
+
+    let http = loki_net::client::HttpClient::new(&base).unwrap();
+    g.bench_function("results_query", |bch| {
+        bch.iter(|| black_box(http.get("/surveys/1/results/0").unwrap()))
+    });
+    g.finish();
+    handle.shutdown();
+}
+
+fn bench_marketplace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("marketplace");
+    g.sample_size(20);
+    let specs = paper_surveys();
+    g.bench_function("campaign_100_workers_survey1", |bch| {
+        bch.iter(|| {
+            let workers: Vec<(WorkerProfile, BehaviorModel)> = (0..100u64)
+                .map(|i| {
+                    (
+                        WorkerProfile::new(
+                            WorkerId(i),
+                            QuasiIdentifier {
+                                birth: BirthDate::new(
+                                    1970 + (i % 30) as u16,
+                                    1 + (i % 12) as u8,
+                                    1 + (i % 28) as u8,
+                                )
+                                .unwrap(),
+                                gender: if i % 2 == 0 {
+                                    Gender::Female
+                                } else {
+                                    Gender::Male
+                                },
+                                zip: ZipCode::new(10_000 + i as u32).unwrap(),
+                            },
+                            HealthProfile {
+                                smoking_level: 1 + (i % 5) as u8,
+                                cough_level: 1 + (i % 5) as u8,
+                            },
+                            PrivacyAttitude {
+                                aware_of_profiling: false,
+                                would_participate_if_profiled: false,
+                            },
+                        ),
+                        BehaviorModel::Honest { opinion_noise: 0.3 },
+                    )
+                })
+                .collect();
+            let mut market = Marketplace::new(MarketplaceConfig::default(), workers, 7);
+            black_box(market.post_task(&specs[0], 100))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_submit_roundtrip, bench_marketplace);
+criterion_main!(benches);

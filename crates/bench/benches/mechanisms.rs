@@ -1,0 +1,131 @@
+//! EXP-9a — Criterion microbenchmarks of the DP substrate: noise
+//! sampling, mechanism calibration, randomized response, and ledger
+//! accounting. These bound the per-response CPU cost of Loki's at-source
+//! obfuscation (it must be negligible on a phone-class core).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use loki_core::obfuscate::Obfuscator;
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::accountant::{ReleaseKind, UserLedger};
+use loki_dp::mechanisms::gaussian::GaussianMechanism;
+use loki_dp::mechanisms::randomized_response::RandomizedResponse;
+use loki_dp::mechanisms::Mechanism;
+use loki_dp::params::{Delta, Epsilon};
+use loki_dp::sampling;
+use loki_dp::Sensitivity;
+use loki_survey::question::{Answer, Question, QuestionKind};
+use loki_survey::QuestionId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling");
+    let mut rng = ChaCha20Rng::seed_from_u64(1);
+    g.bench_function("standard_normal", |b| {
+        b.iter(|| black_box(sampling::standard_normal(&mut rng)))
+    });
+    let mut rng2 = ChaCha20Rng::seed_from_u64(2);
+    g.bench_function("gaussian", |b| {
+        b.iter(|| black_box(sampling::gaussian(&mut rng2, 3.0, 1.0)))
+    });
+    let mut rng3 = ChaCha20Rng::seed_from_u64(3);
+    g.bench_function("laplace", |b| {
+        b.iter(|| black_box(sampling::laplace(&mut rng3, 3.0, 1.0)))
+    });
+    g.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calibration");
+    let sens = Sensitivity::new(4.0);
+    let delta = Delta::new(1e-5);
+    g.bench_function("analytic_sigma_from_eps", |b| {
+        b.iter(|| {
+            black_box(GaussianMechanism::calibrate_analytic(
+                sens,
+                Epsilon::new(1.0),
+                delta,
+            ))
+        })
+    });
+    let mech = GaussianMechanism::from_sigma(1.0, sens, delta);
+    g.bench_function("analytic_eps_from_sigma", |b| {
+        b.iter(|| black_box(mech.epsilon()))
+    });
+    g.finish();
+}
+
+fn bench_release(c: &mut Criterion) {
+    let mut g = c.benchmark_group("release");
+    let mut rng = ChaCha20Rng::seed_from_u64(2);
+    let mech = GaussianMechanism::with_sigma(1.0);
+    g.bench_function("gaussian_release", |b| {
+        b.iter(|| black_box(mech.release(&mut rng, 4.0)))
+    });
+    let mut rng2 = ChaCha20Rng::seed_from_u64(3);
+    let rr = RandomizedResponse::new(5, Epsilon::new(2.0));
+    g.bench_function("randomized_response_perturb", |b| {
+        b.iter(|| black_box(rr.perturb(&mut rng2, 2)))
+    });
+    let q = Question {
+        id: QuestionId(0),
+        text: "rate".into(),
+        kind: QuestionKind::likert5(),
+        sensitive: false,
+    };
+    let mut rng3 = ChaCha20Rng::seed_from_u64(4);
+    let obf = Obfuscator::new(PrivacyLevel::Medium);
+    g.bench_function("obfuscate_rating_answer", |b| {
+        b.iter(|| {
+            black_box(
+                obf.obfuscate_answer(&mut rng3, &q, &Answer::Rating(4.0))
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_accounting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accounting");
+    g.bench_function("ledger_record_gaussian", |b| {
+        b.iter_batched(
+            UserLedger::new,
+            |mut ledger| {
+                ledger.record(
+                    "s/q",
+                    ReleaseKind::Gaussian {
+                        sigma: 1.0,
+                        sensitivity: 4.0,
+                    },
+                );
+                black_box(ledger)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut big = UserLedger::new();
+    for i in 0..200 {
+        big.record(
+            format!("s{i}"),
+            ReleaseKind::Gaussian {
+                sigma: 1.0,
+                sensitivity: 4.0,
+            },
+        );
+    }
+    g.bench_function("tight_loss_200_releases", |b| {
+        b.iter(|| black_box(big.tight_loss(Delta::new(1e-5))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampling,
+    bench_calibration,
+    bench_release,
+    bench_accounting
+);
+criterion_main!(benches);

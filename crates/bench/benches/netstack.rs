@@ -1,0 +1,74 @@
+//! EXP-9b — Criterion microbenchmarks of the HTTP substrate: request
+//! parsing, router dispatch and response serialization. These are the
+//! per-request costs of the Django-substitute backend.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use loki_net::http::{Method, Request, Response, StatusCode};
+use loki_net::parser::RequestParser;
+use loki_net::router::Router;
+use std::hint::black_box;
+
+fn request_bytes(body_len: usize) -> Vec<u8> {
+    let body = "x".repeat(body_len);
+    format!(
+        "POST /surveys/7/responses HTTP/1.1\r\nHost: loki\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("http_parse");
+    for body_len in [0usize, 256, 4096] {
+        let wire = request_bytes(body_len);
+        g.throughput(Throughput::Bytes(wire.len() as u64));
+        g.bench_function(format!("parse_request_{body_len}B_body"), |b| {
+            let parser = RequestParser::default();
+            b.iter(|| {
+                let mut buf = BytesMut::from(&wire[..]);
+                black_box(parser.parse(&mut buf).unwrap().unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router");
+    let mut router = Router::new();
+    router.get("/health", |_, _| Response::status(StatusCode::OK));
+    router.get("/surveys", |_, _| Response::status(StatusCode::OK));
+    router.get("/surveys/:id", |_, _| Response::status(StatusCode::OK));
+    router.post("/surveys/:id/responses", |_, _| {
+        Response::status(StatusCode::CREATED)
+    });
+    router.get("/surveys/:id/results/:question", |_, _| {
+        Response::status(StatusCode::OK)
+    });
+    router.get("/ledger/:user", |_, _| Response::status(StatusCode::OK));
+
+    let deep = Request::new(Method::Get, "/surveys/42/results/3");
+    g.bench_function("dispatch_deep_route", |b| {
+        b.iter(|| black_box(router.dispatch(&deep)))
+    });
+    let miss = Request::new(Method::Get, "/nothing/here");
+    g.bench_function("dispatch_miss", |b| {
+        b.iter(|| black_box(router.dispatch(&miss)))
+    });
+    g.finish();
+}
+
+fn bench_response(c: &mut Criterion) {
+    let mut g = c.benchmark_group("response");
+    let resp = Response::json_bytes(StatusCode::OK, vec![b'x'; 1024]);
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("serialize_1KiB_json", |b| {
+        b.iter(|| black_box(resp.to_bytes(false)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parser, bench_router, bench_response);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! EXP-1 — §2's linkage attack, end to end.
+//!
+//! Paper numbers: 400 unique workers across four surveys; 72
+//! de-anonymized from (DOB, gender, ZIP); respiratory health inferred for
+//! 18 of them; total cost < $30; a few days of wall time.
+//!
+//! This binary runs the same campaign on the simulated marketplace and
+//! prints the corresponding row, plus the per-survey funnel.
+
+use loki_attack::inference::HealthInferenceRule;
+use loki_attack::population::{Population, PopulationConfig};
+use loki_attack::registry::Registry;
+use loki_attack::reident::Reidentifier;
+use loki_attack::Linker;
+use loki_bench::{banner, f, n, seed_from_args, Table};
+use loki_platform::behavior::BehaviorModel;
+use loki_platform::marketplace::{Marketplace, MarketplaceConfig};
+use loki_platform::spec::paper_surveys;
+use loki_survey::redundancy::ConsistencyFilter;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+fn main() {
+    let seed = seed_from_args(2013);
+    banner(
+        "EXP-1",
+        "cross-survey linkage attack on a stable-ID marketplace",
+        "400 unique users -> 72 de-anonymized -> 18 health-inferred; < $30; a few days",
+    );
+
+    // World: synthetic population calibrated to Sweeney/Golle uniqueness.
+    let pop = Population::synthesize(
+        PopulationConfig::default(),
+        &mut ChaCha20Rng::seed_from_u64(seed),
+    );
+    println!(
+        "population: {} people, QI uniqueness {:.1}% (Sweeney 87% / Golle 63%)",
+        pop.len(),
+        pop.uniqueness_rate() * 100.0
+    );
+    // Voter-roll-style registry covering 85% of the population.
+    let registry = Registry::from_population(&pop, 0.85);
+
+    // Worker pool: 450 marketplace workers; ~8% answer at random.
+    let mut rng = ChaCha20Rng::seed_from_u64(seed ^ 1);
+    let workers = pop.sample_workers(450, &mut rng, |_, i| {
+        if i % 12 == 0 {
+            BehaviorModel::Random
+        } else {
+            BehaviorModel::Honest { opinion_noise: 0.3 }
+        }
+    });
+    let mut market = Marketplace::new(MarketplaceConfig::default(), workers, seed ^ 2);
+
+    let specs = paper_surveys();
+    let quotas = [400usize, 350, 300, 250];
+    let filter = ConsistencyFilter::new(1.0);
+    let mut linker = Linker::new();
+    let mut funnel = Table::new(&["survey", "quota", "responses", "kept", "days"]);
+    let mut total_days = 0.0;
+    for (spec, quota) in specs[..4].iter().zip(quotas) {
+        let outcome = market.post_task(spec, quota);
+        let (kept, _) = filter.filter(&spec.survey, &outcome.responses);
+        let days = outcome.elapsed_hours / 24.0;
+        total_days = f64::max(total_days, days);
+        funnel.row(&[
+            spec.survey.title.clone(),
+            n(quota),
+            n(outcome.responses.len()),
+            n(kept.len()),
+            f(days),
+        ]);
+        linker.ingest(spec, &kept);
+    }
+    println!("\nper-survey funnel (surveys posted independently; days overlap):");
+    print!("{}", funnel.render());
+
+    let (reids, stats) = Reidentifier::new(&registry).run(&linker);
+    let exposures = HealthInferenceRule::default().infer_all(&reids);
+    let at_risk = exposures.iter().filter(|e| e.at_risk).count();
+
+    let mut result = Table::new(&["metric", "paper", "reproduced"]);
+    result.row(&["unique worker IDs".into(), "400".into(), n(stats.total_ids)]);
+    result.row(&[
+        "complete QI dossiers".into(),
+        "-".into(),
+        n(stats.complete),
+    ]);
+    result.row(&[
+        "de-anonymized (unique match)".into(),
+        "72".into(),
+        n(stats.unique_matches),
+    ]);
+    result.row(&[
+        "ambiguous (k>1) matches".into(),
+        "-".into(),
+        n(stats.ambiguous_matches),
+    ]);
+    result.row(&[
+        "health known by name".into(),
+        "18".into(),
+        n(exposures.len()),
+    ]);
+    result.row(&[
+        "flagged respiratory risk".into(),
+        "-".into(),
+        n(at_risk),
+    ]);
+    result.row(&[
+        "campaign cost ($)".into(),
+        "< 30".into(),
+        f(market.costs().total_dollars()),
+    ]);
+    result.row(&[
+        "campaign wall time (days)".into(),
+        "a few".into(),
+        f(total_days),
+    ]);
+    println!("\n{}", result.render());
+
+    // Name three victims to make the breach concrete, as the paper's
+    // narrative does.
+    println!("sample of re-identified workers:");
+    for e in exposures.iter().take(3) {
+        let name = registry.name_of(e.person).unwrap_or("?");
+        println!(
+            "  {} -> {} (smoking {:.1}, cough {:.1}, at-risk: {})",
+            e.reported_id, name, e.smoking_level, e.cough_level, e.at_risk
+        );
+    }
+}

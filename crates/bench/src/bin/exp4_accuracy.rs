@@ -1,0 +1,96 @@
+//! EXP-4 — §3.2's accuracy anecdote.
+//!
+//! Paper: one author's pooled noisy estimate was 4.72 against a
+//! trusted-third-party ground truth of 4.61 (|error| = 0.11) at n ≈ 131
+//! with the empirical bin mix. This binary measures the full error
+//! distribution of the pooled estimator in that regime.
+
+use loki_bench::{banner, f, seed_from_args, Table};
+use loki_core::estimator::Estimator;
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::sampling;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::collections::BTreeMap;
+
+fn main() {
+    let seed = seed_from_args(461);
+    banner(
+        "EXP-4",
+        "pooled-estimate accuracy at the trial's scale",
+        "noisy estimate 4.72 vs true 4.61 (|err| = 0.11) at n=131, bins 18/32/51/30",
+    );
+
+    let truth = 4.61;
+    let pop_std = 0.5; // rater spread around a well-liked lecturer
+    let bins_spec: [(PrivacyLevel, usize); 4] = [
+        (PrivacyLevel::None, 18),
+        (PrivacyLevel::Low, 32),
+        (PrivacyLevel::Medium, 51),
+        (PrivacyLevel::High, 30),
+    ];
+    let estimator = Estimator::new(pop_std);
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+
+    let trials = 10_000;
+    let mut errors = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut bins: BTreeMap<PrivacyLevel, Vec<f64>> = BTreeMap::new();
+        for (level, count) in bins_spec {
+            let samples = (0..count)
+                .map(|_| {
+                    let raw = sampling::gaussian(&mut rng, truth, pop_std).clamp(1.0, 5.0);
+                    sampling::gaussian(&mut rng, raw.round(), level.sigma())
+                })
+                .collect();
+            bins.insert(level, samples);
+        }
+        let pooled = estimator.pooled(&bins);
+        errors.push(pooled.mean - truth);
+    }
+
+    errors.sort_by(f64::total_cmp);
+    let mae = errors.iter().map(|e| e.abs()).sum::<f64>() / trials as f64;
+    let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / trials as f64).sqrt();
+    let p_le_011 = errors.iter().filter(|e| e.abs() <= 0.11).count() as f64 / trials as f64;
+    let p95 = errors[(trials as f64 * 0.975) as usize].abs();
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["trials".into(), trials.to_string()]);
+    t.row(&["mean |error|".into(), f(mae)]);
+    t.row(&["rmse".into(), f(rmse)]);
+    t.row(&["P(|error| <= 0.11)".into(), f(p_le_011)]);
+    t.row(&["97.5th pct |error|".into(), f(p95)]);
+    println!("{}", t.render());
+
+    println!(
+        "\nthe paper's observed |error| of 0.11 sits at the {:.0}th percentile of the\n\
+         reproduced error distribution — i.e. an entirely typical draw.",
+        errors.iter().filter(|e| e.abs() <= 0.11).count() as f64 / trials as f64 * 100.0
+    );
+
+    // Per-bin estimates of one representative draw, mirroring how the
+    // author's score would have been read per bin.
+    let mut bins: BTreeMap<PrivacyLevel, Vec<f64>> = BTreeMap::new();
+    for (level, count) in bins_spec {
+        let samples = (0..count)
+            .map(|_| {
+                let raw = sampling::gaussian(&mut rng, truth, pop_std).clamp(1.0, 5.0);
+                sampling::gaussian(&mut rng, raw.round(), level.sigma())
+            })
+            .collect();
+        bins.insert(level, samples);
+    }
+    let pooled = estimator.pooled(&bins);
+    let mut bt = Table::new(&["bin", "n", "mean", "pred. std err"]);
+    for b in &pooled.bins {
+        bt.row(&[b.level.to_string(), b.n.to_string(), f(b.mean), f(b.standard_error)]);
+    }
+    bt.row(&[
+        "pooled".into(),
+        pooled.n_total.to_string(),
+        f(pooled.mean),
+        f(pooled.standard_error),
+    ]);
+    println!("\nrepresentative draw (truth {truth}):\n{}", bt.render());
+}

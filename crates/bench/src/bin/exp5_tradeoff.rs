@@ -1,0 +1,137 @@
+//! EXP-5 — the accuracy/privacy trade-off (§3.2: "this trade-off …
+//! is inevitable, but even with a relatively small sample size the error
+//! is sufficiently small to make inferences").
+//!
+//! Two sweeps:
+//! 1. RMSE of a bin mean vs bin size n for each privacy level — with the
+//!    σ/√n prediction alongside, showing where a noisy large bin beats a
+//!    clean small bin;
+//! 2. Gaussian vs Laplace mechanism at matched ε (the design ablation:
+//!    Loki ships Gaussian for explainability; Laplace is the pure-DP
+//!    alternative).
+
+use loki_bench::{banner, f, seed_from_args, Table};
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::mechanisms::laplace::LaplaceMechanism;
+use loki_dp::mechanisms::Mechanism;
+use loki_dp::params::Epsilon;
+use loki_dp::sampling;
+use loki_dp::utility;
+use loki_dp::Sensitivity;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+const POP_STD: f64 = 0.8;
+const TRUTH: f64 = 3.7;
+
+/// Empirical RMSE of the mean of `n` noisy ratings at a given σ.
+fn empirical_rmse(rng: &mut ChaCha20Rng, n: usize, sigma: f64, trials: usize) -> f64 {
+    let mut sum_sq = 0.0;
+    for _ in 0..trials {
+        let mean: f64 = (0..n)
+            .map(|_| {
+                let raw = sampling::gaussian(rng, TRUTH, POP_STD).clamp(1.0, 5.0);
+                sampling::gaussian(rng, raw, sigma)
+            })
+            .sum::<f64>()
+            / n as f64;
+        sum_sq += (mean - TRUTH).powi(2);
+    }
+    (sum_sq / trials as f64).sqrt()
+}
+
+fn main() {
+    let seed = seed_from_args(5);
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    banner(
+        "EXP-5",
+        "accuracy vs privacy vs sample size",
+        "error grows with privacy level, shrinks as 1/sqrt(n); small samples still usable",
+    );
+
+    // Sweep 1: RMSE vs n per level.
+    let mut t = Table::new(&[
+        "n", "none", "low", "medium", "high", "pred(high)",
+    ]);
+    for n in [5usize, 10, 20, 30, 50, 100, 200] {
+        let mut cells = vec![n.to_string()];
+        for level in PrivacyLevel::ALL {
+            cells.push(f(empirical_rmse(&mut rng, n, level.sigma(), 400)));
+        }
+        cells.push(f(utility::predicted_rmse(
+            POP_STD,
+            PrivacyLevel::High.sigma(),
+            n,
+        )));
+        t.row(&cells);
+    }
+    println!("RMSE of bin mean (400 trials/cell), prediction = sqrt((s^2+sig^2)/n):\n");
+    print!("{}", t.render());
+
+    // Crossover: the paper's medium bin (n=51, σ=1) vs none bin (n=18, σ=0).
+    let none_18 = utility::predicted_rmse(POP_STD, 0.0, 18);
+    let med_51 = utility::predicted_rmse(POP_STD, 1.0, 51);
+    let high_30 = utility::predicted_rmse(POP_STD, 2.0, 30);
+    println!(
+        "\npaper's bins, predicted standard error: none/18 = {:.3}, medium/51 = {:.3}, high/30 = {:.3}",
+        none_18, med_51, high_30
+    );
+    println!(
+        "-> the medium bin ({} users) is {} accurate than the none bin despite 1.0-sigma noise,",
+        51,
+        if med_51 < none_18 { "MORE" } else { "less" }
+    );
+    println!("   matching Fig. 2's shape; the high bin stays worst (4x the noise, similar n).");
+
+    // Equivalent sample sizes.
+    let mut ess = Table::new(&["bin", "n", "effective n (noiseless equiv.)"]);
+    for (level, n) in [
+        (PrivacyLevel::None, 18usize),
+        (PrivacyLevel::Low, 32),
+        (PrivacyLevel::Medium, 51),
+        (PrivacyLevel::High, 30),
+    ] {
+        ess.row(&[
+            level.to_string(),
+            n.to_string(),
+            f(utility::effective_sample_size(POP_STD, level.sigma(), n)),
+        ]);
+    }
+    println!("\n{}", ess.render());
+
+    // Sweep 2: Gaussian (Loki) vs Laplace at matched ε, per level.
+    let sens = Sensitivity::new(4.0);
+    let mut mech = Table::new(&["level", "epsilon", "gaussian rmse(n=51)", "laplace rmse(n=51)"]);
+    for level in [PrivacyLevel::Low, PrivacyLevel::Medium, PrivacyLevel::High] {
+        let eps = level.privacy_loss(4.0).epsilon.value();
+        let laplace = LaplaceMechanism::new(sens, Epsilon::new(eps));
+        let g_rmse = empirical_rmse(&mut rng, 51, level.sigma(), 400);
+        // Laplace has no σ parameter; draw its noise directly.
+        let mut sum_sq = 0.0;
+        let trials = 400;
+        for _ in 0..trials {
+            let mean: f64 = (0..51)
+                .map(|_| {
+                    let raw = sampling::gaussian(&mut rng, TRUTH, POP_STD).clamp(1.0, 5.0);
+                    laplace.release(&mut rng, raw)
+                })
+                .sum::<f64>()
+                / 51.0;
+            sum_sq += (mean - TRUTH).powi(2);
+        }
+        mech.row(&[
+            level.to_string(),
+            f(eps),
+            f(g_rmse),
+            f((sum_sq / trials as f64).sqrt()),
+        ]);
+    }
+    println!("mechanism ablation at matched (eps, delta={:.0e}):\n", loki_dp::DEFAULT_DELTA);
+    print!("{}", mech.render());
+    println!(
+        "\nnote: at matched per-release eps, pure-DP Laplace is the more efficient single-shot\n\
+         mechanism (the Gaussian eps comes from a delta tail bound). Loki still ships Gaussian:\n\
+         (a) bell-curve noise was explainable to trial users (§3.2), and (b) Gaussian releases\n\
+         compose tightly under RDP across a user's many answers — see EXP-6's 2x-tighter ledger."
+    );
+}

@@ -1,0 +1,84 @@
+//! EXP-7 — worker-ID policy ablation.
+//!
+//! §2 identifies the stable AMT worker ID as the attack's root cause.
+//! This experiment reruns the EXP-1 campaign under the three ID policies
+//! and shows the attack collapsing the moment IDs stop being linkable —
+//! the design point that motivates Loki's per-source control.
+
+use loki_attack::inference::HealthInferenceRule;
+use loki_attack::population::{Population, PopulationConfig};
+use loki_attack::registry::Registry;
+use loki_attack::reident::Reidentifier;
+use loki_attack::Linker;
+use loki_bench::{banner, f, n, seed_from_args, Table};
+use loki_platform::behavior::BehaviorModel;
+use loki_platform::idpolicy::IdPolicy;
+use loki_platform::marketplace::{Marketplace, MarketplaceConfig};
+use loki_platform::spec::paper_surveys;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+fn main() {
+    let seed = seed_from_args(7);
+    banner(
+        "EXP-7",
+        "attack yield vs worker-ID policy",
+        "stable IDs enable linkage; per-survey pseudonyms break it (root-cause ablation)",
+    );
+
+    let pop = Population::synthesize(
+        PopulationConfig::default(),
+        &mut ChaCha20Rng::seed_from_u64(seed),
+    );
+    let registry = Registry::from_population(&pop, 0.85);
+
+    let mut t = Table::new(&[
+        "id policy",
+        "unique ids",
+        "complete QIs",
+        "de-anonymized",
+        "reident rate",
+        "health exposed",
+    ]);
+
+    for (policy, label) in [
+        (IdPolicy::Stable, "stable (AMT)"),
+        (IdPolicy::PerSurvey, "per-survey pseudonym"),
+        (IdPolicy::PerSubmission, "per-submission pseudonym"),
+    ] {
+        let mut rng = ChaCha20Rng::seed_from_u64(seed ^ 1);
+        let workers = pop.sample_workers(450, &mut rng, |_, _| BehaviorModel::Honest {
+            opinion_noise: 0.3,
+        });
+        let mut market = Marketplace::new(
+            MarketplaceConfig {
+                id_policy: policy,
+                ..MarketplaceConfig::default()
+            },
+            workers,
+            seed ^ 2,
+        );
+        let specs = paper_surveys();
+        let mut linker = Linker::new();
+        for (spec, quota) in specs[..4].iter().zip([400usize, 350, 300, 250]) {
+            let outcome = market.post_task(spec, quota);
+            linker.ingest(spec, &outcome.responses);
+        }
+        let (reids, stats) = Reidentifier::new(&registry).run(&linker);
+        let exposures = HealthInferenceRule::default().infer_all(&reids);
+        t.row(&[
+            label.to_string(),
+            n(stats.total_ids),
+            n(stats.complete),
+            n(stats.unique_matches),
+            f(stats.unique_matches as f64 / stats.total_ids.max(1) as f64),
+            n(exposures.len()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "\nnote: pseudonym policies multiply the number of *observed* IDs (one per survey or\n\
+         submission) while driving completed quasi-identifiers — and hence the attack — to zero.\n\
+         Loki goes further: even within one survey, answers arrive pre-noised."
+    );
+}

@@ -1,0 +1,129 @@
+//! # loki-bench — experiment harness
+//!
+//! Shared utilities for the experiment binaries that regenerate every
+//! table and figure of the paper (see `EXPERIMENTS.md` at the repo root
+//! for the index). Each binary prints a deterministic report for a fixed
+//! default seed; pass `--seed N` to vary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Parses `--seed N` from the process arguments, defaulting otherwise.
+pub fn seed_from_args(default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--seed")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+/// A fixed-width text table builder for experiment reports.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with per-column alignment.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                let sep = if i + 1 == cols { "\n" } else { "  " };
+                let _ = write!(out, "{:>width$}{sep}", cells[i], width = widths[i]);
+            }
+        };
+        write_row(&mut out, &self.header);
+        let rule: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("--");
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float cell.
+pub fn f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats an integer cell.
+pub fn n(v: usize) -> String {
+    v.to_string()
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, title: &str, paper_claim: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_claim}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "22222".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(n(42), "42");
+    }
+
+    #[test]
+    fn seed_default_when_absent() {
+        assert_eq!(seed_from_args(7), 7);
+    }
+}

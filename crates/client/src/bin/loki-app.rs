@@ -1,0 +1,191 @@
+//! `loki-app` — the Fig. 1 app flow as a CLI.
+//!
+//! ```sh
+//! loki-app --server http://127.0.0.1:8080 --user alice \
+//!          --survey 1 --level medium --answers 4,5,3,4,2 [--seed N] [--dry-run]
+//! ```
+//!
+//! Mirrors the paper's three screens: list surveys + pick a privacy level
+//! (Fig. 1(a)), answer (Fig. 1(b)), and review the obfuscated values that
+//! will be uploaded (Fig. 1(c)). `--dry-run` stops after the preview.
+
+use loki_client::LokiClient;
+use loki_core::privacy_level::PrivacyLevel;
+use loki_survey::question::Answer;
+use loki_survey::survey::SurveyId;
+use loki_survey::QuestionId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::collections::BTreeMap;
+
+struct Options {
+    server: String,
+    user: String,
+    survey: Option<u64>,
+    level: PrivacyLevel,
+    answers: Vec<f64>,
+    seed: u64,
+    dry_run: bool,
+}
+
+fn parse_level(s: &str) -> Result<PrivacyLevel, String> {
+    match s {
+        "none" => Ok(PrivacyLevel::None),
+        "low" => Ok(PrivacyLevel::Low),
+        "medium" => Ok(PrivacyLevel::Medium),
+        "high" => Ok(PrivacyLevel::High),
+        other => Err(format!("unknown privacy level: {other}")),
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        server: "http://127.0.0.1:8080".to_string(),
+        user: "demo-user".to_string(),
+        survey: None,
+        level: PrivacyLevel::Medium,
+        answers: Vec::new(),
+        seed: 0,
+        dry_run: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--server" => opts.server = args.next().ok_or("--server needs a value")?,
+            "--user" => opts.user = args.next().ok_or("--user needs a value")?,
+            "--survey" => {
+                opts.survey = Some(
+                    args.next()
+                        .ok_or("--survey needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad survey id: {e}"))?,
+                )
+            }
+            "--level" => opts.level = parse_level(&args.next().ok_or("--level needs a value")?)?,
+            "--answers" => {
+                opts.answers = args
+                    .next()
+                    .ok_or("--answers needs a value")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("bad answer: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--dry-run" => opts.dry_run = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: loki-app --server URL --user NAME [--survey N --level L --answers a,b,c] [--seed N] [--dry-run]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut rng = ChaCha20Rng::seed_from_u64(opts.seed);
+    let mut app = match LokiClient::connect(&opts.server, opts.user.clone()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot connect: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Screen 1: the survey list.
+    let surveys = match app.list_surveys() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot list surveys: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("surveys on {}:", opts.server);
+    for s in &surveys {
+        println!("  [{}] {} — {} questions, {}c reward", s.id, s.title, s.questions, s.reward_cents);
+    }
+    let Some(survey_id) = opts.survey else {
+        println!("\npick one with --survey N --level none|low|medium|high --answers a,b,c,…");
+        return;
+    };
+
+    let survey = match app.fetch_survey(SurveyId(survey_id)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot fetch survey {survey_id}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if opts.answers.len() != survey.len() {
+        eprintln!(
+            "survey has {} questions but --answers provided {}",
+            survey.len(),
+            opts.answers.len()
+        );
+        std::process::exit(2);
+    }
+
+    // Screen 2: answers.
+    let mut answers = BTreeMap::new();
+    println!("\n\"{}\" at privacy level '{}':", survey.title, opts.level);
+    for (q, &v) in survey.questions.iter().zip(&opts.answers) {
+        println!("  {}: {} -> you answered {v}", q.id, q.text);
+        answers.insert(QuestionId(q.id.0), Answer::Rating(v));
+    }
+
+    // Screen 3: obfuscation preview.
+    let preview = match app.preview(&mut rng, &survey, &answers, opts.level) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot preview: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("\nwhat will actually upload (σ = {}):", opts.level.sigma());
+    for (q, raw, noisy) in &preview.items {
+        println!(
+            "  {q}: {:.1}  ->  {:.2}",
+            raw.as_f64().unwrap_or(f64::NAN),
+            noisy.as_f64().unwrap_or(f64::NAN)
+        );
+    }
+    if opts.dry_run {
+        println!("\n--dry-run: nothing uploaded.");
+        return;
+    }
+
+    match app.submit(&mut rng, &survey, &answers, opts.level) {
+        Ok(outcome) => {
+            println!(
+                "\nsubmitted (server now holds {} responses). cumulative ε: {}",
+                outcome.stored,
+                outcome
+                    .cumulative_epsilon
+                    .map_or("∞".to_string(), |e| format!("{e:.3}"))
+            );
+            println!(
+                "local ledger says ε = {:.3} — no need to trust the server's figure.",
+                app.local_loss().epsilon.value()
+            );
+        }
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

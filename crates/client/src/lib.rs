@@ -1,0 +1,398 @@
+//! # loki-client — the app-side library
+//!
+//! The Rust equivalent of the paper's iPhone/Android app (Fig. 1): it
+//! lists surveys, lets the user pick a privacy level, obfuscates answers
+//! **locally** and uploads only the noisy values. Raw answers never leave
+//! [`LokiClient::submit`]'s stack frame — that is the at-source property
+//! the whole design exists for — and the client keeps its own local
+//! ledger mirror so a user can see their cumulative loss without trusting
+//! the server.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use loki_core::obfuscate::{ObfuscationError, Obfuscator};
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::accountant::{Accountant, ReleaseKind};
+use loki_dp::params::{Delta, PrivacyLoss};
+use loki_net::client::{ClientError, HttpClient};
+use loki_net::json::parse_json_response;
+use loki_survey::question::Answer;
+use loki_survey::response::Response;
+use loki_survey::survey::{Survey, SurveyId};
+use loki_survey::QuestionId;
+use rand::Rng;
+use serde::Deserialize;
+use std::collections::BTreeMap;
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum LokiError {
+    /// Transport failure.
+    Http(ClientError),
+    /// The server answered with an unexpected status/body.
+    Api(String),
+    /// Local obfuscation failed.
+    Obfuscation(ObfuscationError),
+}
+
+impl std::fmt::Display for LokiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LokiError::Http(e) => write!(f, "http: {e}"),
+            LokiError::Api(e) => write!(f, "api: {e}"),
+            LokiError::Obfuscation(e) => write!(f, "obfuscation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LokiError {}
+
+impl From<ClientError> for LokiError {
+    fn from(e: ClientError) -> Self {
+        LokiError::Http(e)
+    }
+}
+
+impl From<ObfuscationError> for LokiError {
+    fn from(e: ObfuscationError) -> Self {
+        LokiError::Obfuscation(e)
+    }
+}
+
+/// A survey row as shown in the app's list screen.
+#[derive(Debug, Clone, Deserialize)]
+pub struct SurveyListItem {
+    /// Survey id.
+    pub id: u64,
+    /// Title.
+    pub title: String,
+    /// Question count.
+    pub questions: usize,
+    /// Reward in cents.
+    pub reward_cents: u32,
+}
+
+/// What a submission returned.
+#[derive(Debug, Clone, Deserialize)]
+pub struct SubmitOutcome {
+    /// Responses the server now holds for the survey.
+    pub stored: usize,
+    /// Server-tracked cumulative ε (None = unbounded).
+    pub cumulative_epsilon: Option<f64>,
+}
+
+/// A preview of what would be uploaded — the Fig. 1(c) screen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UploadPreview {
+    /// (question, raw answer, obfuscated answer) triples.
+    pub items: Vec<(QuestionId, Answer, Answer)>,
+}
+
+/// The Loki app session for one user.
+#[derive(Debug)]
+pub struct LokiClient {
+    http: HttpClient,
+    user: String,
+    local_ledger: Accountant,
+}
+
+impl LokiClient {
+    /// Connects a user session to a server base URL.
+    pub fn connect(base_url: &str, user: impl Into<String>) -> Result<LokiClient, LokiError> {
+        Ok(LokiClient {
+            http: HttpClient::new(base_url)?,
+            user: user.into(),
+            local_ledger: Accountant::new(),
+        })
+    }
+
+    /// The session's user id.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Lists available surveys (Fig. 1(a)).
+    pub fn list_surveys(&self) -> Result<Vec<SurveyListItem>, LokiError> {
+        let resp = self.http.get("/surveys")?;
+        if !resp.status.is_success() {
+            return Err(LokiError::Api(format!("list failed: {}", resp.status)));
+        }
+        parse_json_response(&resp).map_err(LokiError::Api)
+    }
+
+    /// Fetches a full survey definition.
+    pub fn fetch_survey(&self, id: SurveyId) -> Result<Survey, LokiError> {
+        let resp = self.http.get(&format!("/surveys/{}", id.0))?;
+        if !resp.status.is_success() {
+            return Err(LokiError::Api(format!("fetch failed: {}", resp.status)));
+        }
+        parse_json_response(&resp).map_err(LokiError::Api)
+    }
+
+    /// Obfuscates raw answers locally and shows what would upload —
+    /// without uploading. This is the screen that made trial users "feel
+    /// comfortable that their privacy was protected" (§3.2).
+    pub fn preview<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        survey: &Survey,
+        raw_answers: &BTreeMap<QuestionId, Answer>,
+        level: PrivacyLevel,
+    ) -> Result<UploadPreview, LokiError> {
+        let raw = self.assemble(survey, raw_answers);
+        let (upload, _) = Obfuscator::new(level).obfuscate_response(rng, survey, &raw)?;
+        let items = survey
+            .questions
+            .iter()
+            .map(|q| {
+                (
+                    q.id,
+                    raw.get(q.id).expect("complete").clone(),
+                    upload.get(q.id).expect("complete").clone(),
+                )
+            })
+            .collect();
+        Ok(UploadPreview { items })
+    }
+
+    /// Obfuscates and submits raw answers at the chosen level. The raw
+    /// values are consumed here and never serialized.
+    pub fn submit<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        survey: &Survey,
+        raw_answers: &BTreeMap<QuestionId, Answer>,
+        level: PrivacyLevel,
+    ) -> Result<SubmitOutcome, LokiError> {
+        let raw = self.assemble(survey, raw_answers);
+        let (upload, releases) =
+            Obfuscator::new(level).obfuscate_response(rng, survey, &raw)?;
+
+        // Mirror into the local ledger before upload: the user's view of
+        // their loss must not depend on the server acknowledging.
+        for (tag, kind) in &releases {
+            self.local_ledger.record(&self.user, tag.clone(), *kind);
+        }
+
+        let body = serde_json::json!({
+            "user": self.user,
+            "privacy_level": level,
+            "response": upload,
+            "releases": releases,
+        });
+        let resp = self.http.post(
+            &format!("/surveys/{}/responses", survey.id.0),
+            "application/json",
+            serde_json::to_vec(&body).map_err(|e| LokiError::Api(e.to_string()))?,
+        )?;
+        if !resp.status.is_success() {
+            return Err(LokiError::Api(format!(
+                "submit failed ({}): {}",
+                resp.status,
+                String::from_utf8_lossy(&resp.body)
+            )));
+        }
+        parse_json_response(&resp).map_err(LokiError::Api)
+    }
+
+    /// The locally-tracked cumulative loss (no server round-trip).
+    pub fn local_loss(&self) -> PrivacyLoss {
+        self.local_ledger
+            .loss_of(&self.user, Delta::new(loki_dp::DEFAULT_DELTA))
+    }
+
+    /// Records a release into the local ledger (used when uploading
+    /// through other paths).
+    pub fn record_local(&mut self, tag: impl Into<String>, kind: ReleaseKind) {
+        self.local_ledger.record(&self.user, tag, kind);
+    }
+
+    /// Queries the server's view of this user's ledger.
+    pub fn server_loss(&self) -> Result<Option<f64>, LokiError> {
+        #[derive(Deserialize)]
+        struct LedgerInfo {
+            epsilon: Option<f64>,
+        }
+        let resp = self.http.get(&format!("/ledger/{}", self.user))?;
+        if !resp.status.is_success() {
+            return Err(LokiError::Api(format!("ledger failed: {}", resp.status)));
+        }
+        let info: LedgerInfo = parse_json_response(&resp).map_err(LokiError::Api)?;
+        Ok(info.epsilon)
+    }
+
+    fn assemble(&self, survey: &Survey, answers: &BTreeMap<QuestionId, Answer>) -> Response {
+        let mut r = Response::new(self.user.clone(), survey.id);
+        for (q, a) in answers {
+            r.answer(*q, a.clone());
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_survey::question::QuestionKind;
+    use loki_survey::survey::SurveyBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn survey() -> Survey {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        b.question("rate", QuestionKind::likert5(), false);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn preview_pairs_raw_and_noisy() {
+        let client = LokiClient::connect("http://127.0.0.1:1", "u").unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let mut answers = BTreeMap::new();
+        answers.insert(QuestionId(0), Answer::Rating(4.0));
+        let p = client
+            .preview(&mut rng, &survey(), &answers, PrivacyLevel::High)
+            .unwrap();
+        assert_eq!(p.items.len(), 1);
+        let (_, raw, noisy) = &p.items[0];
+        assert_eq!(raw, &Answer::Rating(4.0));
+        assert!(noisy.is_obfuscated());
+        assert_ne!(noisy.as_f64(), raw.as_f64());
+    }
+
+    #[test]
+    fn local_ledger_tracks_without_server() {
+        let mut client = LokiClient::connect("http://127.0.0.1:1", "u").unwrap();
+        assert_eq!(client.local_loss(), PrivacyLoss::ZERO);
+        client.record_local(
+            "t",
+            ReleaseKind::Gaussian {
+                sigma: 1.0,
+                sensitivity: 4.0,
+            },
+        );
+        assert!(client.local_loss().epsilon.value() > 0.0);
+    }
+
+    #[test]
+    fn bad_url_rejected() {
+        assert!(LokiClient::connect("nope://x", "u").is_err());
+    }
+
+    /// A mock backend built on loki-net directly (not loki-server), which
+    /// captures the submit body so tests can inspect exactly what crossed
+    /// the wire.
+    fn mock_server() -> (
+        loki_net::server::ServerHandle,
+        std::sync::Arc<parking_lot::Mutex<Vec<serde_json::Value>>>,
+    ) {
+        use loki_net::http::{Response as HttpResponse, StatusCode};
+        use loki_net::router::Router;
+        use loki_net::server::{Server, ServerConfig};
+        let captured = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut router = Router::new();
+        router.get("/surveys", |_, _| {
+            HttpResponse::json_bytes(
+                StatusCode::OK,
+                serde_json::to_vec(&serde_json::json!([
+                    {"id": 1, "title": "mock", "questions": 1, "reward_cents": 2}
+                ]))
+                .unwrap(),
+            )
+        });
+        router.get("/surveys/1", |_, _| {
+            let mut b = SurveyBuilder::new(SurveyId(1), "mock");
+            b.question("rate", QuestionKind::likert5(), false);
+            HttpResponse::json_bytes(
+                StatusCode::OK,
+                serde_json::to_vec(&b.build().unwrap()).unwrap(),
+            )
+        });
+        let sink = std::sync::Arc::clone(&captured);
+        router.post("/surveys/1/responses", move |req, _| {
+            let body: serde_json::Value = serde_json::from_slice(&req.body).unwrap();
+            sink.lock().push(body);
+            HttpResponse::json_bytes(
+                StatusCode::CREATED,
+                serde_json::to_vec(&serde_json::json!({
+                    "stored": 1, "cumulative_epsilon": 24.4
+                }))
+                .unwrap(),
+            )
+        });
+        let handle = Server::spawn("127.0.0.1:0", router, ServerConfig::default()).unwrap();
+        (handle, captured)
+    }
+
+    #[test]
+    fn list_and_fetch_parse_the_wire_format() {
+        let (handle, _) = mock_server();
+        let client = LokiClient::connect(&handle.base_url(), "u").unwrap();
+        let list = client.list_surveys().unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].title, "mock");
+        let survey = client.fetch_survey(SurveyId(1)).unwrap();
+        assert_eq!(survey.len(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn submit_sends_only_obfuscated_values_on_the_wire() {
+        let (handle, captured) = mock_server();
+        let mut client = LokiClient::connect(&handle.base_url(), "alice").unwrap();
+        let survey = client.fetch_survey(SurveyId(1)).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let mut answers = BTreeMap::new();
+        answers.insert(QuestionId(0), Answer::Rating(4.0));
+        let outcome = client
+            .submit(&mut rng, &survey, &answers, PrivacyLevel::High)
+            .unwrap();
+        assert_eq!(outcome.stored, 1);
+
+        let bodies = captured.lock();
+        assert_eq!(bodies.len(), 1);
+        let body = &bodies[0];
+        assert_eq!(body["user"], "alice");
+        assert_eq!(body["privacy_level"], "high");
+        // The wire carries an Obfuscated variant, never a raw Rating.
+        let answer = &body["response"]["answers"]["0"];
+        assert!(answer.get("Obfuscated").is_some(), "wire answer: {answer}");
+        let v = answer["Obfuscated"].as_f64().unwrap();
+        assert_ne!(v, 4.0, "wire value equals the raw answer");
+        // Declared releases match the level.
+        assert_eq!(body["releases"][0][1]["Gaussian"]["sigma"], 2.0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn server_error_bodies_surface_in_the_error() {
+        use loki_net::http::{Response as HttpResponse, StatusCode};
+        use loki_net::router::Router;
+        use loki_net::server::{Server, ServerConfig};
+        let mut router = Router::new();
+        router.get("/surveys", |_, _| {
+            HttpResponse::text(StatusCode::INTERNAL_ERROR, "boom")
+        });
+        let handle = Server::spawn("127.0.0.1:0", router, ServerConfig::default()).unwrap();
+        let client = LokiClient::connect(&handle.base_url(), "u").unwrap();
+        match client.list_surveys() {
+            Err(LokiError::Api(msg)) => assert!(msg.contains("500"), "{msg}"),
+            other => panic!("expected Api error, got {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn incomplete_answers_fail_locally() {
+        // Submission of an incomplete answer set must fail in obfuscation
+        // (before any network I/O — the URL here points nowhere).
+        let mut client = LokiClient::connect("http://127.0.0.1:1", "u").unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let answers = BTreeMap::new();
+        match client.submit(&mut rng, &survey(), &answers, PrivacyLevel::Low) {
+            Err(LokiError::Obfuscation(_)) => {}
+            other => panic!("expected local obfuscation failure, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Accuracy-constrained privacy-level assignment.
+//!
+//! §3.1's full claim is that cumulative loss is "tracked and balanced
+//! across the user base, **while ensuring sufficient accuracy of the
+//! aggregated response**". [`crate::ledger::BudgetBalancer`] handles the
+//! first half (who to invite); this module handles the joint problem:
+//! *which privacy level should each invited user answer at* so that the
+//! survey's pooled estimate meets a target standard error while the
+//! worst-off user's cumulative ε stays as small as possible.
+//!
+//! The solver exploits the problem's monotone structure: for a candidate
+//! cap `C` on post-survey cumulative ε, each user can afford exactly the
+//! levels with `current_ε + ε_level ≤ C`, and would contribute the most
+//! *precision* (inverse variance) by picking the noisiest-affordable…
+//! no — the *least* noisy affordable level. Feasibility of `C` is
+//! therefore a simple sum, monotone in `C`, and the minimal cap is found
+//! by binary search. Within the optimal cap, users are enrolled in order
+//! of precision-per-ε efficiency until the target is met.
+
+use crate::privacy_level::PrivacyLevel;
+use loki_dp::utility;
+use serde::{Deserialize, Serialize};
+
+/// A user eligible for assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// User identifier.
+    pub id: String,
+    /// Current cumulative ε (from the accountant).
+    pub current_epsilon: f64,
+}
+
+/// One assignment: a user and the level they are asked to answer at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The user.
+    pub id: String,
+    /// The assigned level.
+    pub level: PrivacyLevel,
+}
+
+/// The solver's output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentPlan {
+    /// Enrolled users with levels.
+    pub assignments: Vec<Assignment>,
+    /// The minimal feasible cap on post-survey cumulative ε.
+    pub epsilon_cap: f64,
+    /// Predicted standard error of the survey mean under the plan.
+    pub predicted_se: f64,
+}
+
+/// Why no plan exists.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssignmentError {
+    /// Even enrolling every user at the least-noisy level cannot reach
+    /// the target standard error.
+    TargetUnreachable {
+        /// The best achievable standard error.
+        best_possible_se: f64,
+    },
+}
+
+impl std::fmt::Display for AssignmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssignmentError::TargetUnreachable { best_possible_se } => write!(
+                f,
+                "accuracy target unreachable: best possible SE is {best_possible_se:.4}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AssignmentError {}
+
+/// The level menu the optimizer assigns from: the finite-ε levels,
+/// noisiest (cheapest) first.
+const MENU: [PrivacyLevel; 3] = [PrivacyLevel::High, PrivacyLevel::Medium, PrivacyLevel::Low];
+
+/// Accuracy-constrained min-max-ε assignment.
+#[derive(Debug, Clone, Copy)]
+pub struct Assigner {
+    /// Assumed population spread of true answers.
+    pub pop_std: f64,
+    /// Answer range (sensitivity) of the survey's rating questions.
+    pub range: f64,
+}
+
+impl Assigner {
+    /// Creates an assigner for a rating scale.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are strictly positive.
+    pub fn new(pop_std: f64, range: f64) -> Assigner {
+        assert!(pop_std > 0.0, "population spread must be positive");
+        assert!(range > 0.0, "answer range must be positive");
+        Assigner { pop_std, range }
+    }
+
+    /// Per-answer ε of a level on this scale.
+    fn level_epsilon(&self, level: PrivacyLevel) -> f64 {
+        level.privacy_loss(self.range).epsilon.value()
+    }
+
+    /// Precision (inverse variance) one answer at `level` contributes.
+    fn level_precision(&self, level: PrivacyLevel) -> f64 {
+        let sigma = level.sigma_for_range(self.range);
+        1.0 / (self.pop_std * self.pop_std + sigma * sigma)
+    }
+
+    /// Total precision achievable under a cumulative-ε cap `cap`.
+    fn precision_under_cap(&self, candidates: &[Candidate], cap: f64) -> f64 {
+        candidates
+            .iter()
+            .map(|c| {
+                MENU.iter()
+                    .filter(|&&level| c.current_epsilon + self.level_epsilon(level) <= cap)
+                    .map(|&level| self.level_precision(level))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum()
+    }
+
+    /// Builds the plan.
+    ///
+    /// # Panics
+    /// Panics if `target_se` is not strictly positive.
+    pub fn plan(
+        &self,
+        candidates: &[Candidate],
+        target_se: f64,
+    ) -> Result<AssignmentPlan, AssignmentError> {
+        assert!(target_se > 0.0, "target standard error must be positive");
+        let required_precision = 1.0 / (target_se * target_se);
+
+        // Feasibility ceiling: everyone at the least-noisy level.
+        let max_precision: f64 =
+            candidates.len() as f64 * self.level_precision(PrivacyLevel::Low);
+        if max_precision < required_precision {
+            return Err(AssignmentError::TargetUnreachable {
+                best_possible_se: if max_precision > 0.0 {
+                    (1.0 / max_precision).sqrt()
+                } else {
+                    f64::INFINITY
+                },
+            });
+        }
+
+        // Binary-search the minimal cap C for which the achievable
+        // precision meets the requirement.
+        let cheapest = self.level_epsilon(PrivacyLevel::High);
+        let costliest = self.level_epsilon(PrivacyLevel::Low);
+        let mut lo = candidates
+            .iter()
+            .map(|c| c.current_epsilon)
+            .fold(f64::INFINITY, f64::min)
+            + cheapest;
+        let mut hi = candidates
+            .iter()
+            .map(|c| c.current_epsilon)
+            .fold(0.0f64, f64::max)
+            + costliest;
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if self.precision_under_cap(candidates, mid) >= required_precision {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let cap = hi;
+
+        // Under the cap, each user's best affordable level; enroll the
+        // most efficient users first until the target is met.
+        let mut options: Vec<(usize, PrivacyLevel, f64)> = candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                MENU.iter()
+                    .filter(|&&level| c.current_epsilon + self.level_epsilon(level) <= cap)
+                    .map(|&level| (level, self.level_precision(level)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(level, precision)| (i, level, precision))
+            })
+            .collect();
+        // Highest precision first; ties to the lower current ε so fresh
+        // users absorb the cost.
+        options.sort_by(|a, b| {
+            b.2.total_cmp(&a.2).then(
+                candidates[a.0]
+                    .current_epsilon
+                    .total_cmp(&candidates[b.0].current_epsilon),
+            )
+        });
+        let mut assignments = Vec::new();
+        let mut precision = 0.0;
+        for (i, level, p) in options {
+            if precision >= required_precision {
+                break;
+            }
+            precision += p;
+            assignments.push(Assignment {
+                id: candidates[i].id.clone(),
+                level,
+            });
+        }
+        debug_assert!(precision >= required_precision);
+        Ok(AssignmentPlan {
+            assignments,
+            epsilon_cap: cap,
+            predicted_se: (1.0 / precision).sqrt(),
+        })
+    }
+}
+
+/// Convenience: the predicted standard error of a plan, recomputed from
+/// scratch (used by tests and dashboards).
+pub fn predicted_se(assigner: &Assigner, plan: &AssignmentPlan) -> f64 {
+    let weights: Vec<(usize, f64)> = plan
+        .assignments
+        .iter()
+        .map(|a| (1usize, a.level.sigma_for_range(assigner.range)))
+        .collect();
+    // Σ 1/(pop²+σ²) over assignments.
+    let precision: f64 = weights
+        .iter()
+        .map(|&(n, sigma)| n as f64 / (assigner.pop_std * assigner.pop_std + sigma * sigma))
+        .sum();
+    let _ = utility::mean_standard_error; // shared formula lives in loki-dp
+    (1.0 / precision).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_pool(n: usize) -> Vec<Candidate> {
+        (0..n)
+            .map(|i| Candidate {
+                id: format!("u{i:03}"),
+                current_epsilon: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_meets_the_accuracy_target() {
+        let assigner = Assigner::new(0.8, 4.0);
+        let plan = assigner.plan(&fresh_pool(100), 0.2).unwrap();
+        assert!(plan.predicted_se <= 0.2 + 1e-9, "SE {}", plan.predicted_se);
+        assert!((predicted_se(&assigner, &plan) - plan.predicted_se).abs() < 1e-9);
+        assert!(!plan.assignments.is_empty());
+    }
+
+    #[test]
+    fn fresh_pool_gets_high_privacy() {
+        // With everyone at ε=0 and a loose target, the minimal cap admits
+        // only the cheapest (high-privacy) level.
+        let assigner = Assigner::new(0.8, 4.0);
+        let plan = assigner.plan(&fresh_pool(200), 0.5).unwrap();
+        assert!(plan
+            .assignments
+            .iter()
+            .all(|a| a.level == PrivacyLevel::High));
+        // Cap ≈ ε(high).
+        let eps_high = PrivacyLevel::High.privacy_loss(4.0).epsilon.value();
+        assert!((plan.epsilon_cap - eps_high).abs() < 0.1, "{}", plan.epsilon_cap);
+    }
+
+    #[test]
+    fn tight_target_escalates_levels() {
+        // A small pool with a demanding target forces less-noisy levels
+        // (12 users: all-High gives SE 0.62, all-Medium 0.37, so 0.30
+        // requires mostly Low).
+        let assigner = Assigner::new(0.8, 4.0);
+        let plan = assigner.plan(&fresh_pool(12), 0.30).unwrap();
+        assert!(
+            plan.assignments
+                .iter()
+                .any(|a| a.level == PrivacyLevel::Low),
+            "levels: {:?}",
+            plan.assignments.iter().map(|a| a.level).collect::<Vec<_>>()
+        );
+        assert!(plan.predicted_se <= 0.30 + 1e-9);
+    }
+
+    #[test]
+    fn unreachable_target_errors_with_best_se() {
+        let assigner = Assigner::new(0.8, 4.0);
+        let err = assigner.plan(&fresh_pool(4), 0.05).unwrap_err();
+        match err {
+            AssignmentError::TargetUnreachable { best_possible_se } => {
+                // 4 users at Low: SE = sqrt((0.64+0.25)/4).
+                let want = ((0.8f64 * 0.8 + 0.25) / 4.0).sqrt();
+                assert!((best_possible_se - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn burdened_users_are_spared() {
+        // Half the pool is heavily burdened; the plan must meet the
+        // target using the fresh half (at a stricter level) rather than
+        // raising the cap over the burdened users.
+        let assigner = Assigner::new(0.8, 4.0);
+        let mut pool = fresh_pool(40);
+        for c in pool.iter_mut().take(20) {
+            c.current_epsilon = 500.0;
+        }
+        let plan = assigner.plan(&pool, 0.25).unwrap();
+        assert!(plan.predicted_se <= 0.25 + 1e-9);
+        for a in &plan.assignments {
+            let idx: usize = a.id[1..].parse().unwrap();
+            assert!(idx >= 20, "burdened user {} enrolled", a.id);
+        }
+        // And the cap stays below the burdened users' floor.
+        assert!(plan.epsilon_cap < 500.0);
+    }
+
+    #[test]
+    fn no_user_enrolled_twice() {
+        let assigner = Assigner::new(0.8, 4.0);
+        let plan = assigner.plan(&fresh_pool(50), 0.15).unwrap();
+        let mut ids: Vec<&str> = plan.assignments.iter().map(|a| a.id.as_str()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len());
+    }
+
+    #[test]
+    fn cap_is_minimal() {
+        // Decreasing the cap below the found one must break feasibility.
+        let assigner = Assigner::new(0.8, 4.0);
+        let pool = fresh_pool(30);
+        let plan = assigner.plan(&pool, 0.2).unwrap();
+        let required = 1.0 / (0.2f64 * 0.2);
+        let below = assigner.precision_under_cap(&pool, plan.epsilon_cap * 0.98);
+        assert!(
+            below < required,
+            "cap not minimal: {} still feasible",
+            plan.epsilon_cap * 0.98
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "target standard error must be positive")]
+    fn zero_target_rejected() {
+        let assigner = Assigner::new(0.8, 4.0);
+        let _ = assigner.plan(&fresh_pool(5), 0.0);
+    }
+}

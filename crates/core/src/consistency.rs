@@ -1,0 +1,225 @@
+//! Cross-bin consistency checking.
+//!
+//! §3.2 validates accuracy "by comparing the ratings across the various
+//! privacy bins in our system": if the platform works, every bin is an
+//! unbiased (differently-noisy) estimate of the same true mean, so the
+//! bin means must agree up to their predicted standard errors. This
+//! module makes that check a statistic:
+//!
+//! * the weighted sum of squared standardized deviations from the pooled
+//!   mean, `T = Σ_b (m_b − m̂)² / SE_b²`, is asymptotically χ² with
+//!   (bins − 1) degrees of freedom under the "one common mean"
+//!   hypothesis;
+//! * a small p-value flags either a broken obfuscator (wrong σ), a
+//!   biased estimator, or privacy-level-correlated answers (e.g. users
+//!   who pick *high* genuinely rate differently — a selection effect the
+//!   paper's trial design would care about).
+
+use crate::estimator::{Estimator, PooledEstimate};
+use crate::privacy_level::PrivacyLevel;
+use loki_dp::special::chi_square_cdf;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Result of a cross-bin consistency test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsistencyReport {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (non-empty bins − 1).
+    pub degrees_of_freedom: u32,
+    /// P(χ²_df ≥ statistic): small ⇒ bins disagree beyond their noise.
+    pub p_value: f64,
+    /// Per-bin standardized deviations from the pooled mean.
+    pub z_scores: Vec<(PrivacyLevel, f64)>,
+    /// The pooled estimate the bins were compared against.
+    pub pooled: PooledEstimate,
+}
+
+impl ConsistencyReport {
+    /// Whether the bins are consistent at the given significance level
+    /// (e.g. `0.05`).
+    pub fn consistent_at(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Runs the cross-bin consistency test.
+///
+/// Returns `None` when fewer than two bins are non-empty (nothing to
+/// compare).
+pub fn cross_bin_test(
+    estimator: &Estimator,
+    bins: &BTreeMap<PrivacyLevel, Vec<f64>>,
+) -> Option<ConsistencyReport> {
+    let non_empty = bins.values().filter(|v| !v.is_empty()).count();
+    if non_empty < 2 {
+        return None;
+    }
+    let pooled = estimator.pooled(bins);
+    let mut statistic = 0.0;
+    let mut z_scores = Vec::with_capacity(pooled.bins.len());
+    for bin in &pooled.bins {
+        let z = (bin.mean - pooled.mean) / bin.standard_error;
+        statistic += z * z;
+        z_scores.push((bin.level, z));
+    }
+    let df = (pooled.bins.len() - 1) as u32;
+    let p_value = 1.0 - chi_square_cdf(statistic, df);
+    Some(ConsistencyReport {
+        statistic,
+        degrees_of_freedom: df,
+        p_value,
+        z_scores,
+        pooled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_dp::sampling;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    const POP_STD: f64 = 0.8;
+
+    fn bins_with_offsets(
+        seed: u64,
+        truth: f64,
+        offsets: [f64; 4],
+        n_per_bin: usize,
+    ) -> BTreeMap<PrivacyLevel, Vec<f64>> {
+        let mut rng = ChaCha20Rng::seed_from_u64(seed);
+        PrivacyLevel::ALL
+            .iter()
+            .zip(offsets)
+            .map(|(&level, offset)| {
+                let samples = (0..n_per_bin)
+                    .map(|_| {
+                        let raw = sampling::gaussian(&mut rng, truth + offset, POP_STD);
+                        sampling::gaussian(&mut rng, raw, level.sigma())
+                    })
+                    .collect();
+                (level, samples)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn honest_bins_are_consistent() {
+        let estimator = Estimator::new(POP_STD);
+        let bins = bins_with_offsets(1, 3.8, [0.0; 4], 200);
+        let report = cross_bin_test(&estimator, &bins).unwrap();
+        assert_eq!(report.degrees_of_freedom, 3);
+        assert!(
+            report.consistent_at(0.01),
+            "honest bins flagged: p = {}",
+            report.p_value
+        );
+    }
+
+    #[test]
+    fn p_values_are_uniformish_under_null() {
+        // Across many honest trials, p-values must not pile up near 0.
+        let estimator = Estimator::new(POP_STD);
+        let mut small = 0;
+        let trials = 200;
+        for seed in 0..trials {
+            let bins = bins_with_offsets(seed, 3.5, [0.0; 4], 100);
+            let report = cross_bin_test(&estimator, &bins).unwrap();
+            if report.p_value < 0.05 {
+                small += 1;
+            }
+        }
+        // Expect ~5% (±); allow generous slack for the asymptotics.
+        assert!(
+            small <= trials / 5,
+            "{small}/{trials} null trials rejected at 5%"
+        );
+    }
+
+    #[test]
+    fn biased_bin_is_detected() {
+        // The high bin answers a full point higher (selection effect):
+        // the test must catch it with a large sample.
+        let estimator = Estimator::new(POP_STD);
+        let bins = bins_with_offsets(3, 3.5, [0.0, 0.0, 0.0, 1.0], 400);
+        let report = cross_bin_test(&estimator, &bins).unwrap();
+        assert!(
+            !report.consistent_at(0.01),
+            "biased bin not detected: p = {}",
+            report.p_value
+        );
+        // The offending bin carries the largest |z|.
+        let (worst, _) = report
+            .z_scores
+            .iter()
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .unwrap();
+        assert_eq!(*worst, PrivacyLevel::High);
+    }
+
+    #[test]
+    fn miscalibrated_sigma_is_detected() {
+        // Simulate a broken client that adds 3σ noise while declaring σ:
+        // the high bin scatters far beyond its predicted SE. A *mean*
+        // test only catches this via variance, so inflate the check with
+        // many trials: the p-value distribution must skew low.
+        let estimator = Estimator::new(POP_STD);
+        let mut rejections = 0;
+        let trials = 100;
+        for seed in 0..trials {
+            let mut rng = ChaCha20Rng::seed_from_u64(900 + seed);
+            let mut bins: BTreeMap<PrivacyLevel, Vec<f64>> = BTreeMap::new();
+            for level in PrivacyLevel::ALL {
+                let broken_sigma = level.sigma() * 3.0;
+                let samples = (0..80)
+                    .map(|_| {
+                        let raw = sampling::gaussian(&mut rng, 3.5, POP_STD);
+                        sampling::gaussian(&mut rng, raw, broken_sigma)
+                    })
+                    .collect();
+                bins.insert(level, samples);
+            }
+            let report = cross_bin_test(&estimator, &bins).unwrap();
+            if !report.consistent_at(0.05) {
+                rejections += 1;
+            }
+        }
+        assert!(
+            rejections > trials / 4,
+            "3x-miscalibrated noise rejected only {rejections}/{trials} times"
+        );
+    }
+
+    #[test]
+    fn single_bin_yields_none() {
+        let estimator = Estimator::new(POP_STD);
+        let mut bins: BTreeMap<PrivacyLevel, Vec<f64>> = BTreeMap::new();
+        bins.insert(PrivacyLevel::Low, vec![3.0, 3.5]);
+        assert!(cross_bin_test(&estimator, &bins).is_none());
+        bins.insert(PrivacyLevel::High, Vec::new());
+        assert!(cross_bin_test(&estimator, &bins).is_none());
+    }
+
+    #[test]
+    fn trial_bins_pass_the_test() {
+        // The generated Fig. 2 trial must look consistent to its own
+        // validator for most lecturers (all-lecturers-pass would be a
+        // p-hacking smell across 13 tests).
+        let trial = crate::trial::Trial::generate(crate::trial::TrialConfig::default());
+        let estimator = Estimator::new(0.8);
+        let mut passes = 0;
+        for l in 0..trial.lecturer_count() {
+            let report = cross_bin_test(&estimator, &trial.noisy_by_bin(l)).unwrap();
+            if report.consistent_at(0.01) {
+                passes += 1;
+            }
+        }
+        assert!(
+            passes >= trial.lecturer_count() - 2,
+            "only {passes}/13 lecturers consistent"
+        );
+    }
+}

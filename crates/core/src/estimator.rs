@@ -1,0 +1,240 @@
+//! Server-side estimation from obfuscated responses.
+//!
+//! The server receives noisy ratings grouped by privacy bin (every user
+//! answered under exactly one level). Because Gaussian noise is zero-mean
+//! and unclamped, the per-bin sample mean is unbiased; the pooled estimate
+//! combines bins by inverse variance, weighting a noiseless response more
+//! than a high-privacy one. §3.2's accuracy validation (4.72 vs 4.61) and
+//! Fig. 2 both come out of this module.
+
+use crate::privacy_level::PrivacyLevel;
+use loki_dp::utility;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The estimate from one privacy bin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinEstimate {
+    /// The bin's privacy level.
+    pub level: PrivacyLevel,
+    /// Number of responses in the bin.
+    pub n: usize,
+    /// Sample mean of the (noisy) responses; `NaN` never appears — empty
+    /// bins produce no estimate at all.
+    pub mean: f64,
+    /// Predicted standard error of `mean` given the bin's noise σ and an
+    /// assumed population spread.
+    pub standard_error: f64,
+}
+
+/// The pooled estimate across bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PooledEstimate {
+    /// Inverse-variance weighted mean.
+    pub mean: f64,
+    /// Predicted standard error of the pooled mean.
+    pub standard_error: f64,
+    /// Per-bin detail.
+    pub bins: Vec<BinEstimate>,
+    /// Total responses across bins.
+    pub n_total: usize,
+}
+
+/// Estimates means from per-bin noisy samples.
+///
+/// `pop_std` is the assumed intrinsic spread of true answers (rater
+/// disagreement); it only affects weights and error bars, not the
+/// unbiasedness of the means.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator {
+    /// Assumed population spread of true answers.
+    pub pop_std: f64,
+}
+
+impl Default for Estimator {
+    fn default() -> Self {
+        // Rater spread on a 1–5 scale is typically just under one point.
+        Estimator { pop_std: 0.8 }
+    }
+}
+
+impl Estimator {
+    /// Creates an estimator with a given assumed population spread.
+    ///
+    /// # Panics
+    /// Panics if `pop_std` is not strictly positive.
+    pub fn new(pop_std: f64) -> Estimator {
+        assert!(pop_std > 0.0, "population spread must be positive");
+        Estimator { pop_std }
+    }
+
+    /// Per-bin estimate; returns `None` for an empty bin.
+    pub fn bin_estimate(&self, level: PrivacyLevel, samples: &[f64]) -> Option<BinEstimate> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let se = utility::mean_standard_error(self.pop_std, level.sigma(), n);
+        Some(BinEstimate {
+            level,
+            n,
+            mean,
+            standard_error: se,
+        })
+    }
+
+    /// Pooled estimate across bins, weighting each bin by the inverse of
+    /// its per-response variance.
+    ///
+    /// # Panics
+    /// Panics if every bin is empty.
+    pub fn pooled(&self, bins: &BTreeMap<PrivacyLevel, Vec<f64>>) -> PooledEstimate {
+        let estimates: Vec<BinEstimate> = bins
+            .iter()
+            .filter_map(|(level, samples)| self.bin_estimate(*level, samples))
+            .collect();
+        assert!(!estimates.is_empty(), "cannot pool zero responses");
+
+        let weight_input: Vec<(usize, f64)> = estimates
+            .iter()
+            .map(|b| (b.n, b.level.sigma()))
+            .collect();
+        let weights = utility::inverse_variance_weights(self.pop_std, &weight_input);
+
+        let mean = estimates
+            .iter()
+            .zip(&weights)
+            .map(|(b, w)| b.mean * w)
+            .sum::<f64>();
+        // Var of weighted mean = Σ w² · SE²; with inverse-variance weights
+        // this equals 1/Σ(1/SE²).
+        let inv_var: f64 = estimates
+            .iter()
+            .map(|b| 1.0 / (b.standard_error * b.standard_error))
+            .sum();
+        let n_total = estimates.iter().map(|b| b.n).sum();
+        PooledEstimate {
+            mean,
+            standard_error: (1.0 / inv_var).sqrt(),
+            bins: estimates,
+            n_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_dp::sampling;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    /// Synthesizes a bin of noisy samples around `truth`.
+    fn bin(
+        rng: &mut ChaCha20Rng,
+        truth: f64,
+        pop_std: f64,
+        level: PrivacyLevel,
+        n: usize,
+    ) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                let raw = sampling::gaussian(rng, truth, pop_std);
+                sampling::gaussian(rng, raw, level.sigma())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_bin_yields_none() {
+        let e = Estimator::default();
+        assert!(e.bin_estimate(PrivacyLevel::Low, &[]).is_none());
+    }
+
+    #[test]
+    fn bin_mean_is_unbiased() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let e = Estimator::new(0.8);
+        let samples = bin(&mut rng, 4.2, 0.8, PrivacyLevel::High, 50_000);
+        let est = e.bin_estimate(PrivacyLevel::High, &samples).unwrap();
+        assert!((est.mean - 4.2).abs() < 0.03, "mean {}", est.mean);
+    }
+
+    #[test]
+    fn standard_error_grows_with_level_and_shrinks_with_n() {
+        let e = Estimator::new(0.8);
+        let low = e.bin_estimate(PrivacyLevel::Low, &vec![3.0; 30]).unwrap();
+        let high = e.bin_estimate(PrivacyLevel::High, &vec![3.0; 30]).unwrap();
+        assert!(high.standard_error > low.standard_error);
+        let big = e.bin_estimate(PrivacyLevel::High, &vec![3.0; 300]).unwrap();
+        assert!(big.standard_error < high.standard_error);
+    }
+
+    #[test]
+    fn pooled_mean_near_truth_with_paper_bins() {
+        // The paper's empirical uptake: 18 none / 32 low / 51 medium /
+        // 30 high, n=131. The pooled estimate should recover the truth to
+        // well under 0.2 on average — §3.2's anecdote saw |4.72−4.61| = 0.11.
+        let e = Estimator::new(0.8);
+        let truth = 4.61;
+        let mut total_abs_err = 0.0;
+        let trials = 200;
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        for _ in 0..trials {
+            let mut bins = BTreeMap::new();
+            bins.insert(PrivacyLevel::None, bin(&mut rng, truth, 0.4, PrivacyLevel::None, 18));
+            bins.insert(PrivacyLevel::Low, bin(&mut rng, truth, 0.4, PrivacyLevel::Low, 32));
+            bins.insert(PrivacyLevel::Medium, bin(&mut rng, truth, 0.4, PrivacyLevel::Medium, 51));
+            bins.insert(PrivacyLevel::High, bin(&mut rng, truth, 0.4, PrivacyLevel::High, 30));
+            let pooled = e.pooled(&bins);
+            total_abs_err += (pooled.mean - truth).abs();
+            assert_eq!(pooled.n_total, 131);
+        }
+        let mae = total_abs_err / trials as f64;
+        assert!(mae < 0.15, "mean abs error {mae}");
+    }
+
+    #[test]
+    fn pooling_beats_best_single_bin() {
+        // Pooled SE must be at most the smallest per-bin SE.
+        let e = Estimator::new(0.8);
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let mut bins = BTreeMap::new();
+        bins.insert(PrivacyLevel::None, bin(&mut rng, 3.0, 0.8, PrivacyLevel::None, 18));
+        bins.insert(PrivacyLevel::High, bin(&mut rng, 3.0, 0.8, PrivacyLevel::High, 30));
+        let pooled = e.pooled(&bins);
+        let best = pooled
+            .bins
+            .iter()
+            .map(|b| b.standard_error)
+            .fold(f64::INFINITY, f64::min);
+        assert!(pooled.standard_error <= best + 1e-12);
+    }
+
+    #[test]
+    fn pooled_skips_empty_bins() {
+        let e = Estimator::default();
+        let mut bins = BTreeMap::new();
+        bins.insert(PrivacyLevel::None, vec![4.0, 4.0]);
+        bins.insert(PrivacyLevel::High, Vec::new());
+        let pooled = e.pooled(&bins);
+        assert_eq!(pooled.bins.len(), 1);
+        assert_eq!(pooled.n_total, 2);
+        assert!((pooled.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pool zero responses")]
+    fn pooling_nothing_panics() {
+        let e = Estimator::default();
+        let bins = BTreeMap::new();
+        let _ = e.pooled(&bins);
+    }
+
+    #[test]
+    #[should_panic(expected = "spread must be positive")]
+    fn zero_pop_std_rejected() {
+        let _ = Estimator::new(0.0);
+    }
+}

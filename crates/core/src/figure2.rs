@@ -1,0 +1,297 @@
+//! The Fig. 2 analysis: per-bin deviation from the overall mean.
+//!
+//! "We plot the difference between the mean rating obtained from a given
+//! privacy bin and the overall mean rating. The figure also shows a
+//! histogram of the number of students rating each lecturer per privacy
+//! bin." This module computes exactly those series from a [`Trial`] (or
+//! any per-bin sample map) and renders them as the text table the bench
+//! binary prints.
+
+use crate::privacy_level::PrivacyLevel;
+use crate::trial::Trial;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One lecturer's row of the figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LecturerRow {
+    /// Lecturer index (1-based in the rendered table, 0-based here).
+    pub lecturer: usize,
+    /// Overall mean of all uploaded ratings.
+    pub overall_mean: f64,
+    /// Ground-truth mean (for scoring; the paper could not print this).
+    pub true_mean: f64,
+    /// Per-bin (deviation from overall mean, respondent count); `None`
+    /// deviation for an empty bin.
+    pub bins: BTreeMap<PrivacyLevel, BinPoint>,
+}
+
+/// One (lecturer, bin) data point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinPoint {
+    /// Bin mean minus overall mean (`None` when the bin is empty).
+    pub deviation: Option<f64>,
+    /// Number of students in the bin who rated this lecturer — the
+    /// histogram series of Fig. 2.
+    pub count: usize,
+}
+
+/// The full figure: one row per lecturer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure2 {
+    /// Rows in lecturer order.
+    pub rows: Vec<LecturerRow>,
+}
+
+impl Figure2 {
+    /// Computes the figure from a trial.
+    pub fn from_trial(trial: &Trial) -> Figure2 {
+        let rows = (0..trial.lecturer_count())
+            .map(|l| {
+                let by_bin = trial.noisy_by_bin(l);
+                Figure2::row(l, trial.true_mean(l), &by_bin)
+            })
+            .collect();
+        Figure2 { rows }
+    }
+
+    /// Computes one row from per-bin samples.
+    pub fn row(
+        lecturer: usize,
+        true_mean: f64,
+        by_bin: &BTreeMap<PrivacyLevel, Vec<f64>>,
+    ) -> LecturerRow {
+        let all: Vec<f64> = by_bin.values().flatten().copied().collect();
+        let overall_mean = if all.is_empty() {
+            f64::NAN
+        } else {
+            all.iter().sum::<f64>() / all.len() as f64
+        };
+        let bins = PrivacyLevel::ALL
+            .iter()
+            .map(|&level| {
+                let samples = by_bin.get(&level).map_or(&[][..], Vec::as_slice);
+                let deviation = if samples.is_empty() || all.is_empty() {
+                    None
+                } else {
+                    Some(samples.iter().sum::<f64>() / samples.len() as f64 - overall_mean)
+                };
+                (
+                    level,
+                    BinPoint {
+                        deviation,
+                        count: samples.len(),
+                    },
+                )
+            })
+            .collect();
+        LecturerRow {
+            lecturer,
+            overall_mean,
+            true_mean,
+            bins,
+        }
+    }
+
+    /// Mean absolute deviation per privacy bin across lecturers — the
+    /// summary statistic behind the paper's observation that "the accuracy
+    /// … is lower when fewer users are assigned to the bin, particularly
+    /// for higher privacy bins".
+    pub fn mean_abs_deviation(&self) -> BTreeMap<PrivacyLevel, f64> {
+        let mut sums: BTreeMap<PrivacyLevel, (f64, usize)> = BTreeMap::new();
+        for row in &self.rows {
+            for (&level, point) in &row.bins {
+                if let Some(d) = point.deviation {
+                    let e = sums.entry(level).or_insert((0.0, 0));
+                    e.0 += d.abs();
+                    e.1 += 1;
+                }
+            }
+        }
+        sums.into_iter()
+            .map(|(l, (s, n))| (l, if n == 0 { 0.0 } else { s / n as f64 }))
+            .collect()
+    }
+
+    /// Exports the figure as CSV (one row per lecturer; deviation and
+    /// count columns per bin) for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "lecturer,overall_mean,true_mean,dev_none,dev_low,dev_medium,dev_high,n_none,n_low,n_medium,n_high\n",
+        );
+        for row in &self.rows {
+            let dev = |l: PrivacyLevel| {
+                row.bins[&l]
+                    .deviation
+                    .map_or(String::new(), |d| format!("{d:.6}"))
+            };
+            let _ = writeln!(
+                out,
+                "{},{:.6},{:.6},{},{},{},{},{},{},{},{}",
+                row.lecturer + 1,
+                row.overall_mean,
+                row.true_mean,
+                dev(PrivacyLevel::None),
+                dev(PrivacyLevel::Low),
+                dev(PrivacyLevel::Medium),
+                dev(PrivacyLevel::High),
+                row.bins[&PrivacyLevel::None].count,
+                row.bins[&PrivacyLevel::Low].count,
+                row.bins[&PrivacyLevel::Medium].count,
+                row.bins[&PrivacyLevel::High].count,
+            );
+        }
+        out
+    }
+
+    /// Renders the figure as a fixed-width text table (deviation series
+    /// then histogram), the form the bench binary prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<9} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} | {:>4} {:>4} {:>4} {:>4}",
+            "lecturer", "overall", "true", "d(none)", "d(low)", "d(med)", "d(high)", "#n", "#l",
+            "#m", "#h"
+        );
+        for row in &self.rows {
+            let dev = |l: PrivacyLevel| match row.bins[&l].deviation {
+                Some(d) => format!("{d:+.3}"),
+                None => "--".to_string(),
+            };
+            let cnt = |l: PrivacyLevel| row.bins[&l].count;
+            let _ = writeln!(
+                out,
+                "{:<9} {:>8.3} {:>8.3} | {:>8} {:>8} {:>8} {:>8} | {:>4} {:>4} {:>4} {:>4}",
+                row.lecturer + 1,
+                row.overall_mean,
+                row.true_mean,
+                dev(PrivacyLevel::None),
+                dev(PrivacyLevel::Low),
+                dev(PrivacyLevel::Medium),
+                dev(PrivacyLevel::High),
+                cnt(PrivacyLevel::None),
+                cnt(PrivacyLevel::Low),
+                cnt(PrivacyLevel::Medium),
+                cnt(PrivacyLevel::High),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::TrialConfig;
+
+    fn figure() -> Figure2 {
+        Figure2::from_trial(&Trial::generate(TrialConfig::default()))
+    }
+
+    #[test]
+    fn one_row_per_lecturer() {
+        let f = figure();
+        assert_eq!(f.rows.len(), 13);
+        for (i, row) in f.rows.iter().enumerate() {
+            assert_eq!(row.lecturer, i);
+            assert_eq!(row.bins.len(), 4);
+        }
+    }
+
+    #[test]
+    fn bin_counts_sum_to_raters() {
+        let t = Trial::generate(TrialConfig::default());
+        let f = Figure2::from_trial(&t);
+        for (l, row) in f.rows.iter().enumerate() {
+            let total: usize = row.bins.values().map(|p| p.count).sum();
+            assert_eq!(total, t.noisy_ratings(l).len());
+        }
+    }
+
+    #[test]
+    fn deviations_are_relative_to_overall() {
+        // Weighted (by count) deviations must sum to ~0 per lecturer.
+        let f = figure();
+        for row in &f.rows {
+            let weighted: f64 = row
+                .bins
+                .values()
+                .filter_map(|p| p.deviation.map(|d| d * p.count as f64))
+                .sum();
+            assert!(weighted.abs() < 1e-9, "row {} sum {weighted}", row.lecturer);
+        }
+    }
+
+    #[test]
+    fn higher_privacy_bins_deviate_more_on_average() {
+        // Average over many seeds to beat sampling noise: |dev| must be
+        // larger for High (σ=2, n=30) than for None (σ=0, n=18)… actually
+        // None has a *smaller* bin; the clean comparison is Low (n=32,
+        // σ=0.5) vs High (n=30, σ=2.0): same-ish n, 4× the noise.
+        let mut low_total = 0.0;
+        let mut high_total = 0.0;
+        for seed in 0..30 {
+            let f = Figure2::from_trial(&Trial::generate(TrialConfig {
+                seed,
+                ..TrialConfig::default()
+            }));
+            let mad = f.mean_abs_deviation();
+            low_total += mad[&PrivacyLevel::Low];
+            high_total += mad[&PrivacyLevel::High];
+        }
+        assert!(
+            high_total > low_total * 1.5,
+            "high {high_total} not ≫ low {low_total}"
+        );
+    }
+
+    #[test]
+    fn empty_bin_renders_dashes() {
+        let mut by_bin: BTreeMap<PrivacyLevel, Vec<f64>> = BTreeMap::new();
+        by_bin.insert(PrivacyLevel::None, vec![4.0, 4.2]);
+        let row = Figure2::row(0, 4.0, &by_bin);
+        assert_eq!(row.bins[&PrivacyLevel::High].count, 0);
+        assert_eq!(row.bins[&PrivacyLevel::High].deviation, None);
+        let f = Figure2 { rows: vec![row] };
+        assert!(f.render().contains("--"));
+    }
+
+    #[test]
+    fn render_has_header_and_rows() {
+        let f = figure();
+        let text = f.render();
+        assert!(text.starts_with("lecturer"));
+        assert_eq!(text.lines().count(), 14); // header + 13 rows
+    }
+
+    #[test]
+    fn csv_has_header_and_13_rows() {
+        let f = figure();
+        let csv = f.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 14);
+        assert!(lines[0].starts_with("lecturer,overall_mean"));
+        // Every data row has 11 comma-separated fields.
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 11, "bad row: {line}");
+        }
+        // Empty bins leave an empty deviation field, not a NaN.
+        assert!(!csv.contains("NaN"));
+    }
+
+    #[test]
+    fn overall_mean_tracks_truth() {
+        let f = figure();
+        for row in &f.rows {
+            assert!(
+                (row.overall_mean - row.true_mean).abs() < 0.45,
+                "lecturer {}: overall {} vs true {}",
+                row.lecturer,
+                row.overall_mean,
+                row.true_mean
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # loki-core — at-source obfuscation, privacy levels and estimation
+//!
+//! The paper's primary contribution (§3): users pick a privacy level per
+//! survey, the *client* adds Gaussian noise of the corresponding standard
+//! deviation before upload, and a differential-privacy framework tracks
+//! cumulative loss so it "can be tracked and balanced across the user
+//! base, while ensuring sufficient accuracy of the aggregated response".
+//!
+//! * [`privacy_level`] — the four app levels (none/low/medium/high) and
+//!   their σ and (ε, δ) mappings;
+//! * [`obfuscate`] — the at-source obfuscator: Gaussian noise for ratings
+//!   and numeric answers, k-ary randomized response for multiple choice,
+//!   and a type-level refusal to touch free text;
+//! * [`estimator`] — per-bin and pooled mean estimation with
+//!   inverse-variance weighting and confidence intervals;
+//! * [`ledger`] — cumulative per-user accounting plus the balancing
+//!   allocator that spreads loss across the user base;
+//! * [`trial`] — the 131-volunteer lecturer-rating trial generator;
+//! * [`figure2`] — the per-bin deviation analysis Fig. 2 plots.
+
+//! # Example
+//!
+//! At-source obfuscation of one rating at the app's *medium* level:
+//!
+//! ```
+//! use loki_core::obfuscate::Obfuscator;
+//! use loki_core::privacy_level::PrivacyLevel;
+//! use loki_survey::question::{Answer, Question, QuestionKind};
+//! use loki_survey::QuestionId;
+//! use rand::SeedableRng;
+//!
+//! let question = Question {
+//!     id: QuestionId(0),
+//!     text: "Rate this lecturer".into(),
+//!     kind: QuestionKind::likert5(),
+//!     sensitive: false,
+//! };
+//! let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(1);
+//! let ob = Obfuscator::new(PrivacyLevel::Medium)
+//!     .obfuscate_answer(&mut rng, &question, &Answer::Rating(4.0))
+//!     .unwrap();
+//! assert!(ob.answer.is_obfuscated());          // what uploads
+//! let loss = PrivacyLevel::Medium.privacy_loss(4.0);
+//! assert!(loss.is_finite());                   // what the ledger charges
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod consistency;
+pub mod deconvolve;
+pub mod estimator;
+pub mod figure2;
+pub mod ledger;
+pub mod obfuscate;
+pub mod privacy_level;
+pub mod trial;
+
+pub use estimator::{BinEstimate, PooledEstimate};
+pub use ledger::{AllocationStrategy, BudgetBalancer};
+pub use obfuscate::{ObfuscationError, ObfuscationMethod, Obfuscator};
+pub use privacy_level::PrivacyLevel;
+pub use trial::{Trial, TrialConfig};

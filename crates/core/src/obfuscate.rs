@@ -1,0 +1,556 @@
+//! The at-source obfuscator.
+//!
+//! This is the code path Fig. 1(c) shows: the app takes the user's true
+//! answers and uploads noisy versions. It runs **client-side only** —
+//! `loki-server` never links against this module's `obfuscate_*`
+//! functions, and the integration tests assert raw answers never cross
+//! the HTTP boundary.
+//!
+//! * Ratings and bounded numeric answers get Gaussian noise with the
+//!   level's σ (scaled to the answer range). Values are *not* clamped
+//!   back to the scale — Fig. 1(c) shows off-scale values like 5.74, and
+//!   clamping would bias the aggregate.
+//! * Multiple-choice answers go through k-ary randomized response at the
+//!   level's matched ε.
+//! * Free text is rejected with [`ObfuscationError::NotObfuscatable`] —
+//!   the response set is not countable (§3.1).
+
+use crate::privacy_level::PrivacyLevel;
+use loki_dp::accountant::ReleaseKind;
+use loki_dp::mechanisms::discrete_gaussian;
+use loki_dp::mechanisms::exponential::ExponentialMechanism;
+use loki_dp::mechanisms::randomized_response::RandomizedResponse;
+use loki_dp::params::Epsilon;
+use loki_dp::sampling;
+use loki_survey::question::{Answer, Question, QuestionKind};
+use loki_survey::response::Response;
+use loki_survey::survey::Survey;
+use rand::Rng;
+use std::fmt;
+
+/// How numeric (rating / bounded-numeric) answers are perturbed.
+///
+/// §3.1 notes the noise-adding approach "is general and can be applied to
+/// other question types … in which the response set is countable"; these
+/// are the three countable-set instantiations the library ships. All
+/// three are calibrated so one privacy level costs the same ledger entry
+/// regardless of method (Gaussian methods share the RDP curve; the
+/// ordinal method is charged its matched pure ε).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ObfuscationMethod {
+    /// Continuous Gaussian noise (the paper's deployed method;
+    /// Fig. 1(c) shows real-valued uploads like 5.74).
+    #[default]
+    Continuous,
+    /// Discrete Gaussian noise: uploads stay integer-valued, same RDP
+    /// guarantee per σ.
+    DiscreteInteger,
+    /// Exponential mechanism over the integer scale with score
+    /// −|candidate − answer|: uploads stay *on-scale*, pure ε-DP.
+    OrdinalExponential,
+}
+
+/// Why an answer could not be obfuscated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObfuscationError {
+    /// The question's response set is not countable (free text).
+    NotObfuscatable,
+    /// The answer does not match the question kind or fails validation.
+    InvalidAnswer(String),
+}
+
+impl fmt::Display for ObfuscationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObfuscationError::NotObfuscatable => {
+                write!(f, "free-text answers cannot be obfuscated (not countable)")
+            }
+            ObfuscationError::InvalidAnswer(e) => write!(f, "invalid answer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ObfuscationError {}
+
+/// An obfuscated answer plus the ledger entry describing its privacy cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObfuscatedAnswer {
+    /// The value to upload.
+    pub answer: Answer,
+    /// What to record in the privacy ledger.
+    pub release: ReleaseKind,
+}
+
+/// The at-source obfuscator for one privacy level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obfuscator {
+    level: PrivacyLevel,
+    method: ObfuscationMethod,
+}
+
+impl Obfuscator {
+    /// Creates an obfuscator at a privacy level with the default
+    /// (continuous Gaussian) method.
+    pub fn new(level: PrivacyLevel) -> Obfuscator {
+        Obfuscator {
+            level,
+            method: ObfuscationMethod::Continuous,
+        }
+    }
+
+    /// Selects the numeric obfuscation method.
+    pub fn with_method(mut self, method: ObfuscationMethod) -> Obfuscator {
+        self.method = method;
+        self
+    }
+
+    /// The level this obfuscator applies.
+    pub fn level(self) -> PrivacyLevel {
+        self.level
+    }
+
+    /// The numeric method in use.
+    pub fn method(self) -> ObfuscationMethod {
+        self.method
+    }
+
+    /// Obfuscates a single validated answer to `question`.
+    pub fn obfuscate_answer<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+        question: &Question,
+        answer: &Answer,
+    ) -> Result<ObfuscatedAnswer, ObfuscationError> {
+        question
+            .validate_answer(answer)
+            .map_err(|e| ObfuscationError::InvalidAnswer(e.to_string()))?;
+
+        match (&question.kind, answer) {
+            (QuestionKind::FreeText, _) => Err(ObfuscationError::NotObfuscatable),
+
+            (QuestionKind::Rating { min, max }, Answer::Rating(v)) => {
+                Ok(self.numeric_release(rng, *v, f64::from(*min), f64::from(*max)))
+            }
+
+            (QuestionKind::Numeric { min, max }, Answer::Numeric(v)) => {
+                Ok(self.numeric_release(rng, *v as f64, *min as f64, *max as f64))
+            }
+
+            (QuestionKind::MultipleChoice { options }, Answer::Choice(c)) => {
+                match self.level.randomized_response_epsilon() {
+                    None => Ok(ObfuscatedAnswer {
+                        answer: Answer::Choice(*c),
+                        release: ReleaseKind::Raw,
+                    }),
+                    Some(eps) => {
+                        let rr = RandomizedResponse::new(options.len(), Epsilon::new(eps));
+                        let reported = rr.perturb(rng, *c);
+                        Ok(ObfuscatedAnswer {
+                            answer: Answer::Choice(reported),
+                            release: ReleaseKind::Pure { epsilon: eps },
+                        })
+                    }
+                }
+            }
+
+            // Validation above guarantees kind/answer agreement, so any
+            // remaining combination is a kind mismatch it already rejected.
+            _ => Err(ObfuscationError::InvalidAnswer(
+                "answer kind does not match question kind".into(),
+            )),
+        }
+    }
+
+    /// Perturbs a numeric answer on `[lo, hi]` with the selected method.
+    fn numeric_release<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+        value: f64,
+        lo: f64,
+        hi: f64,
+    ) -> ObfuscatedAnswer {
+        let range = hi - lo;
+        if self.level == PrivacyLevel::None {
+            return ObfuscatedAnswer {
+                // Even "none" uploads as Obfuscated(v) so the server-side
+                // schema is uniform; the ledger records it as raw.
+                answer: Answer::Obfuscated(value),
+                release: ReleaseKind::Raw,
+            };
+        }
+        let sigma = self.level.sigma_for_range(range);
+        match self.method {
+            ObfuscationMethod::Continuous => {
+                let noisy = sampling::gaussian(rng, value, sigma);
+                ObfuscatedAnswer {
+                    answer: Answer::Obfuscated(noisy),
+                    release: ReleaseKind::Gaussian {
+                        sigma,
+                        sensitivity: range,
+                    },
+                }
+            }
+            ObfuscationMethod::DiscreteInteger => {
+                let noise = discrete_gaussian::sample_discrete_gaussian(rng, sigma);
+                ObfuscatedAnswer {
+                    answer: Answer::Obfuscated(value.round() + noise as f64),
+                    // Discrete Gaussian shares the continuous RDP curve.
+                    release: ReleaseKind::Gaussian {
+                        sigma,
+                        sensitivity: range,
+                    },
+                }
+            }
+            ObfuscationMethod::OrdinalExponential => {
+                // Candidates are the scale's integers; score rewards
+                // closeness to the true answer. Score sensitivity = range
+                // (moving the answer across the scale shifts any
+                // candidate's score by at most `range`).
+                let eps = self
+                    .level
+                    .randomized_response_epsilon()
+                    .expect("level is not None here");
+                let mech = ExponentialMechanism::new(Epsilon::new(eps), range);
+                let lo_i = lo.round() as i64;
+                let hi_i = hi.round() as i64;
+                let scores: Vec<f64> = (lo_i..=hi_i)
+                    .map(|c| -((c as f64) - value).abs())
+                    .collect();
+                let chosen = mech.select(rng, &scores);
+                ObfuscatedAnswer {
+                    answer: Answer::Obfuscated((lo_i + chosen as i64) as f64),
+                    release: ReleaseKind::Pure { epsilon: eps },
+                }
+            }
+        }
+    }
+
+    /// Obfuscates a whole raw response against its survey, producing the
+    /// uploadable response and the ledger entries. Free-text questions are
+    /// passed through unmodified (they are excluded from obfuscation, not
+    /// from surveys).
+    pub fn obfuscate_response<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+        survey: &Survey,
+        raw: &Response,
+    ) -> Result<(Response, Vec<(String, ReleaseKind)>), ObfuscationError> {
+        raw.validate(survey)
+            .map_err(|e| ObfuscationError::InvalidAnswer(e.to_string()))?;
+        let mut upload = Response::new(raw.worker.clone(), raw.survey);
+        let mut releases = Vec::new();
+        for q in &survey.questions {
+            let answer = raw.get(q.id).expect("validated response is complete");
+            if matches!(q.kind, QuestionKind::FreeText) {
+                upload.answer(q.id, answer.clone());
+                continue;
+            }
+            let ob = self.obfuscate_answer(rng, q, answer)?;
+            upload.answer(q.id, ob.answer);
+            releases.push((format!("{}/{}", survey.id, q.id), ob.release));
+        }
+        Ok((upload, releases))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_survey::question::QuestionId;
+    use loki_survey::survey::{SurveyBuilder, SurveyId};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn rating_q() -> Question {
+        Question {
+            id: QuestionId(0),
+            text: "rate".into(),
+            kind: QuestionKind::likert5(),
+            sensitive: false,
+        }
+    }
+
+    #[test]
+    fn none_level_passes_value_through_as_raw_release() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let ob = Obfuscator::new(PrivacyLevel::None)
+            .obfuscate_answer(&mut rng, &rating_q(), &Answer::Rating(4.0))
+            .unwrap();
+        assert_eq!(ob.answer, Answer::Obfuscated(4.0));
+        assert_eq!(ob.release, ReleaseKind::Raw);
+    }
+
+    #[test]
+    fn gaussian_noise_magnitude_matches_level() {
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let q = rating_q();
+        for level in [PrivacyLevel::Low, PrivacyLevel::Medium, PrivacyLevel::High] {
+            let obf = Obfuscator::new(level);
+            let n = 20_000;
+            let mut sum_sq = 0.0;
+            for _ in 0..n {
+                let ob = obf
+                    .obfuscate_answer(&mut rng, &q, &Answer::Rating(3.0))
+                    .unwrap();
+                let v = ob.answer.as_f64().unwrap();
+                sum_sq += (v - 3.0).powi(2);
+            }
+            let emp_sigma = (sum_sq / n as f64).sqrt();
+            assert!(
+                (emp_sigma - level.sigma()).abs() < 0.05,
+                "{level}: empirical σ {emp_sigma} vs {}",
+                level.sigma()
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_values_can_leave_the_scale() {
+        // At High (σ=2), answers near the scale edge frequently exceed it.
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let obf = Obfuscator::new(PrivacyLevel::High);
+        let q = rating_q();
+        let off_scale = (0..1000)
+            .filter(|_| {
+                let v = obf
+                    .obfuscate_answer(&mut rng, &q, &Answer::Rating(5.0))
+                    .unwrap()
+                    .answer
+                    .as_f64()
+                    .unwrap();
+                !(1.0..=5.0).contains(&v)
+            })
+            .count();
+        assert!(off_scale > 200, "only {off_scale}/1000 off scale — not unclamped?");
+    }
+
+    #[test]
+    fn release_kind_records_sigma_and_sensitivity() {
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let ob = Obfuscator::new(PrivacyLevel::Medium)
+            .obfuscate_answer(&mut rng, &rating_q(), &Answer::Rating(2.0))
+            .unwrap();
+        assert_eq!(
+            ob.release,
+            ReleaseKind::Gaussian {
+                sigma: 1.0,
+                sensitivity: 4.0
+            }
+        );
+    }
+
+    #[test]
+    fn free_text_is_rejected() {
+        let q = Question {
+            id: QuestionId(0),
+            text: "say anything".into(),
+            kind: QuestionKind::FreeText,
+            sensitive: false,
+        };
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let err = Obfuscator::new(PrivacyLevel::Low)
+            .obfuscate_answer(&mut rng, &q, &Answer::Text("hi".into()))
+            .unwrap_err();
+        assert_eq!(err, ObfuscationError::NotObfuscatable);
+    }
+
+    #[test]
+    fn invalid_answer_rejected_before_noise() {
+        let mut rng = ChaCha20Rng::seed_from_u64(6);
+        let err = Obfuscator::new(PrivacyLevel::Low)
+            .obfuscate_answer(&mut rng, &rating_q(), &Answer::Rating(7.0))
+            .unwrap_err();
+        assert!(matches!(err, ObfuscationError::InvalidAnswer(_)));
+    }
+
+    #[test]
+    fn multiple_choice_uses_randomized_response() {
+        let q = Question {
+            id: QuestionId(0),
+            text: "pick".into(),
+            kind: QuestionKind::MultipleChoice {
+                options: (0..4).map(|i| format!("opt{i}")).collect(),
+            },
+            sensitive: false,
+        };
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        let obf = Obfuscator::new(PrivacyLevel::High);
+        let n = 30_000;
+        let mut kept = 0;
+        for _ in 0..n {
+            let ob = obf.obfuscate_answer(&mut rng, &q, &Answer::Choice(2)).unwrap();
+            assert!(matches!(ob.release, ReleaseKind::Pure { .. }));
+            if ob.answer == Answer::Choice(2) {
+                kept += 1;
+            }
+        }
+        let eps = PrivacyLevel::High.randomized_response_epsilon().unwrap();
+        let want = eps.exp() / (eps.exp() + 3.0);
+        let got = kept as f64 / n as f64;
+        assert!((got - want).abs() < 0.01, "truth rate {got} vs {want}");
+    }
+
+    #[test]
+    fn numeric_questions_scale_noise_to_range() {
+        let q = Question {
+            id: QuestionId(0),
+            text: "year".into(),
+            kind: QuestionKind::Numeric {
+                min: 1940,
+                max: 2000,
+            },
+            sensitive: true,
+        };
+        let mut rng = ChaCha20Rng::seed_from_u64(8);
+        let obf = Obfuscator::new(PrivacyLevel::Medium);
+        let n = 20_000;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let v = obf
+                .obfuscate_answer(&mut rng, &q, &Answer::Numeric(1970))
+                .unwrap()
+                .answer
+                .as_f64()
+                .unwrap();
+            sum_sq += (v - 1970.0).powi(2);
+        }
+        let emp = (sum_sq / n as f64).sqrt();
+        let want = PrivacyLevel::Medium.sigma_for_range(60.0); // 15.0
+        assert!((emp - want).abs() < 0.5, "σ {emp} vs {want}");
+    }
+
+    #[test]
+    fn whole_response_obfuscation() {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        b.question("rate a", QuestionKind::likert5(), false);
+        b.question("rate b", QuestionKind::likert5(), false);
+        b.question("comment", QuestionKind::FreeText, false);
+        let s = b.build().unwrap();
+        let mut raw = Response::new("u1", s.id);
+        raw.answer(QuestionId(0), Answer::Rating(4.0));
+        raw.answer(QuestionId(1), Answer::Rating(2.0));
+        raw.answer(QuestionId(2), Answer::Text("fine".into()));
+
+        let mut rng = ChaCha20Rng::seed_from_u64(9);
+        let (upload, releases) = Obfuscator::new(PrivacyLevel::Medium)
+            .obfuscate_response(&mut rng, &s, &raw)
+            .unwrap();
+
+        // Two ledger entries (free text contributes none).
+        assert_eq!(releases.len(), 2);
+        assert!(releases.iter().all(|(tag, _)| tag.starts_with("survey-1/")));
+        // Ratings obfuscated, text passed through.
+        assert!(upload.get(QuestionId(0)).unwrap().is_obfuscated());
+        assert!(upload.get(QuestionId(1)).unwrap().is_obfuscated());
+        assert_eq!(upload.get(QuestionId(2)), Some(&Answer::Text("fine".into())));
+        // Noisy values differ from the raw ones (σ=1; equality has
+        // probability zero).
+        assert_ne!(upload.get(QuestionId(0)).unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn discrete_method_uploads_integers() {
+        let mut rng = ChaCha20Rng::seed_from_u64(20);
+        let obf =
+            Obfuscator::new(PrivacyLevel::Medium).with_method(ObfuscationMethod::DiscreteInteger);
+        let q = rating_q();
+        let mut saw_noise = false;
+        for _ in 0..200 {
+            let ob = obf
+                .obfuscate_answer(&mut rng, &q, &Answer::Rating(3.0))
+                .unwrap();
+            let v = ob.answer.as_f64().unwrap();
+            assert_eq!(v, v.round(), "discrete upload {v} is not an integer");
+            assert!(matches!(ob.release, ReleaseKind::Gaussian { .. }));
+            if v != 3.0 {
+                saw_noise = true;
+            }
+        }
+        assert!(saw_noise, "discrete Gaussian never perturbed");
+    }
+
+    #[test]
+    fn discrete_method_noise_magnitude_matches_sigma() {
+        let mut rng = ChaCha20Rng::seed_from_u64(21);
+        let obf =
+            Obfuscator::new(PrivacyLevel::High).with_method(ObfuscationMethod::DiscreteInteger);
+        let q = rating_q();
+        let n = 30_000;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let v = obf
+                .obfuscate_answer(&mut rng, &q, &Answer::Rating(3.0))
+                .unwrap()
+                .answer
+                .as_f64()
+                .unwrap();
+            sum_sq += (v - 3.0).powi(2);
+        }
+        let emp = (sum_sq / n as f64).sqrt();
+        assert!((emp - 2.0).abs() < 0.1, "σ {emp} vs 2.0");
+    }
+
+    #[test]
+    fn ordinal_method_stays_on_scale() {
+        let mut rng = ChaCha20Rng::seed_from_u64(22);
+        let obf = Obfuscator::new(PrivacyLevel::High)
+            .with_method(ObfuscationMethod::OrdinalExponential);
+        let q = rating_q();
+        let mut histogram = [0u32; 5];
+        for _ in 0..5_000 {
+            let ob = obf
+                .obfuscate_answer(&mut rng, &q, &Answer::Rating(4.0))
+                .unwrap();
+            let v = ob.answer.as_f64().unwrap();
+            assert!((1.0..=5.0).contains(&v), "off-scale ordinal upload {v}");
+            assert!(matches!(ob.release, ReleaseKind::Pure { .. }));
+            histogram[(v as usize) - 1] += 1;
+        }
+        // Mode at the true answer, monotone decay away from it.
+        assert!(histogram[3] > histogram[2] && histogram[2] > histogram[0]);
+    }
+
+    #[test]
+    fn ordinal_none_level_passes_through() {
+        let mut rng = ChaCha20Rng::seed_from_u64(23);
+        let obf = Obfuscator::new(PrivacyLevel::None)
+            .with_method(ObfuscationMethod::OrdinalExponential);
+        let ob = obf
+            .obfuscate_answer(&mut rng, &rating_q(), &Answer::Rating(2.0))
+            .unwrap();
+        assert_eq!(ob.answer, Answer::Obfuscated(2.0));
+        assert_eq!(ob.release, ReleaseKind::Raw);
+    }
+
+    #[test]
+    fn methods_serde_round_trip() {
+        for m in [
+            ObfuscationMethod::Continuous,
+            ObfuscationMethod::DiscreteInteger,
+            ObfuscationMethod::OrdinalExponential,
+        ] {
+            let json = serde_json::to_string(&m).unwrap();
+            let back: ObfuscationMethod = serde_json::from_str(&json).unwrap();
+            assert_eq!(m, back);
+        }
+        assert_eq!(
+            serde_json::to_string(&ObfuscationMethod::OrdinalExponential).unwrap(),
+            "\"ordinal_exponential\""
+        );
+    }
+
+    #[test]
+    fn incomplete_response_rejected() {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        b.question("rate a", QuestionKind::likert5(), false);
+        b.question("rate b", QuestionKind::likert5(), false);
+        let s = b.build().unwrap();
+        let mut raw = Response::new("u1", s.id);
+        raw.answer(QuestionId(0), Answer::Rating(4.0));
+        let mut rng = ChaCha20Rng::seed_from_u64(10);
+        assert!(Obfuscator::new(PrivacyLevel::Low)
+            .obfuscate_response(&mut rng, &s, &raw)
+            .is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! The app's privacy levels.
+//!
+//! Fig. 1(a) of the paper shows four options — none, low, medium, high —
+//! chosen per survey. "Our obfuscation method adds Gaussian noise to the
+//! user's true response, with standard deviation successively larger for
+//! higher privacy level." The paper does not print its σ values; we fix
+//! σ ∈ {0, 0.5, 1.0, 2.0} on the 1–5 rating scale, which reproduces the
+//! relative bin accuracies of Fig. 2 (the only observable constraint).
+
+use loki_dp::mechanisms::gaussian::GaussianMechanism;
+use loki_dp::params::{Delta, PrivacyLoss};
+use loki_dp::Sensitivity;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A user-chosen privacy level for one survey.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(rename_all = "lowercase")]
+pub enum PrivacyLevel {
+    /// No obfuscation: answers upload verbatim (ε = ∞).
+    None,
+    /// σ = 0.5 on a 1–5 scale.
+    Low,
+    /// σ = 1.0.
+    Medium,
+    /// σ = 2.0.
+    High,
+}
+
+impl PrivacyLevel {
+    /// All levels, weakest privacy first.
+    pub const ALL: [PrivacyLevel; 4] = [
+        PrivacyLevel::None,
+        PrivacyLevel::Low,
+        PrivacyLevel::Medium,
+        PrivacyLevel::High,
+    ];
+
+    /// The Gaussian noise standard deviation this level applies to a
+    /// rating on the canonical 1–5 scale.
+    pub fn sigma(self) -> f64 {
+        match self {
+            PrivacyLevel::None => 0.0,
+            PrivacyLevel::Low => 0.5,
+            PrivacyLevel::Medium => 1.0,
+            PrivacyLevel::High => 2.0,
+        }
+    }
+
+    /// Noise σ scaled to an arbitrary answer range: the canonical σ is
+    /// defined for the 4-point-wide rating scale, and scales linearly for
+    /// wider/narrower numeric questions so the *relative* perturbation is
+    /// level-determined, not range-determined.
+    pub fn sigma_for_range(self, range: f64) -> f64 {
+        assert!(range > 0.0, "answer range must be positive, got {range}");
+        self.sigma() * range / 4.0
+    }
+
+    /// The per-response privacy loss of this level on a question with the
+    /// given answer range, stated at δ = [`loki_dp::DEFAULT_DELTA`]
+    /// (analytic Gaussian accounting). `None` → unbounded loss.
+    pub fn privacy_loss(self, range: f64) -> PrivacyLoss {
+        match self {
+            PrivacyLevel::None => PrivacyLoss::unbounded(),
+            _ => {
+                let sigma = self.sigma_for_range(range);
+                let mech = GaussianMechanism::from_sigma(
+                    sigma,
+                    Sensitivity::new(range),
+                    Delta::new(loki_dp::DEFAULT_DELTA),
+                );
+                PrivacyLoss {
+                    epsilon: mech.epsilon(),
+                    delta: Delta::new(loki_dp::DEFAULT_DELTA),
+                }
+            }
+        }
+    }
+
+    /// The ε for k-ary randomized response at this level (multiple-choice
+    /// obfuscation). Matched to the Gaussian levels by reusing the rating
+    /// scale's per-response ε; `None` returns `None` (no perturbation).
+    pub fn randomized_response_epsilon(self) -> Option<f64> {
+        match self {
+            PrivacyLevel::None => None,
+            _ => Some(self.privacy_loss(4.0).epsilon.value()),
+        }
+    }
+}
+
+impl fmt::Display for PrivacyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrivacyLevel::None => "none",
+            PrivacyLevel::Low => "low",
+            PrivacyLevel::Medium => "medium",
+            PrivacyLevel::High => "high",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_is_monotone_in_level() {
+        let sigmas: Vec<f64> = PrivacyLevel::ALL.iter().map(|l| l.sigma()).collect();
+        for w in sigmas.windows(2) {
+            assert!(w[0] < w[1], "sigmas not increasing: {sigmas:?}");
+        }
+    }
+
+    #[test]
+    fn epsilon_is_antitone_in_level() {
+        // Stronger privacy level ⇒ smaller ε.
+        let eps: Vec<f64> = PrivacyLevel::ALL
+            .iter()
+            .map(|l| l.privacy_loss(4.0).epsilon.value())
+            .collect();
+        assert!(eps[0].is_infinite());
+        assert!(eps[1] > eps[2] && eps[2] > eps[3], "{eps:?}");
+        assert!(eps[3] > 0.0);
+    }
+
+    #[test]
+    fn sigma_scales_with_range() {
+        let l = PrivacyLevel::Medium;
+        assert_eq!(l.sigma_for_range(4.0), 1.0);
+        assert_eq!(l.sigma_for_range(8.0), 2.0);
+        assert_eq!(l.sigma_for_range(2.0), 0.5);
+    }
+
+    #[test]
+    fn scaled_range_preserves_epsilon() {
+        // Because σ scales linearly with sensitivity, ε is range-invariant.
+        let a = PrivacyLevel::High.privacy_loss(4.0).epsilon.value();
+        let b = PrivacyLevel::High.privacy_loss(60.0).epsilon.value();
+        assert!((a - b).abs() / a < 1e-3, "{a} vs {b}");
+    }
+
+    #[test]
+    fn none_is_unbounded() {
+        assert!(!PrivacyLevel::None.privacy_loss(4.0).is_finite());
+        assert_eq!(PrivacyLevel::None.randomized_response_epsilon(), None);
+    }
+
+    #[test]
+    fn rr_epsilon_finite_and_ordered() {
+        let lo = PrivacyLevel::Low.randomized_response_epsilon().unwrap();
+        let hi = PrivacyLevel::High.randomized_response_epsilon().unwrap();
+        assert!(lo > hi, "low-privacy ε {lo} must exceed high-privacy ε {hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn zero_range_rejected() {
+        let _ = PrivacyLevel::Low.sigma_for_range(0.0);
+    }
+
+    #[test]
+    fn display_and_serde() {
+        assert_eq!(PrivacyLevel::Medium.to_string(), "medium");
+        let json = serde_json::to_string(&PrivacyLevel::High).unwrap();
+        assert_eq!(json, "\"high\"");
+        let back: PrivacyLevel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, PrivacyLevel::High);
+    }
+}

@@ -1,0 +1,292 @@
+//! The lecturer-rating trial (§3.2).
+//!
+//! The paper trialled Loki with 131 university volunteers rating
+//! lecturers; uptake of the four privacy levels was 18 / 32 / 51 / 30
+//! (none / low / medium / high). This module generates that trial
+//! synthetically:
+//!
+//! * each lecturer has a ground-truth mean quality;
+//! * each student carries a personal rating bias and rates each lecturer
+//!   with a participation probability (not every student had every
+//!   lecturer — Fig. 2's histogram varies per lecturer);
+//! * raw ratings are integer 1–5; the noisy rating adds the student's
+//!   privacy level's Gaussian σ, unclamped, exactly as the app uploads.
+
+use crate::privacy_level::PrivacyLevel;
+use loki_dp::sampling;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of a synthetic trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialConfig {
+    /// Students per privacy bin, in [`PrivacyLevel::ALL`] order. The
+    /// paper's uptake: `[18, 32, 51, 30]`.
+    pub bin_counts: [usize; 4],
+    /// Ground-truth mean quality of each lecturer (1–5 scale).
+    pub lecturer_means: Vec<f64>,
+    /// Spread of per-student rating bias (scale points).
+    pub rater_spread: f64,
+    /// Probability a given student rates a given lecturer.
+    pub participation: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        // 13 lecturers, means spread over the upper half of the scale
+        // (university lecturers skew high — §3.2's example sits at 4.61).
+        let lecturer_means = vec![
+            4.6, 3.8, 4.2, 3.1, 4.8, 3.5, 4.0, 2.8, 4.4, 3.9, 4.1, 3.3, 4.5,
+        ];
+        TrialConfig {
+            bin_counts: [18, 32, 51, 30],
+            lecturer_means,
+            rater_spread: 0.7,
+            participation: 0.75,
+            seed: 0x10C4,
+        }
+    }
+}
+
+/// One student's recorded rating of one lecturer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatingPair {
+    /// The raw (true) integer rating the student entered.
+    pub raw: f64,
+    /// The noisy value the app uploaded.
+    pub noisy: f64,
+}
+
+/// A generated trial: students with levels, and their ratings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trial {
+    config: TrialConfig,
+    /// Privacy level of each student.
+    levels: Vec<PrivacyLevel>,
+    /// `ratings[lecturer][student]`.
+    ratings: Vec<Vec<Option<RatingPair>>>,
+}
+
+impl Trial {
+    /// Generates a trial from a config.
+    ///
+    /// # Panics
+    /// Panics if there are no lecturers, `rater_spread < 0`, or
+    /// `participation` is outside `[0, 1]`.
+    pub fn generate(config: TrialConfig) -> Trial {
+        assert!(!config.lecturer_means.is_empty(), "need at least one lecturer");
+        assert!(config.rater_spread >= 0.0, "rater spread must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&config.participation),
+            "participation must be a probability"
+        );
+        let mut rng = ChaCha20Rng::seed_from_u64(config.seed);
+
+        let mut levels = Vec::new();
+        for (i, &count) in config.bin_counts.iter().enumerate() {
+            levels.extend(std::iter::repeat_n(PrivacyLevel::ALL[i], count));
+        }
+        let n_students = levels.len();
+
+        // Per-student bias, fixed across lecturers.
+        let biases: Vec<f64> = (0..n_students)
+            .map(|_| sampling::gaussian(&mut rng, 0.0, config.rater_spread))
+            .collect();
+
+        let ratings = config
+            .lecturer_means
+            .iter()
+            .map(|&mean| {
+                (0..n_students)
+                    .map(|s| {
+                        if !rng.gen_bool(config.participation) {
+                            return None;
+                        }
+                        // Raw integer rating: mean + bias + idiosyncratic
+                        // noise, rounded to the 1–5 scale.
+                        let idio = sampling::gaussian(&mut rng, 0.0, 0.4);
+                        let raw = (mean + biases[s] + idio).round().clamp(1.0, 5.0);
+                        let sigma = levels[s].sigma();
+                        let noisy = sampling::gaussian(&mut rng, raw, sigma);
+                        Some(RatingPair { raw, noisy })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Trial {
+            config,
+            levels,
+            ratings,
+        }
+    }
+
+    /// The trial's configuration.
+    pub fn config(&self) -> &TrialConfig {
+        &self.config
+    }
+
+    /// Number of students.
+    pub fn student_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of lecturers.
+    pub fn lecturer_count(&self) -> usize {
+        self.config.lecturer_means.len()
+    }
+
+    /// Each student's privacy level.
+    pub fn levels(&self) -> &[PrivacyLevel] {
+        &self.levels
+    }
+
+    /// Uploaded (noisy) ratings of one lecturer, grouped by privacy bin.
+    ///
+    /// # Panics
+    /// Panics if `lecturer` is out of range.
+    pub fn noisy_by_bin(&self, lecturer: usize) -> BTreeMap<PrivacyLevel, Vec<f64>> {
+        let mut bins: BTreeMap<PrivacyLevel, Vec<f64>> = BTreeMap::new();
+        for level in PrivacyLevel::ALL {
+            bins.insert(level, Vec::new());
+        }
+        for (s, pair) in self.ratings[lecturer].iter().enumerate() {
+            if let Some(p) = pair {
+                bins.get_mut(&self.levels[s]).expect("all levels present").push(p.noisy);
+            }
+        }
+        bins
+    }
+
+    /// Raw (true) ratings of one lecturer across all students who rated.
+    pub fn raw_ratings(&self, lecturer: usize) -> Vec<f64> {
+        self.ratings[lecturer]
+            .iter()
+            .flatten()
+            .map(|p| p.raw)
+            .collect()
+    }
+
+    /// All uploaded ratings of one lecturer.
+    pub fn noisy_ratings(&self, lecturer: usize) -> Vec<f64> {
+        self.ratings[lecturer]
+            .iter()
+            .flatten()
+            .map(|p| p.noisy)
+            .collect()
+    }
+
+    /// The ground-truth mean of a lecturer.
+    pub fn true_mean(&self, lecturer: usize) -> f64 {
+        self.config.lecturer_means[lecturer]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_has_131_students() {
+        let t = Trial::generate(TrialConfig::default());
+        assert_eq!(t.student_count(), 131);
+        assert_eq!(t.lecturer_count(), 13);
+        let counts: Vec<usize> = PrivacyLevel::ALL
+            .iter()
+            .map(|l| t.levels().iter().filter(|x| *x == l).count())
+            .collect();
+        assert_eq!(counts, vec![18, 32, 51, 30]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Trial::generate(TrialConfig::default());
+        let b = Trial::generate(TrialConfig::default());
+        assert_eq!(a.noisy_ratings(0), b.noisy_ratings(0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Trial::generate(TrialConfig::default());
+        let b = Trial::generate(TrialConfig {
+            seed: 99,
+            ..TrialConfig::default()
+        });
+        assert_ne!(a.noisy_ratings(0), b.noisy_ratings(0));
+    }
+
+    #[test]
+    fn raw_ratings_are_on_scale_integers() {
+        let t = Trial::generate(TrialConfig::default());
+        for l in 0..t.lecturer_count() {
+            for r in t.raw_ratings(l) {
+                assert!((1.0..=5.0).contains(&r));
+                assert_eq!(r, r.round());
+            }
+        }
+    }
+
+    #[test]
+    fn none_bin_uploads_are_exact() {
+        let t = Trial::generate(TrialConfig::default());
+        let bins = t.noisy_by_bin(0);
+        for v in &bins[&PrivacyLevel::None] {
+            assert_eq!(*v, v.round(), "none-bin value {v} is not an integer");
+        }
+    }
+
+    #[test]
+    fn high_bin_uploads_are_noisy() {
+        let t = Trial::generate(TrialConfig::default());
+        let bins = t.noisy_by_bin(0);
+        let noisy = &bins[&PrivacyLevel::High];
+        assert!(!noisy.is_empty());
+        // With σ=2, the chance all values are integers is nil.
+        assert!(noisy.iter().any(|v| *v != v.round()));
+    }
+
+    #[test]
+    fn participation_thins_ratings() {
+        let full = Trial::generate(TrialConfig {
+            participation: 1.0,
+            ..TrialConfig::default()
+        });
+        assert_eq!(full.raw_ratings(0).len(), 131);
+        let half = Trial::generate(TrialConfig {
+            participation: 0.5,
+            ..TrialConfig::default()
+        });
+        let n = half.raw_ratings(0).len();
+        assert!((40..=90).contains(&n), "half participation gave {n}");
+    }
+
+    #[test]
+    fn raw_means_track_lecturer_quality() {
+        let t = Trial::generate(TrialConfig {
+            participation: 1.0,
+            ..TrialConfig::default()
+        });
+        // Best and worst lecturers by truth should order the raw means.
+        let raw_mean = |l: usize| {
+            let r = t.raw_ratings(l);
+            r.iter().sum::<f64>() / r.len() as f64
+        };
+        let best = 4; // mean 4.8
+        let worst = 7; // mean 2.8
+        assert!(raw_mean(best) > raw_mean(worst) + 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lecturer")]
+    fn empty_lecturers_rejected() {
+        let _ = Trial::generate(TrialConfig {
+            lecturer_means: vec![],
+            ..TrialConfig::default()
+        });
+    }
+}

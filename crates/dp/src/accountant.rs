@@ -1,0 +1,331 @@
+//! Per-user privacy ledgers and the platform-wide accountant.
+//!
+//! The paper (§3.1): "the cumulative privacy loss can be tracked and
+//! balanced across the user base". This module is that tracker:
+//!
+//! * [`UserLedger`] — append-only record of every obfuscated release one
+//!   user has made, with both a conservative basic-composition total and a
+//!   tight RDP total;
+//! * [`Accountant`] — thread-safe map of ledgers for the whole platform,
+//!   exposing the distribution of cumulative loss that the balancing
+//!   allocator (in `loki-core`) consumes.
+
+use crate::params::{Delta, Epsilon, PrivacyLoss};
+use crate::rdp::RdpAccountant;
+use crate::sensitivity::Sensitivity;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One recorded release in a user's ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Free-form tag identifying the survey/question the release belonged
+    /// to (e.g. `"survey-3/q2"`).
+    pub tag: String,
+    /// How the release was obfuscated.
+    pub kind: ReleaseKind,
+}
+
+/// The mechanism class of a recorded release — enough information to
+/// account for it tightly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReleaseKind {
+    /// Gaussian noise with this σ on a query of this sensitivity.
+    Gaussian {
+        /// Noise standard deviation.
+        sigma: f64,
+        /// Query sensitivity.
+        sensitivity: f64,
+    },
+    /// A pure ε-DP release (Laplace, randomized response, exponential).
+    Pure {
+        /// The ε of the release.
+        epsilon: f64,
+    },
+    /// An unobfuscated release — unbounded loss.
+    Raw,
+}
+
+/// Append-only privacy ledger for a single user.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserLedger {
+    entries: Vec<LedgerEntry>,
+    rdp: RdpAccountant,
+    basic: PrivacyLoss,
+}
+
+impl Default for UserLedger {
+    fn default() -> Self {
+        UserLedger::new()
+    }
+}
+
+impl UserLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> UserLedger {
+        UserLedger {
+            entries: Vec::new(),
+            rdp: RdpAccountant::new(),
+            basic: PrivacyLoss::ZERO,
+        }
+    }
+
+    /// Records one release.
+    ///
+    /// For Gaussian entries, the basic total uses the analytic per-release
+    /// ε at [`crate::DEFAULT_DELTA`]; the RDP accountant tracks the exact
+    /// divergence for tight composition.
+    pub fn record(&mut self, tag: impl Into<String>, kind: ReleaseKind) {
+        match kind {
+            ReleaseKind::Gaussian { sigma, sensitivity } => {
+                let sens = Sensitivity::new(sensitivity);
+                self.rdp.add_gaussian(sens, sigma);
+                let per = crate::mechanisms::gaussian::GaussianMechanism::from_sigma(
+                    sigma,
+                    sens,
+                    Delta::new(crate::DEFAULT_DELTA),
+                );
+                self.basic = self.basic.compose(PrivacyLoss {
+                    epsilon: per.epsilon(),
+                    delta: Delta::new(crate::DEFAULT_DELTA),
+                });
+            }
+            ReleaseKind::Pure { epsilon } => {
+                let eps = Epsilon::new(epsilon);
+                self.rdp.add_pure(eps);
+                self.basic = self.basic.compose(PrivacyLoss {
+                    epsilon: eps,
+                    delta: Delta::ZERO,
+                });
+            }
+            ReleaseKind::Raw => {
+                self.rdp.add_unbounded();
+                self.basic = self.basic.compose(PrivacyLoss::unbounded());
+            }
+        }
+        self.entries.push(LedgerEntry {
+            tag: tag.into(),
+            kind,
+        });
+    }
+
+    /// Number of recorded releases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded entries, oldest first.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Conservative cumulative loss by basic composition.
+    pub fn basic_loss(&self) -> PrivacyLoss {
+        self.basic
+    }
+
+    /// Tight cumulative loss via the RDP accountant, stated at `delta`.
+    /// For an empty ledger this is exactly zero (no conversion overhead).
+    pub fn tight_loss(&self, delta: Delta) -> PrivacyLoss {
+        if self.entries.is_empty() {
+            return PrivacyLoss::ZERO;
+        }
+        let rdp = self.rdp.to_dp(delta);
+        // The tight bound is never worse than basic composition; report the
+        // minimum of the two (both are valid bounds at their own δ; we
+        // compare conservatively at the larger δ).
+        if self.basic.epsilon.value() < rdp.epsilon.value() {
+            PrivacyLoss {
+                epsilon: self.basic.epsilon,
+                delta: self.basic.delta.saturating_add(delta),
+            }
+        } else {
+            rdp
+        }
+    }
+
+    /// Whether any raw (unobfuscated) release is recorded.
+    pub fn has_raw_release(&self) -> bool {
+        self.rdp.is_unbounded()
+    }
+}
+
+/// Thread-safe platform-wide accountant: one ledger per user.
+#[derive(Debug, Default)]
+pub struct Accountant {
+    ledgers: RwLock<HashMap<String, UserLedger>>,
+}
+
+impl Accountant {
+    /// Creates an empty accountant.
+    pub fn new() -> Accountant {
+        Accountant::default()
+    }
+
+    /// Records a release for a user, creating the ledger on first use.
+    pub fn record(&self, user: &str, tag: impl Into<String>, kind: ReleaseKind) {
+        self.ledgers
+            .write()
+            .entry(user.to_owned())
+            .or_default()
+            .record(tag, kind);
+    }
+
+    /// The tight cumulative loss of one user (zero if unknown).
+    pub fn loss_of(&self, user: &str, delta: Delta) -> PrivacyLoss {
+        self.ledgers
+            .read()
+            .get(user)
+            .map(|l| l.tight_loss(delta))
+            .unwrap_or(PrivacyLoss::ZERO)
+    }
+
+    /// Number of releases recorded for one user.
+    pub fn releases_of(&self, user: &str) -> usize {
+        self.ledgers.read().get(user).map_or(0, UserLedger::len)
+    }
+
+    /// Snapshot of one user's ledger.
+    pub fn ledger_of(&self, user: &str) -> Option<UserLedger> {
+        self.ledgers.read().get(user).cloned()
+    }
+
+    /// Number of users with a ledger.
+    pub fn user_count(&self) -> usize {
+        self.ledgers.read().len()
+    }
+
+    /// Cumulative ε of every user (at `delta`), for balancing decisions.
+    /// Users with unbounded loss report `f64::INFINITY`.
+    pub fn loss_distribution(&self, delta: Delta) -> Vec<(String, f64)> {
+        self.ledgers
+            .read()
+            .iter()
+            .map(|(u, l)| (u.clone(), l.tight_loss(delta).epsilon.value()))
+            .collect()
+    }
+
+    /// The maximum cumulative ε across the user base (0 if empty).
+    pub fn max_loss(&self, delta: Delta) -> f64 {
+        self.ledgers
+            .read()
+            .values()
+            .map(|l| l.tight_loss(delta).epsilon.value())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_entry() -> ReleaseKind {
+        ReleaseKind::Gaussian {
+            sigma: 2.0,
+            sensitivity: 4.0,
+        }
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let l = UserLedger::new();
+        assert!(l.is_empty());
+        assert_eq!(l.basic_loss(), PrivacyLoss::ZERO);
+        assert_eq!(l.tight_loss(Delta::new(1e-5)), PrivacyLoss::ZERO);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut l = UserLedger::new();
+        l.record("s1/q1", gaussian_entry());
+        l.record("s1/q2", gaussian_entry());
+        assert_eq!(l.len(), 2);
+        let one = {
+            let mut l1 = UserLedger::new();
+            l1.record("x", gaussian_entry());
+            l1.basic_loss().epsilon.value()
+        };
+        assert!((l.basic_loss().epsilon.value() - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_never_exceeds_basic_epsilon() {
+        let mut l = UserLedger::new();
+        for i in 0..50 {
+            l.record(format!("s/q{i}"), gaussian_entry());
+        }
+        let basic = l.basic_loss().epsilon.value();
+        let tight = l.tight_loss(Delta::new(1e-5)).epsilon.value();
+        assert!(tight <= basic, "tight {tight} > basic {basic}");
+        // And for 50 releases it should be a lot tighter.
+        assert!(tight < basic * 0.7, "tight {tight} vs basic {basic}");
+    }
+
+    #[test]
+    fn raw_release_is_unbounded() {
+        let mut l = UserLedger::new();
+        l.record("s/q", ReleaseKind::Raw);
+        assert!(l.has_raw_release());
+        assert!(!l.basic_loss().is_finite());
+        assert!(!l.tight_loss(Delta::new(1e-5)).is_finite());
+    }
+
+    #[test]
+    fn pure_entries_tracked() {
+        let mut l = UserLedger::new();
+        l.record("s/q", ReleaseKind::Pure { epsilon: 0.5 });
+        assert!((l.basic_loss().epsilon.value() - 0.5).abs() < 1e-12);
+        assert_eq!(l.basic_loss().delta, Delta::ZERO);
+    }
+
+    #[test]
+    fn accountant_tracks_users_independently() {
+        let acc = Accountant::new();
+        acc.record("alice", "s1/q1", gaussian_entry());
+        acc.record("alice", "s1/q2", gaussian_entry());
+        acc.record("bob", "s1/q1", gaussian_entry());
+        assert_eq!(acc.user_count(), 2);
+        assert_eq!(acc.releases_of("alice"), 2);
+        assert_eq!(acc.releases_of("bob"), 1);
+        assert_eq!(acc.releases_of("carol"), 0);
+        let d = Delta::new(1e-5);
+        assert!(acc.loss_of("alice", d).epsilon.value() > acc.loss_of("bob", d).epsilon.value());
+        assert_eq!(acc.loss_of("carol", d), PrivacyLoss::ZERO);
+    }
+
+    #[test]
+    fn loss_distribution_and_max() {
+        let acc = Accountant::new();
+        acc.record("a", "t", gaussian_entry());
+        acc.record("b", "t", ReleaseKind::Raw);
+        let d = Delta::new(1e-5);
+        let dist = acc.loss_distribution(d);
+        assert_eq!(dist.len(), 2);
+        assert!(acc.max_loss(d).is_infinite());
+    }
+
+    #[test]
+    fn ledger_serde_round_trip() {
+        let mut l = UserLedger::new();
+        l.record("s/q", gaussian_entry());
+        l.record("s/q2", ReleaseKind::Pure { epsilon: 1.0 });
+        let json = serde_json::to_string(&l).unwrap();
+        let back: UserLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(
+            (back.basic_loss().epsilon.value() - l.basic_loss().epsilon.value()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn accountant_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Accountant>();
+    }
+}

@@ -1,0 +1,256 @@
+//! Composition theorems.
+//!
+//! The paper's framework "quantif\[ies\] the privacy loss, so that the
+//! cumulative privacy loss can be tracked" — cumulative loss is exactly
+//! what composition theorems bound. We provide:
+//!
+//! * [`basic`] — parameters add (heterogeneous mechanisms);
+//! * [`advanced`] — the Dwork–Rothblum–Vadhan advanced composition bound
+//!   for k-fold composition of a single (ε, δ)-mechanism, which grows as
+//!   `O(√k · ε)` rather than `O(k · ε)`;
+//! * [`best_known`] — the minimum of basic and advanced at a given slack,
+//!   which is what the accountant reports for non-Gaussian entries.
+//!
+//! Tight Gaussian-specific composition lives in [`crate::rdp`].
+
+use crate::params::{Delta, Epsilon, PrivacyLoss};
+
+/// Basic (sequential) composition of an arbitrary list of losses: ε and δ
+/// both add, δ capped at 1.
+pub fn basic(losses: &[PrivacyLoss]) -> PrivacyLoss {
+    losses
+        .iter()
+        .fold(PrivacyLoss::ZERO, |acc, &l| acc.compose(l))
+}
+
+/// Advanced composition (Dwork, Rothblum, Vadhan 2010; as stated in
+/// Dwork & Roth, Thm 3.20): k-fold composition of an (ε, δ)-mechanism is
+/// (ε′, kδ + δ′)-DP for any slack δ′ > 0, with
+///
+/// ```text
+/// ε′ = √(2k ln(1/δ′))·ε + k·ε·(eᵉ − 1)
+/// ```
+///
+/// Returns `None` when `epsilon` is infinite (no bound exists).
+///
+/// # Panics
+/// Panics if `slack` is not in (0, 1).
+pub fn advanced(per_step: PrivacyLoss, k: u32, slack: f64) -> Option<PrivacyLoss> {
+    assert!(
+        slack > 0.0 && slack < 1.0,
+        "advanced composition slack must be in (0,1), got {slack}"
+    );
+    if !per_step.is_finite() {
+        return None;
+    }
+    if k == 0 {
+        return Some(PrivacyLoss::ZERO);
+    }
+    let eps = per_step.epsilon.value();
+    let kf = f64::from(k);
+    let eps_prime = (2.0 * kf * (1.0 / slack).ln()).sqrt() * eps + kf * eps * (eps.exp() - 1.0);
+    let delta_prime = (per_step.delta.value() * kf + slack).min(1.0);
+    Some(PrivacyLoss {
+        epsilon: Epsilon::new(eps_prime),
+        delta: Delta::new(delta_prime),
+    })
+}
+
+/// The better of basic and advanced composition for k-fold repetition of a
+/// single mechanism: whichever bound yields smaller ε at its δ.
+///
+/// For small k, basic composition wins (it carries no `√(ln 1/δ′)` constant
+/// and no extra slack); for large k advanced composition's `√k` scaling
+/// takes over. The crossover is itself exercised in the tests.
+pub fn best_known(per_step: PrivacyLoss, k: u32, slack: f64) -> PrivacyLoss {
+    let naive = per_step.compose_k(k);
+    match advanced(per_step, k, slack) {
+        Some(adv) if adv.epsilon.value() < naive.epsilon.value() => adv,
+        _ => naive,
+    }
+}
+
+/// Privacy amplification by subsampling (Poisson/uniform-without-
+/// replacement form, e.g. Balle–Barthe–Gaboardi 2018): if each user is
+/// included in a survey with probability `q`, an (ε, δ)-mechanism run on
+/// the sample is (ε′, qδ)-DP toward the full population with
+///
+/// ```text
+/// ε′ = ln(1 + q·(eᵉ − 1))
+/// ```
+///
+/// This is what lets Loki's balancing allocator (which surveys only a
+/// fraction of the user base per round) charge non-selected users nothing
+/// and selected users less than the raw mechanism cost when selection is
+/// random.
+///
+/// Returns `None` for unbounded input loss (nothing to amplify).
+///
+/// # Panics
+/// Panics if `q` is outside `(0, 1]`.
+pub fn amplify_by_subsampling(loss: PrivacyLoss, q: f64) -> Option<PrivacyLoss> {
+    assert!(q > 0.0 && q <= 1.0, "sampling rate must be in (0,1], got {q}");
+    if !loss.is_finite() {
+        return None;
+    }
+    let eps = loss.epsilon.value();
+    let eps_prime = (1.0 + q * (eps.exp() - 1.0)).ln();
+    Some(PrivacyLoss {
+        epsilon: Epsilon::new(eps_prime),
+        delta: Delta::new((loss.delta.value() * q).min(1.0)),
+    })
+}
+
+/// Parallel composition: mechanisms run on *disjoint* sub-populations cost
+/// only the maximum loss, not the sum. Loki uses this across privacy bins:
+/// each user answers in exactly one bin.
+pub fn parallel(losses: &[PrivacyLoss]) -> PrivacyLoss {
+    losses.iter().fold(PrivacyLoss::ZERO, |acc, &l| PrivacyLoss {
+        epsilon: if l.epsilon.value() > acc.epsilon.value() {
+            l.epsilon
+        } else {
+            acc.epsilon
+        },
+        delta: if l.delta.value() > acc.delta.value() {
+            l.delta
+        } else {
+            acc.delta
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_adds() {
+        let l = PrivacyLoss::new(0.5, 1e-6);
+        let total = basic(&[l, l, l]);
+        assert!((total.epsilon.value() - 1.5).abs() < 1e-12);
+        assert!((total.delta.value() - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn basic_of_empty_is_zero() {
+        assert_eq!(basic(&[]), PrivacyLoss::ZERO);
+    }
+
+    #[test]
+    fn basic_saturates_on_unbounded() {
+        let total = basic(&[PrivacyLoss::new(0.5, 0.0), PrivacyLoss::unbounded()]);
+        assert!(!total.is_finite());
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_steps() {
+        let per = PrivacyLoss::new(0.1, 1e-7);
+        let k = 500;
+        let naive = per.compose_k(k);
+        let adv = advanced(per, k, 1e-5).unwrap();
+        assert!(
+            adv.epsilon.value() < naive.epsilon.value(),
+            "advanced {} !< naive {}",
+            adv.epsilon.value(),
+            naive.epsilon.value()
+        );
+    }
+
+    #[test]
+    fn basic_beats_advanced_for_few_steps() {
+        let per = PrivacyLoss::new(0.1, 1e-7);
+        let naive = per.compose_k(2);
+        let adv = advanced(per, 2, 1e-5).unwrap();
+        assert!(
+            naive.epsilon.value() < adv.epsilon.value(),
+            "naive {} !< advanced {}",
+            naive.epsilon.value(),
+            adv.epsilon.value()
+        );
+    }
+
+    #[test]
+    fn best_known_picks_the_winner() {
+        let per = PrivacyLoss::new(0.1, 1e-7);
+        for k in [1, 2, 10, 100, 1000] {
+            let best = best_known(per, k, 1e-5);
+            let naive = per.compose_k(k);
+            assert!(best.epsilon.value() <= naive.epsilon.value() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn advanced_zero_steps_is_zero() {
+        let per = PrivacyLoss::new(0.5, 1e-6);
+        assert_eq!(advanced(per, 0, 1e-5).unwrap(), PrivacyLoss::ZERO);
+    }
+
+    #[test]
+    fn advanced_unbounded_has_no_bound() {
+        assert!(advanced(PrivacyLoss::unbounded(), 5, 1e-5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "slack must be in (0,1)")]
+    fn advanced_rejects_bad_slack() {
+        let _ = advanced(PrivacyLoss::new(0.1, 0.0), 5, 0.0);
+    }
+
+    #[test]
+    fn parallel_takes_max() {
+        let total = parallel(&[
+            PrivacyLoss::new(0.5, 1e-6),
+            PrivacyLoss::new(2.0, 1e-7),
+            PrivacyLoss::new(1.0, 1e-5),
+        ]);
+        assert_eq!(total.epsilon.value(), 2.0);
+        assert_eq!(total.delta.value(), 1e-5);
+    }
+
+    #[test]
+    fn subsampling_amplifies() {
+        let loss = PrivacyLoss::new(1.0, 1e-5);
+        let amp = amplify_by_subsampling(loss, 0.1).unwrap();
+        assert!(
+            amp.epsilon.value() < loss.epsilon.value(),
+            "no amplification: {amp:?}"
+        );
+        // Exact formula check: ln(1 + 0.1(e−1)) ≈ 0.15803.
+        assert!((amp.epsilon.value() - (1.0f64 + 0.1 * (1.0f64.exp() - 1.0)).ln()).abs() < 1e-12);
+        assert!((amp.delta.value() - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn subsampling_at_q1_is_identity() {
+        let loss = PrivacyLoss::new(0.7, 1e-6);
+        let amp = amplify_by_subsampling(loss, 1.0).unwrap();
+        assert!((amp.epsilon.value() - 0.7).abs() < 1e-12);
+        assert_eq!(amp.delta.value(), 1e-6);
+    }
+
+    #[test]
+    fn subsampling_small_eps_scales_linearly() {
+        // For small ε, ε′ ≈ q·ε.
+        let loss = PrivacyLoss::new(0.01, 0.0);
+        let amp = amplify_by_subsampling(loss, 0.2).unwrap();
+        assert!((amp.epsilon.value() - 0.002).abs() < 1e-5);
+    }
+
+    #[test]
+    fn subsampling_unbounded_is_none() {
+        assert!(amplify_by_subsampling(PrivacyLoss::unbounded(), 0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate must be in (0,1]")]
+    fn subsampling_rejects_bad_rate() {
+        let _ = amplify_by_subsampling(PrivacyLoss::new(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn advanced_delta_includes_slack_and_k_delta() {
+        let per = PrivacyLoss::new(0.1, 1e-6);
+        let adv = advanced(per, 10, 1e-5).unwrap();
+        assert!((adv.delta.value() - (10.0 * 1e-6 + 1e-5)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,90 @@
+//! # loki-dp — differential-privacy substrate for the Loki survey platform
+//!
+//! This crate provides the mathematical machinery behind Loki's at-source
+//! obfuscation (Kandappu et al., *Exposing and Mitigating Privacy Loss in
+//! Crowdsourced Survey Platforms*, CoNEXT SW'13, §3.1):
+//!
+//! * **Privacy parameters** — [`params::Epsilon`], [`params::Delta`] and the
+//!   combined [`params::PrivacyLoss`], with saturating arithmetic so that a
+//!   "no privacy" response is representable as `ε = ∞`.
+//! * **Mechanisms** — the Gaussian mechanism (both the classic calibration
+//!   and the analytic calibration of Balle & Wang), the Laplace mechanism,
+//!   k-ary randomized response and the exponential mechanism
+//!   ([`mechanisms`]).
+//! * **Composition** — basic and advanced (ε, δ)-composition plus a
+//!   Rényi-DP accountant for tight Gaussian composition ([`composition`],
+//!   [`rdp`]).
+//! * **Accounting** — a per-user privacy ledger recording every obfuscated
+//!   response, supporting the paper's goal that "cumulative privacy loss can
+//!   be tracked and balanced across the user base" ([`accountant`]).
+//! * **Utility analysis** — predicted estimator error as a function of noise
+//!   scale and sample size, used to validate the accuracy/privacy trade-off
+//!   of Fig. 2 ([`utility`]).
+//! * **Sampling** — deterministic, seedable noise sampling built directly on
+//!   [`rand`] primitives (Box–Muller / inverse-CDF), so experiments replay
+//!   exactly ([`sampling`]).
+//!
+//! All randomness flows through explicitly-passed RNGs; nothing in this
+//! crate reads the OS entropy pool on its own.
+//!
+//! # Example
+//!
+//! Calibrate the Gaussian mechanism for a 1–5 rating, release a noisy
+//! answer, and account for it:
+//!
+//! ```
+//! use loki_dp::mechanisms::gaussian::GaussianMechanism;
+//! use loki_dp::mechanisms::Mechanism;
+//! use loki_dp::params::Delta;
+//! use loki_dp::accountant::{ReleaseKind, UserLedger};
+//! use loki_dp::Sensitivity;
+//! use rand::SeedableRng;
+//!
+//! let mech = GaussianMechanism::from_sigma(
+//!     1.0,                                  // the app's "medium" level
+//!     Sensitivity::of_bounded_scale(1.0, 5.0),
+//!     Delta::new(loki_dp::DEFAULT_DELTA),
+//! );
+//! let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(7);
+//! let noisy = mech.release(&mut rng, 4.0);
+//! assert!(noisy.is_finite());
+//!
+//! let mut ledger = UserLedger::new();
+//! ledger.record("survey-1/q0", ReleaseKind::Gaussian { sigma: 1.0, sensitivity: 4.0 });
+//! assert!(ledger.basic_loss().is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod composition;
+pub mod mechanisms;
+pub mod params;
+pub mod rdp;
+pub mod sampling;
+pub mod sensitivity;
+pub mod special;
+pub mod utility;
+
+pub use accountant::{Accountant, LedgerEntry, UserLedger};
+pub use mechanisms::gaussian::GaussianMechanism;
+pub use mechanisms::laplace::LaplaceMechanism;
+pub use mechanisms::randomized_response::RandomizedResponse;
+pub use params::{Delta, Epsilon, PrivacyLoss};
+pub use sensitivity::Sensitivity;
+
+/// Default δ used by Loki when converting a noise level to an (ε, δ) pair.
+///
+/// The trial population in the paper is on the order of 10² users; δ = 10⁻⁵
+/// keeps the failure probability far below 1/n for any plausible deployment.
+pub const DEFAULT_DELTA: f64 = 1e-5;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_delta_is_small() {
+        let delta = super::DEFAULT_DELTA;
+        assert!(delta < 1e-3, "default delta {delta} too large");
+    }
+}

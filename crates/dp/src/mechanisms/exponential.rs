@@ -1,0 +1,147 @@
+//! The exponential mechanism over a countable response set.
+//!
+//! Used by the extension experiments to obfuscate *ordinal* answers (e.g. a
+//! 1–5 rating treated as categories where adjacent answers are "closer"):
+//! instead of additive noise, the reported answer is sampled with
+//! probability ∝ exp(ε · score / 2Δ), where the score rewards answers near
+//! the truth. Implemented with the Gumbel-max trick, which samples the
+//! exact exponential-mechanism distribution without normalizing.
+
+use crate::params::{Delta, Epsilon, PrivacyLoss};
+use crate::sampling;
+use rand::Rng;
+
+/// Exponential mechanism over the discrete set `0..n` with a caller-supplied
+/// score function.
+#[derive(Debug, Clone)]
+pub struct ExponentialMechanism {
+    epsilon: Epsilon,
+    score_sensitivity: f64,
+}
+
+impl ExponentialMechanism {
+    /// Creates an exponential mechanism at privacy level ε for a score
+    /// function of the given sensitivity (max change in any candidate's
+    /// score when one individual's data changes).
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is zero/infinite or `score_sensitivity` is not
+    /// strictly positive and finite.
+    pub fn new(epsilon: Epsilon, score_sensitivity: f64) -> ExponentialMechanism {
+        let eps = epsilon.value();
+        assert!(
+            eps > 0.0 && eps.is_finite(),
+            "exponential mechanism requires finite positive epsilon, got {eps}"
+        );
+        assert!(
+            score_sensitivity > 0.0 && score_sensitivity.is_finite(),
+            "score sensitivity must be positive and finite, got {score_sensitivity}"
+        );
+        ExponentialMechanism {
+            epsilon,
+            score_sensitivity,
+        }
+    }
+
+    /// The privacy loss of one invocation: pure ε-DP.
+    pub fn privacy_loss(&self) -> PrivacyLoss {
+        PrivacyLoss {
+            epsilon: self.epsilon,
+            delta: Delta::ZERO,
+        }
+    }
+
+    /// Selects one candidate index given per-candidate scores, via
+    /// Gumbel-max: `argmax(ε·score/(2Δ) + G_i)` with i.i.d. standard
+    /// Gumbel noise samples exactly from the exponential-mechanism
+    /// distribution.
+    ///
+    /// # Panics
+    /// Panics if `scores` is empty or contains non-finite values.
+    pub fn select<R: Rng + ?Sized>(&self, rng: &mut R, scores: &[f64]) -> usize {
+        assert!(!scores.is_empty(), "cannot select from an empty candidate set");
+        let coeff = self.epsilon.value() / (2.0 * self.score_sensitivity);
+        let mut best = 0;
+        let mut best_key = f64::NEG_INFINITY;
+        for (i, &s) in scores.iter().enumerate() {
+            assert!(s.is_finite(), "score {i} is not finite: {s}");
+            let key = coeff * s + sampling::gumbel(rng);
+            if key > best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The exact selection probabilities (normalized softmax), exposed for
+    /// tests and utility prediction.
+    pub fn probabilities(&self, scores: &[f64]) -> Vec<f64> {
+        assert!(!scores.is_empty());
+        let coeff = self.epsilon.value() / (2.0 * self.score_sensitivity);
+        // Stabilize the softmax against overflow.
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = scores.iter().map(|&s| (coeff * (s - max)).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_order_by_score() {
+        let m = ExponentialMechanism::new(Epsilon::new(1.0), 1.0);
+        let p = m.probabilities(&[0.0, 1.0, 2.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] < p[1] && p[1] < p[2]);
+    }
+
+    #[test]
+    fn gumbel_max_matches_softmax() {
+        let m = ExponentialMechanism::new(Epsilon::new(2.0), 1.0);
+        let scores = [0.0, 0.5, 1.5, 1.0];
+        let want = m.probabilities(&scores);
+        let mut rng = ChaCha20Rng::seed_from_u64(44);
+        let n = 200_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[m.select(&mut rng, &scores)] += 1;
+        }
+        for i in 0..4 {
+            let got = counts[i] as f64 / n as f64;
+            assert!(
+                (got - want[i]).abs() < 0.006,
+                "candidate {i}: got {got}, want {}",
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn high_epsilon_concentrates_on_argmax() {
+        let m = ExponentialMechanism::new(Epsilon::new(50.0), 1.0);
+        let p = m.probabilities(&[0.0, 1.0, 5.0]);
+        assert!(p[2] > 0.999, "p = {p:?}");
+    }
+
+    #[test]
+    fn softmax_is_overflow_safe() {
+        let m = ExponentialMechanism::new(Epsilon::new(10.0), 1.0);
+        let p = m.probabilities(&[1e6, 1e6 + 1.0]);
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty candidate set")]
+    fn select_rejects_empty() {
+        let m = ExponentialMechanism::new(Epsilon::new(1.0), 1.0);
+        let mut rng = ChaCha20Rng::seed_from_u64(45);
+        let _ = m.select(&mut rng, &[]);
+    }
+}

@@ -1,0 +1,340 @@
+//! The Gaussian mechanism — the noise Loki's app adds at-source.
+//!
+//! Two calibrations are provided:
+//!
+//! * the **classic** calibration σ = Δ·√(2 ln(1.25/δ))/ε (Dwork & Roth,
+//!   valid for ε ≤ 1), kept as a baseline and for cross-checking;
+//! * the **analytic** calibration of Balle & Wang (ICML 2018), which is
+//!   tight for every ε and is what the ledger uses to convert the app's
+//!   fixed noise levels (σ = 0.5, 1.0, 2.0 on a 1–5 scale) into (ε, δ)
+//!   pairs.
+//!
+//! The analytic characterization: `N(0, σ²)` noise on a query of
+//! sensitivity Δ is (ε, δ)-DP **iff**
+//!
+//! ```text
+//! δ ≥ Φ(Δ/2σ − εσ/Δ) − eᵉ · Φ(−Δ/2σ − εσ/Δ)
+//! ```
+//!
+//! Both directions (σ from (ε, δ); ε from (σ, δ)) are solved by monotone
+//! bisection on this expression.
+
+use super::Mechanism;
+use crate::params::{Delta, Epsilon, PrivacyLoss};
+use crate::sampling;
+use crate::sensitivity::Sensitivity;
+use crate::special::normal_cdf;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Additive Gaussian noise with standard deviation `sigma`, calibrated to a
+/// query of the given sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianMechanism {
+    sigma: f64,
+    sensitivity: Sensitivity,
+    delta: Delta,
+}
+
+/// The exact δ achieved by σ-noise at privacy level ε for sensitivity Δ
+/// (Balle & Wang, Theorem 8). Monotone decreasing in both σ and ε.
+pub fn analytic_delta(sensitivity: Sensitivity, sigma: f64, epsilon: Epsilon) -> Delta {
+    assert!(sigma > 0.0, "analytic_delta requires sigma > 0");
+    let d = sensitivity.value();
+    let eps = epsilon.value();
+    if eps.is_infinite() {
+        return Delta::ZERO;
+    }
+    let a = d / (2.0 * sigma) - eps * sigma / d;
+    let b = -d / (2.0 * sigma) - eps * sigma / d;
+    // The ε·ln term can overflow exp() for large ε; compute in log space
+    // when needed.
+    let term2 = if eps > 700.0 {
+        // e^ε Φ(b): Φ(b) underflows much faster than e^ε overflows here, so
+        // compute exp(ε + ln Φ(b)). Φ(b) for very negative b ~ φ(b)/|b|.
+        let ln_phi_b = if b < -8.0 {
+            -0.5 * b * b - (-b).ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+        } else {
+            normal_cdf(b).ln()
+        };
+        (eps + ln_phi_b).exp()
+    } else {
+        eps.exp() * normal_cdf(b)
+    };
+    let delta = (normal_cdf(a) - term2).clamp(0.0, 1.0);
+    Delta::new(delta)
+}
+
+impl GaussianMechanism {
+    /// Builds the mechanism directly from a noise standard deviation, with
+    /// unit sensitivity and the crate's [default δ](crate::DEFAULT_DELTA).
+    /// Mostly useful in tests and utility sweeps.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is not strictly positive and finite.
+    pub fn with_sigma(sigma: f64) -> GaussianMechanism {
+        GaussianMechanism::from_sigma(sigma, Sensitivity::new(1.0), Delta::new(crate::DEFAULT_DELTA))
+    }
+
+    /// Builds the mechanism from a chosen noise level. This is the
+    /// direction Loki uses: the app's privacy levels fix σ, and the ledger
+    /// needs the implied ε at the chosen δ.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is not strictly positive and finite, or if
+    /// `delta` is zero (the Gaussian mechanism never satisfies pure DP).
+    pub fn from_sigma(sigma: f64, sensitivity: Sensitivity, delta: Delta) -> GaussianMechanism {
+        assert!(
+            sigma > 0.0 && sigma.is_finite(),
+            "sigma must be positive and finite, got {sigma}"
+        );
+        assert!(
+            delta.value() > 0.0,
+            "the Gaussian mechanism requires delta > 0"
+        );
+        GaussianMechanism {
+            sigma,
+            sensitivity,
+            delta,
+        }
+    }
+
+    /// Classic calibration: σ = Δ·√(2 ln(1.25/δ))/ε. Only valid for ε ≤ 1;
+    /// asserts that bound.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in (0, 1] or `delta` is zero.
+    pub fn calibrate_classic(
+        sensitivity: Sensitivity,
+        epsilon: Epsilon,
+        delta: Delta,
+    ) -> GaussianMechanism {
+        let eps = epsilon.value();
+        assert!(
+            eps > 0.0 && eps <= 1.0,
+            "classic Gaussian calibration requires 0 < epsilon <= 1, got {eps}"
+        );
+        assert!(delta.value() > 0.0, "delta must be positive");
+        let sigma = sensitivity.value() * (2.0 * (1.25 / delta.value()).ln()).sqrt() / eps;
+        GaussianMechanism {
+            sigma,
+            sensitivity,
+            delta,
+        }
+    }
+
+    /// Analytic (tight) calibration: the smallest σ such that the mechanism
+    /// is (ε, δ)-DP, found by bisection on [`analytic_delta`].
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is zero/infinite or `delta` is zero.
+    pub fn calibrate_analytic(
+        sensitivity: Sensitivity,
+        epsilon: Epsilon,
+        delta: Delta,
+    ) -> GaussianMechanism {
+        let eps = epsilon.value();
+        assert!(
+            eps > 0.0 && eps.is_finite(),
+            "analytic calibration requires finite positive epsilon, got {eps}"
+        );
+        assert!(delta.value() > 0.0, "delta must be positive");
+
+        // δ(σ) is monotone decreasing in σ. Find a bracket then bisect.
+        let mut lo = 1e-12;
+        let mut hi = sensitivity.value().max(1.0);
+        while analytic_delta(sensitivity, hi, epsilon).value() > delta.value() {
+            hi *= 2.0;
+            assert!(hi < 1e12, "failed to bracket sigma");
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if analytic_delta(sensitivity, mid, epsilon).value() > delta.value() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        GaussianMechanism {
+            sigma: hi,
+            sensitivity,
+            delta,
+        }
+    }
+
+    /// The tight ε implied by this mechanism's σ at its δ, via bisection on
+    /// [`analytic_delta`] (monotone decreasing in ε).
+    pub fn epsilon(&self) -> Epsilon {
+        let target = self.delta.value();
+        let mut lo = 0.0_f64;
+        let mut hi = 1.0_f64;
+        while analytic_delta(self.sensitivity, self.sigma, Epsilon::new(hi)).value() > target {
+            hi *= 2.0;
+            if hi > 1e9 {
+                // Effectively no guarantee at this δ.
+                return Epsilon::INFINITY;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if analytic_delta(self.sensitivity, self.sigma, Epsilon::new(mid)).value() > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Epsilon::new(hi)
+    }
+
+    /// The noise standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The calibrated sensitivity.
+    pub fn sensitivity(&self) -> Sensitivity {
+        self.sensitivity
+    }
+
+    /// The δ this mechanism's ledger entries are stated at.
+    pub fn delta(&self) -> Delta {
+        self.delta
+    }
+}
+
+impl Mechanism for GaussianMechanism {
+    fn privacy_loss(&self) -> PrivacyLoss {
+        PrivacyLoss {
+            epsilon: self.epsilon(),
+            delta: self.delta,
+        }
+    }
+
+    fn release<R: Rng + ?Sized>(&self, rng: &mut R, value: f64) -> f64 {
+        sampling::gaussian(rng, value, self.sigma)
+    }
+
+    fn noise_std(&self) -> Option<f64> {
+        Some(self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn sens() -> Sensitivity {
+        Sensitivity::new(4.0) // a 1–5 rating scale
+    }
+
+    #[test]
+    fn analytic_delta_decreases_in_sigma() {
+        let eps = Epsilon::new(1.0);
+        let d1 = analytic_delta(sens(), 1.0, eps).value();
+        let d2 = analytic_delta(sens(), 2.0, eps).value();
+        let d3 = analytic_delta(sens(), 4.0, eps).value();
+        assert!(d1 > d2 && d2 > d3, "{d1} {d2} {d3}");
+    }
+
+    #[test]
+    fn analytic_delta_decreases_in_epsilon() {
+        let d1 = analytic_delta(sens(), 2.0, Epsilon::new(0.5)).value();
+        let d2 = analytic_delta(sens(), 2.0, Epsilon::new(1.0)).value();
+        let d3 = analytic_delta(sens(), 2.0, Epsilon::new(2.0)).value();
+        assert!(d1 > d2 && d2 > d3, "{d1} {d2} {d3}");
+    }
+
+    #[test]
+    fn analytic_calibration_hits_target_delta() {
+        let eps = Epsilon::new(1.0);
+        let delta = Delta::new(1e-5);
+        let m = GaussianMechanism::calibrate_analytic(sens(), eps, delta);
+        let achieved = analytic_delta(sens(), m.sigma(), eps).value();
+        assert!(
+            achieved <= delta.value() * (1.0 + 1e-6),
+            "achieved δ {achieved} exceeds target {}",
+            delta.value()
+        );
+        // And it is tight: slightly smaller sigma must violate the target.
+        let worse = analytic_delta(sens(), m.sigma() * 0.99, eps).value();
+        assert!(worse > delta.value());
+    }
+
+    #[test]
+    fn analytic_beats_classic() {
+        // Balle & Wang's calibration strictly improves on the classic one.
+        let eps = Epsilon::new(0.5);
+        let delta = Delta::new(1e-5);
+        let classic = GaussianMechanism::calibrate_classic(sens(), eps, delta);
+        let analytic = GaussianMechanism::calibrate_analytic(sens(), eps, delta);
+        assert!(
+            analytic.sigma() < classic.sigma(),
+            "analytic {} !< classic {}",
+            analytic.sigma(),
+            classic.sigma()
+        );
+    }
+
+    #[test]
+    fn epsilon_round_trips_through_sigma() {
+        // calibrate for ε, then recover ε from σ: must agree.
+        for &target in &[0.25, 1.0, 3.0, 8.0] {
+            let eps = Epsilon::new(target);
+            let delta = Delta::new(1e-5);
+            let m = GaussianMechanism::calibrate_analytic(sens(), eps, delta);
+            let back = m.epsilon().value();
+            assert!(
+                (back - target).abs() / target < 1e-4,
+                "round trip {target} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn loki_privacy_levels_have_ordered_epsilon() {
+        // The app's σ ∈ {0.5, 1.0, 2.0} on a 1–5 scale: higher privacy
+        // level (larger σ) must yield smaller ε.
+        let delta = Delta::new(crate::DEFAULT_DELTA);
+        let eps: Vec<f64> = [0.5, 1.0, 2.0]
+            .iter()
+            .map(|&s| {
+                GaussianMechanism::from_sigma(s, sens(), delta)
+                    .epsilon()
+                    .value()
+            })
+            .collect();
+        assert!(eps[0] > eps[1] && eps[1] > eps[2], "{eps:?}");
+        assert!(eps.iter().all(|e| e.is_finite()));
+    }
+
+    #[test]
+    fn release_adds_mean_zero_noise() {
+        let m = GaussianMechanism::with_sigma(1.0);
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| m.release(&mut rng, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn from_sigma_rejects_zero() {
+        let _ = GaussianMechanism::from_sigma(0.0, sens(), Delta::new(1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires 0 < epsilon <= 1")]
+    fn classic_rejects_large_epsilon() {
+        let _ = GaussianMechanism::calibrate_classic(sens(), Epsilon::new(2.0), Delta::new(1e-5));
+    }
+
+    #[test]
+    fn privacy_loss_carries_delta() {
+        let m = GaussianMechanism::from_sigma(1.0, sens(), Delta::new(1e-6));
+        let loss = m.privacy_loss();
+        assert_eq!(loss.delta.value(), 1e-6);
+        assert!(loss.epsilon.is_finite());
+    }
+}

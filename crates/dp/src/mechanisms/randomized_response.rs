@@ -1,0 +1,221 @@
+//! k-ary randomized response for multiple-choice questions.
+//!
+//! §3.1 of the paper notes the obfuscation approach "can be applied to
+//! other question types (e.g., multiple-choice questions) in which the
+//! response set is countable". The canonical local-DP mechanism for a
+//! categorical answer with `k` choices is generalized randomized response:
+//! report the true choice with probability `p = eᵉ / (eᵉ + k − 1)`, and
+//! each other choice with probability `q = 1 / (eᵉ + k − 1)`.
+//!
+//! The module also carries the unbiased frequency estimator that inverts
+//! the perturbation on the server side.
+
+use crate::params::{Delta, Epsilon, PrivacyLoss};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Generalized (k-ary) randomized response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomizedResponse {
+    k: usize,
+    epsilon: Epsilon,
+    p_truth: f64,
+}
+
+impl RandomizedResponse {
+    /// Creates a k-ary randomized-response mechanism at privacy level ε.
+    ///
+    /// # Panics
+    /// Panics if `k < 2` (a one-option question carries no information to
+    /// protect) or if `epsilon` is zero or infinite.
+    pub fn new(k: usize, epsilon: Epsilon) -> RandomizedResponse {
+        assert!(k >= 2, "randomized response needs at least 2 choices, got {k}");
+        let eps = epsilon.value();
+        assert!(
+            eps > 0.0 && eps.is_finite(),
+            "randomized response requires finite positive epsilon, got {eps}"
+        );
+        let e = eps.exp();
+        RandomizedResponse {
+            k,
+            epsilon,
+            p_truth: e / (e + k as f64 - 1.0),
+        }
+    }
+
+    /// Number of answer choices.
+    pub fn choices(&self) -> usize {
+        self.k
+    }
+
+    /// Probability of reporting the true choice.
+    pub fn p_truth(&self) -> f64 {
+        self.p_truth
+    }
+
+    /// Probability of reporting any one specific *other* choice.
+    pub fn p_other(&self) -> f64 {
+        (1.0 - self.p_truth) / (self.k as f64 - 1.0)
+    }
+
+    /// The privacy loss of one invocation: pure ε-LDP.
+    pub fn privacy_loss(&self) -> PrivacyLoss {
+        PrivacyLoss {
+            epsilon: self.epsilon,
+            delta: Delta::ZERO,
+        }
+    }
+
+    /// Perturbs a true choice index.
+    ///
+    /// # Panics
+    /// Panics if `choice >= k`.
+    pub fn perturb<R: Rng + ?Sized>(&self, rng: &mut R, choice: usize) -> usize {
+        assert!(choice < self.k, "choice {choice} out of range 0..{}", self.k);
+        if rng.gen_bool(self.p_truth) {
+            choice
+        } else {
+            // Pick uniformly among the k−1 other choices.
+            let mut other = rng.gen_range(0..self.k - 1);
+            if other >= choice {
+                other += 1;
+            }
+            other
+        }
+    }
+
+    /// Unbiased estimate of the true per-choice frequencies from observed
+    /// (perturbed) counts.
+    ///
+    /// If `n_v` is the observed count of choice `v` out of `n` reports, the
+    /// unbiased estimate of the true count is `(n_v − n·q) / (p − q)`.
+    /// Estimates are *not* clipped to `[0, n]`; callers that need proper
+    /// frequencies can post-process.
+    ///
+    /// # Panics
+    /// Panics if `observed.len() != k`.
+    pub fn estimate_frequencies(&self, observed: &[u64]) -> Vec<f64> {
+        assert_eq!(
+            observed.len(),
+            self.k,
+            "observed histogram has {} bins, mechanism has {}",
+            observed.len(),
+            self.k
+        );
+        let n: u64 = observed.iter().sum();
+        let q = self.p_other();
+        let denom = self.p_truth - q;
+        observed
+            .iter()
+            .map(|&c| (c as f64 - n as f64 * q) / denom)
+            .collect()
+    }
+
+    /// Standard deviation of the count estimate for one choice, at `n`
+    /// reports with true frequency `f` — used for utility prediction.
+    pub fn estimate_std(&self, n: usize, f: f64) -> f64 {
+        let p = self.p_truth;
+        let q = self.p_other();
+        // Report probability for this choice:
+        let r = f * p + (1.0 - f) * q;
+        (n as f64 * r * (1.0 - r)).sqrt() / (p - q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    #[test]
+    fn truth_probability_formula() {
+        let rr = RandomizedResponse::new(4, Epsilon::new(std::f64::consts::LN_2));
+        // eᵉ = 2, k = 4: p = 2/(2+3) = 0.4, q = 0.6/3 = 0.2, ratio p/q = eᵉ.
+        assert!((rr.p_truth() - 0.4).abs() < 1e-12);
+        assert!((rr.p_other() - 0.2).abs() < 1e-12);
+        assert!((rr.p_truth() / rr.p_other() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn likelihood_ratio_is_exactly_exp_epsilon() {
+        for k in [2, 3, 5, 10] {
+            for eps in [0.1, 1.0, 3.0] {
+                let rr = RandomizedResponse::new(k, Epsilon::new(eps));
+                let ratio = rr.p_truth() / rr.p_other();
+                assert!(
+                    (ratio - eps.exp()).abs() < 1e-9,
+                    "k={k} eps={eps}: ratio {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let rr = RandomizedResponse::new(7, Epsilon::new(1.3));
+        let total = rr.p_truth() + 6.0 * rr.p_other();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturb_respects_marginals() {
+        let rr = RandomizedResponse::new(3, Epsilon::new(1.0));
+        let mut rng = ChaCha20Rng::seed_from_u64(33);
+        let n = 300_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            counts[rr.perturb(&mut rng, 1)] += 1;
+        }
+        let f_truth = counts[1] as f64 / n as f64;
+        let f_other = counts[0] as f64 / n as f64;
+        assert!((f_truth - rr.p_truth()).abs() < 0.005, "{f_truth}");
+        assert!((f_other - rr.p_other()).abs() < 0.005, "{f_other}");
+    }
+
+    #[test]
+    fn frequency_estimator_is_unbiased() {
+        let rr = RandomizedResponse::new(4, Epsilon::new(1.5));
+        let mut rng = ChaCha20Rng::seed_from_u64(34);
+        // True distribution over 4 choices:
+        let truth = [0.5, 0.25, 0.15, 0.10];
+        let n = 200_000usize;
+        let mut observed = [0u64; 4];
+        for i in 0..n {
+            let u = i as f64 / n as f64;
+            let true_choice = match u {
+                u if u < 0.5 => 0,
+                u if u < 0.75 => 1,
+                u if u < 0.90 => 2,
+                _ => 3,
+            };
+            observed[rr.perturb(&mut rng, true_choice)] += 1;
+        }
+        let est = rr.estimate_frequencies(&observed);
+        for (i, &t) in truth.iter().enumerate() {
+            let f = est[i] / n as f64;
+            assert!((f - t).abs() < 0.01, "choice {i}: est {f}, true {t}");
+        }
+    }
+
+    #[test]
+    fn estimate_std_decreases_with_epsilon() {
+        let lo = RandomizedResponse::new(4, Epsilon::new(0.5)).estimate_std(1000, 0.25);
+        let hi = RandomizedResponse::new(4, Epsilon::new(3.0)).estimate_std(1000, 0.25);
+        assert!(lo > hi, "std at eps=0.5 ({lo}) should exceed eps=3 ({hi})");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 choices")]
+    fn rejects_degenerate_k() {
+        let _ = RandomizedResponse::new(1, Epsilon::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn perturb_rejects_bad_choice() {
+        let rr = RandomizedResponse::new(3, Epsilon::new(1.0));
+        let mut rng = ChaCha20Rng::seed_from_u64(35);
+        let _ = rr.perturb(&mut rng, 3);
+    }
+}

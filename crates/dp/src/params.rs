@@ -1,0 +1,323 @@
+//! Privacy-loss parameter types: ε, δ and the combined (ε, δ) pair.
+//!
+//! These are thin newtypes over `f64` with the invariants a privacy
+//! accountant needs: non-negativity, explicit handling of the *infinite*
+//! loss incurred by an unobfuscated ("no privacy") response, and saturating
+//! addition so that composing anything with `ε = ∞` stays `∞` rather than
+//! producing NaN.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// The ε (epsilon) parameter of differential privacy.
+///
+/// Smaller is more private. `Epsilon::INFINITY` represents a response
+/// submitted with no obfuscation at all, which formally provides no
+/// differential-privacy guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Zero privacy loss (a response that reveals nothing).
+    pub const ZERO: Epsilon = Epsilon(0.0);
+    /// Unbounded privacy loss (an unobfuscated response).
+    pub const INFINITY: Epsilon = Epsilon(f64::INFINITY);
+
+    /// Creates an ε value.
+    ///
+    /// # Panics
+    /// Panics if `value` is negative or NaN — neither is a meaningful
+    /// privacy loss.
+    pub fn new(value: f64) -> Epsilon {
+        assert!(
+            value >= 0.0 && !value.is_nan(),
+            "epsilon must be non-negative and not NaN, got {value}"
+        );
+        Epsilon(value)
+    }
+
+    /// Creates an ε value, returning `None` for negative or NaN inputs.
+    pub fn try_new(value: f64) -> Option<Epsilon> {
+        if value >= 0.0 && !value.is_nan() {
+            Some(Epsilon(value))
+        } else {
+            None
+        }
+    }
+
+    /// The raw ε value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this is the unbounded (no-guarantee) loss.
+    pub fn is_infinite(self) -> bool {
+        self.0.is_infinite()
+    }
+
+    /// Whether this is a real (finite) guarantee.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Saturating addition; anything plus `∞` is `∞`.
+    pub fn saturating_add(self, other: Epsilon) -> Epsilon {
+        Epsilon(self.0 + other.0)
+    }
+
+    /// Multiplies the loss by a non-negative integer count (k-fold
+    /// sequential composition of the same mechanism).
+    pub fn scale(self, k: u32) -> Epsilon {
+        if k == 0 {
+            Epsilon::ZERO
+        } else {
+            Epsilon(self.0 * f64::from(k))
+        }
+    }
+}
+
+impl Add for Epsilon {
+    type Output = Epsilon;
+    fn add(self, rhs: Epsilon) -> Epsilon {
+        self.saturating_add(rhs)
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_infinite() {
+            write!(f, "ε=∞")
+        } else {
+            write!(f, "ε={:.4}", self.0)
+        }
+    }
+}
+
+/// The δ (delta) parameter of approximate differential privacy.
+///
+/// A probability, so it must lie in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Delta(f64);
+
+impl Delta {
+    /// δ = 0 (pure differential privacy).
+    pub const ZERO: Delta = Delta(0.0);
+
+    /// Creates a δ value.
+    ///
+    /// # Panics
+    /// Panics if `value` is outside `[0, 1]` or NaN.
+    pub fn new(value: f64) -> Delta {
+        assert!(
+            (0.0..=1.0).contains(&value),
+            "delta must be a probability in [0,1], got {value}"
+        );
+        Delta(value)
+    }
+
+    /// Creates a δ value, returning `None` if outside `[0, 1]`.
+    pub fn try_new(value: f64) -> Option<Delta> {
+        if (0.0..=1.0).contains(&value) {
+            Some(Delta(value))
+        } else {
+            None
+        }
+    }
+
+    /// The raw δ value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Addition capped at 1 (δ is a probability; the union bound used in
+    /// composition can never exceed certainty).
+    pub fn saturating_add(self, other: Delta) -> Delta {
+        Delta((self.0 + other.0).min(1.0))
+    }
+
+    /// Multiplies by a count, capped at 1.
+    pub fn scale(self, k: u32) -> Delta {
+        Delta((self.0 * f64::from(k)).min(1.0))
+    }
+}
+
+impl Add for Delta {
+    type Output = Delta;
+    fn add(self, rhs: Delta) -> Delta {
+        self.saturating_add(rhs)
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "δ={:.2e}", self.0)
+    }
+}
+
+/// A combined (ε, δ) privacy loss, the unit tracked by the accountant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyLoss {
+    /// The ε component.
+    pub epsilon: Epsilon,
+    /// The δ component.
+    pub delta: Delta,
+}
+
+impl PrivacyLoss {
+    /// Zero loss: (0, 0).
+    pub const ZERO: PrivacyLoss = PrivacyLoss {
+        epsilon: Epsilon::ZERO,
+        delta: Delta::ZERO,
+    };
+
+    /// Creates a loss from raw parts. Panics on invalid values (see
+    /// [`Epsilon::new`], [`Delta::new`]).
+    pub fn new(epsilon: f64, delta: f64) -> PrivacyLoss {
+        PrivacyLoss {
+            epsilon: Epsilon::new(epsilon),
+            delta: Delta::new(delta),
+        }
+    }
+
+    /// The loss of an unobfuscated response: (∞, 0).
+    pub fn unbounded() -> PrivacyLoss {
+        PrivacyLoss {
+            epsilon: Epsilon::INFINITY,
+            delta: Delta::ZERO,
+        }
+    }
+
+    /// Whether this loss represents a real (finite-ε) guarantee.
+    pub fn is_finite(self) -> bool {
+        self.epsilon.is_finite()
+    }
+
+    /// Basic sequential composition: parameters add (δ capped at 1).
+    pub fn compose(self, other: PrivacyLoss) -> PrivacyLoss {
+        PrivacyLoss {
+            epsilon: self.epsilon + other.epsilon,
+            delta: self.delta + other.delta,
+        }
+    }
+
+    /// k-fold basic composition of this loss with itself.
+    pub fn compose_k(self, k: u32) -> PrivacyLoss {
+        PrivacyLoss {
+            epsilon: self.epsilon.scale(k),
+            delta: self.delta.scale(k),
+        }
+    }
+
+    /// Whether this loss fits within `budget` (both components).
+    pub fn within(self, budget: PrivacyLoss) -> bool {
+        self.epsilon.value() <= budget.epsilon.value() && self.delta.value() <= budget.delta.value()
+    }
+}
+
+impl fmt::Display for PrivacyLoss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.epsilon, self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_rejects_negative() {
+        assert!(Epsilon::try_new(-0.1).is_none());
+        assert!(Epsilon::try_new(f64::NAN).is_none());
+        assert!(Epsilon::try_new(0.0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be non-negative")]
+    fn epsilon_new_panics_on_negative() {
+        let _ = Epsilon::new(-1.0);
+    }
+
+    #[test]
+    fn epsilon_infinity_saturates() {
+        let inf = Epsilon::INFINITY;
+        let one = Epsilon::new(1.0);
+        assert!((inf + one).is_infinite());
+        assert!((one + inf).is_infinite());
+        assert!(inf.scale(3).is_infinite());
+    }
+
+    #[test]
+    fn epsilon_scale_zero_of_infinity_is_zero() {
+        // 0 invocations of any mechanism leak nothing, even a non-private one.
+        assert_eq!(Epsilon::INFINITY.scale(0), Epsilon::ZERO);
+    }
+
+    #[test]
+    fn delta_bounds() {
+        assert!(Delta::try_new(1.5).is_none());
+        assert!(Delta::try_new(-0.1).is_none());
+        assert_eq!(Delta::new(0.25).value(), 0.25);
+    }
+
+    #[test]
+    fn delta_addition_caps_at_one() {
+        let d = Delta::new(0.7);
+        assert_eq!((d + d).value(), 1.0);
+        assert_eq!(d.scale(10).value(), 1.0);
+    }
+
+    #[test]
+    fn loss_composition_adds() {
+        let a = PrivacyLoss::new(0.5, 1e-6);
+        let b = PrivacyLoss::new(1.0, 1e-6);
+        let c = a.compose(b);
+        assert!((c.epsilon.value() - 1.5).abs() < 1e-12);
+        assert!((c.delta.value() - 2e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn loss_compose_k_matches_repeated_compose() {
+        let a = PrivacyLoss::new(0.3, 1e-7);
+        let mut acc = PrivacyLoss::ZERO;
+        for _ in 0..5 {
+            acc = acc.compose(a);
+        }
+        let k = a.compose_k(5);
+        assert!((acc.epsilon.value() - k.epsilon.value()).abs() < 1e-12);
+        assert!((acc.delta.value() - k.delta.value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn unbounded_loss_is_not_finite() {
+        assert!(!PrivacyLoss::unbounded().is_finite());
+        assert!(PrivacyLoss::new(3.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn within_budget() {
+        let budget = PrivacyLoss::new(2.0, 1e-5);
+        assert!(PrivacyLoss::new(1.9, 1e-6).within(budget));
+        assert!(!PrivacyLoss::new(2.1, 1e-6).within(budget));
+        assert!(!PrivacyLoss::new(1.0, 1e-4).within(budget));
+        assert!(!PrivacyLoss::unbounded().within(budget));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Epsilon::INFINITY), "ε=∞");
+        assert_eq!(format!("{}", Epsilon::new(0.5)), "ε=0.5000");
+        let s = format!("{}", PrivacyLoss::new(1.0, 1e-5));
+        assert!(s.contains("ε=1.0000") && s.contains("δ=1.00e-5"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let loss = PrivacyLoss::new(1.25, 1e-5);
+        let json = serde_json::to_string(&loss).unwrap();
+        let back: PrivacyLoss = serde_json::from_str(&json).unwrap();
+        assert_eq!(loss, back);
+    }
+}

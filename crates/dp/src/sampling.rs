@@ -1,0 +1,205 @@
+//! Deterministic noise sampling.
+//!
+//! `rand` (without `rand_distr`) only provides uniform primitives, so the
+//! classical transforms live here:
+//!
+//! * [`standard_normal`] — Marsaglia polar method (exact, rejection-based);
+//! * [`gaussian`] — scaled/shifted standard normal;
+//! * [`laplace`] — inverse-CDF transform;
+//! * [`exponential`] — inverse-CDF transform;
+//! * [`gumbel`] — used by the exponential mechanism's Gumbel-max trick.
+//!
+//! Every function takes `&mut impl Rng`; pair with a seeded
+//! [`rand_chacha::ChaCha20Rng`] for reproducible experiments.
+
+use rand::Rng;
+
+/// Draws one standard normal variate `N(0, 1)` via the Marsaglia polar
+/// method.
+///
+/// The polar method is rejection-based (acceptance probability π/4 per
+/// pair) but exact: the output distribution is a true normal, not an
+/// approximation, which keeps the differential-privacy guarantees of the
+/// Gaussian mechanism honest.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draws one `N(mean, sigma²)` variate.
+///
+/// # Panics
+/// Panics if `sigma` is negative or NaN. `sigma == 0.0` returns `mean`
+/// exactly (the "no privacy" degenerate case).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    assert!(
+        sigma >= 0.0 && !sigma.is_nan(),
+        "sigma must be non-negative, got {sigma}"
+    );
+    if sigma == 0.0 {
+        return mean;
+    }
+    mean + sigma * standard_normal(rng)
+}
+
+/// Draws one `Laplace(mean, scale)` variate via inverse CDF.
+///
+/// # Panics
+/// Panics if `scale` is negative or NaN. `scale == 0.0` returns `mean`.
+pub fn laplace<R: Rng + ?Sized>(rng: &mut R, mean: f64, scale: f64) -> f64 {
+    assert!(
+        scale >= 0.0 && !scale.is_nan(),
+        "scale must be non-negative, got {scale}"
+    );
+    if scale == 0.0 {
+        return mean;
+    }
+    // u uniform on (-0.5, 0.5); ln(1 - 2|u|) is finite because |u| < 0.5.
+    let u: f64 = rng.gen_range(-0.5..0.5);
+    mean - scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Draws one `Exp(rate)` variate (mean `1/rate`).
+///
+/// # Panics
+/// Panics if `rate` is not strictly positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive, got {rate}");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // 1 - u is in (0, 1]; ln of it is finite or 0.
+    -(1.0 - u).ln() / rate
+}
+
+/// Draws one standard Gumbel variate (location 0, scale 1).
+///
+/// Used for the Gumbel-max implementation of the exponential mechanism:
+/// `argmax(score_i / (2Δ/ε) + Gumbel_i)` samples exactly from the
+/// exponential-mechanism distribution.
+pub fn gumbel<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -(-u.ln()).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn rng(seed: u64) -> ChaCha20Rng {
+        ChaCha20Rng::seed_from_u64(seed)
+    }
+
+    /// Sample moments of `n` draws.
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng(1);
+        let samples: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut r)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn standard_normal_tail_mass() {
+        // P(|Z| > 1.96) ≈ 0.05
+        let mut r = rng(2);
+        let n = 100_000;
+        let tail = (0..n)
+            .filter(|_| standard_normal(&mut r).abs() > 1.96)
+            .count() as f64
+            / n as f64;
+        assert!((tail - 0.05).abs() < 0.005, "tail mass {tail}");
+    }
+
+    #[test]
+    fn gaussian_scales_and_shifts() {
+        let mut r = rng(3);
+        let samples: Vec<f64> = (0..100_000).map(|_| gaussian(&mut r, 3.0, 2.0)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_zero_sigma_is_identity() {
+        let mut r = rng(4);
+        assert_eq!(gaussian(&mut r, 4.25, 0.0), 4.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be non-negative")]
+    fn gaussian_rejects_negative_sigma() {
+        let mut r = rng(5);
+        let _ = gaussian(&mut r, 0.0, -1.0);
+    }
+
+    #[test]
+    fn laplace_moments() {
+        // Laplace(0, b): mean 0, variance 2b².
+        let mut r = rng(6);
+        let b = 1.5;
+        let samples: Vec<f64> = (0..200_000).map(|_| laplace(&mut r, 0.0, b)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 2.0 * b * b).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn laplace_median_is_mean() {
+        let mut r = rng(7);
+        let n = 100_000;
+        let above = (0..n)
+            .filter(|_| laplace(&mut r, 10.0, 2.0) > 10.0)
+            .count() as f64
+            / n as f64;
+        assert!((above - 0.5).abs() < 0.01, "P(X > mean) = {above}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng(8);
+        let rate = 0.5;
+        let samples: Vec<f64> = (0..200_000).map(|_| exponential(&mut r, rate)).collect();
+        let (mean, _) = moments(&samples);
+        assert!((mean - 2.0).abs() < 0.03, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn gumbel_mean_is_euler_mascheroni() {
+        let mut r = rng(9);
+        let samples: Vec<f64> = (0..200_000).map(|_| gumbel(&mut r)).collect();
+        let (mean, var) = moments(&samples);
+        const EULER: f64 = 0.577_215_664_901_532_9;
+        let want_var = std::f64::consts::PI.powi(2) / 6.0;
+        assert!((mean - EULER).abs() < 0.01, "mean {mean}");
+        assert!((var - want_var).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let a: Vec<f64> = {
+            let mut r = rng(42);
+            (0..32).map(|_| standard_normal(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(42);
+            (0..32).map(|_| standard_normal(&mut r)).collect()
+        };
+        assert_eq!(a, b, "same seed must replay the same noise stream");
+    }
+}

@@ -1,0 +1,126 @@
+//! Query sensitivity.
+//!
+//! Every mechanism is calibrated to the *sensitivity* of the value being
+//! released: how much one individual's contribution can change it. For
+//! Loki's at-source setting, each user releases a function of **their own
+//! answer only** (local differential privacy), so the sensitivity of a
+//! single rating on a bounded scale is simply the width of the scale.
+
+use serde::{Deserialize, Serialize};
+
+/// The L1/L∞ sensitivity of a released scalar (they coincide for scalars).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Sensitivity(f64);
+
+impl Sensitivity {
+    /// Creates a sensitivity value.
+    ///
+    /// # Panics
+    /// Panics unless `value` is strictly positive and finite — a query with
+    /// zero sensitivity needs no noise, and unbounded sensitivity cannot be
+    /// privatized with additive noise.
+    pub fn new(value: f64) -> Sensitivity {
+        assert!(
+            value > 0.0 && value.is_finite(),
+            "sensitivity must be positive and finite, got {value}"
+        );
+        Sensitivity(value)
+    }
+
+    /// Sensitivity of a single response on a bounded scale `[lo, hi]`.
+    ///
+    /// In the local model the adversary compares the released value under
+    /// any two possible true answers, so the sensitivity is `hi - lo`.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo` or either bound is non-finite.
+    pub fn of_bounded_scale(lo: f64, hi: f64) -> Sensitivity {
+        assert!(
+            lo.is_finite() && hi.is_finite() && hi > lo,
+            "scale bounds must be finite with hi > lo, got [{lo}, {hi}]"
+        );
+        Sensitivity(hi - lo)
+    }
+
+    /// Sensitivity of a *mean* over `n` bounded responses `[lo, hi]` in the
+    /// central model (each individual shifts the mean by at most range/n).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the bounds are invalid.
+    pub fn of_bounded_mean(lo: f64, hi: f64, n: usize) -> Sensitivity {
+        assert!(n > 0, "mean over zero responses has no sensitivity");
+        let range = Sensitivity::of_bounded_scale(lo, hi).0;
+        Sensitivity(range / n as f64)
+    }
+
+    /// Sensitivity of a counting query (one individual changes a count by 1).
+    pub fn of_count() -> Sensitivity {
+        Sensitivity(1.0)
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Scales the sensitivity (e.g. a sum of `k` answers from one person).
+    pub fn scale(self, k: f64) -> Sensitivity {
+        Sensitivity::new(self.0 * k)
+    }
+}
+
+impl std::fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Δ={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_scale_is_range() {
+        let s = Sensitivity::of_bounded_scale(1.0, 5.0);
+        assert_eq!(s.value(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hi > lo")]
+    fn rejects_inverted_bounds() {
+        let _ = Sensitivity::of_bounded_scale(5.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero() {
+        let _ = Sensitivity::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_infinite() {
+        let _ = Sensitivity::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn bounded_mean_shrinks_with_n() {
+        let s1 = Sensitivity::of_bounded_mean(1.0, 5.0, 10);
+        let s2 = Sensitivity::of_bounded_mean(1.0, 5.0, 100);
+        assert!((s1.value() - 0.4).abs() < 1e-12);
+        assert!(s2.value() < s1.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero responses")]
+    fn bounded_mean_rejects_empty() {
+        let _ = Sensitivity::of_bounded_mean(1.0, 5.0, 0);
+    }
+
+    #[test]
+    fn count_and_scale() {
+        assert_eq!(Sensitivity::of_count().value(), 1.0);
+        assert_eq!(Sensitivity::of_count().scale(3.0).value(), 3.0);
+    }
+}

@@ -1,0 +1,491 @@
+//! Special functions needed by the mechanism calibrations.
+//!
+//! The standard library has no `erf`/`erfc`, and pulling in a numerics crate
+//! for two functions is not worth the dependency. We implement:
+//!
+//! * [`erf`] / [`erfc`] — W. J. Cody's rational Chebyshev approximations
+//!   (the SPECFUN `calerf` algorithm used by most libm implementations),
+//!   accurate to near machine precision on all three ranges;
+//! * [`normal_cdf`] (Φ) and [`normal_sf`] (the survival function 1 − Φ),
+//!   expressed through `erfc` to stay accurate in the tails;
+//! * [`normal_quantile`] (Φ⁻¹) — Acklam's rational approximation refined by
+//!   one Halley step against the accurate CDF.
+
+/// Coefficients for `erf(x)`, `|x| ≤ 0.46875` (Cody range 1).
+const ERF_A: [f64; 5] = [
+    3.161_123_743_870_565_6e0,
+    1.138_641_541_510_501_6e2,
+    3.774_852_376_853_02e2,
+    3.209_377_589_138_469_4e3,
+    1.857_777_061_846_031_5e-1,
+];
+const ERF_B: [f64; 4] = [
+    2.360_129_095_234_412_2e1,
+    2.440_246_379_344_441_7e2,
+    1.282_616_526_077_372_3e3,
+    2.844_236_833_439_171e3,
+];
+
+/// Coefficients for `erfc(x)`, `0.46875 < x ≤ 4` (Cody range 2).
+const ERFC_C: [f64; 9] = [
+    5.641_884_969_886_701e-1,
+    8.883_149_794_388_377,
+    6.611_919_063_714_163e1,
+    2.986_351_381_974_001e2,
+    8.819_522_212_417_69e2,
+    1.712_047_612_634_070_7e3,
+    2.051_078_377_826_071_6e3,
+    1.230_339_354_797_997_2e3,
+    2.153_115_354_744_038_3e-8,
+];
+const ERFC_D: [f64; 8] = [
+    1.574_492_611_070_983_5e1,
+    1.176_939_508_913_125e2,
+    5.371_811_018_620_099e2,
+    1.621_389_574_566_690_3e3,
+    3.290_799_235_733_459_7e3,
+    4.362_619_090_143_247e3,
+    3.439_367_674_143_721_6e3,
+    1.230_339_354_803_749_5e3,
+];
+
+/// Coefficients for `erfc(x)`, `x > 4` (Cody range 3).
+const ERFC_P: [f64; 6] = [
+    3.053_266_349_612_323_6e-1,
+    3.603_448_999_498_044_5e-1,
+    1.257_817_261_112_292_6e-1,
+    1.608_378_514_874_227_5e-2,
+    6.587_491_615_298_378e-4,
+    1.631_538_713_730_209_7e-2,
+];
+const ERFC_Q: [f64; 5] = [
+    2.568_520_192_289_822,
+    1.872_952_849_923_460_4,
+    5.279_051_029_514_285e-1,
+    6.051_834_131_244_132e-2,
+    2.335_204_976_268_691_8e-3,
+];
+
+/// `1/√π`.
+const FRAC_1_SQRT_PI: f64 = 5.641_895_835_477_563e-1;
+
+/// `erf` on the central range `|x| ≤ 0.46875`.
+fn erf_small(x: f64) -> f64 {
+    let z = x * x;
+    let mut xnum = ERF_A[4] * z;
+    let mut xden = z;
+    for i in 0..3 {
+        xnum = (xnum + ERF_A[i]) * z;
+        xden = (xden + ERF_B[i]) * z;
+    }
+    x * (xnum + ERF_A[3]) / (xden + ERF_B[3])
+}
+
+/// `erfc` for `y` in `(0.46875, ∞)`; caller guarantees `y > 0.46875`.
+fn erfc_large(y: f64) -> f64 {
+    if y > 26.6 {
+        // erfc underflows f64 past ~26.5.
+        return 0.0;
+    }
+    let result = if y <= 4.0 {
+        let mut xnum = ERFC_C[8] * y;
+        let mut xden = y;
+        for i in 0..7 {
+            xnum = (xnum + ERFC_C[i]) * y;
+            xden = (xden + ERFC_D[i]) * y;
+        }
+        (xnum + ERFC_C[7]) / (xden + ERFC_D[7])
+    } else {
+        let z = 1.0 / (y * y);
+        let mut xnum = ERFC_P[5] * z;
+        let mut xden = z;
+        for i in 0..4 {
+            xnum = (xnum + ERFC_P[i]) * z;
+            xden = (xden + ERFC_Q[i]) * z;
+        }
+        let r = z * (xnum + ERFC_P[4]) / (xden + ERFC_Q[4]);
+        (FRAC_1_SQRT_PI - r) / y
+    };
+    // exp(-y²) computed with the split trick to avoid cancellation:
+    // y² = ysq² + del with ysq = y rounded to 1/16ths.
+    let ysq = (y * 16.0).trunc() / 16.0;
+    let del = (y - ysq) * (y + ysq);
+    (-ysq * ysq).exp() * (-del).exp() * result
+}
+
+/// Error function `erf(x)`, accurate to ~1 ulp ×10 everywhere.
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let y = x.abs();
+    if y <= 0.46875 {
+        erf_small(x)
+    } else {
+        let e = 1.0 - erfc_large(y);
+        if x < 0.0 {
+            -e
+        } else {
+            e
+        }
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`, with full relative
+/// accuracy in the upper tail (where `1 − erf(x)` would cancel).
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let y = x.abs();
+    if y <= 0.46875 {
+        1.0 - erf_small(x)
+    } else if x > 0.0 {
+        erfc_large(y)
+    } else {
+        2.0 - erfc_large(y)
+    }
+}
+
+/// Standard normal CDF Φ(x).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal survival function 1 − Φ(x), accurate in the upper tail.
+pub fn normal_sf(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// Series expansion for `x < a + 1`, Lentz continued fraction for the
+/// complement otherwise (Numerical Recipes `gammp`). Needed for the
+/// chi-square CDF used by the cross-bin consistency test.
+///
+/// # Panics
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0, got {a}");
+    assert!(x >= 0.0, "gamma_p requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_contfrac(a, x)
+    }
+}
+
+/// `ln Γ(a)` via the Lanczos approximation (g = 7, n = 9), accurate to
+/// ~1e-13 for positive arguments.
+pub fn ln_gamma(a: f64) -> f64 {
+    assert!(a > 0.0, "ln_gamma requires a > 0, got {a}");
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if a < 0.5 {
+        // Reflection: Γ(a)Γ(1−a) = π / sin(πa).
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * a).sin().ln()
+            - ln_gamma(1.0 - a);
+    }
+    let a = a - 1.0;
+    let mut sum = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        sum += c / (a + i as f64);
+    }
+    let t = a + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (a + 0.5) * t.ln() - t + sum.ln()
+}
+
+/// Series form of `P(a, x)` for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut n = a;
+    for _ in 0..500 {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction form of `Q(a, x) = 1 − P(a, x)` for `x ≥ a + 1`
+/// (modified Lentz).
+fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// CDF of the chi-square distribution with `k` degrees of freedom.
+///
+/// # Panics
+/// Panics if `k == 0` or `x < 0`.
+pub fn chi_square_cdf(x: f64, k: u32) -> f64 {
+    assert!(k > 0, "chi-square needs at least 1 degree of freedom");
+    gamma_p(f64::from(k) / 2.0, x / 2.0)
+}
+
+/// Standard normal quantile Φ⁻¹(p) for `p ∈ (0, 1)`.
+///
+/// Peter Acklam's rational approximation (max relative error ≈ 1.15e-9)
+/// followed by a single Halley refinement step against [`normal_cdf`],
+/// bringing the result to near machine accuracy.
+///
+/// # Panics
+/// Panics if `p` is outside the open interval (0, 1).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from standard tables / high-precision computation.
+    const ERF_TABLE: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (0.1, 0.112_462_916_018_284_9),
+        (0.5, 0.520_499_877_813_046_5),
+        (1.0, 0.842_700_792_949_714_9),
+        (1.5, 0.966_105_146_475_310_7),
+        (2.0, 0.995_322_265_018_952_7),
+        (3.0, 0.999_977_909_503_001_4),
+    ];
+
+    #[test]
+    fn erf_matches_table() {
+        for &(x, want) in ERF_TABLE {
+            let got = erf(x);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "erf({x}): got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for x in [0.1, 0.7, 1.3, 2.5] {
+            assert!((erf(-x) + erf(x)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn erfc_tail_relative_accuracy() {
+        // erfc(5) = 1.5374597944280348e-12 (high-precision reference)
+        let got = erfc(5.0);
+        let want = 1.537_459_794_428_034_8e-12;
+        assert!(
+            ((got - want) / want).abs() < 1e-10,
+            "erfc(5) rel err too large: got {got}"
+        );
+        // erfc(10) = 2.0884875837625447e-45
+        let got10 = erfc(10.0);
+        let want10 = 2.088_487_583_762_544_7e-45;
+        assert!(
+            ((got10 - want10) / want10).abs() < 1e-9,
+            "erfc(10) rel err too large: got {got10}"
+        );
+    }
+
+    #[test]
+    fn erfc_huge_argument_is_zero() {
+        assert_eq!(erfc(30.0), 0.0);
+        assert!((erfc(-30.0) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn erfc_continuous_at_range_boundaries() {
+        for b in [0.46875, 4.0] {
+            let below = erfc(b - 1e-9);
+            let above = erfc(b + 1e-9);
+            assert!(
+                (below - above).abs() < 1e-8,
+                "erfc discontinuous at {b}: {below} vs {above}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((normal_cdf(1.959_963_984_540_054) - 0.975).abs() < 1e-12);
+        assert!((normal_cdf(-1.0) + normal_cdf(1.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normal_sf_is_complement() {
+        for x in [-2.0, -0.5, 0.0, 0.5, 2.0, 4.0] {
+            assert!((normal_sf(x) - (1.0 - normal_cdf(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = normal_quantile(p);
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-12,
+                "Φ(Φ⁻¹({p})) = {} != {p}",
+                normal_cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        assert!((normal_quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-9);
+        assert!(normal_quantile(0.5).abs() < 1e-12);
+        assert!((normal_quantile(0.841_344_746_068_542_9) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires p in (0,1)")]
+    fn quantile_rejects_zero() {
+        let _ = normal_quantile(0.0);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24; Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-11);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn gamma_p_limits_and_monotonicity() {
+        assert_eq!(gamma_p(2.0, 0.0), 0.0);
+        assert!((gamma_p(2.0, 100.0) - 1.0).abs() < 1e-12);
+        let mut last = 0.0;
+        for i in 1..30 {
+            let x = i as f64 * 0.5;
+            let p = gamma_p(3.0, x);
+            assert!(p >= last, "P(3, {x}) not monotone");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // P(1, x) = 1 − e^{−x}.
+        for x in [0.1, 0.5, 1.0, 3.0, 10.0] {
+            assert!(
+                (gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12,
+                "P(1, {x})"
+            );
+        }
+    }
+
+    #[test]
+    fn chi_square_cdf_known_values() {
+        // χ²(k=1): CDF(3.841) ≈ 0.95; χ²(k=2): CDF(x) = 1 − e^{−x/2};
+        // χ²(k=10): CDF(18.307) ≈ 0.95.
+        assert!((chi_square_cdf(3.841_458_820_694_124, 1) - 0.95).abs() < 1e-9);
+        for x in [0.5, 2.0, 6.0] {
+            assert!((chi_square_cdf(x, 2) - (1.0 - (-x / 2.0).exp())).abs() < 1e-12);
+        }
+        assert!((chi_square_cdf(18.307_038_053_275_146, 10) - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_cdf_series_and_contfrac_agree_at_boundary() {
+        // x near a+1 exercises both branches; they must agree.
+        for k in [3u32, 7, 15] {
+            let a = f64::from(k) / 2.0;
+            let below = gamma_p(a, a + 0.999);
+            let above = gamma_p(a, a + 1.001);
+            assert!(above > below);
+            assert!(above - below < 0.01);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Utility prediction: how accurate is an aggregate computed from
+//! obfuscated responses?
+//!
+//! Fig. 2 of the paper shows the deviation of per-privacy-bin means from
+//! the overall mean; §3.2 observes the deviation grows when "fewer users
+//! are assigned to the bin, particularly for higher privacy bins". These
+//! are exactly the `σ_total/√n` predictions below, which EXP-3/EXP-5
+//! validate empirically.
+
+use crate::special::normal_quantile;
+
+/// Predicted standard error of the mean of `n` responses, where each
+/// response carries intrinsic population spread `pop_std` plus independent
+/// additive obfuscation noise of standard deviation `noise_std`.
+///
+/// # Panics
+/// Panics if `n == 0` or either spread is negative.
+pub fn mean_standard_error(pop_std: f64, noise_std: f64, n: usize) -> f64 {
+    assert!(n > 0, "standard error of an empty sample is undefined");
+    assert!(
+        pop_std >= 0.0 && noise_std >= 0.0,
+        "spreads must be non-negative"
+    );
+    ((pop_std * pop_std + noise_std * noise_std) / n as f64).sqrt()
+}
+
+/// Half-width of a two-sided normal confidence interval for the mean at
+/// the given confidence level (e.g. `0.95`).
+///
+/// # Panics
+/// Panics if `confidence` is not in (0, 1) or `n == 0`.
+pub fn confidence_halfwidth(pop_std: f64, noise_std: f64, n: usize, confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1), got {confidence}"
+    );
+    let z = normal_quantile(0.5 + confidence / 2.0);
+    z * mean_standard_error(pop_std, noise_std, n)
+}
+
+/// The smallest sample size for which the predicted standard error of the
+/// mean falls below `target_se`.
+///
+/// # Panics
+/// Panics if `target_se` is not strictly positive.
+pub fn required_sample_size(pop_std: f64, noise_std: f64, target_se: f64) -> usize {
+    assert!(target_se > 0.0, "target standard error must be positive");
+    let var = pop_std * pop_std + noise_std * noise_std;
+    (var / (target_se * target_se)).ceil().max(1.0) as usize
+}
+
+/// Root-mean-square error predicted for estimating a mean from `n` noisy
+/// responses (same as the standard error for an unbiased estimator).
+pub fn predicted_rmse(pop_std: f64, noise_std: f64, n: usize) -> f64 {
+    mean_standard_error(pop_std, noise_std, n)
+}
+
+/// Effective sample size: the number of *noiseless* responses that would
+/// give the same standard error as `n` responses obfuscated at
+/// `noise_std`, given population spread `pop_std`.
+///
+/// This is the currency in which a privacy bin's contribution is weighed
+/// by the pooled estimator: a high-privacy bin of 30 users may be worth
+/// only a handful of raw responses.
+///
+/// # Panics
+/// Panics if `pop_std` is zero (the ratio is undefined: noiseless
+/// responses would be exact).
+pub fn effective_sample_size(pop_std: f64, noise_std: f64, n: usize) -> f64 {
+    assert!(pop_std > 0.0, "effective sample size needs pop_std > 0");
+    n as f64 * pop_std * pop_std / (pop_std * pop_std + noise_std * noise_std)
+}
+
+/// Inverse-variance weights for pooling bin means: bin `i` with `n_i`
+/// responses and noise `noise_std_i` gets weight ∝ `n_i / (pop² + noise²)`.
+/// Returned weights sum to 1. Bins with `n == 0` get weight 0.
+///
+/// # Panics
+/// Panics if `bins` is empty or every bin is empty.
+pub fn inverse_variance_weights(pop_std: f64, bins: &[(usize, f64)]) -> Vec<f64> {
+    assert!(!bins.is_empty(), "no bins to weight");
+    let raw: Vec<f64> = bins
+        .iter()
+        .map(|&(n, noise_std)| {
+            if n == 0 {
+                0.0
+            } else {
+                n as f64 / (pop_std * pop_std + noise_std * noise_std)
+            }
+        })
+        .collect();
+    let total: f64 = raw.iter().sum();
+    assert!(total > 0.0, "all bins are empty");
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn se_shrinks_with_n_and_grows_with_noise() {
+        let a = mean_standard_error(1.0, 0.0, 25);
+        let b = mean_standard_error(1.0, 0.0, 100);
+        assert!((a - 0.2).abs() < 1e-12);
+        assert!((b - 0.1).abs() < 1e-12);
+        let c = mean_standard_error(1.0, 2.0, 25);
+        assert!(c > a);
+        assert!((c - (5.0f64 / 25.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_halfwidth_95_uses_1_96() {
+        let hw = confidence_halfwidth(1.0, 0.0, 100, 0.95);
+        assert!((hw - 1.959_963_985 * 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn required_sample_size_inverts_se() {
+        let n = required_sample_size(1.0, 2.0, 0.25);
+        // var = 5, need n >= 5/0.0625 = 80.
+        assert_eq!(n, 80);
+        assert!(mean_standard_error(1.0, 2.0, n) <= 0.25 + 1e-12);
+        assert!(mean_standard_error(1.0, 2.0, n - 1) > 0.25);
+    }
+
+    #[test]
+    fn required_sample_size_is_at_least_one() {
+        assert_eq!(required_sample_size(0.01, 0.0, 10.0), 1);
+    }
+
+    #[test]
+    fn effective_sample_size_halves_when_noise_equals_pop() {
+        let ess = effective_sample_size(1.0, 1.0, 100);
+        assert!((ess - 50.0).abs() < 1e-12);
+        // No noise: ess == n.
+        assert!((effective_sample_size(1.0, 0.0, 100) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_favor_low_noise() {
+        // Paper's empirical bins: (n, σ) for none/low/medium/high.
+        let bins = [(18, 0.0), (32, 0.5), (51, 1.0), (30, 2.0)];
+        let w = inverse_variance_weights(1.0, &bins);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Per-response weight must decrease with noise.
+        let per: Vec<f64> = w
+            .iter()
+            .zip(bins.iter())
+            .map(|(wi, &(n, _))| wi / n as f64)
+            .collect();
+        assert!(per[0] > per[1] && per[1] > per[2] && per[2] > per[3], "{per:?}");
+    }
+
+    #[test]
+    fn empty_bin_gets_zero_weight() {
+        let w = inverse_variance_weights(1.0, &[(0, 0.0), (10, 1.0)]);
+        assert_eq!(w[0], 0.0);
+        assert!((w[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "all bins are empty")]
+    fn all_empty_bins_panic() {
+        let _ = inverse_variance_weights(1.0, &[(0, 0.0), (0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn se_rejects_empty_sample() {
+        let _ = mean_standard_error(1.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! A minimal blocking HTTP/1.1 client.
+//!
+//! One connection per request (`Connection: close`): simple, obviously
+//! correct, and plenty for the app library and tests. The response is
+//! read to completion using Content-Length when present, EOF otherwise.
+
+use crate::http::{Headers, Method, Request, Response, StatusCode};
+use bytes::Bytes;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// URL did not start with `http://host:port`.
+    BadUrl(String),
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The response could not be parsed.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::BadUrl(u) => write!(f, "bad url: {u}"),
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::BadResponse(e) => write!(f, "bad response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Blocking HTTP client bound to a base URL.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    host_port: String,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// Creates a client for a base URL like `http://127.0.0.1:8080`.
+    pub fn new(base_url: &str) -> Result<HttpClient, ClientError> {
+        let rest = base_url
+            .strip_prefix("http://")
+            .ok_or_else(|| ClientError::BadUrl(base_url.to_string()))?;
+        let host_port = rest.trim_end_matches('/').to_string();
+        if host_port.is_empty() {
+            return Err(ClientError::BadUrl(base_url.to_string()));
+        }
+        Ok(HttpClient {
+            host_port,
+            timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// Sets the socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> HttpClient {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Issues a GET.
+    pub fn get(&self, path: &str) -> Result<Response, ClientError> {
+        self.send(Request::new(Method::Get, path))
+    }
+
+    /// Issues a POST with a body and content type.
+    pub fn post(
+        &self,
+        path: &str,
+        content_type: &str,
+        body: impl Into<Bytes>,
+    ) -> Result<Response, ClientError> {
+        let mut req = Request::new(Method::Post, path).with_body(body);
+        req.headers.insert("Content-Type", content_type);
+        self.send(req)
+    }
+
+    /// Sends an arbitrary request.
+    pub fn send(&self, request: Request) -> Result<Response, ClientError> {
+        let mut stream = TcpStream::connect(&self.host_port)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+
+        let target = if request.query.is_empty() {
+            request.path.clone()
+        } else {
+            format!("{}?{}", request.path, request.query)
+        };
+        let mut wire = Vec::with_capacity(256 + request.body.len());
+        wire.extend_from_slice(
+            format!("{} {} HTTP/1.1\r\n", request.method, target).as_bytes(),
+        );
+        wire.extend_from_slice(format!("Host: {}\r\n", self.host_port).as_bytes());
+        for (n, v) in request.headers.iter() {
+            wire.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        wire.extend_from_slice(
+            format!("Content-Length: {}\r\n", request.body.len()).as_bytes(),
+        );
+        wire.extend_from_slice(b"Connection: close\r\n\r\n");
+        wire.extend_from_slice(&request.body);
+        stream.write_all(&wire)?;
+
+        let mut raw = Vec::with_capacity(4096);
+        stream.read_to_end(&mut raw)?;
+        parse_response(&raw)
+    }
+}
+
+/// Parses a complete HTTP/1.1 response.
+fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| ClientError::BadResponse("no header terminator".into()))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| ClientError::BadResponse("non-utf8 headers".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| ClientError::BadResponse("empty response".into()))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(ClientError::BadResponse(format!(
+            "bad status line: {status_line}"
+        )));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| ClientError::BadResponse("bad status code".into()))?;
+
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (n, v) = line
+            .split_once(':')
+            .ok_or_else(|| ClientError::BadResponse(format!("bad header: {line}")))?;
+        headers.insert(n.trim(), v.trim());
+    }
+
+    let body_start = header_end + 4;
+    let body = match headers.content_length() {
+        Some(len) if raw.len() >= body_start + len => {
+            Bytes::copy_from_slice(&raw[body_start..body_start + len])
+        }
+        Some(_) => {
+            return Err(ClientError::BadResponse("truncated body".into()));
+        }
+        None => Bytes::copy_from_slice(&raw[body_start..]),
+    };
+    Ok(Response {
+        status: StatusCode(code),
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::Router;
+    use crate::server::{Server, ServerConfig};
+
+    fn demo_server() -> crate::server::ServerHandle {
+        let mut r = Router::new();
+        r.get("/hello", |_, _| Response::text(StatusCode::OK, "world"));
+        r.post("/double", |req, _| {
+            let n: i64 = String::from_utf8_lossy(&req.body).trim().parse().unwrap_or(0);
+            Response::text(StatusCode::OK, format!("{}", n * 2))
+        });
+        r.get("/q", |req, _| {
+            Response::text(
+                StatusCode::OK,
+                req.query_param("name").unwrap_or("anon").to_string(),
+            )
+        });
+        Server::spawn("127.0.0.1:0", r, ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn get_round_trip() {
+        let h = demo_server();
+        let c = HttpClient::new(&h.base_url()).unwrap();
+        let resp = c.get("/hello").unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(&resp.body[..], b"world");
+        h.shutdown();
+    }
+
+    #[test]
+    fn post_round_trip() {
+        let h = demo_server();
+        let c = HttpClient::new(&h.base_url()).unwrap();
+        let resp = c.post("/double", "text/plain", "21").unwrap();
+        assert_eq!(&resp.body[..], b"42");
+        h.shutdown();
+    }
+
+    #[test]
+    fn query_parameters_travel() {
+        let h = demo_server();
+        let c = HttpClient::new(&h.base_url()).unwrap();
+        let resp = c.get("/q?name=loki").unwrap();
+        assert_eq!(&resp.body[..], b"loki");
+        h.shutdown();
+    }
+
+    #[test]
+    fn missing_route_is_404() {
+        let h = demo_server();
+        let c = HttpClient::new(&h.base_url()).unwrap();
+        let resp = c.get("/nope").unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        h.shutdown();
+    }
+
+    #[test]
+    fn bad_urls_rejected() {
+        assert!(HttpClient::new("ftp://x").is_err());
+        assert!(HttpClient::new("http://").is_err());
+        assert!(HttpClient::new("http://127.0.0.1:1").is_ok());
+    }
+
+    #[test]
+    fn connection_refused_is_io_error() {
+        // Port 1 on loopback is essentially never listening.
+        let c = HttpClient::new("http://127.0.0.1:1")
+            .unwrap()
+            .with_timeout(Duration::from_millis(300));
+        match c.get("/x") {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_response_rejects_garbage() {
+        assert!(parse_response(b"garbage").is_err());
+        assert!(parse_response(b"NOPE 200 OK\r\n\r\n").is_err());
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 99\r\n\r\nshort").is_err());
+    }
+
+    #[test]
+    fn parse_response_without_content_length_reads_to_eof() {
+        let r = parse_response(b"HTTP/1.1 200 OK\r\n\r\neverything").unwrap();
+        assert_eq!(&r.body[..], b"everything");
+    }
+}

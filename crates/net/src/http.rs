@@ -1,0 +1,352 @@
+//! HTTP message types.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Request methods the framework supports (enough for a REST API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Method {
+    Get,
+    Post,
+    Put,
+    Delete,
+    Head,
+    Options,
+}
+
+impl Method {
+    /// Parses a method token.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            "HEAD" => Some(Method::Head),
+            "OPTIONS" => Some(Method::Options),
+            _ => None,
+        }
+    }
+
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+            Method::Options => "OPTIONS",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Response status codes used by the framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 201 Created.
+    pub const CREATED: StatusCode = StatusCode(201);
+    /// 204 No Content.
+    pub const NO_CONTENT: StatusCode = StatusCode(204);
+    /// 400 Bad Request.
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// 401 Unauthorized.
+    pub const UNAUTHORIZED: StatusCode = StatusCode(401);
+    /// 403 Forbidden.
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    /// 404 Not Found.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 405 Method Not Allowed.
+    pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
+    /// 409 Conflict.
+    pub const CONFLICT: StatusCode = StatusCode(409);
+    /// 413 Payload Too Large.
+    pub const PAYLOAD_TOO_LARGE: StatusCode = StatusCode(413);
+    /// 422 Unprocessable Entity.
+    pub const UNPROCESSABLE: StatusCode = StatusCode(422);
+    /// 500 Internal Server Error.
+    pub const INTERNAL_ERROR: StatusCode = StatusCode(500);
+
+    /// The standard reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Whether the status is 2xx.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+/// An ordered, case-insensitive header map (few headers → linear scan
+/// beats a hash map and preserves order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Headers {
+        Headers::default()
+    }
+
+    /// Appends a header (duplicates allowed, as in HTTP).
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// First value of a header, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `Content-Length` value, if present and numeric.
+    pub fn content_length(&self) -> Option<usize> {
+        self.get("content-length")?.trim().parse().ok()
+    }
+
+    /// Whether the client asked to close the connection.
+    pub fn wants_close(&self) -> bool {
+        self.get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of header entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Path component of the target (query string split off).
+    pub path: String,
+    /// Raw query string (without `?`), empty if none.
+    pub query: String,
+    /// Headers.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Bytes,
+}
+
+impl Request {
+    /// Creates a request (used by the client and tests).
+    pub fn new(method: Method, path: impl Into<String>) -> Request {
+        let full: String = path.into();
+        let (path, query) = match full.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (full, String::new()),
+        };
+        Request {
+            method,
+            path,
+            query,
+            headers: Headers::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// Sets the body and a matching `Content-Length`.
+    pub fn with_body(mut self, body: impl Into<Bytes>) -> Request {
+        self.body = body.into();
+        self
+    }
+
+    /// A query parameter value (simple `k=v&k2=v2` parsing, no
+    /// percent-decoding — the API uses plain tokens).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Headers (Content-Length is added at serialization).
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// An empty response with a status.
+    pub fn status(status: StatusCode) -> Response {
+        Response {
+            status,
+            headers: Headers::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: StatusCode, body: impl Into<String>) -> Response {
+        let mut r = Response::status(status);
+        r.headers.insert("Content-Type", "text/plain; charset=utf-8");
+        r.body = Bytes::from(body.into());
+        r
+    }
+
+    /// An `application/json` response from pre-serialized bytes.
+    pub fn json_bytes(status: StatusCode, body: Vec<u8>) -> Response {
+        let mut r = Response::status(status);
+        r.headers.insert("Content-Type", "application/json");
+        r.body = Bytes::from(body);
+        r
+    }
+
+    /// Serializes the response to wire format, appending Content-Length
+    /// and the connection directive.
+    pub fn to_bytes(&self, close: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(format!("HTTP/1.1 {}\r\n", self.status).as_bytes());
+        for (n, v) in self.headers.iter() {
+            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(if close {
+            b"Connection: close\r\n"
+        } else {
+            b"Connection: keep-alive\r\n"
+        });
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_round_trip() {
+        for m in [
+            Method::Get,
+            Method::Post,
+            Method::Put,
+            Method::Delete,
+            Method::Head,
+            Method::Options,
+        ] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("BREW"), None);
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(StatusCode::OK.to_string(), "200 OK");
+        assert_eq!(StatusCode(404).reason(), "Not Found");
+        assert!(StatusCode::CREATED.is_success());
+        assert!(!StatusCode::BAD_REQUEST.is_success());
+    }
+
+    #[test]
+    fn headers_case_insensitive() {
+        let mut h = Headers::new();
+        h.insert("Content-Type", "application/json");
+        assert_eq!(h.get("content-type"), Some("application/json"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("application/json"));
+        assert_eq!(h.get("missing"), None);
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = Headers::new();
+        h.insert("Content-Length", " 42 ");
+        assert_eq!(h.content_length(), Some(42));
+        let mut bad = Headers::new();
+        bad.insert("Content-Length", "nope");
+        assert_eq!(bad.content_length(), None);
+    }
+
+    #[test]
+    fn connection_close_detection() {
+        let mut h = Headers::new();
+        h.insert("Connection", "Close");
+        assert!(h.wants_close());
+        assert!(!Headers::new().wants_close());
+    }
+
+    #[test]
+    fn request_splits_query() {
+        let r = Request::new(Method::Get, "/results/3?bin=high&limit=5");
+        assert_eq!(r.path, "/results/3");
+        assert_eq!(r.query_param("bin"), Some("high"));
+        assert_eq!(r.query_param("limit"), Some("5"));
+        assert_eq!(r.query_param("missing"), None);
+    }
+
+    #[test]
+    fn response_serialization() {
+        let r = Response::text(StatusCode::OK, "hi");
+        let bytes = r.to_bytes(true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn keep_alive_serialization() {
+        let r = Response::status(StatusCode::NO_CONTENT);
+        let text = String::from_utf8(r.to_bytes(false)).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Content-Length: 0\r\n"));
+    }
+}

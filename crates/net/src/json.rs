@@ -1,0 +1,111 @@
+//! JSON request/response helpers bridging serde and the HTTP types.
+
+use crate::http::{Request, Response, StatusCode};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Serializes `value` into a JSON response with the given status.
+///
+/// Serialization failure becomes a 500 — it indicates a server bug, not
+/// client input.
+pub fn json_response<T: Serialize>(status: StatusCode, value: &T) -> Response {
+    match serde_json::to_vec(value) {
+        Ok(body) => Response::json_bytes(status, body),
+        Err(e) => Response::text(
+            StatusCode::INTERNAL_ERROR,
+            format!("serialization failure: {e}"),
+        ),
+    }
+}
+
+/// An error JSON body `{"error": "..."}` with the given status.
+pub fn json_error(status: StatusCode, message: impl AsRef<str>) -> Response {
+    #[derive(Serialize)]
+    struct ErrorBody<'a> {
+        error: &'a str,
+    }
+    json_response(
+        status,
+        &ErrorBody {
+            error: message.as_ref(),
+        },
+    )
+}
+
+/// Deserializes a request body, mapping failure to a 400/422 response the
+/// handler can return directly.
+pub fn parse_json_body<T: DeserializeOwned>(request: &Request) -> Result<T, Response> {
+    if request.body.is_empty() {
+        return Err(json_error(StatusCode::BAD_REQUEST, "empty body"));
+    }
+    serde_json::from_slice(&request.body)
+        .map_err(|e| json_error(StatusCode::UNPROCESSABLE, format!("invalid JSON body: {e}")))
+}
+
+/// Deserializes a response body (client side).
+pub fn parse_json_response<T: DeserializeOwned>(response: &Response) -> Result<T, String> {
+    serde_json::from_slice(&response.body)
+        .map_err(|e| format!("invalid JSON response ({}): {e}", response.status))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+    use serde::Deserialize;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Payload {
+        x: u32,
+        name: String,
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let p = Payload {
+            x: 7,
+            name: "loki".into(),
+        };
+        let resp = json_response(StatusCode::OK, &p);
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.headers.get("content-type"), Some("application/json"));
+        let back: Payload = parse_json_response(&resp).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn body_round_trip() {
+        let req = Request::new(Method::Post, "/x")
+            .with_body(serde_json::to_vec(&Payload { x: 1, name: "a".into() }).unwrap());
+        let p: Payload = parse_json_body(&req).unwrap();
+        assert_eq!(p.x, 1);
+    }
+
+    #[test]
+    fn empty_body_is_400() {
+        let req = Request::new(Method::Post, "/x");
+        let err = parse_json_body::<Payload>(&req).unwrap_err();
+        assert_eq!(err.status, StatusCode::BAD_REQUEST);
+    }
+
+    #[test]
+    fn malformed_body_is_422() {
+        let req = Request::new(Method::Post, "/x").with_body("{not json");
+        let err = parse_json_body::<Payload>(&req).unwrap_err();
+        assert_eq!(err.status, StatusCode::UNPROCESSABLE);
+        assert!(String::from_utf8_lossy(&err.body).contains("invalid JSON"));
+    }
+
+    #[test]
+    fn error_body_shape() {
+        let resp = json_error(StatusCode::NOT_FOUND, "missing");
+        let v: serde_json::Value = parse_json_response(&resp).unwrap();
+        assert_eq!(v["error"], "missing");
+    }
+
+    #[test]
+    fn bad_json_response_reported() {
+        let resp = Response::text(StatusCode::OK, "not-json");
+        assert!(parse_json_response::<Payload>(&resp).is_err());
+    }
+}

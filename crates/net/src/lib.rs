@@ -1,0 +1,57 @@
+//! # loki-net — a minimal blocking HTTP/1.1 framework over `std::net`
+//!
+//! The Django-substrate of the reproduction: the smallest web framework
+//! that makes the Loki backend real rather than mocked. Design follows
+//! the session's networking guides:
+//!
+//! * **Event-driven, explicit buffers** — requests are parsed
+//!   incrementally out of a `bytes::BytesMut` receive buffer
+//!   ([`parser`]); no line-at-a-time `BufRead` trickery, no hidden
+//!   copies.
+//! * **Simplicity over type tricks** — handlers are plain
+//!   `Fn(&Request, &Params) -> Response` closures behind an `Arc`
+//!   ([`router`]); no macro DSL, no generic middleware towers.
+//! * **Robustness** — strict limits on request-line, header and body
+//!   sizes; malformed input produces 4xx responses, never panics
+//!   ([`parser`] error taxonomy); connections are handled by a fixed
+//!   thread pool with graceful shutdown ([`server`]).
+//! * **Std naming** — types mirror `std`/common-crate conventions:
+//!   [`http::Request`], [`http::Response`], [`http::StatusCode`].
+//!
+//! The [`client`] module provides the matching blocking client used by
+//! the Loki app library and the integration tests.
+
+//! # Example
+//!
+//! ```
+//! use loki_net::http::{Response, StatusCode};
+//! use loki_net::router::Router;
+//! use loki_net::server::{Server, ServerConfig};
+//! use loki_net::client::HttpClient;
+//!
+//! let mut router = Router::new();
+//! router.get("/hello/:name", |_, params| {
+//!     Response::text(StatusCode::OK, format!("hi {}", params.get("name").unwrap()))
+//! });
+//! let handle = Server::spawn("127.0.0.1:0", router, ServerConfig::default()).unwrap();
+//!
+//! let client = HttpClient::new(&handle.base_url()).unwrap();
+//! let reply = client.get("/hello/loki").unwrap();
+//! assert_eq!(&reply.body[..], b"hi loki");
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod parser;
+pub mod router;
+pub mod server;
+
+pub use client::HttpClient;
+pub use http::{Headers, Method, Request, Response, StatusCode};
+pub use router::{Params, Router};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,407 @@
+//! Incremental HTTP/1.1 request parsing out of a byte buffer.
+//!
+//! The parser consumes from a `BytesMut` the connection loop keeps
+//! appending to. [`RequestParser::parse`] returns:
+//!
+//! * `Ok(Some(request))` — a complete request was consumed from the
+//!   buffer (leftover bytes stay for the next pipelined request);
+//! * `Ok(None)` — more bytes are needed;
+//! * `Err(_)` — the input is malformed or exceeds limits; the connection
+//!   should answer with the error's status and close.
+//!
+//! Limits guard every dimension an attacker controls: request-line
+//! length, header count and size, and body size.
+
+use crate::http::{Headers, Method, Request};
+use crate::http::StatusCode;
+use bytes::{Buf, Bytes, BytesMut};
+use std::fmt;
+
+/// Parser limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ParserConfig {
+    /// Maximum bytes in the request line.
+    pub max_request_line: usize,
+    /// Maximum total bytes of the header section.
+    pub max_header_bytes: usize,
+    /// Maximum number of headers.
+    pub max_headers: usize,
+    /// Maximum body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ParserConfig {
+    fn default() -> Self {
+        ParserConfig {
+            max_request_line: 8 * 1024,
+            max_header_bytes: 32 * 1024,
+            max_headers: 100,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// Parse failures, each mapping to the HTTP status the connection should
+/// send before closing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request line is not `METHOD target HTTP/1.1`.
+    BadRequestLine,
+    /// Unknown method token.
+    BadMethod,
+    /// Unsupported HTTP version.
+    BadVersion,
+    /// A header line has no colon or invalid characters.
+    BadHeader,
+    /// Request line longer than the limit.
+    RequestLineTooLong,
+    /// Header section exceeds limits.
+    HeadersTooLarge,
+    /// Declared body exceeds the limit.
+    BodyTooLarge,
+    /// `Content-Length` missing on a method that requires a body, or
+    /// unparsable.
+    BadContentLength,
+}
+
+impl ParseError {
+    /// The status code to answer with.
+    pub fn status(&self) -> StatusCode {
+        match self {
+            ParseError::BodyTooLarge => StatusCode::PAYLOAD_TOO_LARGE,
+            ParseError::HeadersTooLarge | ParseError::RequestLineTooLong => StatusCode(431),
+            _ => StatusCode::BAD_REQUEST,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParseError::BadRequestLine => "malformed request line",
+            ParseError::BadMethod => "unknown method",
+            ParseError::BadVersion => "unsupported HTTP version",
+            ParseError::BadHeader => "malformed header",
+            ParseError::RequestLineTooLong => "request line too long",
+            ParseError::HeadersTooLarge => "headers too large",
+            ParseError::BodyTooLarge => "body too large",
+            ParseError::BadContentLength => "bad content length",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Incremental request parser. Stateless between complete requests — all
+/// intermediate state lives in the caller's buffer, which keeps the
+/// connection loop trivially correct under pipelining.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestParser {
+    config: ParserConfig,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        RequestParser::new(ParserConfig::default())
+    }
+}
+
+impl RequestParser {
+    /// Creates a parser with custom limits.
+    pub fn new(config: ParserConfig) -> RequestParser {
+        RequestParser { config }
+    }
+
+    fn config(&self) -> &ParserConfig {
+        &self.config
+    }
+
+    /// Attempts to parse one complete request from the front of `buf`,
+    /// consuming it on success.
+    pub fn parse(&self, buf: &mut BytesMut) -> Result<Option<Request>, ParseError> {
+        let cfg = self.config();
+
+        // Find the end of the header section.
+        let Some(header_end) = find_double_crlf(buf) else {
+            // Even incomplete, enforce limits so a slow-loris peer can't
+            // grow the buffer forever.
+            if let Some(line_end) = find_crlf(buf) {
+                if line_end > cfg.max_request_line {
+                    return Err(ParseError::RequestLineTooLong);
+                }
+            } else if buf.len() > cfg.max_request_line {
+                return Err(ParseError::RequestLineTooLong);
+            }
+            if buf.len() > cfg.max_header_bytes {
+                return Err(ParseError::HeadersTooLarge);
+            }
+            return Ok(None);
+        };
+        if header_end > cfg.max_header_bytes {
+            return Err(ParseError::HeadersTooLarge);
+        }
+
+        // Parse the head into owned values so the borrow of `buf` ends
+        // before the consuming `advance` below.
+        let (method, target, headers) = {
+            let head = &buf[..header_end];
+            let mut lines = split_crlf(head);
+            let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+            if request_line.len() > cfg.max_request_line {
+                return Err(ParseError::RequestLineTooLong);
+            }
+            let request_line =
+                std::str::from_utf8(request_line).map_err(|_| ParseError::BadRequestLine)?;
+            let mut parts = request_line.split(' ');
+            let method = parts
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or(ParseError::BadRequestLine)?;
+            let target = parts.next().ok_or(ParseError::BadRequestLine)?;
+            let version = parts.next().ok_or(ParseError::BadRequestLine)?;
+            if parts.next().is_some() {
+                return Err(ParseError::BadRequestLine);
+            }
+            let method = Method::parse(method).ok_or(ParseError::BadMethod)?;
+            if version != "HTTP/1.1" && version != "HTTP/1.0" {
+                return Err(ParseError::BadVersion);
+            }
+
+            let mut headers = Headers::new();
+            for line in lines {
+                if line.is_empty() {
+                    continue;
+                }
+                if headers.len() >= cfg.max_headers {
+                    return Err(ParseError::HeadersTooLarge);
+                }
+                let line = std::str::from_utf8(line).map_err(|_| ParseError::BadHeader)?;
+                let (name, value) = line.split_once(':').ok_or(ParseError::BadHeader)?;
+                let name = name.trim();
+                if name.is_empty() || name.contains(' ') {
+                    return Err(ParseError::BadHeader);
+                }
+                headers.insert(name, value.trim());
+            }
+            (method, target.to_string(), headers)
+        };
+
+        // Body handling: only via Content-Length (no chunked uploads —
+        // the API clients never send them, and rejecting is safer than
+        // half-implementing).
+        let body_len = match headers.get("transfer-encoding") {
+            Some(_) => return Err(ParseError::BadContentLength),
+            None => match headers.get("content-length") {
+                Some(_) => headers
+                    .content_length()
+                    .ok_or(ParseError::BadContentLength)?,
+                None => 0,
+            },
+        };
+        if body_len > cfg.max_body {
+            return Err(ParseError::BodyTooLarge);
+        }
+        let total = header_end + 4 + body_len;
+        if buf.len() < total {
+            return Ok(None);
+        }
+
+        // Consume: head + CRLFCRLF + body.
+        buf.advance(header_end + 4);
+        let body: Bytes = buf.split_to(body_len).freeze();
+
+        let mut request = Request::new(method, target);
+        request.headers = headers;
+        request.body = body;
+        Ok(Some(request))
+    }
+}
+
+/// Byte offset of the first `\r\n\r\n`, if present (offset of its start).
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Byte offset of the first `\r\n`.
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
+}
+
+/// Splits a header block on CRLF boundaries.
+fn split_crlf(head: &[u8]) -> impl Iterator<Item = &[u8]> {
+    head.split(|&b| b == b'\n')
+        .map(|line| line.strip_suffix(b"\r").unwrap_or(line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(input: &str) -> Result<Option<Request>, ParseError> {
+        let mut buf = BytesMut::from(input.as_bytes());
+        RequestParser::default().parse(&mut buf)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse_all("GET /surveys HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/surveys");
+        assert_eq!(r.headers.get("host"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse_all("POST /responses HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(&r.body[..], b"abcd");
+    }
+
+    #[test]
+    fn incremental_feeding() {
+        let parser = RequestParser::default();
+        let full = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut buf = BytesMut::new();
+        for (i, &b) in full.iter().enumerate() {
+            buf.extend_from_slice(&[b]);
+            let out = parser.parse(&mut buf).unwrap();
+            if i + 1 < full.len() {
+                assert!(out.is_none(), "completed early at byte {i}");
+            } else {
+                let r = out.expect("complete at the last byte");
+                assert_eq!(&r.body[..], b"hello");
+            }
+        }
+        assert!(buf.is_empty(), "buffer fully consumed");
+    }
+
+    #[test]
+    fn pipelined_requests_leave_leftover() {
+        let parser = RequestParser::default();
+        let mut buf = BytesMut::from(
+            &b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"[..],
+        );
+        let r1 = parser.parse(&mut buf).unwrap().unwrap();
+        assert_eq!(r1.path, "/a");
+        let r2 = parser.parse(&mut buf).unwrap().unwrap();
+        assert_eq!(r2.path, "/b");
+        assert!(parser.parse(&mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn query_string_split() {
+        let r = parse_all("GET /r?x=1&y=2 HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(r.path, "/r");
+        assert_eq!(r.query_param("y"), Some("2"));
+    }
+
+    #[test]
+    fn rejects_bad_method() {
+        assert_eq!(
+            parse_all("BREW /pot HTTP/1.1\r\n\r\n").unwrap_err(),
+            ParseError::BadMethod
+        );
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        assert_eq!(
+            parse_all("GET / HTTP/2\r\n\r\n").unwrap_err(),
+            ParseError::BadVersion
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        assert_eq!(
+            parse_all("GET /\r\n\r\n").unwrap_err(),
+            ParseError::BadRequestLine
+        );
+        assert_eq!(
+            parse_all("GET / HTTP/1.1 extra\r\n\r\n").unwrap_err(),
+            ParseError::BadRequestLine
+        );
+    }
+
+    #[test]
+    fn rejects_header_without_colon() {
+        assert_eq!(
+            parse_all("GET / HTTP/1.1\r\nbroken header\r\n\r\n").unwrap_err(),
+            ParseError::BadHeader
+        );
+    }
+
+    #[test]
+    fn rejects_bad_content_length() {
+        assert_eq!(
+            parse_all("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err(),
+            ParseError::BadContentLength
+        );
+    }
+
+    #[test]
+    fn rejects_chunked() {
+        assert_eq!(
+            parse_all("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err(),
+            ParseError::BadContentLength
+        );
+    }
+
+    #[test]
+    fn body_limit_enforced() {
+        let parser = RequestParser::new(ParserConfig {
+            max_body: 10,
+            ..ParserConfig::default()
+        });
+        let mut buf = BytesMut::from(&b"POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\n"[..]);
+        assert_eq!(parser.parse(&mut buf).unwrap_err(), ParseError::BodyTooLarge);
+    }
+
+    #[test]
+    fn request_line_limit_enforced_before_completion() {
+        // A request line that never ends must be rejected once over limit,
+        // not buffered forever.
+        let parser = RequestParser::new(ParserConfig {
+            max_request_line: 64,
+            ..ParserConfig::default()
+        });
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"GET /");
+        buf.extend_from_slice(&[b'a'; 100]);
+        assert_eq!(
+            parser.parse(&mut buf).unwrap_err(),
+            ParseError::RequestLineTooLong
+        );
+    }
+
+    #[test]
+    fn header_count_limit() {
+        let parser = RequestParser::new(ParserConfig {
+            max_headers: 2,
+            ..ParserConfig::default()
+        });
+        let mut buf = BytesMut::from(
+            &b"GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n"[..],
+        );
+        assert_eq!(parser.parse(&mut buf).unwrap_err(), ParseError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn http_1_0_accepted() {
+        let r = parse_all("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert_eq!(r.method, Method::Get);
+    }
+
+    #[test]
+    fn error_statuses() {
+        assert_eq!(ParseError::BodyTooLarge.status(), StatusCode::PAYLOAD_TOO_LARGE);
+        assert_eq!(ParseError::BadMethod.status(), StatusCode::BAD_REQUEST);
+        assert_eq!(ParseError::HeadersTooLarge.status().0, 431);
+    }
+}

@@ -1,0 +1,245 @@
+//! Path routing with `:param` captures.
+//!
+//! Routes are registered as `(method, pattern, handler)`; patterns are
+//! literal segments or `:name` captures (`/surveys/:id`). Dispatch is a
+//! linear scan — the API has a dozen routes, and a linear scan over split
+//! segments is both obvious and fast enough by orders of magnitude.
+
+use crate::http::{Method, Request, Response, StatusCode};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Captured path parameters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params {
+    values: HashMap<String, String>,
+}
+
+impl Params {
+    /// The capture for `:name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A capture parsed to a type, `None` if missing or unparsable.
+    pub fn parse<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.get(name)?.parse().ok()
+    }
+}
+
+/// A request handler.
+pub type Handler = Arc<dyn Fn(&Request, &Params) -> Response + Send + Sync>;
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+enum Segment {
+    Literal(String),
+    Capture(String),
+}
+
+/// Method + pattern router.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Router({} routes)", self.routes.len())
+    }
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Registers a route.
+    ///
+    /// # Panics
+    /// Panics if the pattern does not start with `/`.
+    pub fn route(
+        &mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        assert!(pattern.starts_with('/'), "pattern must start with '/'");
+        let segments = pattern
+            .trim_start_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| match s.strip_prefix(':') {
+                Some(name) => Segment::Capture(name.to_string()),
+                None => Segment::Literal(s.to_string()),
+            })
+            .collect();
+        self.routes.push(Route {
+            method,
+            segments,
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    /// Shorthand for GET routes.
+    pub fn get(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        self.route(Method::Get, pattern, handler)
+    }
+
+    /// Shorthand for POST routes.
+    pub fn post(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        self.route(Method::Post, pattern, handler)
+    }
+
+    /// Dispatches a request: 404 when no pattern matches, 405 when a
+    /// pattern matches but only under other methods.
+    pub fn dispatch(&self, request: &Request) -> Response {
+        let path_segments: Vec<&str> = request
+            .path
+            .trim_start_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+
+        let mut saw_path_match = false;
+        for route in &self.routes {
+            let Some(params) = match_segments(&route.segments, &path_segments) else {
+                continue;
+            };
+            saw_path_match = true;
+            if route.method == request.method {
+                return (route.handler)(request, &params);
+            }
+        }
+        if saw_path_match {
+            Response::text(StatusCode::METHOD_NOT_ALLOWED, "method not allowed")
+        } else {
+            Response::text(StatusCode::NOT_FOUND, "not found")
+        }
+    }
+}
+
+fn match_segments(pattern: &[Segment], path: &[&str]) -> Option<Params> {
+    if pattern.len() != path.len() {
+        return None;
+    }
+    let mut params = Params::default();
+    for (seg, &got) in pattern.iter().zip(path) {
+        match seg {
+            Segment::Literal(want) => {
+                if want != got {
+                    return None;
+                }
+            }
+            Segment::Capture(name) => {
+                params.values.insert(name.clone(), got.to_string());
+            }
+        }
+    }
+    Some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router {
+        let mut r = Router::new();
+        r.get("/surveys", |_, _| Response::text(StatusCode::OK, "list"));
+        r.get("/surveys/:id", |_, p| {
+            Response::text(StatusCode::OK, format!("survey {}", p.get("id").unwrap()))
+        });
+        r.post("/surveys/:id/responses", |req, p| {
+            Response::text(
+                StatusCode::CREATED,
+                format!(
+                    "submitted {} bytes to {}",
+                    req.body.len(),
+                    p.get("id").unwrap()
+                ),
+            )
+        });
+        r
+    }
+
+    fn get(path: &str) -> Request {
+        Request::new(Method::Get, path)
+    }
+
+    #[test]
+    fn literal_match() {
+        let resp = router().dispatch(&get("/surveys"));
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(&resp.body[..], b"list");
+    }
+
+    #[test]
+    fn capture_match() {
+        let resp = router().dispatch(&get("/surveys/42"));
+        assert_eq!(&resp.body[..], b"survey 42");
+    }
+
+    #[test]
+    fn nested_capture_with_post() {
+        let req = Request::new(Method::Post, "/surveys/7/responses").with_body("xyz");
+        let resp = router().dispatch(&req);
+        assert_eq!(resp.status, StatusCode::CREATED);
+        assert_eq!(&resp.body[..], b"submitted 3 bytes to 7");
+    }
+
+    #[test]
+    fn not_found() {
+        let resp = router().dispatch(&get("/nope"));
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        // Length mismatch also 404s.
+        let resp = router().dispatch(&get("/surveys/1/2/3"));
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn method_not_allowed() {
+        let req = Request::new(Method::Post, "/surveys");
+        let resp = router().dispatch(&req);
+        assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
+    }
+
+    #[test]
+    fn trailing_slash_is_tolerated() {
+        let resp = router().dispatch(&get("/surveys/"));
+        assert_eq!(resp.status, StatusCode::OK);
+    }
+
+    #[test]
+    fn params_parse_types() {
+        let mut r = Router::new();
+        r.get("/n/:num", |_, p| {
+            match p.parse::<u32>("num") {
+                Some(n) => Response::text(StatusCode::OK, format!("{}", n * 2)),
+                None => Response::text(StatusCode::BAD_REQUEST, "nan"),
+            }
+        });
+        assert_eq!(&r.dispatch(&get("/n/21")).body[..], b"42");
+        assert_eq!(r.dispatch(&get("/n/xyz")).status, StatusCode::BAD_REQUEST);
+    }
+
+    #[test]
+    #[should_panic(expected = "must start with '/'")]
+    fn bad_pattern_rejected() {
+        let mut r = Router::new();
+        r.get("surveys", |_, _| Response::status(StatusCode::OK));
+    }
+}

@@ -1,0 +1,313 @@
+//! Respondent behaviour models.
+//!
+//! Four populations are modeled, matching what a real AMT campaign sees:
+//!
+//! * [`BehaviorModel::Honest`] — truthful answers with small per-response
+//!   noise on opinion ratings;
+//! * [`BehaviorModel::Random`] — uniform random answers (the population
+//!   the paper's redundancy pairs exist to filter);
+//! * [`BehaviorModel::Careless`] — honest, but each question is answered
+//!   randomly with some probability (attention lapses);
+//! * [`BehaviorModel::PrivacyProtective`] — honest on opinions but *lies*
+//!   about demographics, the user-side folk defence the paper's Loki
+//!   design replaces with principled noise.
+
+use crate::spec::{QuestionSemantics, SurveySpec};
+use crate::worker::WorkerProfile;
+use loki_survey::demographics::{Gender, StarSign};
+use loki_survey::question::{Answer, QuestionKind};
+use loki_survey::response::Response;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a worker answers surveys.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BehaviorModel {
+    /// Truthful; opinion ratings get ±`opinion_noise` uniform jitter
+    /// before rounding to the scale.
+    Honest {
+        /// Magnitude of per-response opinion jitter (scale points).
+        opinion_noise: f64,
+    },
+    /// Every answer drawn uniformly from the valid range.
+    Random,
+    /// Honest, but each question independently answered randomly with
+    /// probability `lapse`.
+    Careless {
+        /// Per-question lapse probability in `[0, 1]`.
+        lapse: f64,
+    },
+    /// Honest opinions, fabricated demographics.
+    PrivacyProtective,
+}
+
+impl BehaviorModel {
+    /// Produces this worker's response to a survey, reported under
+    /// `reported_id` (whatever the platform's ID policy hands out).
+    pub fn respond<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        worker: &WorkerProfile,
+        spec: &SurveySpec,
+        reported_id: &str,
+    ) -> Response {
+        let mut response = Response::new(reported_id, spec.survey.id);
+        for (q, sem) in spec.survey.questions.iter().zip(&spec.semantics) {
+            let answer = match self {
+                BehaviorModel::Random => random_answer(rng, &q.kind),
+                BehaviorModel::Honest { opinion_noise } => {
+                    honest_answer(rng, worker, sem, &q.kind, *opinion_noise, false)
+                }
+                BehaviorModel::Careless { lapse } => {
+                    if rng.gen_bool(lapse.clamp(0.0, 1.0)) {
+                        random_answer(rng, &q.kind)
+                    } else {
+                        honest_answer(rng, worker, sem, &q.kind, 0.3, false)
+                    }
+                }
+                BehaviorModel::PrivacyProtective => {
+                    honest_answer(rng, worker, sem, &q.kind, 0.3, true)
+                }
+            };
+            response.answer(q.id, answer);
+        }
+        response
+    }
+}
+
+/// Uniform random valid answer for a question kind.
+fn random_answer<R: Rng + ?Sized>(rng: &mut R, kind: &QuestionKind) -> Answer {
+    match kind {
+        QuestionKind::Rating { min, max } => {
+            Answer::Rating(f64::from(rng.gen_range(*min..=*max)))
+        }
+        QuestionKind::MultipleChoice { options } => Answer::Choice(rng.gen_range(0..options.len())),
+        QuestionKind::Numeric { min, max } => Answer::Numeric(rng.gen_range(*min..=*max)),
+        QuestionKind::FreeText => Answer::Text(String::new()),
+    }
+}
+
+/// Truthful answer derived from worker ground truth. With `lie_demo`,
+/// demographic disclosures are fabricated uniformly instead.
+fn honest_answer<R: Rng + ?Sized>(
+    rng: &mut R,
+    worker: &WorkerProfile,
+    sem: &QuestionSemantics,
+    kind: &QuestionKind,
+    opinion_noise: f64,
+    lie_demo: bool,
+) -> Answer {
+    let demo = &worker.demographics;
+    match sem {
+        QuestionSemantics::BirthDay => {
+            if lie_demo {
+                random_answer(rng, kind)
+            } else {
+                Answer::Numeric(i64::from(demo.birth.day))
+            }
+        }
+        QuestionSemantics::BirthMonth => {
+            if lie_demo {
+                random_answer(rng, kind)
+            } else {
+                Answer::Numeric(i64::from(demo.birth.month))
+            }
+        }
+        QuestionSemantics::BirthYear => {
+            if lie_demo {
+                random_answer(rng, kind)
+            } else {
+                Answer::Numeric(i64::from(demo.birth.year))
+            }
+        }
+        QuestionSemantics::StarSign => {
+            if lie_demo {
+                random_answer(rng, kind)
+            } else {
+                let sign = demo.birth.star_sign();
+                let idx = StarSign::all().iter().position(|s| *s == sign).unwrap();
+                Answer::Choice(idx)
+            }
+        }
+        QuestionSemantics::Gender => {
+            if lie_demo {
+                random_answer(rng, kind)
+            } else {
+                Answer::Choice(match demo.gender {
+                    Gender::Female => 0,
+                    Gender::Male => 1,
+                })
+            }
+        }
+        QuestionSemantics::ZipCode => {
+            if lie_demo {
+                random_answer(rng, kind)
+            } else {
+                Answer::Numeric(i64::from(demo.zip.0))
+            }
+        }
+        QuestionSemantics::Opinion { topic, topic_mean } => {
+            let latent = worker.opinion(*topic, *topic_mean, 0.8);
+            let jitter = if opinion_noise > 0.0 {
+                rng.gen_range(-opinion_noise..=opinion_noise)
+            } else {
+                0.0
+            };
+            Answer::Rating((latent + jitter).round().clamp(1.0, 5.0))
+        }
+        QuestionSemantics::SmokingLevel => Answer::Rating(f64::from(worker.health.smoking_level)),
+        QuestionSemantics::CoughLevel => Answer::Rating(f64::from(worker.health.cough_level)),
+        QuestionSemantics::AwareOfProfiling => {
+            Answer::Choice(usize::from(!worker.attitude.aware_of_profiling))
+        }
+        QuestionSemantics::WouldParticipateIfProfiled => {
+            Answer::Choice(usize::from(!worker.attitude.would_participate_if_profiled))
+        }
+        QuestionSemantics::AttentionCheck { expected } => Answer::Rating(f64::from(*expected)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::paper_surveys;
+    use crate::worker::{HealthProfile, PrivacyAttitude, WorkerId};
+    use loki_survey::demographics::{BirthDate, QuasiIdentifier, ZipCode};
+    use loki_survey::QuestionId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn worker() -> WorkerProfile {
+        WorkerProfile::new(
+            WorkerId(42),
+            QuasiIdentifier {
+                birth: BirthDate::new(1985, 7, 14).unwrap(),
+                gender: Gender::Female,
+                zip: ZipCode::new(90210).unwrap(),
+            },
+            HealthProfile {
+                smoking_level: 5,
+                cough_level: 4,
+            },
+            PrivacyAttitude {
+                aware_of_profiling: false,
+                would_participate_if_profiled: false,
+            },
+        )
+    }
+
+    #[test]
+    fn honest_answers_are_valid_and_truthful() {
+        let specs = paper_surveys();
+        let w = worker();
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let model = BehaviorModel::Honest { opinion_noise: 0.3 };
+        for spec in &specs {
+            let r = model.respond(&mut rng, &w, spec, "W42");
+            r.validate(&spec.survey).expect("honest response valid");
+        }
+        // Survey 1 discloses day/month truthfully.
+        let r1 = model.respond(&mut rng, &w, &specs[0], "W42");
+        let day_q = specs[0]
+            .survey
+            .questions
+            .iter()
+            .find(|q| matches!(specs[0].semantics_of(q.id), Some(QuestionSemantics::BirthDay)))
+            .unwrap();
+        assert_eq!(r1.get(day_q.id), Some(&Answer::Numeric(14)));
+    }
+
+    #[test]
+    fn honest_star_sign_consistent_with_birthday() {
+        let specs = paper_surveys();
+        let w = worker(); // July 14 → Cancer (index 3)
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let model = BehaviorModel::Honest { opinion_noise: 0.0 };
+        let r = model.respond(&mut rng, &w, &specs[0], "W42");
+        let sign_q = specs[0]
+            .survey
+            .questions
+            .iter()
+            .find(|q| matches!(specs[0].semantics_of(q.id), Some(QuestionSemantics::StarSign)))
+            .unwrap();
+        assert_eq!(r.get(sign_q.id), Some(&Answer::Choice(3)));
+    }
+
+    #[test]
+    fn honest_redundancy_pairs_agree_closely() {
+        let specs = paper_surveys();
+        let w = worker();
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let model = BehaviorModel::Honest { opinion_noise: 0.3 };
+        let r = model.respond(&mut rng, &w, &specs[0], "W42");
+        let (a, b) = specs[0].survey.redundancy_pairs[0];
+        let va = r.get(a).unwrap().as_f64().unwrap();
+        let vb = r.get(b).unwrap().as_f64().unwrap();
+        assert!((va - vb).abs() <= 1.0, "honest pair disagreement {va} vs {vb}");
+    }
+
+    #[test]
+    fn random_answers_are_valid_but_inconsistent_on_average() {
+        let specs = paper_surveys();
+        let w = worker();
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let mut total_disagreement = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            let r = BehaviorModel::Random.respond(&mut rng, &w, &specs[0], "W42");
+            r.validate(&specs[0].survey).expect("random response valid");
+            let (a, b) = specs[0].survey.redundancy_pairs[0];
+            total_disagreement +=
+                (r.get(a).unwrap().as_f64().unwrap() - r.get(b).unwrap().as_f64().unwrap()).abs();
+        }
+        // Mean |U1-U2| over a 1..5 scale is 1.6; far above honest levels.
+        let mean = total_disagreement / n as f64;
+        assert!(mean > 1.2, "random responders too consistent: {mean}");
+    }
+
+    #[test]
+    fn privacy_protective_lies_about_demographics_not_opinions() {
+        let specs = paper_surveys();
+        let w = worker();
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        // With 31 days, the chance a fabricated day matches the true day in
+        // all 50 trials is negligible; require at least one mismatch.
+        let day_q = specs[0]
+            .survey
+            .questions
+            .iter()
+            .find(|q| matches!(specs[0].semantics_of(q.id), Some(QuestionSemantics::BirthDay)))
+            .unwrap();
+        let mut mismatched = false;
+        for _ in 0..50 {
+            let r = BehaviorModel::PrivacyProtective.respond(&mut rng, &w, &specs[0], "W42");
+            if r.get(day_q.id) != Some(&Answer::Numeric(14)) {
+                mismatched = true;
+            }
+        }
+        assert!(mismatched, "privacy-protective worker never lied about day");
+    }
+
+    #[test]
+    fn careless_with_zero_lapse_is_honest() {
+        let specs = paper_surveys();
+        let w = worker();
+        let mut rng = ChaCha20Rng::seed_from_u64(6);
+        let r = BehaviorModel::Careless { lapse: 0.0 }.respond(&mut rng, &w, &specs[3], "W42");
+        // Health answers must be truthful.
+        assert_eq!(r.get(QuestionId(0)), Some(&Answer::Rating(5.0)));
+        assert_eq!(r.get(QuestionId(2)), Some(&Answer::Rating(4.0)));
+    }
+
+    #[test]
+    fn attitude_answers_follow_ground_truth() {
+        let specs = paper_surveys();
+        let w = worker(); // unaware, would not participate
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        let model = BehaviorModel::Honest { opinion_noise: 0.0 };
+        let r = model.respond(&mut rng, &w, &specs[4], "W42");
+        // Choice 1 = "No" for both questions.
+        assert_eq!(r.get(QuestionId(0)), Some(&Answer::Choice(1)));
+        assert_eq!(r.get(QuestionId(1)), Some(&Answer::Choice(1)));
+    }
+}

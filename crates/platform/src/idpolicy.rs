@@ -1,0 +1,134 @@
+//! Worker-ID policies — the root cause (and a mitigation) of the attack.
+//!
+//! §2: "although AMT does not reveal the name or personal details of any
+//! user, it reports back to the surveyor a unique ID that is constant
+//! across the surveys taken by a user." That stable ID is what lets a
+//! requester join responses across surveys. [`IdPolicy`] models:
+//!
+//! * [`IdPolicy::Stable`] — AMT behaviour: one pseudonym per worker,
+//!   constant across surveys;
+//! * [`IdPolicy::PerSurvey`] — a fresh pseudonym per (worker, survey)
+//!   pair: individual surveys still work, cross-survey joins do not;
+//! * [`IdPolicy::PerSubmission`] — a fresh pseudonym per submission, the
+//!   strongest unlinkability (duplicate submissions become undetectable —
+//!   the trade-off the docs call out).
+//!
+//! Pseudonyms are produced by a keyed mix of (worker, survey, counter), so
+//! a requester cannot invert them, and the same policy instance is
+//! deterministic — replaying a campaign reproduces the same IDs.
+
+use crate::worker::WorkerId;
+use loki_survey::survey::SurveyId;
+use serde::{Deserialize, Serialize};
+
+/// How worker identities are reported to requesters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IdPolicy {
+    /// One stable pseudonym per worker (AMT-style).
+    Stable,
+    /// A fresh pseudonym per (worker, survey).
+    PerSurvey,
+    /// A fresh pseudonym per submission.
+    PerSubmission,
+}
+
+/// A 64-bit mixing function (SplitMix64 finalizer) — not cryptographic,
+/// but keyed and uninvertible enough for a simulation where the adversary
+/// only ever sees the output strings.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Chains two values through the mixer. Deliberately *not* commutative in
+/// its arguments (unlike XOR-ing two mixed values, which would make
+/// `(worker 1, survey 2)` collide with `(worker 2, survey 1)`).
+fn chain(a: u64, b: u64) -> u64 {
+    mix(mix(a) ^ b)
+}
+
+impl IdPolicy {
+    /// The ID reported to the requester for a submission. `submission_seq`
+    /// is the global submission counter (only [`IdPolicy::PerSubmission`]
+    /// uses it).
+    pub fn reported_id(
+        self,
+        platform_key: u64,
+        worker: WorkerId,
+        survey: SurveyId,
+        submission_seq: u64,
+    ) -> String {
+        let base = chain(platform_key, worker.0);
+        match self {
+            IdPolicy::Stable => format!("A{:016X}", mix(base)),
+            IdPolicy::PerSurvey => format!("P{:016X}", chain(base, survey.0)),
+            IdPolicy::PerSubmission => format!("S{:016X}", chain(base, submission_seq)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: u64 = 0xDEAD_BEEF;
+
+    #[test]
+    fn stable_ids_constant_across_surveys() {
+        let a = IdPolicy::Stable.reported_id(KEY, WorkerId(7), SurveyId(1), 0);
+        let b = IdPolicy::Stable.reported_id(KEY, WorkerId(7), SurveyId(2), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stable_ids_differ_across_workers() {
+        let a = IdPolicy::Stable.reported_id(KEY, WorkerId(7), SurveyId(1), 0);
+        let b = IdPolicy::Stable.reported_id(KEY, WorkerId(8), SurveyId(1), 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn per_survey_ids_differ_across_surveys_but_not_within() {
+        let a = IdPolicy::PerSurvey.reported_id(KEY, WorkerId(7), SurveyId(1), 0);
+        let b = IdPolicy::PerSurvey.reported_id(KEY, WorkerId(7), SurveyId(2), 1);
+        let c = IdPolicy::PerSurvey.reported_id(KEY, WorkerId(7), SurveyId(1), 9);
+        assert_ne!(a, b, "cross-survey IDs must differ");
+        assert_eq!(a, c, "within-survey IDs must be stable");
+    }
+
+    #[test]
+    fn per_submission_ids_always_differ() {
+        let a = IdPolicy::PerSubmission.reported_id(KEY, WorkerId(7), SurveyId(1), 0);
+        let b = IdPolicy::PerSubmission.reported_id(KEY, WorkerId(7), SurveyId(1), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_platform_keys_give_unlinkable_ids() {
+        let a = IdPolicy::Stable.reported_id(1, WorkerId(7), SurveyId(1), 0);
+        let b = IdPolicy::Stable.reported_id(2, WorkerId(7), SurveyId(1), 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ids_are_deterministic() {
+        let a = IdPolicy::PerSurvey.reported_id(KEY, WorkerId(3), SurveyId(4), 0);
+        let b = IdPolicy::PerSurvey.reported_id(KEY, WorkerId(3), SurveyId(4), 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefix_distinguishes_policies() {
+        assert!(IdPolicy::Stable
+            .reported_id(KEY, WorkerId(1), SurveyId(1), 0)
+            .starts_with('A'));
+        assert!(IdPolicy::PerSurvey
+            .reported_id(KEY, WorkerId(1), SurveyId(1), 0)
+            .starts_with('P'));
+        assert!(IdPolicy::PerSubmission
+            .reported_id(KEY, WorkerId(1), SurveyId(1), 0)
+            .starts_with('S'));
+    }
+}

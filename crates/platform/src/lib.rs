@@ -1,0 +1,69 @@
+//! # loki-platform — crowdsourcing marketplace simulator
+//!
+//! The AMT/CrowdFlower substrate of the reproduction. The paper's §2
+//! attack needs a marketplace with exactly these properties:
+//!
+//! * a pool of workers with real demographics and opinions ([`worker`]);
+//! * surveys posted as paid tasks, accepted and completed over simulated
+//!   days ([`marketplace`] — a deterministic discrete-event engine);
+//! * a *worker-ID policy*: AMT reports a unique ID "constant across the
+//!   surveys taken by a user" ([`idpolicy`] also models per-survey
+//!   pseudonyms, the mitigation ablated in EXP-7);
+//! * per-response payments with an aggregator markup, so the "< $30"
+//!   cost claim can be reproduced ([`cost`]);
+//! * honest, random, careless and privacy-protective respondent behaviour
+//!   ([`behavior`]), with question *semantics* ([`spec`]) connecting
+//!   survey questions to worker ground truth.
+//!
+//! Everything is seeded: the same seed replays the same campaign,
+//! response-for-response.
+
+//! # Example
+//!
+//! Run the paper's four-survey campaign on a tiny synthetic pool:
+//!
+//! ```
+//! use loki_platform::marketplace::{Marketplace, MarketplaceConfig};
+//! use loki_platform::requester::paper_campaign;
+//! use loki_platform::behavior::BehaviorModel;
+//! use loki_platform::worker::{HealthProfile, PrivacyAttitude, WorkerId, WorkerProfile};
+//! use loki_survey::demographics::{BirthDate, Gender, QuasiIdentifier, ZipCode};
+//!
+//! let workers: Vec<_> = (0..40u64).map(|i| {
+//!     let profile = WorkerProfile::new(
+//!         WorkerId(i),
+//!         QuasiIdentifier {
+//!             birth: BirthDate::new(1970 + (i % 30) as u16, 1 + (i % 12) as u8, 1 + (i % 28) as u8).unwrap(),
+//!             gender: if i % 2 == 0 { Gender::Female } else { Gender::Male },
+//!             zip: ZipCode::new(10_000 + i as u32).unwrap(),
+//!         },
+//!         HealthProfile { smoking_level: 1, cough_level: 1 },
+//!         PrivacyAttitude { aware_of_profiling: false, would_participate_if_profiled: false },
+//!     );
+//!     (profile, BehaviorModel::Honest { opinion_noise: 0.3 })
+//! }).collect();
+//!
+//! let mut market = Marketplace::new(MarketplaceConfig::default(), workers, 7);
+//! let outcome = paper_campaign().run(&mut market);
+//! assert_eq!(outcome.runs.len(), 4);
+//! assert!(outcome.total_dollars < 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod cost;
+pub mod idpolicy;
+pub mod marketplace;
+pub mod requester;
+pub mod spec;
+pub mod worker;
+
+pub use behavior::BehaviorModel;
+pub use cost::CostLedger;
+pub use idpolicy::IdPolicy;
+pub use marketplace::{Marketplace, MarketplaceConfig, TaskOutcome};
+pub use requester::{Campaign, CampaignItem, CampaignOutcome};
+pub use spec::{QuestionSemantics, SurveySpec, SurveySpecBuilder};
+pub use worker::{WorkerId, WorkerProfile};

@@ -1,0 +1,421 @@
+//! The marketplace: a deterministic discrete-event simulator.
+//!
+//! In the spirit of the event-driven networking stacks in the guides, the
+//! engine is a single binary-heap event queue with no threads and no
+//! global clock — given the same seed and worker pool, a campaign replays
+//! identically.
+//!
+//! The model: a requester posts a survey task with a response quota.
+//! Each eligible worker (one who hasn't taken this survey) browses the
+//! task list and arrives after an exponentially-distributed delay; on
+//! arrival they accept with a reward-dependent probability, then complete
+//! the survey after a service time. Completions are paid and recorded
+//! until the quota fills.
+
+use crate::behavior::BehaviorModel;
+use crate::cost::CostLedger;
+use crate::idpolicy::IdPolicy;
+use crate::spec::SurveySpec;
+use crate::worker::{WorkerId, WorkerProfile};
+use loki_survey::response::ResponseSet;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Tuning knobs for the marketplace.
+#[derive(Debug, Clone, Copy)]
+pub struct MarketplaceConfig {
+    /// Secret key from which reported worker IDs are derived.
+    pub platform_key: u64,
+    /// How worker IDs are reported to requesters.
+    pub id_policy: IdPolicy,
+    /// Aggregator markup in basis points (2000 = 20%, CrowdFlower-style).
+    pub markup_bps: u32,
+    /// Mean hours until an eligible worker notices a posted task.
+    pub mean_arrival_hours: f64,
+    /// Mean minutes to complete a survey once accepted.
+    pub mean_service_minutes: f64,
+    /// Probability an arriving worker accepts the task.
+    pub acceptance_prob: f64,
+}
+
+impl Default for MarketplaceConfig {
+    fn default() -> Self {
+        MarketplaceConfig {
+            platform_key: 0x10C4_15EA_F00D_CAFE,
+            id_policy: IdPolicy::Stable,
+            markup_bps: 1500,
+            mean_arrival_hours: 24.0,
+            mean_service_minutes: 6.0,
+            acceptance_prob: 0.85,
+        }
+    }
+}
+
+/// What a posted task produced.
+#[derive(Debug, Clone)]
+pub struct TaskOutcome {
+    /// Collected responses, in completion order, keyed by *reported* IDs.
+    pub responses: ResponseSet,
+    /// Simulated hours from posting to the last completion (0 if none).
+    pub elapsed_hours: f64,
+    /// Number of workers who saw the task but declined.
+    pub declined: usize,
+}
+
+/// Simulated event: a worker arrives at the task, or finishes it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Arrival(WorkerId),
+    Completion(WorkerId),
+}
+
+/// Queue entry ordered by time. Ties break on the sequence number so heap
+/// order (and therefore the whole simulation) is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time_hours: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time_hours
+            .total_cmp(&other.time_hours)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The marketplace itself: a worker pool plus campaign state.
+#[derive(Debug)]
+pub struct Marketplace {
+    config: MarketplaceConfig,
+    workers: Vec<(WorkerProfile, BehaviorModel)>,
+    taken: HashMap<WorkerId, HashSet<loki_survey::SurveyId>>,
+    costs: CostLedger,
+    rng: ChaCha20Rng,
+    submission_seq: u64,
+}
+
+impl Marketplace {
+    /// Creates a marketplace over a worker pool.
+    pub fn new(
+        config: MarketplaceConfig,
+        workers: Vec<(WorkerProfile, BehaviorModel)>,
+        seed: u64,
+    ) -> Marketplace {
+        let costs = CostLedger::new(config.markup_bps);
+        Marketplace {
+            config,
+            workers,
+            taken: HashMap::new(),
+            costs,
+            rng: ChaCha20Rng::seed_from_u64(seed),
+            submission_seq: 0,
+        }
+    }
+
+    /// Number of workers in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The cost ledger so far.
+    pub fn costs(&self) -> &CostLedger {
+        &self.costs
+    }
+
+    /// How many distinct surveys a worker has completed.
+    pub fn surveys_taken(&self, worker: WorkerId) -> usize {
+        self.taken.get(&worker).map_or(0, HashSet::len)
+    }
+
+    /// Exponential service/arrival delay with the given mean.
+    fn exp_delay(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        -(1.0 - u).ln() * mean
+    }
+
+    /// Posts a survey task with a response quota and runs the simulation
+    /// until the quota fills or no eligible workers remain.
+    ///
+    /// # Panics
+    /// Panics if `quota == 0`.
+    pub fn post_task(&mut self, spec: &SurveySpec, quota: usize) -> TaskOutcome {
+        assert!(quota > 0, "task quota must be positive");
+
+        // Schedule arrivals for every eligible worker.
+        let mut events = BinaryHeap::new();
+        let mut seq = 0u64;
+        let eligible: Vec<WorkerId> = self
+            .workers
+            .iter()
+            .map(|(w, _)| w.id)
+            .filter(|id| {
+                self.taken
+                    .get(id)
+                    .is_none_or(|s| !s.contains(&spec.survey.id))
+            })
+            .collect();
+        for id in eligible {
+            let t = self.exp_delay(self.config.mean_arrival_hours);
+            events.push(Reverse(Event {
+                time_hours: t,
+                seq,
+                kind: EventKind::Arrival(id),
+            }));
+            seq += 1;
+        }
+
+        let mut responses = ResponseSet::new();
+        let mut declined = 0usize;
+        let mut accepted = 0usize; // accepted but not yet completed + completed
+        let mut last_completion = 0.0f64;
+
+        while let Some(Reverse(ev)) = events.pop() {
+            match ev.kind {
+                EventKind::Arrival(id) => {
+                    if accepted >= quota {
+                        // Task already fully claimed; the worker moves on.
+                        continue;
+                    }
+                    if self.rng.gen_bool(self.config.acceptance_prob.clamp(0.0, 1.0)) {
+                        accepted += 1;
+                        let service = self.exp_delay(self.config.mean_service_minutes / 60.0);
+                        events.push(Reverse(Event {
+                            time_hours: ev.time_hours + service,
+                            seq,
+                            kind: EventKind::Completion(id),
+                        }));
+                        seq += 1;
+                    } else {
+                        declined += 1;
+                    }
+                }
+                EventKind::Completion(id) => {
+                    let (profile, behavior) = self
+                        .workers
+                        .iter()
+                        .find(|(w, _)| w.id == id)
+                        .expect("completion for unknown worker")
+                        .clone();
+                    let reported = self.config.id_policy.reported_id(
+                        self.config.platform_key,
+                        id,
+                        spec.survey.id,
+                        self.submission_seq,
+                    );
+                    self.submission_seq += 1;
+                    let response = behavior.respond(&mut self.rng, &profile, spec, &reported);
+                    debug_assert!(response.validate(&spec.survey).is_ok());
+                    responses.push(response);
+                    self.taken.entry(id).or_default().insert(spec.survey.id);
+                    self.costs
+                        .record_payment(spec.survey.id, spec.survey.reward_cents);
+                    last_completion = last_completion.max(ev.time_hours);
+                    if responses.len() >= quota {
+                        break;
+                    }
+                }
+            }
+        }
+
+        TaskOutcome {
+            responses,
+            elapsed_hours: last_completion,
+            declined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::paper_surveys;
+    use crate::worker::{HealthProfile, PrivacyAttitude};
+    use loki_survey::demographics::{BirthDate, Gender, QuasiIdentifier, ZipCode};
+
+    fn pool(n: u64) -> Vec<(WorkerProfile, BehaviorModel)> {
+        (0..n)
+            .map(|i| {
+                let w = WorkerProfile::new(
+                    WorkerId(i),
+                    QuasiIdentifier {
+                        birth: BirthDate::new(1960 + (i % 40) as u16, 1 + (i % 12) as u8, 1 + (i % 28) as u8)
+                            .unwrap(),
+                        gender: if i % 2 == 0 { Gender::Female } else { Gender::Male },
+                        zip: ZipCode::new((10_000 + i % 100) as u32).unwrap(),
+                    },
+                    HealthProfile {
+                        smoking_level: 1 + (i % 5) as u8,
+                        cough_level: 1 + (i % 5) as u8,
+                    },
+                    PrivacyAttitude {
+                        aware_of_profiling: i % 4 == 0,
+                        would_participate_if_profiled: i % 4 == 0,
+                    },
+                );
+                (w, BehaviorModel::Honest { opinion_noise: 0.3 })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quota_is_met_when_pool_suffices() {
+        let mut m = Marketplace::new(MarketplaceConfig::default(), pool(200), 1);
+        let specs = paper_surveys();
+        let out = m.post_task(&specs[0], 100);
+        assert_eq!(out.responses.len(), 100);
+        assert!(out.elapsed_hours > 0.0);
+    }
+
+    #[test]
+    fn small_pool_caps_responses() {
+        let mut m = Marketplace::new(
+            MarketplaceConfig {
+                acceptance_prob: 1.0,
+                ..MarketplaceConfig::default()
+            },
+            pool(30),
+            2,
+        );
+        let specs = paper_surveys();
+        let out = m.post_task(&specs[0], 100);
+        assert_eq!(out.responses.len(), 30);
+    }
+
+    #[test]
+    fn workers_do_not_retake_surveys() {
+        let mut m = Marketplace::new(
+            MarketplaceConfig {
+                acceptance_prob: 1.0,
+                ..MarketplaceConfig::default()
+            },
+            pool(50),
+            3,
+        );
+        let specs = paper_surveys();
+        let first = m.post_task(&specs[0], 50);
+        assert_eq!(first.responses.len(), 50);
+        let second = m.post_task(&specs[0], 50);
+        assert_eq!(second.responses.len(), 0, "no eligible workers remain");
+    }
+
+    #[test]
+    fn stable_policy_reuses_ids_across_surveys() {
+        let mut m = Marketplace::new(
+            MarketplaceConfig {
+                acceptance_prob: 1.0,
+                ..MarketplaceConfig::default()
+            },
+            pool(40),
+            4,
+        );
+        let specs = paper_surveys();
+        let o1 = m.post_task(&specs[0], 40);
+        let o2 = m.post_task(&specs[1], 40);
+        let ids1: std::collections::HashSet<_> =
+            o1.responses.workers().into_iter().map(String::from).collect();
+        let ids2: std::collections::HashSet<_> =
+            o2.responses.workers().into_iter().map(String::from).collect();
+        assert!(!ids1.is_disjoint(&ids2), "stable IDs must overlap");
+    }
+
+    #[test]
+    fn per_survey_policy_never_links() {
+        let mut m = Marketplace::new(
+            MarketplaceConfig {
+                id_policy: IdPolicy::PerSurvey,
+                acceptance_prob: 1.0,
+                ..MarketplaceConfig::default()
+            },
+            pool(40),
+            5,
+        );
+        let specs = paper_surveys();
+        let o1 = m.post_task(&specs[0], 40);
+        let o2 = m.post_task(&specs[1], 40);
+        let ids1: std::collections::HashSet<_> =
+            o1.responses.workers().into_iter().map(String::from).collect();
+        let ids2: std::collections::HashSet<_> =
+            o2.responses.workers().into_iter().map(String::from).collect();
+        assert!(ids1.is_disjoint(&ids2), "per-survey IDs must never overlap");
+    }
+
+    #[test]
+    fn costs_accumulate_with_markup() {
+        let mut m = Marketplace::new(
+            MarketplaceConfig {
+                acceptance_prob: 1.0,
+                markup_bps: 2000,
+                ..MarketplaceConfig::default()
+            },
+            pool(20),
+            6,
+        );
+        let specs = paper_surveys();
+        let out = m.post_task(&specs[0], 20);
+        assert_eq!(out.responses.len(), 20);
+        // 20 × 2c = 40c base + 20% = 48c.
+        assert_eq!(m.costs().base_cents(), 40);
+        assert_eq!(m.costs().total_cents(), 48);
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let specs = paper_surveys();
+        let run = |seed| {
+            let mut m = Marketplace::new(MarketplaceConfig::default(), pool(60), seed);
+            let out = m.post_task(&specs[0], 30);
+            out.responses
+                .workers()
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn elapsed_time_scales_with_arrival_rate() {
+        let specs = paper_surveys();
+        let elapsed = |mean_arrival_hours: f64| {
+            let mut m = Marketplace::new(
+                MarketplaceConfig {
+                    mean_arrival_hours,
+                    acceptance_prob: 1.0,
+                    ..MarketplaceConfig::default()
+                },
+                pool(300),
+                7,
+            );
+            m.post_task(&specs[0], 100).elapsed_hours
+        };
+        let fast = elapsed(2.0);
+        let slow = elapsed(50.0);
+        assert!(
+            slow > fast * 3.0,
+            "slow arrivals {slow}h not ≫ fast {fast}h"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quota must be positive")]
+    fn zero_quota_rejected() {
+        let mut m = Marketplace::new(MarketplaceConfig::default(), pool(5), 8);
+        let specs = paper_surveys();
+        let _ = m.post_task(&specs[0], 0);
+    }
+}

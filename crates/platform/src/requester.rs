@@ -1,0 +1,247 @@
+//! Requester-side campaign orchestration.
+//!
+//! A *campaign* is what §2's adversary actually ran: several surveys
+//! posted independently over days, each with a quota, with random
+//! responders filtered out before analysis. [`Campaign`] packages that
+//! loop — post, collect, filter, account — so experiments and tests
+//! share one implementation.
+
+use crate::marketplace::Marketplace;
+use crate::spec::SurveySpec;
+use loki_survey::redundancy::ConsistencyFilter;
+use loki_survey::response::ResponseSet;
+use loki_survey::survey::SurveyId;
+use serde::{Deserialize, Serialize};
+
+/// One survey to post: the spec plus its response quota.
+#[derive(Debug, Clone)]
+pub struct CampaignItem {
+    /// What to post.
+    pub spec: SurveySpec,
+    /// How many responses to pay for.
+    pub quota: usize,
+}
+
+/// A requester's multi-survey campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    items: Vec<CampaignItem>,
+    /// Redundancy-filter threshold (mean |pair disagreement|); `None`
+    /// disables filtering.
+    pub filter_threshold: Option<f64>,
+}
+
+/// Per-survey outcome of a campaign run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SurveyRun {
+    /// Which survey.
+    pub survey: SurveyId,
+    /// Its title.
+    pub title: String,
+    /// The requested quota.
+    pub quota: usize,
+    /// Responses collected.
+    pub collected: usize,
+    /// Responses surviving the redundancy filter.
+    pub kept: usize,
+    /// Simulated days from posting to the last completion.
+    pub days: f64,
+}
+
+/// The whole campaign's outcome.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Filtered responses per survey, in posting order.
+    pub responses: Vec<(SurveySpec, ResponseSet)>,
+    /// Per-survey funnel rows.
+    pub runs: Vec<SurveyRun>,
+    /// Total spend in dollars (including aggregator markup) across the
+    /// campaign's marketplace.
+    pub total_dollars: f64,
+    /// Wall time: surveys post independently, so the campaign takes as
+    /// long as its slowest survey.
+    pub wall_days: f64,
+}
+
+impl Campaign {
+    /// Creates a campaign with the paper's default filtering (threshold
+    /// 1.0 scale points).
+    pub fn new(items: Vec<CampaignItem>) -> Campaign {
+        Campaign {
+            items,
+            filter_threshold: Some(1.0),
+        }
+    }
+
+    /// Disables the redundancy filter.
+    pub fn without_filter(mut self) -> Campaign {
+        self.filter_threshold = None;
+        self
+    }
+
+    /// Runs the campaign on a marketplace.
+    ///
+    /// # Panics
+    /// Panics if the campaign has no items (nothing to run).
+    pub fn run(&self, market: &mut Marketplace) -> CampaignOutcome {
+        assert!(!self.items.is_empty(), "campaign has no surveys");
+        let start_dollars = market.costs().total_dollars();
+        let mut responses = Vec::with_capacity(self.items.len());
+        let mut runs = Vec::with_capacity(self.items.len());
+        let mut wall_days = 0.0f64;
+        for item in &self.items {
+            let outcome = market.post_task(&item.spec, item.quota);
+            let collected = outcome.responses.len();
+            let kept_set = match self.filter_threshold {
+                Some(threshold) => {
+                    let filter = ConsistencyFilter::new(threshold);
+                    filter.filter(&item.spec.survey, &outcome.responses).0
+                }
+                None => outcome.responses,
+            };
+            let days = outcome.elapsed_hours / 24.0;
+            wall_days = wall_days.max(days);
+            runs.push(SurveyRun {
+                survey: item.spec.survey.id,
+                title: item.spec.survey.title.clone(),
+                quota: item.quota,
+                collected,
+                kept: kept_set.len(),
+                days,
+            });
+            responses.push((item.spec.clone(), kept_set));
+        }
+        CampaignOutcome {
+            responses,
+            runs,
+            total_dollars: market.costs().total_dollars() - start_dollars,
+            wall_days,
+        }
+    }
+}
+
+/// The paper's §2 campaign: the four harvest surveys at EXP-1's quotas.
+pub fn paper_campaign() -> Campaign {
+    let specs = crate::spec::paper_surveys();
+    let quotas = [400usize, 350, 300, 250];
+    Campaign::new(
+        specs
+            .into_iter()
+            .take(4)
+            .zip(quotas)
+            .map(|(spec, quota)| CampaignItem { spec, quota })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::BehaviorModel;
+    use crate::marketplace::MarketplaceConfig;
+    use crate::worker::{HealthProfile, PrivacyAttitude, WorkerId, WorkerProfile};
+    use loki_survey::demographics::{BirthDate, Gender, QuasiIdentifier, ZipCode};
+
+    fn pool(n: u64, random_every: u64) -> Vec<(WorkerProfile, BehaviorModel)> {
+        (0..n)
+            .map(|i| {
+                let w = WorkerProfile::new(
+                    WorkerId(i),
+                    QuasiIdentifier {
+                        birth: BirthDate::new(
+                            1960 + (i % 40) as u16,
+                            1 + (i % 12) as u8,
+                            1 + (i % 28) as u8,
+                        )
+                        .unwrap(),
+                        gender: if i % 2 == 0 { Gender::Female } else { Gender::Male },
+                        zip: ZipCode::new((20_000 + i % 50) as u32).unwrap(),
+                    },
+                    HealthProfile {
+                        smoking_level: 1,
+                        cough_level: 1,
+                    },
+                    PrivacyAttitude {
+                        aware_of_profiling: false,
+                        would_participate_if_profiled: false,
+                    },
+                );
+                let model = if random_every > 0 && i % random_every == 0 {
+                    BehaviorModel::Random
+                } else {
+                    BehaviorModel::Honest { opinion_noise: 0.3 }
+                };
+                (w, model)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_campaign_runs_four_surveys() {
+        let mut market = Marketplace::new(MarketplaceConfig::default(), pool(450, 12), 1);
+        let outcome = paper_campaign().run(&mut market);
+        assert_eq!(outcome.runs.len(), 4);
+        assert_eq!(outcome.responses.len(), 4);
+        assert!(outcome.total_dollars > 0.0 && outcome.total_dollars < 30.0);
+        assert!(outcome.wall_days > 0.0);
+        for run in &outcome.runs {
+            assert!(run.kept <= run.collected);
+            assert!(run.collected <= run.quota);
+        }
+    }
+
+    #[test]
+    fn filter_drops_random_responders() {
+        let mut market = Marketplace::new(
+            MarketplaceConfig {
+                acceptance_prob: 1.0,
+                ..MarketplaceConfig::default()
+            },
+            pool(100, 2), // half random
+            2,
+        );
+        let outcome = paper_campaign().run(&mut market);
+        let first = &outcome.runs[0];
+        assert!(
+            first.kept < first.collected,
+            "filter removed nothing: {first:?}"
+        );
+    }
+
+    #[test]
+    fn without_filter_keeps_everything() {
+        let mut market = Marketplace::new(
+            MarketplaceConfig {
+                acceptance_prob: 1.0,
+                ..MarketplaceConfig::default()
+            },
+            pool(100, 2),
+            3,
+        );
+        let outcome = paper_campaign().without_filter().run(&mut market);
+        for run in &outcome.runs {
+            assert_eq!(run.kept, run.collected);
+        }
+    }
+
+    #[test]
+    fn wall_days_is_max_not_sum() {
+        let mut market = Marketplace::new(MarketplaceConfig::default(), pool(450, 0), 4);
+        let outcome = paper_campaign().run(&mut market);
+        let max_days = outcome
+            .runs
+            .iter()
+            .map(|r| r.days)
+            .fold(0.0f64, f64::max);
+        assert_eq!(outcome.wall_days, max_days);
+        let sum: f64 = outcome.runs.iter().map(|r| r.days).sum();
+        assert!(outcome.wall_days <= sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "no surveys")]
+    fn empty_campaign_rejected() {
+        let mut market = Marketplace::new(MarketplaceConfig::default(), pool(10, 0), 5);
+        let _ = Campaign::new(vec![]).run(&mut market);
+    }
+}

@@ -1,0 +1,418 @@
+//! Survey specs: questions plus *semantics*.
+//!
+//! A [`loki_survey::Survey`] says a question is "a rating 1–5"; it does not
+//! say what the question is *really about*. To simulate respondents we
+//! attach a [`QuestionSemantics`] to every question: which piece of worker
+//! ground truth it discloses. This is also what makes the attack harness
+//! honest — the linkage code reads disclosed answers exactly as a real
+//! requester would, not the worker's hidden profile.
+//!
+//! [`SurveySpecBuilder`] assembles spec'd surveys, and [`paper_surveys`]
+//! reconstructs the paper's five-survey campaign.
+
+use loki_survey::question::QuestionKind;
+use loki_survey::survey::{Survey, SurveyBuilder, SurveyId};
+use loki_survey::QuestionId;
+use serde::{Deserialize, Serialize};
+
+/// What a question actually asks about, i.e. which ground-truth field of
+/// the worker determines an honest answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuestionSemantics {
+    /// Day of the month of birth (numeric 1–31).
+    BirthDay,
+    /// Month of birth (numeric 1–12).
+    BirthMonth,
+    /// Year of birth (numeric).
+    BirthYear,
+    /// Star sign (multiple choice over the 12 signs).
+    StarSign,
+    /// Gender (multiple choice: female/male).
+    Gender,
+    /// Home ZIP code (numeric 0–99999).
+    ZipCode,
+    /// Opinion rating on a topic (e.g. lecturer quality, astrology
+    /// services). `topic` indexes the latent opinion; `topic_mean` is the
+    /// ground-truth mean used to generate it.
+    Opinion {
+        /// Topic index.
+        topic: u32,
+        /// Ground-truth topic mean on the 1–5 scale.
+        topic_mean: f64,
+    },
+    /// Smoking frequency (rating 1–5, health-sensitive).
+    SmokingLevel,
+    /// Coughing frequency (rating 1–5, health-sensitive).
+    CoughLevel,
+    /// "Did you know you could be profiled?" (choice 0 = yes, 1 = no).
+    AwareOfProfiling,
+    /// "Would you participate if profiled?" (choice 0 = yes, 1 = no).
+    WouldParticipateIfProfiled,
+    /// Instructed-response attention check: the honest answer is the
+    /// given rating.
+    AttentionCheck {
+        /// The instructed rating.
+        expected: u8,
+    },
+}
+
+/// A survey plus per-question semantics, in question order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveySpec {
+    /// The survey as respondents see it.
+    pub survey: Survey,
+    /// Semantics of each question, parallel to `survey.questions`.
+    pub semantics: Vec<QuestionSemantics>,
+}
+
+impl SurveySpec {
+    /// Semantics of a question by id.
+    pub fn semantics_of(&self, q: QuestionId) -> Option<&QuestionSemantics> {
+        let idx = self.survey.questions.iter().position(|qq| qq.id == q)?;
+        self.semantics.get(idx)
+    }
+}
+
+/// Builds a [`SurveySpec`], keeping questions and semantics in lock-step.
+#[derive(Debug)]
+pub struct SurveySpecBuilder {
+    builder: SurveyBuilder,
+    semantics: Vec<QuestionSemantics>,
+}
+
+impl SurveySpecBuilder {
+    /// Starts a spec.
+    pub fn new(id: SurveyId, title: impl Into<String>) -> SurveySpecBuilder {
+        SurveySpecBuilder {
+            builder: SurveyBuilder::new(id, title),
+            semantics: Vec::new(),
+        }
+    }
+
+    /// Sets the per-response reward.
+    pub fn reward_cents(mut self, cents: u32) -> SurveySpecBuilder {
+        self.builder = self.builder.reward_cents(cents);
+        self
+    }
+
+    /// Appends a question with its semantics.
+    pub fn question(
+        &mut self,
+        text: impl Into<String>,
+        kind: QuestionKind,
+        sensitive: bool,
+        sem: QuestionSemantics,
+    ) -> QuestionId {
+        let id = self.builder.question(text, kind, sensitive);
+        self.semantics.push(sem);
+        id
+    }
+
+    /// Declares a redundancy pair.
+    pub fn redundant(&mut self, a: QuestionId, b: QuestionId) {
+        self.builder.redundant(a, b);
+    }
+
+    /// Finalizes the spec.
+    ///
+    /// # Panics
+    /// Panics if the underlying survey fails validation — specs are
+    /// program-constructed, so an invalid one is a bug, not input error.
+    pub fn build(self) -> SurveySpec {
+        let survey = self.builder.build().expect("spec survey must be valid");
+        SurveySpec {
+            survey,
+            semantics: self.semantics,
+        }
+    }
+}
+
+/// The twelve star-sign option labels, in zodiac order (the order
+/// [`loki_survey::StarSign::all`] returns).
+pub fn star_sign_options() -> Vec<String> {
+    [
+        "Aries",
+        "Taurus",
+        "Gemini",
+        "Cancer",
+        "Leo",
+        "Virgo",
+        "Libra",
+        "Scorpio",
+        "Sagittarius",
+        "Capricorn",
+        "Aquarius",
+        "Pisces",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// Reconstructs the paper's §2 campaign as five survey specs:
+///
+/// 1. astrology opinions (+ star sign, day/month of birth);
+/// 2. match-making market research (+ gender, year of birth);
+/// 3. mobile-coverage survey (+ ZIP code);
+/// 4. anonymous smoking/coughing survey (the sensitive harvest);
+/// 5. the follow-up profiling-awareness survey.
+///
+/// Each carries a redundancy pair so random responders can be filtered, as
+/// the paper describes.
+pub fn paper_surveys() -> Vec<SurveySpec> {
+    let mut out = Vec::new();
+
+    // Survey 1: astrology — harvests star sign + day/month of birth.
+    let mut s1 = SurveySpecBuilder::new(SurveyId(1), "Opinions on astrology services")
+        .reward_cents(2);
+    let a = s1.question(
+        "How much do you trust astrology services?",
+        QuestionKind::likert5(),
+        false,
+        QuestionSemantics::Opinion {
+            topic: 100,
+            topic_mean: 2.4,
+        },
+    );
+    let b = s1.question(
+        "How accurate do you find astrology predictions?",
+        QuestionKind::likert5(),
+        false,
+        QuestionSemantics::Opinion {
+            topic: 100,
+            topic_mean: 2.4,
+        },
+    );
+    s1.redundant(a, b);
+    s1.question(
+        "What is your star sign?",
+        QuestionKind::MultipleChoice {
+            options: star_sign_options(),
+        },
+        true,
+        QuestionSemantics::StarSign,
+    );
+    s1.question(
+        "Day of the month you were born (for your horoscope)",
+        QuestionKind::Numeric { min: 1, max: 31 },
+        true,
+        QuestionSemantics::BirthDay,
+    );
+    s1.question(
+        "Month you were born (for your horoscope)",
+        QuestionKind::Numeric { min: 1, max: 12 },
+        true,
+        QuestionSemantics::BirthMonth,
+    );
+    out.push(s1.build());
+
+    // Survey 2: match-making — harvests gender + birth year.
+    let mut s2 = SurveySpecBuilder::new(SurveyId(2), "Online match-making market research")
+        .reward_cents(2);
+    let a = s2.question(
+        "How useful are online match-making services?",
+        QuestionKind::likert5(),
+        false,
+        QuestionSemantics::Opinion {
+            topic: 101,
+            topic_mean: 3.1,
+        },
+    );
+    let b = s2.question(
+        "Rate the overall value of online dating platforms",
+        QuestionKind::likert5(),
+        false,
+        QuestionSemantics::Opinion {
+            topic: 101,
+            topic_mean: 3.1,
+        },
+    );
+    s2.redundant(a, b);
+    s2.question(
+        "What is your gender?",
+        QuestionKind::MultipleChoice {
+            options: vec!["Female".into(), "Male".into()],
+        },
+        true,
+        QuestionSemantics::Gender,
+    );
+    s2.question(
+        "What year were you born? (to match age groups)",
+        QuestionKind::Numeric {
+            min: 1900,
+            max: 2000,
+        },
+        true,
+        QuestionSemantics::BirthYear,
+    );
+    out.push(s2.build());
+
+    // Survey 3: phone coverage — harvests ZIP code.
+    let mut s3 = SurveySpecBuilder::new(SurveyId(3), "Mobile phone coverage survey")
+        .reward_cents(2);
+    let a = s3.question(
+        "Rate your mobile coverage at home",
+        QuestionKind::likert5(),
+        false,
+        QuestionSemantics::Opinion {
+            topic: 102,
+            topic_mean: 3.6,
+        },
+    );
+    let b = s3.question(
+        "How satisfied are you with signal strength at home?",
+        QuestionKind::likert5(),
+        false,
+        QuestionSemantics::Opinion {
+            topic: 102,
+            topic_mean: 3.6,
+        },
+    );
+    s3.redundant(a, b);
+    s3.question(
+        "What is your ZIP code? (to map coverage)",
+        QuestionKind::Numeric { min: 0, max: 99_999 },
+        true,
+        QuestionSemantics::ZipCode,
+    );
+    out.push(s3.build());
+
+    // Survey 4: "anonymous" health survey — the sensitive harvest.
+    let mut s4 = SurveySpecBuilder::new(
+        SurveyId(4),
+        "Anonymous survey on smoking habits and coughing",
+    )
+    .reward_cents(2);
+    let a = s4.question(
+        "How often do you smoke?",
+        QuestionKind::likert5(),
+        true,
+        QuestionSemantics::SmokingLevel,
+    );
+    let b = s4.question(
+        "Rate your smoking frequency",
+        QuestionKind::likert5(),
+        true,
+        QuestionSemantics::SmokingLevel,
+    );
+    s4.redundant(a, b);
+    s4.question(
+        "How frequently do you cough?",
+        QuestionKind::likert5(),
+        true,
+        QuestionSemantics::CoughLevel,
+    );
+    out.push(s4.build());
+
+    // Survey 5: profiling-awareness follow-up.
+    let mut s5 = SurveySpecBuilder::new(SurveyId(5), "Survey participation attitudes")
+        .reward_cents(2);
+    s5.question(
+        "Did you know survey requesters can profile you across surveys?",
+        QuestionKind::MultipleChoice {
+            options: vec!["Yes".into(), "No".into()],
+        },
+        false,
+        QuestionSemantics::AwareOfProfiling,
+    );
+    s5.question(
+        "Would you participate if you knew you were being profiled?",
+        QuestionKind::MultipleChoice {
+            options: vec!["Yes".into(), "No".into()],
+        },
+        false,
+        QuestionSemantics::WouldParticipateIfProfiled,
+    );
+    out.push(s5.build());
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_campaign_has_five_surveys() {
+        let specs = paper_surveys();
+        assert_eq!(specs.len(), 5);
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(spec.survey.id, SurveyId(i as u64 + 1));
+            assert_eq!(
+                spec.semantics.len(),
+                spec.survey.questions.len(),
+                "survey {i} semantics out of lock-step"
+            );
+        }
+    }
+
+    #[test]
+    fn first_three_surveys_have_redundancy_pairs() {
+        let specs = paper_surveys();
+        for spec in &specs[..4] {
+            assert!(
+                !spec.survey.redundancy_pairs.is_empty(),
+                "{} lacks redundancy",
+                spec.survey.title
+            );
+        }
+    }
+
+    #[test]
+    fn demographic_harvest_is_spread_across_surveys() {
+        let specs = paper_surveys();
+        let has = |spec: &SurveySpec, sem: &QuestionSemantics| {
+            spec.semantics.iter().any(|s| s == sem)
+        };
+        assert!(has(&specs[0], &QuestionSemantics::BirthDay));
+        assert!(has(&specs[0], &QuestionSemantics::BirthMonth));
+        assert!(has(&specs[1], &QuestionSemantics::Gender));
+        assert!(has(&specs[1], &QuestionSemantics::BirthYear));
+        assert!(has(&specs[2], &QuestionSemantics::ZipCode));
+        assert!(has(&specs[3], &QuestionSemantics::SmokingLevel));
+        // No single survey harvests the full triple.
+        for spec in &specs {
+            let full = has(spec, &QuestionSemantics::BirthDay)
+                && has(spec, &QuestionSemantics::BirthYear)
+                && has(spec, &QuestionSemantics::ZipCode);
+            assert!(!full, "{} harvests the full QI alone", spec.survey.title);
+        }
+    }
+
+    #[test]
+    fn semantics_lookup_by_question_id() {
+        let specs = paper_surveys();
+        let s1 = &specs[0];
+        let star_q = s1
+            .survey
+            .questions
+            .iter()
+            .find(|q| matches!(s1.semantics_of(q.id), Some(QuestionSemantics::StarSign)))
+            .expect("survey 1 has a star-sign question");
+        assert!(star_q.sensitive);
+        assert!(s1.semantics_of(QuestionId(99)).is_none());
+    }
+
+    #[test]
+    fn star_sign_options_match_zodiac() {
+        assert_eq!(star_sign_options().len(), 12);
+        assert_eq!(star_sign_options()[0], "Aries");
+        assert_eq!(star_sign_options()[11], "Pisces");
+    }
+
+    #[test]
+    fn builder_keeps_lockstep() {
+        let mut b = SurveySpecBuilder::new(SurveyId(9), "t");
+        b.question(
+            "q",
+            QuestionKind::likert5(),
+            false,
+            QuestionSemantics::Opinion {
+                topic: 1,
+                topic_mean: 3.0,
+            },
+        );
+        let spec = b.build();
+        assert_eq!(spec.survey.len(), spec.semantics.len());
+    }
+}

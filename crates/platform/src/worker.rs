@@ -1,0 +1,194 @@
+//! Workers and their ground truth.
+//!
+//! A worker carries everything the experiments need to know about the
+//! *real person behind the account*: demographics (the quasi-identifier
+//! the attack reconstructs), health facts (the sensitive attribute survey
+//! 4 harvests), latent opinions (so rating questions have a stable ground
+//! truth), and attitude toward profiling (for the paper's follow-up
+//! perception survey).
+
+use loki_survey::demographics::QuasiIdentifier;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Internal worker identity (the *person*, not any platform-visible ID —
+/// what the requester sees is produced by [`crate::idpolicy::IdPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct WorkerId(pub u64);
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker-{}", self.0)
+    }
+}
+
+/// Sensitive health facts — what the paper's fourth survey harvested
+/// ("smoking habits and coughing frequency", from which "respiratory
+/// health (and likelihood of tuberculosis)" was inferred).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthProfile {
+    /// Smoking frequency on a 1–5 scale (1 = never, 5 = heavy).
+    pub smoking_level: u8,
+    /// Coughing frequency on a 1–5 scale.
+    pub cough_level: u8,
+}
+
+impl HealthProfile {
+    /// The inference the paper drew: elevated smoking *and* coughing flag
+    /// likely poor respiratory health.
+    pub fn respiratory_risk(&self) -> bool {
+        self.smoking_level >= 4 && self.cough_level >= 4
+    }
+}
+
+/// Attitude toward being profiled — ground truth for the paper's
+/// follow-up survey ("73 responded that they did not know they could be
+/// profiled, and indicated that they would not participate if they knew").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivacyAttitude {
+    /// Whether the worker knows cross-survey profiling is possible.
+    pub aware_of_profiling: bool,
+    /// Whether they would still participate knowing they are profiled.
+    pub would_participate_if_profiled: bool,
+}
+
+/// A simulated worker: account + person.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    /// Stable internal identity.
+    pub id: WorkerId,
+    /// True demographics.
+    pub demographics: QuasiIdentifier,
+    /// True health facts.
+    pub health: HealthProfile,
+    /// Privacy attitude.
+    pub attitude: PrivacyAttitude,
+    /// Personal seed deriving all latent opinions deterministically.
+    opinion_seed: u64,
+}
+
+impl WorkerProfile {
+    /// Creates a worker with the given ground truth.
+    pub fn new(
+        id: WorkerId,
+        demographics: QuasiIdentifier,
+        health: HealthProfile,
+        attitude: PrivacyAttitude,
+    ) -> WorkerProfile {
+        WorkerProfile {
+            id,
+            demographics,
+            health,
+            attitude,
+            // Derive the opinion seed from the identity so construction is
+            // deterministic without threading an RNG through.
+            opinion_seed: id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The worker's latent opinion on `topic`, a stable value in `[1, 5]`.
+    ///
+    /// Deterministic per (worker, topic): asking twice returns the same
+    /// value, which is what makes redundancy pairs meaningful. The latent
+    /// opinion is centred on the topic's global mean with per-worker
+    /// spread, mirroring how real raters differ around a lecturer's "true"
+    /// quality.
+    pub fn opinion(&self, topic: u32, topic_mean: f64, rater_spread: f64) -> f64 {
+        assert!(rater_spread >= 0.0, "spread must be non-negative");
+        let mut rng = ChaCha20Rng::seed_from_u64(self.opinion_seed ^ (u64::from(topic) << 17));
+        // Two uniforms → approximately bell-shaped personal offset
+        // (Irwin–Hall with n=2), bounded, cheap, deterministic.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let v: f64 = rng.gen_range(0.0..1.0);
+        let offset = (u + v - 1.0) * rater_spread * 2.0;
+        (topic_mean + offset).clamp(1.0, 5.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_survey::demographics::{BirthDate, Gender, ZipCode};
+
+    fn demo() -> QuasiIdentifier {
+        QuasiIdentifier {
+            birth: BirthDate::new(1985, 7, 14).unwrap(),
+            gender: Gender::Female,
+            zip: ZipCode::new(90210).unwrap(),
+        }
+    }
+
+    fn worker(id: u64) -> WorkerProfile {
+        WorkerProfile::new(
+            WorkerId(id),
+            demo(),
+            HealthProfile {
+                smoking_level: 2,
+                cough_level: 1,
+            },
+            PrivacyAttitude {
+                aware_of_profiling: false,
+                would_participate_if_profiled: false,
+            },
+        )
+    }
+
+    #[test]
+    fn opinions_are_stable_per_topic() {
+        let w = worker(7);
+        let a = w.opinion(3, 4.0, 0.5);
+        let b = w.opinion(3, 4.0, 0.5);
+        assert_eq!(a, b, "same worker+topic must give the same opinion");
+    }
+
+    #[test]
+    fn opinions_differ_across_topics_and_workers() {
+        let w1 = worker(7);
+        let w2 = worker(8);
+        assert_ne!(w1.opinion(1, 3.0, 0.8), w1.opinion(2, 3.0, 0.8));
+        assert_ne!(w1.opinion(1, 3.0, 0.8), w2.opinion(1, 3.0, 0.8));
+    }
+
+    #[test]
+    fn opinions_clamped_to_scale() {
+        let w = worker(3);
+        for topic in 0..200 {
+            let v = w.opinion(topic, 4.8, 1.5);
+            assert!((1.0..=5.0).contains(&v), "opinion {v} off scale");
+        }
+    }
+
+    #[test]
+    fn opinions_center_on_topic_mean() {
+        // Across many workers, the mean latent opinion approaches the
+        // topic mean (the basis of the Fig. 2 estimates).
+        let n = 2_000;
+        let mean: f64 = (0..n)
+            .map(|i| worker(i).opinion(5, 3.5, 0.8))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 3.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn respiratory_risk_rule() {
+        let risky = HealthProfile {
+            smoking_level: 5,
+            cough_level: 4,
+        };
+        let fine = HealthProfile {
+            smoking_level: 5,
+            cough_level: 1,
+        };
+        assert!(risky.respiratory_risk());
+        assert!(!fine.respiratory_risk());
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        assert_eq!(worker(9), worker(9));
+    }
+}

@@ -1,0 +1,149 @@
+//! Wire DTOs of the REST API.
+//!
+//! Survey and response bodies reuse `loki-survey`'s serde representations
+//! directly — one source of truth for the schema.
+
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::accountant::ReleaseKind;
+use loki_survey::response::Response as SurveyResponse;
+use serde::{Deserialize, Serialize};
+
+/// One row of `GET /surveys`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveySummary {
+    /// Survey id (numeric part).
+    pub id: u64,
+    /// Title shown in the app list.
+    pub title: String,
+    /// Number of questions.
+    pub questions: usize,
+    /// Reward per completion, cents.
+    pub reward_cents: u32,
+}
+
+/// Body of `POST /surveys/:id/responses`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitRequest {
+    /// Submitting user (pseudonym).
+    pub user: String,
+    /// The privacy level the user chose for this survey.
+    pub privacy_level: PrivacyLevel,
+    /// The obfuscated response (worker field must equal `user`).
+    pub response: SurveyResponse,
+    /// The client's declared ledger entries for this upload, as
+    /// `(tag, release)` pairs produced by the obfuscator.
+    pub releases: Vec<(String, ReleaseKind)>,
+}
+
+/// Reply to `POST /surveys/:id/responses`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitReply {
+    /// Total responses now stored for the survey.
+    pub stored: usize,
+    /// The user's cumulative ε after this upload (`null` when unbounded).
+    pub cumulative_epsilon: Option<f64>,
+}
+
+/// One bin of `GET /surveys/:id/results/:question`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinResult {
+    /// Privacy level of the bin.
+    pub level: PrivacyLevel,
+    /// Responses in the bin.
+    pub n: usize,
+    /// Bin mean of the uploaded (noisy) values.
+    pub mean: f64,
+    /// Predicted standard error.
+    pub standard_error: f64,
+}
+
+/// Reply to `GET /surveys/:id/results/:question`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuestionResults {
+    /// Survey id.
+    pub survey: u64,
+    /// Question id.
+    pub question: u32,
+    /// Per-bin estimates (non-empty bins only).
+    pub bins: Vec<BinResult>,
+    /// Inverse-variance pooled mean.
+    pub pooled_mean: f64,
+    /// Standard error of the pooled mean.
+    pub pooled_standard_error: f64,
+    /// Total responses used.
+    pub n_total: usize,
+}
+
+/// Reply to `GET /ledger/:user`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerInfo {
+    /// The user.
+    pub user: String,
+    /// Number of recorded releases.
+    pub releases: usize,
+    /// Cumulative ε (tight accounting); `null` when unbounded (a raw
+    /// release happened).
+    pub epsilon: Option<f64>,
+    /// The δ the ε is stated at.
+    pub delta: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_survey::question::Answer;
+    use loki_survey::QuestionId;
+    use loki_survey::SurveyId;
+
+    #[test]
+    fn submit_request_round_trips() {
+        let mut response = SurveyResponse::new("u1", SurveyId(3));
+        response.answer(QuestionId(0), Answer::Obfuscated(4.3));
+        let req = SubmitRequest {
+            user: "u1".into(),
+            privacy_level: PrivacyLevel::Medium,
+            response,
+            releases: vec![(
+                "survey-3/q0".into(),
+                ReleaseKind::Gaussian {
+                    sigma: 1.0,
+                    sensitivity: 4.0,
+                },
+            )],
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: SubmitRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn ledger_info_nullable_epsilon() {
+        let info = LedgerInfo {
+            user: "u".into(),
+            releases: 3,
+            epsilon: None,
+            delta: 1e-5,
+        };
+        let json = serde_json::to_string(&info).unwrap();
+        assert!(json.contains("\"epsilon\":null"));
+    }
+
+    #[test]
+    fn results_serialize() {
+        let r = QuestionResults {
+            survey: 1,
+            question: 0,
+            bins: vec![BinResult {
+                level: PrivacyLevel::Low,
+                n: 32,
+                mean: 4.1,
+                standard_error: 0.17,
+            }],
+            pooled_mean: 4.12,
+            pooled_standard_error: 0.1,
+            n_total: 32,
+        };
+        let v: serde_json::Value = serde_json::to_value(&r).unwrap();
+        assert_eq!(v["bins"][0]["level"], "low");
+    }
+}

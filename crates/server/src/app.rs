@@ -1,0 +1,468 @@
+//! Route wiring: [`AppState`] + [`loki_net::Router`] → a running server.
+
+use crate::api::{BinResult, LedgerInfo, QuestionResults, SubmitReply, SubmitRequest, SurveySummary};
+use crate::store::{AppState, SubmitError};
+use loki_core::estimator::Estimator;
+use loki_net::http::StatusCode;
+use loki_net::json::{json_error, json_response, parse_json_body};
+use loki_net::router::Router;
+use loki_net::server::{Server, ServerConfig, ServerHandle};
+use loki_survey::survey::{Survey, SurveyId};
+use loki_survey::QuestionId;
+use std::sync::Arc;
+
+/// Builds the full API router over shared state.
+pub fn build_router(state: Arc<AppState>) -> Router {
+    let mut router = Router::new();
+
+    router.get("/health", |_, _| {
+        loki_net::http::Response::text(StatusCode::OK, "ok")
+    });
+
+    let s = Arc::clone(&state);
+    router.get("/surveys", move |_, _| {
+        let list: Vec<SurveySummary> = s
+            .surveys()
+            .into_iter()
+            .map(|sv| SurveySummary {
+                id: sv.id.0,
+                title: sv.title.clone(),
+                questions: sv.len(),
+                reward_cents: sv.reward_cents,
+            })
+            .collect();
+        json_response(StatusCode::OK, &list)
+    });
+
+    let s = Arc::clone(&state);
+    router.get("/surveys/:id", move |_, params| {
+        let Some(id) = params.parse::<u64>("id") else {
+            return json_error(StatusCode::BAD_REQUEST, "bad survey id");
+        };
+        match s.survey(SurveyId(id)) {
+            Some(survey) => json_response(StatusCode::OK, &survey),
+            None => json_error(StatusCode::NOT_FOUND, "unknown survey"),
+        }
+    });
+
+    let s = Arc::clone(&state);
+    router.post("/surveys", move |req, _| {
+        let token = req
+            .headers
+            .get("authorization")
+            .and_then(|v| v.strip_prefix("Bearer "));
+        if !s.may_publish(token) {
+            return json_error(StatusCode::UNAUTHORIZED, "requester token required");
+        }
+        let survey: Survey = match parse_json_body(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        if survey.is_empty() {
+            return json_error(StatusCode::UNPROCESSABLE, "survey has no questions");
+        }
+        if s.add_survey(survey) {
+            json_response(StatusCode::CREATED, &serde_json::json!({"created": true}))
+        } else {
+            json_error(StatusCode::CONFLICT, "survey id already exists")
+        }
+    });
+
+    let s = Arc::clone(&state);
+    router.post("/surveys/:id/responses", move |req, params| {
+        let Some(id) = params.parse::<u64>("id") else {
+            return json_error(StatusCode::BAD_REQUEST, "bad survey id");
+        };
+        let body: SubmitRequest = match parse_json_body(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        if body.response.survey != SurveyId(id) {
+            return json_error(
+                StatusCode::UNPROCESSABLE,
+                "response targets a different survey",
+            );
+        }
+        match s.submit(&body.user, body.privacy_level, body.response, &body.releases) {
+            Ok(stored) => {
+                let loss = s.user_loss(&body.user);
+                let reply = SubmitReply {
+                    stored,
+                    cumulative_epsilon: loss
+                        .is_finite()
+                        .then(|| loss.epsilon.value()),
+                };
+                json_response(StatusCode::CREATED, &reply)
+            }
+            Err(e) => {
+                let status = match e {
+                    SubmitError::UnknownSurvey => StatusCode::NOT_FOUND,
+                    SubmitError::Duplicate => StatusCode::CONFLICT,
+                    SubmitError::BudgetExhausted { .. } => StatusCode::FORBIDDEN,
+                    _ => StatusCode::UNPROCESSABLE,
+                };
+                json_error(status, e.to_string())
+            }
+        }
+    });
+
+    let s = Arc::clone(&state);
+    router.get("/surveys/:id/results/:question", move |_, params| {
+        let (Some(id), Some(q)) = (params.parse::<u64>("id"), params.parse::<u32>("question"))
+        else {
+            return json_error(StatusCode::BAD_REQUEST, "bad survey/question id");
+        };
+        if s.survey(SurveyId(id)).is_none() {
+            return json_error(StatusCode::NOT_FOUND, "unknown survey");
+        }
+        let estimator = Estimator::default();
+        match s.results(SurveyId(id), QuestionId(q), &estimator) {
+            Some(pooled) => {
+                let reply = QuestionResults {
+                    survey: id,
+                    question: q,
+                    bins: pooled
+                        .bins
+                        .iter()
+                        .map(|b| BinResult {
+                            level: b.level,
+                            n: b.n,
+                            mean: b.mean,
+                            standard_error: b.standard_error,
+                        })
+                        .collect(),
+                    pooled_mean: pooled.mean,
+                    pooled_standard_error: pooled.standard_error,
+                    n_total: pooled.n_total,
+                };
+                json_response(StatusCode::OK, &reply)
+            }
+            None => json_error(StatusCode::NOT_FOUND, "no responses for question"),
+        }
+    });
+
+    let s = Arc::clone(&state);
+    router.get("/surveys/:id/choices/:question", move |_, params| {
+        let (Some(id), Some(q)) = (params.parse::<u64>("id"), params.parse::<u32>("question"))
+        else {
+            return json_error(StatusCode::BAD_REQUEST, "bad survey/question id");
+        };
+        if s.survey(SurveyId(id)).is_none() {
+            return json_error(StatusCode::NOT_FOUND, "unknown survey");
+        }
+        match s.choice_frequencies(SurveyId(id), QuestionId(q)) {
+            Some(estimate) => json_response(StatusCode::OK, &estimate),
+            None => json_error(
+                StatusCode::NOT_FOUND,
+                "no choice responses for question (or not a multiple-choice question)",
+            ),
+        }
+    });
+
+    let s = Arc::clone(&state);
+    router.get("/stats", move |_, _| {
+        let surveys = s.surveys();
+        let submissions: usize = surveys.iter().map(|sv| s.submission_count(sv.id)).sum();
+        json_response(
+            StatusCode::OK,
+            &serde_json::json!({
+                "surveys": surveys.len(),
+                "submissions": submissions,
+                "users": s.accountant.user_count(),
+            }),
+        )
+    });
+
+    let s = Arc::clone(&state);
+    router.get("/ledger/:user", move |_, params| {
+        let Some(user) = params.get("user") else {
+            return json_error(StatusCode::BAD_REQUEST, "bad user");
+        };
+        let loss = s.user_loss(user);
+        let info = LedgerInfo {
+            user: user.to_string(),
+            releases: s.accountant.releases_of(user),
+            epsilon: loss.is_finite().then(|| loss.epsilon.value()),
+            delta: loki_dp::DEFAULT_DELTA,
+        };
+        json_response(StatusCode::OK, &info)
+    });
+
+    router
+}
+
+/// Binds the API server on `addr` over fresh or shared state.
+pub fn serve(addr: &str, state: Arc<AppState>) -> std::io::Result<ServerHandle> {
+    Server::spawn(addr, build_router(state), ServerConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_core::privacy_level::PrivacyLevel;
+    use loki_net::client::HttpClient;
+    use loki_net::json::parse_json_response;
+    use loki_survey::question::{Answer, QuestionKind};
+    use loki_survey::response::Response;
+    use loki_survey::survey::SurveyBuilder;
+
+    fn lecturer_survey() -> Survey {
+        let mut b = SurveyBuilder::new(SurveyId(1), "lecturers");
+        b.question("rate L1", QuestionKind::likert5(), false);
+        b.build().unwrap()
+    }
+
+    fn start() -> (ServerHandle, HttpClient, Arc<AppState>) {
+        let state = Arc::new(AppState::new());
+        state.add_survey(lecturer_survey());
+        let h = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+        let c = HttpClient::new(&h.base_url()).unwrap();
+        (h, c, state)
+    }
+
+    fn submit_body(user: &str, value: f64) -> String {
+        let mut response = Response::new(user, SurveyId(1));
+        response.answer(QuestionId(0), Answer::Obfuscated(value));
+        serde_json::to_string(&SubmitRequest {
+            user: user.into(),
+            privacy_level: PrivacyLevel::Medium,
+            response,
+            releases: vec![(
+                "survey-1/q0".into(),
+                loki_dp::accountant::ReleaseKind::Gaussian {
+                    sigma: 1.0,
+                    sensitivity: 4.0,
+                },
+            )],
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn health_and_survey_list() {
+        let (h, c, _) = start();
+        assert_eq!(&c.get("/health").unwrap().body[..], b"ok");
+        let resp = c.get("/surveys").unwrap();
+        let list: Vec<SurveySummary> = parse_json_response(&resp).unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].title, "lecturers");
+        h.shutdown();
+    }
+
+    #[test]
+    fn fetch_survey_and_404() {
+        let (h, c, _) = start();
+        let resp = c.get("/surveys/1").unwrap();
+        let survey: Survey = parse_json_response(&resp).unwrap();
+        assert_eq!(survey.id, SurveyId(1));
+        assert_eq!(c.get("/surveys/99").unwrap().status, StatusCode::NOT_FOUND);
+        assert_eq!(c.get("/surveys/abc").unwrap().status, StatusCode::BAD_REQUEST);
+        h.shutdown();
+    }
+
+    #[test]
+    fn publish_survey_over_http() {
+        let (h, c, _) = start();
+        let mut b = SurveyBuilder::new(SurveyId(2), "new");
+        b.question("q", QuestionKind::likert5(), false);
+        let body = serde_json::to_string(&b.build().unwrap()).unwrap();
+        let resp = c.post("/surveys", "application/json", body.clone()).unwrap();
+        assert_eq!(resp.status, StatusCode::CREATED);
+        // Duplicate id conflicts.
+        let resp = c.post("/surveys", "application/json", body).unwrap();
+        assert_eq!(resp.status, StatusCode::CONFLICT);
+        h.shutdown();
+    }
+
+    #[test]
+    fn submit_results_and_ledger_flow() {
+        let (h, c, _) = start();
+        for (i, v) in [4.2, 3.9, 4.4].iter().enumerate() {
+            let resp = c
+                .post(
+                    "/surveys/1/responses",
+                    "application/json",
+                    submit_body(&format!("u{i}"), *v),
+                )
+                .unwrap();
+            assert_eq!(resp.status, StatusCode::CREATED, "{:?}", resp.body);
+            let reply: SubmitReply = parse_json_response(&resp).unwrap();
+            assert_eq!(reply.stored, i + 1);
+            assert!(reply.cumulative_epsilon.unwrap() > 0.0);
+        }
+        let resp = c.get("/surveys/1/results/0").unwrap();
+        let results: QuestionResults = parse_json_response(&resp).unwrap();
+        assert_eq!(results.n_total, 3);
+        assert!((results.pooled_mean - 4.1666).abs() < 1e-3);
+
+        let resp = c.get("/ledger/u0").unwrap();
+        let ledger: LedgerInfo = parse_json_response(&resp).unwrap();
+        assert_eq!(ledger.releases, 1);
+        assert!(ledger.epsilon.unwrap() > 0.0);
+        h.shutdown();
+    }
+
+    #[test]
+    fn raw_answer_rejected_over_http() {
+        let (h, c, state) = start();
+        let mut response = Response::new("u1", SurveyId(1));
+        response.answer(QuestionId(0), Answer::Rating(4.0)); // raw
+        let body = serde_json::to_string(&SubmitRequest {
+            user: "u1".into(),
+            privacy_level: PrivacyLevel::None,
+            response,
+            releases: vec![],
+        })
+        .unwrap();
+        let resp = c.post("/surveys/1/responses", "application/json", body).unwrap();
+        assert_eq!(resp.status, StatusCode::UNPROCESSABLE);
+        assert_eq!(state.submission_count(SurveyId(1)), 0);
+        h.shutdown();
+    }
+
+    #[test]
+    fn duplicate_submission_conflicts() {
+        let (h, c, _) = start();
+        let resp = c
+            .post("/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::CREATED);
+        let resp = c
+            .post("/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::CONFLICT);
+        h.shutdown();
+    }
+
+    #[test]
+    fn mismatched_survey_id_rejected() {
+        let (h, c, _) = start();
+        // Body targets survey 1 but URL says survey 99.
+        let resp = c
+            .post("/surveys/99/responses", "application/json", submit_body("u1", 4.0))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::UNPROCESSABLE);
+        h.shutdown();
+    }
+
+    #[test]
+    fn results_404_without_responses() {
+        let (h, c, _) = start();
+        assert_eq!(
+            c.get("/surveys/1/results/0").unwrap().status,
+            StatusCode::NOT_FOUND
+        );
+        h.shutdown();
+    }
+
+    #[test]
+    fn empty_ledger_reports_zero() {
+        let (h, c, _) = start();
+        let resp = c.get("/ledger/nobody").unwrap();
+        let info: LedgerInfo = parse_json_response(&resp).unwrap();
+        assert_eq!(info.releases, 0);
+        assert_eq!(info.epsilon, Some(0.0));
+        h.shutdown();
+    }
+
+    #[test]
+    fn publish_requires_token_once_configured() {
+        let (h, c, state) = start();
+        state.add_requester_token("secret-token");
+        let mut b = SurveyBuilder::new(SurveyId(5), "gated");
+        b.question("q", QuestionKind::likert5(), false);
+        let body = serde_json::to_string(&b.build().unwrap()).unwrap();
+
+        // No token: 401.
+        let resp = c.post("/surveys", "application/json", body.clone()).unwrap();
+        assert_eq!(resp.status, StatusCode::UNAUTHORIZED);
+
+        // Wrong token: 401.
+        let mut req = loki_net::http::Request::new(loki_net::http::Method::Post, "/surveys")
+            .with_body(body.clone());
+        req.headers.insert("Authorization", "Bearer wrong");
+        assert_eq!(c.send(req).unwrap().status, StatusCode::UNAUTHORIZED);
+
+        // Right token: 201.
+        let mut req = loki_net::http::Request::new(loki_net::http::Method::Post, "/surveys")
+            .with_body(body);
+        req.headers.insert("Authorization", "Bearer secret-token");
+        assert_eq!(c.send(req).unwrap().status, StatusCode::CREATED);
+        h.shutdown();
+    }
+
+    #[test]
+    fn choice_results_invert_randomized_response() {
+        let state = Arc::new(AppState::new());
+        let mut b = SurveyBuilder::new(SurveyId(1), "mc");
+        b.question(
+            "pick",
+            QuestionKind::MultipleChoice {
+                options: vec!["a".into(), "b".into(), "c".into()],
+            },
+            false,
+        );
+        state.add_survey(b.build().unwrap());
+        let h = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+        let c = HttpClient::new(&h.base_url()).unwrap();
+
+        // 300 users all truly answer "b", uploading through RR at Medium.
+        use loki_core::obfuscate::Obfuscator;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(5);
+        let survey = state.survey(SurveyId(1)).unwrap();
+        let obf = Obfuscator::new(PrivacyLevel::Medium);
+        for i in 0..300 {
+            let mut raw = Response::new(format!("u{i}"), SurveyId(1));
+            raw.answer(QuestionId(0), Answer::Choice(1));
+            let (upload, releases) = obf.obfuscate_response(&mut rng, &survey, &raw).unwrap();
+            state
+                .submit(&format!("u{i}"), PrivacyLevel::Medium, upload, &releases)
+                .unwrap();
+        }
+
+        let resp = c.get("/surveys/1/choices/0").unwrap();
+        assert!(resp.status.is_success());
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let freq_b = v["frequencies"][1].as_f64().unwrap();
+        assert!(
+            freq_b > 0.85,
+            "RR inversion should recover ~1.0 for option b, got {freq_b}"
+        );
+        assert_eq!(v["n_total"].as_u64().unwrap(), 300);
+        h.shutdown();
+    }
+
+    #[test]
+    fn choices_on_rating_question_is_404() {
+        let (h, c, _) = start();
+        assert_eq!(
+            c.get("/surveys/1/choices/0").unwrap().status,
+            StatusCode::NOT_FOUND
+        );
+        h.shutdown();
+    }
+
+    #[test]
+    fn stats_endpoint_counts() {
+        let (h, c, _) = start();
+        c.post("/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+            .unwrap();
+        let resp = c.get("/stats").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["surveys"], 1);
+        assert_eq!(v["submissions"], 1);
+        assert_eq!(v["users"], 1);
+        h.shutdown();
+    }
+
+    #[test]
+    fn malformed_json_body_is_422() {
+        let (h, c, _) = start();
+        let resp = c
+            .post("/surveys/1/responses", "application/json", "{broken")
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::UNPROCESSABLE);
+        h.shutdown();
+    }
+}

@@ -1,0 +1,155 @@
+//! `loki-server` — run the Loki backend standalone.
+//!
+//! ```sh
+//! loki-server [--addr 127.0.0.1:8080] [--snapshot state.json]
+//!             [--token REQUESTER_TOKEN]... [--demo]
+//! ```
+//!
+//! * `--snapshot PATH` — load state from PATH if it exists; save back on
+//!   Ctrl-D (EOF on stdin).
+//! * `--token T` — require a requester token for `POST /surveys` (may be
+//!   repeated).
+//! * `--demo` — publish a demo lecturer survey at startup.
+
+use loki_server::{serve, AppState};
+use loki_survey::question::QuestionKind;
+use loki_survey::survey::{SurveyBuilder, SurveyId};
+use std::io::Read;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Options {
+    addr: String,
+    snapshot: Option<PathBuf>,
+    wal: Option<PathBuf>,
+    tokens: Vec<String>,
+    budget: Option<f64>,
+    demo: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:8080".to_string(),
+        snapshot: None,
+        wal: None,
+        tokens: Vec::new(),
+        budget: None,
+        demo: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = args.next().ok_or("--addr needs a value")?,
+            "--snapshot" => {
+                opts.snapshot = Some(PathBuf::from(args.next().ok_or("--snapshot needs a value")?))
+            }
+            "--wal" => opts.wal = Some(PathBuf::from(args.next().ok_or("--wal needs a value")?)),
+            "--token" => opts.tokens.push(args.next().ok_or("--token needs a value")?),
+            "--budget" => {
+                opts.budget = Some(
+                    args.next()
+                        .ok_or("--budget needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad budget: {e}"))?,
+                )
+            }
+            "--demo" => opts.demo = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: loki-server [--addr HOST:PORT] [--snapshot PATH] [--wal PATH] \
+                     [--token T]... [--budget EPS] [--demo]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn demo_survey() -> loki_survey::survey::Survey {
+    let mut b = SurveyBuilder::new(SurveyId(1), "Rate your lecturers (demo)");
+    for i in 1..=5 {
+        b.question(format!("Rate lecturer {i}"), QuestionKind::likert5(), false);
+    }
+    b.build().expect("demo survey is valid")
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let state = match (&opts.wal, &opts.snapshot) {
+        (Some(path), _) if path.exists() => match loki_server::wal::replay(path) {
+            Ok(s) => {
+                eprintln!("replayed journal from {}", path.display());
+                Arc::new(s)
+            }
+            Err(e) => {
+                eprintln!("failed to replay journal {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        (None, Some(path)) if path.exists() => match loki_server::persist::load(path) {
+            Ok(s) => {
+                eprintln!("loaded snapshot from {}", path.display());
+                Arc::new(s)
+            }
+            Err(e) => {
+                eprintln!("failed to load snapshot {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        _ => Arc::new(AppState::new()),
+    };
+    if let Some(path) = &opts.wal {
+        match loki_server::wal::Wal::open(path) {
+            Ok(wal) => state.attach_journal(wal),
+            Err(e) => {
+                eprintln!("failed to open journal {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    for token in &opts.tokens {
+        state.add_requester_token(token.clone());
+    }
+    if let Some(budget) = opts.budget {
+        state.set_epsilon_budget(Some(budget));
+        eprintln!("per-user cumulative ε capped at {budget}");
+    }
+    if opts.demo && state.survey(SurveyId(1)).is_none() {
+        state.add_survey(demo_survey());
+        eprintln!("published demo survey 1");
+    }
+
+    let handle = match serve(&opts.addr, Arc::clone(&state)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    eprintln!("loki-server listening on {}", handle.base_url());
+    eprintln!("routes: /health /surveys /surveys/:id /surveys/:id/responses");
+    eprintln!("        /surveys/:id/results/:q /surveys/:id/choices/:q /ledger/:user /stats");
+    eprintln!("press Ctrl-D to shut down");
+
+    // Block until stdin closes, then shut down (and snapshot if asked).
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+
+    if let Some(path) = &opts.snapshot {
+        match loki_server::persist::save(&state, path) {
+            Ok(()) => eprintln!("snapshot saved to {}", path.display()),
+            Err(e) => eprintln!("snapshot save failed: {e}"),
+        }
+    }
+    handle.shutdown();
+    eprintln!("bye");
+}

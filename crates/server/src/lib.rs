@@ -1,0 +1,33 @@
+//! # loki-server — the Loki REST backend
+//!
+//! The paper's prototype backend was "a back-end database/server built in
+//! Django"; this crate is its Rust equivalent on top of [`loki_net`]:
+//!
+//! | Route | Purpose |
+//! |---|---|
+//! | `GET /health` | liveness |
+//! | `GET /surveys` | survey list (Fig. 1(a)'s screen) |
+//! | `GET /surveys/:id` | full survey definition |
+//! | `POST /surveys` | publish a survey |
+//! | `POST /surveys/:id/responses` | upload an **obfuscated** response |
+//! | `GET /surveys/:id/results/:question` | per-bin + pooled estimates |
+//! | `GET /ledger/:user` | cumulative privacy loss of a user |
+//!
+//! The at-source property is enforced at ingest: submissions containing
+//! raw (non-obfuscated) answers to obfuscatable questions are rejected
+//! with `422` — the server refuses to even store them. The server's
+//! ledger mirrors the client's declared releases so users can query their
+//! cumulative loss (ε tracking, §3.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod app;
+pub mod persist;
+pub mod store;
+pub mod wal;
+
+pub use api::{LedgerInfo, QuestionResults, SubmitRequest, SurveySummary};
+pub use app::{build_router, serve};
+pub use store::AppState;

@@ -1,0 +1,267 @@
+//! Snapshot persistence: the state's durable core (surveys + submissions)
+//! serialized to a JSON file.
+//!
+//! The accountant is *not* snapshotted directly — it is reconstructed
+//! from the stored submissions' declared releases on load, so the ledger
+//! can never drift from the data that justifies it.
+
+use crate::store::{AppState, StoredSubmission};
+use loki_survey::survey::Survey;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// On-disk snapshot format.
+#[derive(Debug, Serialize, Deserialize)]
+struct Snapshot {
+    /// Format version for forward compatibility.
+    version: u32,
+    surveys: Vec<Survey>,
+    submissions: Vec<SnapshotSubmission>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SnapshotSubmission {
+    submission: StoredSubmission,
+    releases: Vec<(String, loki_dp::accountant::ReleaseKind)>,
+}
+
+/// Errors while saving/loading snapshots.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Serialization/deserialization failure.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io: {e}"),
+            PersistError::Format(e) => write!(f, "format: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Saves the state to a JSON snapshot.
+///
+/// The client-declared releases are re-derived per submission from the
+/// submission's own ledger view: we reconstruct minimal Gaussian entries
+/// from the stored privacy level, which is what the server would have
+/// recorded. (Submissions store everything the accountant needs.)
+pub fn save(state: &AppState, path: &Path) -> Result<(), PersistError> {
+    let surveys = state.surveys();
+    let mut submissions = Vec::new();
+    for survey in &surveys {
+        for sub in state.submissions(survey.id) {
+            let releases = releases_for(survey, &sub);
+            submissions.push(SnapshotSubmission {
+                submission: sub,
+                releases,
+            });
+        }
+    }
+    let snapshot = Snapshot {
+        version: 1,
+        surveys,
+        submissions,
+    };
+    let json =
+        serde_json::to_vec_pretty(&snapshot).map_err(|e| PersistError::Format(e.to_string()))?;
+    // Write-then-rename for atomicity.
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a snapshot into a fresh state, replaying submissions through the
+/// normal ingest path (so all invariants re-apply).
+pub fn load(path: &Path) -> Result<AppState, PersistError> {
+    let bytes = std::fs::read(path)?;
+    let snapshot: Snapshot =
+        serde_json::from_slice(&bytes).map_err(|e| PersistError::Format(e.to_string()))?;
+    if snapshot.version != 1 {
+        return Err(PersistError::Format(format!(
+            "unsupported snapshot version {}",
+            snapshot.version
+        )));
+    }
+    let state = AppState::new();
+    for survey in snapshot.surveys {
+        if !state.add_survey(survey) {
+            return Err(PersistError::Format("duplicate survey id".into()));
+        }
+    }
+    for item in snapshot.submissions {
+        let SnapshotSubmission {
+            submission,
+            releases,
+        } = item;
+        state
+            .submit(
+                &submission.user.clone(),
+                submission.level,
+                submission.response,
+                &releases,
+            )
+            .map_err(|e| PersistError::Format(format!("replay failed: {e}")))?;
+    }
+    Ok(state)
+}
+
+/// The ledger entries a submission implies, derived from its level and
+/// the survey's question kinds — identical to what the client declared.
+fn releases_for(
+    survey: &Survey,
+    sub: &StoredSubmission,
+) -> Vec<(String, loki_dp::accountant::ReleaseKind)> {
+    use loki_dp::accountant::ReleaseKind;
+    use loki_survey::question::QuestionKind;
+    let level = sub.level;
+    survey
+        .questions
+        .iter()
+        .filter_map(|q| {
+            let tag = format!("{}/{}", survey.id, q.id);
+            let kind = match &q.kind {
+                QuestionKind::FreeText => return None,
+                QuestionKind::MultipleChoice { .. } => match level.randomized_response_epsilon() {
+                    Some(eps) => ReleaseKind::Pure { epsilon: eps },
+                    None => ReleaseKind::Raw,
+                },
+                QuestionKind::Rating { .. } | QuestionKind::Numeric { .. } => {
+                    let range = q.kind.numeric_range().expect("numeric kinds have a range");
+                    if level == loki_core::privacy_level::PrivacyLevel::None {
+                        ReleaseKind::Raw
+                    } else {
+                        ReleaseKind::Gaussian {
+                            sigma: level.sigma_for_range(range),
+                            sensitivity: range,
+                        }
+                    }
+                }
+            };
+            Some((tag, kind))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_core::privacy_level::PrivacyLevel;
+    use loki_survey::question::{Answer, QuestionKind};
+    use loki_survey::response::Response;
+    use loki_survey::survey::{SurveyBuilder, SurveyId};
+    use loki_survey::QuestionId;
+
+    fn populated_state() -> AppState {
+        let state = AppState::new();
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        b.question("rate", QuestionKind::likert5(), false);
+        state.add_survey(b.build().unwrap());
+        for (i, level) in [PrivacyLevel::Low, PrivacyLevel::High].iter().enumerate() {
+            let user = format!("u{i}");
+            let mut r = Response::new(user.clone(), SurveyId(1));
+            r.answer(QuestionId(0), Answer::Obfuscated(4.0 + i as f64));
+            state
+                .submit(
+                    &user,
+                    *level,
+                    r,
+                    &[(
+                        "survey-1/q0".into(),
+                        loki_dp::accountant::ReleaseKind::Gaussian {
+                            sigma: level.sigma(),
+                            sensitivity: 4.0,
+                        },
+                    )],
+                )
+                .unwrap();
+        }
+        state
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("loki-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+
+        let state = populated_state();
+        save(&state, &path).unwrap();
+        let loaded = load(&path).unwrap();
+
+        assert_eq!(loaded.surveys().len(), 1);
+        assert_eq!(loaded.submission_count(SurveyId(1)), 2);
+        // Ledger reconstructed: both users have one recorded release.
+        assert_eq!(loaded.accountant.releases_of("u0"), 1);
+        assert_eq!(loaded.accountant.releases_of("u1"), 1);
+        // Loss ordering preserved (low privacy → higher ε).
+        assert!(
+            loaded.user_loss("u0").epsilon.value() > loaded.user_loss("u1").epsilon.value()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_fails() {
+        assert!(matches!(
+            load(Path::new("/nonexistent/loki.json")),
+            Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn load_garbage_fails() {
+        let dir = std::env::temp_dir().join(format!("loki-garbage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, b"{broken").unwrap();
+        assert!(matches!(load(&path), Err(PersistError::Format(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn releases_for_matches_level() {
+        let mut b = SurveyBuilder::new(SurveyId(2), "mixed");
+        b.question("rate", QuestionKind::likert5(), false);
+        b.question(
+            "pick",
+            QuestionKind::MultipleChoice {
+                options: vec!["a".into(), "b".into()],
+            },
+            false,
+        );
+        b.question("say", QuestionKind::FreeText, false);
+        let survey = b.build().unwrap();
+        let mut r = Response::new("u", SurveyId(2));
+        r.answer(QuestionId(0), Answer::Obfuscated(3.0));
+        r.answer(QuestionId(1), Answer::Choice(0));
+        r.answer(QuestionId(2), Answer::Text("x".into()));
+        let sub = StoredSubmission {
+            user: "u".into(),
+            level: PrivacyLevel::Medium,
+            response: r,
+        };
+        let releases = releases_for(&survey, &sub);
+        assert_eq!(releases.len(), 2, "free text contributes no release");
+        assert!(matches!(
+            releases[0].1,
+            loki_dp::accountant::ReleaseKind::Gaussian { sigma, .. } if (sigma - 1.0).abs() < 1e-12
+        ));
+        assert!(matches!(
+            releases[1].1,
+            loki_dp::accountant::ReleaseKind::Pure { .. }
+        ));
+    }
+}

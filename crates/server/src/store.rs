@@ -1,0 +1,579 @@
+//! In-memory application state behind `parking_lot` locks.
+
+use loki_core::estimator::Estimator;
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::accountant::{Accountant, ReleaseKind};
+use loki_dp::params::Delta;
+use loki_survey::question::{Answer, QuestionKind};
+use loki_survey::response::Response;
+use loki_survey::survey::{Survey, SurveyId};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A stored submission: who, at what level, and the uploaded response.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StoredSubmission {
+    /// Submitting user.
+    pub user: String,
+    /// Chosen privacy level.
+    pub level: PrivacyLevel,
+    /// The uploaded (obfuscated) response.
+    pub response: Response,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// No such survey.
+    UnknownSurvey,
+    /// The response failed survey validation.
+    Invalid(String),
+    /// A raw (non-obfuscated) answer was found on an obfuscatable
+    /// question — the at-source contract forbids the server from ever
+    /// storing it.
+    RawAnswer {
+        /// The offending question.
+        question: u32,
+    },
+    /// The response's worker field does not match the submitting user.
+    UserMismatch,
+    /// This user already submitted to this survey.
+    Duplicate,
+    /// The user's cumulative privacy loss is at or over the server's cap.
+    BudgetExhausted {
+        /// Current cumulative ε (`None` = unbounded).
+        current: Option<f64>,
+        /// The configured cap.
+        budget: f64,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownSurvey => write!(f, "unknown survey"),
+            SubmitError::Invalid(e) => write!(f, "invalid response: {e}"),
+            SubmitError::RawAnswer { question } => write!(
+                f,
+                "question q{question}: raw answer refused — obfuscate at source"
+            ),
+            SubmitError::UserMismatch => write!(f, "response worker does not match user"),
+            SubmitError::Duplicate => write!(f, "user already submitted to this survey"),
+            SubmitError::BudgetExhausted { current, budget } => match current {
+                Some(c) => write!(f, "privacy budget exhausted: ε = {c:.3} of {budget:.3}"),
+                None => write!(f, "privacy budget exhausted: unbounded loss recorded"),
+            },
+        }
+    }
+}
+
+/// The server's whole mutable state.
+#[derive(Debug, Default)]
+pub struct AppState {
+    surveys: RwLock<BTreeMap<SurveyId, Survey>>,
+    submissions: RwLock<BTreeMap<SurveyId, Vec<StoredSubmission>>>,
+    /// Requester tokens allowed to publish surveys. Empty = open server
+    /// (useful for tests and local demos).
+    requester_tokens: RwLock<std::collections::HashSet<String>>,
+    /// Optional cap on any user's cumulative ε; submissions from users at
+    /// or over the cap are refused (the enforcement arm of §3.1's
+    /// "tracked and balanced" loss).
+    epsilon_budget: RwLock<Option<f64>>,
+    /// Optional write-ahead journal; accepted writes are appended after
+    /// they commit to memory.
+    journal: parking_lot::Mutex<Option<crate::wal::Wal>>,
+    /// Server-side mirror of cumulative privacy loss per user.
+    pub accountant: Accountant,
+}
+
+impl AppState {
+    /// Creates empty state.
+    pub fn new() -> AppState {
+        AppState::default()
+    }
+
+    /// Registers a requester token; once any token exists, publishing
+    /// requires one.
+    pub fn add_requester_token(&self, token: impl Into<String>) {
+        self.requester_tokens.write().insert(token.into());
+    }
+
+    /// Whether a `POST /surveys` bearing `token` (possibly absent) is
+    /// allowed to publish.
+    pub fn may_publish(&self, token: Option<&str>) -> bool {
+        let tokens = self.requester_tokens.read();
+        tokens.is_empty() || token.is_some_and(|t| tokens.contains(t))
+    }
+
+    /// Attaches a write-ahead journal: every *subsequently* accepted
+    /// survey publication and submission is appended to it. Use
+    /// [`crate::wal::replay`] at startup to restore, then attach the same
+    /// journal for new writes.
+    pub fn attach_journal(&self, wal: crate::wal::Wal) {
+        *self.journal.lock() = Some(wal);
+    }
+
+    /// Caps every user's cumulative ε; `None` removes the cap.
+    pub fn set_epsilon_budget(&self, budget: Option<f64>) {
+        if let Some(b) = budget {
+            assert!(b > 0.0, "epsilon budget must be positive, got {b}");
+        }
+        *self.epsilon_budget.write() = budget;
+    }
+
+    /// The configured cumulative-ε cap, if any.
+    pub fn epsilon_budget(&self) -> Option<f64> {
+        *self.epsilon_budget.read()
+    }
+
+    /// Publishes a survey. Returns `false` if the id already exists.
+    pub fn add_survey(&self, survey: Survey) -> bool {
+        {
+            let mut surveys = self.surveys.write();
+            if surveys.contains_key(&survey.id) {
+                return false;
+            }
+            surveys.insert(survey.id, survey.clone());
+        }
+        if let Some(wal) = self.journal.lock().as_mut() {
+            // Journal failures are logged by the caller's error channel in
+            // a real deployment; here the in-memory commit stands.
+            let _ = wal.append_survey(&survey);
+        }
+        true
+    }
+
+    /// A survey by id.
+    pub fn survey(&self, id: SurveyId) -> Option<Survey> {
+        self.surveys.read().get(&id).cloned()
+    }
+
+    /// All surveys, id-ordered.
+    pub fn surveys(&self) -> Vec<Survey> {
+        self.surveys.read().values().cloned().collect()
+    }
+
+    /// Number of stored submissions for a survey.
+    pub fn submission_count(&self, id: SurveyId) -> usize {
+        self.submissions.read().get(&id).map_or(0, Vec::len)
+    }
+
+    /// All submissions for a survey.
+    pub fn submissions(&self, id: SurveyId) -> Vec<StoredSubmission> {
+        self.submissions.read().get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Validates and stores a submission, recording the declared ledger
+    /// entries. Returns the new submission count for the survey.
+    pub fn submit(
+        &self,
+        user: &str,
+        level: PrivacyLevel,
+        response: Response,
+        releases: &[(String, ReleaseKind)],
+    ) -> Result<usize, SubmitError> {
+        if response.worker != user {
+            return Err(SubmitError::UserMismatch);
+        }
+        let survey = self
+            .survey(response.survey)
+            .ok_or(SubmitError::UnknownSurvey)?;
+        response
+            .validate(&survey)
+            .map_err(|e| SubmitError::Invalid(e.to_string()))?;
+
+        // At-source enforcement: obfuscatable questions must arrive as
+        // Obfuscated (numeric kinds) or Choice (already RR-perturbed) —
+        // never as raw Rating/Numeric values.
+        for q in &survey.questions {
+            let answer = response.get(q.id).expect("validated response is complete");
+            let raw = matches!(
+                (&q.kind, answer),
+                (QuestionKind::Rating { .. }, Answer::Rating(_))
+                    | (QuestionKind::Numeric { .. }, Answer::Numeric(_))
+            );
+            if raw {
+                return Err(SubmitError::RawAnswer { question: q.id.0 });
+            }
+        }
+
+        if let Some(budget) = self.epsilon_budget() {
+            let loss = self.user_loss(user);
+            let over = if loss.is_finite() {
+                loss.epsilon.value() >= budget
+            } else {
+                true
+            };
+            if over {
+                return Err(SubmitError::BudgetExhausted {
+                    current: loss.is_finite().then(|| loss.epsilon.value()),
+                    budget,
+                });
+            }
+        }
+
+        let stored = {
+            let mut submissions = self.submissions.write();
+            let entry = submissions.entry(response.survey).or_default();
+            if entry.iter().any(|s| s.user == user) {
+                return Err(SubmitError::Duplicate);
+            }
+            for (tag, kind) in releases {
+                self.accountant.record(user, tag.clone(), *kind);
+            }
+            entry.push(StoredSubmission {
+                user: user.to_string(),
+                level,
+                response: response.clone(),
+            });
+            entry.len()
+        };
+        if let Some(wal) = self.journal.lock().as_mut() {
+            let _ = wal.append_submission(user, level, &response, releases);
+        }
+        Ok(stored)
+    }
+
+    /// Per-bin samples of one question's numeric uploads.
+    pub fn bin_samples(
+        &self,
+        survey: SurveyId,
+        question: loki_survey::QuestionId,
+    ) -> BTreeMap<PrivacyLevel, Vec<f64>> {
+        let mut bins: BTreeMap<PrivacyLevel, Vec<f64>> = BTreeMap::new();
+        if let Some(subs) = self.submissions.read().get(&survey) {
+            for sub in subs {
+                if let Some(v) = sub.response.get(question).and_then(Answer::as_f64) {
+                    bins.entry(sub.level).or_default().push(v);
+                }
+            }
+        }
+        bins
+    }
+
+    /// Aggregated results of one question, `None` when there are no
+    /// numeric uploads for it.
+    pub fn results(
+        &self,
+        survey: SurveyId,
+        question: loki_survey::QuestionId,
+        estimator: &Estimator,
+    ) -> Option<loki_core::estimator::PooledEstimate> {
+        let bins = self.bin_samples(survey, question);
+        if bins.values().all(Vec::is_empty) {
+            return None;
+        }
+        Some(estimator.pooled(&bins))
+    }
+
+    /// Cumulative loss of a user at the default δ.
+    pub fn user_loss(&self, user: &str) -> loki_dp::params::PrivacyLoss {
+        self.accountant
+            .loss_of(user, Delta::new(loki_dp::DEFAULT_DELTA))
+    }
+
+    /// Per-bin choice counts for a multiple-choice question: for each
+    /// privacy level, a histogram over the option indices.
+    pub fn choice_histograms(
+        &self,
+        survey: SurveyId,
+        question: loki_survey::QuestionId,
+        options: usize,
+    ) -> BTreeMap<PrivacyLevel, Vec<u64>> {
+        let mut bins: BTreeMap<PrivacyLevel, Vec<u64>> = BTreeMap::new();
+        if let Some(subs) = self.submissions.read().get(&survey) {
+            for sub in subs {
+                if let Some(Answer::Choice(c)) = sub.response.get(question) {
+                    if *c < options {
+                        bins.entry(sub.level)
+                            .or_insert_with(|| vec![0; options])[*c] += 1;
+                    }
+                }
+            }
+        }
+        bins
+    }
+
+    /// Estimated true per-option frequencies for a multiple-choice
+    /// question, inverting each bin's randomized response and pooling
+    /// bins by response count. Returns `None` when there are no choice
+    /// uploads for the question.
+    pub fn choice_frequencies(
+        &self,
+        survey: SurveyId,
+        question: loki_survey::QuestionId,
+    ) -> Option<ChoiceEstimate> {
+        let survey_def = self.survey(survey)?;
+        let q = survey_def.question(question)?;
+        let loki_survey::question::QuestionKind::MultipleChoice { options } = &q.kind else {
+            return None;
+        };
+        let k = options.len();
+        let histograms = self.choice_histograms(survey, question, k);
+        let mut pooled = vec![0.0f64; k];
+        let mut n_total = 0u64;
+        let mut bins = Vec::new();
+        for (level, hist) in &histograms {
+            let n: u64 = hist.iter().sum();
+            if n == 0 {
+                continue;
+            }
+            let estimate: Vec<f64> = match level.randomized_response_epsilon() {
+                None => hist.iter().map(|&c| c as f64).collect(),
+                Some(eps) => {
+                    let rr = loki_dp::mechanisms::randomized_response::RandomizedResponse::new(
+                        k,
+                        loki_dp::params::Epsilon::new(eps),
+                    );
+                    rr.estimate_frequencies(hist)
+                }
+            };
+            for (p, e) in pooled.iter_mut().zip(&estimate) {
+                *p += e;
+            }
+            n_total += n;
+            bins.push((*level, n as usize));
+        }
+        if n_total == 0 {
+            return None;
+        }
+        // Normalize the pooled counts to frequencies, clipping the RR
+        // inversion's possible small negatives.
+        let clipped: Vec<f64> = pooled.iter().map(|&p| p.max(0.0)).collect();
+        let total: f64 = clipped.iter().sum();
+        let frequencies = if total > 0.0 {
+            clipped.iter().map(|&p| p / total).collect()
+        } else {
+            vec![1.0 / k as f64; k]
+        };
+        Some(ChoiceEstimate {
+            options: options.clone(),
+            frequencies,
+            n_total: n_total as usize,
+            bins,
+        })
+    }
+}
+
+/// Estimated option frequencies for a multiple-choice question.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChoiceEstimate {
+    /// Option labels, in order.
+    pub options: Vec<String>,
+    /// Estimated true frequency of each option (sums to 1).
+    pub frequencies: Vec<f64>,
+    /// Total responses used.
+    pub n_total: usize,
+    /// (level, responses) per contributing bin.
+    pub bins: Vec<(PrivacyLevel, usize)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_survey::question::QuestionKind;
+    use loki_survey::survey::SurveyBuilder;
+    use loki_survey::QuestionId;
+
+    fn survey() -> Survey {
+        let mut b = SurveyBuilder::new(SurveyId(1), "lecturers");
+        b.question("rate L1", QuestionKind::likert5(), false);
+        b.question("rate L2", QuestionKind::likert5(), false);
+        b.build().unwrap()
+    }
+
+    fn obfuscated_response(user: &str, v: f64) -> Response {
+        let mut r = Response::new(user, SurveyId(1));
+        r.answer(QuestionId(0), Answer::Obfuscated(v));
+        r.answer(QuestionId(1), Answer::Obfuscated(v - 1.0));
+        r
+    }
+
+    fn gaussian_release(tag: &str) -> (String, ReleaseKind) {
+        (
+            tag.to_string(),
+            ReleaseKind::Gaussian {
+                sigma: 1.0,
+                sensitivity: 4.0,
+            },
+        )
+    }
+
+    #[test]
+    fn add_and_list_surveys() {
+        let s = AppState::new();
+        assert!(s.add_survey(survey()));
+        assert!(!s.add_survey(survey()), "duplicate id must be rejected");
+        assert_eq!(s.surveys().len(), 1);
+        assert!(s.survey(SurveyId(1)).is_some());
+        assert!(s.survey(SurveyId(9)).is_none());
+    }
+
+    #[test]
+    fn submit_and_count() {
+        let s = AppState::new();
+        s.add_survey(survey());
+        let n = s
+            .submit(
+                "u1",
+                PrivacyLevel::Medium,
+                obfuscated_response("u1", 4.2),
+                &[gaussian_release("survey-1/q0"), gaussian_release("survey-1/q1")],
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(s.submission_count(SurveyId(1)), 1);
+        assert_eq!(s.accountant.releases_of("u1"), 2);
+    }
+
+    #[test]
+    fn duplicate_submission_rejected() {
+        let s = AppState::new();
+        s.add_survey(survey());
+        s.submit("u1", PrivacyLevel::Low, obfuscated_response("u1", 4.0), &[])
+            .unwrap();
+        let err = s
+            .submit("u1", PrivacyLevel::Low, obfuscated_response("u1", 4.0), &[])
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Duplicate);
+    }
+
+    #[test]
+    fn raw_answer_refused() {
+        let s = AppState::new();
+        s.add_survey(survey());
+        let mut r = Response::new("u1", SurveyId(1));
+        r.answer(QuestionId(0), Answer::Rating(4.0)); // raw!
+        r.answer(QuestionId(1), Answer::Obfuscated(3.0));
+        let err = s
+            .submit("u1", PrivacyLevel::None, r, &[])
+            .unwrap_err();
+        assert_eq!(err, SubmitError::RawAnswer { question: 0 });
+        assert_eq!(s.submission_count(SurveyId(1)), 0);
+    }
+
+    #[test]
+    fn user_mismatch_refused() {
+        let s = AppState::new();
+        s.add_survey(survey());
+        let err = s
+            .submit("mallory", PrivacyLevel::Low, obfuscated_response("alice", 4.0), &[])
+            .unwrap_err();
+        assert_eq!(err, SubmitError::UserMismatch);
+    }
+
+    #[test]
+    fn unknown_survey_refused() {
+        let s = AppState::new();
+        let mut r = Response::new("u1", SurveyId(42));
+        r.answer(QuestionId(0), Answer::Obfuscated(1.0));
+        assert_eq!(
+            s.submit("u1", PrivacyLevel::Low, r, &[]).unwrap_err(),
+            SubmitError::UnknownSurvey
+        );
+    }
+
+    #[test]
+    fn results_aggregate_by_bin() {
+        let s = AppState::new();
+        s.add_survey(survey());
+        for (i, level) in [
+            PrivacyLevel::None,
+            PrivacyLevel::Low,
+            PrivacyLevel::Low,
+            PrivacyLevel::High,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let user = format!("u{i}");
+            s.submit(&user, *level, obfuscated_response(&user, 4.0 + i as f64 * 0.1), &[])
+                .unwrap();
+        }
+        let est = Estimator::default();
+        let pooled = s.results(SurveyId(1), QuestionId(0), &est).unwrap();
+        assert_eq!(pooled.n_total, 4);
+        assert_eq!(pooled.bins.len(), 3); // None, Low, High non-empty
+        assert!(s.results(SurveyId(1), QuestionId(7), &est).is_none());
+    }
+
+    #[test]
+    fn budget_cap_blocks_exhausted_users() {
+        let s = AppState::new();
+        s.add_survey(survey());
+        // One medium-privacy answer costs ε ≈ 24; cap just above one
+        // release so the second is refused.
+        let per_release = loki_core::privacy_level::PrivacyLevel::Medium
+            .privacy_loss(4.0)
+            .epsilon
+            .value();
+        s.set_epsilon_budget(Some(per_release * 1.5));
+
+        s.submit(
+            "u1",
+            PrivacyLevel::Medium,
+            obfuscated_response("u1", 4.0),
+            &[gaussian_release("t0"), gaussian_release("t1")],
+        )
+        .unwrap();
+
+        // Second survey for the same user.
+        let mut b2 = SurveyBuilder::new(SurveyId(2), "second");
+        b2.question("rate", QuestionKind::likert5(), false);
+        s.add_survey(b2.build().unwrap());
+        let mut r = Response::new("u1", SurveyId(2));
+        r.answer(QuestionId(0), Answer::Obfuscated(3.0));
+        let err = s
+            .submit("u1", PrivacyLevel::Medium, r, &[gaussian_release("t2")])
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::BudgetExhausted { .. }), "{err:?}");
+        assert_eq!(s.submission_count(SurveyId(2)), 0);
+
+        // A fresh user is unaffected.
+        let mut r = Response::new("u2", SurveyId(2));
+        r.answer(QuestionId(0), Answer::Obfuscated(3.0));
+        s.submit("u2", PrivacyLevel::Medium, r, &[gaussian_release("t3")])
+            .unwrap();
+    }
+
+    #[test]
+    fn budget_cap_blocks_unbounded_users() {
+        let s = AppState::new();
+        s.add_survey(survey());
+        s.set_epsilon_budget(Some(100.0));
+        // A raw release makes the user's loss unbounded.
+        s.accountant
+            .record("u1", "earlier", loki_dp::accountant::ReleaseKind::Raw);
+        let err = s
+            .submit("u1", PrivacyLevel::None, obfuscated_response("u1", 4.0), &[])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::BudgetExhausted { current: None, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn non_positive_budget_rejected() {
+        let s = AppState::new();
+        s.set_epsilon_budget(Some(0.0));
+    }
+
+    #[test]
+    fn ledger_reflects_releases() {
+        let s = AppState::new();
+        s.add_survey(survey());
+        s.submit(
+            "u1",
+            PrivacyLevel::Medium,
+            obfuscated_response("u1", 3.0),
+            &[gaussian_release("t0"), gaussian_release("t1")],
+        )
+        .unwrap();
+        let loss = s.user_loss("u1");
+        assert!(loss.is_finite());
+        assert!(loss.epsilon.value() > 0.0);
+        assert_eq!(s.user_loss("ghost"), loki_dp::params::PrivacyLoss::ZERO);
+    }
+}

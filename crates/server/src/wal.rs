@@ -1,0 +1,371 @@
+//! Write-ahead journal persistence.
+//!
+//! Snapshots ([`crate::persist`]) capture a moment; the journal captures
+//! every accepted write as one JSON line, fsync'd, so a crash loses at
+//! most the torn final line. Replay rebuilds an [`AppState`] through the
+//! normal ingest path, re-validating every record — a corrupted journal
+//! can fail replay, but can never smuggle an invalid submission past the
+//! at-source checks.
+
+use crate::store::{AppState, SubmitError};
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::accountant::ReleaseKind;
+use loki_survey::response::Response;
+use loki_survey::survey::Survey;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// One journal record.
+///
+/// Externally tagged (`{"publish_survey": {…}}`) rather than internally
+/// tagged: internal tagging buffers the payload through serde's `Content`
+/// type, which cannot round-trip integer-keyed maps like a response's
+/// `answers`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Record {
+    /// A survey was published.
+    PublishSurvey {
+        /// The survey definition.
+        survey: Survey,
+    },
+    /// A submission was accepted.
+    Submit {
+        /// Submitting user.
+        user: String,
+        /// Chosen privacy level.
+        level: PrivacyLevel,
+        /// The uploaded (obfuscated) response.
+        response: Response,
+        /// Declared ledger entries.
+        releases: Vec<(String, ReleaseKind)>,
+    },
+}
+
+/// Journal errors.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A (non-final) record failed to parse or replay.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "io: {e}"),
+            WalError::Corrupt(e) => write!(f, "corrupt journal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// An open, append-only journal.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+}
+
+impl Wal {
+    /// Opens (creating if needed) a journal for appending.
+    pub fn open(path: &Path) -> Result<Wal, WalError> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Wal { file })
+    }
+
+    /// Appends one record and syncs it to disk.
+    pub fn append(&mut self, record: &Record) -> Result<(), WalError> {
+        let mut line =
+            serde_json::to_vec(record).map_err(|e| WalError::Corrupt(e.to_string()))?;
+        line.push(b'\n');
+        self.file.write_all(&line)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Convenience: journals a survey publication.
+    pub fn append_survey(&mut self, survey: &Survey) -> Result<(), WalError> {
+        self.append(&Record::PublishSurvey {
+            survey: survey.clone(),
+        })
+    }
+
+    /// Convenience: journals an accepted submission.
+    pub fn append_submission(
+        &mut self,
+        user: &str,
+        level: PrivacyLevel,
+        response: &Response,
+        releases: &[(String, ReleaseKind)],
+    ) -> Result<(), WalError> {
+        self.append(&Record::Submit {
+            user: user.to_string(),
+            level,
+            response: response.clone(),
+            releases: releases.to_vec(),
+        })
+    }
+}
+
+/// Replays a journal into a fresh state.
+///
+/// A torn *final* line (crash mid-append) is tolerated and dropped; any
+/// other malformed line is an error. Replay applies every record through
+/// the normal `AppState` paths, so all invariants re-apply; a `Duplicate`
+/// outcome is treated as corruption (the journal should never contain
+/// one).
+pub fn replay(path: &Path) -> Result<AppState, WalError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let state = AppState::new();
+    let mut lines = reader.lines().peekable();
+    let mut index = 0usize;
+    while let Some(line) = lines.next() {
+        let line = line?;
+        index += 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: Record = match serde_json::from_str(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                if lines.peek().is_none() {
+                    // Torn tail from a crash mid-append: drop it.
+                    break;
+                }
+                return Err(WalError::Corrupt(format!("line {index}: {e}")));
+            }
+        };
+        match record {
+            Record::PublishSurvey { survey } => {
+                if !state.add_survey(survey) {
+                    return Err(WalError::Corrupt(format!(
+                        "line {index}: duplicate survey id"
+                    )));
+                }
+            }
+            Record::Submit {
+                user,
+                level,
+                response,
+                releases,
+            } => match state.submit(&user, level, response, &releases) {
+                Ok(_) => {}
+                Err(SubmitError::BudgetExhausted { .. }) => {
+                    // Budgets are runtime config, not journal state; a
+                    // replayed journal never carries one.
+                    return Err(WalError::Corrupt(format!(
+                        "line {index}: budget error during replay"
+                    )));
+                }
+                Err(e) => {
+                    return Err(WalError::Corrupt(format!("line {index}: {e}")));
+                }
+            },
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_survey::question::{Answer, QuestionKind};
+    use loki_survey::survey::{SurveyBuilder, SurveyId};
+    use loki_survey::QuestionId;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("loki-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn survey() -> Survey {
+        let mut b = SurveyBuilder::new(SurveyId(1), "wal");
+        b.question("rate", QuestionKind::likert5(), false);
+        b.build().unwrap()
+    }
+
+    fn submission(user: &str) -> (Response, Vec<(String, ReleaseKind)>) {
+        let mut r = Response::new(user, SurveyId(1));
+        r.answer(QuestionId(0), Answer::Obfuscated(4.2));
+        (
+            r,
+            vec![(
+                "survey-1/q0".into(),
+                ReleaseKind::Gaussian {
+                    sigma: 1.0,
+                    sensitivity: 4.0,
+                },
+            )],
+        )
+    }
+
+    #[test]
+    fn journal_replays_to_equivalent_state() {
+        let path = tmp("replay.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append_survey(&survey()).unwrap();
+            for user in ["a", "b", "c"] {
+                let (resp, rel) = submission(user);
+                wal.append_submission(user, PrivacyLevel::Medium, &resp, &rel)
+                    .unwrap();
+            }
+        }
+        let state = replay(&path).unwrap();
+        assert_eq!(state.surveys().len(), 1);
+        assert_eq!(state.submission_count(SurveyId(1)), 3);
+        assert_eq!(state.accountant.releases_of("a"), 1);
+        assert!(state.user_loss("b").epsilon.value() > 0.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let path = tmp("torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append_survey(&survey()).unwrap();
+            let (resp, rel) = submission("a");
+            wal.append_submission("a", PrivacyLevel::Low, &resp, &rel)
+                .unwrap();
+        }
+        // Simulate a crash mid-append: half a record at the end.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"submit\":{\"user\":\"b\",\"lev").unwrap();
+        }
+        let state = replay(&path).unwrap();
+        assert_eq!(state.submission_count(SurveyId(1)), 1, "torn record dropped");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_the_middle_is_an_error() {
+        let path = tmp("midcorrupt.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append_survey(&survey()).unwrap();
+        }
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"garbage line\n").unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            let (resp, rel) = submission("a");
+            wal.append_submission("a", PrivacyLevel::Low, &resp, &rel)
+                .unwrap();
+        }
+        assert!(matches!(replay(&path), Err(WalError::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn invalid_submission_in_journal_rejected_on_replay() {
+        // Hand-craft a journal whose submission carries a raw answer: the
+        // normal ingest path must refuse it at replay time too.
+        let path = tmp("rawreplay.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append_survey(&survey()).unwrap();
+            let mut r = Response::new("evil", SurveyId(1));
+            r.answer(QuestionId(0), Answer::Rating(4.0)); // raw!
+            wal.append(&Record::Submit {
+                user: "evil".into(),
+                level: PrivacyLevel::None,
+                response: r,
+                releases: vec![],
+            })
+            .unwrap();
+            // A trailing valid record so the bad line isn't "torn tail".
+            let (resp, rel) = submission("ok");
+            wal.append_submission("ok", PrivacyLevel::Low, &resp, &rel)
+                .unwrap();
+        }
+        assert!(matches!(replay(&path), Err(WalError::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn attached_journal_captures_live_writes() {
+        let path = tmp("live.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let state = AppState::new();
+        state.attach_journal(Wal::open(&path).unwrap());
+
+        state.add_survey(survey());
+        let (resp, rel) = submission("alice");
+        state
+            .submit("alice", PrivacyLevel::Medium, resp, &rel)
+            .unwrap();
+
+        // Replay the journal into a second state: identical content.
+        let restored = replay(&path).unwrap();
+        assert_eq!(restored.surveys().len(), 1);
+        assert_eq!(restored.submission_count(SurveyId(1)), 1);
+        assert!(
+            (restored.user_loss("alice").epsilon.value()
+                - state.user_loss("alice").epsilon.value())
+            .abs()
+                < 1e-12
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejected_submissions_never_hit_the_journal() {
+        let path = tmp("rejects.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let state = AppState::new();
+        state.attach_journal(Wal::open(&path).unwrap());
+        state.add_survey(survey());
+
+        // Raw answer: rejected, and must not be journaled.
+        let mut raw = Response::new("evil", SurveyId(1));
+        raw.answer(QuestionId(0), Answer::Rating(4.0));
+        assert!(state.submit("evil", PrivacyLevel::None, raw, &[]).is_err());
+
+        let restored = replay(&path).unwrap();
+        assert_eq!(restored.submission_count(SurveyId(1)), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replaying_missing_file_is_io_error() {
+        assert!(matches!(
+            replay(Path::new("/nonexistent/wal.jsonl")),
+            Err(WalError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn record_serde_round_trip() {
+        let (resp, rel) = submission("x");
+        let rec = Record::Submit {
+            user: "x".into(),
+            level: PrivacyLevel::High,
+            response: resp,
+            releases: rel,
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: Record = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+        assert!(json.contains("\"submit\""));
+    }
+}

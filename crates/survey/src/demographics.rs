@@ -1,0 +1,370 @@
+//! Demographic attributes — the quasi-identifiers of the paper's attack.
+//!
+//! §2's surveys harvest, across three seemingly-unrelated surveys:
+//!
+//! 1. star sign and day/month of birth (the astrology survey),
+//! 2. gender and year of birth (the match-making survey),
+//! 3. ZIP code (the phone-coverage survey).
+//!
+//! Combined, these form the (date of birth, gender, ZIP) triple that
+//! Sweeney (2000) and Golle (2006) showed uniquely identifies a large
+//! fraction of the US population. [`PartialProfile`] models the
+//! requester-side accumulation of these fragments; [`QuasiIdentifier`] is
+//! the completed triple used for registry matching.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Western zodiac sign, derivable from day/month of birth — which is why
+/// an innocuous "what's your star sign?" survey leaks birthday bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum StarSign {
+    Aries,
+    Taurus,
+    Gemini,
+    Cancer,
+    Leo,
+    Virgo,
+    Libra,
+    Scorpio,
+    Sagittarius,
+    Capricorn,
+    Aquarius,
+    Pisces,
+}
+
+impl StarSign {
+    /// The sign for a day/month of birth.
+    ///
+    /// # Panics
+    /// Panics on an impossible day/month (see [`BirthDate::new`] for the
+    /// validated path).
+    pub fn from_day_month(day: u8, month: u8) -> StarSign {
+        assert!((1..=12).contains(&month) && (1..=31).contains(&day));
+        use StarSign::*;
+        match (month, day) {
+            (3, 21..) | (4, ..=19) => Aries,
+            (4, 20..) | (5, ..=20) => Taurus,
+            (5, 21..) | (6, ..=20) => Gemini,
+            (6, 21..) | (7, ..=22) => Cancer,
+            (7, 23..) | (8, ..=22) => Leo,
+            (8, 23..) | (9, ..=22) => Virgo,
+            (9, 23..) | (10, ..=22) => Libra,
+            (10, 23..) | (11, ..=21) => Scorpio,
+            (11, 22..) | (12, ..=21) => Sagittarius,
+            (12, 22..) | (1, ..=19) => Capricorn,
+            (1, 20..) | (2, ..=18) => Aquarius,
+            (2, 19..) | (3, ..=20) => Pisces,
+            _ => unreachable!("day/month validated above"),
+        }
+    }
+
+    /// All twelve signs in zodiac order.
+    pub fn all() -> [StarSign; 12] {
+        use StarSign::*;
+        [
+            Aries, Taurus, Gemini, Cancer, Leo, Virgo, Libra, Scorpio, Sagittarius, Capricorn,
+            Aquarius, Pisces,
+        ]
+    }
+}
+
+/// Gender as collected by the paper's match-making survey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Gender {
+    Female,
+    Male,
+}
+
+/// A calendar date of birth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BirthDate {
+    /// Year, e.g. 1985.
+    pub year: u16,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day 1–31 (validated against the month; February is capped at 28 to
+    /// keep the synthetic population leap-year-free).
+    pub day: u8,
+}
+
+impl BirthDate {
+    /// Days in each month (February fixed at 28; the synthetic population
+    /// does not model leap years).
+    pub const DAYS_IN_MONTH: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+    /// Creates a validated date.
+    pub fn new(year: u16, month: u8, day: u8) -> Option<BirthDate> {
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        let max_day = Self::DAYS_IN_MONTH[(month - 1) as usize];
+        if !(1..=max_day).contains(&day) {
+            return None;
+        }
+        Some(BirthDate { year, month, day })
+    }
+
+    /// The star sign this date implies.
+    pub fn star_sign(&self) -> StarSign {
+        StarSign::from_day_month(self.day, self.month)
+    }
+
+    /// Day-of-year index (0-based), used to enumerate all 365 birthdays.
+    pub fn day_of_year(&self) -> u16 {
+        let mut days = 0u16;
+        for m in 0..(self.month - 1) as usize {
+            days += u16::from(Self::DAYS_IN_MONTH[m]);
+        }
+        days + u16::from(self.day) - 1
+    }
+
+    /// Inverse of [`BirthDate::day_of_year`] for a given year.
+    ///
+    /// # Panics
+    /// Panics if `doy >= 365`.
+    pub fn from_day_of_year(year: u16, doy: u16) -> BirthDate {
+        assert!(doy < 365, "day of year {doy} out of range");
+        let mut rem = doy;
+        for (m, &len) in Self::DAYS_IN_MONTH.iter().enumerate() {
+            if rem < u16::from(len) {
+                return BirthDate {
+                    year,
+                    month: (m + 1) as u8,
+                    day: (rem + 1) as u8,
+                };
+            }
+            rem -= u16::from(len);
+        }
+        unreachable!("doy < 365 always lands in a month")
+    }
+}
+
+impl fmt::Display for BirthDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A 5-digit US-style ZIP code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ZipCode(pub u32);
+
+impl ZipCode {
+    /// Creates a ZIP, validating the 5-digit range.
+    pub fn new(code: u32) -> Option<ZipCode> {
+        if code <= 99_999 {
+            Some(ZipCode(code))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ZipCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:05}", self.0)
+    }
+}
+
+/// The completed (date of birth, gender, ZIP) quasi-identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuasiIdentifier {
+    /// Full date of birth.
+    pub birth: BirthDate,
+    /// Gender.
+    pub gender: Gender,
+    /// Home ZIP code.
+    pub zip: ZipCode,
+}
+
+/// Requester-side accumulation of demographic fragments across surveys.
+///
+/// Survey 1 contributes day/month, survey 2 gender + year, survey 3 ZIP;
+/// [`PartialProfile::quasi_identifier`] completes once all fragments are
+/// present.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PartialProfile {
+    /// Day of birth (1–31), if disclosed.
+    pub day: Option<u8>,
+    /// Month of birth (1–12), if disclosed.
+    pub month: Option<u8>,
+    /// Year of birth, if disclosed.
+    pub year: Option<u16>,
+    /// Gender, if disclosed.
+    pub gender: Option<Gender>,
+    /// ZIP code, if disclosed.
+    pub zip: Option<ZipCode>,
+}
+
+impl PartialProfile {
+    /// An empty profile.
+    pub fn new() -> PartialProfile {
+        PartialProfile::default()
+    }
+
+    /// Merges another fragment into this one. Later disclosures win on
+    /// conflict (the adversary trusts the most recent answer).
+    pub fn merge(&mut self, other: &PartialProfile) {
+        if other.day.is_some() {
+            self.day = other.day;
+        }
+        if other.month.is_some() {
+            self.month = other.month;
+        }
+        if other.year.is_some() {
+            self.year = other.year;
+        }
+        if other.gender.is_some() {
+            self.gender = other.gender;
+        }
+        if other.zip.is_some() {
+            self.zip = other.zip;
+        }
+    }
+
+    /// Completes the quasi-identifier if every fragment is present and the
+    /// date is valid.
+    pub fn quasi_identifier(&self) -> Option<QuasiIdentifier> {
+        let birth = BirthDate::new(self.year?, self.month?, self.day?)?;
+        Some(QuasiIdentifier {
+            birth,
+            gender: self.gender?,
+            zip: self.zip?,
+        })
+    }
+
+    /// How many of the five fragments are disclosed.
+    pub fn disclosed_count(&self) -> usize {
+        usize::from(self.day.is_some())
+            + usize::from(self.month.is_some())
+            + usize::from(self.year.is_some())
+            + usize::from(self.gender.is_some())
+            + usize::from(self.zip.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_sign_boundaries() {
+        assert_eq!(StarSign::from_day_month(21, 3), StarSign::Aries);
+        assert_eq!(StarSign::from_day_month(20, 3), StarSign::Pisces);
+        assert_eq!(StarSign::from_day_month(19, 4), StarSign::Aries);
+        assert_eq!(StarSign::from_day_month(20, 4), StarSign::Taurus);
+        assert_eq!(StarSign::from_day_month(22, 12), StarSign::Capricorn);
+        assert_eq!(StarSign::from_day_month(19, 1), StarSign::Capricorn);
+        assert_eq!(StarSign::from_day_month(20, 1), StarSign::Aquarius);
+    }
+
+    #[test]
+    fn every_day_has_a_sign() {
+        for month in 1..=12u8 {
+            for day in 1..=BirthDate::DAYS_IN_MONTH[(month - 1) as usize] {
+                let _ = StarSign::from_day_month(day, month);
+            }
+        }
+    }
+
+    #[test]
+    fn birth_date_validation() {
+        assert!(BirthDate::new(1985, 2, 29).is_none()); // no leap years modeled
+        assert!(BirthDate::new(1985, 2, 28).is_some());
+        assert!(BirthDate::new(1985, 13, 1).is_none());
+        assert!(BirthDate::new(1985, 0, 1).is_none());
+        assert!(BirthDate::new(1985, 4, 31).is_none());
+        assert!(BirthDate::new(1985, 4, 30).is_some());
+    }
+
+    #[test]
+    fn day_of_year_round_trips() {
+        for doy in 0..365 {
+            let d = BirthDate::from_day_of_year(1990, doy);
+            assert_eq!(d.day_of_year(), doy, "doy {doy} -> {d}");
+        }
+    }
+
+    #[test]
+    fn day_of_year_known_values() {
+        assert_eq!(BirthDate::new(2000, 1, 1).unwrap().day_of_year(), 0);
+        assert_eq!(BirthDate::new(2000, 2, 1).unwrap().day_of_year(), 31);
+        assert_eq!(BirthDate::new(2000, 12, 31).unwrap().day_of_year(), 364);
+    }
+
+    #[test]
+    fn zip_validation_and_display() {
+        assert!(ZipCode::new(100_000).is_none());
+        let z = ZipCode::new(2033).unwrap();
+        assert_eq!(z.to_string(), "02033");
+    }
+
+    #[test]
+    fn profile_completes_only_when_full() {
+        let mut p = PartialProfile::new();
+        assert_eq!(p.quasi_identifier(), None);
+        assert_eq!(p.disclosed_count(), 0);
+
+        // Survey 1: day/month.
+        p.merge(&PartialProfile {
+            day: Some(14),
+            month: Some(7),
+            ..Default::default()
+        });
+        assert_eq!(p.quasi_identifier(), None);
+        assert_eq!(p.disclosed_count(), 2);
+
+        // Survey 2: gender + year.
+        p.merge(&PartialProfile {
+            year: Some(1985),
+            gender: Some(Gender::Female),
+            ..Default::default()
+        });
+        assert_eq!(p.quasi_identifier(), None);
+
+        // Survey 3: ZIP completes the triple.
+        p.merge(&PartialProfile {
+            zip: ZipCode::new(90210),
+            ..Default::default()
+        });
+        let qi = p.quasi_identifier().unwrap();
+        assert_eq!(qi.birth, BirthDate::new(1985, 7, 14).unwrap());
+        assert_eq!(qi.gender, Gender::Female);
+        assert_eq!(qi.zip.0, 90210);
+    }
+
+    #[test]
+    fn merge_later_disclosure_wins() {
+        let mut p = PartialProfile {
+            zip: ZipCode::new(11111),
+            ..Default::default()
+        };
+        p.merge(&PartialProfile {
+            zip: ZipCode::new(22222),
+            ..Default::default()
+        });
+        assert_eq!(p.zip.unwrap().0, 22222);
+    }
+
+    #[test]
+    fn invalid_accumulated_date_yields_none() {
+        let p = PartialProfile {
+            day: Some(31),
+            month: Some(2),
+            year: Some(1980),
+            gender: Some(Gender::Male),
+            zip: ZipCode::new(12345),
+        };
+        assert_eq!(p.quasi_identifier(), None);
+    }
+
+    #[test]
+    fn birth_date_sign_consistency() {
+        let d = BirthDate::new(1991, 8, 2).unwrap();
+        assert_eq!(d.star_sign(), StarSign::Leo);
+    }
+}

@@ -1,0 +1,52 @@
+//! # loki-survey — survey, question and response data model
+//!
+//! The shared vocabulary of the Loki reproduction: every other crate
+//! (marketplace simulator, attack engine, obfuscation core, HTTP backend)
+//! speaks in these types.
+//!
+//! Design notes tied to the paper:
+//!
+//! * **Countable response sets.** §3.1 restricts obfuscation to question
+//!   types "in which the response set is countable (this excludes free-text
+//!   responses)". [`question::QuestionKind`] models ratings, Likert scales,
+//!   multiple choice and bounded numeric answers as *obfuscatable*, and
+//!   free text as explicitly non-obfuscatable; the obfuscation layer in
+//!   `loki-core` rejects free text at the type level.
+//! * **Redundancy.** §2: "We designed our surveys with sufficient
+//!   redundancy to help us identify and filter out users who gave random
+//!   responses." [`redundancy`] implements paired consistency questions,
+//!   attention checks and the resulting filter.
+//! * **Quasi-identifiers.** §2's attack harvests date of birth, gender and
+//!   ZIP code across three surveys; [`demographics`] models those
+//!   attributes, partial disclosures, and their merge into a full
+//!   quasi-identifier.
+
+//! # Example
+//!
+//! ```
+//! use loki_survey::question::{Answer, QuestionKind};
+//! use loki_survey::response::Response;
+//! use loki_survey::survey::{SurveyBuilder, SurveyId};
+//!
+//! let mut builder = SurveyBuilder::new(SurveyId(1), "Rate your lecturers");
+//! let q = builder.question("Rate Prof. Ada", QuestionKind::likert5(), false);
+//! let survey = builder.build().unwrap();
+//!
+//! let mut response = Response::new("worker-7", survey.id);
+//! response.answer(q, Answer::Rating(4.0));
+//! assert!(response.validate(&survey).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demographics;
+pub mod question;
+pub mod redundancy;
+pub mod response;
+pub mod survey;
+
+pub use demographics::{BirthDate, Gender, PartialProfile, QuasiIdentifier, StarSign, ZipCode};
+pub use question::{Answer, Question, QuestionId, QuestionKind};
+pub use response::{Response, ResponseSet};
+pub use survey::{Survey, SurveyBuilder, SurveyId};

@@ -1,0 +1,379 @@
+//! Questions and answers.
+//!
+//! A question's *kind* determines both how answers are validated and
+//! whether at-source obfuscation applies: every kind with a countable
+//! response set is obfuscatable; free text is not (§3.1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a question within a survey (stable, assigned by the
+/// builder in definition order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct QuestionId(pub u32);
+
+impl fmt::Display for QuestionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// The response type of a question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuestionKind {
+    /// A rating on an inclusive integer scale, e.g. 1–5 stars. This is the
+    /// question type the Loki prototype ships (Fig. 1(b)).
+    Rating {
+        /// Lowest rating (inclusive).
+        min: u8,
+        /// Highest rating (inclusive).
+        max: u8,
+    },
+    /// A single selection among named options.
+    MultipleChoice {
+        /// The option labels, in display order.
+        options: Vec<String>,
+    },
+    /// A bounded numeric answer (e.g. "year of birth").
+    Numeric {
+        /// Lowest accepted value (inclusive).
+        min: i64,
+        /// Highest accepted value (inclusive).
+        max: i64,
+    },
+    /// Free-form text. **Not obfuscatable** — the response set is not
+    /// countable; the paper explicitly excludes it.
+    FreeText,
+}
+
+impl QuestionKind {
+    /// A conventional 5-point Likert scale.
+    pub fn likert5() -> QuestionKind {
+        QuestionKind::Rating { min: 1, max: 5 }
+    }
+
+    /// Whether at-source obfuscation applies to this kind (countable
+    /// response set).
+    pub fn is_obfuscatable(&self) -> bool {
+        !matches!(self, QuestionKind::FreeText)
+    }
+
+    /// The width of the answer range, used as the sensitivity of a single
+    /// answer in the local model. `None` for kinds without a numeric range.
+    pub fn numeric_range(&self) -> Option<f64> {
+        match self {
+            QuestionKind::Rating { min, max } => Some(f64::from(*max) - f64::from(*min)),
+            QuestionKind::Numeric { min, max } => Some((*max - *min) as f64),
+            QuestionKind::MultipleChoice { .. } | QuestionKind::FreeText => None,
+        }
+    }
+
+    /// Validates the kind's own parameters (builder invariant).
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        match self {
+            QuestionKind::Rating { min, max } => {
+                if min >= max {
+                    Err(format!("rating scale needs min < max, got {min}..{max}"))
+                } else {
+                    Ok(())
+                }
+            }
+            QuestionKind::MultipleChoice { options } => {
+                if options.len() < 2 {
+                    Err(format!(
+                        "multiple choice needs at least 2 options, got {}",
+                        options.len()
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            QuestionKind::Numeric { min, max } => {
+                if min >= max {
+                    Err(format!("numeric range needs min < max, got {min}..{max}"))
+                } else {
+                    Ok(())
+                }
+            }
+            QuestionKind::FreeText => Ok(()),
+        }
+    }
+}
+
+/// A survey question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Question {
+    /// Identifier within the survey.
+    pub id: QuestionId,
+    /// The prompt shown to the respondent.
+    pub text: String,
+    /// Response type.
+    pub kind: QuestionKind,
+    /// Whether the answer is considered sensitive personal information
+    /// (used by the attack experiments to label what leaks).
+    pub sensitive: bool,
+}
+
+impl Question {
+    /// Checks that `answer` is a valid response to this question.
+    pub fn validate_answer(&self, answer: &Answer) -> Result<(), AnswerError> {
+        match (&self.kind, answer) {
+            (QuestionKind::Rating { min, max }, Answer::Rating(v)) => {
+                if !v.is_finite() {
+                    return Err(AnswerError::NotFinite);
+                }
+                // Obfuscated ratings may legitimately fall outside the raw
+                // scale (Fig. 1(c) shows noisy values like 5.74); raw
+                // answers must be on-scale. Validation here enforces the
+                // *raw* contract; obfuscated uploads use `Answer::Obfuscated`.
+                if *v < f64::from(*min) || *v > f64::from(*max) {
+                    Err(AnswerError::OutOfRange {
+                        got: *v,
+                        min: f64::from(*min),
+                        max: f64::from(*max),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            (QuestionKind::Rating { .. }, Answer::Obfuscated(v)) => {
+                if v.is_finite() {
+                    Ok(())
+                } else {
+                    Err(AnswerError::NotFinite)
+                }
+            }
+            (QuestionKind::MultipleChoice { options }, Answer::Choice(i)) => {
+                if *i < options.len() {
+                    Ok(())
+                } else {
+                    Err(AnswerError::ChoiceOutOfRange {
+                        got: *i,
+                        len: options.len(),
+                    })
+                }
+            }
+            (QuestionKind::Numeric { min, max }, Answer::Numeric(v)) => {
+                if v < min || v > max {
+                    Err(AnswerError::OutOfRange {
+                        got: *v as f64,
+                        min: *min as f64,
+                        max: *max as f64,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            (QuestionKind::Numeric { .. }, Answer::Obfuscated(v)) => {
+                if v.is_finite() {
+                    Ok(())
+                } else {
+                    Err(AnswerError::NotFinite)
+                }
+            }
+            (QuestionKind::FreeText, Answer::Text(_)) => Ok(()),
+            _ => Err(AnswerError::KindMismatch),
+        }
+    }
+}
+
+/// A respondent's answer to one question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Answer {
+    /// Raw rating on the question's scale.
+    Rating(f64),
+    /// Index into a multiple-choice question's options.
+    Choice(usize),
+    /// Raw numeric value.
+    Numeric(i64),
+    /// Free text.
+    Text(String),
+    /// An at-source obfuscated value (noisy rating or numeric); may fall
+    /// outside the raw scale.
+    Obfuscated(f64),
+}
+
+impl Answer {
+    /// The answer as a real number, if it has one (ratings, numerics and
+    /// obfuscated values; choices are indices, not magnitudes).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Answer::Rating(v) | Answer::Obfuscated(v) => Some(*v),
+            Answer::Numeric(v) => Some(*v as f64),
+            Answer::Choice(_) | Answer::Text(_) => None,
+        }
+    }
+
+    /// Whether this answer went through at-source obfuscation.
+    pub fn is_obfuscated(&self) -> bool {
+        matches!(self, Answer::Obfuscated(_))
+    }
+}
+
+/// Why an answer failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnswerError {
+    /// The answer's variant doesn't match the question's kind.
+    KindMismatch,
+    /// The value is NaN or infinite.
+    NotFinite,
+    /// Numeric/rating value outside the declared range.
+    OutOfRange {
+        /// Offending value.
+        got: f64,
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+    },
+    /// Choice index beyond the option list.
+    ChoiceOutOfRange {
+        /// Offending index.
+        got: usize,
+        /// Number of options.
+        len: usize,
+    },
+}
+
+impl fmt::Display for AnswerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnswerError::KindMismatch => write!(f, "answer kind does not match question kind"),
+            AnswerError::NotFinite => write!(f, "answer value is not finite"),
+            AnswerError::OutOfRange { got, min, max } => {
+                write!(f, "value {got} outside [{min}, {max}]")
+            }
+            AnswerError::ChoiceOutOfRange { got, len } => {
+                write!(f, "choice {got} outside 0..{len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnswerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rating_q() -> Question {
+        Question {
+            id: QuestionId(0),
+            text: "Rate this lecturer".into(),
+            kind: QuestionKind::Rating { min: 1, max: 5 },
+            sensitive: false,
+        }
+    }
+
+    #[test]
+    fn likert5_is_1_to_5() {
+        assert_eq!(QuestionKind::likert5(), QuestionKind::Rating { min: 1, max: 5 });
+    }
+
+    #[test]
+    fn free_text_is_not_obfuscatable() {
+        assert!(!QuestionKind::FreeText.is_obfuscatable());
+        assert!(QuestionKind::likert5().is_obfuscatable());
+        assert!(QuestionKind::MultipleChoice {
+            options: vec!["a".into(), "b".into()]
+        }
+        .is_obfuscatable());
+    }
+
+    #[test]
+    fn numeric_range_is_scale_width() {
+        assert_eq!(QuestionKind::likert5().numeric_range(), Some(4.0));
+        assert_eq!(
+            QuestionKind::Numeric { min: 1940, max: 2000 }.numeric_range(),
+            Some(60.0)
+        );
+        assert_eq!(QuestionKind::FreeText.numeric_range(), None);
+    }
+
+    #[test]
+    fn rating_validation() {
+        let q = rating_q();
+        assert!(q.validate_answer(&Answer::Rating(3.0)).is_ok());
+        assert!(q.validate_answer(&Answer::Rating(1.0)).is_ok());
+        assert!(q.validate_answer(&Answer::Rating(5.0)).is_ok());
+        assert!(matches!(
+            q.validate_answer(&Answer::Rating(5.5)),
+            Err(AnswerError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            q.validate_answer(&Answer::Rating(f64::NAN)),
+            Err(AnswerError::NotFinite)
+        ));
+        assert!(matches!(
+            q.validate_answer(&Answer::Choice(1)),
+            Err(AnswerError::KindMismatch)
+        ));
+    }
+
+    #[test]
+    fn obfuscated_rating_may_leave_scale() {
+        // Fig. 1(c): noisy ratings like 5.74 or -0.3 are legitimate uploads.
+        let q = rating_q();
+        assert!(q.validate_answer(&Answer::Obfuscated(5.74)).is_ok());
+        assert!(q.validate_answer(&Answer::Obfuscated(-0.3)).is_ok());
+        assert!(q.validate_answer(&Answer::Obfuscated(f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn choice_validation() {
+        let q = Question {
+            id: QuestionId(1),
+            text: "Pick one".into(),
+            kind: QuestionKind::MultipleChoice {
+                options: vec!["x".into(), "y".into(), "z".into()],
+            },
+            sensitive: false,
+        };
+        assert!(q.validate_answer(&Answer::Choice(2)).is_ok());
+        assert!(matches!(
+            q.validate_answer(&Answer::Choice(3)),
+            Err(AnswerError::ChoiceOutOfRange { got: 3, len: 3 })
+        ));
+    }
+
+    #[test]
+    fn numeric_validation() {
+        let q = Question {
+            id: QuestionId(2),
+            text: "Year of birth".into(),
+            kind: QuestionKind::Numeric { min: 1900, max: 2013 },
+            sensitive: true,
+        };
+        assert!(q.validate_answer(&Answer::Numeric(1985)).is_ok());
+        assert!(q.validate_answer(&Answer::Numeric(1899)).is_err());
+        assert!(q.validate_answer(&Answer::Obfuscated(1985.4)).is_ok());
+    }
+
+    #[test]
+    fn kind_parameter_validation() {
+        assert!(QuestionKind::Rating { min: 3, max: 3 }.validate().is_err());
+        assert!(QuestionKind::MultipleChoice { options: vec!["only".into()] }
+            .validate()
+            .is_err());
+        assert!(QuestionKind::Numeric { min: 5, max: 4 }.validate().is_err());
+        assert!(QuestionKind::likert5().validate().is_ok());
+    }
+
+    #[test]
+    fn answer_as_f64() {
+        assert_eq!(Answer::Rating(4.0).as_f64(), Some(4.0));
+        assert_eq!(Answer::Numeric(7).as_f64(), Some(7.0));
+        assert_eq!(Answer::Obfuscated(2.5).as_f64(), Some(2.5));
+        assert_eq!(Answer::Choice(1).as_f64(), None);
+        assert_eq!(Answer::Text("hi".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = rating_q();
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Question = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+    }
+}

@@ -1,0 +1,269 @@
+//! Redundancy-based filtering of random responders.
+//!
+//! §2 of the paper: "We designed our surveys with sufficient redundancy to
+//! help us identify and filter out users who gave random responses." Two
+//! mechanisms are modeled:
+//!
+//! * **Paired consistency questions** — the same fact asked twice in
+//!   different words; an attentive respondent answers (nearly) identically,
+//!   a random responder does not.
+//! * **Attention checks** — "select option 3 for this question"; failure is
+//!   near-certain for a random responder.
+//!
+//! [`ConsistencyFilter`] scores each response and classifies it, exposing
+//! the precision/recall trade-off that experiment EXP-8 sweeps.
+
+use crate::question::{Answer, QuestionId};
+use crate::response::{Response, ResponseSet};
+use crate::survey::Survey;
+use serde::{Deserialize, Serialize};
+
+/// An attention-check expectation: question `q` must be answered exactly
+/// `expected`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttentionCheck {
+    /// The instructed question.
+    pub question: QuestionId,
+    /// The instructed answer.
+    pub expected: Answer,
+}
+
+/// Consistency report for one response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsistencyScore {
+    /// Worker the score belongs to.
+    pub worker: String,
+    /// Mean absolute disagreement across redundancy pairs with comparable
+    /// numeric answers (`None` if the survey has no usable pairs).
+    pub mean_pair_disagreement: Option<f64>,
+    /// Number of attention checks failed.
+    pub failed_checks: usize,
+    /// Number of attention checks evaluated.
+    pub total_checks: usize,
+}
+
+impl ConsistencyScore {
+    /// Whether the response passes at the given thresholds: disagreement at
+    /// most `max_disagreement` (when measurable) and no failed checks.
+    pub fn passes(&self, max_disagreement: f64) -> bool {
+        if self.failed_checks > 0 {
+            return false;
+        }
+        match self.mean_pair_disagreement {
+            Some(d) => d <= max_disagreement,
+            None => true,
+        }
+    }
+}
+
+/// Scores responses against a survey's redundancy pairs and a set of
+/// attention checks.
+#[derive(Debug, Clone, Default)]
+pub struct ConsistencyFilter {
+    checks: Vec<AttentionCheck>,
+    /// Maximum tolerated mean absolute disagreement across pairs.
+    pub max_disagreement: f64,
+}
+
+impl ConsistencyFilter {
+    /// Creates a filter with a disagreement threshold (in answer units; a
+    /// 1-point tolerance on a 5-point scale is the default the paper-style
+    /// surveys use).
+    pub fn new(max_disagreement: f64) -> ConsistencyFilter {
+        assert!(
+            max_disagreement >= 0.0,
+            "threshold must be non-negative, got {max_disagreement}"
+        );
+        ConsistencyFilter {
+            checks: Vec::new(),
+            max_disagreement,
+        }
+    }
+
+    /// Adds an attention check.
+    pub fn attention_check(&mut self, question: QuestionId, expected: Answer) {
+        self.checks.push(AttentionCheck { question, expected });
+    }
+
+    /// Scores one response.
+    pub fn score(&self, survey: &Survey, response: &Response) -> ConsistencyScore {
+        let mut disagreements = Vec::new();
+        for &(a, b) in &survey.redundancy_pairs {
+            let (va, vb) = (
+                response.get(a).and_then(Answer::as_f64),
+                response.get(b).and_then(Answer::as_f64),
+            );
+            if let (Some(va), Some(vb)) = (va, vb) {
+                disagreements.push((va - vb).abs());
+            } else if let (Some(Answer::Choice(ca)), Some(Answer::Choice(cb))) =
+                (response.get(a), response.get(b))
+            {
+                // Choice pairs: disagreement is 0/1.
+                disagreements.push(if ca == cb { 0.0 } else { 1.0 });
+            }
+        }
+        let mean_pair_disagreement = if disagreements.is_empty() {
+            None
+        } else {
+            Some(disagreements.iter().sum::<f64>() / disagreements.len() as f64)
+        };
+        let mut failed = 0;
+        for check in &self.checks {
+            match response.get(check.question) {
+                Some(a) if *a == check.expected => {}
+                _ => failed += 1,
+            }
+        }
+        ConsistencyScore {
+            worker: response.worker.clone(),
+            mean_pair_disagreement,
+            failed_checks: failed,
+            total_checks: self.checks.len(),
+        }
+    }
+
+    /// Splits a response set into (kept, rejected) by the filter.
+    pub fn filter(&self, survey: &Survey, set: &ResponseSet) -> (ResponseSet, ResponseSet) {
+        let mut kept = ResponseSet::new();
+        let mut rejected = ResponseSet::new();
+        for r in set.iter() {
+            if self.score(survey, r).passes(self.max_disagreement) {
+                kept.push(r.clone());
+            } else {
+                rejected.push(r.clone());
+            }
+        }
+        (kept, rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::question::QuestionKind;
+    use crate::survey::{SurveyBuilder, SurveyId};
+
+    /// A survey with one redundancy pair (q0 ~ q1) and a spare question q2.
+    fn survey() -> Survey {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        let a = b.question("how often do you smoke?", QuestionKind::likert5(), true);
+        let c = b.question("rate your smoking frequency", QuestionKind::likert5(), true);
+        b.question("rate your cough", QuestionKind::likert5(), true);
+        b.redundant(a, c);
+        b.build().unwrap()
+    }
+
+    fn response(worker: &str, answers: [f64; 3]) -> Response {
+        let mut r = Response::new(worker, SurveyId(1));
+        for (i, v) in answers.into_iter().enumerate() {
+            r.answer(QuestionId(i as u32), Answer::Rating(v));
+        }
+        r
+    }
+
+    #[test]
+    fn consistent_response_passes() {
+        let s = survey();
+        let f = ConsistencyFilter::new(1.0);
+        let score = f.score(&s, &response("w", [4.0, 4.0, 2.0]));
+        assert_eq!(score.mean_pair_disagreement, Some(0.0));
+        assert!(score.passes(1.0));
+    }
+
+    #[test]
+    fn inconsistent_response_fails() {
+        let s = survey();
+        let f = ConsistencyFilter::new(1.0);
+        let score = f.score(&s, &response("w", [1.0, 5.0, 2.0]));
+        assert_eq!(score.mean_pair_disagreement, Some(4.0));
+        assert!(!score.passes(1.0));
+    }
+
+    #[test]
+    fn attention_check_failure_rejects_regardless_of_pairs() {
+        let s = survey();
+        let mut f = ConsistencyFilter::new(1.0);
+        f.attention_check(QuestionId(2), Answer::Rating(3.0));
+        let score = f.score(&s, &response("w", [4.0, 4.0, 2.0]));
+        assert_eq!(score.failed_checks, 1);
+        assert!(!score.passes(1.0));
+        let ok = f.score(&s, &response("w", [4.0, 4.0, 3.0]));
+        assert_eq!(ok.failed_checks, 0);
+        assert!(ok.passes(1.0));
+    }
+
+    #[test]
+    fn missing_check_answer_counts_as_failure() {
+        let s = survey();
+        let mut f = ConsistencyFilter::new(1.0);
+        f.attention_check(QuestionId(2), Answer::Rating(3.0));
+        let mut r = Response::new("w", SurveyId(1));
+        r.answer(QuestionId(0), Answer::Rating(4.0));
+        r.answer(QuestionId(1), Answer::Rating(4.0));
+        let score = f.score(&s, &r);
+        assert_eq!(score.failed_checks, 1);
+    }
+
+    #[test]
+    fn no_pairs_yields_none_and_passes() {
+        let mut b = SurveyBuilder::new(SurveyId(2), "no pairs");
+        b.question("rate", QuestionKind::likert5(), false);
+        let s = b.build().unwrap();
+        let f = ConsistencyFilter::new(0.5);
+        let mut r = Response::new("w", SurveyId(2));
+        r.answer(QuestionId(0), Answer::Rating(2.0));
+        let score = f.score(&s, &r);
+        assert_eq!(score.mean_pair_disagreement, None);
+        assert!(score.passes(0.5));
+    }
+
+    #[test]
+    fn filter_splits_sets() {
+        let s = survey();
+        let f = ConsistencyFilter::new(1.0);
+        let mut set = ResponseSet::new();
+        set.push(response("good", [4.0, 4.0, 2.0]));
+        set.push(response("sloppy", [4.0, 3.0, 2.0])); // diff 1.0: passes
+        set.push(response("random", [1.0, 5.0, 3.0])); // diff 4.0: fails
+        let (kept, rejected) = f.filter(&s, &set);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(rejected.len(), 1);
+        assert!(rejected.by_worker("random").is_some());
+    }
+
+    #[test]
+    fn choice_pairs_scored_binary() {
+        let mut b = SurveyBuilder::new(SurveyId(3), "choices");
+        let a = b.question(
+            "pick",
+            QuestionKind::MultipleChoice {
+                options: vec!["x".into(), "y".into()],
+            },
+            false,
+        );
+        let c = b.question(
+            "pick again",
+            QuestionKind::MultipleChoice {
+                options: vec!["x".into(), "y".into()],
+            },
+            false,
+        );
+        b.redundant(a, c);
+        let s = b.build().unwrap();
+        let f = ConsistencyFilter::new(0.0);
+        let mut same = Response::new("same", SurveyId(3));
+        same.answer(a, Answer::Choice(1));
+        same.answer(c, Answer::Choice(1));
+        assert!(f.score(&s, &same).passes(0.0));
+        let mut diff = Response::new("diff", SurveyId(3));
+        diff.answer(a, Answer::Choice(0));
+        diff.answer(c, Answer::Choice(1));
+        assert!(!f.score(&s, &diff).passes(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be non-negative")]
+    fn negative_threshold_rejected() {
+        let _ = ConsistencyFilter::new(-0.1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Responses: one worker's answers to one survey, and collections thereof.
+
+use crate::question::{Answer, AnswerError, QuestionId};
+use crate::survey::{Survey, SurveyId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One worker's submission for one survey.
+///
+/// `worker` is whatever identifier the platform hands the requester. On an
+/// AMT-style platform this is *stable across surveys* — the root cause of
+/// the paper's linkage attack. On Loki it can be a per-survey pseudonym.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Worker identifier as visible to the requester.
+    pub worker: String,
+    /// Which survey this answers.
+    pub survey: SurveyId,
+    /// Answers keyed by question id (BTreeMap for deterministic iteration).
+    pub answers: BTreeMap<QuestionId, Answer>,
+}
+
+impl Response {
+    /// Creates an empty response for a worker/survey pair.
+    pub fn new(worker: impl Into<String>, survey: SurveyId) -> Response {
+        Response {
+            worker: worker.into(),
+            survey,
+            answers: BTreeMap::new(),
+        }
+    }
+
+    /// Records an answer (replacing any previous answer to that question).
+    pub fn answer(&mut self, q: QuestionId, a: Answer) -> &mut Response {
+        self.answers.insert(q, a);
+        self
+    }
+
+    /// Looks up an answer.
+    pub fn get(&self, q: QuestionId) -> Option<&Answer> {
+        self.answers.get(&q)
+    }
+
+    /// Validates every answer against the survey definition and checks
+    /// completeness (every question answered).
+    pub fn validate(&self, survey: &Survey) -> Result<(), ResponseError> {
+        if self.survey != survey.id {
+            return Err(ResponseError::WrongSurvey {
+                got: self.survey,
+                want: survey.id,
+            });
+        }
+        for q in &survey.questions {
+            match self.answers.get(&q.id) {
+                None => return Err(ResponseError::Missing(q.id)),
+                Some(a) => q
+                    .validate_answer(a)
+                    .map_err(|e| ResponseError::Invalid(q.id, e))?,
+            }
+        }
+        for qid in self.answers.keys() {
+            if survey.question(*qid).is_none() {
+                return Err(ResponseError::UnknownQuestion(*qid));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every answer in this response is obfuscated (used by the
+    /// server to verify the at-source property on upload).
+    pub fn fully_obfuscated(&self) -> bool {
+        self.answers.values().all(Answer::is_obfuscated)
+    }
+}
+
+/// Validation failures for a whole response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseError {
+    /// Response targets a different survey.
+    WrongSurvey {
+        /// The response's survey id.
+        got: SurveyId,
+        /// The expected survey id.
+        want: SurveyId,
+    },
+    /// A question was left unanswered.
+    Missing(QuestionId),
+    /// An answer failed its question's validation.
+    Invalid(QuestionId, AnswerError),
+    /// An answer references a question not in the survey.
+    UnknownQuestion(QuestionId),
+}
+
+impl std::fmt::Display for ResponseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResponseError::WrongSurvey { got, want } => {
+                write!(f, "response for {got}, expected {want}")
+            }
+            ResponseError::Missing(q) => write!(f, "question {q} unanswered"),
+            ResponseError::Invalid(q, e) => write!(f, "question {q}: {e}"),
+            ResponseError::UnknownQuestion(q) => write!(f, "answer to unknown question {q}"),
+        }
+    }
+}
+
+impl std::error::Error for ResponseError {}
+
+/// All collected responses for one survey.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResponseSet {
+    responses: Vec<Response>,
+}
+
+impl ResponseSet {
+    /// Creates an empty set.
+    pub fn new() -> ResponseSet {
+        ResponseSet::default()
+    }
+
+    /// Adds a response.
+    pub fn push(&mut self, r: Response) {
+        self.responses.push(r);
+    }
+
+    /// Number of responses.
+    pub fn len(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.responses.is_empty()
+    }
+
+    /// Iterates over responses in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &Response> {
+        self.responses.iter()
+    }
+
+    /// The numeric answers to one question across all responses (skipping
+    /// responses without a numeric answer to it).
+    pub fn numeric_answers(&self, q: QuestionId) -> Vec<f64> {
+        self.responses
+            .iter()
+            .filter_map(|r| r.get(q).and_then(Answer::as_f64))
+            .collect()
+    }
+
+    /// Mean of the numeric answers to one question, if any exist.
+    pub fn mean(&self, q: QuestionId) -> Option<f64> {
+        let xs = self.numeric_answers(q);
+        if xs.is_empty() {
+            None
+        } else {
+            Some(xs.iter().sum::<f64>() / xs.len() as f64)
+        }
+    }
+
+    /// Response of a particular worker, if present.
+    pub fn by_worker(&self, worker: &str) -> Option<&Response> {
+        self.responses.iter().find(|r| r.worker == worker)
+    }
+
+    /// Distinct worker ids, in first-appearance order.
+    pub fn workers(&self) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
+        self.responses
+            .iter()
+            .filter(|r| seen.insert(r.worker.as_str()))
+            .map(|r| r.worker.as_str())
+            .collect()
+    }
+
+    /// Retains only responses accepted by the predicate (used by the
+    /// random-responder filter).
+    pub fn retain(&mut self, f: impl FnMut(&Response) -> bool) {
+        self.responses.retain(f);
+    }
+}
+
+impl FromIterator<Response> for ResponseSet {
+    fn from_iter<T: IntoIterator<Item = Response>>(iter: T) -> ResponseSet {
+        ResponseSet {
+            responses: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::question::QuestionKind;
+    use crate::survey::SurveyBuilder;
+
+    fn survey() -> Survey {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        b.question("rate a", QuestionKind::likert5(), false);
+        b.question("rate b", QuestionKind::likert5(), false);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn complete_valid_response_passes() {
+        let s = survey();
+        let mut r = Response::new("w1", s.id);
+        r.answer(QuestionId(0), Answer::Rating(4.0));
+        r.answer(QuestionId(1), Answer::Rating(2.0));
+        assert!(r.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn missing_answer_detected() {
+        let s = survey();
+        let mut r = Response::new("w1", s.id);
+        r.answer(QuestionId(0), Answer::Rating(4.0));
+        assert_eq!(r.validate(&s), Err(ResponseError::Missing(QuestionId(1))));
+    }
+
+    #[test]
+    fn wrong_survey_detected() {
+        let s = survey();
+        let r = Response::new("w1", SurveyId(99));
+        assert!(matches!(
+            r.validate(&s),
+            Err(ResponseError::WrongSurvey { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_question_detected() {
+        let s = survey();
+        let mut r = Response::new("w1", s.id);
+        r.answer(QuestionId(0), Answer::Rating(4.0));
+        r.answer(QuestionId(1), Answer::Rating(2.0));
+        r.answer(QuestionId(7), Answer::Rating(1.0));
+        assert_eq!(
+            r.validate(&s),
+            Err(ResponseError::UnknownQuestion(QuestionId(7)))
+        );
+    }
+
+    #[test]
+    fn invalid_answer_reports_question() {
+        let s = survey();
+        let mut r = Response::new("w1", s.id);
+        r.answer(QuestionId(0), Answer::Rating(9.0));
+        r.answer(QuestionId(1), Answer::Rating(2.0));
+        assert!(matches!(
+            r.validate(&s),
+            Err(ResponseError::Invalid(QuestionId(0), _))
+        ));
+    }
+
+    #[test]
+    fn fully_obfuscated_detection() {
+        let mut r = Response::new("w", SurveyId(1));
+        r.answer(QuestionId(0), Answer::Obfuscated(3.3));
+        assert!(r.fully_obfuscated());
+        r.answer(QuestionId(1), Answer::Rating(2.0));
+        assert!(!r.fully_obfuscated());
+    }
+
+    #[test]
+    fn set_mean_and_answers() {
+        let mut set = ResponseSet::new();
+        for (w, v) in [("a", 2.0), ("b", 4.0), ("c", 3.0)] {
+            let mut r = Response::new(w, SurveyId(1));
+            r.answer(QuestionId(0), Answer::Rating(v));
+            set.push(r);
+        }
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.numeric_answers(QuestionId(0)).len(), 3);
+        assert!((set.mean(QuestionId(0)).unwrap() - 3.0).abs() < 1e-12);
+        assert_eq!(set.mean(QuestionId(5)), None);
+    }
+
+    #[test]
+    fn workers_deduplicated_in_order() {
+        let mut set = ResponseSet::new();
+        for w in ["b", "a", "b", "c"] {
+            set.push(Response::new(w, SurveyId(1)));
+        }
+        assert_eq!(set.workers(), vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut set: ResponseSet = ["a", "b", "c"]
+            .iter()
+            .map(|w| Response::new(*w, SurveyId(1)))
+            .collect();
+        set.retain(|r| r.worker != "b");
+        assert_eq!(set.len(), 2);
+        assert!(set.by_worker("b").is_none());
+        assert!(set.by_worker("a").is_some());
+    }
+}

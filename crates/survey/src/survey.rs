@@ -1,0 +1,317 @@
+//! Survey definitions and the builder that validates them.
+
+use crate::question::{Question, QuestionId, QuestionKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique survey identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SurveyId(pub u64);
+
+impl fmt::Display for SurveyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "survey-{}", self.0)
+    }
+}
+
+/// A survey: an ordered list of questions plus marketplace metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Survey {
+    /// Unique identifier.
+    pub id: SurveyId,
+    /// Short title shown in the app's survey list (Fig. 1(a)).
+    pub title: String,
+    /// Longer description shown before starting.
+    pub description: String,
+    /// Questions in display order.
+    pub questions: Vec<Question>,
+    /// Payment per completed response, in US cents (AMT-style micro
+    /// payment; the paper's whole attack cost < $30).
+    pub reward_cents: u32,
+    /// Pairs of question ids that ask the same thing in different words —
+    /// the redundancy the paper used to filter random responders.
+    pub redundancy_pairs: Vec<(QuestionId, QuestionId)>,
+}
+
+impl Survey {
+    /// Looks up a question by id.
+    pub fn question(&self, id: QuestionId) -> Option<&Question> {
+        self.questions.iter().find(|q| q.id == id)
+    }
+
+    /// Number of questions.
+    pub fn len(&self) -> usize {
+        self.questions.len()
+    }
+
+    /// Whether the survey has no questions (builders forbid this, but
+    /// deserialized data may be arbitrary).
+    pub fn is_empty(&self) -> bool {
+        self.questions.is_empty()
+    }
+
+    /// Ids of questions whose answers are obfuscatable (countable response
+    /// set).
+    pub fn obfuscatable_questions(&self) -> impl Iterator<Item = &Question> {
+        self.questions.iter().filter(|q| q.kind.is_obfuscatable())
+    }
+
+    /// Ids of questions marked sensitive.
+    pub fn sensitive_questions(&self) -> impl Iterator<Item = &Question> {
+        self.questions.iter().filter(|q| q.sensitive)
+    }
+}
+
+/// Step-by-step construction of a [`Survey`] with validation at `build()`.
+#[derive(Debug, Clone)]
+pub struct SurveyBuilder {
+    id: SurveyId,
+    title: String,
+    description: String,
+    questions: Vec<Question>,
+    reward_cents: u32,
+    redundancy_pairs: Vec<(QuestionId, QuestionId)>,
+}
+
+/// Errors detected when finalizing a survey.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SurveyError {
+    /// The survey has no questions.
+    NoQuestions,
+    /// A question's kind parameters are invalid (message from the kind).
+    BadQuestion {
+        /// Which question.
+        id: QuestionId,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A redundancy pair references a missing question or pairs a question
+    /// with itself.
+    BadRedundancyPair {
+        /// The offending pair.
+        pair: (QuestionId, QuestionId),
+    },
+    /// A redundancy pair links questions of different kinds (their answers
+    /// could never be compared for consistency).
+    MismatchedRedundancyKinds {
+        /// The offending pair.
+        pair: (QuestionId, QuestionId),
+    },
+}
+
+impl fmt::Display for SurveyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SurveyError::NoQuestions => write!(f, "survey has no questions"),
+            SurveyError::BadQuestion { id, reason } => write!(f, "question {id}: {reason}"),
+            SurveyError::BadRedundancyPair { pair } => {
+                write!(f, "redundancy pair ({}, {}) is invalid", pair.0, pair.1)
+            }
+            SurveyError::MismatchedRedundancyKinds { pair } => write!(
+                f,
+                "redundancy pair ({}, {}) links questions of different kinds",
+                pair.0, pair.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SurveyError {}
+
+impl SurveyBuilder {
+    /// Starts a survey definition.
+    pub fn new(id: SurveyId, title: impl Into<String>) -> SurveyBuilder {
+        SurveyBuilder {
+            id,
+            title: title.into(),
+            description: String::new(),
+            questions: Vec::new(),
+            reward_cents: 0,
+            redundancy_pairs: Vec::new(),
+        }
+    }
+
+    /// Sets the description.
+    pub fn description(mut self, text: impl Into<String>) -> SurveyBuilder {
+        self.description = text.into();
+        self
+    }
+
+    /// Sets the per-response reward.
+    pub fn reward_cents(mut self, cents: u32) -> SurveyBuilder {
+        self.reward_cents = cents;
+        self
+    }
+
+    /// Appends a question; ids are assigned in definition order. Returns
+    /// the id so redundancy pairs can reference it.
+    pub fn question(
+        &mut self,
+        text: impl Into<String>,
+        kind: QuestionKind,
+        sensitive: bool,
+    ) -> QuestionId {
+        let id = QuestionId(self.questions.len() as u32);
+        self.questions.push(Question {
+            id,
+            text: text.into(),
+            kind,
+            sensitive,
+        });
+        id
+    }
+
+    /// Declares two questions as redundant phrasings of the same fact.
+    pub fn redundant(&mut self, a: QuestionId, b: QuestionId) {
+        self.redundancy_pairs.push((a, b));
+    }
+
+    /// Validates and produces the survey.
+    pub fn build(self) -> Result<Survey, SurveyError> {
+        if self.questions.is_empty() {
+            return Err(SurveyError::NoQuestions);
+        }
+        for q in &self.questions {
+            q.kind
+                .validate()
+                .map_err(|reason| SurveyError::BadQuestion { id: q.id, reason })?;
+        }
+        let find = |id: QuestionId| self.questions.iter().find(|q| q.id == id);
+        for &pair in &self.redundancy_pairs {
+            let (a, b) = pair;
+            if a == b {
+                return Err(SurveyError::BadRedundancyPair { pair });
+            }
+            match (find(a), find(b)) {
+                (Some(qa), Some(qb)) => {
+                    if std::mem::discriminant(&qa.kind) != std::mem::discriminant(&qb.kind) {
+                        return Err(SurveyError::MismatchedRedundancyKinds { pair });
+                    }
+                }
+                _ => return Err(SurveyError::BadRedundancyPair { pair }),
+            }
+        }
+        Ok(Survey {
+            id: self.id,
+            title: self.title,
+            description: self.description,
+            questions: self.questions,
+            reward_cents: self.reward_cents,
+            redundancy_pairs: self.redundancy_pairs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        let a = b.question("one", QuestionKind::likert5(), false);
+        let c = b.question("two", QuestionKind::likert5(), false);
+        assert_eq!(a, QuestionId(0));
+        assert_eq!(c, QuestionId(1));
+        let s = b.build().unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_survey_rejected() {
+        let b = SurveyBuilder::new(SurveyId(1), "t");
+        assert_eq!(b.build().unwrap_err(), SurveyError::NoQuestions);
+    }
+
+    #[test]
+    fn bad_kind_rejected_with_id() {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        b.question("ok", QuestionKind::likert5(), false);
+        b.question("bad", QuestionKind::Rating { min: 2, max: 2 }, false);
+        match b.build().unwrap_err() {
+            SurveyError::BadQuestion { id, .. } => assert_eq!(id, QuestionId(1)),
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn self_pair_rejected() {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        let q = b.question("one", QuestionKind::likert5(), false);
+        b.redundant(q, q);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SurveyError::BadRedundancyPair { .. }
+        ));
+    }
+
+    #[test]
+    fn dangling_pair_rejected() {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        let q = b.question("one", QuestionKind::likert5(), false);
+        b.redundant(q, QuestionId(99));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SurveyError::BadRedundancyPair { .. }
+        ));
+    }
+
+    #[test]
+    fn mismatched_pair_kinds_rejected() {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        let a = b.question("rate", QuestionKind::likert5(), false);
+        let c = b.question(
+            "pick",
+            QuestionKind::MultipleChoice {
+                options: vec!["x".into(), "y".into()],
+            },
+            false,
+        );
+        b.redundant(a, c);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SurveyError::MismatchedRedundancyKinds { .. }
+        ));
+    }
+
+    #[test]
+    fn valid_pair_accepted() {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        let a = b.question("how often do you smoke?", QuestionKind::likert5(), true);
+        let c = b.question("rate your smoking frequency", QuestionKind::likert5(), true);
+        b.redundant(a, c);
+        let s = b.build().unwrap();
+        assert_eq!(s.redundancy_pairs, vec![(a, c)]);
+        assert_eq!(s.sensitive_questions().count(), 2);
+    }
+
+    #[test]
+    fn obfuscatable_filter() {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        b.question("rate", QuestionKind::likert5(), false);
+        b.question("say anything", QuestionKind::FreeText, false);
+        let s = b.build().unwrap();
+        assert_eq!(s.obfuscatable_questions().count(), 1);
+    }
+
+    #[test]
+    fn question_lookup() {
+        let mut b = SurveyBuilder::new(SurveyId(1), "t");
+        let a = b.question("one", QuestionKind::likert5(), false);
+        let s = b.build().unwrap();
+        assert!(s.question(a).is_some());
+        assert!(s.question(QuestionId(9)).is_none());
+    }
+
+    #[test]
+    fn survey_serde_round_trip() {
+        let mut b = SurveyBuilder::new(SurveyId(7), "astrology");
+        b.question("your star sign?", QuestionKind::likert5(), true);
+        let s = b.build().unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Survey = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,129 @@
+//! Production-flavoured deployment: write-ahead journal, requester
+//! authentication, per-user privacy budget, and an access log — then a
+//! simulated crash and journal replay proving no accepted write is lost.
+//!
+//! ```sh
+//! cargo run --example durable_server
+//! ```
+
+use loki::client::LokiClient;
+use loki::core::privacy_level::PrivacyLevel;
+use loki::net::server::{Server, ServerConfig};
+use loki::server::{build_router, AppState};
+use loki::survey::question::{Answer, QuestionKind};
+use loki::survey::survey::{SurveyBuilder, SurveyId};
+use loki::survey::QuestionId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("loki-durable-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal_path = dir.join("journal.jsonl");
+
+    // --- First life of the server -------------------------------------
+    let state = Arc::new(AppState::new());
+    state.attach_journal(loki::server::wal::Wal::open(&wal_path).unwrap());
+    state.add_requester_token("research-team-42");
+    // Each medium answer costs ε ≈ 24.4; allow about three.
+    state.set_epsilon_budget(Some(75.0));
+
+    let requests = Arc::new(AtomicUsize::new(0));
+    let config = ServerConfig {
+        observer: Some({
+            let requests = Arc::clone(&requests);
+            Arc::new(move |req, resp| {
+                requests.fetch_add(1, Ordering::Relaxed);
+                eprintln!("access: {} {} -> {}", req.method, req.path, resp.status);
+            })
+        }),
+        ..ServerConfig::default()
+    };
+    let handle = Server::spawn(
+        "127.0.0.1:0",
+        build_router(Arc::clone(&state)),
+        config.clone(),
+    )
+    .unwrap();
+    println!("server v1 on {} (journal: {})", handle.base_url(), wal_path.display());
+
+    // Publish with the requester token (anonymous publish is refused).
+    let mut survey_builder = SurveyBuilder::new(SurveyId(1), "Weekly check-in");
+    survey_builder.question("How was this week?", QuestionKind::likert5(), false);
+    let survey_json = serde_json::to_vec(&survey_builder.build().unwrap()).unwrap();
+    let http = loki::net::client::HttpClient::new(&handle.base_url()).unwrap();
+    let mut publish = loki::net::http::Request::new(loki::net::http::Method::Post, "/surveys")
+        .with_body(survey_json);
+    publish.headers.insert("Authorization", "Bearer research-team-42");
+    assert!(http.send(publish).unwrap().status.is_success());
+
+    // One user submits until the budget gate closes.
+    let mut rng = ChaCha20Rng::seed_from_u64(4);
+    let mut app = LokiClient::connect(&handle.base_url(), "heavy-user").unwrap();
+    let survey = app.fetch_survey(SurveyId(1)).unwrap();
+    let mut answers = BTreeMap::new();
+    answers.insert(QuestionId(0), Answer::Rating(4.0));
+    // The same user can answer a survey once, so publish a few more.
+    for week in 2..=6 {
+        let mut b = SurveyBuilder::new(SurveyId(week), format!("Weekly check-in #{week}"));
+        b.question("How was this week?", QuestionKind::likert5(), false);
+        let body = serde_json::to_vec(&b.build().unwrap()).unwrap();
+        let mut req = loki::net::http::Request::new(loki::net::http::Method::Post, "/surveys")
+            .with_body(body);
+        req.headers.insert("Authorization", "Bearer research-team-42");
+        http.send(req).unwrap();
+    }
+    let mut accepted = 0;
+    for week in 1..=6u64 {
+        let survey = if week == 1 {
+            survey.clone()
+        } else {
+            app.fetch_survey(SurveyId(week)).unwrap()
+        };
+        match app.submit(&mut rng, &survey, &answers, PrivacyLevel::Medium) {
+            Ok(out) => {
+                accepted += 1;
+                println!(
+                    "week {week}: accepted (cumulative ε = {:.1})",
+                    out.cumulative_epsilon.unwrap()
+                );
+            }
+            Err(e) => {
+                println!("week {week}: REFUSED — {e}");
+                break;
+            }
+        }
+    }
+    println!(
+        "budget gate closed after {accepted} submissions ({} HTTP requests logged)",
+        requests.load(Ordering::Relaxed)
+    );
+
+    // --- Crash --------------------------------------------------------
+    handle.shutdown();
+    drop(state);
+    println!("\n… server process 'crashes'; memory is gone. replaying the journal …\n");
+
+    // --- Second life: replay ------------------------------------------
+    let restored = Arc::new(loki::server::wal::replay(&wal_path).unwrap());
+    println!(
+        "replayed: {} surveys, {} submissions by heavy-user, cumulative ε = {:.1}",
+        restored.surveys().len(),
+        (1..=6u64)
+            .map(|w| restored.submission_count(SurveyId(w)))
+            .sum::<usize>(),
+        restored.user_loss("heavy-user").epsilon.value()
+    );
+    let handle2 = Server::spawn("127.0.0.1:0", build_router(Arc::clone(&restored)), config).unwrap();
+    let http2 = loki::net::client::HttpClient::new(&handle2.base_url()).unwrap();
+    let resp = http2.get("/ledger/heavy-user").unwrap();
+    println!(
+        "server v2 answers /ledger/heavy-user: {}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    handle2.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

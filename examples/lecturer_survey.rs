@@ -1,0 +1,90 @@
+//! The paper's §3.2 trial, end to end over HTTP: 131 students rate 13
+//! lecturers with the empirical privacy-level uptake (18 none / 32 low /
+//! 51 medium / 30 high), the server aggregates, and we compare the
+//! recovered means to ground truth — the live-platform version of EXP-3.
+//!
+//! ```sh
+//! cargo run --example lecturer_survey
+//! ```
+
+use loki::client::LokiClient;
+use loki::core::privacy_level::PrivacyLevel;
+use loki::dp::sampling;
+use loki::server::{serve, AppState};
+use loki::survey::question::{Answer, QuestionKind};
+use loki::survey::survey::{SurveyBuilder, SurveyId};
+use loki::survey::QuestionId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const LECTURER_MEANS: [f64; 13] = [
+    4.6, 3.8, 4.2, 3.1, 4.8, 3.5, 4.0, 2.8, 4.4, 3.9, 4.1, 3.3, 4.5,
+];
+const BIN_COUNTS: [usize; 4] = [18, 32, 51, 30];
+
+fn main() {
+    // One survey with a rating question per lecturer.
+    let state = Arc::new(AppState::new());
+    let mut b = SurveyBuilder::new(SurveyId(1), "Rate your lecturers (Loki trial)");
+    for (i, _) in LECTURER_MEANS.iter().enumerate() {
+        b.question(format!("Rate lecturer {}", i + 1), QuestionKind::likert5(), false);
+    }
+    state.add_survey(b.build().unwrap());
+    let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+    println!(
+        "trial server on {}; 131 students incoming (bins 18/32/51/30)",
+        handle.base_url()
+    );
+
+    let mut rng = ChaCha20Rng::seed_from_u64(131);
+    let mut student = 0usize;
+    for (bin, &count) in BIN_COUNTS.iter().enumerate() {
+        let level = PrivacyLevel::ALL[bin];
+        for _ in 0..count {
+            let mut app =
+                LokiClient::connect(&handle.base_url(), format!("student-{student:03}")).unwrap();
+            let survey = app.fetch_survey(SurveyId(1)).unwrap();
+            // Personal bias shared across lecturers, like a real rater.
+            let bias = sampling::gaussian(&mut rng, 0.0, 0.7);
+            let mut answers = BTreeMap::new();
+            for (l, &mean) in LECTURER_MEANS.iter().enumerate() {
+                let idio: f64 = rng.gen_range(-0.4..0.4);
+                let raw = (mean + bias + idio).round().clamp(1.0, 5.0);
+                answers.insert(QuestionId(l as u32), Answer::Rating(raw));
+            }
+            app.submit(&mut rng, &survey, &answers, level).unwrap();
+            student += 1;
+        }
+    }
+    println!("all {} students submitted; querying results…\n", student);
+
+    let http = loki::net::client::HttpClient::new(&handle.base_url()).unwrap();
+    println!(
+        "{:<9} {:>6} {:>10} {:>8} {:>8}",
+        "lecturer", "true", "estimated", "err", "students"
+    );
+    let mut total_abs_err = 0.0;
+    for (l, &truth) in LECTURER_MEANS.iter().enumerate() {
+        let resp = http.get(&format!("/surveys/1/results/{l}")).unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let est = v["pooled_mean"].as_f64().unwrap();
+        total_abs_err += (est - truth).abs();
+        println!(
+            "{:<9} {:>6.2} {:>10.2} {:>+8.2} {:>8}",
+            l + 1,
+            truth,
+            est,
+            est - truth,
+            v["n_total"].as_u64().unwrap()
+        );
+    }
+    println!(
+        "\nmean |error| across lecturers: {:.3} — the paper saw 0.11 for its example lecturer.",
+        total_abs_err / LECTURER_MEANS.len() as f64
+    );
+    println!("every stored answer was noisy before it reached the server (at-source).");
+    handle.shutdown();
+}

@@ -1,0 +1,103 @@
+//! Quickstart: run a Loki server, take a survey through the app library,
+//! preview the obfuscation (the Fig. 1(c) screen), submit, and read the
+//! aggregate back.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use loki::client::LokiClient;
+use loki::core::privacy_level::PrivacyLevel;
+use loki::server::{serve, AppState};
+use loki::survey::question::{Answer, QuestionKind};
+use loki::survey::survey::{SurveyBuilder, SurveyId};
+use loki::survey::QuestionId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Publish a survey on a fresh server.
+    let state = Arc::new(AppState::new());
+    let mut builder = SurveyBuilder::new(SurveyId(1), "Rate your lecturers");
+    builder.question("Rate Prof. Ada on clarity", QuestionKind::likert5(), false);
+    builder.question("Rate Prof. Ada on engagement", QuestionKind::likert5(), false);
+    state.add_survey(builder.build().expect("valid survey"));
+    let handle = serve("127.0.0.1:0", Arc::clone(&state)).expect("bind server");
+    println!("Loki server listening on {}", handle.base_url());
+
+    // 2. A user opens the app and picks the MEDIUM privacy level.
+    let mut rng = ChaCha20Rng::seed_from_u64(2013);
+    let mut app = LokiClient::connect(&handle.base_url(), "alice").expect("connect");
+    let listing = app.list_surveys().expect("list");
+    println!("\nSurveys available ({}):", listing.len());
+    for s in &listing {
+        println!("  [{}] {} ({} questions, {}c)", s.id, s.title, s.questions, s.reward_cents);
+    }
+    let survey = app.fetch_survey(SurveyId(listing[0].id)).expect("fetch");
+
+    // 3. True answers — these never leave the client.
+    let mut answers = BTreeMap::new();
+    answers.insert(QuestionId(0), Answer::Rating(5.0));
+    answers.insert(QuestionId(1), Answer::Rating(4.0));
+
+    // 4. Preview: what will actually be uploaded.
+    let preview = app
+        .preview(&mut rng, &survey, &answers, PrivacyLevel::Medium)
+        .expect("preview");
+    println!("\nUpload preview at privacy level 'medium' (σ = 1.0):");
+    for (q, raw, noisy) in &preview.items {
+        println!(
+            "  {q}: true answer {:?} -> uploads as {:.2}",
+            raw.as_f64().unwrap(),
+            noisy.as_f64().unwrap()
+        );
+    }
+
+    // 5. Submit (a fresh noise draw — the preview is just a preview).
+    let outcome = app
+        .submit(&mut rng, &survey, &answers, PrivacyLevel::Medium)
+        .expect("submit");
+    println!(
+        "\nSubmitted. Server now holds {} response(s); cumulative privacy loss ε = {:.3}",
+        outcome.stored,
+        outcome.cumulative_epsilon.unwrap()
+    );
+    println!(
+        "Local ledger agrees: ε = {:.3} (tracked without trusting the server)",
+        app.local_loss().epsilon.value()
+    );
+
+    // 6. More users answer so the aggregate means something.
+    for i in 0..30 {
+        let mut other = LokiClient::connect(&handle.base_url(), format!("user-{i}")).unwrap();
+        let level = PrivacyLevel::ALL[i % 4];
+        let mut a = BTreeMap::new();
+        a.insert(QuestionId(0), Answer::Rating(4.0 + f64::from(i as u8 % 2)));
+        a.insert(QuestionId(1), Answer::Rating(4.0));
+        other.submit(&mut rng, &survey, &a, level).unwrap();
+    }
+
+    // 7. Read the aggregate back over HTTP.
+    let http = loki::net::client::HttpClient::new(&handle.base_url()).unwrap();
+    let resp = http.get("/surveys/1/results/0").expect("results");
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    println!(
+        "\nAggregate for question 0: pooled mean {:.2} ± {:.2} over {} responses",
+        v["pooled_mean"].as_f64().unwrap(),
+        v["pooled_standard_error"].as_f64().unwrap(),
+        v["n_total"].as_u64().unwrap()
+    );
+    for bin in v["bins"].as_array().unwrap() {
+        println!(
+            "  bin {:>6}: n={:<3} mean {:.2}",
+            bin["level"].as_str().unwrap(),
+            bin["n"].as_u64().unwrap(),
+            bin["mean"].as_f64().unwrap()
+        );
+    }
+
+    handle.shutdown();
+    println!("\nServer shut down. Done.");
+}

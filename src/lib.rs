@@ -1,0 +1,51 @@
+//! # Loki — a privacy-preserving crowdsourced survey platform
+//!
+//! Rust reproduction of *Kandappu, Sivaraman, Friedman, Boreli:
+//! "Exposing and Mitigating Privacy Loss in Crowdsourced Survey
+//! Platforms"* (CoNEXT Student Workshop 2013).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`dp`] — differential-privacy substrate (mechanisms, composition,
+//!   RDP accounting, per-user ledgers);
+//! * [`survey`] — survey/question/response data model and the
+//!   demographics that drive the paper's de-anonymization attack;
+//! * [`platform`] — AMT-style marketplace simulator (workers, behaviour
+//!   models, discrete-event campaign engine, worker-ID policies);
+//! * [`attack`] — the §2 attack: synthetic population, cross-survey
+//!   linkage, registry re-identification, sensitive inference;
+//! * [`core`] — the paper's contribution: privacy levels, at-source
+//!   obfuscation, estimators, budget balancing, the Fig. 2 analysis;
+//! * [`net`] — blocking HTTP/1.1 framework over `std::net`;
+//! * [`server`] — the Loki REST backend;
+//! * [`client`] — the app-side library (local obfuscation + upload).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use loki::client::LokiClient;
+//! use loki::core::privacy_level::PrivacyLevel;
+//! use loki::server::AppState;
+//! use std::sync::Arc;
+//!
+//! // Server.
+//! let state = Arc::new(AppState::new());
+//! let handle = loki::server::serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+//!
+//! // App session: answers are obfuscated locally before upload.
+//! let client = LokiClient::connect(&handle.base_url(), "alice").unwrap();
+//! let surveys = client.list_surveys().unwrap();
+//! println!("{} surveys, privacy levels: {:?}", surveys.len(), PrivacyLevel::ALL);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use loki_attack as attack;
+pub use loki_client as client;
+pub use loki_core as core;
+pub use loki_dp as dp;
+pub use loki_net as net;
+pub use loki_platform as platform;
+pub use loki_server as server;
+pub use loki_survey as survey;

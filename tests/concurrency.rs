@@ -1,0 +1,132 @@
+//! Concurrency tests: the platform under parallel clients.
+
+use loki::client::LokiClient;
+use loki::core::privacy_level::PrivacyLevel;
+use loki::server::{serve, AppState};
+use loki::survey::question::{Answer, QuestionKind};
+use loki::survey::survey::{SurveyBuilder, SurveyId};
+use loki::survey::QuestionId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn survey() -> loki::survey::survey::Survey {
+    let mut b = SurveyBuilder::new(SurveyId(1), "parallel");
+    b.question("rate", QuestionKind::likert5(), false);
+    b.build().unwrap()
+}
+
+#[test]
+fn parallel_submissions_all_stored_exactly_once() {
+    let state = Arc::new(AppState::new());
+    state.add_survey(survey());
+    let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+    let base = handle.base_url();
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let base = base.clone();
+            std::thread::spawn(move || {
+                let mut rng = ChaCha20Rng::seed_from_u64(t);
+                for i in 0..10 {
+                    let user = format!("t{t}-u{i}");
+                    let mut client = LokiClient::connect(&base, &user).unwrap();
+                    let survey = client.fetch_survey(SurveyId(1)).unwrap();
+                    let mut answers = BTreeMap::new();
+                    answers.insert(QuestionId(0), Answer::Rating(4.0));
+                    client
+                        .submit(&mut rng, &survey, &answers, PrivacyLevel::Low)
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    assert_eq!(state.submission_count(SurveyId(1)), 80);
+    assert_eq!(state.accountant.user_count(), 80);
+    // Every user has exactly one recorded release.
+    for t in 0..8 {
+        for i in 0..10 {
+            assert_eq!(state.accountant.releases_of(&format!("t{t}-u{i}")), 1);
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn duplicate_race_stores_one_copy() {
+    // Many threads race the same user: exactly one submission must win.
+    let state = Arc::new(AppState::new());
+    state.add_survey(survey());
+    let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+    let base = handle.base_url();
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let base = base.clone();
+            std::thread::spawn(move || {
+                let mut rng = ChaCha20Rng::seed_from_u64(100 + t);
+                let mut client = LokiClient::connect(&base, "same-user").unwrap();
+                let survey = client.fetch_survey(SurveyId(1)).unwrap();
+                let mut answers = BTreeMap::new();
+                answers.insert(QuestionId(0), Answer::Rating(3.0));
+                client
+                    .submit(&mut rng, &survey, &answers, PrivacyLevel::Low)
+                    .is_ok()
+            })
+        })
+        .collect();
+    let successes = threads
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .filter(|&ok| ok)
+        .count();
+    // (The successes count can't exceed 1 because duplicates 409.)
+    assert_eq!(successes, 1, "exactly one racer must win");
+    assert_eq!(state.submission_count(SurveyId(1)), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn parallel_reads_during_writes() {
+    let state = Arc::new(AppState::new());
+    state.add_survey(survey());
+    let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+    let base = handle.base_url();
+
+    let writer_base = base.clone();
+    let writer = std::thread::spawn(move || {
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        for i in 0..30 {
+            let user = format!("w{i}");
+            let mut client = LokiClient::connect(&writer_base, &user).unwrap();
+            let survey = client.fetch_survey(SurveyId(1)).unwrap();
+            let mut answers = BTreeMap::new();
+            answers.insert(QuestionId(0), Answer::Rating(4.0));
+            client
+                .submit(&mut rng, &survey, &answers, PrivacyLevel::Medium)
+                .unwrap();
+        }
+    });
+
+    let http = loki::net::client::HttpClient::new(&base).unwrap();
+    let mut last_total = 0;
+    for _ in 0..50 {
+        let resp = http.get("/surveys/1/results/0").unwrap();
+        if resp.status.is_success() {
+            let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+            let n = v["n_total"].as_u64().unwrap();
+            assert!(n >= last_total, "monotone growth violated: {n} < {last_total}");
+            last_total = n;
+        }
+    }
+    writer.join().unwrap();
+    let resp = http.get("/surveys/1/results/0").unwrap();
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(v["n_total"].as_u64().unwrap(), 30);
+    handle.shutdown();
+}

@@ -1,0 +1,166 @@
+//! Failure injection: the server must survive hostile and broken clients
+//! without panicking, leaking state, or serving corrupted answers.
+
+use loki::net::http::{Response, StatusCode};
+use loki::net::parser::ParserConfig;
+use loki::net::router::Router;
+use loki::net::server::{Server, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn server() -> ServerHandle {
+    let mut r = Router::new();
+    r.get("/ping", |_, _| Response::text(StatusCode::OK, "pong"));
+    r.post("/echo", |req, _| {
+        Response::text(StatusCode::OK, String::from_utf8_lossy(&req.body).into_owned())
+    });
+    Server::spawn(
+        "127.0.0.1:0",
+        r,
+        ServerConfig {
+            read_timeout: Duration::from_millis(400),
+            parser: ParserConfig {
+                max_body: 4096,
+                max_request_line: 512,
+                max_header_bytes: 2048,
+                max_headers: 16,
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// The canary: after any abuse, a normal request must still work.
+fn still_alive(h: &ServerHandle) {
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    s.write_all(b"GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.ends_with("pong"), "server unhealthy after abuse: {out}");
+}
+
+#[test]
+fn survives_random_binary_garbage() {
+    let h = server();
+    for seed in 0..20u64 {
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        // Deterministic pseudo-garbage.
+        let garbage: Vec<u8> = (0..300)
+            .map(|i| ((seed.wrapping_mul(31).wrapping_add(i) * 2654435761) >> 7) as u8)
+            .collect();
+        let _ = s.write_all(&garbage);
+        let _ = s.write_all(b"\r\n\r\n");
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        // Any response is fine (4xx expected); crashing is not.
+    }
+    still_alive(&h);
+    h.shutdown();
+}
+
+#[test]
+fn survives_mid_request_disconnects() {
+    let h = server();
+    for cut in [5usize, 17, 30, 45] {
+        let full = b"POST /echo HTTP/1.1\r\nContent-Length: 20\r\n\r\n01234567890123456789";
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(&full[..cut.min(full.len())]).unwrap();
+        drop(s); // abrupt close mid-request
+    }
+    still_alive(&h);
+    h.shutdown();
+}
+
+#[test]
+fn slow_loris_is_timed_out() {
+    let h = server();
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    s.write_all(b"GET /ping HTT").unwrap();
+    // Stall past the server's read timeout.
+    std::thread::sleep(Duration::from_millis(700));
+    // The server should have dropped us; either write fails eventually or
+    // read returns EOF / error.
+    let mut buf = [0u8; 64];
+    s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+    match s.read(&mut buf) {
+        Ok(0) => {}          // clean close
+        Ok(_) => {}          // error response also acceptable
+        Err(_) => {}         // reset
+    }
+    still_alive(&h);
+    h.shutdown();
+}
+
+#[test]
+fn oversized_request_line_is_rejected_not_buffered() {
+    let h = server();
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    // Stream an endless request line; the server must cut us off at the
+    // limit rather than buffering forever.
+    let chunk = [b'a'; 256];
+    let mut rejected = false;
+    s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+    let _ = s.write_all(b"GET /");
+    for _ in 0..64 {
+        if s.write_all(&chunk).is_err() {
+            rejected = true;
+            break;
+        }
+        let mut buf = [0u8; 256];
+        match s.read(&mut buf) {
+            Ok(n) if n > 0 => {
+                let head = String::from_utf8_lossy(&buf[..n]).to_string();
+                assert!(head.contains("431"), "expected 431, got: {head}");
+                rejected = true;
+                break;
+            }
+            Ok(_) => {
+                rejected = true;
+                break;
+            }
+            Err(_) => continue,
+        }
+    }
+    assert!(rejected, "server buffered an unbounded request line");
+    still_alive(&h);
+    h.shutdown();
+}
+
+#[test]
+fn header_bomb_is_rejected() {
+    let h = server();
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    let mut req = b"GET /ping HTTP/1.1\r\n".to_vec();
+    for i in 0..100 {
+        req.extend_from_slice(format!("X-Bomb-{i}: {}\r\n", "v".repeat(50)).as_bytes());
+    }
+    req.extend_from_slice(b"\r\n");
+    let _ = s.write_all(&req);
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    assert!(
+        out.starts_with("HTTP/1.1 431"),
+        "expected 431 for header bomb, got: {}",
+        out.lines().next().unwrap_or("<nothing>")
+    );
+    still_alive(&h);
+    h.shutdown();
+}
+
+#[test]
+fn pipelined_valid_then_garbage() {
+    let h = server();
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    s.write_all(b"GET /ping HTTP/1.1\r\n\r\nNOT-HTTP-AT-ALL\r\n\r\n")
+        .unwrap();
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    // First response served, then a 400 and close.
+    assert!(out.contains("pong"), "{out}");
+    assert!(out.contains("400"), "{out}");
+    still_alive(&h);
+    h.shutdown();
+}

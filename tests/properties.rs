@@ -1,0 +1,252 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use loki::core::obfuscate::Obfuscator;
+use loki::core::privacy_level::PrivacyLevel;
+use loki::dp::mechanisms::gaussian::{analytic_delta, GaussianMechanism};
+use loki::dp::mechanisms::randomized_response::RandomizedResponse;
+use loki::dp::params::{Delta, Epsilon};
+use loki::dp::Sensitivity;
+use loki::net::http::{Method, Request};
+use loki::net::parser::RequestParser;
+use loki::survey::demographics::{BirthDate, StarSign};
+use loki::survey::question::{Answer, Question, QuestionKind};
+use loki::survey::QuestionId;
+use bytes::BytesMut;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+proptest! {
+    /// The analytic Gaussian δ is monotone decreasing in σ for any
+    /// sensitivity and ε.
+    #[test]
+    fn analytic_delta_monotone_in_sigma(
+        sens in 0.5f64..10.0,
+        eps in 0.05f64..5.0,
+        sigma in 0.1f64..5.0,
+    ) {
+        let s = Sensitivity::new(sens);
+        let e = Epsilon::new(eps);
+        let d1 = analytic_delta(s, sigma, e).value();
+        let d2 = analytic_delta(s, sigma * 1.5, e).value();
+        prop_assert!(d2 <= d1 + 1e-12, "δ grew with σ: {d1} -> {d2}");
+    }
+
+    /// Calibration round-trip: calibrate σ for (ε, δ), recover ε from σ.
+    #[test]
+    fn gaussian_calibration_round_trip(eps in 0.1f64..6.0) {
+        let s = Sensitivity::new(4.0);
+        let delta = Delta::new(1e-5);
+        let m = GaussianMechanism::calibrate_analytic(s, Epsilon::new(eps), delta);
+        let back = m.epsilon().value();
+        prop_assert!((back - eps).abs() / eps < 1e-3, "{eps} -> {back}");
+    }
+
+    /// Randomized response likelihood ratio equals e^ε for any k, ε.
+    #[test]
+    fn rr_ratio_is_exp_epsilon(k in 2usize..20, eps in 0.05f64..5.0) {
+        let rr = RandomizedResponse::new(k, Epsilon::new(eps));
+        let ratio = rr.p_truth() / rr.p_other();
+        prop_assert!((ratio - eps.exp()).abs() < 1e-9);
+    }
+
+    /// RR probabilities are a distribution.
+    #[test]
+    fn rr_probabilities_normalize(k in 2usize..20, eps in 0.05f64..5.0) {
+        let rr = RandomizedResponse::new(k, Epsilon::new(eps));
+        let total = rr.p_truth() + (k as f64 - 1.0) * rr.p_other();
+        prop_assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    /// Every valid (day, month) has a star sign, and the mapping is
+    /// stable under BirthDate round-trips.
+    #[test]
+    fn star_signs_total_and_consistent(doy in 0u16..365) {
+        let d = BirthDate::from_day_of_year(1980, doy);
+        let s1 = d.star_sign();
+        let s2 = StarSign::from_day_month(d.day, d.month);
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(d.day_of_year(), doy);
+    }
+
+    /// Obfuscated ratings at level None are exactly the input; at other
+    /// levels they are finite.
+    #[test]
+    fn obfuscation_totality(raw in 1u8..=5, seed in 0u64..1000) {
+        let q = Question {
+            id: QuestionId(0),
+            text: "r".into(),
+            kind: QuestionKind::likert5(),
+            sensitive: false,
+        };
+        let mut rng = ChaCha20Rng::seed_from_u64(seed);
+        for level in PrivacyLevel::ALL {
+            let ob = Obfuscator::new(level)
+                .obfuscate_answer(&mut rng, &q, &Answer::Rating(f64::from(raw)))
+                .unwrap();
+            let v = ob.answer.as_f64().unwrap();
+            prop_assert!(v.is_finite());
+            if level == PrivacyLevel::None {
+                prop_assert_eq!(v, f64::from(raw));
+            }
+        }
+    }
+
+    /// HTTP request serialization → parsing round-trips the method, path,
+    /// headers and body for arbitrary token-ish inputs.
+    #[test]
+    fn http_request_round_trip(
+        path_seg in "[a-z]{1,12}",
+        header_val in "[ -~&&[^\r\n:]]{0,30}",
+        body in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let path = format!("/{path_seg}");
+        let mut wire = Vec::new();
+        wire.extend_from_slice(format!("POST {path} HTTP/1.1\r\n").as_bytes());
+        wire.extend_from_slice(format!("X-Test: {header_val}\r\n").as_bytes());
+        wire.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+        wire.extend_from_slice(&body);
+
+        let mut buf = BytesMut::from(&wire[..]);
+        let parsed = RequestParser::default().parse(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(parsed.method, Method::Post);
+        prop_assert_eq!(parsed.path, path);
+        prop_assert_eq!(parsed.headers.get("x-test").unwrap_or(""), header_val.trim());
+        prop_assert_eq!(&parsed.body[..], &body[..]);
+        prop_assert!(buf.is_empty());
+    }
+
+    /// The parser never panics on arbitrary bytes — it returns Ok(None),
+    /// Ok(Some), or a structured error.
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let mut buf = BytesMut::from(&bytes[..]);
+        let _ = RequestParser::default().parse(&mut buf);
+    }
+
+    /// Query parameters survive the Request constructor.
+    #[test]
+    fn query_param_extraction(k in "[a-z]{1,8}", v in "[a-z0-9]{1,8}") {
+        let r = Request::new(Method::Get, format!("/p?{k}={v}"));
+        prop_assert_eq!(r.query_param(&k), Some(v.as_str()));
+    }
+}
+
+proptest! {
+    /// The deconvolver always returns a probability distribution with the
+    /// right support, whatever the (finite) sample mix.
+    #[test]
+    fn deconvolver_output_is_distribution(
+        values in proptest::collection::vec(-5.0f64..11.0, 1..80),
+        sigma in 0.0f64..3.0,
+    ) {
+        use loki::core::deconvolve::{Deconvolver, NoisySample};
+        let samples: Vec<NoisySample> = values
+            .iter()
+            .map(|&value| NoisySample { value, sigma })
+            .collect();
+        let out = Deconvolver::new(1, 5).run(&samples);
+        prop_assert_eq!(out.probabilities.len(), 5);
+        prop_assert!((out.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        prop_assert!(out.probabilities.iter().all(|p| (0.0..=1.0).contains(p)));
+        prop_assert!((1.0..=5.0).contains(&out.mean));
+    }
+
+    /// Marketplace campaigns replay exactly for equal seeds and diverge
+    /// for different ones (statistically; we only require equality).
+    #[test]
+    fn marketplace_is_deterministic(seed in 0u64..500) {
+        use loki::platform::behavior::BehaviorModel;
+        use loki::platform::marketplace::{Marketplace, MarketplaceConfig};
+        use loki::platform::spec::paper_surveys;
+        use loki::platform::worker::{HealthProfile, PrivacyAttitude, WorkerId, WorkerProfile};
+        use loki::survey::demographics::{BirthDate, Gender, QuasiIdentifier, ZipCode};
+
+        let pool = || -> Vec<(WorkerProfile, BehaviorModel)> {
+            (0..25u64).map(|i| {
+                (
+                    WorkerProfile::new(
+                        WorkerId(i),
+                        QuasiIdentifier {
+                            birth: BirthDate::new(1970 + (i % 20) as u16, 1 + (i % 12) as u8, 1 + (i % 28) as u8).unwrap(),
+                            gender: if i % 2 == 0 { Gender::Female } else { Gender::Male },
+                            zip: ZipCode::new(10_000 + i as u32).unwrap(),
+                        },
+                        HealthProfile { smoking_level: 1, cough_level: 1 },
+                        PrivacyAttitude { aware_of_profiling: false, would_participate_if_profiled: false },
+                    ),
+                    BehaviorModel::Honest { opinion_noise: 0.3 },
+                )
+            }).collect()
+        };
+        let run = |s: u64| {
+            let mut m = Marketplace::new(MarketplaceConfig::default(), pool(), s);
+            let specs = paper_surveys();
+            let out = m.post_task(&specs[0], 15);
+            (out.responses.len(), out.elapsed_hours, m.costs().total_cents())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// WAL records of arbitrary obfuscated submissions round-trip.
+    #[test]
+    fn wal_record_round_trip(
+        user in "[a-z]{1,10}",
+        value in -10.0f64..15.0,
+        sigma in 0.01f64..4.0,
+    ) {
+        use loki::server::wal::Record;
+        use loki::survey::response::Response;
+        use loki::survey::SurveyId;
+        let mut response = Response::new(user.clone(), SurveyId(1));
+        response.answer(QuestionId(0), Answer::Obfuscated(value));
+        let record = Record::Submit {
+            user,
+            level: PrivacyLevel::Medium,
+            response,
+            releases: vec![("survey-1/q0".into(), loki::dp::accountant::ReleaseKind::Gaussian {
+                sigma,
+                sensitivity: 4.0,
+            })],
+        };
+        let json = serde_json::to_string(&record).unwrap();
+        let back: Record = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(record, back);
+    }
+
+    /// Subsampling amplification never hurts and keeps ε positive.
+    #[test]
+    fn subsampling_never_hurts(eps in 0.01f64..8.0, q in 0.01f64..1.0) {
+        use loki::dp::composition::amplify_by_subsampling;
+        use loki::dp::params::PrivacyLoss;
+        let loss = PrivacyLoss::new(eps, 1e-6);
+        let amp = amplify_by_subsampling(loss, q).unwrap();
+        prop_assert!(amp.epsilon.value() <= eps + 1e-12);
+        prop_assert!(amp.epsilon.value() > 0.0);
+        prop_assert!(amp.delta.value() <= 1e-6 + 1e-18);
+    }
+}
+
+/// Non-proptest statistical property: the RR frequency estimator is
+/// unbiased across privacy levels (fixed seeds, tight tolerance).
+#[test]
+fn rr_estimator_unbiased_across_levels() {
+    for level in [PrivacyLevel::Low, PrivacyLevel::Medium, PrivacyLevel::High] {
+        let eps = level.randomized_response_epsilon().unwrap();
+        let rr = RandomizedResponse::new(3, Epsilon::new(eps));
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        let n = 150_000;
+        let mut observed = [0u64; 3];
+        for i in 0..n {
+            let truth = if i % 4 == 0 { 1 } else { 0 }; // 75% / 25% / 0%
+            observed[rr.perturb(&mut rng, truth)] += 1;
+        }
+        let est = rr.estimate_frequencies(&observed);
+        assert!(
+            (est[0] / n as f64 - 0.75).abs() < 0.02,
+            "{level}: est {:?}",
+            est
+        );
+        assert!((est[2] / n as f64).abs() < 0.02);
+    }
+}

@@ -101,7 +101,7 @@ impl BudgetBalancer {
         let p95 = if n == 0 {
             0.0
         } else {
-            losses[((n as f64 * 0.95).ceil() as usize).min(n) - 1]
+            losses[((n as f64 * 0.95).ceil() as usize).min(n).saturating_sub(1)]
         };
         LossSummary { max, mean, p95 }
     }

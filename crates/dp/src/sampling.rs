@@ -37,11 +37,17 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// # Panics
 /// Panics if `sigma` is negative or NaN. `sigma == 0.0` returns `mean`
 /// exactly (the "no privacy" degenerate case).
+// The zero-sigma comparison is against the literal sentinel, not a
+// computed value; see the doc comment.
+#[allow(clippy::float_cmp)]
 pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
     assert!(
         sigma >= 0.0 && !sigma.is_nan(),
         "sigma must be non-negative, got {sigma}"
     );
+    // Exact comparison against the literal zero sentinel (the documented
+    // degenerate case), not against a composed budget value.
+    // lint:allow float-eq-budget
     if sigma == 0.0 {
         return mean;
     }
@@ -52,6 +58,9 @@ pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
 ///
 /// # Panics
 /// Panics if `scale` is negative or NaN. `scale == 0.0` returns `mean`.
+// The zero-scale comparison is against the literal sentinel, not a
+// computed value; see the doc comment.
+#[allow(clippy::float_cmp)]
 pub fn laplace<R: Rng + ?Sized>(rng: &mut R, mean: f64, scale: f64) -> f64 {
     assert!(
         scale >= 0.0 && !scale.is_nan(),

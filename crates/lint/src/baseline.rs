@@ -1,0 +1,200 @@
+//! The committed violation baseline (`loki-lint.baseline`).
+//!
+//! Pre-existing violations are grandfathered: the baseline records each one
+//! as a `(rule, file, snippet)` triple, and a run only fails on findings
+//! *not* covered by the baseline. Matching is a multiset match on that
+//! triple — deliberately **not** on line numbers, so unrelated edits that
+//! shift code up or down don't invalidate the whole file's entries. Two
+//! identical snippets in one file need two baseline entries.
+//!
+//! File format: one entry per line, tab-separated
+//! `rule-id<TAB>path<TAB>snippet`; `#` lines and blanks are ignored.
+
+use crate::Diagnostic;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One grandfathered violation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Rule id (`panic-path`, …).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Trimmed source line of the violation.
+    pub snippet: String,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: Vec<BaselineEntry>,
+}
+
+/// Result of diffing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings not covered by any (unconsumed) baseline entry.
+    pub new: Vec<Diagnostic>,
+    /// Baseline entries no longer matched by any finding — fixed or moved
+    /// violations whose entries should be removed.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses baseline text. Malformed lines (fewer than three fields) are
+    /// reported as errors rather than silently dropped — a truncated
+    /// baseline must not look like a smaller one.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(file), Some(snippet)) => entries.push(BaselineEntry {
+                    rule: rule.to_string(),
+                    file: file.to_string(),
+                    snippet: snippet.to_string(),
+                }),
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected `rule<TAB>file<TAB>snippet`",
+                        idx + 1
+                    ))
+                }
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Number of grandfathered violations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Diffs `findings` against this baseline (multiset semantics).
+    pub fn diff(&self, findings: &[Diagnostic]) -> BaselineDiff {
+        let mut budget: HashMap<BaselineEntry, usize> = HashMap::new();
+        for e in &self.entries {
+            *budget.entry(e.clone()).or_insert(0) += 1;
+        }
+        let mut diff = BaselineDiff::default();
+        for d in findings {
+            let key = BaselineEntry {
+                rule: d.rule.to_string(),
+                file: d.file.clone(),
+                snippet: d.snippet.clone(),
+            };
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => diff.new.push(d.clone()),
+            }
+        }
+        let mut stale: Vec<BaselineEntry> = budget
+            .into_iter()
+            .flat_map(|(e, n)| std::iter::repeat(e).take(n))
+            .collect();
+        stale.sort();
+        diff.stale = stale;
+        diff
+    }
+
+    /// Renders `findings` as baseline text (the `--write-baseline` output).
+    pub fn render(findings: &[Diagnostic]) -> String {
+        let mut out = String::from(
+            "# loki-lint baseline — grandfathered violations.\n\
+             # One entry per line: rule-id<TAB>path<TAB>snippet.\n\
+             # Regenerate with: cargo run -p loki-lint -- --write-baseline\n",
+        );
+        let mut sorted: Vec<&Diagnostic> = findings.iter().collect();
+        sorted.sort_by(|a, b| {
+            (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line))
+        });
+        for d in sorted {
+            // Tabs inside a snippet would corrupt the format; collapse them.
+            let snippet = d.snippet.replace('\t', " ");
+            let _ = writeln!(out, "{}\t{}\t{}", d.rule, d.file, snippet);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: u32, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message: String::from("m"),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip_and_exact_match() {
+        let findings = vec![
+            diag("panic-path", "crates/net/src/router.rs", 72, "assert!(p);"),
+            diag("panic-path", "crates/server/src/store.rs", 119, "assert!(b > 0.0);"),
+        ];
+        let text = Baseline::render(&findings);
+        let base = Baseline::parse(&text).unwrap();
+        assert_eq!(base.len(), 2);
+        let diff = base.diff(&findings);
+        assert!(diff.new.is_empty());
+        assert!(diff.stale.is_empty());
+    }
+
+    #[test]
+    fn line_drift_does_not_invalidate() {
+        let base = Baseline::parse("panic-path\ta.rs\tx.unwrap();\n").unwrap();
+        let moved = vec![diag("panic-path", "a.rs", 999, "x.unwrap();")];
+        let diff = base.diff(&moved);
+        assert!(diff.new.is_empty() && diff.stale.is_empty());
+    }
+
+    #[test]
+    fn new_and_stale_detected() {
+        let base = Baseline::parse("panic-path\ta.rs\tx.unwrap();\n").unwrap();
+        let findings = vec![diag("panic-path", "a.rs", 5, "y.unwrap();")];
+        let diff = base.diff(&findings);
+        assert_eq!(diff.new.len(), 1);
+        assert_eq!(diff.stale.len(), 1);
+        assert_eq!(diff.stale[0].snippet, "x.unwrap();");
+    }
+
+    #[test]
+    fn duplicate_snippets_are_multiset_matched() {
+        let base = Baseline::parse(
+            "panic-path\ta.rs\tx.unwrap();\npanic-path\ta.rs\tx.unwrap();\n",
+        )
+        .unwrap();
+        let one = vec![diag("panic-path", "a.rs", 1, "x.unwrap();")];
+        let diff = base.diff(&one);
+        assert!(diff.new.is_empty());
+        assert_eq!(diff.stale.len(), 1, "second copy is stale");
+        let three = vec![
+            diag("panic-path", "a.rs", 1, "x.unwrap();"),
+            diag("panic-path", "a.rs", 2, "x.unwrap();"),
+            diag("panic-path", "a.rs", 3, "x.unwrap();"),
+        ];
+        let diff = base.diff(&three);
+        assert_eq!(diff.new.len(), 1, "third copy is new");
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        assert!(Baseline::parse("panic-path only-two-fields\n").is_err());
+        assert!(Baseline::parse("# comment\n\n").unwrap().is_empty());
+    }
+}

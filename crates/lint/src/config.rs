@@ -1,0 +1,254 @@
+//! Linter configuration: `loki-lint.toml`.
+//!
+//! The config is a small TOML subset parsed in-tree (the linter is
+//! deliberately dependency-free). Supported syntax:
+//!
+//! * `[section]` and `[section.subsection]` headers (bare keys, which TOML
+//!   allows to contain `-`),
+//! * `key = "string"`, `key = true|false`,
+//! * `key = ["a", "b", …]`, including multi-line arrays,
+//! * `#` comments and blank lines.
+//!
+//! Every rule reads its knobs through [`Config::list`] /
+//! [`Config::flag`], which fall back to compiled-in defaults so the tool
+//! also works with no config file at all.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed config value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An array of quoted strings.
+    List(Vec<String>),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// A config parse failure, with the offending line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in the config file.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+/// The full linter configuration.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// `section -> key -> value`; the section for `[rules.panic-path]` is
+    /// the string `rules.panic-path`.
+    sections: BTreeMap<String, BTreeMap<String, Value>>,
+}
+
+impl Config {
+    /// Parses a config from TOML-subset text.
+    pub fn from_toml(text: &str) -> Result<Config, ConfigError> {
+        let mut sections: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+        let mut current = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let Some(name) = header.strip_suffix(']') else {
+                    return Err(err(lineno, "unterminated section header"));
+                };
+                current = name.trim().trim_matches('"').to_string();
+                sections.entry(current.clone()).or_default();
+                continue;
+            }
+            let Some((key, rest)) = line.split_once('=') else {
+                return Err(err(lineno, "expected `key = value`"));
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let mut rest = rest.trim().to_string();
+            // Multi-line array: keep consuming lines until the `]`.
+            if rest.starts_with('[') && !rest.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    let cont = strip_comment(cont).trim().to_string();
+                    rest.push(' ');
+                    rest.push_str(&cont);
+                    if cont.ends_with(']') {
+                        break;
+                    }
+                }
+            }
+            let value = parse_value(&rest).ok_or_else(|| {
+                err(lineno, &format!("unsupported value syntax: `{rest}`"))
+            })?;
+            sections.entry(current.clone()).or_default().insert(key, value);
+        }
+        Ok(Config { sections })
+    }
+
+    /// List-valued knob for `[rules.<rule>] <key>`, with fallback chain:
+    /// config value → `default`.
+    pub fn list(&self, rule: &str, key: &str, default: &[&str]) -> Vec<String> {
+        self.raw(&format!("rules.{rule}"), key)
+            .and_then(|v| match v {
+                Value::List(items) => Some(items.clone()),
+                Value::Str(s) => Some(vec![s.clone()]),
+                Value::Bool(_) => None,
+            })
+            .unwrap_or_else(|| default.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Boolean knob for `[rules.<rule>] <key>`.
+    pub fn flag(&self, rule: &str, key: &str, default: bool) -> bool {
+        match self.raw(&format!("rules.{rule}"), key) {
+            Some(Value::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+
+    /// Whether a rule is enabled (`[rules.<rule>] enabled = false` opts out).
+    pub fn rule_enabled(&self, rule: &str) -> bool {
+        self.flag(rule, "enabled", true)
+    }
+
+    /// Top-level `[lint] exclude` path prefixes (workspace-relative).
+    pub fn excludes(&self) -> Vec<String> {
+        self.raw("lint", "exclude")
+            .and_then(|v| match v {
+                Value::List(items) => Some(items.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| vec!["target".to_string()])
+    }
+
+    fn raw(&self, section: &str, key: &str) -> Option<&Value> {
+        self.sections.get(section)?.get(key)
+    }
+}
+
+fn err(line: u32, message: &str) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Option<Value> {
+    let text = text.trim();
+    if text == "true" {
+        return Some(Value::Bool(true));
+    }
+    if text == "false" {
+        return Some(Value::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        return Some(Value::Str(inner.to_string()));
+    }
+    if let Some(inner) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let s = part.strip_prefix('"')?.strip_suffix('"')?;
+            items.push(s.to_string());
+        }
+        return Some(Value::List(items));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_values() {
+        let cfg = Config::from_toml(
+            "# top comment\n\
+             [lint]\n\
+             exclude = [\"target\", \"crates/lint/tests/fixtures\"]\n\
+             \n\
+             [rules.panic-path]\n\
+             enabled = true\n\
+             crates = [\"loki-net\", \"loki-server\"] # trailing comment\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.excludes(),
+            vec!["target".to_string(), "crates/lint/tests/fixtures".to_string()]
+        );
+        assert!(cfg.rule_enabled("panic-path"));
+        assert_eq!(
+            cfg.list("panic-path", "crates", &[]),
+            vec!["loki-net".to_string(), "loki-server".to_string()]
+        );
+    }
+
+    #[test]
+    fn multiline_arrays() {
+        let cfg = Config::from_toml(
+            "[rules.sensitive-egress]\n\
+             sensitive_types = [\n\
+                 \"RawResponse\", # the pre-obfuscation answer\n\
+                 \"Demographics\",\n\
+             ]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.list("sensitive-egress", "sensitive_types", &[]),
+            vec!["RawResponse".to_string(), "Demographics".to_string()]
+        );
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let cfg = Config::from_toml("").unwrap();
+        assert_eq!(cfg.list("x", "y", &["a"]), vec!["a".to_string()]);
+        assert!(cfg.rule_enabled("anything"));
+        assert_eq!(cfg.excludes(), vec!["target".to_string()]);
+    }
+
+    #[test]
+    fn rule_can_be_disabled() {
+        let cfg = Config::from_toml("[rules.panic-path]\nenabled = false\n").unwrap();
+        assert!(!cfg.rule_enabled("panic-path"));
+        assert!(cfg.rule_enabled("float-eq-budget"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::from_toml("[lint]\nexclude = [\"a#b\"]\n").unwrap();
+        assert_eq!(cfg.excludes(), vec!["a#b".to_string()]);
+    }
+
+    #[test]
+    fn bad_syntax_reports_line() {
+        let e = Config::from_toml("[lint]\nwhat is this\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

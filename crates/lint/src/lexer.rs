@@ -1,0 +1,427 @@
+//! A small Rust tokenizer.
+//!
+//! `loki-lint` analyses source *lexically*: rules match on token patterns
+//! rather than a full AST. The tokenizer therefore has to be exactly right
+//! about the things that would otherwise produce false positives — string
+//! literals (including raw strings), comments (including nested block
+//! comments), lifetimes vs. char literals, and float literals with signed
+//! exponents (so `1.5e-3` never emits a spurious `-` operator).
+//!
+//! Line comments are preserved separately so the allow-directive scanner
+//! (`// lint:allow <rule-id>`) can see them.
+
+/// Token classes the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime (`'a`) — kept distinct so `'a` never looks like a char.
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String, byte-string, or char literal.
+    Str,
+    /// Operator / punctuation, maximal-munch (`==`, `..=`, `::`, …).
+    Op,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text (operators keep their full spelling).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the operator `s`.
+    pub fn is_op(&self, s: &str) -> bool {
+        self.kind == TokKind::Op && self.text == s
+    }
+}
+
+/// Tokenizer output: tokens plus the line comments (for directives).
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All tokens in source order.
+    pub toks: Vec<Tok>,
+    /// `(line, text)` of every `//` comment, text without the slashes.
+    pub line_comments: Vec<(u32, String)>,
+}
+
+/// Three-char then two-char operators, tried in order (maximal munch).
+const OPS3: &[&str] = &["<<=", ">>=", "..=", "..."];
+const OPS2: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=",
+    "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Tokenizes `src`. Never fails: unexpected bytes are skipped, unclosed
+/// literals run to end of input — a linter must degrade, not abort.
+pub fn lex(src: &str) -> LexOutput {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = LexOutput::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let push = |out: &mut LexOutput, kind, text: String, line| {
+        out.toks.push(Tok { kind, text, line });
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                out.line_comments.push((line, text));
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let (j, newlines) = scan_string(&chars, i);
+                push(&mut out, TokKind::Str, String::from("\"…\""), line);
+                line += newlines;
+                i = j;
+            }
+            'r' | 'b' if is_raw_or_byte_string(&chars, i) => {
+                let (j, newlines) = scan_raw_or_byte(&chars, i);
+                push(&mut out, TokKind::Str, String::from("\"…\""), line);
+                line += newlines;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime or char literal.
+                if is_lifetime(&chars, i) {
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    let text: String = chars[i..j].iter().collect();
+                    push(&mut out, TokKind::Lifetime, text, line);
+                    i = j;
+                } else {
+                    let (j, newlines) = scan_string(&chars, i); // '…' scans like "…"
+                    push(&mut out, TokKind::Str, String::from("'…'"), line);
+                    line += newlines;
+                    i = j;
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                push(&mut out, TokKind::Ident, text, line);
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let j = scan_number(&chars, i);
+                let text: String = chars[i..j].iter().collect();
+                push(&mut out, TokKind::Number, text, line);
+                i = j;
+            }
+            _ => {
+                let rest = &chars[i..];
+                let text = match_op(rest);
+                let len = text.chars().count();
+                push(&mut out, TokKind::Op, text, line);
+                i += len;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// `'` starts a lifetime when followed by an identifier that is *not*
+/// closed by another `'` (which would make it a char like `'a'`).
+fn is_lifetime(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some(&c) if is_ident_start(c) => {
+            // 'static, 'a — lifetime unless the very next char is a quote.
+            let mut j = i + 2;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            chars.get(j) != Some(&'\'')
+        }
+        _ => false,
+    }
+}
+
+/// Scans a `"…"` or `'…'` literal starting at the quote. Returns
+/// `(index after close, newlines consumed)`.
+fn scan_string(chars: &[char], i: usize) -> (usize, u32) {
+    let quote = chars[i];
+    let mut j = i + 1;
+    let mut newlines = 0u32;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                // An escaped newline (line continuation) still ends a line.
+                if chars.get(j + 1) == Some(&'\n') {
+                    newlines += 1;
+                }
+                j += 2;
+            }
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            c if c == quote => return (j + 1, newlines),
+            _ => j += 1,
+        }
+    }
+    (j, newlines)
+}
+
+/// Whether `r`/`b` at `i` begins a raw/byte string (`r"`, `r#`, `b"`, `br`).
+fn is_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'"') {
+            return true;
+        }
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return chars.get(j) == Some(&'"');
+    }
+    false
+}
+
+/// Scans `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` starting at `r`/`b`.
+fn scan_raw_or_byte(chars: &[char], i: usize) -> (usize, u32) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // At the opening quote.
+    if !raw {
+        let (end, newlines) = scan_string(chars, j);
+        return (end, newlines);
+    }
+    j += 1; // past '"'
+    let mut newlines = 0u32;
+    while j < chars.len() {
+        if chars[j] == '\n' {
+            newlines += 1;
+            j += 1;
+            continue;
+        }
+        if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (k, newlines);
+            }
+        }
+        j += 1;
+    }
+    (j, newlines)
+}
+
+/// Scans a numeric literal, including `1_000`, `0xff`, `1.5`, `1.5e-3`,
+/// and suffixes (`1u32`, `1.0f64`). Does not swallow range dots (`1..2`).
+fn scan_number(chars: &[char], i: usize) -> usize {
+    let mut j = i;
+    let mut last = '\0';
+    while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+        last = chars[j];
+        j += 1;
+    }
+    // Fraction: only when the dot is followed by a digit (not `1..2`,
+    // not `1.max(…)`).
+    if chars.get(j) == Some(&'.') && chars.get(j + 1).is_some_and(char::is_ascii_digit) {
+        j += 1;
+        while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            last = chars[j];
+            j += 1;
+        }
+    }
+    // Signed exponent: `1.5e-3` / `2E+10`.
+    if (last == 'e' || last == 'E')
+        && matches!(chars.get(j), Some(&'+') | Some(&'-'))
+        && chars.get(j + 1).is_some_and(char::is_ascii_digit)
+    {
+        j += 1;
+        while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Maximal-munch operator match at the head of `rest`.
+fn match_op(rest: &[char]) -> String {
+    let take = |n: usize| rest.iter().take(n).collect::<String>();
+    if rest.len() >= 3 {
+        let three = take(3);
+        if OPS3.contains(&three.as_str()) {
+            return three;
+        }
+    }
+    if rest.len() >= 2 {
+        let two = take(2);
+        if OPS2.contains(&two.as_str()) {
+            return two;
+        }
+    }
+    take(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_ops_numbers() {
+        assert_eq!(
+            texts("let x = a + 42;"),
+            vec!["let", "x", "=", "a", "+", "42", ";"]
+        );
+    }
+
+    #[test]
+    fn two_char_ops_are_single_tokens() {
+        assert_eq!(texts("a == b != c"), vec!["a", "==", "b", "!=", "c"]);
+        assert_eq!(texts("x += 1"), vec!["x", "+=", "1"]);
+        assert_eq!(texts("a::b..=c"), vec!["a", "::", "b", "..=", "c"]);
+    }
+
+    #[test]
+    fn exponent_minus_is_not_an_operator() {
+        assert_eq!(texts("let eps = 1.5e-3;"), vec!["let", "eps", "=", "1.5e-3", ";"]);
+        assert_eq!(texts("2E+10"), vec!["2E+10"]);
+    }
+
+    #[test]
+    fn range_dots_not_swallowed_by_number() {
+        assert_eq!(texts("0..10"), vec!["0", "..", "10"]);
+        assert_eq!(texts("1.5..2.5"), vec!["1.5", "..", "2.5"]);
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        let toks = lex("let s = \"a == b // not a comment\"; let c = 'x';").toks;
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        // Nothing inside the string leaked out as tokens.
+        assert!(!toks.iter().any(|t| t.is_op("==")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r####"let s = r#"contains "quotes" and == ops"#;"####).toks;
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(!toks.iter().any(|t| t.is_op("==")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").toks;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            3
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 0);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let out = lex("a\n// lint:allow panic-path\nb /* block\nstill block */ c");
+        assert_eq!(out.line_comments.len(), 1);
+        assert_eq!(out.line_comments[0].0, 2);
+        assert!(out.line_comments[0].1.contains("lint:allow"));
+        let c = out.toks.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(texts("a /* x /* y */ z */ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn line_numbers_track_strings() {
+        let out = lex("let a = \"multi\nline\";\nlet b = 1;");
+        let b = out.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_string_continuations() {
+        let out = lex("let a = \"one \\\n  two\";\nlet b = 1;");
+        let b = out.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,0 +1,342 @@
+//! `loki-lint` — workspace static analysis for Loki's privacy invariants.
+//!
+//! The paper's mitigation is structural: raw answers and quasi-identifiers
+//! are obfuscated at the source and never reach the server; the privacy
+//! accountant's arithmetic saturates; mechanism noise is reproducible.
+//! None of that survives refactoring unless it is mechanically checked.
+//! This crate is that check: a dependency-free token-level analyzer with a
+//! rule registry ([`rules::registry`]), a config (`loki-lint.toml`), a
+//! committed baseline for grandfathered violations (`loki-lint.baseline`),
+//! and human/JSON output — run as `cargo run -p loki-lint`.
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use config::Config;
+use source::SourceFile;
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`panic-path`, `sensitive-egress`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Explanation, including the fix direction.
+    pub message: String,
+    /// Trimmed source line (the baseline matching key).
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// The human output format: `file:line: rule-id: message`.
+    pub fn render_human(&self) -> String {
+        format!("{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Runs every enabled rule over one in-memory source file. This is the
+/// entry point the fixture tests use; [`analyze_workspace`] funnels every
+/// on-disk file through it.
+pub fn analyze_source(
+    rel_path: &str,
+    crate_name: &str,
+    src: &str,
+    cfg: &Config,
+) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel_path, crate_name, src);
+    let mut out = Vec::new();
+    for rule in rules::registry() {
+        if cfg.rule_enabled(rule.id()) {
+            rule.check(&file, cfg, &mut out);
+        }
+    }
+    out
+}
+
+/// Walks the workspace at `root` and analyzes every `.rs` file, in
+/// deterministic (sorted-path) order.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &cfg.excludes(), &mut files)?;
+    files.sort();
+    let mut crate_names: HashMap<String, String> = HashMap::new();
+    let mut out = Vec::new();
+    for rel in files {
+        let crate_name = crate_name_for(root, &rel, &mut crate_names);
+        let src = fs::read_to_string(root.join(&rel))?;
+        out.extend(analyze_source(&rel, &crate_name, &src, cfg));
+    }
+    Ok(out)
+}
+
+/// Recursively collects `.rs` paths relative to `root`, skipping hidden
+/// directories, `target`, and configured exclude prefixes.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    excludes: &[String],
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = rel_path(root, &path);
+        if excludes.iter().any(|e| rel == *e || rel.starts_with(&format!("{e}/"))) {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect_rs_files(root, &path, excludes, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Resolves the Cargo package name owning `rel` (cached per crate dir):
+/// `crates/<d>/…` reads `crates/<d>/Cargo.toml`, falling back to
+/// `loki-<d>`; anything else belongs to the root facade package.
+fn crate_name_for(root: &Path, rel: &str, cache: &mut HashMap<String, String>) -> String {
+    let Some(dir) = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+    else {
+        return cache
+            .entry(String::new())
+            .or_insert_with(|| {
+                manifest_package_name(&root.join("Cargo.toml"))
+                    .unwrap_or_else(|| "loki".to_string())
+            })
+            .clone();
+    };
+    cache
+        .entry(dir.to_string())
+        .or_insert_with(|| {
+            manifest_package_name(&root.join("crates").join(dir).join("Cargo.toml"))
+                .unwrap_or_else(|| format!("loki-{dir}"))
+        })
+        .clone()
+}
+
+/// Extracts `name = "…"` from a manifest's `[package]` section.
+fn manifest_package_name(manifest: &Path) -> Option<String> {
+    let text = fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                return Some(value.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::from_toml("").unwrap()
+    }
+
+    fn rules_hit(diags: &[Diagnostic]) -> Vec<&'static str> {
+        let mut rules: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+        rules.dedup();
+        rules
+    }
+
+    #[test]
+    fn sensitive_type_in_server_pub_fn_is_flagged() {
+        let diags = analyze_source(
+            "crates/server/src/api.rs",
+            "loki-server",
+            "pub fn export(w: WorkerId) -> BirthDate { todo() }\n",
+            &cfg(),
+        );
+        assert_eq!(rules_hit(&diags), vec!["sensitive-egress"]);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn sensitive_type_in_client_is_fine() {
+        let diags = analyze_source(
+            "crates/client/src/lib.rs",
+            "loki-client",
+            "pub fn profile() -> WorkerProfile { make() }\n",
+            &cfg(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn pub_crate_visibility_is_not_egress() {
+        let diags = analyze_source(
+            "crates/server/src/internal.rs",
+            "loki-server",
+            "pub(crate) fn keep(w: &WorkerId) {}\n",
+            &cfg(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn sensitive_derive_outside_client_is_flagged() {
+        let diags = analyze_source(
+            "crates/core/src/types.rs",
+            "loki-core",
+            "#[derive(Debug, Clone)]\nstruct QuasiIdentifier { zip: String }\n",
+            &cfg(),
+        );
+        assert_eq!(rules_hit(&diags), vec!["sensitive-egress"]);
+        assert!(diags[0].message.contains("Debug"), "{diags:?}");
+    }
+
+    #[test]
+    fn unseeded_rng_in_dp_is_flagged() {
+        let diags = analyze_source(
+            "crates/dp/src/mechanisms/laplace.rs",
+            "loki-dp",
+            "fn sample() -> f64 { rand::thread_rng().gen() }\n",
+            &cfg(),
+        );
+        assert_eq!(rules_hit(&diags), vec!["unseeded-rng"]);
+    }
+
+    #[test]
+    fn unseeded_rng_outside_dp_is_ignored() {
+        let diags = analyze_source(
+            "crates/bench/src/lib.rs",
+            "loki-bench",
+            "fn sample() -> f64 { rand::thread_rng().gen() }\n",
+            &cfg(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn float_eq_on_budget_is_flagged_but_ordering_is_not() {
+        let src = "fn check(epsilon: f64, budget: f64) -> bool {\n\
+                       if epsilon == budget { return true; }\n\
+                       epsilon <= budget\n\
+                   }\n";
+        let diags = analyze_source("crates/dp/src/x.rs", "loki-dp", src, &cfg());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "float-eq-budget");
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn float_eq_on_unrelated_floats_is_ignored() {
+        let diags = analyze_source(
+            "crates/dp/src/x.rs",
+            "loki-dp",
+            "fn f(k: usize, n: usize) -> bool { k == n }\n",
+            &cfg(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn panic_paths_in_net_are_flagged() {
+        let src = "fn serve(buf: &[u8], n: usize) {\n\
+                       let h = parse(buf).unwrap();\n\
+                       let b = &buf[..n];\n\
+                       panic!(\"bad\");\n\
+                       let v = opt.unwrap_or_default();\n\
+                   }\n";
+        let diags = analyze_source("crates/net/src/x.rs", "loki-net", src, &cfg());
+        let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![2, 3, 4], "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "panic-path"));
+    }
+
+    #[test]
+    fn panic_paths_in_tests_are_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); a[0]; }\n}\n";
+        let diags = analyze_source("crates/net/src/x.rs", "loki-net", src, &cfg());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn lint_allow_suppresses() {
+        let src = "fn f(xs: &[u8]) -> u8 {\n\
+                       // lint:allow panic-path -- length checked by caller\n\
+                       xs[0]\n\
+                   }\n";
+        let diags = analyze_source("crates/net/src/x.rs", "loki-net", src, &cfg());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unchecked_budget_arith_flagged_in_ledger() {
+        let src = "fn p95(losses: &[f64], n: usize) -> f64 { losses[n - 1] }\n";
+        let diags = analyze_source(
+            "crates/core/src/ledger.rs",
+            "loki-core",
+            src,
+            &cfg(),
+        );
+        assert_eq!(rules_hit(&diags), vec!["unchecked-budget-arith"], "{diags:?}");
+    }
+
+    #[test]
+    fn saturating_arith_is_clean() {
+        let src = "fn p95(losses: &[f64], n: usize) -> Option<f64> {\n\
+                       losses.get(n.saturating_sub(1)).copied()\n\
+                   }\n";
+        let diags = analyze_source(
+            "crates/core/src/ledger.rs",
+            "loki-core",
+            src,
+            &cfg(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn disabled_rule_is_skipped() {
+        let cfg = Config::from_toml("[rules.panic-path]\nenabled = false\n").unwrap();
+        let diags = analyze_source(
+            "crates/net/src/x.rs",
+            "loki-net",
+            "fn f() { x.unwrap(); }\n",
+            &cfg,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

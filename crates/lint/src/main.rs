@@ -1,0 +1,264 @@
+//! The `loki-lint` command-line driver.
+//!
+//! ```text
+//! cargo run -p loki-lint                  # diff against the baseline
+//! cargo run -p loki-lint -- --deny-new    # CI mode: also fail on stale entries
+//! cargo run -p loki-lint -- --format json # machine-readable output
+//! cargo run -p loki-lint -- --write-baseline  # regenerate the baseline
+//! ```
+//!
+//! Exit codes: `0` clean, `1` new violations (or, under `--deny-new`,
+//! stale baseline entries), `2` usage/IO error.
+
+use loki_lint::baseline::Baseline;
+use loki_lint::config::Config;
+use loki_lint::{analyze_workspace, rules, Diagnostic};
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    format: Format,
+    write_baseline: bool,
+    deny_new: bool,
+    list_rules: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("loki-lint: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::registry() {
+            out(&format!("{:<24} {}", rule.id(), rule.description()));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config_path = opts
+        .config
+        .clone()
+        .unwrap_or_else(|| opts.root.join("loki-lint.toml"));
+    let cfg = match load_config(&config_path) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("loki-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match analyze_workspace(&opts.root, &cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("loki-lint: failed to scan {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("loki-lint.baseline"));
+
+    if opts.write_baseline {
+        let text = Baseline::render(&findings);
+        if let Err(e) = fs::write(&baseline_path, text) {
+            eprintln!(
+                "loki-lint: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        out(&format!(
+            "wrote {} entries to {}",
+            findings.len(),
+            baseline_path.display()
+        ));
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match load_baseline(&baseline_path) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("loki-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = baseline.diff(&findings);
+
+    match opts.format {
+        Format::Human => {
+            for d in &diff.new {
+                out(&d.render_human());
+            }
+            for e in &diff.stale {
+                out(&format!(
+                    "{}: stale baseline entry ({}): no longer found: {}",
+                    e.file, e.rule, e.snippet
+                ));
+            }
+            out(&format!(
+                "loki-lint: {} file findings, {} baselined, {} new, {} stale",
+                findings.len(),
+                baseline.len(),
+                diff.new.len(),
+                diff.stale.len()
+            ));
+        }
+        Format::Json => out(&render_json(&findings, &diff.new, &diff.stale)),
+    }
+
+    if !diff.new.is_empty() || (opts.deny_new && !diff.stale.is_empty()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+const USAGE: &str = "usage: loki-lint [--root DIR] [--config FILE] [--baseline FILE]
+                 [--format human|json] [--write-baseline] [--deny-new] [--list-rules]";
+
+/// Writes one line to stdout, ignoring write failures such as a closed
+/// pipe (`loki-lint | head`) — the exit code, not the stream, carries
+/// the verdict.
+fn out(text: &str) {
+    use std::io::Write;
+    let mut stdout = std::io::stdout().lock();
+    let _ = stdout
+        .write_all(text.as_bytes())
+        .and_then(|()| stdout.write_all(b"\n"));
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        config: None,
+        baseline: None,
+        format: Format::Human,
+        write_baseline: false,
+        deny_new: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(value("--root")?),
+            "--config" => opts.config = Some(PathBuf::from(value("--config")?)),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--deny-new" => opts.deny_new = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err("help requested".to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Reads the config; a missing file means built-in defaults.
+fn load_config(path: &std::path::Path) -> Result<Config, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => Config::from_toml(&text)
+            .map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            Config::from_toml("").map_err(|e| e.to_string())
+        }
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Reads the baseline; a missing file means an empty baseline.
+fn load_baseline(path: &std::path::Path) -> Result<Baseline, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => {
+            Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Machine-readable report. Hand-rendered (the linter is dependency-free);
+/// strings pass through [`json_escape`].
+fn render_json(
+    findings: &[Diagnostic],
+    new: &[Diagnostic],
+    stale: &[loki_lint::baseline::BaselineEntry],
+) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, d) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"message\": \"{}\", \"snippet\": \"{}\", \"new\": {}}}",
+            json_escape(d.rule),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message),
+            json_escape(&d.snippet),
+            new.contains(d)
+        ));
+    }
+    out.push_str("\n  ],\n  \"stale_baseline\": [");
+    for (i, e) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"snippet\": \"{}\"}}",
+            json_escape(&e.rule),
+            json_escape(&e.file),
+            json_escape(&e.snippet)
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"summary\": {{\"total\": {}, \"new\": {}, \"stale\": {}}}\n}}",
+        findings.len(),
+        new.len(),
+        stale.len()
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,86 @@
+//! `float-eq-budget`: no `==`/`!=` on privacy-budget floats.
+//!
+//! ε/δ values are `f64`s produced by composition arithmetic; exact
+//! equality on them is almost always a latent bug (a budget check that
+//! passes or fails on the last ulp). Ordering comparisons (`<=`, `<`) are
+//! fine — that is how budgets are *supposed* to be checked.
+//!
+//! Scope: `crates/dp` and the balancing ledger in `crates/core`.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::rules::{emit, in_scope, mentions_keyword, Rule};
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// See module docs.
+pub struct FloatEqBudget;
+
+const ID: &str = "float-eq-budget";
+
+const DEFAULT_CRATES: &[&str] = &["loki-dp"];
+const DEFAULT_FILES: &[&str] = &["crates/core/src/ledger.rs"];
+const DEFAULT_KEYWORDS: &[&str] = &["epsilon", "eps", "delta", "budget", "loss", "sigma"];
+
+/// How many tokens around the operator are searched for budget operands.
+const WINDOW: usize = 8;
+
+/// Operators that terminate the operand expression on either side.
+const STOPPERS: &[&str] = &[";", "{", "}", "&&", "||"];
+
+impl Rule for FloatEqBudget {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "no ==/!= on epsilon/delta/budget floats; compare with ordering or tolerance"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        if !in_scope(file, cfg, ID, DEFAULT_CRATES, DEFAULT_FILES) {
+            return;
+        }
+        let keywords = cfg.list(ID, "keywords", DEFAULT_KEYWORDS);
+        for (i, t) in file.toks.iter().enumerate() {
+            if !(t.is_op("==") || t.is_op("!=")) {
+                continue;
+            }
+            let mut operand_ident = None;
+            // Scan outward from the operator, stopping at expression
+            // boundaries, looking for a budget-named identifier.
+            'sides: for side in [-1i64, 1i64] {
+                for step in 1..=WINDOW as i64 {
+                    let j = i as i64 + side * step;
+                    if j < 0 {
+                        continue 'sides;
+                    }
+                    let Some(n) = file.toks.get(j as usize) else {
+                        continue 'sides;
+                    };
+                    if STOPPERS.iter().any(|s| n.is_op(s)) {
+                        continue 'sides;
+                    }
+                    if n.kind == TokKind::Ident && mentions_keyword(&n.text, &keywords) {
+                        operand_ident = Some(n.text.clone());
+                        break 'sides;
+                    }
+                }
+            }
+            if let Some(name) = operand_ident {
+                emit(
+                    file,
+                    ID,
+                    t.line,
+                    format!(
+                        "float equality `{}` on budget expression involving `{name}` — \
+                         use ordering/tolerance; exact f64 equality on composed \
+                         epsilon/delta is ulp-fragile",
+                        t.text
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}

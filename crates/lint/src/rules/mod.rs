@@ -1,0 +1,82 @@
+//! The rule registry and helpers shared by rules.
+//!
+//! Each rule is a token-level check over one [`SourceFile`]. All rules
+//! funnel their findings through [`emit`], which applies the two global
+//! filters: test-only code is skipped, and `// lint:allow <rule-id>`
+//! directives (same line or the line above) suppress the finding.
+
+pub mod float_eq_budget;
+pub mod panic_path;
+pub mod sensitive_egress;
+pub mod unchecked_budget_arith;
+pub mod unseeded_rng;
+
+use crate::config::Config;
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// One lint rule.
+pub trait Rule {
+    /// Stable rule id used in diagnostics, baseline entries and
+    /// `lint:allow` directives.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Checks one file, appending findings to `out`.
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>);
+}
+
+/// All registered rules, in diagnostic-output order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(sensitive_egress::SensitiveEgress),
+        Box::new(unseeded_rng::UnseededRng),
+        Box::new(float_eq_budget::FloatEqBudget),
+        Box::new(panic_path::PanicPath),
+        Box::new(unchecked_budget_arith::UncheckedBudgetArith),
+    ]
+}
+
+/// Appends a finding unless the line is test-only or explicitly allowed.
+pub(crate) fn emit(
+    file: &SourceFile,
+    rule: &'static str,
+    line: u32,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    if file.is_test_line(line) || file.is_allowed(rule, line) {
+        return;
+    }
+    out.push(Diagnostic {
+        rule,
+        file: file.rel_path.clone(),
+        line,
+        message,
+        snippet: file.snippet(line),
+    });
+}
+
+/// Whether `file` falls in a rule's scope: its crate is in the rule's
+/// `crates` list, or its path starts with one of the rule's `files`
+/// prefixes. Defaults apply when the config omits the keys.
+pub(crate) fn in_scope(
+    file: &SourceFile,
+    cfg: &Config,
+    rule: &str,
+    default_crates: &[&str],
+    default_files: &[&str],
+) -> bool {
+    let crates = cfg.list(rule, "crates", default_crates);
+    if crates.iter().any(|c| c == &file.crate_name) {
+        return true;
+    }
+    let files = cfg.list(rule, "files", default_files);
+    files.iter().any(|f| file.rel_path.starts_with(f.as_str()))
+}
+
+/// Whether any name in `keywords` occurs (case-insensitively) in `text`.
+pub(crate) fn mentions_keyword(text: &str, keywords: &[String]) -> bool {
+    let lower = text.to_lowercase();
+    keywords.iter().any(|k| lower.contains(&k.to_lowercase()))
+}

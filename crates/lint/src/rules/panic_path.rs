@@ -1,0 +1,121 @@
+//! `panic-path`: no panics on the serving hot path.
+//!
+//! A panic in `loki-net`/`loki-server` tears down a worker thread on
+//! attacker-reachable input — a denial-of-service primitive against the
+//! very platform that is supposed to keep answering with noise. Serving
+//! code must return typed errors instead. Flagged forms:
+//!
+//! * `.unwrap()` / `.expect(…)` (`unwrap_or*` variants are fine),
+//! * panic macros: `panic!`, `unreachable!`, `todo!`, `unimplemented!`,
+//!   `assert!`, `assert_eq!`, `assert_ne!`,
+//! * index/slice expressions `x[…]` (use `.get(…)`).
+//!
+//! Pre-existing sites are grandfathered in the baseline and burned down
+//! over time; new ones fail the build.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::rules::{emit, in_scope, Rule};
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// See module docs.
+pub struct PanicPath;
+
+const ID: &str = "panic-path";
+
+const DEFAULT_CRATES: &[&str] = &["loki-net", "loki-server"];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+impl Rule for PanicPath {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/indexing in serving code (net/server); \
+         return typed errors"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        if !in_scope(file, cfg, ID, DEFAULT_CRATES, &[]) {
+            return;
+        }
+        let toks = &file.toks;
+        for (i, t) in toks.iter().enumerate() {
+            // `.unwrap()` / `.expect(`
+            if t.kind == TokKind::Ident && (t.text == "unwrap" || t.text == "expect") {
+                let after_dot = i > 0 && toks[i - 1].is_op(".");
+                let called = toks.get(i + 1).is_some_and(|n| n.is_op("("));
+                if after_dot && called {
+                    emit(
+                        file,
+                        ID,
+                        t.line,
+                        format!(
+                            ".{}() on the serving path — a malformed input becomes \
+                             a thread-killing panic; return a typed error",
+                            t.text
+                        ),
+                        out,
+                    );
+                }
+                continue;
+            }
+            // Panic-family macros: `ident !` then `(`/`[`/`{`.
+            if t.kind == TokKind::Ident && PANIC_MACROS.contains(&t.text.as_str()) {
+                let bang = toks.get(i + 1).is_some_and(|n| n.is_op("!"));
+                let open = toks.get(i + 2).is_some_and(|n| {
+                    n.is_op("(") || n.is_op("[") || n.is_op("{")
+                });
+                if bang && open {
+                    emit(
+                        file,
+                        ID,
+                        t.line,
+                        format!("`{}!` on the serving path — return a typed error", t.text),
+                        out,
+                    );
+                }
+                continue;
+            }
+            // Index/slice expression: `[` directly after an ident, `)` or `]`.
+            if t.is_op("[") && i > 0 {
+                let p = &toks[i - 1];
+                let indexable =
+                    (p.kind == TokKind::Ident && !is_keyword_before_bracket(&p.text))
+                        || p.is_op(")")
+                        || p.is_op("]");
+                if indexable {
+                    emit(
+                        file,
+                        ID,
+                        t.line,
+                        "index/slice expression on the serving path can panic out of \
+                         bounds — use .get(…)"
+                            .to_string(),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`return [a, b]`, `impl Index<…> for T`, …).
+fn is_keyword_before_bracket(ident: &str) -> bool {
+    matches!(
+        ident,
+        "return" | "break" | "in" | "as" | "mut" | "const" | "static" | "else" | "match"
+    )
+}

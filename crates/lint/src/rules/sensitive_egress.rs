@@ -1,0 +1,319 @@
+//! `sensitive-egress`: sensitive types must not cross the client/server
+//! boundary.
+//!
+//! The paper's whole mitigation (§3) is *at-source* obfuscation: raw
+//! answers and quasi-identifiers (DOB, gender, ZIP — §2's linkage-attack
+//! keys) are noised on the client and never reach the server in the clear.
+//! This rule makes that structural:
+//!
+//! 1. In the *forbidden* crates (the wire and the server), a configured
+//!    sensitive type may not appear in any public item signature —
+//!    `pub fn` parameters/returns, `pub struct`/`enum` bodies, `pub type`
+//!    aliases, or `pub use` re-exports.
+//! 2. Outside the *allowed* crates (the trusted client side, where these
+//!    types legitimately live), a type with a sensitive name may not
+//!    derive `Serialize` or `Debug` — the two easiest accidental egress
+//!    channels (wire encoding and log output).
+
+use crate::config::Config;
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{emit, Rule};
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// See module docs.
+pub struct SensitiveEgress;
+
+const ID: &str = "sensitive-egress";
+
+/// Quasi-identifiers, raw-profile types and stable worker identity — the
+/// exact fields §2's linkage attack joins on, plus the join key itself.
+const DEFAULT_SENSITIVE: &[&str] = &[
+    "BirthDate",
+    "Gender",
+    "ZipCode",
+    "StarSign",
+    "QuasiIdentifier",
+    "PartialProfile",
+    "HealthProfile",
+    "WorkerProfile",
+    "WorkerId",
+];
+
+/// Crates whose public API must never mention a sensitive type.
+const DEFAULT_FORBIDDEN: &[&str] = &["loki-net", "loki-server"];
+
+/// Crates where the sensitive types are defined and may derive
+/// `Serialize`/`Debug` (the at-source, pre-obfuscation side).
+const DEFAULT_ALLOWED_DERIVE: &[&str] = &["loki-survey", "loki-platform", "loki-client"];
+
+impl Rule for SensitiveEgress {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "sensitive types (quasi-identifiers, raw profiles, worker identity) must not \
+         appear in net/server public APIs or derive Serialize/Debug outside client crates"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let sensitive = cfg.list(ID, "sensitive_types", DEFAULT_SENSITIVE);
+        let forbidden = cfg.list(ID, "forbidden_crates", DEFAULT_FORBIDDEN);
+        let allowed_derive = cfg.list(ID, "allowed_derive_crates", DEFAULT_ALLOWED_DERIVE);
+
+        if forbidden.iter().any(|c| c == &file.crate_name) {
+            check_public_signatures(file, &sensitive, out);
+        }
+        if !allowed_derive.iter().any(|c| c == &file.crate_name) {
+            check_derives(file, &sensitive, out);
+        }
+    }
+}
+
+/// Flags sensitive identifiers in public item signatures.
+fn check_public_signatures(file: &SourceFile, sensitive: &[String], out: &mut Vec<Diagnostic>) {
+    let toks = &file.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` visibility is not cross-crate API.
+        if toks.get(i + 1).is_some_and(|t| t.is_op("(")) {
+            i += 1;
+            continue;
+        }
+        let Some((kind, kw_idx)) = item_keyword(toks, i + 1) else {
+            i += 1; // a struct field or similar — covered by its item scan
+            continue;
+        };
+        let end = match kind {
+            ItemKind::Fn => signature_end(toks, kw_idx),
+            ItemKind::TypeBody => body_end(toks, kw_idx),
+            ItemKind::Terminated => semi_end(toks, kw_idx),
+            ItemKind::Skip => {
+                i = kw_idx + 1;
+                continue;
+            }
+        };
+        for t in &toks[kw_idx..end.min(toks.len())] {
+            if t.kind == TokKind::Ident && sensitive.iter().any(|s| s == &t.text) {
+                emit(
+                    file,
+                    ID,
+                    t.line,
+                    format!(
+                        "sensitive type `{}` in public API of `{}` — raw \
+                         quasi-identifiers must stay client-side (at-source obfuscation)",
+                        t.text, file.crate_name
+                    ),
+                    out,
+                );
+            }
+        }
+        i = end.max(i + 1);
+    }
+}
+
+/// Flags `#[derive(Serialize|Debug)]` on a type with a sensitive name.
+fn check_derives(file: &SourceFile, sensitive: &[String], out: &mut Vec<Diagnostic>) {
+    let toks = &file.toks;
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        let is_derive = toks[i].is_op("#")
+            && toks[i + 1].is_op("[")
+            && toks[i + 2].is_ident("derive")
+            && toks[i + 3].is_op("(");
+        if !is_derive {
+            i += 1;
+            continue;
+        }
+        // Collect derived trait names up to the closing `)`.
+        let mut j = i + 4;
+        let mut leaking: Vec<&str> = Vec::new();
+        while let Some(t) = toks.get(j) {
+            if t.is_op(")") {
+                break;
+            }
+            if t.is_ident("Serialize") {
+                leaking.push("Serialize");
+            } else if t.is_ident("Debug") {
+                leaking.push("Debug");
+            }
+            j += 1;
+        }
+        let attr_line = toks[i].line;
+        // Find the annotated item's name: skip to past `]`, then over
+        // further attributes / visibility to `struct`/`enum` + Ident.
+        let mut k = j;
+        while let Some(t) = toks.get(k) {
+            if t.is_op("]") {
+                k += 1;
+                break;
+            }
+            k += 1;
+        }
+        let name = item_name_after_attrs(toks, k);
+        if let Some(name_tok) = name {
+            if !leaking.is_empty() && sensitive.iter().any(|s| s == &name_tok.text) {
+                emit(
+                    file,
+                    ID,
+                    attr_line,
+                    format!(
+                        "sensitive type `{}` derives {} in `{}` — wire/log egress \
+                         outside the trusted client crates",
+                        name_tok.text,
+                        leaking.join("+"),
+                        file.crate_name
+                    ),
+                    out,
+                );
+            }
+        }
+        i = k.max(i + 1);
+    }
+}
+
+enum ItemKind {
+    /// `fn` — scan the signature only (to the body `{` or `;`).
+    Fn,
+    /// `struct` / `enum` / `trait` / `union` — scan the whole body.
+    TypeBody,
+    /// `type` / `use` / `static` / `const` — scan to `;`.
+    Terminated,
+    /// `mod` / `impl` — members carry their own `pub`.
+    Skip,
+}
+
+/// Classifies the item following a `pub`, skipping modifiers
+/// (`const fn`, `async`, `unsafe`, `extern "C"`).
+fn item_keyword(toks: &[Tok], mut i: usize) -> Option<(ItemKind, usize)> {
+    loop {
+        let t = toks.get(i)?;
+        if t.kind == TokKind::Str {
+            i += 1; // extern ABI string
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            return None;
+        }
+        return match t.text.as_str() {
+            "async" | "unsafe" | "extern" => {
+                i += 1;
+                continue;
+            }
+            "const" => {
+                // `pub const fn` (modifier) vs `pub const NAME: …` (item).
+                if toks.get(i + 1).is_some_and(|n| n.is_ident("fn")) {
+                    i += 1;
+                    continue;
+                }
+                Some((ItemKind::Terminated, i))
+            }
+            "fn" => Some((ItemKind::Fn, i)),
+            "struct" | "enum" | "trait" | "union" => Some((ItemKind::TypeBody, i)),
+            "type" | "use" | "static" => Some((ItemKind::Terminated, i)),
+            "mod" | "impl" => Some((ItemKind::Skip, i)),
+            _ => None, // a struct field like `pub name: String`
+        };
+    }
+}
+
+/// Token index just past a `fn` signature: the body `{` or terminating `;`.
+fn signature_end(toks: &[Tok], mut i: usize) -> usize {
+    let mut depth = 0i32; // ()/<> don't matter: `{` can't appear in a sig head
+    while let Some(t) = toks.get(i) {
+        if t.is_op("(") || t.is_op("[") {
+            depth += 1;
+        } else if t.is_op(")") || t.is_op("]") {
+            depth -= 1;
+        } else if depth == 0 && (t.is_op("{") || t.is_op(";")) {
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Token index just past an item's `{…}` body (or its `;` for bodiless
+/// forms like `struct Unit;`).
+fn body_end(toks: &[Tok], mut i: usize) -> usize {
+    while let Some(t) = toks.get(i) {
+        if t.is_op(";") {
+            return i + 1;
+        }
+        if t.is_op("{") {
+            let mut depth = 0i32;
+            while let Some(t2) = toks.get(i) {
+                if t2.is_op("{") {
+                    depth += 1;
+                } else if t2.is_op("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                i += 1;
+            }
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Token index just past the item's terminating `;`.
+fn semi_end(toks: &[Tok], mut i: usize) -> usize {
+    while let Some(t) = toks.get(i) {
+        if t.is_op(";") {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// The type name after optional further attributes and visibility:
+/// `…] #[other] pub struct Name` → `Name`.
+fn item_name_after_attrs<'a>(toks: &'a [Tok], mut i: usize) -> Option<&'a Tok> {
+    loop {
+        let t = toks.get(i)?;
+        if t.is_op("#") && toks.get(i + 1).is_some_and(|n| n.is_op("[")) {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while let Some(t2) = toks.get(j) {
+                if t2.is_op("[") {
+                    depth += 1;
+                } else if t2.is_op("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        if t.is_ident("pub") {
+            if toks.get(i + 1).is_some_and(|n| n.is_op("(")) {
+                // skip `(crate)` etc.
+                let mut j = i + 2;
+                while toks.get(j).is_some_and(|t2| !t2.is_op(")")) {
+                    j += 1;
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if t.is_ident("struct") || t.is_ident("enum") || t.is_ident("union") {
+            return toks.get(i + 1);
+        }
+        return None;
+    }
+}

@@ -1,0 +1,71 @@
+//! `unchecked-budget-arith`: budget accounting must use saturating ops.
+//!
+//! The accountant's correctness depends on composition arithmetic that
+//! *cannot* wrap, underflow, or produce NaN: ε must saturate at `∞`, δ at
+//! `1.0`, and index/count arithmetic over loss vectors must not underflow
+//! `usize`. The `loki-dp` params layer provides `saturating_add`/`scale`/
+//! `compose` for exactly this reason.
+//!
+//! In the accounting files, raw `+`/`-`/`+=`/`-=` on a line that
+//! manipulates budget state (named epsilon/delta/budget/loss/spent) is
+//! flagged; route the arithmetic through the saturating helpers instead.
+
+use crate::config::Config;
+use crate::rules::{emit, in_scope, mentions_keyword, Rule};
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// See module docs.
+pub struct UncheckedBudgetArith;
+
+const ID: &str = "unchecked-budget-arith";
+
+const DEFAULT_FILES: &[&str] = &[
+    "crates/core/src/ledger.rs",
+    "crates/dp/src/accountant.rs",
+];
+const DEFAULT_KEYWORDS: &[&str] = &["epsilon", "delta", "budget", "loss", "spent"];
+const RAW_OPS: &[&str] = &["+", "-", "+=", "-="];
+
+impl Rule for UncheckedBudgetArith {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "budget accounting must use saturating/checked arithmetic \
+         (saturating_add/compose), not raw +/-"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        if !in_scope(file, cfg, ID, &[], DEFAULT_FILES) {
+            return;
+        }
+        let keywords = cfg.list(ID, "keywords", DEFAULT_KEYWORDS);
+        let mut last_line = 0u32;
+        for t in &file.toks {
+            if !RAW_OPS.iter().any(|o| t.is_op(o)) {
+                continue;
+            }
+            // One diagnostic per line is enough — the fix is per-expression.
+            if t.line == last_line {
+                continue;
+            }
+            if mentions_keyword(&file.snippet(t.line), &keywords) {
+                last_line = t.line;
+                emit(
+                    file,
+                    ID,
+                    t.line,
+                    format!(
+                        "raw `{}` in budget accounting — use saturating/checked \
+                         arithmetic (Epsilon::saturating_add, PrivacyLoss::compose, \
+                         usize::saturating_sub) so composition cannot wrap",
+                        t.text
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}

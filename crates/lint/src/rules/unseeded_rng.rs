@@ -1,0 +1,53 @@
+//! `unseeded-rng`: mechanism code must take an injected `Rng`.
+//!
+//! Every DP mechanism in `crates/dp` samples noise through a caller-
+//! provided `&mut R: Rng` so experiments are reproducible and tests can
+//! assert exact outputs. Ambient entropy (`thread_rng()`,
+//! `from_entropy()`) silently breaks both and makes noise audits
+//! impossible — ban it in mechanism code.
+
+use crate::config::Config;
+use crate::rules::{emit, in_scope, Rule};
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// See module docs.
+pub struct UnseededRng;
+
+const ID: &str = "unseeded-rng";
+
+const DEFAULT_CRATES: &[&str] = &["loki-dp"];
+const DEFAULT_BANNED: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
+
+impl Rule for UnseededRng {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "mechanism code must use an injected Rng, never ambient entropy \
+         (thread_rng/from_entropy/OsRng)"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        if !in_scope(file, cfg, ID, DEFAULT_CRATES, &[]) {
+            return;
+        }
+        let banned = cfg.list(ID, "banned", DEFAULT_BANNED);
+        for t in &file.toks {
+            if banned.iter().any(|b| t.is_ident(b)) {
+                emit(
+                    file,
+                    ID,
+                    t.line,
+                    format!(
+                        "ambient entropy source `{}` in `{}` — mechanisms must \
+                         take an injected `Rng` for reproducible noise",
+                        t.text, file.crate_name
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-file analysis context.
+//!
+//! A [`SourceFile`] bundles everything a rule needs to inspect one file:
+//! the token stream, which lines fall inside `#[cfg(test)]` modules or
+//! `tests/`-style paths (rules skip those by default), the raw lines (for
+//! diagnostic snippets), and the inline `// lint:allow <rule-id>`
+//! suppressions.
+
+use crate::lexer::{lex, Tok};
+use std::ops::Range;
+use std::path::Path;
+
+/// One analyzed source file.
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Cargo package name owning this file (e.g. `loki-dp`).
+    pub crate_name: String,
+    /// Token stream.
+    pub toks: Vec<Tok>,
+    /// Raw source lines (for snippets), 0-indexed by `line - 1`.
+    pub lines: Vec<String>,
+    /// 1-based line ranges covered by `#[cfg(test)]` items.
+    test_spans: Vec<Range<u32>>,
+    /// Whether the *whole file* is test-like (under `tests/`, `benches/`,
+    /// `examples/`).
+    all_test: bool,
+    /// `(line, rule-id)` pairs from `// lint:allow <rule-id>` comments.
+    allows: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    /// Parses `src` into an analysis context.
+    pub fn parse(rel_path: &str, crate_name: &str, src: &str) -> SourceFile {
+        let out = lex(src);
+        let test_spans = find_test_spans(&out.toks);
+        let allows = find_allows(&out.line_comments);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            toks: out.toks,
+            lines: src.lines().map(str::to_string).collect(),
+            test_spans,
+            all_test: path_is_testlike(rel_path),
+            allows,
+        }
+    }
+
+    /// Whether `line` (1-based) is test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.all_test || self.test_spans.iter().any(|r| r.contains(&line))
+    }
+
+    /// Whether rule `rule_id` is suppressed at `line` — a matching
+    /// `// lint:allow` on the same line or the line directly above.
+    pub fn is_allowed(&self, rule_id: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, id)| id == rule_id && (*l == line || *l + 1 == line))
+    }
+
+    /// The trimmed source text of `line` (1-based), for snippets.
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// Whether any path component marks the file as test/bench/example code.
+fn path_is_testlike(rel_path: &str) -> bool {
+    Path::new(rel_path).components().any(|c| {
+        matches!(
+            c.as_os_str().to_str(),
+            Some("tests") | Some("benches") | Some("examples")
+        )
+    })
+}
+
+/// Scans `// lint:allow id1 id2` / `// lint:allow id1, id2` directives.
+fn find_allows(comments: &[(u32, String)]) -> Vec<(u32, String)> {
+    let mut allows = Vec::new();
+    for (line, text) in comments {
+        let Some(rest) = text.trim().strip_prefix("lint:allow") else {
+            continue;
+        };
+        for id in rest.split([',', ' ']).filter(|s| !s.is_empty()) {
+            allows.push((*line, id.to_string()));
+        }
+    }
+    allows
+}
+
+/// Finds the 1-based line ranges of items annotated `#[cfg(test)]`.
+///
+/// After each `#[cfg(test)]` attribute, the covered span runs from the
+/// attribute to the close of the item's brace block (tracking nesting), or
+/// to the terminating `;` for block-less items.
+fn find_test_spans(toks: &[Tok]) -> Vec<Range<u32>> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(after_attr) = match_cfg_test_attr(toks, i) {
+            let start_line = toks[i].line;
+            let end = item_end(toks, after_attr);
+            let end_line = toks
+                .get(end.saturating_sub(1))
+                .map_or(start_line, |t| t.line);
+            spans.push(start_line..end_line + 1);
+            i = end.max(after_attr);
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// If `toks[i..]` begins `# [ cfg ( test` (with optional extra clauses up
+/// to the closing `]`), returns the index just past the attribute's `]`.
+fn match_cfg_test_attr(toks: &[Tok], i: usize) -> Option<usize> {
+    if !toks.get(i)?.is_op("#") || !toks.get(i + 1)?.is_op("[") {
+        return None;
+    }
+    if !toks.get(i + 2)?.is_ident("cfg") || !toks.get(i + 3)?.is_op("(") {
+        return None;
+    }
+    // Require `test` somewhere inside the cfg predicate — covers plain
+    // `cfg(test)` and `cfg(any(test, feature = "…"))`.
+    let mut j = i + 4;
+    let mut depth = 1i32; // inside the `(`
+    let mut saw_test = false;
+    while let Some(t) = toks.get(j) {
+        if t.is_op("(") {
+            depth += 1;
+        } else if t.is_op(")") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_ident("test") {
+            saw_test = true;
+        }
+        j += 1;
+    }
+    if !saw_test {
+        return None;
+    }
+    // Expect the attribute's closing `]` after the cfg `)`.
+    let close = toks.get(j + 1)?;
+    if close.is_op("]") {
+        Some(j + 2)
+    } else {
+        None
+    }
+}
+
+/// Returns the token index just past the item starting at `i` (skipping
+/// further attributes), i.e. past its matched `{…}` block or past `;`.
+fn item_end(toks: &[Tok], mut i: usize) -> usize {
+    // Skip any further attributes (`#[test]`, `#[allow(…)]`, …).
+    while i + 1 < toks.len() && toks[i].is_op("#") && toks[i + 1].is_op("[") {
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while let Some(t) = toks.get(j) {
+            if t.is_op("[") {
+                depth += 1;
+            } else if t.is_op("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    // Walk to the item's opening `{` or a bare `;` (e.g. `mod tests;`),
+    // skipping braces that belong to expressions is unnecessary here: the
+    // first `{` after a mod/fn/impl header *is* the body.
+    let mut j = i;
+    while let Some(t) = toks.get(j) {
+        if t.is_op(";") {
+            return j + 1;
+        }
+        if t.is_op("{") {
+            let mut depth = 0i32;
+            let mut k = j;
+            while let Some(t2) = toks.get(k) {
+                if t2.is_op("{") {
+                    depth += 1;
+                } else if t2.is_op("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k + 1;
+                    }
+                }
+                k += 1;
+            }
+            return k;
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_span_covers_body() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn live2() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", "x", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_any_test_is_recognized() {
+        let src = "#[cfg(any(test, feature = \"bench\"))]\nmod helpers { fn h() {} }\nfn live() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", "x", src);
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let src = "#[cfg(feature = \"extra\")]\nmod extra { fn f() {} }\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", "x", src);
+        assert!(!f.is_test_line(2));
+    }
+
+    #[test]
+    fn attr_between_cfg_and_item_is_skipped() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n fn t() {}\n}\nfn live() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", "x", src);
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn integration_test_paths_are_all_test() {
+        let f = SourceFile::parse("tests/end_to_end.rs", "loki", "fn f() {}\n");
+        assert!(f.is_test_line(1));
+        let f = SourceFile::parse("crates/dp/benches/mech.rs", "loki-dp", "fn f() {}\n");
+        assert!(f.is_test_line(1));
+        let f = SourceFile::parse("crates/dp/src/lib.rs", "loki-dp", "fn f() {}\n");
+        assert!(!f.is_test_line(1));
+    }
+
+    #[test]
+    fn allow_directive_same_and_next_line() {
+        let src = "let a = x.unwrap(); // lint:allow panic-path\n\
+                   // lint:allow float-eq-budget, panic-path\n\
+                   let b = y.unwrap();\n\
+                   let c = z.unwrap();\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", "x", src);
+        assert!(f.is_allowed("panic-path", 1));
+        assert!(f.is_allowed("panic-path", 3));
+        assert!(f.is_allowed("float-eq-budget", 3));
+        assert!(!f.is_allowed("panic-path", 4));
+        assert!(!f.is_allowed("unseeded-rng", 1));
+    }
+
+    #[test]
+    fn snippet_is_trimmed() {
+        let f = SourceFile::parse("x.rs", "x", "   let a = 1;  \n");
+        assert_eq!(f.snippet(1), "let a = 1;");
+        assert_eq!(f.snippet(99), "");
+    }
+}

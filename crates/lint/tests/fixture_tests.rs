@@ -1,0 +1,236 @@
+//! Fixture-driven tests for the lint rules.
+//!
+//! Each file in `tests/fixtures/` is a small Rust source with a header
+//! declaring the crate/path identity the linter should assume:
+//!
+//! ```text
+//! //@crate: loki-server
+//! //@path: crates/server/src/api_fixture.rs
+//! ```
+//!
+//! and `//~ rule-id [rule-id…]` markers on every line expected to produce
+//! diagnostics (one id per expected diagnostic; repeat the id for multiple
+//! findings on one line). The harness runs the default rule set over each
+//! fixture and requires the findings to match the markers *exactly* —
+//! missing findings and unexpected findings both fail.
+
+use loki_lint::analyze_source;
+use loki_lint::config::Config;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+/// The crate source dir: under cargo, `$CARGO_MANIFEST_DIR`; under a bare
+/// `rustc --test` build, fall back to the workspace-relative path.
+fn manifest_dir() -> PathBuf {
+    match option_env!("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from("crates/lint"),
+    }
+}
+
+struct Fixture {
+    name: String,
+    crate_name: String,
+    rel_path: String,
+    src: String,
+    /// line -> expected rule ids (multiset, sorted).
+    expected: BTreeMap<u32, Vec<String>>,
+}
+
+fn load_fixtures() -> Vec<Fixture> {
+    let dir = manifest_dir().join("tests/fixtures");
+    let mut fixtures = Vec::new();
+    let entries = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().map(|e| e == "rs") != Some(true) {
+            continue;
+        }
+        let src = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        fixtures.push(parse_fixture(&name, &src));
+    }
+    assert!(!fixtures.is_empty(), "no fixtures found in {}", dir.display());
+    fixtures.sort_by(|a, b| a.name.cmp(&b.name));
+    fixtures
+}
+
+fn parse_fixture(name: &str, src: &str) -> Fixture {
+    let mut crate_name = None;
+    let mut rel_path = None;
+    let mut expected: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        if let Some(v) = line.trim().strip_prefix("//@crate:") {
+            crate_name = Some(v.trim().to_string());
+        }
+        if let Some(v) = line.trim().strip_prefix("//@path:") {
+            rel_path = Some(v.trim().to_string());
+        }
+        if let Some((_, marker)) = line.split_once("//~") {
+            let ids: Vec<String> =
+                marker.split_whitespace().map(str::to_string).collect();
+            assert!(!ids.is_empty(), "{name}:{lineno}: empty //~ marker");
+            expected.entry(lineno).or_default().extend(ids);
+        }
+    }
+    for ids in expected.values_mut() {
+        ids.sort();
+    }
+    Fixture {
+        name: name.to_string(),
+        crate_name: crate_name
+            .unwrap_or_else(|| panic!("{name}: missing //@crate: header")),
+        rel_path: rel_path.unwrap_or_else(|| panic!("{name}: missing //@path: header")),
+        src: src.to_string(),
+        expected,
+    }
+}
+
+/// Fixtures run against the built-in defaults, which the committed
+/// `loki-lint.toml` mirrors — so they stay hermetic under config edits.
+fn default_config() -> Config {
+    Config::from_toml("").expect("empty config parses")
+}
+
+#[test]
+fn fixtures_match_expected_diagnostics() {
+    let cfg = default_config();
+    for fx in load_fixtures() {
+        let diags = analyze_source(&fx.rel_path, &fx.crate_name, &fx.src, &cfg);
+        let mut actual: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        for d in &diags {
+            actual.entry(d.line).or_default().push(d.rule.to_string());
+        }
+        for ids in actual.values_mut() {
+            ids.sort();
+        }
+        assert_eq!(
+            actual, fx.expected,
+            "{}: diagnostics diverge from //~ markers\nactual diagnostics: {:#?}",
+            fx.name, diags
+        );
+    }
+}
+
+#[test]
+fn fixtures_cover_every_rule() {
+    let covered: Vec<String> = load_fixtures()
+        .into_iter()
+        .flat_map(|f| f.expected.into_values().flatten())
+        .collect();
+    for rule in loki_lint::rules::registry() {
+        assert!(
+            covered.iter().any(|c| c == rule.id()),
+            "rule `{}` has no positive fixture coverage",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_exists() {
+    let fixtures = load_fixtures();
+    assert!(
+        fixtures.iter().any(|f| f.expected.is_empty()),
+        "need at least one all-clean fixture as a false-positive canary"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Binary acceptance: deliberately adding a sensitive type to a loki-server
+// public API must make `loki-lint --deny-new` exit non-zero.
+// ---------------------------------------------------------------------------
+
+/// The built binary: provided by cargo for integration tests; a bare-rustc
+/// run can supply `LOKI_LINT_BIN` instead.
+fn lint_binary() -> Option<PathBuf> {
+    match option_env!("CARGO_BIN_EXE_loki-lint") {
+        Some(p) => Some(PathBuf::from(p)),
+        None => std::env::var_os("LOKI_LINT_BIN").map(PathBuf::from),
+    }
+}
+
+#[test]
+fn deny_new_fails_on_sensitive_type_in_server_api() {
+    let Some(bin) = lint_binary() else {
+        eprintln!("skipping: loki-lint binary not available outside cargo");
+        return;
+    };
+    let root = std::env::temp_dir().join(format!("loki-lint-egress-{}", std::process::id()));
+    let server_src = root.join("crates/server/src");
+    fs::create_dir_all(&server_src).expect("create temp workspace");
+    fs::write(
+        root.join("crates/server/Cargo.toml"),
+        "[package]\nname = \"loki-server\"\n",
+    )
+    .expect("write manifest");
+    fs::write(
+        server_src.join("lib.rs"),
+        "pub fn export_profiles() -> Vec<(WorkerId, WorkerProfile)> {\n    Vec::new()\n}\n",
+    )
+    .expect("write leaking source");
+
+    let out = std::process::Command::new(&bin)
+        .args(["--root"])
+        .arg(&root)
+        .args(["--deny-new", "--format", "json"])
+        .output()
+        .expect("run loki-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    fs::remove_dir_all(&root).ok();
+
+    assert!(
+        !out.status.success(),
+        "loki-lint must fail on a sensitive type in a loki-server public API\nstdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("sensitive-egress"),
+        "diagnostic must name the rule\nstdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("WorkerId"),
+        "diagnostic must name the leaked type\nstdout: {stdout}"
+    );
+}
+
+#[test]
+fn binary_reports_clean_tree_with_exit_zero() {
+    let Some(bin) = lint_binary() else {
+        eprintln!("skipping: loki-lint binary not available outside cargo");
+        return;
+    };
+    let root = std::env::temp_dir().join(format!("loki-lint-clean-{}", std::process::id()));
+    let server_src = root.join("crates/server/src");
+    fs::create_dir_all(&server_src).expect("create temp workspace");
+    fs::write(
+        root.join("crates/server/Cargo.toml"),
+        "[package]\nname = \"loki-server\"\n",
+    )
+    .expect("write manifest");
+    fs::write(
+        server_src.join("lib.rs"),
+        "pub fn healthz() -> &'static str {\n    \"ok\"\n}\n",
+    )
+    .expect("write clean source");
+
+    let out = std::process::Command::new(&bin)
+        .args(["--root"])
+        .arg(&root)
+        .args(["--deny-new"])
+        .output()
+        .expect("run loki-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    fs::remove_dir_all(&root).ok();
+
+    assert!(
+        out.status.success(),
+        "clean tree must exit zero\nstdout: {stdout}"
+    );
+}

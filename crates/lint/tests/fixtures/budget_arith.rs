@@ -1,0 +1,29 @@
+//@crate: loki-core
+//@path: crates/core/src/ledger.rs
+// Rule 5: budget accounting must use saturating/checked arithmetic.
+
+pub fn p95_index(losses: &[f64], n: usize) -> f64 {
+    losses[n - 1] //~ unchecked-budget-arith
+}
+
+pub fn total_loss(spent: f64, epsilon: f64) -> f64 {
+    spent + epsilon //~ unchecked-budget-arith
+}
+
+pub fn accumulate(budget: &mut f64, epsilon: f64) {
+    *budget -= epsilon; //~ unchecked-budget-arith
+}
+
+// Saturating forms are the fix.
+pub fn p95_index_checked(losses: &[f64], n: usize) -> Option<f64> {
+    losses.get(n.saturating_sub(1)).copied()
+}
+
+pub fn total_loss_checked(spent: Epsilon, epsilon: Epsilon) -> Epsilon {
+    spent.saturating_add(epsilon)
+}
+
+// Arithmetic on non-budget values is out of scope.
+pub fn midpoint(lo: usize, hi: usize) -> usize {
+    lo + (hi - lo) / 2
+}

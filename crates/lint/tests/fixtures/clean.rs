@@ -1,0 +1,23 @@
+//@crate: loki-server
+//@path: crates/server/src/clean_fixture.rs
+// A well-behaved serving-path file: typed errors, checked access,
+// obfuscated DTOs only. Expected findings: none.
+
+pub fn submit(payload: &[u8]) -> Result<Receipt, SubmitError> {
+    let parsed = decode(payload).map_err(|_| SubmitError::Malformed)?;
+    let first = payload.get(0).copied().ok_or(SubmitError::Empty)?;
+    if first == 0 {
+        return Err(SubmitError::Empty);
+    }
+    Ok(Receipt {
+        accepted: parsed.count,
+    })
+}
+
+pub struct Receipt {
+    pub accepted: usize,
+}
+
+pub fn noisy_histogram(bins: &[u64]) -> Vec<f64> {
+    bins.iter().map(|b| *b as f64).collect()
+}

@@ -1,0 +1,28 @@
+//@crate: loki-core
+//@path: crates/core/src/types_fixture.rs
+// Rule 1b: Serialize/Debug derives on sensitive type names outside the
+// trusted client crates.
+
+#[derive(Debug, Clone, Serialize)] //~ sensitive-egress
+pub struct QuasiIdentifier {
+    dob: String,
+    gender: u8,
+    zip: String,
+}
+
+#[derive(Serialize, Deserialize)] //~ sensitive-egress
+struct WorkerProfile {
+    attrs: Vec<String>,
+}
+
+// Clone/PartialEq alone are not egress channels.
+#[derive(Clone, PartialEq)]
+pub struct BirthDate {
+    year: i32,
+}
+
+// Non-sensitive names may derive whatever they like.
+#[derive(Debug, Serialize)]
+pub struct AggregateRow {
+    mean: f64,
+}

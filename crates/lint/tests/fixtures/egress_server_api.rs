@@ -1,0 +1,39 @@
+//@crate: loki-server
+//@path: crates/server/src/api_fixture.rs
+// Rule 1a: sensitive types in a forbidden crate's public API.
+
+pub struct Export {
+    pub who: WorkerId, //~ sensitive-egress
+    pub count: usize,
+}
+
+pub fn lookup(zip: ZipCode) -> Option<BirthDate> { //~ sensitive-egress sensitive-egress
+    None
+}
+
+pub type ProfileMap = HashMap<WorkerId, WorkerProfile>; //~ sensitive-egress sensitive-egress
+
+pub use loki_survey::demographics::QuasiIdentifier; //~ sensitive-egress
+
+// Restricted visibility is not cross-crate API.
+pub(crate) fn internal(gender: Gender) -> Gender {
+    gender
+}
+
+// Non-sensitive types are fine in public APIs.
+pub fn stats(id: SurveyId) -> Vec<u64> {
+    Vec::new()
+}
+
+// Private items are not egress.
+fn helper(profile: PartialProfile) -> usize {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only signatures are exempt.
+    pub fn probe(w: WorkerId) -> WorkerId {
+        w
+    }
+}

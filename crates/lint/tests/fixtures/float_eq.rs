@@ -1,0 +1,27 @@
+//@crate: loki-dp
+//@path: crates/dp/src/fixture.rs
+// Rule 3: no ==/!= on privacy-budget floats.
+
+pub fn over_budget(epsilon: f64, budget: f64) -> bool {
+    epsilon == budget //~ float-eq-budget
+}
+
+pub fn spent(remaining_budget: f64) -> bool {
+    remaining_budget != 0.0 //~ float-eq-budget
+}
+
+// Ordering comparisons are the correct form.
+pub fn within(epsilon: f64, budget: f64) -> bool {
+    epsilon <= budget
+}
+
+// Equality on non-budget values is out of scope.
+pub fn same_count(k: usize, n: usize) -> bool {
+    k == n
+}
+
+// A justified exact comparison can be allowed inline.
+pub fn degenerate(sigma: f64) -> bool {
+    // lint:allow float-eq-budget
+    sigma == 0.0
+}

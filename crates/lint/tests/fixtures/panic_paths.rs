@@ -1,0 +1,40 @@
+//@crate: loki-net
+//@path: crates/net/src/fixture.rs
+// Rule 4: no panic paths in serving code.
+
+pub fn handle(buf: &[u8], n: usize) -> Header {
+    let header = parse(buf).unwrap(); //~ panic-path
+    let name = header.name().expect("has a name"); //~ panic-path
+    let body = &buf[..n]; //~ panic-path
+    if body.is_empty() {
+        panic!("empty body"); //~ panic-path
+    }
+    assert!(n > 0, "n must be positive"); //~ panic-path
+    header
+}
+
+// Non-panicking forms are the fix.
+pub fn handle_checked(buf: &[u8], n: usize) -> Option<Header> {
+    let header = parse(buf).ok()?;
+    let body = buf.get(..n)?;
+    let fallback = parse(body).unwrap_or_default();
+    Some(header)
+}
+
+// A bounds-proven index can be allowed with justification.
+pub fn first(buf: &[u8]) -> u8 {
+    if buf.is_empty() {
+        return 0;
+    }
+    // lint:allow panic-path
+    buf[0]
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+        v.get(9).unwrap();
+    }
+}

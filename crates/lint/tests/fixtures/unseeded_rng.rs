@@ -1,0 +1,29 @@
+//@crate: loki-dp
+//@path: crates/dp/src/mechanisms/fixture.rs
+// Rule 2: ambient entropy is banned in mechanism code.
+
+pub fn bad_sample() -> f64 {
+    let mut rng = rand::thread_rng(); //~ unseeded-rng
+    rng.gen()
+}
+
+pub fn bad_seed() -> ChaCha20Rng {
+    ChaCha20Rng::from_entropy() //~ unseeded-rng
+}
+
+pub fn bad_os() -> f64 {
+    OsRng.gen() //~ unseeded-rng
+}
+
+// The required shape: the caller injects the RNG.
+pub fn good_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may use ambient entropy freely.
+    fn t() {
+        let _ = rand::thread_rng();
+    }
+}

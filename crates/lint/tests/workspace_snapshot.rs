@@ -1,0 +1,97 @@
+//! Snapshot test: the live workspace vs. the committed baseline.
+//!
+//! Runs the full rule set over the real repository (the same scan
+//! `cargo run -p loki-lint` performs) and requires the result to match
+//! `loki-lint.baseline` *exactly*:
+//!
+//! * no **new** findings — a change that introduces a violation fails
+//!   `cargo test` as well as the CI lint gate;
+//! * no **stale** entries — fixing a grandfathered violation must also
+//!   remove its baseline line, so the baseline only ever shrinks for real.
+
+use loki_lint::analyze_workspace;
+use loki_lint::baseline::Baseline;
+use loki_lint::config::Config;
+use std::fs;
+use std::path::PathBuf;
+
+/// Workspace root: two levels up from the lint crate.
+fn workspace_root() -> PathBuf {
+    let manifest = match option_env!("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from("crates/lint"),
+    };
+    manifest
+        .canonicalize()
+        .unwrap_or(manifest)
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_matches_committed_baseline() {
+    let root = workspace_root();
+    let cfg_text = fs::read_to_string(root.join("loki-lint.toml"))
+        .expect("loki-lint.toml is committed at the workspace root");
+    let cfg = Config::from_toml(&cfg_text).expect("committed config parses");
+    let baseline_text = fs::read_to_string(root.join("loki-lint.baseline"))
+        .expect("loki-lint.baseline is committed at the workspace root");
+    let baseline = Baseline::parse(&baseline_text).expect("committed baseline parses");
+
+    let findings = analyze_workspace(&root, &cfg).expect("workspace scan succeeds");
+    let diff = baseline.diff(&findings);
+
+    assert!(
+        diff.new.is_empty(),
+        "new lint violations not in the baseline — fix them or (for \
+         deliberate grandfathering) run `cargo run -p loki-lint -- \
+         --write-baseline`:\n{}",
+        diff.new
+            .iter()
+            .map(|d| d.render_human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        diff.stale.is_empty(),
+        "stale baseline entries (violations no longer present) — run \
+         `cargo run -p loki-lint -- --write-baseline` to drop them:\n{:#?}",
+        diff.stale
+    );
+}
+
+#[test]
+fn committed_config_pins_rule_scopes() {
+    // The fixtures run against the rules' built-in defaults; this pins the
+    // committed config to the same scopes so the two cannot silently
+    // diverge (a config edit must consciously update this test).
+    let root = workspace_root();
+    let cfg_text = fs::read_to_string(root.join("loki-lint.toml"))
+        .expect("loki-lint.toml is committed at the workspace root");
+    let cfg = Config::from_toml(&cfg_text).expect("committed config parses");
+
+    let scope = |rule: &str, key: &str| cfg.list(rule, key, &["<missing>"]);
+    assert_eq!(
+        scope("sensitive-egress", "forbidden_crates"),
+        ["loki-net", "loki-server"]
+    );
+    assert_eq!(
+        scope("sensitive-egress", "allowed_derive_crates"),
+        ["loki-survey", "loki-platform", "loki-client"]
+    );
+    assert!(
+        scope("sensitive-egress", "sensitive_types")
+            .iter()
+            .any(|t| t == "WorkerId"),
+        "the stable worker identity must stay in the sensitive set"
+    );
+    assert_eq!(scope("unseeded-rng", "crates"), ["loki-dp"]);
+    assert_eq!(scope("panic-path", "crates"), ["loki-net", "loki-server"]);
+    assert_eq!(scope("float-eq-budget", "crates"), ["loki-dp"]);
+    assert_eq!(
+        scope("unchecked-budget-arith", "files"),
+        ["crates/core/src/ledger.rs", "crates/dp/src/accountant.rs"]
+    );
+}

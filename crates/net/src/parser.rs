@@ -145,6 +145,9 @@ impl RequestParser {
         // Parse the head into owned values so the borrow of `buf` ends
         // before the consuming `advance` below.
         let (method, target, headers) = {
+            // header_end is the CRLFCRLF offset found inside buf, so the
+            // slice is in-bounds by construction.
+            // lint:allow panic-path
             let head = &buf[..header_end];
             let mut lines = split_crlf(head);
             let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;

@@ -120,6 +120,9 @@ pub fn load(path: &Path) -> Result<AppState, PersistError> {
 
 /// The ledger entries a submission implies, derived from its level and
 /// the survey's question kinds — identical to what the client declared.
+// Rating/Numeric kinds always carry a range; grandfathered in the
+// panic-path lint baseline pending a typed replay error.
+#[allow(clippy::expect_used)]
 fn releases_for(
     survey: &Survey,
     sub: &StoredSubmission,

@@ -186,7 +186,14 @@ impl AppState {
         // Obfuscated (numeric kinds) or Choice (already RR-perturbed) —
         // never as raw Rating/Numeric values.
         for q in &survey.questions {
-            let answer = response.get(q.id).expect("validated response is complete");
+            let Some(answer) = response.get(q.id) else {
+                // validate() guarantees completeness, but a panic here
+                // would let one inconsistent payload kill a worker thread.
+                return Err(SubmitError::Invalid(format!(
+                    "missing answer for question {}",
+                    q.id.0
+                )));
+            };
             let raw = matches!(
                 (&q.kind, answer),
                 (QuestionKind::Rating { .. }, Answer::Rating(_))

@@ -1,0 +1,104 @@
+//! OBS-1 — submit-path overhead of the observability layer.
+//!
+//! The `loki-obs` instruments (atomic counters + fixed-bucket histograms)
+//! are designed to cost a handful of atomic ops per submission. This
+//! microbench drives `AppState::submit` directly — no network, no WAL —
+//! with metrics disabled vs enabled, and reports the median overhead.
+//! The acceptance bar for the observability layer is <5% on this path.
+
+use loki_bench::{banner, f, n, Table};
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::accountant::ReleaseKind;
+use loki_server::store::AppState;
+use loki_survey::question::{Answer, QuestionKind};
+use loki_survey::response::Response;
+use loki_survey::survey::{Survey, SurveyBuilder, SurveyId};
+use loki_survey::QuestionId;
+use std::time::{Duration, Instant};
+
+const USERS: usize = 2_000;
+const TRIALS: usize = 11;
+
+fn survey() -> Survey {
+    let mut b = SurveyBuilder::new(SurveyId(1), "bench");
+    b.question("rate", QuestionKind::likert5(), false);
+    b.build().expect("static survey")
+}
+
+fn releases() -> Vec<(String, ReleaseKind)> {
+    vec![(
+        "survey-1/q0".into(),
+        ReleaseKind::Gaussian {
+            sigma: 1.0,
+            sensitivity: 4.0,
+        },
+    )]
+}
+
+/// One batch: a fresh state, `USERS` distinct submissions.
+fn run_batch(instrumented: bool) -> Duration {
+    let state = AppState::new();
+    state.add_survey(survey());
+    if instrumented {
+        state.enable_metrics();
+    }
+    let rel = releases();
+    let start = Instant::now();
+    for i in 0..USERS {
+        let user = format!("u{i}");
+        let mut r = Response::new(user.clone(), SurveyId(1));
+        r.answer(QuestionId(0), Answer::Obfuscated(4.0));
+        state
+            .submit(&user, PrivacyLevel::Medium, r, &rel)
+            .expect("bench submission");
+    }
+    start.elapsed()
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    banner(
+        "OBS-1",
+        "observability overhead on the submit path",
+        "metrics must not tax the serving path (<5% target)",
+    );
+
+    // Warm-up interleaved so neither variant benefits from cache state.
+    let mut off = Vec::with_capacity(TRIALS);
+    let mut on = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        off.push(run_batch(false));
+        on.push(run_batch(true));
+    }
+    let off_med = median(&mut off);
+    let on_med = median(&mut on);
+
+    let per_off = off_med.as_nanos() as f64 / USERS as f64;
+    let per_on = on_med.as_nanos() as f64 / USERS as f64;
+    let overhead = (per_on / per_off - 1.0) * 100.0;
+
+    let mut t = Table::new(&["variant", "submits", "median batch ms", "ns/submit"]);
+    t.row(&[
+        "uninstrumented".into(),
+        n(USERS),
+        f(off_med.as_secs_f64() * 1e3),
+        f(per_off),
+    ]);
+    t.row(&[
+        "instrumented".into(),
+        n(USERS),
+        f(on_med.as_secs_f64() * 1e3),
+        f(per_on),
+    ]);
+    println!("{}", t.render());
+    println!("observability overhead: {overhead:+.2}% per submission");
+    if overhead < 5.0 {
+        println!("PASS: within the <5% budget");
+    } else {
+        println!("WARN: above the 5% budget on this run/host");
+    }
+}

@@ -89,12 +89,46 @@ pub struct UploadPreview {
     pub items: Vec<(QuestionId, Answer, Answer)>,
 }
 
+/// Client-side observability: plain attempt/retry/error counters, shared
+/// behind an `Arc` so callers can watch a session they handed off.
+#[derive(Debug, Default)]
+pub struct ClientMetrics {
+    requests: loki_obs::Counter,
+    retries: loki_obs::Counter,
+    http_errors: loki_obs::Counter,
+    api_errors: loki_obs::Counter,
+}
+
+impl ClientMetrics {
+    /// Request attempts issued (retries count as new attempts).
+    pub fn requests(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// Attempts that were retries of a failed transport call.
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Requests that exhausted retries with a transport failure.
+    pub fn http_errors(&self) -> u64 {
+        self.http_errors.get()
+    }
+
+    /// Responses that arrived but carried a non-success status.
+    pub fn api_errors(&self) -> u64 {
+        self.api_errors.get()
+    }
+}
+
 /// The Loki app session for one user.
 #[derive(Debug)]
 pub struct LokiClient {
     http: HttpClient,
     user: String,
     local_ledger: Accountant,
+    metrics: std::sync::Arc<ClientMetrics>,
+    retries: u32,
 }
 
 impl LokiClient {
@@ -104,7 +138,22 @@ impl LokiClient {
             http: HttpClient::new(base_url)?,
             user: user.into(),
             local_ledger: Accountant::new(),
+            metrics: std::sync::Arc::default(),
+            retries: 0,
         })
+    }
+
+    /// Retries transport failures of idempotent GETs up to `n` extra
+    /// attempts. Submissions are never retried: a response that was
+    /// stored but whose acknowledgement was lost must not be re-sent.
+    pub fn with_retries(mut self, n: u32) -> LokiClient {
+        self.retries = n;
+        self
+    }
+
+    /// This session's request/error counters.
+    pub fn metrics(&self) -> std::sync::Arc<ClientMetrics> {
+        std::sync::Arc::clone(&self.metrics)
     }
 
     /// The session's user id.
@@ -112,20 +161,45 @@ impl LokiClient {
         &self.user
     }
 
+    /// GET with transport-level retry (idempotent requests only).
+    fn get_with_retry(&self, path: &str) -> Result<loki_net::http::Response, LokiError> {
+        let mut attempt = 0;
+        loop {
+            self.metrics.requests.inc();
+            match self.http.get(path) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    if attempt >= self.retries {
+                        self.metrics.http_errors.inc();
+                        return Err(LokiError::Http(e));
+                    }
+                    attempt += 1;
+                    self.metrics.retries.inc();
+                }
+            }
+        }
+    }
+
+    /// Maps a non-success response to an error, counting it.
+    fn api_error(&self, what: &str, resp: &loki_net::http::Response) -> LokiError {
+        self.metrics.api_errors.inc();
+        LokiError::Api(format!("{what} failed: {}", resp.status))
+    }
+
     /// Lists available surveys (Fig. 1(a)).
     pub fn list_surveys(&self) -> Result<Vec<SurveyListItem>, LokiError> {
-        let resp = self.http.get("/surveys")?;
+        let resp = self.get_with_retry("/v1/surveys")?;
         if !resp.status.is_success() {
-            return Err(LokiError::Api(format!("list failed: {}", resp.status)));
+            return Err(self.api_error("list", &resp));
         }
         parse_json_response(&resp).map_err(LokiError::Api)
     }
 
     /// Fetches a full survey definition.
     pub fn fetch_survey(&self, id: SurveyId) -> Result<Survey, LokiError> {
-        let resp = self.http.get(&format!("/surveys/{}", id.0))?;
+        let resp = self.get_with_retry(&format!("/v1/surveys/{}", id.0))?;
         if !resp.status.is_success() {
-            return Err(LokiError::Api(format!("fetch failed: {}", resp.status)));
+            return Err(self.api_error("fetch", &resp));
         }
         parse_json_response(&resp).map_err(LokiError::Api)
     }
@@ -181,12 +255,17 @@ impl LokiClient {
             "response": upload,
             "releases": releases,
         });
-        let resp = self.http.post(
-            &format!("/surveys/{}/responses", survey.id.0),
-            "application/json",
-            serde_json::to_vec(&body).map_err(|e| LokiError::Api(e.to_string()))?,
-        )?;
+        self.metrics.requests.inc();
+        let resp = self
+            .http
+            .post(
+                &format!("/v1/surveys/{}/responses", survey.id.0),
+                "application/json",
+                serde_json::to_vec(&body).map_err(|e| LokiError::Api(e.to_string()))?,
+            )
+            .inspect_err(|_| self.metrics.http_errors.inc())?;
         if !resp.status.is_success() {
+            self.metrics.api_errors.inc();
             return Err(LokiError::Api(format!(
                 "submit failed ({}): {}",
                 resp.status,
@@ -214,9 +293,9 @@ impl LokiClient {
         struct LedgerInfo {
             epsilon: Option<f64>,
         }
-        let resp = self.http.get(&format!("/ledger/{}", self.user))?;
+        let resp = self.get_with_retry(&format!("/v1/ledger/{}", self.user))?;
         if !resp.status.is_success() {
-            return Err(LokiError::Api(format!("ledger failed: {}", resp.status)));
+            return Err(self.api_error("ledger", &resp));
         }
         let info: LedgerInfo = parse_json_response(&resp).map_err(LokiError::Api)?;
         Ok(info.epsilon)
@@ -292,7 +371,7 @@ mod tests {
         use loki_net::server::{Server, ServerConfig};
         let captured = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
         let mut router = Router::new();
-        router.get("/surveys", |_, _| {
+        router.get("/v1/surveys", |_, _| {
             HttpResponse::json_bytes(
                 StatusCode::OK,
                 serde_json::to_vec(&serde_json::json!([
@@ -301,7 +380,7 @@ mod tests {
                 .unwrap(),
             )
         });
-        router.get("/surveys/1", |_, _| {
+        router.get("/v1/surveys/1", |_, _| {
             let mut b = SurveyBuilder::new(SurveyId(1), "mock");
             b.question("rate", QuestionKind::likert5(), false);
             HttpResponse::json_bytes(
@@ -310,7 +389,7 @@ mod tests {
             )
         });
         let sink = std::sync::Arc::clone(&captured);
-        router.post("/surveys/1/responses", move |req, _| {
+        router.post("/v1/surveys/1/responses", move |req, _| {
             let body: serde_json::Value = serde_json::from_slice(&req.body).unwrap();
             sink.lock().push(body);
             HttpResponse::json_bytes(
@@ -371,7 +450,7 @@ mod tests {
         use loki_net::router::Router;
         use loki_net::server::{Server, ServerConfig};
         let mut router = Router::new();
-        router.get("/surveys", |_, _| {
+        router.get("/v1/surveys", |_, _| {
             HttpResponse::text(StatusCode::INTERNAL_ERROR, "boom")
         });
         let handle = Server::spawn("127.0.0.1:0", router, ServerConfig::default()).unwrap();
@@ -380,7 +459,41 @@ mod tests {
             Err(LokiError::Api(msg)) => assert!(msg.contains("500"), "{msg}"),
             other => panic!("expected Api error, got {other:?}"),
         }
+        assert_eq!(client.metrics().api_errors(), 1);
         handle.shutdown();
+    }
+
+    #[test]
+    fn metrics_count_attempts_retries_and_transport_errors() {
+        // Nothing listens on port 1, so every attempt fails at transport
+        // level; with 2 retries that is 3 attempts and one final error.
+        let client = LokiClient::connect("http://127.0.0.1:1", "u")
+            .unwrap()
+            .with_retries(2);
+        assert!(matches!(client.list_surveys(), Err(LokiError::Http(_))));
+        let m = client.metrics();
+        assert_eq!(m.requests(), 3);
+        assert_eq!(m.retries(), 2);
+        assert_eq!(m.http_errors(), 1);
+        assert_eq!(m.api_errors(), 0);
+    }
+
+    #[test]
+    fn submissions_are_never_retried() {
+        let mut client = LokiClient::connect("http://127.0.0.1:1", "u")
+            .unwrap()
+            .with_retries(5);
+        let mut rng = ChaCha20Rng::seed_from_u64(9);
+        let mut answers = BTreeMap::new();
+        answers.insert(QuestionId(0), Answer::Rating(4.0));
+        match client.submit(&mut rng, &survey(), &answers, PrivacyLevel::Low) {
+            Err(LokiError::Http(_)) => {}
+            other => panic!("expected transport failure, got {other:?}"),
+        }
+        let m = client.metrics();
+        assert_eq!(m.requests(), 1, "submit must not retry");
+        assert_eq!(m.retries(), 0);
+        assert_eq!(m.http_errors(), 1);
     }
 
     #[test]

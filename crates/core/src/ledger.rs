@@ -83,8 +83,9 @@ impl BudgetBalancer {
         }
     }
 
-    /// Summary of the current loss distribution: (max ε, mean ε, p95 ε)
-    /// over the given users. Infinite losses propagate to max/mean.
+    /// Summary of the current loss distribution (max/mean and the
+    /// p50/p95/p99 quantiles) over the given users. Infinite losses
+    /// propagate to max/mean.
     pub fn loss_summary(&self, accountant: &Accountant, users: &[String]) -> LossSummary {
         let mut losses: Vec<f64> = users
             .iter()
@@ -98,13 +99,24 @@ impl BudgetBalancer {
         } else {
             losses.iter().sum::<f64>() / n as f64
         };
-        let p95 = if n == 0 {
-            0.0
-        } else {
-            losses[((n as f64 * 0.95).ceil() as usize).min(n).saturating_sub(1)]
-        };
-        LossSummary { max, mean, p95 }
+        LossSummary {
+            max,
+            mean,
+            p50: quantile_sorted(&losses, 0.50),
+            p95: quantile_sorted(&losses, 0.95),
+            p99: quantile_sorted(&losses, 0.99),
+        }
     }
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice (0 when empty).
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    let idx = rank.saturating_sub(1).min(sorted.len().saturating_sub(1));
+    sorted.get(idx).copied().unwrap_or(0.0)
 }
 
 /// Distribution summary of cumulative ε across users.
@@ -114,8 +126,14 @@ pub struct LossSummary {
     pub max: f64,
     /// Mean cumulative ε.
     pub mean: f64,
+    /// Median cumulative ε.
+    #[serde(default)]
+    pub p50: f64,
     /// 95th percentile cumulative ε.
     pub p95: f64,
+    /// 99th percentile cumulative ε.
+    #[serde(default)]
+    pub p99: f64,
 }
 
 #[cfg(test)]
@@ -212,7 +230,8 @@ mod tests {
         }
         let b = BudgetBalancer::new(AllocationStrategy::LeastLoss);
         let s = b.loss_summary(&acc, &us);
-        assert!(s.max >= s.p95 && s.p95 >= s.mean && s.mean > 0.0);
+        assert!(s.max >= s.p99 && s.p99 >= s.p95 && s.p95 >= s.p50, "{s:?}");
+        assert!(s.p95 >= s.mean && s.mean > 0.0);
     }
 
     #[test]
@@ -220,7 +239,7 @@ mod tests {
         let acc = Accountant::new();
         let b = BudgetBalancer::new(AllocationStrategy::Uniform);
         let s = b.loss_summary(&acc, &[]);
-        assert_eq!((s.max, s.mean, s.p95), (0.0, 0.0, 0.0));
+        assert_eq!((s.max, s.mean, s.p50, s.p95, s.p99), (0.0, 0.0, 0.0, 0.0, 0.0));
     }
 
     #[test]

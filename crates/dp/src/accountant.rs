@@ -219,6 +219,76 @@ impl Accountant {
             .map(|l| l.tight_loss(delta).epsilon.value())
             .fold(0.0, f64::max)
     }
+
+    /// Aggregate statistics of cumulative ε across the user base, for
+    /// observability scrapes: quantiles and mean are over the finite
+    /// ledgers; `max` is `+∞` whenever any user's total is unbounded.
+    pub fn epsilon_summary(&self, delta: Delta) -> EpsilonSummary {
+        let ledgers = self.ledgers.read();
+        let users = ledgers.len();
+        let mut finite: Vec<f64> = Vec::with_capacity(users);
+        let mut unbounded = 0usize;
+        for ledger in ledgers.values() {
+            let total = ledger.tight_loss(delta).epsilon.value();
+            if total.is_finite() {
+                finite.push(total);
+            } else {
+                unbounded = unbounded.saturating_add(1);
+            }
+        }
+        drop(ledgers);
+        finite.sort_by(f64::total_cmp);
+        let mean = if finite.is_empty() {
+            0.0
+        } else {
+            let total: f64 = finite.iter().sum();
+            total / finite.len() as f64
+        };
+        let max = if unbounded > 0 {
+            f64::INFINITY
+        } else {
+            finite.last().copied().unwrap_or(0.0)
+        };
+        EpsilonSummary {
+            users,
+            unbounded,
+            p50: quantile_sorted(&finite, 0.50),
+            p90: quantile_sorted(&finite, 0.90),
+            p99: quantile_sorted(&finite, 0.99),
+            mean,
+            max,
+        }
+    }
+}
+
+/// Aggregate cumulative-ε statistics across the user base (§3.1's
+/// platform-wide view of tracked loss).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonSummary {
+    /// Users with a ledger.
+    pub users: usize,
+    /// Users whose cumulative loss is unbounded (a raw release recorded).
+    pub unbounded: usize,
+    /// Median cumulative ε over finite ledgers (0 if none).
+    pub p50: f64,
+    /// 90th-percentile cumulative ε over finite ledgers.
+    pub p90: f64,
+    /// 99th-percentile cumulative ε over finite ledgers.
+    pub p99: f64,
+    /// Mean cumulative ε over finite ledgers.
+    pub mean: f64,
+    /// Maximum cumulative ε; `+∞` when any ledger is unbounded.
+    pub max: f64,
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice (0 when empty).
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    let idx = rank.saturating_sub(1).min(sorted.len().saturating_sub(1));
+    sorted.get(idx).copied().unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -308,6 +378,51 @@ mod tests {
         let dist = acc.loss_distribution(d);
         assert_eq!(dist.len(), 2);
         assert!(acc.max_loss(d).is_infinite());
+    }
+
+    #[test]
+    fn epsilon_summary_statistics() {
+        let acc = Accountant::new();
+        assert_eq!(acc.epsilon_summary(Delta::new(1e-5)).users, 0);
+        assert_eq!(acc.epsilon_summary(Delta::new(1e-5)).max, 0.0);
+
+        // Ten users with 1..=10 pure releases of ε=0.1 each.
+        for (i, n) in (1..=10).enumerate() {
+            for r in 0..n {
+                acc.record(
+                    &format!("u{i}"),
+                    format!("t{r}"),
+                    ReleaseKind::Pure { epsilon: 0.1 },
+                );
+            }
+        }
+        let d = Delta::new(1e-5);
+        let s = acc.epsilon_summary(d);
+        assert_eq!(s.users, 10);
+        assert_eq!(s.unbounded, 0);
+        assert!((s.mean - 0.55).abs() < 1e-9, "mean = {}", s.mean);
+        assert!((s.p50 - 0.5).abs() < 1e-9, "p50 = {}", s.p50);
+        assert!((s.p90 - 0.9).abs() < 1e-9, "p90 = {}", s.p90);
+        assert!((s.p99 - 1.0).abs() < 1e-9, "p99 = {}", s.p99);
+        assert!((s.max - 1.0).abs() < 1e-9, "max = {}", s.max);
+
+        // One raw release flips max to +inf but leaves quantiles finite.
+        acc.record("leaker", "t", ReleaseKind::Raw);
+        let s = acc.epsilon_summary(d);
+        assert_eq!(s.users, 11);
+        assert_eq!(s.unbounded, 1);
+        assert!(s.max.is_infinite());
+        assert!(s.p99.is_finite());
+    }
+
+    #[test]
+    fn quantile_sorted_nearest_rank() {
+        assert_eq!(quantile_sorted(&[], 0.5), 0.0);
+        assert_eq!(quantile_sorted(&[3.0], 0.99), 3.0);
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&xs, 0.5), 2.0);
+        assert_eq!(quantile_sorted(&xs, 1.0), 4.0);
     }
 
     #[test]

@@ -75,7 +75,7 @@ fn committed_config_pins_rule_scopes() {
     let scope = |rule: &str, key: &str| cfg.list(rule, key, &["<missing>"]);
     assert_eq!(
         scope("sensitive-egress", "forbidden_crates"),
-        ["loki-net", "loki-server"]
+        ["loki-net", "loki-server", "loki-obs"]
     );
     assert_eq!(
         scope("sensitive-egress", "allowed_derive_crates"),

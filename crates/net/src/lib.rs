@@ -53,5 +53,5 @@ pub mod server;
 
 pub use client::HttpClient;
 pub use http::{Headers, Method, Request, Response, StatusCode};
-pub use router::{Params, Router};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use router::{ErrorRenderer, Params, Router};
+pub use server::{RequestObserver, RequestTiming, Server, ServerConfig, ServerHandle};

@@ -30,6 +30,13 @@ impl Params {
 /// A request handler.
 pub type Handler = Arc<dyn Fn(&Request, &Params) -> Response + Send + Sync>;
 
+/// Renders framework-level errors (404/405 from dispatch, parse
+/// rejections from the server loop) as `(status, machine code, human
+/// message)`. Installing one lets the application impose a uniform error
+/// body shape — e.g. a JSON envelope — without the router knowing about
+/// serialization formats.
+pub type ErrorRenderer = Arc<dyn Fn(StatusCode, &str, &str) -> Response + Send + Sync>;
+
 struct Route {
     method: Method,
     segments: Vec<Segment>,
@@ -45,6 +52,7 @@ enum Segment {
 #[derive(Default)]
 pub struct Router {
     routes: Vec<Route>,
+    error_renderer: Option<ErrorRenderer>,
 }
 
 impl std::fmt::Debug for Router {
@@ -126,9 +134,31 @@ impl Router {
             }
         }
         if saw_path_match {
-            Response::text(StatusCode::METHOD_NOT_ALLOWED, "method not allowed")
+            self.render_error(
+                StatusCode::METHOD_NOT_ALLOWED,
+                "method_not_allowed",
+                "method not allowed",
+            )
         } else {
-            Response::text(StatusCode::NOT_FOUND, "not found")
+            self.render_error(StatusCode::NOT_FOUND, "not_found", "not found")
+        }
+    }
+
+    /// Installs the error renderer used for 404/405 and parse errors.
+    pub fn set_error_renderer(
+        &mut self,
+        renderer: impl Fn(StatusCode, &str, &str) -> Response + Send + Sync + 'static,
+    ) -> &mut Router {
+        self.error_renderer = Some(Arc::new(renderer));
+        self
+    }
+
+    /// Renders a framework-level error through the installed renderer,
+    /// falling back to a plain-text body.
+    pub fn render_error(&self, status: StatusCode, code: &str, message: &str) -> Response {
+        match &self.error_renderer {
+            Some(render) => render(status, code, message),
+            None => Response::text(status, message),
         }
     }
 }
@@ -241,5 +271,27 @@ mod tests {
     fn bad_pattern_rejected() {
         let mut r = Router::new();
         r.get("surveys", |_, _| Response::status(StatusCode::OK));
+    }
+
+    #[test]
+    fn default_error_renderer_is_plain_text() {
+        let r = router();
+        let resp = r.render_error(StatusCode::BAD_REQUEST, "bad_param", "id must be numeric");
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        assert_eq!(&resp.body[..], b"id must be numeric");
+    }
+
+    #[test]
+    fn custom_error_renderer_shapes_dispatch_errors() {
+        let mut r = router();
+        r.set_error_renderer(|status, code, message| {
+            Response::text(status, format!("[{code}] {message}"))
+        });
+        let resp = r.dispatch(&get("/nope"));
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        assert_eq!(&resp.body[..], b"[not_found] not found");
+        let resp = r.dispatch(&Request::new(Method::Post, "/surveys"));
+        assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
+        assert_eq!(&resp.body[..], b"[method_not_allowed] method not allowed");
     }
 }

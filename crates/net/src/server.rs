@@ -16,12 +16,26 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Per-request timing measured by the connection loop, handed to the
+/// [`RequestObserver`] alongside the request/response pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// Time spent parsing this request out of the receive buffer,
+    /// accumulated across partial reads of a slow-trickling client.
+    pub parse: Duration,
+    /// Time spent in routing + handler.
+    pub dispatch: Duration,
+    /// Whether this connection had already served an earlier request —
+    /// i.e. the request rode a reused keep-alive connection.
+    pub reused: bool,
+}
 
 /// Observer invoked after every dispatched request (access logging,
 /// metrics). Runs on the connection's worker thread; keep it cheap.
 pub type RequestObserver =
-    Arc<dyn Fn(&crate::http::Request, &Response) + Send + Sync>;
+    Arc<dyn Fn(&crate::http::Request, &Response, &RequestTiming) + Send + Sync>;
 
 /// Server tuning.
 #[derive(Clone)]
@@ -150,16 +164,30 @@ fn handle_connection(
     let parser = RequestParser::new(config.parser);
     let mut buf = BytesMut::with_capacity(4096);
     let mut chunk = [0u8; 4096];
+    let mut served = 0usize;
+    // Parse time accumulates across partial reads and resets per request.
+    let mut parse_spent = Duration::ZERO;
 
     loop {
         // Parse everything already buffered before reading again.
         loop {
-            match parser.parse(&mut buf) {
+            let parse_started = Instant::now();
+            let parsed = parser.parse(&mut buf);
+            parse_spent += parse_started.elapsed();
+            match parsed {
                 Ok(Some(request)) => {
                     let close = request.headers.wants_close();
+                    let dispatch_started = Instant::now();
                     let response = router.dispatch(&request);
+                    let timing = RequestTiming {
+                        parse: parse_spent,
+                        dispatch: dispatch_started.elapsed(),
+                        reused: served > 0,
+                    };
+                    parse_spent = Duration::ZERO;
+                    served += 1;
                     if let Some(observer) = &config.observer {
-                        observer(&request, &response);
+                        observer(&request, &response, &timing);
                     }
                     stream.write_all(&response.to_bytes(close))?;
                     if close {
@@ -168,7 +196,9 @@ fn handle_connection(
                 }
                 Ok(None) => break,
                 Err(e) => {
-                    let response = Response::text(e.status(), e.to_string());
+                    let status = e.status();
+                    let response =
+                        router.render_error(status, parse_error_code(status), &e.to_string());
                     let _ = stream.write_all(&response.to_bytes(true));
                     return Ok(());
                 }
@@ -178,7 +208,18 @@ fn handle_connection(
         if n == 0 {
             return Ok(()); // peer closed
         }
-        buf.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(chunk.get(..n).unwrap_or(&chunk));
+    }
+}
+
+/// Machine-readable code for a parse-level error status, fed to the
+/// router's error renderer so parser rejections share the application's
+/// error body shape.
+fn parse_error_code(status: crate::http::StatusCode) -> &'static str {
+    match status.0 {
+        413 => "payload_too_large",
+        431 => "headers_too_large",
+        _ => "bad_request",
     }
 }
 
@@ -365,9 +406,11 @@ mod tests {
             observer: Some({
                 let hits = Arc::clone(&hits);
                 let statuses = Arc::clone(&statuses);
-                Arc::new(move |req, resp| {
+                Arc::new(move |req, resp, timing| {
                     hits.fetch_add(1, Ordering::SeqCst);
-                    statuses.lock().push((req.path.clone(), resp.status.0));
+                    statuses
+                        .lock()
+                        .push((req.path.clone(), resp.status.0, *timing));
                 })
             }),
             ..ServerConfig::default()
@@ -378,8 +421,68 @@ mod tests {
         h.shutdown();
         assert_eq!(hits.load(Ordering::SeqCst), 2);
         let seen = statuses.lock();
-        assert!(seen.contains(&("/ping".to_string(), 200)));
-        assert!(seen.contains(&("/missing".to_string(), 404)));
+        assert!(seen.iter().any(|(p, s, _)| p == "/ping" && *s == 200));
+        assert!(seen.iter().any(|(p, s, _)| p == "/missing" && *s == 404));
+        for (_, _, timing) in seen.iter() {
+            assert!(timing.parse > Duration::ZERO, "parse time measured");
+            assert!(!timing.reused, "fresh connections are not reuses");
+        }
+    }
+
+    #[test]
+    fn observer_timing_marks_keepalive_reuse() {
+        let reuses = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let config = ServerConfig {
+            observer: Some({
+                let reuses = Arc::clone(&reuses);
+                Arc::new(move |_req, _resp, timing: &RequestTiming| {
+                    reuses.lock().push(timing.reused);
+                })
+            }),
+            ..ServerConfig::default()
+        };
+        let h = Server::spawn("127.0.0.1:0", demo_router(), config).unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        for _ in 0..3 {
+            s.write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+            let mut reader = std::io::BufReader::new(&s);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                if line == "\r\n" {
+                    break;
+                }
+            }
+            let mut body = [0u8; 4]; // "pong"
+            reader.read_exact(&mut body).unwrap();
+        }
+        drop(s);
+        h.shutdown();
+        assert_eq!(&*reuses.lock(), &[false, true, true]);
+    }
+
+    #[test]
+    fn parse_errors_render_through_the_router_error_renderer() {
+        let mut router = demo_router();
+        router.set_error_renderer(|status, code, message| {
+            Response::text(status, format!("{code}: {message}"))
+        });
+        let config = ServerConfig {
+            parser: ParserConfig {
+                max_body: 8,
+                ..ParserConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let h = Server::spawn("127.0.0.1:0", router, config).unwrap();
+        let reply = raw_roundtrip(
+            h.addr(),
+            "POST /echo HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789",
+        );
+        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+        assert!(reply.contains("payload_too_large:"), "{reply}");
+        h.shutdown();
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Structured access log: a bounded ring of per-request records.
+//!
+//! The numeric instruments answer "how fast, how often"; the access log
+//! answers "what just happened" — the last N requests with their timing
+//! split, rendered as stable `key=value` lines a human (or `grep`) can
+//! consume. The ring is bounded so a scrape-happy client cannot grow
+//! server memory.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One served request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub timestamp_ms: u64,
+    /// Request method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path. Callers must pass route-shaped paths only; never
+    /// append query strings or user-supplied identifiers beyond what the
+    /// route itself exposes.
+    pub path: String,
+    /// Response status code.
+    pub status: u16,
+    /// Microseconds spent parsing the request off the socket.
+    pub parse_micros: u64,
+    /// Microseconds spent in routing + handler.
+    pub dispatch_micros: u64,
+    /// Whether the connection had already served an earlier request
+    /// (keep-alive reuse).
+    pub reused: bool,
+}
+
+impl AccessRecord {
+    /// The record as one structured log line.
+    pub fn line(&self) -> String {
+        format!(
+            "ts_ms={} method={} path={} status={} parse_us={} dispatch_us={} reused={}",
+            self.timestamp_ms,
+            self.method,
+            self.path,
+            self.status,
+            self.parse_micros,
+            self.dispatch_micros,
+            self.reused
+        )
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub(crate) fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// A fixed-capacity ring buffer of [`AccessRecord`]s.
+#[derive(Debug)]
+pub struct AccessLog {
+    capacity: usize,
+    entries: Mutex<VecDeque<AccessRecord>>,
+}
+
+impl AccessLog {
+    /// Creates a log keeping the most recent `capacity` records
+    /// (minimum 1).
+    pub fn with_capacity(capacity: usize) -> AccessLog {
+        let capacity = capacity.max(1);
+        AccessLog {
+            capacity,
+            entries: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&self, record: AccessRecord) {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(record);
+    }
+
+    /// Convenience: records a request with the current wall clock.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        method: &str,
+        path: &str,
+        status: u16,
+        parse_micros: u64,
+        dispatch_micros: u64,
+        reused: bool,
+    ) {
+        self.push(AccessRecord {
+            timestamp_ms: now_ms(),
+            method: method.to_string(),
+            path: path.to_string(),
+            status,
+            parse_micros,
+            dispatch_micros,
+            reused,
+        });
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<AccessRecord> {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        entries.iter().rev().take(n).rev().cloned().collect()
+    }
+
+    /// The most recent `n` records as newline-joined structured lines.
+    pub fn render_tail(&self, n: usize) -> String {
+        self.tail(n)
+            .iter()
+            .map(AccessRecord::line)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(path: &str, status: u16) -> AccessRecord {
+        AccessRecord {
+            timestamp_ms: 1000,
+            method: "GET".into(),
+            path: path.into(),
+            status,
+            parse_micros: 12,
+            dispatch_micros: 345,
+            reused: false,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = AccessLog::with_capacity(3);
+        for i in 0..5 {
+            log.push(rec(&format!("/r{i}"), 200));
+        }
+        assert_eq!(log.len(), 3);
+        let tail = log.tail(10);
+        let paths: Vec<&str> = tail.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, vec!["/r2", "/r3", "/r4"]);
+    }
+
+    #[test]
+    fn line_format_is_stable() {
+        let line = rec("/v1/surveys", 200).line();
+        assert_eq!(
+            line,
+            "ts_ms=1000 method=GET path=/v1/surveys status=200 parse_us=12 dispatch_us=345 reused=false"
+        );
+    }
+
+    #[test]
+    fn tail_orders_oldest_first() {
+        let log = AccessLog::with_capacity(10);
+        log.push(rec("/a", 200));
+        log.push(rec("/b", 404));
+        let rendered = log.render_tail(2);
+        let first = rendered.lines().next().expect("two lines");
+        assert!(first.contains("path=/a"), "{rendered}");
+        assert!(rendered.lines().nth(1).expect("two lines").contains("status=404"));
+    }
+
+    #[test]
+    fn record_stamps_wall_clock() {
+        let log = AccessLog::with_capacity(2);
+        log.record("POST", "/v1/surveys/:id/responses", 201, 5, 50, true);
+        let tail = log.tail(1);
+        assert_eq!(tail.len(), 1);
+        assert!(tail[0].timestamp_ms > 0);
+        assert!(tail[0].reused);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let log = AccessLog::with_capacity(0);
+        log.push(rec("/a", 200));
+        log.push(rec("/b", 200));
+        assert_eq!(log.len(), 1);
+    }
+}

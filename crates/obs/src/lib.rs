@@ -1,0 +1,35 @@
+//! # loki-obs — the observability substrate
+//!
+//! The platform holds every user's cumulative privacy ledger, so an
+//! operator must be able to *see* ingest latency, budget-cap rejections
+//! and the live ε distribution to run it at scale (§3.1: loss "tracked
+//! and balanced across the user base" — tracking nobody can watch is not
+//! tracking). This crate is the substrate the serving crates hang those
+//! signals on:
+//!
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — lock-free instruments.
+//!   Recording is a handful of relaxed atomic operations and never
+//!   allocates; handles are `Arc`s captured at registration time, so the
+//!   hot path does no name lookups either.
+//! * [`Registry`] — owns the instruments and renders the Prometheus text
+//!   exposition format (`/v1/metrics`). Registration validates metric
+//!   and label names up front; rendering is the only allocating path.
+//! * [`AccessLog`] — a bounded ring of structured per-request records
+//!   (`key=value` lines), the tracing layer next to the numeric one.
+//!
+//! Deliberately `std`-only: no serde, no parking_lot, no clocks beyond
+//! `std::time`. Privacy note: metric *labels* must never carry
+//! quasi-identifiers (user ids, raw paths with embedded ids); the serving
+//! crates label by route pattern, method, status class and privacy level
+//! only, and `loki-lint`'s `sensitive-egress` rule covers this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod metrics;
+mod registry;
+
+pub use access::{AccessLog, AccessRecord};
+pub use metrics::{Counter, Gauge, Histogram, LATENCY_BUCKETS};
+pub use registry::Registry;

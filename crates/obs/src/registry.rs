@@ -1,0 +1,374 @@
+//! The metric registry and Prometheus text-format renderer.
+//!
+//! Registration happens once, at startup, and returns `Arc` handles the
+//! hot path records through directly — scrape-time rendering walks the
+//! registry under a mutex, but recording never touches it.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Child {
+    /// Pre-rendered `key="value",…` label body (no braces), empty when
+    /// the child is unlabelled.
+    labels: String,
+    instrument: Instrument,
+}
+
+struct Family {
+    help: String,
+    children: Vec<Child>,
+}
+
+/// A named collection of instruments with Prometheus text exposition.
+pub struct Registry {
+    prefix: String,
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fams = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        write!(f, "Registry(prefix={:?}, {} families)", self.prefix, fams.len())
+    }
+}
+
+impl Registry {
+    /// Creates a registry whose metric names are prefixed `<prefix>_`.
+    /// An empty prefix leaves names bare.
+    pub fn new(prefix: &str) -> Registry {
+        if !prefix.is_empty() {
+            assert!(valid_metric_name(prefix), "invalid registry prefix `{prefix}`");
+        }
+        Registry {
+            prefix: prefix.to_string(),
+            families: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers (or retrieves) a counter child under `name` with the
+    /// given labels.
+    ///
+    /// # Panics
+    /// Panics on invalid names/labels or if `name` is already registered
+    /// as a different instrument kind.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let handle = Arc::new(Counter::new());
+        match self.register(name, help, labels, Instrument::Counter(Arc::clone(&handle))) {
+            Some(Instrument::Counter(existing)) => existing,
+            _ => handle,
+        }
+    }
+
+    /// Registers (or retrieves) a gauge child.
+    ///
+    /// # Panics
+    /// Panics on invalid names/labels or on an instrument-kind clash.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let handle = Arc::new(Gauge::new());
+        match self.register(name, help, labels, Instrument::Gauge(Arc::clone(&handle))) {
+            Some(Instrument::Gauge(existing)) => existing,
+            _ => handle,
+        }
+    }
+
+    /// Registers (or retrieves) a histogram child over `bounds`.
+    ///
+    /// # Panics
+    /// Panics on invalid names/labels/bounds or on an instrument-kind
+    /// clash. A `le` label is reserved for the renderer.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        assert!(
+            labels.iter().all(|(k, _)| *k != "le"),
+            "`le` is reserved for histogram buckets"
+        );
+        let handle = Arc::new(Histogram::new(bounds));
+        match self.register(name, help, labels, Instrument::Histogram(Arc::clone(&handle))) {
+            Some(Instrument::Histogram(existing)) => existing,
+            _ => handle,
+        }
+    }
+
+    /// Inserts a child; returns the existing instrument when the exact
+    /// (name, labels) child is already registered (idempotent).
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        instrument: Instrument,
+    ) -> Option<Instrument> {
+        assert!(valid_metric_name(name), "invalid metric name `{name}`");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name `{k}` on `{name}`");
+        }
+        let label_body = render_labels(labels);
+        let mut fams = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let family = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            children: Vec::new(),
+        });
+        if let Some(child) = family.children.iter().find(|c| c.labels == label_body) {
+            assert!(
+                child.instrument.kind() == instrument.kind(),
+                "metric `{name}` re-registered as {} (was {})",
+                instrument.kind(),
+                child.instrument.kind()
+            );
+            return Some(clone_instrument(&child.instrument));
+        }
+        if let Some(first) = family.children.first() {
+            assert!(
+                first.instrument.kind() == instrument.kind(),
+                "metric `{name}` mixes {} and {} children",
+                first.instrument.kind(),
+                instrument.kind()
+            );
+        }
+        family.children.push(Child {
+            labels: label_body,
+            instrument,
+        });
+        None
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format (`text/plain; version=0.0.4`), families in name order.
+    pub fn render(&self) -> String {
+        let fams = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::with_capacity(4096);
+        for (name, family) in fams.iter() {
+            let full = self.full_name(name);
+            let kind = family
+                .children
+                .first()
+                .map_or("untyped", |c| c.instrument.kind());
+            out.push_str(&format!("# HELP {full} {}\n", escape_help(&family.help)));
+            out.push_str(&format!("# TYPE {full} {kind}\n"));
+            for child in &family.children {
+                match &child.instrument {
+                    Instrument::Counter(c) => {
+                        render_sample(&mut out, &full, &child.labels, c.get() as f64);
+                    }
+                    Instrument::Gauge(g) => {
+                        render_sample(&mut out, &full, &child.labels, g.get());
+                    }
+                    Instrument::Histogram(h) => {
+                        let cumulative = h.cumulative_buckets();
+                        for (bound, cum) in h.bounds().iter().zip(&cumulative) {
+                            let labels = join_labels(
+                                &child.labels,
+                                &format!("le=\"{}\"", fmt_value(*bound)),
+                            );
+                            render_sample(&mut out, &format!("{full}_bucket"), &labels, *cum as f64);
+                        }
+                        let inf = join_labels(&child.labels, "le=\"+Inf\"");
+                        let total = cumulative.last().copied().unwrap_or(0);
+                        render_sample(&mut out, &format!("{full}_bucket"), &inf, total as f64);
+                        render_sample(&mut out, &format!("{full}_sum"), &child.labels, h.sum());
+                        render_sample(&mut out, &format!("{full}_count"), &child.labels, total as f64);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn full_name(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}_{name}", self.prefix)
+        }
+    }
+}
+
+fn clone_instrument(i: &Instrument) -> Instrument {
+    match i {
+        Instrument::Counter(c) => Instrument::Counter(Arc::clone(c)),
+        Instrument::Gauge(g) => Instrument::Gauge(Arc::clone(g)),
+        Instrument::Histogram(h) => Instrument::Histogram(Arc::clone(h)),
+    }
+}
+
+fn render_sample(out: &mut String, name: &str, labels: &str, value: f64) {
+    if labels.is_empty() {
+        out.push_str(&format!("{name} {}\n", fmt_value(value)));
+    } else {
+        out.push_str(&format!("{name}{{{labels}}} {}\n", fmt_value(value)));
+    }
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn join_labels(base: &str, extra: &str) -> String {
+    if base.is_empty() {
+        extra.to_string()
+    } else {
+        format!("{base},{extra}")
+    }
+}
+
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else { return false };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// `[a-zA-Z_][a-zA-Z0-9_]*`
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else { return false };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn escape_help(h: &str) -> String {
+    h.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() }
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let reg = Registry::new("loki");
+        let c = reg.counter("requests_total", "Requests served", &[("method", "GET")]);
+        c.add(3);
+        let g = reg.gauge("users", "Users with a ledger", &[]);
+        g.set(7.0);
+        let text = reg.render();
+        assert!(text.contains("# HELP loki_requests_total Requests served"), "{text}");
+        assert!(text.contains("# TYPE loki_requests_total counter"), "{text}");
+        assert!(text.contains("loki_requests_total{method=\"GET\"} 3"), "{text}");
+        assert!(text.contains("# TYPE loki_users gauge"), "{text}");
+        assert!(text.contains("loki_users 7"), "{text}");
+    }
+
+    #[test]
+    fn renders_histogram_with_cumulative_buckets() {
+        let reg = Registry::new("t");
+        let h = reg.histogram("lat_seconds", "Latency", &[0.1, 1.0], &[]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(2.0);
+        let text = reg.render();
+        assert!(text.contains("# TYPE t_lat_seconds histogram"), "{text}");
+        assert!(text.contains("t_lat_seconds_bucket{le=\"0.1\"} 1"), "{text}");
+        assert!(text.contains("t_lat_seconds_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("t_lat_seconds_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("t_lat_seconds_count 3"), "{text}");
+        assert!(text.contains("t_lat_seconds_sum 2.55"), "{text}");
+    }
+
+    #[test]
+    fn registration_is_idempotent_per_label_set() {
+        let reg = Registry::new("x");
+        let a = reg.counter("hits_total", "h", &[("k", "a")]);
+        let again = reg.counter("hits_total", "h", &[("k", "a")]);
+        let other = reg.counter("hits_total", "h", &[("k", "b")]);
+        a.inc();
+        again.inc();
+        other.inc();
+        assert_eq!(a.get(), 2, "same labels must share the underlying counter");
+        assert_eq!(other.get(), 1);
+        let text = reg.render();
+        assert!(text.contains("x_hits_total{k=\"a\"} 2"), "{text}");
+        assert!(text.contains("x_hits_total{k=\"b\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn gauges_render_infinity_as_prometheus_inf() {
+        let reg = Registry::new("x");
+        let g = reg.gauge("eps_max", "max epsilon", &[]);
+        g.set(f64::INFINITY);
+        assert!(reg.render().contains("x_eps_max +Inf"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new("x");
+        let _ = reg.counter("c_total", "c", &[("path", "a\"b\\c\nd")]);
+        let text = reg.render();
+        assert!(text.contains("path=\"a\\\"b\\\\c\\nd\""), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_metric_name_rejected() {
+        let reg = Registry::new("x");
+        let _ = reg.counter("bad name", "h", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn kind_clash_rejected() {
+        let reg = Registry::new("x");
+        let _ = reg.counter("thing", "h", &[]);
+        let _ = reg.gauge("thing", "h", &[]);
+    }
+
+    #[test]
+    fn exposition_is_parseable() {
+        // A minimal syntactic check over every rendered line: comments or
+        // `name{labels} value`.
+        let reg = Registry::new("loki");
+        reg.counter("a_total", "a", &[("m", "GET")]).inc();
+        reg.gauge("b", "b", &[]).set(1.5);
+        reg.histogram("c_seconds", "c", &[0.1], &[]).observe(0.05);
+        for line in reg.render().lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf", "{line}");
+            let name = series.split('{').next().expect("name");
+            assert!(valid_metric_name(name), "{line}");
+        }
+    }
+}

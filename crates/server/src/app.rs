@@ -1,199 +1,334 @@
 //! Route wiring: [`AppState`] + [`loki_net::Router`] → a running server.
+//!
+//! Every route is registered under the versioned prefix `/v1/...` **and**
+//! as an unversioned legacy alias (`/surveys` ≡ `/v1/surveys`). Both
+//! registrations share the same handler `Arc`, so alias parity is
+//! guaranteed by construction, byte for byte. Handlers return
+//! `Result<Response, ApiError>`; every failure — including the
+//! framework's own 404/405 and parser-level 400/413/431, routed through
+//! [`Router::set_error_renderer`] — renders as the unified envelope
+//! `{"error": {"code", "message"}}` ([`crate::error`]).
 
 use crate::api::{BinResult, LedgerInfo, QuestionResults, SubmitReply, SubmitRequest, SurveySummary};
-use crate::store::{AppState, SubmitError};
+use crate::error::{error_envelope, parse_body, path_param, ApiError};
+use crate::store::AppState;
 use loki_core::estimator::Estimator;
-use loki_net::http::StatusCode;
-use loki_net::json::{json_error, json_response, parse_json_body};
-use loki_net::router::Router;
+use loki_dp::params::Delta;
+use loki_net::http::{Method, Request, Response, StatusCode};
+use loki_net::json::json_response;
+use loki_net::router::{Params, Router};
 use loki_net::server::{Server, ServerConfig, ServerHandle};
 use loki_survey::survey::{Survey, SurveyId};
 use loki_survey::QuestionId;
 use std::sync::Arc;
+use std::time::Instant;
 
-/// Builds the full API router over shared state.
+/// A fallible handler; errors render through the shared envelope.
+type ApiHandler = Arc<dyn Fn(&Request, &Params) -> Result<Response, ApiError> + Send + Sync>;
+
+/// Registers `handler` under `/v1{pattern}` and the legacy unversioned
+/// `{pattern}`. Both routes dispatch to the same closure, so the alias
+/// can never drift from the versioned route.
+fn mount(router: &mut Router, method: Method, pattern: &str, handler: ApiHandler) {
+    let versioned = format!("/v1{pattern}");
+    let v1 = Arc::clone(&handler);
+    router.route(method, &versioned, move |req, params| {
+        v1(req, params).unwrap_or_else(ApiError::into_response)
+    });
+    router.route(method, pattern, move |req, params| {
+        handler(req, params).unwrap_or_else(ApiError::into_response)
+    });
+}
+
+/// `None` for non-finite values, so JSON renders them as `null` rather
+/// than failing to serialize.
+fn finite(v: f64) -> Option<f64> {
+    v.is_finite().then_some(v)
+}
+
+/// Builds the full API router over shared state. Enables metrics on the
+/// state (idempotent) so handler-level instruments always have a target.
 pub fn build_router(state: Arc<AppState>) -> Router {
+    state.enable_metrics();
     let mut router = Router::new();
+    router.set_error_renderer(error_envelope);
 
-    router.get("/health", |_, _| {
-        loki_net::http::Response::text(StatusCode::OK, "ok")
-    });
-
-    let s = Arc::clone(&state);
-    router.get("/surveys", move |_, _| {
-        let list: Vec<SurveySummary> = s
-            .surveys()
-            .into_iter()
-            .map(|sv| SurveySummary {
-                id: sv.id.0,
-                title: sv.title.clone(),
-                questions: sv.len(),
-                reward_cents: sv.reward_cents,
-            })
-            .collect();
-        json_response(StatusCode::OK, &list)
-    });
+    mount(
+        &mut router,
+        Method::Get,
+        "/health",
+        Arc::new(|_, _| Ok(Response::text(StatusCode::OK, "ok"))),
+    );
 
     let s = Arc::clone(&state);
-    router.get("/surveys/:id", move |_, params| {
-        let Some(id) = params.parse::<u64>("id") else {
-            return json_error(StatusCode::BAD_REQUEST, "bad survey id");
-        };
-        match s.survey(SurveyId(id)) {
-            Some(survey) => json_response(StatusCode::OK, &survey),
-            None => json_error(StatusCode::NOT_FOUND, "unknown survey"),
-        }
-    });
+    mount(
+        &mut router,
+        Method::Get,
+        "/surveys",
+        Arc::new(move |_, _| {
+            let list: Vec<SurveySummary> = s
+                .surveys()
+                .into_iter()
+                .map(|sv| SurveySummary {
+                    id: sv.id.0,
+                    title: sv.title.clone(),
+                    questions: sv.len(),
+                    reward_cents: sv.reward_cents,
+                })
+                .collect();
+            Ok(json_response(StatusCode::OK, &list))
+        }),
+    );
 
     let s = Arc::clone(&state);
-    router.post("/surveys", move |req, _| {
-        let token = req
-            .headers
-            .get("authorization")
-            .and_then(|v| v.strip_prefix("Bearer "));
-        if !s.may_publish(token) {
-            return json_error(StatusCode::UNAUTHORIZED, "requester token required");
-        }
-        let survey: Survey = match parse_json_body(req) {
-            Ok(v) => v,
-            Err(resp) => return resp,
-        };
-        if survey.is_empty() {
-            return json_error(StatusCode::UNPROCESSABLE, "survey has no questions");
-        }
-        if s.add_survey(survey) {
-            json_response(StatusCode::CREATED, &serde_json::json!({"created": true}))
-        } else {
-            json_error(StatusCode::CONFLICT, "survey id already exists")
-        }
-    });
-
-    let s = Arc::clone(&state);
-    router.post("/surveys/:id/responses", move |req, params| {
-        let Some(id) = params.parse::<u64>("id") else {
-            return json_error(StatusCode::BAD_REQUEST, "bad survey id");
-        };
-        let body: SubmitRequest = match parse_json_body(req) {
-            Ok(v) => v,
-            Err(resp) => return resp,
-        };
-        if body.response.survey != SurveyId(id) {
-            return json_error(
-                StatusCode::UNPROCESSABLE,
-                "response targets a different survey",
-            );
-        }
-        match s.submit(&body.user, body.privacy_level, body.response, &body.releases) {
-            Ok(stored) => {
-                let loss = s.user_loss(&body.user);
-                let reply = SubmitReply {
-                    stored,
-                    cumulative_epsilon: loss
-                        .is_finite()
-                        .then(|| loss.epsilon.value()),
-                };
-                json_response(StatusCode::CREATED, &reply)
+    mount(
+        &mut router,
+        Method::Get,
+        "/surveys/:id",
+        Arc::new(move |_, params| {
+            let id: u64 = path_param(params, "id")?;
+            match s.survey(SurveyId(id)) {
+                Some(survey) => Ok(json_response(StatusCode::OK, &survey)),
+                None => Err(ApiError::new(
+                    StatusCode::NOT_FOUND,
+                    "unknown_survey",
+                    "unknown survey",
+                )),
             }
-            Err(e) => {
-                let status = match e {
-                    SubmitError::UnknownSurvey => StatusCode::NOT_FOUND,
-                    SubmitError::Duplicate => StatusCode::CONFLICT,
-                    SubmitError::BudgetExhausted { .. } => StatusCode::FORBIDDEN,
-                    _ => StatusCode::UNPROCESSABLE,
-                };
-                json_error(status, e.to_string())
+        }),
+    );
+
+    let s = Arc::clone(&state);
+    mount(
+        &mut router,
+        Method::Post,
+        "/surveys",
+        Arc::new(move |req, _| {
+            let token = req
+                .headers
+                .get("authorization")
+                .and_then(|v| v.strip_prefix("Bearer "));
+            if !s.may_publish(token) {
+                return Err(ApiError::new(
+                    StatusCode::UNAUTHORIZED,
+                    "unauthorized",
+                    "requester token required",
+                ));
             }
-        }
-    });
-
-    let s = Arc::clone(&state);
-    router.get("/surveys/:id/results/:question", move |_, params| {
-        let (Some(id), Some(q)) = (params.parse::<u64>("id"), params.parse::<u32>("question"))
-        else {
-            return json_error(StatusCode::BAD_REQUEST, "bad survey/question id");
-        };
-        if s.survey(SurveyId(id)).is_none() {
-            return json_error(StatusCode::NOT_FOUND, "unknown survey");
-        }
-        let estimator = Estimator::default();
-        match s.results(SurveyId(id), QuestionId(q), &estimator) {
-            Some(pooled) => {
-                let reply = QuestionResults {
-                    survey: id,
-                    question: q,
-                    bins: pooled
-                        .bins
-                        .iter()
-                        .map(|b| BinResult {
-                            level: b.level,
-                            n: b.n,
-                            mean: b.mean,
-                            standard_error: b.standard_error,
-                        })
-                        .collect(),
-                    pooled_mean: pooled.mean,
-                    pooled_standard_error: pooled.standard_error,
-                    n_total: pooled.n_total,
-                };
-                json_response(StatusCode::OK, &reply)
+            let survey: Survey = parse_body(req)?;
+            if survey.is_empty() {
+                return Err(ApiError::new(
+                    StatusCode::UNPROCESSABLE,
+                    "empty_survey",
+                    "survey has no questions",
+                ));
             }
-            None => json_error(StatusCode::NOT_FOUND, "no responses for question"),
-        }
-    });
+            if s.add_survey(survey) {
+                Ok(json_response(
+                    StatusCode::CREATED,
+                    &serde_json::json!({"created": true}),
+                ))
+            } else {
+                Err(ApiError::new(
+                    StatusCode::CONFLICT,
+                    "duplicate_survey",
+                    "survey id already exists",
+                ))
+            }
+        }),
+    );
 
     let s = Arc::clone(&state);
-    router.get("/surveys/:id/choices/:question", move |_, params| {
-        let (Some(id), Some(q)) = (params.parse::<u64>("id"), params.parse::<u32>("question"))
-        else {
-            return json_error(StatusCode::BAD_REQUEST, "bad survey/question id");
-        };
-        if s.survey(SurveyId(id)).is_none() {
-            return json_error(StatusCode::NOT_FOUND, "unknown survey");
-        }
-        match s.choice_frequencies(SurveyId(id), QuestionId(q)) {
-            Some(estimate) => json_response(StatusCode::OK, &estimate),
-            None => json_error(
-                StatusCode::NOT_FOUND,
-                "no choice responses for question (or not a multiple-choice question)",
-            ),
-        }
-    });
+    mount(
+        &mut router,
+        Method::Post,
+        "/surveys/:id/responses",
+        Arc::new(move |req, params| {
+            let started = Instant::now();
+            let id: u64 = path_param(params, "id")?;
+            let body: SubmitRequest = parse_body(req)?;
+            if body.response.survey != SurveyId(id) {
+                return Err(ApiError::new(
+                    StatusCode::UNPROCESSABLE,
+                    "survey_mismatch",
+                    "response targets a different survey",
+                ));
+            }
+            let outcome = s.submit(&body.user, body.privacy_level, body.response, &body.releases);
+            if let Some(m) = s.metrics() {
+                m.observe_submit(started.elapsed());
+            }
+            let stored = outcome.map_err(ApiError::from)?;
+            let loss = s.user_loss(&body.user);
+            let reply = SubmitReply {
+                stored,
+                cumulative_epsilon: loss.is_finite().then(|| loss.epsilon.value()),
+            };
+            Ok(json_response(StatusCode::CREATED, &reply))
+        }),
+    );
 
     let s = Arc::clone(&state);
-    router.get("/stats", move |_, _| {
-        let surveys = s.surveys();
-        let submissions: usize = surveys.iter().map(|sv| s.submission_count(sv.id)).sum();
-        json_response(
-            StatusCode::OK,
-            &serde_json::json!({
-                "surveys": surveys.len(),
-                "submissions": submissions,
-                "users": s.accountant.user_count(),
-            }),
-        )
-    });
+    mount(
+        &mut router,
+        Method::Get,
+        "/surveys/:id/results/:question",
+        Arc::new(move |_, params| {
+            let id: u64 = path_param(params, "id")?;
+            let q: u32 = path_param(params, "question")?;
+            if s.survey(SurveyId(id)).is_none() {
+                return Err(ApiError::new(
+                    StatusCode::NOT_FOUND,
+                    "unknown_survey",
+                    "unknown survey",
+                ));
+            }
+            let estimator = Estimator::default();
+            match s.results(SurveyId(id), QuestionId(q), &estimator) {
+                Some(pooled) => {
+                    let reply = QuestionResults {
+                        survey: id,
+                        question: q,
+                        bins: pooled
+                            .bins
+                            .iter()
+                            .map(|b| BinResult {
+                                level: b.level,
+                                n: b.n,
+                                mean: b.mean,
+                                standard_error: b.standard_error,
+                            })
+                            .collect(),
+                        pooled_mean: pooled.mean,
+                        pooled_standard_error: pooled.standard_error,
+                        n_total: pooled.n_total,
+                    };
+                    Ok(json_response(StatusCode::OK, &reply))
+                }
+                None => Err(ApiError::new(
+                    StatusCode::NOT_FOUND,
+                    "no_responses",
+                    "no responses for question",
+                )),
+            }
+        }),
+    );
 
     let s = Arc::clone(&state);
-    router.get("/ledger/:user", move |_, params| {
-        let Some(user) = params.get("user") else {
-            return json_error(StatusCode::BAD_REQUEST, "bad user");
-        };
-        let loss = s.user_loss(user);
-        let info = LedgerInfo {
-            user: user.to_string(),
-            releases: s.accountant.releases_of(user),
-            epsilon: loss.is_finite().then(|| loss.epsilon.value()),
-            delta: loki_dp::DEFAULT_DELTA,
-        };
-        json_response(StatusCode::OK, &info)
-    });
+    mount(
+        &mut router,
+        Method::Get,
+        "/surveys/:id/choices/:question",
+        Arc::new(move |_, params| {
+            let id: u64 = path_param(params, "id")?;
+            let q: u32 = path_param(params, "question")?;
+            if s.survey(SurveyId(id)).is_none() {
+                return Err(ApiError::new(
+                    StatusCode::NOT_FOUND,
+                    "unknown_survey",
+                    "unknown survey",
+                ));
+            }
+            match s.choice_frequencies(SurveyId(id), QuestionId(q)) {
+                Some(estimate) => Ok(json_response(StatusCode::OK, &estimate)),
+                None => Err(ApiError::new(
+                    StatusCode::NOT_FOUND,
+                    "no_responses",
+                    "no choice responses for question (or not a multiple-choice question)",
+                )),
+            }
+        }),
+    );
+
+    let s = Arc::clone(&state);
+    mount(
+        &mut router,
+        Method::Get,
+        "/stats",
+        Arc::new(move |_, _| {
+            let surveys = s.surveys();
+            let submissions: usize = surveys.iter().map(|sv| s.submission_count(sv.id)).sum();
+            let summary = s.accountant.epsilon_summary(Delta::new(loki_dp::DEFAULT_DELTA));
+            Ok(json_response(
+                StatusCode::OK,
+                &serde_json::json!({
+                    "surveys": surveys.len(),
+                    "submissions": submissions,
+                    "users": summary.users,
+                    "unbounded_users": summary.unbounded,
+                    "epsilon": {
+                        "p50": finite(summary.p50),
+                        "p90": finite(summary.p90),
+                        "p99": finite(summary.p99),
+                        "mean": finite(summary.mean),
+                        "max": finite(summary.max),
+                    },
+                }),
+            ))
+        }),
+    );
+
+    let s = Arc::clone(&state);
+    mount(
+        &mut router,
+        Method::Get,
+        "/ledger/:user",
+        Arc::new(move |_, params| {
+            let user: String = path_param(params, "user")?;
+            let loss = s.user_loss(&user);
+            let info = LedgerInfo {
+                user: user.clone(),
+                releases: s.accountant.releases_of(&user),
+                epsilon: loss.is_finite().then(|| loss.epsilon.value()),
+                delta: loki_dp::DEFAULT_DELTA,
+            };
+            Ok(json_response(StatusCode::OK, &info))
+        }),
+    );
+
+    let s = Arc::clone(&state);
+    mount(
+        &mut router,
+        Method::Get,
+        "/metrics",
+        Arc::new(move |_, _| {
+            let metrics = s.enable_metrics();
+            // The ε gauges walk every ledger, so they refresh on scrape
+            // rather than on every submission.
+            metrics.refresh_ledger_gauges(&s.accountant);
+            let mut resp = Response::status(StatusCode::OK);
+            resp.headers
+                .insert("Content-Type", "text/plain; version=0.0.4; charset=utf-8");
+            resp.body = metrics.render_exposition().into();
+            Ok(resp)
+        }),
+    );
+
+    let s = Arc::clone(&state);
+    mount(
+        &mut router,
+        Method::Get,
+        "/accesslog",
+        Arc::new(move |_, _| {
+            Ok(Response::text(
+                StatusCode::OK,
+                s.enable_metrics().access_log().render_tail(100),
+            ))
+        }),
+    );
 
     router
 }
 
-/// Binds the API server on `addr` over fresh or shared state.
+/// Binds the API server on `addr` over fresh or shared state, with the
+/// request observer feeding the state's metrics.
 pub fn serve(addr: &str, state: Arc<AppState>) -> std::io::Result<ServerHandle> {
-    Server::spawn(addr, build_router(state), ServerConfig::default())
+    let metrics = state.enable_metrics();
+    let config = ServerConfig {
+        observer: Some(metrics.observer()),
+        ..ServerConfig::default()
+    };
+    Server::spawn(addr, build_router(state), config)
 }
 
 #[cfg(test)]
@@ -453,6 +588,9 @@ mod tests {
         assert_eq!(v["surveys"], 1);
         assert_eq!(v["submissions"], 1);
         assert_eq!(v["users"], 1);
+        assert_eq!(v["unbounded_users"], 0);
+        assert!(v["epsilon"]["max"].as_f64().unwrap() > 0.0);
+        assert_eq!(v["epsilon"]["p50"], v["epsilon"]["max"]);
         h.shutdown();
     }
 
@@ -463,6 +601,55 @@ mod tests {
             .post("/surveys/1/responses", "application/json", "{broken")
             .unwrap();
         assert_eq!(resp.status, StatusCode::UNPROCESSABLE);
+        h.shutdown();
+    }
+
+    #[test]
+    fn v1_routes_mirror_legacy_routes() {
+        let (h, c, _) = start();
+        c.post("/v1/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+            .unwrap();
+        for path in ["/surveys", "/surveys/1", "/stats", "/ledger/u1", "/health"] {
+            let legacy = c.get(path).unwrap();
+            let v1 = c.get(&format!("/v1{path}")).unwrap();
+            assert_eq!(legacy.status, v1.status, "{path}");
+            assert_eq!(legacy.body, v1.body, "{path}");
+        }
+        h.shutdown();
+    }
+
+    #[test]
+    fn error_envelope_on_framework_errors() {
+        let (h, c, _) = start();
+        // 404 (unknown route) and 405 (wrong method) both envelope.
+        let resp = c.get("/v1/nope").unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["error"]["code"], "not_found");
+
+        let req = loki_net::http::Request::new(loki_net::http::Method::Put, "/v1/surveys");
+        let resp = c.send(req).unwrap();
+        assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["error"]["code"], "method_not_allowed");
+        h.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (h, c, _) = start();
+        c.post("/v1/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+            .unwrap();
+        let resp = c.get("/v1/metrics").unwrap();
+        assert!(resp.status.is_success());
+        assert_eq!(
+            resp.headers.get("content-type"),
+            Some("text/plain; version=0.0.4; charset=utf-8")
+        );
+        let text = String::from_utf8_lossy(&resp.body);
+        assert!(text.contains("# TYPE loki_submit_seconds histogram"), "{text}");
+        assert!(text.contains("loki_submit_seconds_count 1"), "{text}");
+        assert!(text.contains("loki_ledger_users 1"), "{text}");
         h.shutdown();
     }
 }

@@ -139,8 +139,10 @@ fn main() {
         }
     };
     eprintln!("loki-server listening on {}", handle.base_url());
-    eprintln!("routes: /health /surveys /surveys/:id /surveys/:id/responses");
-    eprintln!("        /surveys/:id/results/:q /surveys/:id/choices/:q /ledger/:user /stats");
+    eprintln!("routes (also reachable without the /v1 prefix):");
+    eprintln!("  /v1/health /v1/surveys /v1/surveys/:id /v1/surveys/:id/responses");
+    eprintln!("  /v1/surveys/:id/results/:q /v1/surveys/:id/choices/:q /v1/ledger/:user");
+    eprintln!("  /v1/stats /v1/metrics /v1/accesslog");
     eprintln!("press Ctrl-D to shut down");
 
     // Block until stdin closes, then shut down (and snapshot if asked).

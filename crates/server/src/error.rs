@@ -1,0 +1,180 @@
+//! Typed API errors and the unified `/v1` JSON error envelope.
+//!
+//! Every error the API emits — handler rejections, bad path params,
+//! body-parse failures, and the framework's own 404/405/413 (routed here
+//! through [`loki_net::router::Router::set_error_renderer`]) — renders as
+//!
+//! ```json
+//! {"error": {"code": "budget_exhausted", "message": "…"}}
+//! ```
+//!
+//! The `code` field is a stable machine-readable token; `message` is
+//! human-oriented and may change between releases.
+
+use crate::store::SubmitError;
+use loki_net::http::{Request, Response, StatusCode};
+use loki_net::json::json_response;
+use loki_net::router::Params;
+use serde::de::DeserializeOwned;
+use std::str::FromStr;
+
+/// A typed API error: status + stable code + human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status to respond with.
+    pub status: StatusCode,
+    /// Stable machine-readable error code (snake_case token).
+    pub code: &'static str,
+    /// Human-oriented description.
+    pub message: String,
+}
+
+impl ApiError {
+    /// Creates an error.
+    pub fn new(status: StatusCode, code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error as the unified JSON envelope.
+    pub fn into_response(self) -> Response {
+        error_envelope(self.status, self.code, &self.message)
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]: {}", self.status, self.code, self.message)
+    }
+}
+
+/// The unified error body: `{"error": {"code", "message"}}`.
+pub fn error_envelope(status: StatusCode, code: &str, message: &str) -> Response {
+    json_response(
+        status,
+        &serde_json::json!({"error": {"code": code, "message": message}}),
+    )
+}
+
+impl From<SubmitError> for ApiError {
+    fn from(e: SubmitError) -> ApiError {
+        let (status, code) = match &e {
+            SubmitError::UnknownSurvey => (StatusCode::NOT_FOUND, "unknown_survey"),
+            SubmitError::Duplicate => (StatusCode::CONFLICT, "duplicate_submission"),
+            SubmitError::BudgetExhausted { .. } => (StatusCode::FORBIDDEN, "budget_exhausted"),
+            SubmitError::RawAnswer { .. } => (StatusCode::UNPROCESSABLE, "raw_answer"),
+            SubmitError::UserMismatch => (StatusCode::UNPROCESSABLE, "user_mismatch"),
+            SubmitError::Invalid(_) => (StatusCode::UNPROCESSABLE, "invalid_response"),
+        };
+        ApiError::new(status, code, e.to_string())
+    }
+}
+
+/// Parses a JSON request body: empty → 400 `empty_body`, malformed →
+/// 422 `invalid_json`.
+pub fn parse_body<T: DeserializeOwned>(request: &Request) -> Result<T, ApiError> {
+    if request.body.is_empty() {
+        return Err(ApiError::new(StatusCode::BAD_REQUEST, "empty_body", "empty body"));
+    }
+    serde_json::from_slice(&request.body).map_err(|e| {
+        ApiError::new(
+            StatusCode::UNPROCESSABLE,
+            "invalid_json",
+            format!("invalid JSON body: {e}"),
+        )
+    })
+}
+
+/// Extracts and parses a `:name` path capture, mapping absence or a parse
+/// failure to 400 `bad_param`. Replaces the per-handler
+/// `params.get(..) + parse()` boilerplate.
+pub fn path_param<T: FromStr>(params: &Params, name: &str) -> Result<T, ApiError> {
+    params.get(name).and_then(|raw| raw.parse().ok()).ok_or_else(|| {
+        ApiError::new(
+            StatusCode::BAD_REQUEST,
+            "bad_param",
+            format!("bad path parameter `{name}`"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_net::http::Method;
+
+    #[test]
+    fn envelope_shape() {
+        let resp = error_envelope(StatusCode::NOT_FOUND, "not_found", "nope");
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["error"]["code"], "not_found");
+        assert_eq!(v["error"]["message"], "nope");
+    }
+
+    #[test]
+    fn api_error_round_trips_through_response() {
+        let resp = ApiError::new(StatusCode::FORBIDDEN, "budget_exhausted", "over cap")
+            .into_response();
+        assert_eq!(resp.status, StatusCode::FORBIDDEN);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["error"]["code"], "budget_exhausted");
+    }
+
+    #[test]
+    fn submit_errors_map_to_stable_codes() {
+        let cases = [
+            (SubmitError::UnknownSurvey, 404, "unknown_survey"),
+            (SubmitError::Duplicate, 409, "duplicate_submission"),
+            (
+                SubmitError::BudgetExhausted {
+                    current: Some(1.0),
+                    budget: 2.0,
+                },
+                403,
+                "budget_exhausted",
+            ),
+            (SubmitError::RawAnswer { question: 3 }, 422, "raw_answer"),
+            (SubmitError::UserMismatch, 422, "user_mismatch"),
+            (SubmitError::Invalid("x".into()), 422, "invalid_response"),
+        ];
+        for (e, status, code) in cases {
+            let api: ApiError = e.into();
+            assert_eq!(api.status.0, status, "{code}");
+            assert_eq!(api.code, code);
+        }
+    }
+
+    #[test]
+    fn parse_body_codes() {
+        let empty = Request::new(Method::Post, "/x");
+        let err = parse_body::<serde_json::Value>(&empty).unwrap_err();
+        assert_eq!((err.status.0, err.code), (400, "empty_body"));
+
+        let bad = Request::new(Method::Post, "/x").with_body("{nope");
+        let err = parse_body::<serde_json::Value>(&bad).unwrap_err();
+        assert_eq!((err.status.0, err.code), (422, "invalid_json"));
+
+        let ok = Request::new(Method::Post, "/x").with_body("{\"a\":1}");
+        assert!(parse_body::<serde_json::Value>(&ok).is_ok());
+    }
+
+    #[test]
+    fn path_param_parses_or_400s() {
+        let mut router = loki_net::router::Router::new();
+        let captured = std::sync::Arc::new(parking_lot::Mutex::new(None));
+        let c = std::sync::Arc::clone(&captured);
+        router.get("/s/:id", move |_, params| {
+            *c.lock() = Some(path_param::<u64>(params, "id"));
+            Response::status(StatusCode::OK)
+        });
+        router.dispatch(&Request::new(Method::Get, "/s/42"));
+        assert_eq!(captured.lock().clone().unwrap().unwrap(), 42);
+        router.dispatch(&Request::new(Method::Get, "/s/abc"));
+        let err = captured.lock().clone().unwrap().unwrap_err();
+        assert_eq!((err.status.0, err.code), (400, "bad_param"));
+    }
+}

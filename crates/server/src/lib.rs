@@ -5,13 +5,23 @@
 //!
 //! | Route | Purpose |
 //! |---|---|
-//! | `GET /health` | liveness |
-//! | `GET /surveys` | survey list (Fig. 1(a)'s screen) |
-//! | `GET /surveys/:id` | full survey definition |
-//! | `POST /surveys` | publish a survey |
-//! | `POST /surveys/:id/responses` | upload an **obfuscated** response |
-//! | `GET /surveys/:id/results/:question` | per-bin + pooled estimates |
-//! | `GET /ledger/:user` | cumulative privacy loss of a user |
+//! | `GET /v1/health` | liveness |
+//! | `GET /v1/surveys` | survey list (Fig. 1(a)'s screen) |
+//! | `GET /v1/surveys/:id` | full survey definition |
+//! | `POST /v1/surveys` | publish a survey |
+//! | `POST /v1/surveys/:id/responses` | upload an **obfuscated** response |
+//! | `GET /v1/surveys/:id/results/:question` | per-bin + pooled estimates |
+//! | `GET /v1/surveys/:id/choices/:question` | RR-inverted choice frequencies |
+//! | `GET /v1/ledger/:user` | cumulative privacy loss of a user |
+//! | `GET /v1/stats` | platform totals + ε-distribution summary |
+//! | `GET /v1/metrics` | Prometheus text exposition ([`metrics`]) |
+//! | `GET /v1/accesslog` | recent sanitized access records |
+//!
+//! Every route is also reachable at its unversioned legacy path
+//! (`/surveys` ≡ `/v1/surveys`); both share one handler, so the alias
+//! can never drift. Errors — handler, router, and parser level alike —
+//! render as the unified envelope `{"error": {"code", "message"}}`
+//! ([`error::ApiError`]).
 //!
 //! The at-source property is enforced at ingest: submissions containing
 //! raw (non-obfuscated) answers to obfuscatable questions are rejected
@@ -24,10 +34,14 @@
 
 pub mod api;
 pub mod app;
+pub mod error;
+pub mod metrics;
 pub mod persist;
 pub mod store;
 pub mod wal;
 
 pub use api::{LedgerInfo, QuestionResults, SubmitRequest, SurveySummary};
 pub use app::{build_router, serve};
+pub use error::ApiError;
+pub use metrics::ServerMetrics;
 pub use store::AppState;

@@ -1,0 +1,370 @@
+//! Server metric families over the [`loki_obs`] substrate.
+//!
+//! One [`ServerMetrics`] instance owns every instrument the backend
+//! records into, plus the bounded access log. Handles are `Arc`s resolved
+//! once at construction; the hot path (request observer, submit path)
+//! never touches the registry.
+//!
+//! **Privacy rule for labels:** label values are route shapes, methods,
+//! status classes and privacy levels only — never user identifiers. The
+//! access log likewise stores sanitized route shapes ([`route_shape`]):
+//! `GET /ledger/u123` is logged as `/ledger/:p`, so a scrape of the
+//! observability endpoints cannot become a side channel linking users to
+//! submission times (the linkage attacks of §2 need exactly such joins).
+
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::accountant::Accountant;
+use loki_dp::params::Delta;
+use loki_net::http::Method;
+use loki_net::server::{RequestObserver, RequestTiming};
+use loki_obs::{AccessLog, Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS};
+use std::sync::Arc;
+use std::time::Duration;
+
+const METHODS: [Method; 6] = [
+    Method::Get,
+    Method::Post,
+    Method::Put,
+    Method::Delete,
+    Method::Head,
+    Method::Options,
+];
+const CLASSES: [&str; 4] = ["2xx", "3xx", "4xx", "5xx"];
+const EPSILON_STATS: [&str; 5] = ["p50", "p90", "p99", "mean", "max"];
+
+/// Path segments that are route literals and may appear verbatim in the
+/// access log; every other segment is a parameter and is masked.
+const ROUTE_LITERALS: [&str; 10] = [
+    "v1",
+    "health",
+    "surveys",
+    "responses",
+    "results",
+    "choices",
+    "stats",
+    "ledger",
+    "metrics",
+    "accesslog",
+];
+
+/// Reduces a concrete request path to its route shape, masking every
+/// non-literal segment as `:p` (`/v1/ledger/alice` → `/v1/ledger/:p`).
+pub fn route_shape(path: &str) -> String {
+    let mut shape = String::with_capacity(path.len());
+    for segment in path.split('/').filter(|s| !s.is_empty()) {
+        shape.push('/');
+        if ROUTE_LITERALS.contains(&segment) {
+            shape.push_str(segment);
+        } else {
+            shape.push_str(":p");
+        }
+    }
+    if shape.is_empty() {
+        shape.push('/');
+    }
+    shape
+}
+
+/// Every instrument the backend records into.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    registry: Registry,
+    /// `METHODS × CLASSES` request counters, row-major by method.
+    requests: Vec<Arc<Counter>>,
+    keepalive_reuses: Arc<Counter>,
+    parse_seconds: Arc<Histogram>,
+    dispatch_seconds: Arc<Histogram>,
+    submit_seconds: Arc<Histogram>,
+    wal_write_seconds: Arc<Histogram>,
+    wal_fsync_seconds: Arc<Histogram>,
+    store_lock_seconds: Arc<Histogram>,
+    budget_rejections: Arc<Counter>,
+    /// Accepted-submission counters in [`PrivacyLevel::ALL`] order.
+    submissions_by_level: Vec<Arc<Counter>>,
+    /// Ledger ε gauges in [`EPSILON_STATS`] order.
+    epsilon_gauges: Vec<Arc<Gauge>>,
+    ledger_users: Arc<Gauge>,
+    ledger_unbounded: Arc<Gauge>,
+    access_log: AccessLog,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Registers every family under the `loki_` prefix.
+    pub fn new() -> ServerMetrics {
+        let registry = Registry::new("loki");
+        let mut requests = Vec::with_capacity(METHODS.len() * CLASSES.len());
+        for method in METHODS {
+            for class in CLASSES {
+                requests.push(registry.counter(
+                    "http_requests_total",
+                    "Requests served, by method and status class",
+                    &[("method", method.as_str()), ("class", class)],
+                ));
+            }
+        }
+        let submissions_by_level = PrivacyLevel::ALL
+            .iter()
+            .map(|level| {
+                registry.counter(
+                    "submissions_total",
+                    "Accepted submissions, by chosen privacy level",
+                    &[("level", &level.to_string())],
+                )
+            })
+            .collect();
+        let epsilon_gauges = EPSILON_STATS
+            .iter()
+            .map(|stat| {
+                registry.gauge(
+                    "ledger_epsilon",
+                    "Distribution of cumulative privacy loss (tight ε at the default δ) \
+                     across users with a ledger; refreshed on scrape",
+                    &[("stat", stat)],
+                )
+            })
+            .collect();
+        ServerMetrics {
+            requests,
+            keepalive_reuses: registry.counter(
+                "http_keepalive_reuses_total",
+                "Requests served on an already-used keep-alive connection",
+                &[],
+            ),
+            parse_seconds: registry.histogram(
+                "http_parse_seconds",
+                "Time parsing a request off the socket",
+                LATENCY_BUCKETS,
+                &[],
+            ),
+            dispatch_seconds: registry.histogram(
+                "http_dispatch_seconds",
+                "Time in routing + handler",
+                LATENCY_BUCKETS,
+                &[],
+            ),
+            submit_seconds: registry.histogram(
+                "submit_seconds",
+                "Submission round-trip inside the handler (validation through commit)",
+                LATENCY_BUCKETS,
+                &[],
+            ),
+            wal_write_seconds: registry.histogram(
+                "wal_write_seconds",
+                "Time serializing + writing one journal record",
+                LATENCY_BUCKETS,
+                &[],
+            ),
+            wal_fsync_seconds: registry.histogram(
+                "wal_fsync_seconds",
+                "Time in sync_data for one journal record",
+                LATENCY_BUCKETS,
+                &[],
+            ),
+            store_lock_seconds: registry.histogram(
+                "store_lock_seconds",
+                "Submission-store write-lock hold time",
+                LATENCY_BUCKETS,
+                &[],
+            ),
+            budget_rejections: registry.counter(
+                "budget_rejections_total",
+                "Submissions refused because the user's cumulative ε is at or over the cap",
+                &[],
+            ),
+            submissions_by_level,
+            epsilon_gauges,
+            ledger_users: registry.gauge("ledger_users", "Users with a privacy ledger", &[]),
+            ledger_unbounded: registry.gauge(
+                "ledger_unbounded_users",
+                "Users whose cumulative loss is unbounded (a raw release on record)",
+                &[],
+            ),
+            access_log: AccessLog::with_capacity(1024),
+            registry,
+        }
+    }
+
+    /// A [`RequestObserver`] recording into this instance; install it via
+    /// [`loki_net::server::ServerConfig::observer`].
+    pub fn observer(self: &Arc<Self>) -> RequestObserver {
+        let metrics = Arc::clone(self);
+        Arc::new(move |req, resp, timing| {
+            metrics.on_request(req.method, &req.path, resp.status.0, timing);
+        })
+    }
+
+    /// Records one served request (counter + timing histograms + access
+    /// log). The path is reduced to its route shape before logging.
+    pub fn on_request(&self, method: Method, path: &str, status: u16, timing: &RequestTiming) {
+        let midx = METHODS.iter().position(|m| *m == method).unwrap_or(0);
+        let cidx = match status / 100 {
+            2 => 0,
+            3 => 1,
+            4 => 2,
+            _ => 3,
+        };
+        if let Some(counter) = self.requests.get(midx * CLASSES.len() + cidx) {
+            counter.inc();
+        }
+        self.parse_seconds.observe_duration(timing.parse);
+        self.dispatch_seconds.observe_duration(timing.dispatch);
+        if timing.reused {
+            self.keepalive_reuses.inc();
+        }
+        self.access_log.record(
+            method.as_str(),
+            &route_shape(path),
+            status,
+            timing.parse.as_micros() as u64,
+            timing.dispatch.as_micros() as u64,
+            timing.reused,
+        );
+    }
+
+    /// Counts one budget-cap rejection.
+    pub fn on_budget_rejection(&self) {
+        self.budget_rejections.inc();
+    }
+
+    /// Counts one accepted submission at `level`.
+    pub fn on_submission_stored(&self, level: PrivacyLevel) {
+        let idx = PrivacyLevel::ALL.iter().position(|l| *l == level).unwrap_or(0);
+        if let Some(counter) = self.submissions_by_level.get(idx) {
+            counter.inc();
+        }
+    }
+
+    /// Records a submission-store write-lock hold time.
+    pub fn observe_store_lock(&self, held: Duration) {
+        self.store_lock_seconds.observe_duration(held);
+    }
+
+    /// Records one journal append's write and fsync phases.
+    pub fn observe_wal_append(&self, timing: &crate::wal::AppendTiming) {
+        self.wal_write_seconds.observe_duration(timing.write);
+        self.wal_fsync_seconds.observe_duration(timing.fsync);
+    }
+
+    /// Records a full submission round-trip.
+    pub fn observe_submit(&self, elapsed: Duration) {
+        self.submit_seconds.observe_duration(elapsed);
+    }
+
+    /// Refreshes the ledger ε gauges from the accountant (called on
+    /// scrape, not on every submission — the summary walks every ledger).
+    pub fn refresh_ledger_gauges(&self, accountant: &Accountant) {
+        let summary = accountant.epsilon_summary(Delta::new(loki_dp::DEFAULT_DELTA));
+        let values = [summary.p50, summary.p90, summary.p99, summary.mean, summary.max];
+        for (gauge, value) in self.epsilon_gauges.iter().zip(values) {
+            gauge.set(value);
+        }
+        self.ledger_users.set(summary.users as f64);
+        self.ledger_unbounded.set(summary.unbounded as f64);
+    }
+
+    /// The Prometheus text exposition of every family.
+    pub fn render_exposition(&self) -> String {
+        self.registry.render()
+    }
+
+    /// The bounded access log.
+    pub fn access_log(&self) -> &AccessLog {
+        &self.access_log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_dp::accountant::ReleaseKind;
+
+    #[test]
+    fn route_shape_masks_parameters() {
+        assert_eq!(route_shape("/v1/surveys/17/results/0"), "/v1/surveys/:p/results/:p");
+        assert_eq!(route_shape("/ledger/alice"), "/ledger/:p");
+        assert_eq!(route_shape("/v1/metrics"), "/v1/metrics");
+        assert_eq!(route_shape("/"), "/");
+        assert_eq!(route_shape(""), "/");
+    }
+
+    #[test]
+    fn request_observation_renders_expected_families() {
+        let m = ServerMetrics::new();
+        let timing = RequestTiming {
+            parse: Duration::from_micros(30),
+            dispatch: Duration::from_micros(200),
+            reused: true,
+        };
+        m.on_request(Method::Get, "/v1/ledger/u7", 200, &timing);
+        m.on_request(Method::Post, "/v1/surveys/1/responses", 403, &timing);
+        let text = m.render_exposition();
+        assert!(
+            text.contains("loki_http_requests_total{method=\"GET\",class=\"2xx\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("loki_http_requests_total{method=\"POST\",class=\"4xx\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("loki_http_keepalive_reuses_total 2"), "{text}");
+        assert!(text.contains("loki_http_parse_seconds_bucket"), "{text}");
+        assert!(text.contains("loki_http_dispatch_seconds_count 2"), "{text}");
+        // The access log never retains the raw user-bearing path.
+        let tail = m.access_log().render_tail(10);
+        assert!(tail.contains("path=/v1/ledger/:p"), "{tail}");
+        assert!(!tail.contains("u7"), "{tail}");
+    }
+
+    #[test]
+    fn submit_path_instruments() {
+        let m = ServerMetrics::new();
+        m.on_budget_rejection();
+        m.on_submission_stored(PrivacyLevel::Medium);
+        m.observe_submit(Duration::from_micros(500));
+        m.observe_store_lock(Duration::from_micros(5));
+        m.observe_wal_append(&crate::wal::AppendTiming {
+            write: Duration::from_micros(40),
+            fsync: Duration::from_millis(2),
+        });
+        let text = m.render_exposition();
+        assert!(text.contains("loki_budget_rejections_total 1"), "{text}");
+        assert!(
+            text.contains("loki_submissions_total{level=\"medium\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("loki_submit_seconds_count 1"), "{text}");
+        assert!(text.contains("loki_store_lock_seconds_count 1"), "{text}");
+        assert!(text.contains("loki_wal_fsync_seconds_count 1"), "{text}");
+        assert!(text.contains("loki_wal_write_seconds_count 1"), "{text}");
+    }
+
+    #[test]
+    fn ledger_gauges_refresh_from_accountant() {
+        let m = ServerMetrics::new();
+        let acc = Accountant::new();
+        acc.record(
+            "a",
+            "t",
+            ReleaseKind::Gaussian {
+                sigma: 2.0,
+                sensitivity: 4.0,
+            },
+        );
+        acc.record("b", "t", ReleaseKind::Raw);
+        m.refresh_ledger_gauges(&acc);
+        let text = m.render_exposition();
+        assert!(text.contains("loki_ledger_users 2"), "{text}");
+        assert!(text.contains("loki_ledger_unbounded_users 1"), "{text}");
+        assert!(
+            text.contains("loki_ledger_epsilon{stat=\"max\"} +Inf"),
+            "{text}"
+        );
+        assert!(text.contains("loki_ledger_epsilon{stat=\"p50\"}"), "{text}");
+    }
+}

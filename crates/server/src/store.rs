@@ -84,6 +84,10 @@ pub struct AppState {
     journal: parking_lot::Mutex<Option<crate::wal::Wal>>,
     /// Server-side mirror of cumulative privacy loss per user.
     pub accountant: Accountant,
+    /// Lazily enabled metrics. Until [`AppState::enable_metrics`] is
+    /// called every instrumentation point is a cheap `None` check, so
+    /// un-instrumented state (e.g. bench baselines) pays ~nothing.
+    metrics: std::sync::OnceLock<std::sync::Arc<crate::metrics::ServerMetrics>>,
 }
 
 impl AppState {
@@ -113,6 +117,20 @@ impl AppState {
         *self.journal.lock() = Some(wal);
     }
 
+    /// Enables metrics (idempotent) and returns the shared instance. The
+    /// store's instrumentation points are no-ops until this is called.
+    pub fn enable_metrics(&self) -> std::sync::Arc<crate::metrics::ServerMetrics> {
+        std::sync::Arc::clone(
+            self.metrics
+                .get_or_init(|| std::sync::Arc::new(crate::metrics::ServerMetrics::new())),
+        )
+    }
+
+    /// The metrics instance, if enabled.
+    pub fn metrics(&self) -> Option<&std::sync::Arc<crate::metrics::ServerMetrics>> {
+        self.metrics.get()
+    }
+
     /// Caps every user's cumulative ε; `None` removes the cap.
     pub fn set_epsilon_budget(&self, budget: Option<f64>) {
         if let Some(b) = budget {
@@ -138,7 +156,11 @@ impl AppState {
         if let Some(wal) = self.journal.lock().as_mut() {
             // Journal failures are logged by the caller's error channel in
             // a real deployment; here the in-memory commit stands.
-            let _ = wal.append_survey(&survey);
+            if let Ok(timing) = wal.append_survey(&survey) {
+                if let Some(m) = self.metrics.get() {
+                    m.observe_wal_append(&timing);
+                }
+            }
         }
         true
     }
@@ -212,6 +234,9 @@ impl AppState {
                 true
             };
             if over {
+                if let Some(m) = self.metrics.get() {
+                    m.on_budget_rejection();
+                }
                 return Err(SubmitError::BudgetExhausted {
                     current: loss.is_finite().then(|| loss.epsilon.value()),
                     budget,
@@ -219,6 +244,7 @@ impl AppState {
             }
         }
 
+        let lock_started = std::time::Instant::now();
         let stored = {
             let mut submissions = self.submissions.write();
             let entry = submissions.entry(response.survey).or_default();
@@ -235,8 +261,16 @@ impl AppState {
             });
             entry.len()
         };
+        if let Some(m) = self.metrics.get() {
+            m.observe_store_lock(lock_started.elapsed());
+            m.on_submission_stored(level);
+        }
         if let Some(wal) = self.journal.lock().as_mut() {
-            let _ = wal.append_submission(user, level, &response, releases);
+            if let Ok(timing) = wal.append_submission(user, level, &response, releases) {
+                if let Some(m) = self.metrics.get() {
+                    m.observe_wal_append(&timing);
+                }
+            }
         }
         Ok(stored)
     }
@@ -292,8 +326,10 @@ impl AppState {
             for sub in subs {
                 if let Some(Answer::Choice(c)) = sub.response.get(question) {
                     if *c < options {
-                        bins.entry(sub.level)
-                            .or_insert_with(|| vec![0; options])[*c] += 1;
+                        let hist = bins.entry(sub.level).or_insert_with(|| vec![0; options]);
+                        if let Some(slot) = hist.get_mut(*c) {
+                            *slot += 1;
+                        }
                     }
                 }
             }

@@ -70,6 +70,15 @@ impl From<std::io::Error> for WalError {
     }
 }
 
+/// Timing split of one fsync'd append, for the observability layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppendTiming {
+    /// Serialize + buffered write of the record line.
+    pub write: std::time::Duration,
+    /// The `sync_data` call — the durability cost of the append.
+    pub fsync: std::time::Duration,
+}
+
 /// An open, append-only journal.
 #[derive(Debug)]
 pub struct Wal {
@@ -83,18 +92,25 @@ impl Wal {
         Ok(Wal { file })
     }
 
-    /// Appends one record and syncs it to disk.
-    pub fn append(&mut self, record: &Record) -> Result<(), WalError> {
+    /// Appends one record and syncs it to disk, returning how long the
+    /// write and fsync phases took.
+    pub fn append(&mut self, record: &Record) -> Result<AppendTiming, WalError> {
+        let write_started = std::time::Instant::now();
         let mut line =
             serde_json::to_vec(record).map_err(|e| WalError::Corrupt(e.to_string()))?;
         line.push(b'\n');
         self.file.write_all(&line)?;
+        let write = write_started.elapsed();
+        let fsync_started = std::time::Instant::now();
         self.file.sync_data()?;
-        Ok(())
+        Ok(AppendTiming {
+            write,
+            fsync: fsync_started.elapsed(),
+        })
     }
 
     /// Convenience: journals a survey publication.
-    pub fn append_survey(&mut self, survey: &Survey) -> Result<(), WalError> {
+    pub fn append_survey(&mut self, survey: &Survey) -> Result<AppendTiming, WalError> {
         self.append(&Record::PublishSurvey {
             survey: survey.clone(),
         })
@@ -107,7 +123,7 @@ impl Wal {
         level: PrivacyLevel,
         response: &Response,
         releases: &[(String, ReleaseKind)],
-    ) -> Result<(), WalError> {
+    ) -> Result<AppendTiming, WalError> {
         self.append(&Record::Submit {
             user: user.to_string(),
             level,
@@ -343,6 +359,16 @@ mod tests {
 
         let restored = replay(&path).unwrap();
         assert_eq!(restored.submission_count(SurveyId(1)), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_reports_phase_timing() {
+        let path = tmp("timing.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        let t = wal.append_survey(&survey()).unwrap();
+        assert!(t.write > std::time::Duration::ZERO, "{t:?}");
         std::fs::remove_file(&path).unwrap();
     }
 

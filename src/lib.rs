@@ -17,7 +17,9 @@
 //! * [`core`] — the paper's contribution: privacy levels, at-source
 //!   obfuscation, estimators, budget balancing, the Fig. 2 analysis;
 //! * [`net`] — blocking HTTP/1.1 framework over `std::net`;
-//! * [`server`] — the Loki REST backend;
+//! * [`obs`] — zero-dependency metrics/tracing substrate (counters,
+//!   gauges, histograms, Prometheus exposition, sanitized access log);
+//! * [`server`] — the Loki REST backend (versioned `/v1` API);
 //! * [`client`] — the app-side library (local obfuscation + upload).
 //!
 //! ## Quickstart
@@ -46,6 +48,7 @@ pub use loki_client as client;
 pub use loki_core as core;
 pub use loki_dp as dp;
 pub use loki_net as net;
+pub use loki_obs as obs;
 pub use loki_platform as platform;
 pub use loki_server as server;
 pub use loki_survey as survey;

@@ -26,7 +26,7 @@ fn bench_submit_roundtrip(c: &mut Criterion) {
     let mut b = SurveyBuilder::new(SurveyId(1), "bench");
     b.question("rate", QuestionKind::likert5(), false);
     let survey = b.build().unwrap();
-    state.add_survey(survey.clone());
+    state.add_survey(survey.clone()).unwrap();
     let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
     let base = handle.base_url();
 

@@ -38,7 +38,7 @@ fn releases() -> Vec<(String, ReleaseKind)> {
 /// One batch: a fresh state, `USERS` distinct submissions.
 fn run_batch(instrumented: bool) -> Duration {
     let state = AppState::new();
-    state.add_survey(survey());
+    state.add_survey(survey()).unwrap();
     if instrumented {
         state.enable_metrics();
     }

@@ -1,0 +1,145 @@
+//! GC-1 — group commit vs per-submit fsync on the durable submit path.
+//!
+//! The WAL-first pipeline acks a submission only after its journal record
+//! is fsync-durable, which makes fsync the hot-path cost. Group commit is
+//! what keeps that affordable: N concurrent submitters enqueue on the
+//! committer and share ~1 fsync per batch instead of paying N. This bench
+//! drives `AppState::submit` from 8 threads against a real on-disk
+//! journal in both modes — `max_batch: 1` (every record pays its own
+//! fsync; the pre-group-commit cost model) vs the default batching — and
+//! reports the throughput ratio. The acceptance bar (asserted in CI) is
+//! **≥2×** at concurrency 8; on ordinary disks the measured ratio is far
+//! higher. Override the bar with `LOKI_GC1_MIN` (e.g. on tmpfs-backed CI
+//! where fsync is nearly free and batching has nothing to amortize).
+
+use loki_bench::{banner, f, n, Table};
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::accountant::ReleaseKind;
+use loki_server::store::AppState;
+use loki_server::wal::{GroupCommitConfig, Wal};
+use loki_survey::question::{Answer, QuestionKind};
+use loki_survey::response::Response;
+use loki_survey::survey::{Survey, SurveyBuilder, SurveyId};
+use loki_survey::QuestionId;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const THREADS: usize = 8;
+const SUBMITS_PER_THREAD: usize = 64;
+const TRIALS: usize = 5;
+
+fn survey() -> Survey {
+    let mut b = SurveyBuilder::new(SurveyId(1), "bench");
+    b.question("rate", QuestionKind::likert5(), false);
+    b.build().expect("static survey")
+}
+
+fn releases() -> Vec<(String, ReleaseKind)> {
+    vec![(
+        "survey-1/q0".into(),
+        ReleaseKind::Gaussian {
+            sigma: 1.0,
+            sensitivity: 4.0,
+        },
+    )]
+}
+
+/// One trial: a fresh state + journal, 8 threads × 64 distinct users
+/// submitting concurrently. Returns the wall time of the submit storm.
+fn run_trial(dir: &std::path::Path, trial: usize, max_batch: usize) -> Duration {
+    let path = dir.join(format!("gc1-{max_batch}-{trial}.jsonl"));
+    let _ = std::fs::remove_file(&path);
+    let state = Arc::new(AppState::new());
+    state.add_survey(survey()).unwrap();
+    state.attach_journal_with(
+        Wal::open(&path).expect("open bench journal"),
+        GroupCommitConfig { max_batch },
+    );
+
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let state = Arc::clone(&state);
+            let barrier = Arc::clone(&barrier);
+            let rel = releases();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..SUBMITS_PER_THREAD {
+                    let user = format!("t{t}-u{i}");
+                    let mut r = Response::new(user.clone(), SurveyId(1));
+                    r.answer(QuestionId(0), Answer::Obfuscated(4.0));
+                    state
+                        .submit(&user, PrivacyLevel::Medium, r, &rel)
+                        .expect("bench submission");
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("bench thread");
+    }
+    let elapsed = start.elapsed();
+    state.detach_journal();
+    let _ = std::fs::remove_file(&path);
+    elapsed
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    banner(
+        "GC-1",
+        "group commit vs per-submit fsync, 8 concurrent submitters",
+        "durability must not cost one fsync per submit (>=2x target)",
+    );
+    let dir = std::env::temp_dir().join(format!("loki-gc1-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+
+    // Interleave trials so neither variant owns the warmer half.
+    let mut per_fsync = Vec::with_capacity(TRIALS);
+    let mut grouped = Vec::with_capacity(TRIALS);
+    for trial in 0..TRIALS {
+        per_fsync.push(run_trial(&dir, trial, 1));
+        grouped.push(run_trial(&dir, trial, GroupCommitConfig::default().max_batch));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let total = (THREADS * SUBMITS_PER_THREAD) as f64;
+    let base = median(&mut per_fsync);
+    let batched = median(&mut grouped);
+    let base_rate = total / base.as_secs_f64();
+    let batched_rate = total / batched.as_secs_f64();
+    let speedup = batched_rate / base_rate;
+
+    let mut t = Table::new(&["variant", "submits", "median wall ms", "submits/s"]);
+    t.row(&[
+        "per-submit fsync (max_batch=1)".into(),
+        n(THREADS * SUBMITS_PER_THREAD),
+        f(base.as_secs_f64() * 1e3),
+        f(base_rate),
+    ]);
+    t.row(&[
+        "group commit (default)".into(),
+        n(THREADS * SUBMITS_PER_THREAD),
+        f(batched.as_secs_f64() * 1e3),
+        f(batched_rate),
+    ]);
+    println!("{}", t.render());
+    println!("GC-1 speedup at concurrency {THREADS}: {speedup:.2}x");
+
+    let bar: f64 = std::env::var("LOKI_GC1_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    if speedup >= bar {
+        println!("PASS: >= {bar:.1}x");
+    } else {
+        println!("FAIL: below the {bar:.1}x bar");
+        std::process::exit(1);
+    }
+}

@@ -77,6 +77,8 @@ impl StatusCode {
     pub const UNPROCESSABLE: StatusCode = StatusCode(422);
     /// 500 Internal Server Error.
     pub const INTERNAL_ERROR: StatusCode = StatusCode(500);
+    /// 503 Service Unavailable.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
 
     /// The standard reason phrase.
     pub fn reason(self) -> &'static str {
@@ -94,6 +96,7 @@ impl StatusCode {
             422 => "Unprocessable Entity",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }

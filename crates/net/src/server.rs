@@ -37,6 +37,12 @@ pub struct RequestTiming {
 pub type RequestObserver =
     Arc<dyn Fn(&crate::http::Request, &Response, &RequestTiming) + Send + Sync>;
 
+/// Observer invoked each time the accept loop sheds a connection because
+/// the worker queue is full. Runs on the accept thread; keep it cheap.
+/// Without one installed, saturation is invisible — the whole point of
+/// wiring this up is that dropped connections leave a trace.
+pub type ShedObserver = Arc<dyn Fn() + Send + Sync>;
+
 /// Server tuning.
 #[derive(Clone)]
 pub struct ServerConfig {
@@ -50,6 +56,8 @@ pub struct ServerConfig {
     pub backlog: usize,
     /// Optional per-request observer (access log / metrics hook).
     pub observer: Option<RequestObserver>,
+    /// Optional observer for connections shed by a full worker queue.
+    pub shed_observer: Option<ShedObserver>,
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -60,6 +68,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("parser", &self.parser)
             .field("backlog", &self.backlog)
             .field("observer", &self.observer.is_some())
+            .field("shed_observer", &self.shed_observer.is_some())
             .finish()
     }
 }
@@ -72,6 +81,7 @@ impl Default for ServerConfig {
             parser: ParserConfig::default(),
             backlog: 256,
             observer: None,
+            shed_observer: None,
         }
     }
 }
@@ -119,8 +129,9 @@ impl Server {
             .collect();
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let shed_observer = config.shed_observer.clone();
         let accept_thread = std::thread::spawn(move || {
-            accept_loop(listener, tx, accept_shutdown);
+            accept_loop(listener, tx, accept_shutdown, shed_observer);
         });
 
         Ok(ServerHandle {
@@ -132,7 +143,12 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    shed_observer: Option<ShedObserver>,
+) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::Acquire) {
             break;
@@ -140,8 +156,15 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shutdown: Arc<Atomi
         match stream {
             Ok(s) => {
                 // If the queue is full the connection is dropped — load
-                // shedding beats unbounded queueing.
-                let _ = tx.try_send(s);
+                // shedding beats unbounded queueing — but every shed is
+                // reported so saturation stays diagnosable.
+                if let Err(e) = tx.try_send(s) {
+                    if e.is_full() {
+                        if let Some(observer) = &shed_observer {
+                            observer();
+                        }
+                    }
+                }
             }
             Err(_) => {
                 if shutdown.load(Ordering::Acquire) {
@@ -460,6 +483,43 @@ mod tests {
         drop(s);
         h.shutdown();
         assert_eq!(&*reuses.lock(), &[false, true, true]);
+    }
+
+    #[test]
+    fn sheds_are_observed_when_the_worker_queue_is_full() {
+        use std::sync::atomic::AtomicUsize;
+        let sheds = Arc::new(AtomicUsize::new(0));
+        let config = ServerConfig {
+            workers: 1,
+            backlog: 1,
+            read_timeout: Duration::from_millis(300),
+            shed_observer: Some({
+                let sheds = Arc::clone(&sheds);
+                Arc::new(move || {
+                    sheds.fetch_add(1, Ordering::SeqCst);
+                })
+            }),
+            ..ServerConfig::default()
+        };
+        let h = Server::spawn("127.0.0.1:0", demo_router(), config).unwrap();
+        // Stall the single worker with a half-sent request: it blocks in
+        // read() until the timeout.
+        let mut stall = TcpStream::connect(h.addr()).unwrap();
+        stall.write_all(b"GET /ping HTTP/1.1\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // Flood: the 1-slot queue fills, the rest must be shed — and
+        // every shed counted.
+        let flood: Vec<_> = (0..16)
+            .map(|_| TcpStream::connect(h.addr()).unwrap())
+            .collect();
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            sheds.load(Ordering::SeqCst) >= 1,
+            "saturation left no trace: 0 sheds observed"
+        );
+        drop(flood);
+        drop(stall);
+        h.shutdown();
     }
 
     #[test]

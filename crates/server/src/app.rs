@@ -123,17 +123,19 @@ pub fn build_router(state: Arc<AppState>) -> Router {
                     "survey has no questions",
                 ));
             }
-            if s.add_survey(survey) {
-                Ok(json_response(
+            match s.add_survey(survey) {
+                Ok(true) => Ok(json_response(
                     StatusCode::CREATED,
                     &serde_json::json!({"created": true}),
-                ))
-            } else {
-                Err(ApiError::new(
+                )),
+                Ok(false) => Err(ApiError::new(
                     StatusCode::CONFLICT,
                     "duplicate_survey",
                     "survey id already exists",
-                ))
+                )),
+                // Durability failure: the survey is neither on disk nor
+                // in memory — tell the requester instead of lying.
+                Err(e) => Err(ApiError::from(e)),
             }
         }),
     );
@@ -321,11 +323,12 @@ pub fn build_router(state: Arc<AppState>) -> Router {
 }
 
 /// Binds the API server on `addr` over fresh or shared state, with the
-/// request observer feeding the state's metrics.
+/// request observer and shed counter feeding the state's metrics.
 pub fn serve(addr: &str, state: Arc<AppState>) -> std::io::Result<ServerHandle> {
     let metrics = state.enable_metrics();
     let config = ServerConfig {
         observer: Some(metrics.observer()),
+        shed_observer: Some(metrics.shed_observer()),
         ..ServerConfig::default()
     };
     Server::spawn(addr, build_router(state), config)
@@ -349,7 +352,7 @@ mod tests {
 
     fn start() -> (ServerHandle, HttpClient, Arc<AppState>) {
         let state = Arc::new(AppState::new());
-        state.add_survey(lecturer_survey());
+        state.add_survey(lecturer_survey()).unwrap();
         let h = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
         let c = HttpClient::new(&h.base_url()).unwrap();
         (h, c, state)
@@ -537,7 +540,7 @@ mod tests {
             },
             false,
         );
-        state.add_survey(b.build().unwrap());
+        state.add_survey(b.build().unwrap()).unwrap();
         let h = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
         let c = HttpClient::new(&h.base_url()).unwrap();
 

@@ -127,8 +127,13 @@ fn main() {
         eprintln!("per-user cumulative ε capped at {budget}");
     }
     if opts.demo && state.survey(SurveyId(1)).is_none() {
-        state.add_survey(demo_survey());
-        eprintln!("published demo survey 1");
+        match state.add_survey(demo_survey()) {
+            Ok(_) => eprintln!("published demo survey 1"),
+            Err(e) => {
+                eprintln!("failed to publish demo survey: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let handle = match serve(&opts.addr, Arc::clone(&state)) {

@@ -68,6 +68,7 @@ impl From<SubmitError> for ApiError {
             SubmitError::RawAnswer { .. } => (StatusCode::UNPROCESSABLE, "raw_answer"),
             SubmitError::UserMismatch => (StatusCode::UNPROCESSABLE, "user_mismatch"),
             SubmitError::Invalid(_) => (StatusCode::UNPROCESSABLE, "invalid_response"),
+            SubmitError::Durability(_) => (StatusCode::SERVICE_UNAVAILABLE, "durability"),
         };
         ApiError::new(status, code, e.to_string())
     }
@@ -140,6 +141,11 @@ mod tests {
             (SubmitError::RawAnswer { question: 3 }, 422, "raw_answer"),
             (SubmitError::UserMismatch, 422, "user_mismatch"),
             (SubmitError::Invalid("x".into()), 422, "invalid_response"),
+            (
+                SubmitError::Durability("fsync failed".into()),
+                503,
+                "durability",
+            ),
         ];
         for (e, status, code) in cases {
             let api: ApiError = e.into();

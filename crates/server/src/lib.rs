@@ -28,6 +28,14 @@
 //! with `422` — the server refuses to even store them. The server's
 //! ledger mirrors the client's declared releases so users can query their
 //! cumulative loss (ε tracking, §3.1).
+//!
+//! Writes are **WAL-first**: with a journal attached, `add_survey` and
+//! `submit` block until a dedicated group-committer thread has made the
+//! record fsync-durable, and only then apply it to memory and ack — so a
+//! crash can lose un-acked work but never an acked write. Concurrent
+//! submitters share one fsync per batch ([`wal::GroupCommitter`]); a
+//! durability failure surfaces as a typed 503, never a silent drop
+//! ([`store`]'s durability contract).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -16,10 +16,14 @@ use loki_core::privacy_level::PrivacyLevel;
 use loki_dp::accountant::Accountant;
 use loki_dp::params::Delta;
 use loki_net::http::Method;
-use loki_net::server::{RequestObserver, RequestTiming};
+use loki_net::server::{RequestObserver, RequestTiming, ShedObserver};
 use loki_obs::{AccessLog, Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Buckets for the group-commit batch-size histogram (records per
+/// fsync), powers of two up to the default `max_batch`.
+const BATCH_SIZE_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
 
 const METHODS: [Method; 6] = [
     Method::Get,
@@ -77,6 +81,10 @@ pub struct ServerMetrics {
     submit_seconds: Arc<Histogram>,
     wal_write_seconds: Arc<Histogram>,
     wal_fsync_seconds: Arc<Histogram>,
+    wal_batch_size: Arc<Histogram>,
+    wal_group_commit_seconds: Arc<Histogram>,
+    wal_errors: Arc<Counter>,
+    conns_shed: Arc<Counter>,
     store_lock_seconds: Arc<Histogram>,
     budget_rejections: Arc<Counter>,
     /// Accepted-submission counters in [`PrivacyLevel::ALL`] order.
@@ -166,6 +174,28 @@ impl ServerMetrics {
                 LATENCY_BUCKETS,
                 &[],
             ),
+            wal_batch_size: registry.histogram(
+                "wal_batch_size",
+                "Records made durable per group-commit fsync",
+                BATCH_SIZE_BUCKETS,
+                &[],
+            ),
+            wal_group_commit_seconds: registry.histogram(
+                "wal_group_commit_seconds",
+                "Full group-commit latency of one batch (write + fsync)",
+                LATENCY_BUCKETS,
+                &[],
+            ),
+            wal_errors: registry.counter(
+                "wal_errors_total",
+                "Writes refused because the journal could not make them durable",
+                &[],
+            ),
+            conns_shed: registry.counter(
+                "http_conns_shed_total",
+                "Connections dropped by the accept loop because the worker queue was full",
+                &[],
+            ),
             store_lock_seconds: registry.histogram(
                 "store_lock_seconds",
                 "Submission-store write-lock hold time",
@@ -249,6 +279,36 @@ impl ServerMetrics {
     pub fn observe_wal_append(&self, timing: &crate::wal::AppendTiming) {
         self.wal_write_seconds.observe_duration(timing.write);
         self.wal_fsync_seconds.observe_duration(timing.fsync);
+    }
+
+    /// Records one group-commit batch outcome: a committed batch feeds
+    /// the batch-size and latency histograms (the per-phase write/fsync
+    /// families keep working — each batch is one shared append); a failed
+    /// batch counts every refused write in `loki_wal_errors_total`.
+    pub fn on_wal_batch(&self, event: &crate::wal::BatchEvent) {
+        match event {
+            crate::wal::BatchEvent::Committed(t) => {
+                self.wal_batch_size.observe(t.records as f64);
+                self.wal_group_commit_seconds.observe_duration(t.write + t.fsync);
+                self.wal_write_seconds.observe_duration(t.write);
+                self.wal_fsync_seconds.observe_duration(t.fsync);
+            }
+            crate::wal::BatchEvent::Failed { records } => {
+                self.wal_errors.add(*records as u64);
+            }
+        }
+    }
+
+    /// Counts one shed connection.
+    pub fn on_conn_shed(&self) {
+        self.conns_shed.inc();
+    }
+
+    /// A [`ShedObserver`] recording into this instance; install it via
+    /// [`loki_net::server::ServerConfig::shed_observer`].
+    pub fn shed_observer(self: &Arc<Self>) -> ShedObserver {
+        let metrics = Arc::clone(self);
+        Arc::new(move || metrics.on_conn_shed())
     }
 
     /// Records a full submission round-trip.
@@ -342,6 +402,35 @@ mod tests {
         assert!(text.contains("loki_store_lock_seconds_count 1"), "{text}");
         assert!(text.contains("loki_wal_fsync_seconds_count 1"), "{text}");
         assert!(text.contains("loki_wal_write_seconds_count 1"), "{text}");
+    }
+
+    #[test]
+    fn wal_batch_events_feed_group_commit_families() {
+        let m = ServerMetrics::new();
+        m.on_wal_batch(&crate::wal::BatchEvent::Committed(crate::wal::BatchTiming {
+            write: Duration::from_micros(80),
+            fsync: Duration::from_millis(3),
+            records: 7,
+        }));
+        m.on_wal_batch(&crate::wal::BatchEvent::Failed { records: 4 });
+        let text = m.render_exposition();
+        assert!(text.contains("loki_wal_batch_size_count 1"), "{text}");
+        assert!(text.contains("loki_wal_batch_size_sum 7"), "{text}");
+        assert!(text.contains("loki_wal_group_commit_seconds_count 1"), "{text}");
+        // A committed batch is one shared append for the phase families.
+        assert!(text.contains("loki_wal_write_seconds_count 1"), "{text}");
+        assert!(text.contains("loki_wal_fsync_seconds_count 1"), "{text}");
+        assert!(text.contains("loki_wal_errors_total 4"), "{text}");
+    }
+
+    #[test]
+    fn shed_observer_counts_into_conns_shed() {
+        let m = Arc::new(ServerMetrics::new());
+        let observer = m.shed_observer();
+        observer();
+        observer();
+        let text = m.render_exposition();
+        assert!(text.contains("loki_http_conns_shed_total 2"), "{text}");
     }
 
     #[test]

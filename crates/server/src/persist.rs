@@ -97,8 +97,10 @@ pub fn load(path: &Path) -> Result<AppState, PersistError> {
     }
     let state = AppState::new();
     for survey in snapshot.surveys {
-        if !state.add_survey(survey) {
-            return Err(PersistError::Format("duplicate survey id".into()));
+        match state.add_survey(survey) {
+            Ok(true) => {}
+            Ok(false) => return Err(PersistError::Format("duplicate survey id".into())),
+            Err(e) => return Err(PersistError::Format(format!("replay failed: {e}"))),
         }
     }
     for item in snapshot.submissions {
@@ -171,7 +173,7 @@ mod tests {
         let state = AppState::new();
         let mut b = SurveyBuilder::new(SurveyId(1), "t");
         b.question("rate", QuestionKind::likert5(), false);
-        state.add_survey(b.build().unwrap());
+        state.add_survey(b.build().unwrap()).unwrap();
         for (i, level) in [PrivacyLevel::Low, PrivacyLevel::High].iter().enumerate() {
             let user = format!("u{i}");
             let mut r = Response::new(user.clone(), SurveyId(1));

@@ -1,4 +1,25 @@
-//! In-memory application state behind `parking_lot` locks.
+//! In-memory application state behind `parking_lot` locks, with a
+//! WAL-first write pipeline.
+//!
+//! # Durability contract (journal-then-apply)
+//!
+//! When a journal is attached, every accepted write follows one ordering:
+//!
+//! 1. validate (stateless checks, no locks);
+//! 2. enter the **commit critical section** (per-user for submissions,
+//!    the publish lock for surveys) and run the stateful checks —
+//!    duplicate index, ε-budget;
+//! 3. journal the record through the group committer and **block until
+//!    it is fsync-durable**; a durability failure aborts the write with
+//!    [`SubmitError::Durability`] and no state change;
+//! 4. apply to memory (store + accountant charge);
+//! 5. ack the caller.
+//!
+//! A crash can therefore lose un-acked work but never an acked write:
+//! everything acked is on disk, and replay re-applies it. The ε-budget
+//! check and the accountant charge both happen inside the same per-user
+//! critical section, so two racing submits from one user can never both
+//! pass the cap (the check/charge TOCTOU this module used to have).
 
 use loki_core::estimator::Estimator;
 use loki_core::privacy_level::PrivacyLevel;
@@ -7,8 +28,9 @@ use loki_dp::params::Delta;
 use loki_survey::question::{Answer, QuestionKind};
 use loki_survey::response::Response;
 use loki_survey::survey::{Survey, SurveyId};
-use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// A stored submission: who, at what level, and the uploaded response.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -19,6 +41,15 @@ pub struct StoredSubmission {
     pub level: PrivacyLevel,
     /// The uploaded (obfuscated) response.
     pub response: Response,
+}
+
+/// One survey's stored submissions plus the per-survey user index that
+/// makes the duplicate check O(1) instead of a linear scan of the list.
+/// `users` always contains exactly the users of `list`.
+#[derive(Debug, Default)]
+struct SurveySubmissions {
+    list: Vec<StoredSubmission>,
+    users: HashSet<String>,
 }
 
 /// Why a submission was rejected.
@@ -46,6 +77,10 @@ pub enum SubmitError {
         /// The configured cap.
         budget: f64,
     },
+    /// The write could not be made durable (journal append/fsync failed);
+    /// nothing was applied. Retryable once the disk recovers and the
+    /// journal is re-attached.
+    Durability(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -63,7 +98,38 @@ impl std::fmt::Display for SubmitError {
                 Some(c) => write!(f, "privacy budget exhausted: ε = {c:.3} of {budget:.3}"),
                 None => write!(f, "privacy budget exhausted: unbounded loss recorded"),
             },
+            SubmitError::Durability(e) => write!(f, "write not durable: {e}"),
         }
+    }
+}
+
+/// Where in the commit sequence a fault-injection hook fires. Test-only
+/// machinery, but always compiled: the production cost is one `Option`
+/// check per write, same as the metrics hooks.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// The record is fsync-durable but not yet applied to memory.
+    AfterDurableBeforeApply,
+    /// Applied to memory; the caller has not yet been acked.
+    AfterApplyBeforeAck,
+}
+
+/// A fault-injection hook; panicking inside it simulates a crash at that
+/// point (run the write on a scratch thread and join it).
+#[doc(hidden)]
+pub type CrashHook = Arc<dyn Fn(CrashPoint) + Send + Sync>;
+
+/// Wrapper so [`AppState`] can keep `derive(Debug)` despite holding a
+/// closure.
+#[derive(Default)]
+struct CrashHooks(RwLock<Option<CrashHook>>);
+
+impl std::fmt::Debug for CrashHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CrashHooks")
+            .field(&self.0.read().is_some())
+            .finish()
     }
 }
 
@@ -71,23 +137,37 @@ impl std::fmt::Display for SubmitError {
 #[derive(Debug, Default)]
 pub struct AppState {
     surveys: RwLock<BTreeMap<SurveyId, Survey>>,
-    submissions: RwLock<BTreeMap<SurveyId, Vec<StoredSubmission>>>,
+    submissions: RwLock<BTreeMap<SurveyId, SurveySubmissions>>,
     /// Requester tokens allowed to publish surveys. Empty = open server
     /// (useful for tests and local demos).
-    requester_tokens: RwLock<std::collections::HashSet<String>>,
+    requester_tokens: RwLock<HashSet<String>>,
     /// Optional cap on any user's cumulative ε; submissions from users at
     /// or over the cap are refused (the enforcement arm of §3.1's
     /// "tracked and balanced" loss).
     epsilon_budget: RwLock<Option<f64>>,
-    /// Optional write-ahead journal; accepted writes are appended after
-    /// they commit to memory.
-    journal: parking_lot::Mutex<Option<crate::wal::Wal>>,
+    /// Optional group-commit journal. Behind an `RwLock` (not a `Mutex`)
+    /// so concurrent writers can block on the committer *together* —
+    /// that concurrency is what forms the batches.
+    journal: RwLock<Option<crate::wal::GroupCommitter>>,
+    /// Serializes survey publication (commit critical section for
+    /// `add_survey`): exists-check → journal → apply must be atomic
+    /// against another publish of the same id.
+    publish_lock: Mutex<()>,
+    /// Per-user commit locks: the ε-budget check, the duplicate check,
+    /// the journal append and the accountant charge for one user happen
+    /// under that user's lock, making check+charge atomic without
+    /// serializing unrelated users.
+    user_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     /// Server-side mirror of cumulative privacy loss per user.
     pub accountant: Accountant,
     /// Lazily enabled metrics. Until [`AppState::enable_metrics`] is
     /// called every instrumentation point is a cheap `None` check, so
     /// un-instrumented state (e.g. bench baselines) pays ~nothing.
-    metrics: std::sync::OnceLock<std::sync::Arc<crate::metrics::ServerMetrics>>,
+    /// Inside an `Arc` so the journal's batch observer (which runs on
+    /// the committer thread) can share it.
+    metrics: Arc<std::sync::OnceLock<Arc<crate::metrics::ServerMetrics>>>,
+    /// Fault-injection hook for the crash-point tests.
+    crash_hooks: CrashHooks,
 }
 
 impl AppState {
@@ -109,26 +189,62 @@ impl AppState {
         tokens.is_empty() || token.is_some_and(|t| tokens.contains(t))
     }
 
-    /// Attaches a write-ahead journal: every *subsequently* accepted
-    /// survey publication and submission is appended to it. Use
+    /// Attaches a write-ahead journal with default group-commit tuning:
+    /// every *subsequently* accepted survey publication and submission is
+    /// made fsync-durable **before** it is applied or acked. Use
     /// [`crate::wal::replay`] at startup to restore, then attach the same
-    /// journal for new writes.
+    /// journal path for new writes.
     pub fn attach_journal(&self, wal: crate::wal::Wal) {
-        *self.journal.lock() = Some(wal);
+        self.attach_journal_with(wal, crate::wal::GroupCommitConfig::default());
+    }
+
+    /// [`AppState::attach_journal`] with explicit group-commit tuning
+    /// (`max_batch: 1` degenerates to per-write fsync — the bench
+    /// baseline).
+    pub fn attach_journal_with(&self, wal: crate::wal::Wal, config: crate::wal::GroupCommitConfig) {
+        let metrics = Arc::clone(&self.metrics);
+        let observer: crate::wal::BatchObserver = Arc::new(move |event| {
+            if let Some(m) = metrics.get() {
+                m.on_wal_batch(event);
+            }
+        });
+        *self.journal.write() = Some(crate::wal::GroupCommitter::spawn(
+            wal,
+            config,
+            Some(observer),
+        ));
+    }
+
+    /// Detaches the journal (if any), joining the committer thread so
+    /// every in-flight commit resolves first.
+    pub fn detach_journal(&self) {
+        *self.journal.write() = None;
     }
 
     /// Enables metrics (idempotent) and returns the shared instance. The
     /// store's instrumentation points are no-ops until this is called.
-    pub fn enable_metrics(&self) -> std::sync::Arc<crate::metrics::ServerMetrics> {
-        std::sync::Arc::clone(
+    pub fn enable_metrics(&self) -> Arc<crate::metrics::ServerMetrics> {
+        Arc::clone(
             self.metrics
-                .get_or_init(|| std::sync::Arc::new(crate::metrics::ServerMetrics::new())),
+                .get_or_init(|| Arc::new(crate::metrics::ServerMetrics::new())),
         )
     }
 
     /// The metrics instance, if enabled.
-    pub fn metrics(&self) -> Option<&std::sync::Arc<crate::metrics::ServerMetrics>> {
+    pub fn metrics(&self) -> Option<&Arc<crate::metrics::ServerMetrics>> {
         self.metrics.get()
+    }
+
+    /// Installs (or clears) the crash-point fault-injection hook.
+    #[doc(hidden)]
+    pub fn set_crash_hook(&self, hook: Option<CrashHook>) {
+        *self.crash_hooks.0.write() = hook;
+    }
+
+    fn crash_point(&self, point: CrashPoint) {
+        if let Some(hook) = self.crash_hooks.0.read().as_ref() {
+            hook(point);
+        }
     }
 
     /// Caps every user's cumulative ε; `None` removes the cap.
@@ -144,25 +260,62 @@ impl AppState {
         *self.epsilon_budget.read()
     }
 
-    /// Publishes a survey. Returns `false` if the id already exists.
-    pub fn add_survey(&self, survey: Survey) -> bool {
-        {
-            let mut surveys = self.surveys.write();
-            if surveys.contains_key(&survey.id) {
-                return false;
-            }
-            surveys.insert(survey.id, survey.clone());
-        }
-        if let Some(wal) = self.journal.lock().as_mut() {
-            // Journal failures are logged by the caller's error channel in
-            // a real deployment; here the in-memory commit stands.
-            if let Ok(timing) = wal.append_survey(&survey) {
-                if let Some(m) = self.metrics.get() {
-                    m.observe_wal_append(&timing);
-                }
+    /// This user's commit lock, created on first use.
+    fn user_commit_lock(&self, user: &str) -> Arc<Mutex<()>> {
+        let mut locks = self.user_locks.lock();
+        match locks.get(user) {
+            Some(lock) => Arc::clone(lock),
+            None => {
+                let lock = Arc::new(Mutex::new(()));
+                locks.insert(user.to_string(), Arc::clone(&lock));
+                lock
             }
         }
-        true
+    }
+
+    /// Journals a survey publication (durable before return); no-op
+    /// without an attached journal.
+    fn journal_survey(&self, survey: &Survey) -> Result<(), SubmitError> {
+        let journal = self.journal.read();
+        let Some(committer) = journal.as_ref() else {
+            return Ok(());
+        };
+        committer
+            .commit_survey(survey)
+            .map_err(|e| SubmitError::Durability(e.to_string()))
+    }
+
+    /// Journals an accepted submission (durable before return); no-op
+    /// without an attached journal.
+    fn journal_submission(
+        &self,
+        user: &str,
+        level: PrivacyLevel,
+        response: &Response,
+        releases: &[(String, ReleaseKind)],
+    ) -> Result<(), SubmitError> {
+        let journal = self.journal.read();
+        let Some(committer) = journal.as_ref() else {
+            return Ok(());
+        };
+        committer
+            .commit_submission(user, level, response, releases)
+            .map_err(|e| SubmitError::Durability(e.to_string()))
+    }
+
+    /// Publishes a survey, journal-first. Returns `Ok(false)` if the id
+    /// already exists, `Err(Durability)` if the journal refused the write
+    /// (in which case nothing was published).
+    pub fn add_survey(&self, survey: Survey) -> Result<bool, SubmitError> {
+        let _publish = self.publish_lock.lock();
+        if self.surveys.read().contains_key(&survey.id) {
+            return Ok(false);
+        }
+        self.journal_survey(&survey)?;
+        self.crash_point(CrashPoint::AfterDurableBeforeApply);
+        self.surveys.write().insert(survey.id, survey);
+        self.crash_point(CrashPoint::AfterApplyBeforeAck);
+        Ok(true)
     }
 
     /// A survey by id.
@@ -177,16 +330,33 @@ impl AppState {
 
     /// Number of stored submissions for a survey.
     pub fn submission_count(&self, id: SurveyId) -> usize {
-        self.submissions.read().get(&id).map_or(0, Vec::len)
+        self.submissions.read().get(&id).map_or(0, |s| s.list.len())
     }
 
     /// All submissions for a survey.
     pub fn submissions(&self, id: SurveyId) -> Vec<StoredSubmission> {
-        self.submissions.read().get(&id).cloned().unwrap_or_default()
+        self.submissions
+            .read()
+            .get(&id)
+            .map(|s| s.list.clone())
+            .unwrap_or_default()
+    }
+
+    /// Whether `user` has already submitted to `survey` (O(1) via the
+    /// per-survey user index).
+    pub fn has_submitted(&self, survey: SurveyId, user: &str) -> bool {
+        self.submissions
+            .read()
+            .get(&survey)
+            .is_some_and(|s| s.users.contains(user))
     }
 
     /// Validates and stores a submission, recording the declared ledger
     /// entries. Returns the new submission count for the survey.
+    ///
+    /// Write ordering when a journal is attached: stateful checks →
+    /// journal (blocking until fsync-durable) → apply → ack, all inside
+    /// this user's commit critical section. See the module docs.
     pub fn submit(
         &self,
         user: &str,
@@ -194,6 +364,7 @@ impl AppState {
         response: Response,
         releases: &[(String, ReleaseKind)],
     ) -> Result<usize, SubmitError> {
+        // Stateless validation first — no locks held.
         if response.worker != user {
             return Err(SubmitError::UserMismatch);
         }
@@ -226,6 +397,17 @@ impl AppState {
             }
         }
 
+        // Commit critical section: everything from the budget check to
+        // the accountant charge holds this user's lock, so check+charge
+        // is atomic per user and unrelated users proceed in parallel
+        // (their concurrent journal commits form the fsync batches).
+        let user_lock = self.user_commit_lock(user);
+        let _user_guard = user_lock.lock();
+
+        if self.has_submitted(response.survey, user) {
+            return Err(SubmitError::Duplicate);
+        }
+
         if let Some(budget) = self.epsilon_budget() {
             let loss = self.user_loss(user);
             let over = if loss.is_finite() {
@@ -244,34 +426,31 @@ impl AppState {
             }
         }
 
+        // Durable before applied: a failure here aborts with no state
+        // change, and the client is told instead of silently dropped.
+        self.journal_submission(user, level, &response, releases)?;
+        self.crash_point(CrashPoint::AfterDurableBeforeApply);
+
         let lock_started = std::time::Instant::now();
         let stored = {
             let mut submissions = self.submissions.write();
             let entry = submissions.entry(response.survey).or_default();
-            if entry.iter().any(|s| s.user == user) {
-                return Err(SubmitError::Duplicate);
-            }
             for (tag, kind) in releases {
                 self.accountant.record(user, tag.clone(), *kind);
             }
-            entry.push(StoredSubmission {
+            entry.users.insert(user.to_string());
+            entry.list.push(StoredSubmission {
                 user: user.to_string(),
                 level,
-                response: response.clone(),
+                response,
             });
-            entry.len()
+            entry.list.len()
         };
         if let Some(m) = self.metrics.get() {
             m.observe_store_lock(lock_started.elapsed());
             m.on_submission_stored(level);
         }
-        if let Some(wal) = self.journal.lock().as_mut() {
-            if let Ok(timing) = wal.append_submission(user, level, &response, releases) {
-                if let Some(m) = self.metrics.get() {
-                    m.observe_wal_append(&timing);
-                }
-            }
-        }
+        self.crash_point(CrashPoint::AfterApplyBeforeAck);
         Ok(stored)
     }
 
@@ -283,7 +462,7 @@ impl AppState {
     ) -> BTreeMap<PrivacyLevel, Vec<f64>> {
         let mut bins: BTreeMap<PrivacyLevel, Vec<f64>> = BTreeMap::new();
         if let Some(subs) = self.submissions.read().get(&survey) {
-            for sub in subs {
+            for sub in &subs.list {
                 if let Some(v) = sub.response.get(question).and_then(Answer::as_f64) {
                     bins.entry(sub.level).or_default().push(v);
                 }
@@ -323,7 +502,7 @@ impl AppState {
     ) -> BTreeMap<PrivacyLevel, Vec<u64>> {
         let mut bins: BTreeMap<PrivacyLevel, Vec<u64>> = BTreeMap::new();
         if let Some(subs) = self.submissions.read().get(&survey) {
-            for sub in subs {
+            for sub in &subs.list {
                 if let Some(Answer::Choice(c)) = sub.response.get(question) {
                     if *c < options {
                         let hist = bins.entry(sub.level).or_insert_with(|| vec![0; options]);
@@ -425,6 +604,12 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn one_question_survey(id: u64) -> Survey {
+        let mut b = SurveyBuilder::new(SurveyId(id), format!("s{id}"));
+        b.question("rate", QuestionKind::likert5(), false);
+        b.build().unwrap()
+    }
+
     fn obfuscated_response(user: &str, v: f64) -> Response {
         let mut r = Response::new(user, SurveyId(1));
         r.answer(QuestionId(0), Answer::Obfuscated(v));
@@ -445,8 +630,11 @@ mod tests {
     #[test]
     fn add_and_list_surveys() {
         let s = AppState::new();
-        assert!(s.add_survey(survey()));
-        assert!(!s.add_survey(survey()), "duplicate id must be rejected");
+        assert!(s.add_survey(survey()).unwrap());
+        assert!(
+            !s.add_survey(survey()).unwrap(),
+            "duplicate id must be rejected"
+        );
         assert_eq!(s.surveys().len(), 1);
         assert!(s.survey(SurveyId(1)).is_some());
         assert!(s.survey(SurveyId(9)).is_none());
@@ -455,7 +643,7 @@ mod tests {
     #[test]
     fn submit_and_count() {
         let s = AppState::new();
-        s.add_survey(survey());
+        s.add_survey(survey()).unwrap();
         let n = s
             .submit(
                 "u1",
@@ -472,25 +660,46 @@ mod tests {
     #[test]
     fn duplicate_submission_rejected() {
         let s = AppState::new();
-        s.add_survey(survey());
+        s.add_survey(survey()).unwrap();
         s.submit("u1", PrivacyLevel::Low, obfuscated_response("u1", 4.0), &[])
             .unwrap();
         let err = s
             .submit("u1", PrivacyLevel::Low, obfuscated_response("u1", 4.0), &[])
             .unwrap_err();
         assert_eq!(err, SubmitError::Duplicate);
+        assert!(s.has_submitted(SurveyId(1), "u1"));
+        assert!(!s.has_submitted(SurveyId(1), "u2"));
+    }
+
+    #[test]
+    fn user_index_stays_consistent_with_list() {
+        let s = AppState::new();
+        s.add_survey(survey()).unwrap();
+        for i in 0..50 {
+            let user = format!("u{i}");
+            s.submit(
+                &user,
+                PrivacyLevel::Low,
+                obfuscated_response(&user, 3.0),
+                &[],
+            )
+            .unwrap();
+        }
+        let subs = s.submissions(SurveyId(1));
+        assert_eq!(subs.len(), 50);
+        for sub in &subs {
+            assert!(s.has_submitted(SurveyId(1), &sub.user));
+        }
     }
 
     #[test]
     fn raw_answer_refused() {
         let s = AppState::new();
-        s.add_survey(survey());
+        s.add_survey(survey()).unwrap();
         let mut r = Response::new("u1", SurveyId(1));
         r.answer(QuestionId(0), Answer::Rating(4.0)); // raw!
         r.answer(QuestionId(1), Answer::Obfuscated(3.0));
-        let err = s
-            .submit("u1", PrivacyLevel::None, r, &[])
-            .unwrap_err();
+        let err = s.submit("u1", PrivacyLevel::None, r, &[]).unwrap_err();
         assert_eq!(err, SubmitError::RawAnswer { question: 0 });
         assert_eq!(s.submission_count(SurveyId(1)), 0);
     }
@@ -498,7 +707,7 @@ mod tests {
     #[test]
     fn user_mismatch_refused() {
         let s = AppState::new();
-        s.add_survey(survey());
+        s.add_survey(survey()).unwrap();
         let err = s
             .submit("mallory", PrivacyLevel::Low, obfuscated_response("alice", 4.0), &[])
             .unwrap_err();
@@ -519,7 +728,7 @@ mod tests {
     #[test]
     fn results_aggregate_by_bin() {
         let s = AppState::new();
-        s.add_survey(survey());
+        s.add_survey(survey()).unwrap();
         for (i, level) in [
             PrivacyLevel::None,
             PrivacyLevel::Low,
@@ -543,7 +752,7 @@ mod tests {
     #[test]
     fn budget_cap_blocks_exhausted_users() {
         let s = AppState::new();
-        s.add_survey(survey());
+        s.add_survey(survey()).unwrap();
         // One medium-privacy answer costs ε ≈ 24; cap just above one
         // release so the second is refused.
         let per_release = loki_core::privacy_level::PrivacyLevel::Medium
@@ -563,7 +772,7 @@ mod tests {
         // Second survey for the same user.
         let mut b2 = SurveyBuilder::new(SurveyId(2), "second");
         b2.question("rate", QuestionKind::likert5(), false);
-        s.add_survey(b2.build().unwrap());
+        s.add_survey(b2.build().unwrap()).unwrap();
         let mut r = Response::new("u1", SurveyId(2));
         r.answer(QuestionId(0), Answer::Obfuscated(3.0));
         let err = s
@@ -582,7 +791,7 @@ mod tests {
     #[test]
     fn budget_cap_blocks_unbounded_users() {
         let s = AppState::new();
-        s.add_survey(survey());
+        s.add_survey(survey()).unwrap();
         s.set_epsilon_budget(Some(100.0));
         // A raw release makes the user's loss unbounded.
         s.accountant
@@ -597,6 +806,90 @@ mod tests {
     }
 
     #[test]
+    fn budget_check_and_charge_are_atomic_per_user() {
+        // Regression for the check/charge TOCTOU: a user sitting just
+        // under the cap fires 8 concurrent submits (distinct surveys, so
+        // Duplicate can't mask the race). Exactly one may pass — under
+        // the old unlocked check, several could read the stale loss and
+        // all slip under the cap.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let s = Arc::new(AppState::new());
+        let threads = 8u64;
+        for id in 1..=threads {
+            s.add_survey(one_question_survey(id)).unwrap();
+        }
+        // Probe the accountant for the composed loss after one and two
+        // releases, then pin the cap strictly between them: the user sits
+        // at cap − ε₁, one more release fits, two do not.
+        let probe = AppState::new();
+        probe.accountant.record("p", "a", gaussian_release("a").1);
+        let one = probe.user_loss("p").epsilon.value();
+        probe.accountant.record("p", "b", gaussian_release("b").1);
+        let two = probe.user_loss("p").epsilon.value();
+        assert!(two > one);
+        s.accountant.record("u1", "warmup", gaussian_release("warmup").1);
+        s.set_epsilon_budget(Some((one + two) / 2.0));
+
+        let ok = Arc::new(AtomicUsize::new(0));
+        let rejected = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(threads as usize));
+        let handles: Vec<_> = (1..=threads)
+            .map(|id| {
+                let s = Arc::clone(&s);
+                let ok = Arc::clone(&ok);
+                let rejected = Arc::clone(&rejected);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut r = Response::new("u1", SurveyId(id));
+                    r.answer(QuestionId(0), Answer::Obfuscated(3.0));
+                    let release = gaussian_release(&format!("survey-{id}/q0"));
+                    barrier.wait();
+                    match s.submit("u1", PrivacyLevel::Low, r, &[release]) {
+                        Ok(_) => ok.fetch_add(1, Ordering::SeqCst),
+                        Err(SubmitError::BudgetExhausted { .. }) => {
+                            rejected.fetch_add(1, Ordering::SeqCst)
+                        }
+                        Err(e) => panic!("unexpected error: {e:?}"),
+                    };
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ok.load(Ordering::SeqCst), 1, "exactly one submit under cap");
+        assert_eq!(rejected.load(Ordering::SeqCst), (threads - 1) as usize);
+        // The ledger holds warmup + exactly one charged release.
+        assert_eq!(s.accountant.releases_of("u1"), 2);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn journal_failure_surfaces_and_applies_nothing() {
+        // /dev/full fails every write with ENOSPC: the submit must come
+        // back as Durability and leave no trace in memory or the ledger.
+        let s = AppState::new();
+        s.add_survey(survey()).unwrap();
+        s.attach_journal(crate::wal::Wal::open(std::path::Path::new("/dev/full")).unwrap());
+        let err = s
+            .submit(
+                "u1",
+                PrivacyLevel::Medium,
+                obfuscated_response("u1", 4.0),
+                &[gaussian_release("t0")],
+            )
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::Durability(_)), "{err:?}");
+        assert_eq!(s.submission_count(SurveyId(1)), 0);
+        assert_eq!(s.accountant.releases_of("u1"), 0);
+        assert!(!s.has_submitted(SurveyId(1), "u1"));
+        // Publishing is refused the same way (journal now poisoned).
+        let err = s.add_survey(one_question_survey(2)).unwrap_err();
+        assert!(matches!(err, SubmitError::Durability(_)));
+        assert_eq!(s.surveys().len(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "budget must be positive")]
     fn non_positive_budget_rejected() {
         let s = AppState::new();
@@ -606,7 +899,7 @@ mod tests {
     #[test]
     fn ledger_reflects_releases() {
         let s = AppState::new();
-        s.add_survey(survey());
+        s.add_survey(survey()).unwrap();
         s.submit(
             "u1",
             PrivacyLevel::Medium,

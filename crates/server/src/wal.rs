@@ -1,11 +1,21 @@
-//! Write-ahead journal persistence.
+//! Write-ahead journal persistence and the group-commit protocol.
 //!
 //! Snapshots ([`crate::persist`]) capture a moment; the journal captures
 //! every accepted write as one JSON line, fsync'd, so a crash loses at
-//! most the torn final line. Replay rebuilds an [`AppState`] through the
-//! normal ingest path, re-validating every record — a corrupted journal
-//! can fail replay, but can never smuggle an invalid submission past the
-//! at-source checks.
+//! most the torn final line. The store journals **before** it applies:
+//! a record reaches memory (and its client an ack) only after the bytes
+//! are durable, so replay always converges to a superset of what clients
+//! were acked ([`crate::store`]'s durability contract).
+//!
+//! Durability is made affordable by **group commit**: writers enqueue
+//! encoded records on a [`GroupCommitter`] and block; a dedicated
+//! committer thread drains the queue, writes the whole batch with one
+//! `write` and one `sync_data`, then wakes every waiter. N concurrent
+//! submitters share ~1 fsync instead of paying N.
+//!
+//! Replay rebuilds an [`AppState`] through the normal ingest path,
+//! re-validating every record — a corrupted journal can fail replay, but
+//! can never smuggle an invalid submission past the at-source checks.
 
 use crate::store::{AppState, SubmitError};
 use loki_core::privacy_level::PrivacyLevel;
@@ -16,6 +26,8 @@ use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
 
 /// One journal record.
 ///
@@ -41,6 +53,24 @@ pub enum Record {
         response: Response,
         /// Declared ledger entries.
         releases: Vec<(String, ReleaseKind)>,
+    },
+}
+
+/// Borrowed mirror of [`Record`] so the commit path can serialize
+/// straight from the caller's references — no clone of the response or
+/// releases just to journal them. Tagging must match `Record` exactly so
+/// both encode to the same JSON lines.
+#[derive(Serialize)]
+#[serde(rename_all = "snake_case")]
+enum RecordRef<'a> {
+    PublishSurvey {
+        survey: &'a Survey,
+    },
+    Submit {
+        user: &'a str,
+        level: PrivacyLevel,
+        response: &'a Response,
+        releases: &'a [(String, ReleaseKind)],
     },
 }
 
@@ -70,6 +100,25 @@ impl From<std::io::Error> for WalError {
     }
 }
 
+/// A durability failure as seen by one blocked writer. Cloneable so a
+/// single failed batch can answer every waiter it contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityError(String);
+
+impl DurabilityError {
+    fn new(message: impl Into<String>) -> DurabilityError {
+        DurabilityError(message.into())
+    }
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
 /// Timing split of one fsync'd append, for the observability layer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AppendTiming {
@@ -77,6 +126,49 @@ pub struct AppendTiming {
     pub write: std::time::Duration,
     /// The `sync_data` call — the durability cost of the append.
     pub fsync: std::time::Duration,
+}
+
+/// Timing of one group-committed batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchTiming {
+    /// Buffered write of every line in the batch.
+    pub write: std::time::Duration,
+    /// The single `sync_data` covering the whole batch.
+    pub fsync: std::time::Duration,
+    /// Records in the batch (≥ 1).
+    pub records: usize,
+}
+
+/// What the committer thread reports to its observer after each batch.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchEvent {
+    /// The batch was written and fsync'd; every waiter was acked.
+    Committed(BatchTiming),
+    /// The batch failed (I/O error, or the journal was already poisoned
+    /// by an earlier failure); `records` waiters received a
+    /// [`DurabilityError`].
+    Failed {
+        /// Writers refused in this batch.
+        records: usize,
+    },
+}
+
+/// Observer invoked on the committer thread after every batch (metrics
+/// hook). Keep it cheap — it runs inside the commit pipeline.
+pub type BatchObserver = Arc<dyn Fn(&BatchEvent) + Send + Sync>;
+
+/// Group-commit tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupCommitConfig {
+    /// Maximum records batched under one fsync. `1` degenerates to
+    /// per-record fsync (the GC-1 bench baseline).
+    pub max_batch: usize,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig { max_batch: 128 }
+    }
 }
 
 /// An open, append-only journal.
@@ -95,17 +187,26 @@ impl Wal {
     /// Appends one record and syncs it to disk, returning how long the
     /// write and fsync phases took.
     pub fn append(&mut self, record: &Record) -> Result<AppendTiming, WalError> {
+        let line = encode_line(record)?;
+        let t = self.append_encoded(&line, 1)?;
+        Ok(AppendTiming {
+            write: t.write,
+            fsync: t.fsync,
+        })
+    }
+
+    /// Appends `records` pre-encoded, newline-terminated lines with one
+    /// buffered write and one `sync_data` — the group-commit primitive.
+    pub fn append_encoded(&mut self, bytes: &[u8], records: usize) -> Result<BatchTiming, WalError> {
         let write_started = std::time::Instant::now();
-        let mut line =
-            serde_json::to_vec(record).map_err(|e| WalError::Corrupt(e.to_string()))?;
-        line.push(b'\n');
-        self.file.write_all(&line)?;
+        self.file.write_all(bytes)?;
         let write = write_started.elapsed();
         let fsync_started = std::time::Instant::now();
         self.file.sync_data()?;
-        Ok(AppendTiming {
+        Ok(BatchTiming {
             write,
             fsync: fsync_started.elapsed(),
+            records,
         })
     }
 
@@ -130,6 +231,173 @@ impl Wal {
             response: response.clone(),
             releases: releases.to_vec(),
         })
+    }
+}
+
+/// Serializes any record shape to one newline-terminated journal line.
+fn encode_line<T: Serialize>(record: &T) -> Result<Vec<u8>, WalError> {
+    let mut line = serde_json::to_vec(record).map_err(|e| WalError::Corrupt(e.to_string()))?;
+    line.push(b'\n');
+    Ok(line)
+}
+
+/// One blocked writer's entry on the commit queue.
+struct CommitRequest {
+    /// The encoded, newline-terminated journal line.
+    line: Vec<u8>,
+    /// Wakes the writer once its batch is durable (or failed).
+    done: mpsc::SyncSender<Result<(), DurabilityError>>,
+}
+
+/// The group-commit engine: a commit queue plus a dedicated committer
+/// thread that batches queued records under a single fsync.
+///
+/// Writers call [`GroupCommitter::commit_survey`] /
+/// [`GroupCommitter::commit_submission`] and block until their record is
+/// durable. After an I/O failure the journal is **poisoned**: the failed
+/// batch and every later commit are refused with a [`DurabilityError`]
+/// (the file may hold a torn line, so continuing to append could corrupt
+/// the middle of the journal). Recovery is operator-level: restart with
+/// a healthy disk, replay, re-attach.
+///
+/// Dropping the committer closes the queue and joins the thread, so every
+/// in-flight commit resolves before shutdown completes.
+pub struct GroupCommitter {
+    tx: Option<mpsc::Sender<CommitRequest>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for GroupCommitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupCommitter")
+            .field("alive", &self.thread.is_some())
+            .finish()
+    }
+}
+
+impl GroupCommitter {
+    /// Takes ownership of an open journal and spawns the committer
+    /// thread. `observer` (if any) is called after every batch.
+    pub fn spawn(
+        wal: Wal,
+        config: GroupCommitConfig,
+        observer: Option<BatchObserver>,
+    ) -> GroupCommitter {
+        let (tx, rx) = mpsc::channel::<CommitRequest>();
+        let max_batch = config.max_batch.max(1);
+        let thread = std::thread::spawn(move || {
+            committer_loop(wal, &rx, max_batch, observer.as_ref());
+        });
+        GroupCommitter {
+            tx: Some(tx),
+            thread: Some(thread),
+        }
+    }
+
+    /// Blocks until a survey publication is fsync-durable.
+    pub fn commit_survey(&self, survey: &Survey) -> Result<(), DurabilityError> {
+        let line = encode_line(&RecordRef::PublishSurvey { survey })
+            .map_err(|e| DurabilityError::new(e.to_string()))?;
+        self.commit_line(line)
+    }
+
+    /// Blocks until an accepted submission is fsync-durable.
+    pub fn commit_submission(
+        &self,
+        user: &str,
+        level: PrivacyLevel,
+        response: &Response,
+        releases: &[(String, ReleaseKind)],
+    ) -> Result<(), DurabilityError> {
+        let line = encode_line(&RecordRef::Submit {
+            user,
+            level,
+            response,
+            releases,
+        })
+        .map_err(|e| DurabilityError::new(e.to_string()))?;
+        self.commit_line(line)
+    }
+
+    /// Enqueues one encoded line and blocks until its batch resolves.
+    fn commit_line(&self, line: Vec<u8>) -> Result<(), DurabilityError> {
+        let (done, done_rx) = mpsc::sync_channel(1);
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(DurabilityError::new("journal closed"));
+        };
+        tx.send(CommitRequest { line, done })
+            .map_err(|_| DurabilityError::new("group committer stopped"))?;
+        done_rx
+            .recv()
+            .unwrap_or_else(|_| Err(DurabilityError::new("group committer dropped the batch")))
+    }
+}
+
+impl Drop for GroupCommitter {
+    fn drop(&mut self) {
+        // Closing the queue lets the thread drain in-flight batches and
+        // exit; joining guarantees every waiter has been answered.
+        drop(self.tx.take());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The committer thread: drain → batch-write → single fsync → wake.
+fn committer_loop(
+    mut wal: Wal,
+    rx: &mpsc::Receiver<CommitRequest>,
+    max_batch: usize,
+    observer: Option<&BatchObserver>,
+) {
+    let mut poisoned: Option<String> = None;
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
+        }
+        if let Some(reason) = &poisoned {
+            let err =
+                DurabilityError::new(format!("journal poisoned by earlier failure: {reason}"));
+            let records = batch.len();
+            for req in batch {
+                let _ = req.done.send(Err(err.clone()));
+            }
+            if let Some(obs) = observer {
+                obs(&BatchEvent::Failed { records });
+            }
+            continue;
+        }
+        let mut bytes = Vec::with_capacity(batch.iter().map(|r| r.line.len()).sum());
+        for req in &batch {
+            bytes.extend_from_slice(&req.line);
+        }
+        match wal.append_encoded(&bytes, batch.len()) {
+            Ok(timing) => {
+                for req in batch {
+                    let _ = req.done.send(Ok(()));
+                }
+                if let Some(obs) = observer {
+                    obs(&BatchEvent::Committed(timing));
+                }
+            }
+            Err(e) => {
+                let message = e.to_string();
+                let err = DurabilityError::new(&message);
+                let records = batch.len();
+                for req in batch {
+                    let _ = req.done.send(Err(err.clone()));
+                }
+                if let Some(obs) = observer {
+                    obs(&BatchEvent::Failed { records });
+                }
+                poisoned = Some(message);
+            }
+        }
     }
 }
 
@@ -163,13 +431,17 @@ pub fn replay(path: &Path) -> Result<AppState, WalError> {
             }
         };
         match record {
-            Record::PublishSurvey { survey } => {
-                if !state.add_survey(survey) {
+            Record::PublishSurvey { survey } => match state.add_survey(survey) {
+                Ok(true) => {}
+                Ok(false) => {
                     return Err(WalError::Corrupt(format!(
                         "line {index}: duplicate survey id"
                     )));
                 }
-            }
+                Err(e) => {
+                    return Err(WalError::Corrupt(format!("line {index}: {e}")));
+                }
+            },
             Record::Submit {
                 user,
                 level,
@@ -325,7 +597,7 @@ mod tests {
         let state = AppState::new();
         state.attach_journal(Wal::open(&path).unwrap());
 
-        state.add_survey(survey());
+        state.add_survey(survey()).unwrap();
         let (resp, rel) = submission("alice");
         state
             .submit("alice", PrivacyLevel::Medium, resp, &rel)
@@ -350,7 +622,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let state = AppState::new();
         state.attach_journal(Wal::open(&path).unwrap());
-        state.add_survey(survey());
+        state.add_survey(survey()).unwrap();
 
         // Raw answer: rejected, and must not be journaled.
         let mut raw = Response::new("evil", SurveyId(1));
@@ -393,5 +665,166 @@ mod tests {
         let back: Record = serde_json::from_str(&json).unwrap();
         assert_eq!(rec, back);
         assert!(json.contains("\"submit\""));
+    }
+
+    #[test]
+    fn record_ref_encodes_identically_to_record() {
+        let (resp, rel) = submission("x");
+        let owned = encode_line(&Record::Submit {
+            user: "x".into(),
+            level: PrivacyLevel::High,
+            response: resp.clone(),
+            releases: rel.clone(),
+        })
+        .unwrap();
+        let borrowed = encode_line(&RecordRef::Submit {
+            user: "x",
+            level: PrivacyLevel::High,
+            response: &resp,
+            releases: &rel,
+        })
+        .unwrap();
+        assert_eq!(owned, borrowed);
+
+        let s = survey();
+        let owned = encode_line(&Record::PublishSurvey { survey: s.clone() }).unwrap();
+        let borrowed = encode_line(&RecordRef::PublishSurvey { survey: &s }).unwrap();
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn group_commit_concurrent_writers_all_durable() {
+        let path = tmp("group.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let committer = Arc::new(GroupCommitter::spawn(
+            Wal::open(&path).unwrap(),
+            GroupCommitConfig::default(),
+            None,
+        ));
+        committer.commit_survey(&survey()).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let committer = Arc::clone(&committer);
+                std::thread::spawn(move || {
+                    for i in 0..10 {
+                        let user = format!("t{t}-u{i}");
+                        let (resp, rel) = submission(&user);
+                        committer
+                            .commit_submission(&user, PrivacyLevel::Medium, &resp, &rel)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        drop(Arc::try_unwrap(committer).unwrap()); // join the committer
+        let state = replay(&path).unwrap();
+        assert_eq!(state.submission_count(SurveyId(1)), 80);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_under_load() {
+        // With many writers racing one committer, at least one batch must
+        // carry more than one record (that is the whole point).
+        let path = tmp("batching.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let max_seen = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let observer: BatchObserver = {
+            let max_seen = Arc::clone(&max_seen);
+            Arc::new(move |event| {
+                if let BatchEvent::Committed(t) = event {
+                    max_seen.fetch_max(t.records, std::sync::atomic::Ordering::Relaxed);
+                }
+            })
+        };
+        let committer = Arc::new(GroupCommitter::spawn(
+            Wal::open(&path).unwrap(),
+            GroupCommitConfig::default(),
+            Some(observer),
+        ));
+        committer.commit_survey(&survey()).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let committer = Arc::clone(&committer);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        let user = format!("t{t}-u{i}");
+                        let (resp, rel) = submission(&user);
+                        committer
+                            .commit_submission(&user, PrivacyLevel::Medium, &resp, &rel)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        drop(Arc::try_unwrap(committer).unwrap());
+        assert!(
+            max_seen.load(std::sync::atomic::Ordering::Relaxed) >= 2,
+            "no batch ever grouped >1 record"
+        );
+        assert_eq!(replay(&path).unwrap().submission_count(SurveyId(1)), 200);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn io_failure_poisons_the_journal() {
+        // /dev/full accepts opens but fails every write with ENOSPC —
+        // a deterministic disk-full stand-in.
+        let wal = Wal::open(Path::new("/dev/full")).unwrap();
+        let failures = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let observer: BatchObserver = {
+            let failures = Arc::clone(&failures);
+            Arc::new(move |event| {
+                if let BatchEvent::Failed { records } = event {
+                    failures.fetch_add(*records, std::sync::atomic::Ordering::Relaxed);
+                }
+            })
+        };
+        let committer =
+            GroupCommitter::spawn(wal, GroupCommitConfig::default(), Some(observer));
+        let err = committer.commit_survey(&survey()).unwrap_err();
+        assert!(err.to_string().contains("io"), "{err}");
+        // Poisoned: later commits fail too, even without touching disk.
+        let (resp, rel) = submission("a");
+        let err = committer
+            .commit_submission("a", PrivacyLevel::Low, &resp, &rel)
+            .unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        drop(committer);
+        assert_eq!(failures.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn committer_shutdown_resolves_inflight_commits() {
+        let path = tmp("shutdown.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let committer = Arc::new(GroupCommitter::spawn(
+            Wal::open(&path).unwrap(),
+            GroupCommitConfig::default(),
+            None,
+        ));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let committer = Arc::clone(&committer);
+                std::thread::spawn(move || {
+                    let user = format!("w{t}");
+                    let (resp, rel) = submission(&user);
+                    committer.commit_submission(&user, PrivacyLevel::Low, &resp, &rel)
+                })
+            })
+            .collect();
+        for w in writers {
+            // Every writer resolves (durable before the drop below).
+            w.join().unwrap().unwrap();
+        }
+        drop(Arc::try_unwrap(committer).unwrap());
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -32,7 +32,7 @@ fn main() {
     for (i, _) in LECTURER_MEANS.iter().enumerate() {
         b.question(format!("Rate lecturer {}", i + 1), QuestionKind::likert5(), false);
     }
-    state.add_survey(b.build().unwrap());
+    state.add_survey(b.build().unwrap()).unwrap();
     let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
     println!(
         "trial server on {}; 131 students incoming (bins 18/32/51/30)",

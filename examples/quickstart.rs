@@ -23,7 +23,7 @@ fn main() {
     let mut builder = SurveyBuilder::new(SurveyId(1), "Rate your lecturers");
     builder.question("Rate Prof. Ada on clarity", QuestionKind::likert5(), false);
     builder.question("Rate Prof. Ada on engagement", QuestionKind::likert5(), false);
-    state.add_survey(builder.build().expect("valid survey"));
+    state.add_survey(builder.build().expect("valid survey")).expect("journal not attached");
     let handle = serve("127.0.0.1:0", Arc::clone(&state)).expect("bind server");
     println!("Loki server listening on {}", handle.base_url());
 

@@ -20,7 +20,7 @@ fn lecturer_survey() -> Survey {
 
 fn start() -> (loki::net::server::ServerHandle, HttpClient, Arc<AppState>) {
     let state = Arc::new(AppState::new());
-    state.add_survey(lecturer_survey());
+    state.add_survey(lecturer_survey()).unwrap();
     let h = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
     let c = HttpClient::new(&h.base_url()).unwrap();
     (h, c, state)
@@ -94,7 +94,7 @@ fn parser_level_413_uses_the_envelope() {
     // any handler runs — the envelope must still apply (the router's
     // error renderer is shared with the connection loop).
     let state = Arc::new(AppState::new());
-    state.add_survey(lecturer_survey());
+    state.add_survey(lecturer_survey()).unwrap();
     let config = loki::net::server::ServerConfig {
         parser: loki::net::parser::ParserConfig {
             max_body: 64,
@@ -132,7 +132,7 @@ fn metrics_expose_the_serving_path_end_to_end() {
     std::fs::create_dir_all(&dir).unwrap();
     let state = Arc::new(AppState::new());
     state.attach_journal(loki::server::wal::Wal::open(&dir.join("wal.jsonl")).unwrap());
-    state.add_survey(lecturer_survey());
+    state.add_survey(lecturer_survey()).unwrap();
     // A budget small enough that a second submission is rejected.
     state.set_epsilon_budget(Some(1.0));
     let h = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
@@ -151,7 +151,7 @@ fn metrics_expose_the_serving_path_end_to_end() {
         let sid = SurveyId(100 + i);
         let mut b = SurveyBuilder::new(sid, format!("extra-{i}"));
         b.question("q", QuestionKind::likert5(), false);
-        state.add_survey(b.build().unwrap());
+        state.add_survey(b.build().unwrap()).unwrap();
         let mut response = Response::new("u1", sid);
         response.answer(QuestionId(0), Answer::Obfuscated(4.0));
         let body = serde_json::to_string(&SubmitRequest {

@@ -20,7 +20,7 @@ fn survey() -> loki::survey::survey::Survey {
 #[test]
 fn parallel_submissions_all_stored_exactly_once() {
     let state = Arc::new(AppState::new());
-    state.add_survey(survey());
+    state.add_survey(survey()).unwrap();
     let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
     let base = handle.base_url();
 
@@ -61,7 +61,7 @@ fn parallel_submissions_all_stored_exactly_once() {
 fn duplicate_race_stores_one_copy() {
     // Many threads race the same user: exactly one submission must win.
     let state = Arc::new(AppState::new());
-    state.add_survey(survey());
+    state.add_survey(survey()).unwrap();
     let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
     let base = handle.base_url();
 
@@ -92,9 +92,65 @@ fn duplicate_race_stores_one_copy() {
 }
 
 #[test]
+fn group_commit_journal_matches_live_state_under_parallel_load() {
+    // Same storm as above, but with a real journal attached: the group
+    // committer must leave a WAL whose replay equals the live state.
+    let path = std::env::temp_dir().join(format!("loki-conc-wal-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let state = Arc::new(AppState::new());
+    state.attach_journal(loki::server::wal::Wal::open(&path).unwrap());
+    state.add_survey(survey()).unwrap();
+    let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+    let base = handle.base_url();
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let base = base.clone();
+            std::thread::spawn(move || {
+                let mut rng = ChaCha20Rng::seed_from_u64(200 + t);
+                for i in 0..8 {
+                    let user = format!("t{t}-u{i}");
+                    let mut client = LokiClient::connect(&base, &user).unwrap();
+                    let survey = client.fetch_survey(SurveyId(1)).unwrap();
+                    let mut answers = BTreeMap::new();
+                    answers.insert(QuestionId(0), Answer::Rating(4.0));
+                    client
+                        .submit(&mut rng, &survey, &answers, PrivacyLevel::Low)
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    handle.shutdown();
+    state.detach_journal();
+
+    let replayed = loki::server::wal::replay(&path).unwrap();
+    assert_eq!(replayed.submission_count(SurveyId(1)), 64);
+    assert_eq!(
+        replayed.submission_count(SurveyId(1)),
+        state.submission_count(SurveyId(1))
+    );
+    for t in 0..8 {
+        for i in 0..8 {
+            let user = format!("t{t}-u{i}");
+            assert!(replayed.has_submitted(SurveyId(1), &user), "{user}");
+            assert_eq!(
+                replayed.accountant.releases_of(&user),
+                state.accountant.releases_of(&user),
+                "{user}"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn parallel_reads_during_writes() {
     let state = Arc::new(AppState::new());
-    state.add_survey(survey());
+    state.add_survey(survey()).unwrap();
     let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
     let base = handle.base_url();
 

@@ -26,7 +26,7 @@ fn lecturer_survey() -> loki::survey::survey::Survey {
 #[test]
 fn full_survey_lifecycle_over_http() {
     let state = Arc::new(AppState::new());
-    state.add_survey(lecturer_survey());
+    state.add_survey(lecturer_survey()).unwrap();
     let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
     let base = handle.base_url();
 
@@ -100,7 +100,7 @@ fn full_survey_lifecycle_over_http() {
 #[test]
 fn client_and_server_ledgers_agree() {
     let state = Arc::new(AppState::new());
-    state.add_survey(lecturer_survey());
+    state.add_survey(lecturer_survey()).unwrap();
     let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
 
     let mut rng = ChaCha20Rng::seed_from_u64(7);
@@ -128,7 +128,7 @@ fn raw_submission_cannot_reach_storage() {
     // must refuse it — the at-source property holds even against a
     // misbehaving client.
     let state = Arc::new(AppState::new());
-    state.add_survey(lecturer_survey());
+    state.add_survey(lecturer_survey()).unwrap();
     let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
     let http = loki::net::client::HttpClient::new(&handle.base_url()).unwrap();
 
@@ -160,7 +160,7 @@ fn raw_submission_cannot_reach_storage() {
 #[test]
 fn persistence_round_trips_through_disk() {
     let state = Arc::new(AppState::new());
-    state.add_survey(lecturer_survey());
+    state.add_survey(lecturer_survey()).unwrap();
     let handle = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
 
     let mut rng = ChaCha20Rng::seed_from_u64(9);

@@ -164,3 +164,207 @@ fn pipelined_valid_then_garbage() {
     still_alive(&h);
     h.shutdown();
 }
+
+/// Crash-point fault injection for the WAL-first write pipeline: the
+/// store's contract is journal → apply → ack, so a crash at any point
+/// must leave the journal replayable to a state consistent with every
+/// ack the clients received.
+mod durability {
+    use loki::core::privacy_level::PrivacyLevel;
+    use loki::dp::accountant::ReleaseKind;
+    use loki::server::store::{CrashPoint, SubmitError};
+    use loki::server::wal::{replay, Wal};
+    use loki::server::AppState;
+    use loki::survey::question::{Answer, QuestionKind};
+    use loki::survey::response::Response;
+    use loki::survey::survey::{Survey, SurveyBuilder, SurveyId};
+    use loki::survey::QuestionId;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("loki-crashpoint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn survey() -> Survey {
+        let mut b = SurveyBuilder::new(SurveyId(1), "crash");
+        b.question("rate", QuestionKind::likert5(), false);
+        b.build().unwrap()
+    }
+
+    fn submission(user: &str) -> (Response, Vec<(String, ReleaseKind)>) {
+        let mut r = Response::new(user, SurveyId(1));
+        r.answer(QuestionId(0), Answer::Obfuscated(4.1));
+        (
+            r,
+            vec![(
+                "survey-1/q0".into(),
+                ReleaseKind::Gaussian {
+                    sigma: 1.0,
+                    sensitivity: 4.0,
+                },
+            )],
+        )
+    }
+
+    /// Installs a hook that panics at `point`, simulating a process kill
+    /// exactly there.
+    fn kill_at(state: &AppState, point: CrashPoint) {
+        state.set_crash_hook(Some(Arc::new(move |p| {
+            if p == point {
+                panic!("injected crash at {p:?}");
+            }
+        })));
+    }
+
+    #[test]
+    fn kill_between_fsync_and_apply_loses_no_durable_record() {
+        let path = tmp("fsync-then-die.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let state = AppState::new();
+        state.attach_journal(Wal::open(&path).unwrap());
+        state.add_survey(survey()).unwrap();
+
+        kill_at(&state, CrashPoint::AfterDurableBeforeApply);
+        let (resp, rel) = submission("alice");
+        let crash = catch_unwind(AssertUnwindSafe(|| {
+            state.submit("alice", PrivacyLevel::Medium, resp, &rel)
+        }));
+        assert!(crash.is_err(), "the injected crash must fire");
+        state.set_crash_hook(None);
+
+        // The crash hit after fsync but before apply: nothing reached
+        // memory, no ack was produced...
+        assert_eq!(state.submission_count(SurveyId(1)), 0);
+        assert_eq!(state.accountant.releases_of("alice"), 0);
+
+        // ...but the record is durable: replay recovers it. Un-acked work
+        // surviving a crash is allowed by the contract (the client
+        // retries and gets 409); acked work vanishing is not.
+        state.detach_journal();
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.submission_count(SurveyId(1)), 1);
+        assert_eq!(replayed.accountant.releases_of("alice"), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn kill_between_apply_and_ack_converges_on_retry() {
+        let path = tmp("apply-then-die.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let state = AppState::new();
+        state.attach_journal(Wal::open(&path).unwrap());
+        state.add_survey(survey()).unwrap();
+
+        kill_at(&state, CrashPoint::AfterApplyBeforeAck);
+        let (resp, rel) = submission("bob");
+        let crash = catch_unwind(AssertUnwindSafe(|| {
+            state.submit("bob", PrivacyLevel::Medium, resp, &rel)
+        }));
+        assert!(crash.is_err(), "the injected crash must fire");
+        state.set_crash_hook(None);
+        state.detach_journal();
+
+        // The record was applied and is durable; the client never saw
+        // the ack. After restart-from-journal, the client's retry must
+        // be refused as a duplicate and the ledger charged exactly once.
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.submission_count(SurveyId(1)), 1);
+        assert_eq!(replayed.accountant.releases_of("bob"), 1);
+        let (resp, rel) = submission("bob");
+        assert_eq!(
+            replayed
+                .submit("bob", PrivacyLevel::Medium, resp, &rel)
+                .unwrap_err(),
+            SubmitError::Duplicate
+        );
+        assert_eq!(replayed.accountant.releases_of("bob"), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn every_acked_submission_survives_replay() {
+        // The ack ⊆ replay invariant under concurrency: whatever was
+        // acked to a client before the "crash" (journal detach) must be
+        // in the replayed state.
+        let path = tmp("acked-subset.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let state = Arc::new(AppState::new());
+        state.attach_journal(Wal::open(&path).unwrap());
+        state.add_survey(survey()).unwrap();
+
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    let mut acked = Vec::new();
+                    for i in 0..15 {
+                        let user = format!("t{t}-u{i}");
+                        let (resp, rel) = submission(&user);
+                        if state.submit(&user, PrivacyLevel::Low, resp, &rel).is_ok() {
+                            acked.push(user);
+                        }
+                    }
+                    acked
+                })
+            })
+            .collect();
+        let acked: Vec<String> = threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
+        assert_eq!(acked.len(), 60);
+
+        state.detach_journal(); // joins the committer: the "crash"
+        let replayed = replay(&path).unwrap();
+        for user in &acked {
+            assert!(
+                replayed.has_submitted(SurveyId(1), user),
+                "acked submission for {user} lost by replay"
+            );
+            assert_eq!(replayed.accountant.releases_of(user), 1, "{user}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn disk_failure_is_a_503_envelope_not_a_silent_ack() {
+        use loki::net::client::HttpClient;
+        use loki::server::{serve, SubmitRequest};
+
+        let state = Arc::new(AppState::new());
+        state.add_survey(survey()).unwrap(); // before the bad journal
+        // /dev/full: every append fails with ENOSPC.
+        state.attach_journal(Wal::open(std::path::Path::new("/dev/full")).unwrap());
+        let h = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+        let c = HttpClient::new(&h.base_url()).unwrap();
+
+        let (response, releases) = submission("carol");
+        let body = serde_json::to_string(&SubmitRequest {
+            user: "carol".into(),
+            privacy_level: PrivacyLevel::Medium,
+            response,
+            releases,
+        })
+        .unwrap();
+        let resp = c
+            .post("/v1/surveys/1/responses", "application/json", body)
+            .unwrap();
+        assert_eq!(resp.status.0, 503, "{:?}", String::from_utf8_lossy(&resp.body));
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["error"]["code"], "durability");
+
+        // Nothing was applied, and the failure is counted.
+        assert_eq!(state.submission_count(SurveyId(1)), 0);
+        assert_eq!(state.accountant.releases_of("carol"), 0);
+        let metrics = String::from_utf8_lossy(&c.get("/v1/metrics").unwrap().body).to_string();
+        assert!(
+            metrics.contains("loki_wal_errors_total 1"),
+            "wal error not counted: {metrics}"
+        );
+        h.shutdown();
+    }
+}

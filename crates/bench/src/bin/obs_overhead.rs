@@ -1,14 +1,23 @@
-//! OBS-1 — submit-path overhead of the observability layer.
+//! OBS-1 / OBS-2 — submit-path overhead of the observability layer.
 //!
 //! The `loki-obs` instruments (atomic counters + fixed-bucket histograms)
 //! are designed to cost a handful of atomic ops per submission. This
 //! microbench drives `AppState::submit` directly — no network, no WAL —
-//! with metrics disabled vs enabled, and reports the median overhead.
-//! The acceptance bar for the observability layer is <5% on this path.
+//! across three variants and reports median overheads:
+//!
+//! * **OBS-1**: metrics disabled vs enabled (instruments + ε-audit).
+//! * **OBS-2**: instrumented vs instrumented-and-traced with recording
+//!   off (`TraceConfig::disabled()`): every submission starts a trace,
+//!   installs the thread-local context and finishes the trace — the
+//!   per-request work `mount()` does — but sampling is off, so no span
+//!   buffer is ever allocated.
+//!
+//! The acceptance bar is <5% for each step on this path.
 
 use loki_bench::{banner, f, n, Table};
 use loki_core::privacy_level::PrivacyLevel;
 use loki_dp::accountant::ReleaseKind;
+use loki_obs::{TraceConfig, Tracer};
 use loki_server::store::AppState;
 use loki_survey::question::{Answer, QuestionKind};
 use loki_survey::response::Response;
@@ -35,8 +44,10 @@ fn releases() -> Vec<(String, ReleaseKind)> {
     )]
 }
 
-/// One batch: a fresh state, `USERS` distinct submissions.
-fn run_batch(instrumented: bool) -> Duration {
+/// One batch: a fresh state, `USERS` distinct submissions. With a tracer,
+/// each submission pays the full per-request tracing protocol (start,
+/// thread-local install, finish) exactly as the HTTP layer does.
+fn run_batch(instrumented: bool, tracer: Option<&Tracer>) -> Duration {
     let state = AppState::new();
     state.add_survey(survey()).unwrap();
     if instrumented {
@@ -48,9 +59,23 @@ fn run_batch(instrumented: bool) -> Duration {
         let user = format!("u{i}");
         let mut r = Response::new(user.clone(), SurveyId(1));
         r.answer(QuestionId(0), Answer::Obfuscated(4.0));
-        state
-            .submit(&user, PrivacyLevel::Medium, r, &rel)
-            .expect("bench submission");
+        match tracer {
+            Some(tracer) => {
+                let trace = tracer.start();
+                {
+                    let _guard = loki_obs::trace::set_current(trace.ctx());
+                    state
+                        .submit(&user, PrivacyLevel::Medium, r, &rel)
+                        .expect("bench submission");
+                }
+                tracer.finish(trace);
+            }
+            None => {
+                state
+                    .submit(&user, PrivacyLevel::Medium, r, &rel)
+                    .expect("bench submission");
+            }
+        }
     }
     start.elapsed()
 }
@@ -60,26 +85,40 @@ fn median(samples: &mut [Duration]) -> Duration {
     samples[samples.len() / 2]
 }
 
+fn verdict(label: &str, overhead: f64) {
+    println!("{label}: {overhead:+.2}% per submission");
+    if overhead < 5.0 {
+        println!("PASS: within the <5% budget");
+    } else {
+        println!("WARN: above the 5% budget on this run/host");
+    }
+}
+
 fn main() {
     banner(
-        "OBS-1",
-        "observability overhead on the submit path",
-        "metrics must not tax the serving path (<5% target)",
+        "OBS-1/OBS-2",
+        "observability + tracing overhead on the submit path",
+        "neither metrics nor compiled-in tracing may tax serving (<5% each)",
     );
 
-    // Warm-up interleaved so neither variant benefits from cache state.
+    let disabled = Tracer::new(0xbe6c, TraceConfig::disabled());
+
+    // Warm-up interleaved so no variant benefits from cache state.
     let mut off = Vec::with_capacity(TRIALS);
     let mut on = Vec::with_capacity(TRIALS);
+    let mut traced = Vec::with_capacity(TRIALS);
     for _ in 0..TRIALS {
-        off.push(run_batch(false));
-        on.push(run_batch(true));
+        off.push(run_batch(false, None));
+        on.push(run_batch(true, None));
+        traced.push(run_batch(true, Some(&disabled)));
     }
     let off_med = median(&mut off);
     let on_med = median(&mut on);
+    let traced_med = median(&mut traced);
 
     let per_off = off_med.as_nanos() as f64 / USERS as f64;
     let per_on = on_med.as_nanos() as f64 / USERS as f64;
-    let overhead = (per_on / per_off - 1.0) * 100.0;
+    let per_traced = traced_med.as_nanos() as f64 / USERS as f64;
 
     let mut t = Table::new(&["variant", "submits", "median batch ms", "ns/submit"]);
     t.row(&[
@@ -94,11 +133,20 @@ fn main() {
         f(on_med.as_secs_f64() * 1e3),
         f(per_on),
     ]);
+    t.row(&[
+        "traced (recording off)".into(),
+        n(USERS),
+        f(traced_med.as_secs_f64() * 1e3),
+        f(per_traced),
+    ]);
     println!("{}", t.render());
-    println!("observability overhead: {overhead:+.2}% per submission");
-    if overhead < 5.0 {
-        println!("PASS: within the <5% budget");
-    } else {
-        println!("WARN: above the 5% budget on this run/host");
-    }
+    assert!(
+        disabled.is_empty(),
+        "recording-off tracer must retain nothing"
+    );
+    verdict("OBS-1 metrics overhead", (per_on / per_off - 1.0) * 100.0);
+    verdict(
+        "OBS-2 tracing overhead (sampling off, vs instrumented)",
+        (per_traced / per_on - 1.0) * 100.0,
+    );
 }

@@ -180,10 +180,18 @@ impl LokiClient {
         }
     }
 
-    /// Maps a non-success response to an error, counting it.
+    /// Maps a non-success response to an error, counting it. When the
+    /// server stamped the response with a trace id, the error carries it
+    /// so a user report can be joined to the server-side span tree.
     fn api_error(&self, what: &str, resp: &loki_net::http::Response) -> LokiError {
         self.metrics.api_errors.inc();
-        LokiError::Api(format!("{what} failed: {}", resp.status))
+        match resp.headers.get(loki_net::http::TRACE_ID_HEADER) {
+            Some(trace) => LokiError::Api(format!(
+                "{what} failed: {} [trace {trace}]",
+                resp.status
+            )),
+            None => LokiError::Api(format!("{what} failed: {}", resp.status)),
+        }
     }
 
     /// Lists available surveys (Fig. 1(a)).
@@ -266,8 +274,13 @@ impl LokiClient {
             .inspect_err(|_| self.metrics.http_errors.inc())?;
         if !resp.status.is_success() {
             self.metrics.api_errors.inc();
+            let trace = resp
+                .headers
+                .get(loki_net::http::TRACE_ID_HEADER)
+                .map(|id| format!(" [trace {id}]"))
+                .unwrap_or_default();
             return Err(LokiError::Api(format!(
-                "submit failed ({}): {}",
+                "submit failed ({}): {}{trace}",
                 resp.status,
                 String::from_utf8_lossy(&resp.body)
             )));
@@ -451,12 +464,19 @@ mod tests {
         use loki_net::server::{Server, ServerConfig};
         let mut router = Router::new();
         router.get("/v1/surveys", |_, _| {
-            HttpResponse::text(StatusCode::INTERNAL_ERROR, "boom")
+            let mut resp = HttpResponse::text(StatusCode::INTERNAL_ERROR, "boom");
+            resp.headers
+                .insert(loki_net::http::TRACE_ID_HEADER, "00000000000000ab");
+            resp
         });
         let handle = Server::spawn("127.0.0.1:0", router, ServerConfig::default()).unwrap();
         let client = LokiClient::connect(&handle.base_url(), "u").unwrap();
         match client.list_surveys() {
-            Err(LokiError::Api(msg)) => assert!(msg.contains("500"), "{msg}"),
+            Err(LokiError::Api(msg)) => {
+                assert!(msg.contains("500"), "{msg}");
+                // The server's trace id surfaces in the user-facing error.
+                assert!(msg.contains("[trace 00000000000000ab]"), "{msg}");
+            }
             other => panic!("expected Api error, got {other:?}"),
         }
         assert_eq!(client.metrics().api_errors(), 1);

@@ -14,6 +14,12 @@
 //!    types legitimately live), a type with a sensitive name may not
 //!    derive `Serialize` or `Debug` — the two easiest accidental egress
 //!    channels (wire encoding and log output).
+//! 3. In the *raw-identity* files (the trace and ε-audit stores, which
+//!    are rendered verbatim over HTTP), no identifier may be named after
+//!    a person-level entity (`user`, `worker`, `respondent`, …). Those
+//!    stores key events by an opaque `subject_index`; an ident named
+//!    `user` there is one `format!` away from becoming an egress
+//!    channel, so the name itself is banned at the source.
 
 use crate::config::Config;
 use crate::lexer::{Tok, TokKind};
@@ -47,6 +53,24 @@ const DEFAULT_FORBIDDEN: &[&str] = &["loki-net", "loki-server"];
 /// `Serialize`/`Debug` (the at-source, pre-obfuscation side).
 const DEFAULT_ALLOWED_DERIVE: &[&str] = &["loki-survey", "loki-platform", "loki-client"];
 
+/// Files whose every record is rendered verbatim over HTTP: the trace
+/// store and the ε-audit stream. Identifier hygiene is enforced here,
+/// not just public-API hygiene.
+const DEFAULT_RAW_IDENTITY_FILES: &[&str] =
+    &["crates/obs/src/trace.rs", "crates/obs/src/audit.rs"];
+
+/// Person-level entity names banned as identifiers in those files
+/// (exact ident-token match, so `subject_index` and doc comments pass).
+const DEFAULT_RAW_IDENTITY_IDENTS: &[&str] = &[
+    "user",
+    "user_id",
+    "user_index",
+    "worker",
+    "worker_id",
+    "respondent",
+    "participant",
+];
+
 impl Rule for SensitiveEgress {
     fn id(&self) -> &'static str {
         ID
@@ -67,6 +91,36 @@ impl Rule for SensitiveEgress {
         }
         if !allowed_derive.iter().any(|c| c == &file.crate_name) {
             check_derives(file, &sensitive, out);
+        }
+
+        let identity_files = cfg.list(ID, "raw_identity_files", DEFAULT_RAW_IDENTITY_FILES);
+        if identity_files
+            .iter()
+            .any(|f| file.rel_path.starts_with(f.as_str()))
+        {
+            let idents = cfg.list(ID, "raw_identity_idents", DEFAULT_RAW_IDENTITY_IDENTS);
+            check_raw_identity_idents(file, &idents, out);
+        }
+    }
+}
+
+/// Flags person-level entity names used as identifiers anywhere in a
+/// raw-identity file — locals, fields, parameters, all of it. These files
+/// must speak only in opaque indices.
+fn check_raw_identity_idents(file: &SourceFile, idents: &[String], out: &mut Vec<Diagnostic>) {
+    for t in &file.toks {
+        if t.kind == TokKind::Ident && idents.iter().any(|s| s == &t.text) {
+            emit(
+                file,
+                ID,
+                t.line,
+                format!(
+                    "identifier `{}` in `{}` — the trace/audit stores are rendered \
+                     over HTTP and must key subjects by opaque `subject_index` only",
+                    t.text, file.rel_path
+                ),
+                out,
+            );
         }
     }
 }

@@ -1,0 +1,27 @@
+//@crate: loki-obs
+//@path: crates/obs/src/audit.rs
+// Raw-identity file: the ε-audit stream is rendered verbatim over HTTP,
+// so person-level entity names are banned as identifiers outright.
+
+pub struct AuditEvent {
+    pub subject_index: u64, // opaque index: fine
+    pub user: String, //~ sensitive-egress
+}
+
+pub fn record(worker: u64, epsilon: f64) -> u64 { //~ sensitive-egress
+    // A string mentioning "user" is not an identifier token.
+    let label = "per-user epsilon";
+    let _ = (label, epsilon);
+    let respondent = worker; //~ sensitive-egress sensitive-egress
+    respondent //~ sensitive-egress
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code is exempt (the emit filter), like every rule.
+    #[test]
+    fn naming_a_user_in_tests_is_fine() {
+        let user = 7u64;
+        assert_eq!(user, 7);
+    }
+}

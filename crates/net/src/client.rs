@@ -118,13 +118,15 @@ impl HttpClient {
     }
 }
 
-/// Parses a complete HTTP/1.1 response.
+/// Parses a complete HTTP/1.1 response. Every byte access is checked —
+/// a malformed or truncated response becomes a [`ClientError`], never a
+/// panic.
 fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
     let header_end = raw
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
         .ok_or_else(|| ClientError::BadResponse("no header terminator".into()))?;
-    let head = std::str::from_utf8(&raw[..header_end])
+    let head = std::str::from_utf8(raw.get(..header_end).unwrap_or_default())
         .map_err(|_| ClientError::BadResponse("non-utf8 headers".into()))?;
     let mut lines = head.split("\r\n");
     let status_line = lines
@@ -155,13 +157,16 @@ fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
 
     let body_start = header_end + 4;
     let body = match headers.content_length() {
-        Some(len) if raw.len() >= body_start + len => {
-            Bytes::copy_from_slice(&raw[body_start..body_start + len])
+        Some(len) => {
+            let body_end = body_start
+                .checked_add(len)
+                .ok_or_else(|| ClientError::BadResponse("bad content length".into()))?;
+            let bytes = raw
+                .get(body_start..body_end)
+                .ok_or_else(|| ClientError::BadResponse("truncated body".into()))?;
+            Bytes::copy_from_slice(bytes)
         }
-        Some(_) => {
-            return Err(ClientError::BadResponse("truncated body".into()));
-        }
-        None => Bytes::copy_from_slice(&raw[body_start..]),
+        None => Bytes::copy_from_slice(raw.get(body_start..).unwrap_or_default()),
     };
     Ok(Response {
         status: StatusCode(code),
@@ -253,6 +258,11 @@ mod tests {
         assert!(parse_response(b"garbage").is_err());
         assert!(parse_response(b"NOPE 200 OK\r\n\r\n").is_err());
         assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 99\r\n\r\nshort").is_err());
+        // A content length near usize::MAX must error, not overflow.
+        assert!(parse_response(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 18446744073709551615\r\n\r\nx"
+        )
+        .is_err());
     }
 
     #[test]

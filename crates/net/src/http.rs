@@ -113,6 +113,10 @@ impl fmt::Display for StatusCode {
     }
 }
 
+/// Response header carrying the request's trace id as 16 hex digits;
+/// `GET /v1/traces/{id}` resolves a retained id to its span tree.
+pub const TRACE_ID_HEADER: &str = "x-loki-trace-id";
+
 /// An ordered, case-insensitive header map (few headers → linear scan
 /// beats a hash map and preserves order).
 #[derive(Debug, Clone, Default, PartialEq)]

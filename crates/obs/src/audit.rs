@@ -1,0 +1,217 @@
+//! Append-only ε-audit event stream.
+//!
+//! The accountant is the paper's §3.1 mechanism — per-response privacy
+//! loss "tracked and balanced across the user base" — but until now its
+//! decisions were only visible as aggregate counters. This module gives
+//! operators a causally-ordered record of every budget decision: a
+//! charge was *attempted*, it was *charged*, or it was *rejected at the
+//! cap*, each with the privacy level, the ε of the release set, and the
+//! running total afterwards.
+//!
+//! **Privacy discipline:** events are keyed by an opaque, server-local
+//! `subject_index` (assigned in insertion order by the caller), never by
+//! a raw identifier. This module has no field that could carry one — the
+//! `loki-lint` sensitive-egress rule additionally forbids identifier
+//! names like `user`/`worker` here. Events also carry the trace id of
+//! the request that caused them, so an audit line joins directly to its
+//! span tree.
+
+use crate::access::now_ms;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What the accountant did with a budget charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditOutcome {
+    /// A charge was attempted (emitted before the budget check).
+    Attempted,
+    /// The charge was applied and the ledger advanced.
+    Charged,
+    /// The charge was refused because it would cross the ε cap.
+    RejectedAtCap,
+}
+
+impl AuditOutcome {
+    /// Stable wire name for the outcome.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AuditOutcome::Attempted => "attempted",
+            AuditOutcome::Charged => "charged",
+            AuditOutcome::RejectedAtCap => "rejected-at-cap",
+        }
+    }
+}
+
+/// One audit event. All fields are numeric or `'static` by construction
+/// — there is nowhere to put a raw user id.
+#[derive(Debug, Clone)]
+pub struct AuditEvent {
+    /// Monotonic sequence number (gap-free within the process).
+    pub seq: u64,
+    /// Wall-clock milliseconds since the UNIX epoch.
+    pub timestamp_ms: u64,
+    /// Opaque per-process index standing in for the subject; assignment
+    /// order is the caller's business, reversal is impossible from here.
+    pub subject_index: u64,
+    /// What the accountant did.
+    pub outcome: AuditOutcome,
+    /// Privacy level of the submission ("low"/"medium"/"high").
+    pub level: &'static str,
+    /// ε of the release set being charged.
+    pub epsilon: f64,
+    /// Running ε total for the subject after this event (may be
+    /// infinite for unbounded mechanisms).
+    pub running_epsilon: f64,
+    /// Trace id of the request that caused the event, if traced.
+    pub trace_id: Option<u64>,
+}
+
+/// Bounded, append-only ring of [`AuditEvent`]s.
+///
+/// Same shape as the access log: a mutex-guarded ring that evicts the
+/// oldest entry at capacity, plus an atomic sequence so consumers can
+/// detect eviction gaps (`tail`'s first seq > last seen + 1).
+#[derive(Debug)]
+pub struct AuditLog {
+    capacity: usize,
+    seq: AtomicU64,
+    entries: Mutex<VecDeque<AuditEvent>>,
+}
+
+impl Default for AuditLog {
+    fn default() -> AuditLog {
+        AuditLog::with_capacity(1024)
+    }
+}
+
+impl AuditLog {
+    /// A log holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> AuditLog {
+        let capacity = capacity.max(1);
+        AuditLog {
+            capacity,
+            seq: AtomicU64::new(0),
+            entries: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    /// Appends an event, assigning its sequence number and timestamp.
+    /// Returns the assigned sequence number.
+    pub fn push(
+        &self,
+        subject_index: u64,
+        outcome: AuditOutcome,
+        level: &'static str,
+        epsilon: f64,
+        running_epsilon: f64,
+        trace_id: Option<u64>,
+    ) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = AuditEvent {
+            seq,
+            timestamp_ms: now_ms(),
+            subject_index,
+            outcome,
+            level,
+            epsilon,
+            running_epsilon,
+            trace_id,
+        };
+        let mut entries = self.entries.lock().expect("audit log lock");
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(event);
+        seq
+    }
+
+    /// Events appended so far (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("audit log lock").len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<AuditEvent> {
+        let entries = self.entries.lock().expect("audit log lock");
+        let skip = entries.len().saturating_sub(n);
+        entries.iter().skip(skip).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_have_stable_wire_names() {
+        assert_eq!(AuditOutcome::Attempted.as_str(), "attempted");
+        assert_eq!(AuditOutcome::Charged.as_str(), "charged");
+        assert_eq!(AuditOutcome::RejectedAtCap.as_str(), "rejected-at-cap");
+    }
+
+    #[test]
+    fn events_sequence_gap_free_and_carry_fields() {
+        let log = AuditLog::with_capacity(8);
+        let s0 = log.push(0, AuditOutcome::Attempted, "medium", 2.2, 0.0, Some(9));
+        let s1 = log.push(0, AuditOutcome::Charged, "medium", 2.2, 2.2, Some(9));
+        assert_eq!((s0, s1), (0, 1));
+        let tail = log.tail(10);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 0);
+        assert_eq!(tail[0].outcome, AuditOutcome::Attempted);
+        assert_eq!(tail[1].outcome, AuditOutcome::Charged);
+        assert_eq!(tail[1].running_epsilon, 2.2);
+        assert_eq!(tail[1].trace_id, Some(9));
+        assert!(tail[1].timestamp_ms >= tail[0].timestamp_ms);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_eviction_is_detectable() {
+        let log = AuditLog::with_capacity(4);
+        for i in 0..100 {
+            log.push(i, AuditOutcome::Charged, "low", 0.5, 0.5, None);
+        }
+        assert_eq!(log.len(), 4, "ring never grows past capacity");
+        assert_eq!(log.total(), 100);
+        let tail = log.tail(4);
+        assert_eq!(tail[0].seq, 96, "sequence exposes the eviction gap");
+        assert_eq!(tail[3].seq, 99);
+    }
+
+    #[test]
+    fn infinite_running_total_is_representable() {
+        let log = AuditLog::default();
+        log.push(1, AuditOutcome::Charged, "low", f64::INFINITY, f64::INFINITY, None);
+        assert!(log.tail(1)[0].running_epsilon.is_infinite());
+    }
+
+    #[test]
+    fn concurrent_pushes_never_exceed_capacity() {
+        let log = std::sync::Arc::new(AuditLog::with_capacity(16));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let log = std::sync::Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    log.push(t * 500 + i, AuditOutcome::Attempted, "high", 1.0, 1.0, None);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 16);
+        assert_eq!(log.total(), 2000);
+    }
+}

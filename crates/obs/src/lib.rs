@@ -16,6 +16,13 @@
 //!   and label names up front; rendering is the only allocating path.
 //! * [`AccessLog`] — a bounded ring of structured per-request records
 //!   (`key=value` lines), the tracing layer next to the numeric one.
+//! * [`Tracer`] / [`Trace`] / [`SpanContext`] — request-scoped span
+//!   trees with explicit context handoff across thread boundaries
+//!   (writer → `GroupCommitter` → reply channel), retained in a bounded
+//!   store by sampling or slow-threshold.
+//! * [`AuditLog`] — the append-only ε-audit event stream: every budget
+//!   charge attempted/charged/rejected-at-cap, keyed by opaque subject
+//!   index, joinable to traces by id.
 //!
 //! Deliberately `std`-only: no serde, no parking_lot, no clocks beyond
 //! `std::time`. Privacy note: metric *labels* must never carry
@@ -27,9 +34,15 @@
 #![warn(missing_docs)]
 
 mod access;
+mod audit;
 mod metrics;
 mod registry;
+pub mod trace;
 
 pub use access::{AccessLog, AccessRecord};
+pub use audit::{AuditEvent, AuditLog, AuditOutcome};
 pub use metrics::{Counter, Gauge, Histogram, LATENCY_BUCKETS};
 pub use registry::Registry;
+pub use trace::{
+    ActiveSpan, SpanContext, SpanRecord, StoredTrace, Trace, TraceConfig, TraceGuard, Tracer,
+};

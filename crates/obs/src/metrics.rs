@@ -92,6 +92,11 @@ pub struct Histogram {
     /// Sum of all samples, in nanosecond-scale fixed point (1e-9 units),
     /// so concurrent adds stay a single integer `fetch_add`.
     sum_nanos: AtomicU64,
+    /// Most recent exemplar sample, as `f64` bits (valid only while
+    /// `exemplar_trace` is non-zero).
+    exemplar_bits: AtomicU64,
+    /// Trace id of the exemplar sample; 0 means "no exemplar yet".
+    exemplar_trace: AtomicU64,
 }
 
 impl Histogram {
@@ -114,6 +119,8 @@ impl Histogram {
             bounds: bounds.to_vec(),
             buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             sum_nanos: AtomicU64::new(0),
+            exemplar_bits: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 
@@ -133,6 +140,28 @@ impl Histogram {
         self.observe(d.as_secs_f64());
     }
 
+    /// Records a sample and, when `trace_id` is non-zero, remembers it
+    /// as the histogram's exemplar — the trace that last exercised this
+    /// family, joinable via `GET /v1/traces/{id}`. Two extra relaxed
+    /// stores; still lock- and allocation-free.
+    pub fn observe_with_exemplar(&self, sample: f64, trace_id: u64) {
+        self.observe(sample);
+        if trace_id != 0 {
+            self.exemplar_bits.store(sample.to_bits(), Ordering::Relaxed);
+            self.exemplar_trace.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// The most recent exemplar as `(sample, trace_id)`, if any sample
+    /// carried one.
+    pub fn exemplar(&self) -> Option<(f64, u64)> {
+        let trace_id = self.exemplar_trace.load(Ordering::Relaxed);
+        if trace_id == 0 {
+            return None;
+        }
+        Some((f64::from_bits(self.exemplar_bits.load(Ordering::Relaxed)), trace_id))
+    }
+
     /// Total number of recorded samples.
     pub fn count(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
@@ -143,16 +172,34 @@ impl Histogram {
         self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 
-    /// Estimated `q`-quantile (`0.0 ..= 1.0`) by in-bucket linear
-    /// interpolation; samples in the overflow bucket clamp to the top
-    /// bound. Returns `0.0` for an empty histogram.
+    /// Estimated `q`-quantile by in-bucket linear interpolation.
+    ///
+    /// Edge semantics, pinned by tests:
+    /// * empty histogram → `0.0` for every `q`;
+    /// * `q` outside `0.0..=1.0` (or NaN) clamps into the range (NaN
+    ///   behaves as `0.0`);
+    /// * `q == 0.0` → the lower edge of the first non-empty bucket;
+    /// * `q == 1.0` → the upper bound of the last non-empty bucket;
+    /// * samples in the overflow bucket clamp to the top bound.
     pub fn quantile(&self, q: f64) -> f64 {
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0.0;
         }
-        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        if q == 0.0 {
+            // The minimum observable estimate: the lower edge of the
+            // first bucket holding a sample (interpolating here would
+            // claim a value above samples we actually saw).
+            let first = counts.iter().position(|c| *c > 0).unwrap_or(0);
+            return if first == 0 {
+                0.0
+            } else {
+                self.bounds.get(first - 1).copied().unwrap_or(0.0)
+            };
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
         let top = self.bounds.last().copied().unwrap_or(0.0);
         let mut cum = 0u64;
         for (i, c) in counts.iter().enumerate() {
@@ -255,6 +302,66 @@ mod tests {
         assert_eq!(h.quantile(0.95), 0.0);
         assert_eq!(h.count(), 0);
         assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_extreme_quantiles_are_zero_and_finite() {
+        // The full edge matrix on a zero-count histogram: nothing here
+        // may be NaN or non-zero, whatever q is.
+        let h = Histogram::new(&[1.0, 2.0]);
+        for q in [0.0, 0.5, 1.0, -3.0, 7.0, f64::NAN, f64::INFINITY] {
+            let v = h.quantile(q);
+            assert_eq!(v, 0.0, "empty histogram, q={q}: got {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_zero_is_the_floor_of_the_first_occupied_bucket() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for _ in 0..10 {
+            h.observe(3.0); // bucket (2, 4]
+        }
+        assert_eq!(h.quantile(0.0), 2.0, "q=0 reports the bucket's lower edge");
+        // With samples in the first bucket the floor is 0.0.
+        let h2 = Histogram::new(&[1.0]);
+        h2.observe(0.5);
+        assert_eq!(h2.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_one_is_the_ceiling_of_the_last_occupied_bucket() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        assert_eq!(h.quantile(1.0), 2.0, "q=1 reports the top occupied bound");
+        // Overflow samples clamp to the top configured bound.
+        h.observe(100.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn out_of_range_and_nan_q_clamp() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.5);
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0), "NaN q behaves as 0");
+        assert!(h.quantile(f64::NAN).is_finite());
+    }
+
+    #[test]
+    fn exemplar_tracks_the_last_traced_sample() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.exemplar(), None);
+        h.observe(0.5); // untraced: no exemplar
+        assert_eq!(h.exemplar(), None);
+        h.observe_with_exemplar(0.25, 0xdead_beef);
+        assert_eq!(h.exemplar(), Some((0.25, 0xdead_beef)));
+        h.observe_with_exemplar(0.75, 0); // trace id 0 = untraced
+        assert_eq!(h.exemplar(), Some((0.25, 0xdead_beef)), "untraced keeps the old exemplar");
+        h.observe_with_exemplar(0.75, 7);
+        assert_eq!(h.exemplar(), Some((0.75, 7)));
+        assert_eq!(h.count(), 4, "exemplar samples still count");
     }
 
     #[test]

@@ -189,6 +189,22 @@ impl Registry {
                         render_sample(&mut out, &format!("{full}_bucket"), &inf, total as f64);
                         render_sample(&mut out, &format!("{full}_sum"), &child.labels, h.sum());
                         render_sample(&mut out, &format!("{full}_count"), &child.labels, total as f64);
+                        // Exemplars ride along as comment lines: the
+                        // 0.0.4 text format has no native exemplar
+                        // syntax, and comments keep every parser happy
+                        // while still letting an operator join a
+                        // histogram family to a concrete trace id.
+                        if let Some((sample, trace_id)) = h.exemplar() {
+                            let series = if child.labels.is_empty() {
+                                full.clone()
+                            } else {
+                                format!("{full}{{{}}}", child.labels)
+                            };
+                            out.push_str(&format!(
+                                "# EXEMPLAR {series} trace_id={trace_id:016x} value={}\n",
+                                fmt_value(sample)
+                            ));
+                        }
                     }
                 }
             }
@@ -351,6 +367,31 @@ mod tests {
         let reg = Registry::new("x");
         let _ = reg.counter("thing", "h", &[]);
         let _ = reg.gauge("thing", "h", &[]);
+    }
+
+    #[test]
+    fn histogram_exemplar_renders_as_comment() {
+        let reg = Registry::new("t");
+        let h = reg.histogram("lat_seconds", "Latency", &[0.1, 1.0], &[]);
+        h.observe(0.05);
+        assert!(
+            !reg.render().contains("# EXEMPLAR"),
+            "no exemplar line before any traced sample"
+        );
+        h.observe_with_exemplar(0.5, 0xab);
+        let text = reg.render();
+        assert!(
+            text.contains("# EXEMPLAR t_lat_seconds trace_id=00000000000000ab value=0.5"),
+            "{text}"
+        );
+        // Every non-comment line still parses as `series value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf", "{line}");
+        }
     }
 
     #[test]

@@ -10,14 +10,16 @@
 //! `{"error": {"code", "message"}}` ([`crate::error`]).
 
 use crate::api::{BinResult, LedgerInfo, QuestionResults, SubmitReply, SubmitRequest, SurveySummary};
-use crate::error::{error_envelope, parse_body, path_param, ApiError};
+use crate::error::{error_envelope_traced, parse_body, path_param, ApiError};
+use crate::metrics::ServerMetrics;
 use crate::store::AppState;
 use loki_core::estimator::Estimator;
 use loki_dp::params::Delta;
-use loki_net::http::{Method, Request, Response, StatusCode};
+use loki_net::http::{Method, Request, Response, StatusCode, TRACE_ID_HEADER};
 use loki_net::json::json_response;
 use loki_net::router::{Params, Router};
 use loki_net::server::{Server, ServerConfig, ServerHandle};
+use loki_obs::StoredTrace;
 use loki_survey::survey::{Survey, SurveyId};
 use loki_survey::QuestionId;
 use std::sync::Arc;
@@ -29,15 +31,72 @@ type ApiHandler = Arc<dyn Fn(&Request, &Params) -> Result<Response, ApiError> + 
 /// Registers `handler` under `/v1{pattern}` and the legacy unversioned
 /// `{pattern}`. Both routes dispatch to the same closure, so the alias
 /// can never drift from the versioned route.
-fn mount(router: &mut Router, method: Method, pattern: &str, handler: ApiHandler) {
+///
+/// This is also the tracing chokepoint: every dispatch starts a trace,
+/// installs its context as the thread-local current (so the store and
+/// WAL layers pick it up without parameter plumbing), stamps the id on
+/// the response as [`TRACE_ID_HEADER`] — and into the error envelope on
+/// failure — then hands the trace back to the tracer for retention.
+fn mount(
+    router: &mut Router,
+    metrics: &Arc<ServerMetrics>,
+    method: Method,
+    pattern: &str,
+    handler: ApiHandler,
+) {
     let versioned = format!("/v1{pattern}");
-    let v1 = Arc::clone(&handler);
-    router.route(method, &versioned, move |req, params| {
-        v1(req, params).unwrap_or_else(ApiError::into_response)
-    });
-    router.route(method, pattern, move |req, params| {
-        handler(req, params).unwrap_or_else(ApiError::into_response)
-    });
+    for pat in [versioned.as_str(), pattern] {
+        let m = Arc::clone(metrics);
+        let h = Arc::clone(&handler);
+        router.route(method, pat, move |req, params| {
+            let trace = m.tracer().start();
+            let trace_id = trace.id();
+            let outcome = {
+                let _guard = loki_obs::trace::set_current(trace.ctx());
+                h(req, params)
+            };
+            let mut resp =
+                outcome.unwrap_or_else(|err| err.into_response_traced(trace_id));
+            resp.headers.insert(TRACE_ID_HEADER, format!("{trace_id:016x}"));
+            m.tracer().finish(trace);
+            resp
+        });
+    }
+}
+
+/// JSON shape of one retained trace: the implicit root span is
+/// synthesized (id 1, the full request duration) so the tree the client
+/// sees is complete.
+fn trace_json(t: &StoredTrace) -> serde_json::Value {
+    let mut spans = vec![serde_json::json!({
+        "id": loki_obs::trace::ROOT_SPAN,
+        "name": "request",
+        "parent": null,
+        "start_ns": 0,
+        "end_ns": t.duration_ns,
+        "attrs": {},
+    })];
+    spans.extend(t.spans.iter().map(|s| {
+        let attrs: serde_json::Map<String, serde_json::Value> = s
+            .attrs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), serde_json::json!(v)))
+            .collect();
+        serde_json::json!({
+            "id": s.id,
+            "name": s.name,
+            "parent": s.parent,
+            "start_ns": s.start_ns,
+            "end_ns": s.end_ns,
+            "attrs": attrs,
+        })
+    }));
+    serde_json::json!({
+        "id": format!("{:016x}", t.id),
+        "sampled": t.sampled,
+        "duration_ns": t.duration_ns,
+        "spans": spans,
+    })
 }
 
 /// `None` for non-finite values, so JSON renders them as `null` rather
@@ -49,12 +108,19 @@ fn finite(v: f64) -> Option<f64> {
 /// Builds the full API router over shared state. Enables metrics on the
 /// state (idempotent) so handler-level instruments always have a target.
 pub fn build_router(state: Arc<AppState>) -> Router {
-    state.enable_metrics();
+    let metrics = state.enable_metrics();
     let mut router = Router::new();
-    router.set_error_renderer(error_envelope);
+    // Router-level errors (404/405, parser rejections) never reach a
+    // handler, so they draw a bare id from the same stream: every
+    // response carries a trace id, even ones no handler ever saw.
+    let m = Arc::clone(&metrics);
+    router.set_error_renderer(move |status, code, message| {
+        error_envelope_traced(status, code, message, m.tracer().next_id())
+    });
 
     mount(
         &mut router,
+        &metrics,
         Method::Get,
         "/health",
         Arc::new(|_, _| Ok(Response::text(StatusCode::OK, "ok"))),
@@ -63,6 +129,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
     let s = Arc::clone(&state);
     mount(
         &mut router,
+        &metrics,
         Method::Get,
         "/surveys",
         Arc::new(move |_, _| {
@@ -83,6 +150,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
     let s = Arc::clone(&state);
     mount(
         &mut router,
+        &metrics,
         Method::Get,
         "/surveys/:id",
         Arc::new(move |_, params| {
@@ -101,6 +169,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
     let s = Arc::clone(&state);
     mount(
         &mut router,
+        &metrics,
         Method::Post,
         "/surveys",
         Arc::new(move |req, _| {
@@ -143,6 +212,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
     let s = Arc::clone(&state);
     mount(
         &mut router,
+        &metrics,
         Method::Post,
         "/surveys/:id/responses",
         Arc::new(move |req, params| {
@@ -158,7 +228,8 @@ pub fn build_router(state: Arc<AppState>) -> Router {
             }
             let outcome = s.submit(&body.user, body.privacy_level, body.response, &body.releases);
             if let Some(m) = s.metrics() {
-                m.observe_submit(started.elapsed());
+                let trace_id = loki_obs::trace::current().map(|c| c.trace_id()).unwrap_or(0);
+                m.observe_submit(started.elapsed(), trace_id);
             }
             let stored = outcome.map_err(ApiError::from)?;
             let loss = s.user_loss(&body.user);
@@ -173,6 +244,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
     let s = Arc::clone(&state);
     mount(
         &mut router,
+        &metrics,
         Method::Get,
         "/surveys/:id/results/:question",
         Arc::new(move |_, params| {
@@ -219,6 +291,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
     let s = Arc::clone(&state);
     mount(
         &mut router,
+        &metrics,
         Method::Get,
         "/surveys/:id/choices/:question",
         Arc::new(move |_, params| {
@@ -245,6 +318,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
     let s = Arc::clone(&state);
     mount(
         &mut router,
+        &metrics,
         Method::Get,
         "/stats",
         Arc::new(move |_, _| {
@@ -273,6 +347,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
     let s = Arc::clone(&state);
     mount(
         &mut router,
+        &metrics,
         Method::Get,
         "/ledger/:user",
         Arc::new(move |_, params| {
@@ -291,6 +366,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
     let s = Arc::clone(&state);
     mount(
         &mut router,
+        &metrics,
         Method::Get,
         "/metrics",
         Arc::new(move |_, _| {
@@ -309,12 +385,127 @@ pub fn build_router(state: Arc<AppState>) -> Router {
     let s = Arc::clone(&state);
     mount(
         &mut router,
+        &metrics,
         Method::Get,
         "/accesslog",
         Arc::new(move |_, _| {
             Ok(Response::text(
                 StatusCode::OK,
                 s.enable_metrics().access_log().render_tail(100),
+            ))
+        }),
+    );
+
+    let s = Arc::clone(&state);
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
+        "/healthz",
+        Arc::new(move |_, _| {
+            let (attached, poisoned) = s.journal_health();
+            let degraded = poisoned.is_some();
+            let status = if degraded {
+                StatusCode::SERVICE_UNAVAILABLE
+            } else {
+                StatusCode::OK
+            };
+            Ok(json_response(
+                status,
+                &serde_json::json!({
+                    "status": if degraded { "degraded" } else { "ok" },
+                    "version": env!("CARGO_PKG_VERSION"),
+                    "uptime_seconds": s.uptime_seconds(),
+                    "journal": {
+                        "attached": attached,
+                        "poisoned": degraded,
+                        "error": poisoned,
+                    },
+                }),
+            ))
+        }),
+    );
+
+    let m = Arc::clone(&metrics);
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
+        "/traces",
+        Arc::new(move |_, _| {
+            // Most recent first; summaries only — the id resolves to the
+            // full tree at `/traces/{id}`.
+            let list: Vec<serde_json::Value> = m
+                .tracer()
+                .list()
+                .iter()
+                .rev()
+                .map(|t| {
+                    serde_json::json!({
+                        "id": format!("{:016x}", t.id),
+                        "sampled": t.sampled,
+                        "duration_ns": t.duration_ns,
+                        "spans": t.spans.len(),
+                    })
+                })
+                .collect();
+            Ok(json_response(StatusCode::OK, &list))
+        }),
+    );
+
+    let m = Arc::clone(&metrics);
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
+        "/traces/:id",
+        Arc::new(move |_, params| {
+            let raw: String = path_param(params, "id")?;
+            let id = u64::from_str_radix(&raw, 16).map_err(|_| {
+                ApiError::new(
+                    StatusCode::BAD_REQUEST,
+                    "bad_param",
+                    "trace id must be hexadecimal",
+                )
+            })?;
+            match m.tracer().get(id) {
+                Some(t) => Ok(json_response(StatusCode::OK, &trace_json(&t))),
+                None => Err(ApiError::new(
+                    StatusCode::NOT_FOUND,
+                    "unknown_trace",
+                    "trace not retained (not sampled, not slow, or evicted)",
+                )),
+            }
+        }),
+    );
+
+    let m = Arc::clone(&metrics);
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
+        "/audit",
+        Arc::new(move |_, _| {
+            let log = m.audit_log();
+            let events: Vec<serde_json::Value> = log
+                .tail(100)
+                .iter()
+                .map(|e| {
+                    serde_json::json!({
+                        "seq": e.seq,
+                        "timestamp_ms": e.timestamp_ms,
+                        "subject_index": e.subject_index,
+                        "outcome": e.outcome.as_str(),
+                        "level": e.level,
+                        "epsilon": e.epsilon,
+                        "running_epsilon": e.running_epsilon,
+                        "trace_id": e.trace_id.map(|id| format!("{id:016x}")),
+                    })
+                })
+                .collect();
+            Ok(json_response(
+                StatusCode::OK,
+                &serde_json::json!({"total": log.total(), "events": events}),
             ))
         }),
     );
@@ -635,6 +826,153 @@ mod tests {
         assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
         let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
         assert_eq!(v["error"]["code"], "method_not_allowed");
+        h.shutdown();
+    }
+
+    #[test]
+    fn every_response_carries_a_trace_id_header() {
+        let (h, c, _) = start();
+        // Handler-served success.
+        let resp = c.get("/health").unwrap();
+        let id = resp.headers.get(TRACE_ID_HEADER).expect("header on success");
+        assert_eq!(id.len(), 16, "{id}");
+        assert!(id.chars().all(|ch| ch.is_ascii_hexdigit()), "{id}");
+
+        // Router-level 404: no handler ran, the id comes from the error
+        // renderer, and the envelope embeds the same id.
+        let resp = c.get("/v1/nope").unwrap();
+        let id = resp.headers.get(TRACE_ID_HEADER).expect("header on 404").to_string();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["error"]["trace_id"], id.as_str());
+        h.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_build_info_and_journal() {
+        let (h, c, _) = start();
+        let resp = c.get("/v1/healthz").unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["status"], "ok");
+        assert_eq!(v["version"], env!("CARGO_PKG_VERSION"));
+        assert!(v["uptime_seconds"].is_u64());
+        assert_eq!(v["journal"]["attached"], false, "no journal in this fixture");
+        assert_eq!(v["journal"]["poisoned"], false);
+        h.shutdown();
+    }
+
+    #[test]
+    fn sampled_submit_resolves_through_the_trace_endpoints() {
+        let (h, c, _) = start();
+        // The first request draws sequence 0, which the default config
+        // (sample every 16th) always samples.
+        let resp = c
+            .post("/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::CREATED);
+        let id = resp.headers.get(TRACE_ID_HEADER).expect("traced submit").to_string();
+
+        let resp = c.get(&format!("/v1/traces/{id}")).unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{:?}", resp.body);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["id"], id.as_str());
+        let names: Vec<&str> = v["spans"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s["name"].as_str().unwrap())
+            .collect();
+        // No journal attached here, so no WAL spans — but the in-process
+        // tree (root + apply + ack) must be complete.
+        assert!(names.contains(&"request"), "{names:?}");
+        assert!(names.contains(&"apply"), "{names:?}");
+        assert!(names.contains(&"ack"), "{names:?}");
+
+        // The summary list carries the same id.
+        let resp = c.get("/v1/traces").unwrap();
+        let list: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert!(
+            list.as_array().unwrap().iter().any(|t| t["id"] == id.as_str()),
+            "{list}"
+        );
+
+        // Unknown and malformed ids produce enveloped errors.
+        let resp = c.get("/v1/traces/ffffffffffffffff").unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        let resp = c.get("/v1/traces/not-hex").unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        h.shutdown();
+    }
+
+    #[test]
+    fn budget_rejection_emits_a_matching_audit_event() {
+        let (h, c, state) = start();
+        // One medium-level release costs far more than ε = 1, so the
+        // first submission charges and the next one hits the cap.
+        state.set_epsilon_budget(Some(1.0));
+        let resp = c
+            .post("/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::CREATED, "{:?}", resp.body);
+
+        let mut b = SurveyBuilder::new(SurveyId(2), "extra");
+        b.question("q", QuestionKind::likert5(), false);
+        state.add_survey(b.build().unwrap()).unwrap();
+        let mut response = Response::new("u1", SurveyId(2));
+        response.answer(QuestionId(0), Answer::Obfuscated(4.0));
+        let body = serde_json::to_string(&SubmitRequest {
+            user: "u1".into(),
+            privacy_level: PrivacyLevel::Medium,
+            response,
+            releases: vec![(
+                "survey-2/q0".into(),
+                loki_dp::accountant::ReleaseKind::Gaussian {
+                    sigma: 1.0,
+                    sensitivity: 4.0,
+                },
+            )],
+        })
+        .unwrap();
+        let resp = c.post("/surveys/2/responses", "application/json", body).unwrap();
+        assert_eq!(resp.status, StatusCode::FORBIDDEN, "{:?}", resp.body);
+        let trace_id = resp.headers.get(TRACE_ID_HEADER).expect("traced rejection").to_string();
+
+        let resp = c.get("/v1/audit").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let events = v["events"].as_array().unwrap();
+        assert_eq!(events.len(), 4, "{v}");
+        assert_eq!(events[0]["outcome"], "attempted");
+        assert_eq!(events[1]["outcome"], "charged");
+        assert_eq!(events[2]["outcome"], "attempted");
+        assert_eq!(events[3]["outcome"], "rejected-at-cap");
+        assert_eq!(events[3]["level"], "medium");
+        assert_eq!(events[3]["subject_index"], 0);
+        assert_eq!(events[3]["trace_id"], trace_id.as_str());
+        // The running total the rejection reports is the already-charged
+        // loss that tripped the cap.
+        assert!(events[3]["running_epsilon"].as_f64().unwrap() >= 1.0, "{v}");
+        // The stream is keyed by opaque index only — the raw user id
+        // must not appear anywhere in the rendering.
+        assert!(!String::from_utf8_lossy(&resp.body).contains("u1"), "{v}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn charged_submission_lands_in_the_audit_stream() {
+        let (h, c, _) = start();
+        let resp = c
+            .post("/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::CREATED);
+        let resp = c.get("/v1/audit").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let events = v["events"].as_array().unwrap();
+        assert_eq!(events.len(), 2, "{v}");
+        assert_eq!(events[0]["outcome"], "attempted");
+        assert_eq!(events[1]["outcome"], "charged");
+        let charged = &events[1];
+        assert!(charged["epsilon"].as_f64().unwrap() > 0.0);
+        assert_eq!(charged["epsilon"], charged["running_epsilon"], "first charge");
         h.shutdown();
     }
 

@@ -43,6 +43,12 @@ impl ApiError {
     pub fn into_response(self) -> Response {
         error_envelope(self.status, self.code, &self.message)
     }
+
+    /// Renders the error as the envelope with the request's trace id
+    /// embedded, so a failing response can be joined to its span tree.
+    pub fn into_response_traced(self, trace_id: u64) -> Response {
+        error_envelope_traced(self.status, self.code, &self.message, trace_id)
+    }
 }
 
 impl std::fmt::Display for ApiError {
@@ -57,6 +63,24 @@ pub fn error_envelope(status: StatusCode, code: &str, message: &str) -> Response
         status,
         &serde_json::json!({"error": {"code": code, "message": message}}),
     )
+}
+
+/// The envelope plus the request's trace id, both in the body
+/// (`error.trace_id`, 16 hex digits) and as the
+/// [`loki_net::http::TRACE_ID_HEADER`] response header.
+pub fn error_envelope_traced(
+    status: StatusCode,
+    code: &str,
+    message: &str,
+    trace_id: u64,
+) -> Response {
+    let id = format!("{trace_id:016x}");
+    let mut resp = json_response(
+        status,
+        &serde_json::json!({"error": {"code": code, "message": message, "trace_id": id}}),
+    );
+    resp.headers.insert(loki_net::http::TRACE_ID_HEADER, id);
+    resp
 }
 
 impl From<SubmitError> for ApiError {
@@ -114,6 +138,18 @@ mod tests {
         let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
         assert_eq!(v["error"]["code"], "not_found");
         assert_eq!(v["error"]["message"], "nope");
+    }
+
+    #[test]
+    fn traced_envelope_carries_the_id_in_body_and_header() {
+        let resp = error_envelope_traced(StatusCode::FORBIDDEN, "budget_exhausted", "over", 0xab);
+        assert_eq!(
+            resp.headers.get(loki_net::http::TRACE_ID_HEADER),
+            Some("00000000000000ab")
+        );
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["error"]["code"], "budget_exhausted");
+        assert_eq!(v["error"]["trace_id"], "00000000000000ab");
     }
 
     #[test]

@@ -16,12 +16,20 @@
 //! | `GET /v1/stats` | platform totals + ε-distribution summary |
 //! | `GET /v1/metrics` | Prometheus text exposition ([`metrics`]) |
 //! | `GET /v1/accesslog` | recent sanitized access records |
+//! | `GET /v1/healthz` | build info, uptime, journal-poisoned status |
+//! | `GET /v1/traces` | retained request traces (summaries) |
+//! | `GET /v1/traces/:id` | one trace's full span tree |
+//! | `GET /v1/audit` | recent ε-audit events (opaque subject index) |
 //!
 //! Every route is also reachable at its unversioned legacy path
 //! (`/surveys` ≡ `/v1/surveys`); both share one handler, so the alias
 //! can never drift. Errors — handler, router, and parser level alike —
 //! render as the unified envelope `{"error": {"code", "message"}}`
-//! ([`error::ApiError`]).
+//! ([`error::ApiError`]), and every response (success or failure)
+//! carries the request's trace id in the `x-loki-trace-id` header —
+//! a retained id resolves at `GET /v1/traces/:id` to the span tree
+//! crossing the group-commit boundary (enqueue → batch → fsync →
+//! apply → ack).
 //!
 //! The at-source property is enforced at ingest: submissions containing
 //! raw (non-obfuscated) answers to obfuscatable questions are rejected

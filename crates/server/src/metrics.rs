@@ -17,7 +17,9 @@ use loki_dp::accountant::Accountant;
 use loki_dp::params::Delta;
 use loki_net::http::Method;
 use loki_net::server::{RequestObserver, RequestTiming, ShedObserver};
-use loki_obs::{AccessLog, Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS};
+use loki_obs::{
+    AccessLog, AuditLog, Counter, Gauge, Histogram, Registry, TraceConfig, Tracer, LATENCY_BUCKETS,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -38,9 +40,10 @@ const EPSILON_STATS: [&str; 5] = ["p50", "p90", "p99", "mean", "max"];
 
 /// Path segments that are route literals and may appear verbatim in the
 /// access log; every other segment is a parameter and is masked.
-const ROUTE_LITERALS: [&str; 10] = [
+const ROUTE_LITERALS: [&str; 13] = [
     "v1",
     "health",
+    "healthz",
     "surveys",
     "responses",
     "results",
@@ -49,6 +52,8 @@ const ROUTE_LITERALS: [&str; 10] = [
     "ledger",
     "metrics",
     "accesslog",
+    "traces",
+    "audit",
 ];
 
 /// Reduces a concrete request path to its route shape, masking every
@@ -94,6 +99,8 @@ pub struct ServerMetrics {
     ledger_users: Arc<Gauge>,
     ledger_unbounded: Arc<Gauge>,
     access_log: AccessLog,
+    tracer: Tracer,
+    audit_log: AuditLog,
 }
 
 impl Default for ServerMetrics {
@@ -103,8 +110,20 @@ impl Default for ServerMetrics {
 }
 
 impl ServerMetrics {
-    /// Registers every family under the `loki_` prefix.
+    /// Registers every family under the `loki_` prefix, with the default
+    /// tracing policy (sampled + slow-threshold retention).
     pub fn new() -> ServerMetrics {
+        ServerMetrics::with_trace_config(TraceConfig::default())
+    }
+
+    /// Same instruments, explicit tracing policy (pass
+    /// [`TraceConfig::disabled`] to compile tracing in but record
+    /// nothing — the OBS-2 overhead configuration).
+    pub fn with_trace_config(trace_config: TraceConfig) -> ServerMetrics {
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x6c6f_6b69);
         let registry = Registry::new("loki");
         let mut requests = Vec::with_capacity(METHODS.len() * CLASSES.len());
         for method in METHODS {
@@ -216,8 +235,20 @@ impl ServerMetrics {
                 &[],
             ),
             access_log: AccessLog::with_capacity(1024),
+            tracer: Tracer::new(seed, trace_config),
+            audit_log: AuditLog::with_capacity(4096),
             registry,
         }
+    }
+
+    /// The request tracer (span trees + bounded trace store).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The append-only ε-audit event stream.
+    pub fn audit_log(&self) -> &AuditLog {
+        &self.audit_log
     }
 
     /// A [`RequestObserver`] recording into this instance; install it via
@@ -289,7 +320,10 @@ impl ServerMetrics {
         match event {
             crate::wal::BatchEvent::Committed(t) => {
                 self.wal_batch_size.observe(t.records as f64);
-                self.wal_group_commit_seconds.observe_duration(t.write + t.fsync);
+                self.wal_group_commit_seconds.observe_with_exemplar(
+                    (t.write + t.fsync).as_secs_f64(),
+                    t.exemplar_trace.unwrap_or(0),
+                );
                 self.wal_write_seconds.observe_duration(t.write);
                 self.wal_fsync_seconds.observe_duration(t.fsync);
             }
@@ -311,9 +345,11 @@ impl ServerMetrics {
         Arc::new(move || metrics.on_conn_shed())
     }
 
-    /// Records a full submission round-trip.
-    pub fn observe_submit(&self, elapsed: Duration) {
-        self.submit_seconds.observe_duration(elapsed);
+    /// Records a full submission round-trip, exemplar-tagged with the
+    /// request's trace id when the request was traced (`0` = untraced).
+    pub fn observe_submit(&self, elapsed: Duration, trace_id: u64) {
+        self.submit_seconds
+            .observe_with_exemplar(elapsed.as_secs_f64(), trace_id);
     }
 
     /// Refreshes the ledger ε gauges from the accountant (called on
@@ -349,6 +385,8 @@ mod tests {
         assert_eq!(route_shape("/v1/surveys/17/results/0"), "/v1/surveys/:p/results/:p");
         assert_eq!(route_shape("/ledger/alice"), "/ledger/:p");
         assert_eq!(route_shape("/v1/metrics"), "/v1/metrics");
+        assert_eq!(route_shape("/v1/traces/00ab12"), "/v1/traces/:p");
+        assert_eq!(route_shape("/v1/healthz"), "/v1/healthz");
         assert_eq!(route_shape("/"), "/");
         assert_eq!(route_shape(""), "/");
     }
@@ -386,7 +424,7 @@ mod tests {
         let m = ServerMetrics::new();
         m.on_budget_rejection();
         m.on_submission_stored(PrivacyLevel::Medium);
-        m.observe_submit(Duration::from_micros(500));
+        m.observe_submit(Duration::from_micros(500), 0xab);
         m.observe_store_lock(Duration::from_micros(5));
         m.observe_wal_append(&crate::wal::AppendTiming {
             write: Duration::from_micros(40),
@@ -399,6 +437,10 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("loki_submit_seconds_count 1"), "{text}");
+        assert!(
+            text.contains("# EXEMPLAR loki_submit_seconds trace_id=00000000000000ab"),
+            "{text}"
+        );
         assert!(text.contains("loki_store_lock_seconds_count 1"), "{text}");
         assert!(text.contains("loki_wal_fsync_seconds_count 1"), "{text}");
         assert!(text.contains("loki_wal_write_seconds_count 1"), "{text}");
@@ -411,12 +453,17 @@ mod tests {
             write: Duration::from_micros(80),
             fsync: Duration::from_millis(3),
             records: 7,
+            exemplar_trace: Some(0xbeef),
         }));
         m.on_wal_batch(&crate::wal::BatchEvent::Failed { records: 4 });
         let text = m.render_exposition();
         assert!(text.contains("loki_wal_batch_size_count 1"), "{text}");
         assert!(text.contains("loki_wal_batch_size_sum 7"), "{text}");
         assert!(text.contains("loki_wal_group_commit_seconds_count 1"), "{text}");
+        assert!(
+            text.contains("# EXEMPLAR loki_wal_group_commit_seconds trace_id=000000000000beef"),
+            "{text}"
+        );
         // A committed batch is one shared append for the phase families.
         assert!(text.contains("loki_wal_write_seconds_count 1"), "{text}");
         assert!(text.contains("loki_wal_fsync_seconds_count 1"), "{text}");

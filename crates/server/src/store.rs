@@ -133,8 +133,19 @@ impl std::fmt::Debug for CrashHooks {
     }
 }
 
+/// Stable lowercase name of a privacy level for audit events (audit
+/// fields are `'static` so nothing request-derived can leak into them).
+fn level_name(level: PrivacyLevel) -> &'static str {
+    match level {
+        PrivacyLevel::None => "none",
+        PrivacyLevel::Low => "low",
+        PrivacyLevel::Medium => "medium",
+        PrivacyLevel::High => "high",
+    }
+}
+
 /// The server's whole mutable state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AppState {
     surveys: RwLock<BTreeMap<SurveyId, Survey>>,
     submissions: RwLock<BTreeMap<SurveyId, SurveySubmissions>>,
@@ -168,12 +179,62 @@ pub struct AppState {
     metrics: Arc<std::sync::OnceLock<Arc<crate::metrics::ServerMetrics>>>,
     /// Fault-injection hook for the crash-point tests.
     crash_hooks: CrashHooks,
+    /// Opaque per-process subject indices for the ε-audit stream: the
+    /// audit log (in `loki-obs`) never sees a raw user id, only the
+    /// insertion-order index assigned here.
+    user_indices: Mutex<HashMap<String, u64>>,
+    /// Process start, for `/v1/healthz` uptime.
+    started: std::time::Instant,
+}
+
+impl Default for AppState {
+    fn default() -> AppState {
+        AppState {
+            surveys: RwLock::default(),
+            submissions: RwLock::default(),
+            requester_tokens: RwLock::default(),
+            epsilon_budget: RwLock::default(),
+            journal: RwLock::default(),
+            publish_lock: Mutex::default(),
+            user_locks: Mutex::default(),
+            accountant: Accountant::default(),
+            metrics: Arc::default(),
+            crash_hooks: CrashHooks::default(),
+            user_indices: Mutex::default(),
+            started: std::time::Instant::now(),
+        }
+    }
 }
 
 impl AppState {
     /// Creates empty state.
     pub fn new() -> AppState {
         AppState::default()
+    }
+
+    /// Seconds since this state was created (server uptime for healthz).
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Journal health as `(attached, poisoned_reason)`: whether a
+    /// journal is attached and, if so, whether an I/O failure has
+    /// poisoned it (every later write 503s until operator recovery).
+    pub fn journal_health(&self) -> (bool, Option<String>) {
+        let journal = self.journal.read();
+        match journal.as_ref() {
+            Some(committer) => (true, committer.poisoned()),
+            None => (false, None),
+        }
+    }
+
+    /// The opaque audit index for `user`, assigned in insertion order on
+    /// first use. This is the only form in which a submission's subject
+    /// ever reaches the observability layer.
+    fn subject_index(&self, user: &str) -> u64 {
+        let mut indices = self.user_indices.lock();
+        let next = indices.len() as u64;
+        *indices.entry(user.to_string()).or_insert(next)
     }
 
     /// Registers a requester token; once any token exists, publishing
@@ -408,29 +469,86 @@ impl AppState {
             return Err(SubmitError::Duplicate);
         }
 
-        if let Some(budget) = self.epsilon_budget() {
-            let loss = self.user_loss(user);
-            let over = if loss.is_finite() {
-                loss.epsilon.value() >= budget
-            } else {
-                true
+        // ε-audit bookkeeping (metrics enabled only): the running total
+        // before the charge, and the marginal ε this release set would
+        // add — probed on a scratch copy of the ledger so the attempted
+        // and rejected-at-cap events can report it without charging.
+        let budget = self.epsilon_budget();
+        let trace_ctx = loki_obs::trace::current();
+        let trace_id = trace_ctx.as_ref().map(|c| c.trace_id());
+        let loss = (budget.is_some() || self.metrics.get().is_some())
+            .then(|| self.user_loss(user));
+        let audit = match (self.metrics.get(), &loss) {
+            (Some(m), Some(before)) => {
+                let mut scratch = self.accountant.ledger_of(user).unwrap_or_default();
+                for (tag, kind) in releases {
+                    scratch.record(tag.clone(), *kind);
+                }
+                let after = scratch.tight_loss(Delta::new(loki_dp::DEFAULT_DELTA));
+                let running_before = if before.is_finite() {
+                    before.epsilon.value()
+                } else {
+                    f64::INFINITY
+                };
+                let running_after = if after.is_finite() {
+                    after.epsilon.value()
+                } else {
+                    f64::INFINITY
+                };
+                let charge = if running_before.is_finite() && running_after.is_finite() {
+                    (running_after - running_before).max(0.0)
+                } else {
+                    f64::INFINITY
+                };
+                let index = self.subject_index(user);
+                m.audit_log().push(
+                    index,
+                    loki_obs::AuditOutcome::Attempted,
+                    level_name(level),
+                    charge,
+                    running_before,
+                    trace_id,
+                );
+                Some((Arc::clone(m), index, charge, running_after))
+            }
+            _ => None,
+        };
+
+        if let Some(budget) = budget {
+            // `loss` is always `Some` when a budget is configured.
+            let over = match &loss {
+                Some(l) if l.is_finite() => l.epsilon.value() >= budget,
+                _ => true,
             };
             if over {
+                let current = loss
+                    .as_ref()
+                    .and_then(|l| l.is_finite().then(|| l.epsilon.value()));
+                if let Some((m, index, charge, _)) = &audit {
+                    m.audit_log().push(
+                        *index,
+                        loki_obs::AuditOutcome::RejectedAtCap,
+                        level_name(level),
+                        *charge,
+                        current.unwrap_or(f64::INFINITY),
+                        trace_id,
+                    );
+                }
                 if let Some(m) = self.metrics.get() {
                     m.on_budget_rejection();
                 }
-                return Err(SubmitError::BudgetExhausted {
-                    current: loss.is_finite().then(|| loss.epsilon.value()),
-                    budget,
-                });
+                return Err(SubmitError::BudgetExhausted { current, budget });
             }
         }
 
         // Durable before applied: a failure here aborts with no state
         // change, and the client is told instead of silently dropped.
+        // The trace context crosses into the committer thread via the
+        // commit request, recording enqueue/batch/fsync spans there.
         self.journal_submission(user, level, &response, releases)?;
         self.crash_point(CrashPoint::AfterDurableBeforeApply);
 
+        let apply_span = trace_ctx.as_ref().map(|c| c.start_child("apply"));
         let lock_started = std::time::Instant::now();
         let stored = {
             let mut submissions = self.submissions.write();
@@ -446,11 +564,27 @@ impl AppState {
             });
             entry.list.len()
         };
+        if let Some(mut span) = apply_span {
+            span.attr("stored", stored as u64);
+            span.finish();
+        }
         if let Some(m) = self.metrics.get() {
             m.observe_store_lock(lock_started.elapsed());
             m.on_submission_stored(level);
         }
+        if let Some((m, index, charge, running_after)) = audit {
+            m.audit_log().push(
+                index,
+                loki_obs::AuditOutcome::Charged,
+                level_name(level),
+                charge,
+                running_after,
+                trace_id,
+            );
+        }
+        let ack_span = trace_ctx.as_ref().map(|c| c.start_child("ack"));
         self.crash_point(CrashPoint::AfterApplyBeforeAck);
+        drop(ack_span);
         Ok(stored)
     }
 

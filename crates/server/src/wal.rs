@@ -20,14 +20,16 @@
 use crate::store::{AppState, SubmitError};
 use loki_core::privacy_level::PrivacyLevel;
 use loki_dp::accountant::ReleaseKind;
+use loki_obs::trace::{SpanContext, ROOT_SPAN};
 use loki_survey::response::Response;
 use loki_survey::survey::Survey;
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One journal record.
 ///
@@ -137,6 +139,9 @@ pub struct BatchTiming {
     pub fsync: std::time::Duration,
     /// Records in the batch (≥ 1).
     pub records: usize,
+    /// Trace id of one traced writer in the batch (if any), so the
+    /// group-commit histogram can carry an exemplar.
+    pub exemplar_trace: Option<u64>,
 }
 
 /// What the committer thread reports to its observer after each batch.
@@ -207,6 +212,7 @@ impl Wal {
             write,
             fsync: fsync_started.elapsed(),
             records,
+            exemplar_trace: None,
         })
     }
 
@@ -241,12 +247,24 @@ fn encode_line<T: Serialize>(record: &T) -> Result<Vec<u8>, WalError> {
     Ok(line)
 }
 
+/// The trace context a writer hands across the thread boundary, plus
+/// the instant it enqueued — the committer turns the gap between that
+/// instant and its drain into the "enqueue" (queue-wait) span.
+struct TraceHandoff {
+    ctx: SpanContext,
+    enqueued: Instant,
+}
+
 /// One blocked writer's entry on the commit queue.
 struct CommitRequest {
     /// The encoded, newline-terminated journal line.
     line: Vec<u8>,
     /// Wakes the writer once its batch is durable (or failed).
     done: mpsc::SyncSender<Result<(), DurabilityError>>,
+    /// Trace handoff when the writer's request is being traced. This is
+    /// the explicit context transfer across the writer→committer
+    /// boundary: the committer records complete spans against it.
+    trace: Option<TraceHandoff>,
 }
 
 /// The group-commit engine: a commit queue plus a dedicated committer
@@ -265,6 +283,10 @@ struct CommitRequest {
 pub struct GroupCommitter {
     tx: Option<mpsc::Sender<CommitRequest>>,
     thread: Option<JoinHandle<()>>,
+    /// Set by the committer thread on the first I/O failure; read by
+    /// `/v1/healthz` so a poisoned journal is visible before a client
+    /// ever eats a 503.
+    poisoned: Arc<Mutex<Option<String>>>,
 }
 
 impl std::fmt::Debug for GroupCommitter {
@@ -285,13 +307,25 @@ impl GroupCommitter {
     ) -> GroupCommitter {
         let (tx, rx) = mpsc::channel::<CommitRequest>();
         let max_batch = config.max_batch.max(1);
+        let poisoned = Arc::new(Mutex::new(None));
+        let poisoned_flag = Arc::clone(&poisoned);
         let thread = std::thread::spawn(move || {
-            committer_loop(wal, &rx, max_batch, observer.as_ref());
+            committer_loop(wal, &rx, max_batch, observer.as_ref(), &poisoned_flag);
         });
         GroupCommitter {
             tx: Some(tx),
             thread: Some(thread),
+            poisoned,
         }
+    }
+
+    /// The reason the journal was poisoned, if an I/O failure has
+    /// occurred. `None` means the journal is healthy.
+    pub fn poisoned(&self) -> Option<String> {
+        self.poisoned
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Blocks until a survey publication is fsync-durable.
@@ -320,12 +354,22 @@ impl GroupCommitter {
     }
 
     /// Enqueues one encoded line and blocks until its batch resolves.
+    ///
+    /// If the calling thread carries a recording trace context, it is
+    /// handed off on the commit request so the committer can record the
+    /// enqueue-wait, batch and fsync spans into this request's tree.
     fn commit_line(&self, line: Vec<u8>) -> Result<(), DurabilityError> {
         let (done, done_rx) = mpsc::sync_channel(1);
         let Some(tx) = self.tx.as_ref() else {
             return Err(DurabilityError::new("journal closed"));
         };
-        tx.send(CommitRequest { line, done })
+        let trace = loki_obs::trace::current()
+            .filter(SpanContext::is_recording)
+            .map(|ctx| TraceHandoff {
+                ctx,
+                enqueued: Instant::now(),
+            });
+        tx.send(CommitRequest { line, done, trace })
             .map_err(|_| DurabilityError::new("group committer stopped"))?;
         done_rx
             .recv()
@@ -345,13 +389,21 @@ impl Drop for GroupCommitter {
 }
 
 /// The committer thread: drain → batch-write → single fsync → wake.
+///
+/// For every traced request in a batch it records three spans against
+/// the request's own trace (offsets are computed per-trace, so one
+/// batch can serve many traces): `enqueue` (send → drain), `batch`
+/// (write+fsync, tagged with the batch id and size so cohorts are
+/// joinable) and `fsync` (a child of `batch`).
 fn committer_loop(
     mut wal: Wal,
     rx: &mpsc::Receiver<CommitRequest>,
     max_batch: usize,
     observer: Option<&BatchObserver>,
+    poisoned_flag: &Mutex<Option<String>>,
 ) {
     let mut poisoned: Option<String> = None;
+    let mut batch_id: u64 = 0;
     while let Ok(first) = rx.recv() {
         let mut batch = vec![first];
         while batch.len() < max_batch {
@@ -360,11 +412,15 @@ fn committer_loop(
                 Err(_) => break,
             }
         }
+        let drained = Instant::now();
         if let Some(reason) = &poisoned {
             let err =
                 DurabilityError::new(format!("journal poisoned by earlier failure: {reason}"));
             let records = batch.len();
             for req in batch {
+                if let Some(h) = &req.trace {
+                    h.ctx.add_span_at("enqueue", Some(ROOT_SPAN), h.enqueued, drained, &[]);
+                }
                 let _ = req.done.send(Err(err.clone()));
             }
             if let Some(obs) = observer {
@@ -376,13 +432,36 @@ fn committer_loop(
         for req in &batch {
             bytes.extend_from_slice(&req.line);
         }
+        let batch_started = Instant::now();
         match wal.append_encoded(&bytes, batch.len()) {
             Ok(timing) => {
+                batch_id += 1;
+                let batch_ended = Instant::now();
+                let fsync_started = batch_started + timing.write;
+                let size = batch.len() as u64;
+                let mut exemplar_trace = None;
+                for req in &batch {
+                    let Some(h) = &req.trace else { continue };
+                    exemplar_trace.get_or_insert(h.ctx.trace_id());
+                    h.ctx.add_span_at("enqueue", Some(ROOT_SPAN), h.enqueued, drained, &[]);
+                    let b = h.ctx.add_span_at(
+                        "batch",
+                        Some(ROOT_SPAN),
+                        batch_started,
+                        batch_ended,
+                        &[("batch_id", batch_id), ("batch_size", size)],
+                    );
+                    h.ctx
+                        .add_span_at("fsync", Some(b), fsync_started, batch_ended, &[]);
+                }
                 for req in batch {
                     let _ = req.done.send(Ok(()));
                 }
                 if let Some(obs) = observer {
-                    obs(&BatchEvent::Committed(timing));
+                    obs(&BatchEvent::Committed(BatchTiming {
+                        exemplar_trace,
+                        ..timing
+                    }));
                 }
             }
             Err(e) => {
@@ -390,11 +469,17 @@ fn committer_loop(
                 let err = DurabilityError::new(&message);
                 let records = batch.len();
                 for req in batch {
+                    if let Some(h) = &req.trace {
+                        h.ctx.add_span_at("enqueue", Some(ROOT_SPAN), h.enqueued, drained, &[]);
+                    }
                     let _ = req.done.send(Err(err.clone()));
                 }
                 if let Some(obs) = observer {
                     obs(&BatchEvent::Failed { records });
                 }
+                *poisoned_flag
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(message.clone());
                 poisoned = Some(message);
             }
         }
@@ -797,8 +882,90 @@ mod tests {
             .commit_submission("a", PrivacyLevel::Low, &resp, &rel)
             .unwrap_err();
         assert!(err.to_string().contains("poisoned"), "{err}");
+        // The poison reason is observable without eating another 503.
+        let reason = committer.poisoned().expect("poison flag set");
+        assert!(reason.contains("io"), "{reason}");
         drop(committer);
         assert_eq!(failures.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn healthy_committer_reports_not_poisoned() {
+        let path = tmp("healthy.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let committer =
+            GroupCommitter::spawn(Wal::open(&path).unwrap(), GroupCommitConfig::default(), None);
+        committer.commit_survey(&survey()).unwrap();
+        assert_eq!(committer.poisoned(), None);
+        drop(committer);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn traced_commit_records_spans_across_the_thread_boundary() {
+        use loki_obs::trace::{self, TraceConfig};
+        use loki_obs::Tracer;
+
+        let path = tmp("traced.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let committer =
+            GroupCommitter::spawn(Wal::open(&path).unwrap(), GroupCommitConfig::default(), None);
+
+        let tracer = Tracer::new(
+            1,
+            TraceConfig {
+                capacity: 8,
+                sample_every: 1,
+                slow_threshold: None,
+            },
+        );
+        let t = tracer.start();
+        let id = t.id();
+        {
+            let _g = trace::set_current(t.ctx());
+            committer.commit_survey(&survey()).unwrap();
+        }
+        tracer.finish(t);
+
+        let stored = tracer.get(id).expect("trace retained");
+        let names: Vec<&str> = stored.spans.iter().map(|s| s.name).collect();
+        for expected in ["enqueue", "batch", "fsync"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        let batch = stored.spans.iter().find(|s| s.name == "batch").unwrap();
+        assert!(
+            batch.attrs.iter().any(|(k, v)| *k == "batch_id" && *v >= 1),
+            "batch span carries a batch id: {:?}",
+            batch.attrs
+        );
+        let fsync = stored.spans.iter().find(|s| s.name == "fsync").unwrap();
+        assert_eq!(fsync.parent, Some(batch.id), "fsync is a child of batch");
+        drop(committer);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn untraced_commits_carry_no_handoff_or_exemplar() {
+        let path = tmp("untraced.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let observer: BatchObserver = {
+            let seen = Arc::clone(&seen);
+            Arc::new(move |event| {
+                if let BatchEvent::Committed(t) = event {
+                    seen.lock().unwrap().push(t.exemplar_trace);
+                }
+            })
+        };
+        let committer = GroupCommitter::spawn(
+            Wal::open(&path).unwrap(),
+            GroupCommitConfig::default(),
+            Some(observer),
+        );
+        committer.commit_survey(&survey()).unwrap();
+        drop(committer);
+        assert_eq!(seen.lock().unwrap().as_slice(), &[None]);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Integration tests for the versioned `/v1` REST API: the unified error
-//! envelope, the Prometheus `/v1/metrics` exposition, and byte-identical
-//! legacy aliases.
+//! envelope, the Prometheus `/v1/metrics` exposition, byte-identical
+//! legacy aliases, request tracing across the group-commit boundary
+//! (`x-loki-trace-id` → `/v1/traces/{id}`), the ε-audit stream, and
+//! `/v1/healthz`.
 
 use loki::core::privacy_level::PrivacyLevel;
 use loki::net::client::HttpClient;
@@ -292,12 +294,206 @@ fn legacy_aliases_are_byte_identical_to_v1() {
         assert_eq!(legacy.body, v1.body, "alias drift on {path}");
     }
 
-    // Error paths must alias identically too.
+    // Error paths must alias identically too — modulo the per-request
+    // trace id every envelope now carries.
     for path in ["/surveys/abc", "/surveys/99", "/surveys/1/results/5"] {
         let legacy = c.get(path).unwrap();
         let v1 = c.get(&format!("/v1{path}")).unwrap();
         assert_eq!(legacy.status, v1.status, "{path}");
-        assert_eq!(legacy.body, v1.body, "error alias drift on {path}");
+        let mut l: serde_json::Value = serde_json::from_slice(&legacy.body).unwrap();
+        let mut v: serde_json::Value = serde_json::from_slice(&v1.body).unwrap();
+        for body in [&mut l, &mut v] {
+            let id = body["error"]["trace_id"].as_str().expect("trace id in envelope");
+            assert_eq!(id.len(), 16, "{id}");
+            body["error"]["trace_id"] = serde_json::Value::Null;
+        }
+        assert_eq!(l, v, "error alias drift on {path}");
     }
+    h.shutdown();
+}
+
+#[test]
+fn healthz_reports_build_info_without_a_journal() {
+    let (h, c, _) = start();
+    let resp = c.get("/v1/healthz").unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(v["status"], "ok");
+    assert_eq!(v["version"], env!("CARGO_PKG_VERSION"));
+    assert!(v["uptime_seconds"].is_u64());
+    assert_eq!(v["journal"]["attached"], false);
+    assert_eq!(v["journal"]["poisoned"], false);
+    h.shutdown();
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn healthz_degrades_when_the_journal_poisons() {
+    // /dev/full accepts opens but fails every write with ENOSPC.
+    let state = Arc::new(AppState::new());
+    state.add_survey(lecturer_survey()).unwrap();
+    state.attach_journal(
+        loki::server::wal::Wal::open(std::path::Path::new("/dev/full")).unwrap(),
+    );
+    let h = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+    let c = HttpClient::new(&h.base_url()).unwrap();
+
+    // Attached and healthy before any write fails.
+    let resp = c.get("/v1/healthz").unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(v["journal"]["attached"], true);
+    assert_eq!(v["journal"]["poisoned"], false);
+
+    // The first durable write fails and poisons the journal.
+    let resp = c
+        .post("/v1/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+        .unwrap();
+    assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+    assert_envelope(&resp, "durability");
+
+    let resp = c.get("/v1/healthz").unwrap();
+    assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(v["status"], "degraded");
+    assert_eq!(v["journal"]["poisoned"], true);
+    assert!(
+        v["journal"]["error"].as_str().unwrap().contains("io"),
+        "{v}"
+    );
+    h.shutdown();
+}
+
+#[test]
+fn trace_header_resolves_to_the_group_commit_span_tree() {
+    let dir = std::env::temp_dir().join(format!(
+        "loki-api-v1-traces-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let state = Arc::new(AppState::new());
+    state.attach_journal(loki::server::wal::Wal::open(&dir.join("wal.jsonl")).unwrap());
+    state.add_survey(lecturer_survey()).unwrap();
+    let h = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+    let c = HttpClient::new(&h.base_url()).unwrap();
+
+    let fetch_tree = |trace_id: &str| -> serde_json::Value {
+        let resp = c.get(&format!("/v1/traces/{trace_id}")).unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{:?}", resp.body);
+        serde_json::from_slice(&resp.body).unwrap()
+    };
+    let batch_id_of = |tree: &serde_json::Value| -> (u64, u64) {
+        let spans = tree["spans"].as_array().unwrap();
+        let find = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s["name"] == name)
+                .unwrap_or_else(|| panic!("missing span {name}: {spans:?}"))
+        };
+        let root = find("request");
+        let batch = find("batch");
+        let fsync = find("fsync");
+        // Tree shape: enqueue, batch, apply and ack hang off the root;
+        // the fsync nests under its batch.
+        for name in ["enqueue", "batch", "apply", "ack"] {
+            assert_eq!(find(name)["parent"], root["id"], "{name} parent");
+        }
+        assert_eq!(fsync["parent"], batch["id"], "fsync nests under batch");
+        let batch_id = batch["attrs"]["batch_id"].as_u64().expect("batch_id attr");
+        let batch_size = batch["attrs"]["batch_size"].as_u64().expect("batch_size attr");
+        (batch_id, batch_size)
+    };
+
+    // Request #1 draws tracer sequence 0: sampled under the default
+    // sample-every-16th policy.
+    let resp = c
+        .post("/v1/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+        .unwrap();
+    assert_eq!(resp.status, StatusCode::CREATED, "{:?}", resp.body);
+    let first_id = resp
+        .headers
+        .get("x-loki-trace-id")
+        .expect("trace id on response")
+        .to_string();
+    let (first_batch, first_size) = batch_id_of(&fetch_tree(&first_id));
+    assert!(first_batch >= 1);
+    assert!(first_size >= 1);
+
+    // Advance the tracer to sequence 15, then submit again at sequence
+    // 16 — sampled again, and committed in a strictly later batch.
+    for _ in 0..15 {
+        c.get("/v1/health").unwrap();
+    }
+    let resp = c
+        .post("/v1/surveys/1/responses", "application/json", submit_body("u2", 3.0))
+        .unwrap();
+    assert_eq!(resp.status, StatusCode::CREATED, "{:?}", resp.body);
+    let second_id = resp
+        .headers
+        .get("x-loki-trace-id")
+        .expect("trace id on response")
+        .to_string();
+    let (second_batch, _) = batch_id_of(&fetch_tree(&second_id));
+    assert!(
+        second_batch > first_batch,
+        "later commit in a later batch ({first_batch} → {second_batch})"
+    );
+
+    h.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn budget_cap_rejection_produces_a_matching_audit_event() {
+    let (h, c, state) = start();
+    // One medium-level release costs far more than ε = 1: the first
+    // submission charges, and a second survey's submission hits the cap.
+    state.set_epsilon_budget(Some(1.0));
+    let resp = c
+        .post("/v1/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+        .unwrap();
+    assert_eq!(resp.status, StatusCode::CREATED, "{:?}", resp.body);
+
+    let sid = SurveyId(2);
+    let mut b = SurveyBuilder::new(sid, "extra");
+    b.question("q", QuestionKind::likert5(), false);
+    state.add_survey(b.build().unwrap()).unwrap();
+    let mut response = Response::new("u1", sid);
+    response.answer(QuestionId(0), Answer::Obfuscated(4.0));
+    let body = serde_json::to_string(&SubmitRequest {
+        user: "u1".into(),
+        privacy_level: PrivacyLevel::Medium,
+        response,
+        releases: vec![(
+            "survey-2/q0".into(),
+            loki::dp::accountant::ReleaseKind::Gaussian {
+                sigma: 1.0,
+                sensitivity: 4.0,
+            },
+        )],
+    })
+    .unwrap();
+    let resp = c
+        .post("/v1/surveys/2/responses", "application/json", body)
+        .unwrap();
+    assert_eq!(resp.status, StatusCode::FORBIDDEN, "{:?}", resp.body);
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(v["error"]["code"], "budget_exhausted");
+    let trace_id = v["error"]["trace_id"].as_str().expect("trace id").to_string();
+
+    let resp = c.get("/v1/audit").unwrap();
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    let events = v["events"].as_array().unwrap();
+    let last = events.last().expect("audit events recorded");
+    assert_eq!(last["outcome"], "rejected-at-cap");
+    assert_eq!(last["level"], "medium");
+    assert_eq!(last["trace_id"], trace_id.as_str());
+    assert!(last["subject_index"].is_u64());
+    // Opaque index only — the raw user id must never reach the stream.
+    assert!(
+        !String::from_utf8_lossy(&resp.body).contains("u1"),
+        "raw id leaked into the audit rendering"
+    );
     h.shutdown();
 }

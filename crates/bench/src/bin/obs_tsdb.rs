@@ -1,0 +1,150 @@
+//! SLO-1 — self-scrape cost of the metrics history layer.
+//!
+//! The history layer ([`loki_obs::Tsdb`] + [`loki_obs::SloEngine`]) is
+//! fed by a background thread that, once per interval, snapshots every
+//! registered metric family straight from its atomic cells, ingests the
+//! snapshot into the ring-buffer tsdb, and evaluates every SLO burn-rate
+//! rule. That whole scrape must be cheap enough to be invisible next to
+//! the serving path: at the production 1 s interval its duty cycle — the
+//! fraction of each second the scrape occupies — must stay **below 1%**
+//! of the submit path's capacity.
+//!
+//! This bench populates a realistic state (surveys, submissions, traffic
+//! across every instrument family), measures the median cost of one full
+//! scrape (`ServerMetrics::scrape`: ledger-gauge refresh + registry
+//! snapshot + tsdb ingest + SLO evaluation) and the median cost of one
+//! submit, and reports the scrape's duty cycle at 1 Hz both in absolute
+//! terms and in equivalent submits forgone per second. The acceptance
+//! bar (asserted in CI) is `scrape_seconds / 1 s < 1%`; override the
+//! maximum duty-cycle percentage with `LOKI_SLO1_MIN` (e.g. on a
+//! heavily-shared CI host).
+
+use loki_bench::{banner, f, n, Table};
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::accountant::ReleaseKind;
+use loki_server::store::AppState;
+use loki_survey::question::{Answer, QuestionKind};
+use loki_survey::response::Response;
+use loki_survey::survey::{Survey, SurveyBuilder, SurveyId};
+use loki_survey::QuestionId;
+use std::time::{Duration, Instant};
+
+/// Ledger population the scrape has to walk for the near-cap gauge.
+const USERS: usize = 2_000;
+/// Scrapes per trial batch.
+const SCRAPES: usize = 200;
+/// Submits per trial batch for the per-submit cost.
+const SUBMITS: usize = 2_000;
+const TRIALS: usize = 11;
+
+fn survey() -> Survey {
+    let mut b = SurveyBuilder::new(SurveyId(1), "bench");
+    b.question("rate", QuestionKind::likert5(), false);
+    b.build().expect("static survey")
+}
+
+fn releases() -> Vec<(String, ReleaseKind)> {
+    vec![(
+        "survey-1/q0".into(),
+        ReleaseKind::Gaussian {
+            sigma: 1.0,
+            sensitivity: 4.0,
+        },
+    )]
+}
+
+/// A state with metrics enabled, an ε cap (so the near-cap gauge has
+/// real work to do), and `USERS` charged ledger entries.
+fn populated_state() -> AppState {
+    let state = AppState::new();
+    state.add_survey(survey()).unwrap();
+    state.enable_metrics();
+    state.set_epsilon_budget(Some(1_000.0)).expect("positive cap");
+    let rel = releases();
+    for i in 0..USERS {
+        let user = format!("u{i}");
+        let mut r = Response::new(user.clone(), SurveyId(1));
+        r.answer(QuestionId(0), Answer::Obfuscated(4.0));
+        state
+            .submit(&user, PrivacyLevel::Medium, r, &rel)
+            .expect("bench submission");
+    }
+    state
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    banner(
+        "SLO-1",
+        "self-scrape duty cycle of the metrics history layer",
+        "tsdb + SLO scrape at 1 Hz must cost <1% of submit-path capacity",
+    );
+
+    let state = populated_state();
+    let metrics = state.enable_metrics();
+
+    // Interleave trials so neither side benefits from cache warm-up.
+    let mut scrape_meds = Vec::with_capacity(TRIALS);
+    let mut submit_meds = Vec::with_capacity(TRIALS);
+    for trial in 0..TRIALS {
+        let start = Instant::now();
+        for _ in 0..SCRAPES {
+            state.scrape_once();
+        }
+        scrape_meds.push(start.elapsed() / SCRAPES as u32);
+
+        // Fresh users each trial: distinct ledger rows, never duplicates.
+        let rel = releases();
+        let start = Instant::now();
+        for i in 0..SUBMITS {
+            let user = format!("t{trial}-s{i}");
+            let mut r = Response::new(user.clone(), SurveyId(1));
+            r.answer(QuestionId(0), Answer::Obfuscated(4.0));
+            state
+                .submit(&user, PrivacyLevel::Medium, r, &rel)
+                .expect("bench submission");
+        }
+        submit_meds.push(start.elapsed() / SUBMITS as u32);
+    }
+    let scrape_ns = median(&mut scrape_meds).as_nanos() as f64;
+    let submit_ns = median(&mut submit_meds).as_nanos() as f64;
+
+    // Duty cycle at the production cadence: one scrape per second.
+    let duty_pct = scrape_ns / 1e9 * 100.0;
+    let submits_forgone = scrape_ns / submit_ns;
+    let series = metrics.tsdb().series_count();
+
+    let mut t = Table::new(&["quantity", "value"]);
+    t.row(&[
+        "ledger rows walked per scrape".into(),
+        n(state.accountant.user_count()),
+    ]);
+    t.row(&["tsdb series maintained".into(), n(series)]);
+    t.row(&["median scrape cost (µs)".into(), f(scrape_ns / 1e3)]);
+    t.row(&["median submit cost (µs)".into(), f(submit_ns / 1e3)]);
+    t.row(&["duty cycle at 1 Hz (%)".into(), f(duty_pct)]);
+    t.row(&["equiv. submits forgone /s".into(), f(submits_forgone)]);
+    println!("{}", t.render());
+
+    assert!(
+        metrics.scrapes() >= (TRIALS * SCRAPES) as u64,
+        "every scrape ticked the history layer"
+    );
+    assert!(series > 0, "scrapes populated the tsdb");
+
+    let bar: f64 = std::env::var("LOKI_SLO1_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    println!("SLO-1 duty cycle at 1 Hz: {duty_pct:.4}% (bar <{bar}%)");
+    if duty_pct < bar {
+        println!("PASS: self-scrape is invisible next to the submit path");
+    } else {
+        println!("FAIL: scrape duty cycle above the {bar}% bar");
+        std::process::exit(1);
+    }
+}

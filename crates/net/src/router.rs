@@ -67,17 +67,15 @@ impl Router {
         Router::default()
     }
 
-    /// Registers a route.
-    ///
-    /// # Panics
-    /// Panics if the pattern does not start with `/`.
+    /// Registers a route. A leading `/` is implied: `"health"` and
+    /// `"/health"` register the same pattern (matching normalizes both
+    /// sides to their non-empty segments).
     pub fn route(
         &mut self,
         method: Method,
         pattern: &str,
         handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
     ) -> &mut Router {
-        assert!(pattern.starts_with('/'), "pattern must start with '/'");
         let segments = pattern
             .trim_start_matches('/')
             .split('/')
@@ -267,10 +265,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must start with '/'")]
-    fn bad_pattern_rejected() {
+    fn slashless_pattern_matches_like_its_slashed_twin() {
         let mut r = Router::new();
         r.get("surveys", |_, _| Response::status(StatusCode::OK));
+        assert_eq!(r.dispatch(&get("/surveys")).status, StatusCode::OK);
+        assert_eq!(r.dispatch(&get("/other")).status, StatusCode::NOT_FOUND);
     }
 
     #[test]

@@ -214,4 +214,53 @@ mod tests {
         assert_eq!(log.len(), 16);
         assert_eq!(log.total(), 2000);
     }
+
+    #[test]
+    fn concurrent_wraparound_keeps_entries_untorn_and_ids_monotonic() {
+        // 8 writers × 400 events through a 16-slot ring: each event's
+        // fields are all derived from (thread, iteration), so any torn
+        // entry — fields from two different pushes — is detectable.
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 400;
+        let log = std::sync::Arc::new(AuditLog::with_capacity(16));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let subject = t * PER_THREAD + i;
+                        log.push(
+                            subject,
+                            AuditOutcome::Charged,
+                            "medium",
+                            subject as f64 * 0.25,
+                            subject as f64 * 0.5,
+                            Some(subject + 1),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        assert_eq!(log.total(), THREADS * PER_THREAD);
+        assert_eq!(log.len(), 16, "memory stays bounded under wraparound");
+        let tail = log.tail(64);
+        assert_eq!(tail.len(), 16);
+        for pair in tail.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "sequence numbers stay monotonic");
+        }
+        assert_eq!(
+            tail.last().map(|e| e.seq),
+            Some(THREADS * PER_THREAD - 1),
+            "the final push is retained"
+        );
+        for event in &tail {
+            let subject = event.subject_index;
+            assert_eq!(event.epsilon, subject as f64 * 0.25, "torn entry: {event:?}");
+            assert_eq!(event.running_epsilon, subject as f64 * 0.5, "torn entry: {event:?}");
+            assert_eq!(event.trace_id, Some(subject + 1), "torn entry: {event:?}");
+        }
+    }
 }

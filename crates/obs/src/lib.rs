@@ -23,6 +23,15 @@
 //! * [`AuditLog`] — the append-only ε-audit event stream: every budget
 //!   charge attempted/charged/rejected-at-cap, keyed by opaque subject
 //!   index, joinable to traces by id.
+//! * [`Tsdb`] — a fixed-memory ring-buffer time-series store fed by the
+//!   server's self-scraper: per-series history of registry snapshots
+//!   (delta-aware for counters, histogram fan-out into `_bucket` /
+//!   `_count` / `_sum` series) with min/max/avg/last downsampling.
+//! * [`SloEngine`] — declarative [`SloSpec`]s evaluated against the
+//!   tsdb each scrape tick: multi-window burn rates, an
+//!   `Ok → Pending → Firing → Resolved` alert state machine, and a
+//!   bounded audit-style ring of [`AlertEvent`] transitions carrying
+//!   violating-exemplar trace ids.
 //!
 //! Deliberately `std`-only: no serde, no parking_lot, no clocks beyond
 //! `std::time`. Privacy note: metric *labels* must never carry
@@ -37,12 +46,16 @@ mod access;
 mod audit;
 mod metrics;
 mod registry;
+mod slo;
 pub mod trace;
+mod tsdb;
 
 pub use access::{AccessLog, AccessRecord};
 pub use audit::{AuditEvent, AuditLog, AuditOutcome};
 pub use metrics::{Counter, Gauge, Histogram, LATENCY_BUCKETS};
-pub use registry::Registry;
+pub use registry::{Registry, Sample, SampleValue};
+pub use slo::{AlertEvent, AlertState, BurnRule, SloEngine, SloKind, SloSpec, SloStatus};
+pub use tsdb::{PointAgg, SeriesData, Tsdb, TsdbConfig};
 pub use trace::{
     ActiveSpan, SpanContext, SpanRecord, StoredTrace, Trace, TraceConfig, TraceGuard, Tracer,
 };

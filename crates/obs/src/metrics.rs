@@ -227,6 +227,16 @@ impl Histogram {
         &self.bounds
     }
 
+    /// Raw (non-cumulative) per-bucket counts in bound order, plus the
+    /// overflow bucket last — `bounds().len() + 1` entries.
+    ///
+    /// This is the tsdb ingestion accessor: exposition renders cumulative
+    /// counts, but history needs per-bucket values it can difference
+    /// tick-over-tick without re-parsing exposition text.
+    pub fn snapshot_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
     /// Cumulative bucket counts in exposition order (one per bound, plus
     /// the `+Inf` total), used by the registry's renderer.
     pub fn cumulative_buckets(&self) -> Vec<u64> {
@@ -347,6 +357,23 @@ mod tests {
         assert_eq!(h.quantile(2.0), h.quantile(1.0));
         assert_eq!(h.quantile(f64::NAN), h.quantile(0.0), "NaN q behaves as 0");
         assert!(h.quantile(f64::NAN).is_finite());
+    }
+
+    #[test]
+    fn snapshot_counts_pin_bucket_boundaries() {
+        // One sample per edge case: below the first bound, exactly on a
+        // bound (le-inclusive), between bounds, and past the last bound.
+        let h = Histogram::new(&[0.001, 0.01, 0.1]);
+        h.observe(0.0005); // < first bound        → bucket 0
+        h.observe(0.001); // == first bound (le)   → bucket 0
+        h.observe(0.0011); // just past it         → bucket 1
+        h.observe(0.1); // == last bound (le)      → bucket 2
+        h.observe(0.2); // past every bound        → overflow
+        assert_eq!(h.snapshot_counts(), vec![2, 1, 1, 1]);
+        // Consistency with the cumulative renderer view.
+        assert_eq!(h.cumulative_buckets(), vec![2, 3, 4, 5]);
+        assert_eq!(h.snapshot_counts().len(), h.bounds().len() + 1);
+        assert_eq!(h.snapshot_counts().iter().sum::<u64>(), h.count());
     }
 
     #[test]

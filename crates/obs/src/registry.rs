@@ -36,6 +36,40 @@ struct Family {
     children: Vec<Child>,
 }
 
+/// One instrument's value at snapshot time, as handed to the tsdb.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// A counter's standing total.
+    Counter(u64),
+    /// A gauge's instantaneous value.
+    Gauge(f64),
+    /// A histogram's full state: raw per-bucket counts (one per bound,
+    /// plus overflow last) rather than cumulative — the tsdb fans this
+    /// out into `_bucket`/`_count`/`_sum` series itself.
+    Histogram {
+        /// Configured bucket upper bounds.
+        bounds: Vec<f64>,
+        /// Raw per-bucket counts, `bounds.len() + 1` long.
+        counts: Vec<u64>,
+        /// Sum of all samples.
+        sum: f64,
+        /// Trace id of the family's current exemplar, if any.
+        exemplar_trace: Option<u64>,
+    },
+}
+
+/// One child series in a registry snapshot: full prefixed name,
+/// pre-rendered label body, and the value read from the atomic cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full metric name including the registry prefix.
+    pub name: String,
+    /// Pre-rendered `key="value",…` label body (no braces).
+    pub labels: String,
+    /// The instrument's value.
+    pub value: SampleValue,
+}
+
 /// A named collection of instruments with Prometheus text exposition.
 pub struct Registry {
     prefix: String,
@@ -207,6 +241,35 @@ impl Registry {
                         }
                     }
                 }
+            }
+        }
+        out
+    }
+
+    /// Snapshots every child series directly from the atomic cells — the
+    /// self-scraper's ingestion path, with no text-format round-trip.
+    /// Families come out in name order, children in registration order.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let fams = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = Vec::new();
+        for (name, family) in fams.iter() {
+            let full = self.full_name(name);
+            for child in &family.children {
+                let value = match &child.instrument {
+                    Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                    Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => SampleValue::Histogram {
+                        bounds: h.bounds().to_vec(),
+                        counts: h.snapshot_counts(),
+                        sum: h.sum(),
+                        exemplar_trace: h.exemplar().map(|(_, trace_id)| trace_id),
+                    },
+                };
+                out.push(Sample {
+                    name: full.clone(),
+                    labels: child.labels.clone(),
+                    value,
+                });
             }
         }
         out
@@ -392,6 +455,42 @@ mod tests {
             let (_, value) = line.rsplit_once(' ').expect("sample line");
             assert!(value.parse::<f64>().is_ok() || value == "+Inf", "{line}");
         }
+    }
+
+    #[test]
+    fn snapshot_reads_every_child_without_rendering() {
+        let reg = Registry::new("loki");
+        reg.counter("req_total", "r", &[("m", "GET")]).add(5);
+        reg.counter("req_total", "r", &[("m", "POST")]).add(2);
+        reg.gauge("eps_p50", "e", &[]).set(0.75);
+        let h = reg.histogram("lat_seconds", "l", &[0.1, 1.0], &[]);
+        h.observe(0.05);
+        h.observe_with_exemplar(0.5, 0xab);
+        let samples = reg.snapshot();
+        assert_eq!(
+            samples
+                .iter()
+                .map(|s| (s.name.as_str(), s.labels.as_str()))
+                .collect::<Vec<_>>(),
+            vec![
+                ("loki_eps_p50", ""),
+                ("loki_lat_seconds", ""),
+                ("loki_req_total", "m=\"GET\""),
+                ("loki_req_total", "m=\"POST\""),
+            ]
+        );
+        assert_eq!(samples[0].value, SampleValue::Gauge(0.75));
+        assert_eq!(
+            samples[1].value,
+            SampleValue::Histogram {
+                bounds: vec![0.1, 1.0],
+                counts: vec![1, 1, 0],
+                sum: 0.55,
+                exemplar_trace: Some(0xab),
+            }
+        );
+        assert_eq!(samples[2].value, SampleValue::Counter(5));
+        assert_eq!(samples[3].value, SampleValue::Counter(2));
     }
 
     #[test]

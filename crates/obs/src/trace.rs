@@ -608,6 +608,55 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_wraparound_keeps_traces_untorn_and_ids_unique() {
+        // 8 writers × 200 traces through an 8-slot ring: every span's
+        // attribute is derived from its own trace id, so a torn entry
+        // (spans from one trace stored under another) is detectable.
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 200;
+        let tracer = std::sync::Arc::new(Tracer::new(
+            13,
+            TraceConfig {
+                capacity: 8,
+                sample_every: 1,
+                slow_threshold: None,
+            },
+        ));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let tracer = std::sync::Arc::clone(&tracer);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        let t = tracer.start();
+                        let ctx = t.ctx();
+                        let mut span = ctx.start_child("apply");
+                        span.attr("tag", t.id() ^ 0xa5a5);
+                        span.finish();
+                        tracer.finish(t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        assert_eq!(tracer.len(), 8, "memory stays bounded under wraparound");
+        let stored = tracer.list();
+        let ids: std::collections::HashSet<u64> = stored.iter().map(|t| t.id).collect();
+        assert_eq!(ids.len(), stored.len(), "retained trace ids are unique");
+        for trace in &stored {
+            assert_eq!(trace.spans.len(), 1, "torn entry: {trace:?}");
+            assert_eq!(trace.spans[0].name, "apply");
+            assert_eq!(
+                trace.spans[0].attrs,
+                vec![("tag", trace.id ^ 0xa5a5)],
+                "span belongs to a different trace: {trace:?}"
+            );
+            assert!(trace.spans[0].end_ns >= trace.spans[0].start_ns);
+        }
+    }
+
+    #[test]
     fn current_context_nests_and_restores() {
         assert!(current().is_none());
         let tracer = recording_tracer();

@@ -1,0 +1,575 @@
+//! Fixed-memory ring-buffer time-series store (the history layer).
+//!
+//! `/v1/metrics` and the ε gauges are instantaneous; the paper's §3
+//! framing — cumulative privacy loss *tracked over time* and balanced
+//! across the whole base — needs history: "how fast is aggregate ε
+//! burning?", "did submit p99 regress?", "page me when the WAL poisons".
+//! This module is the retention side of that question: a zero-dependency
+//! store of per-series rings fed by the server's self-scraper, which
+//! samples every registered family straight from the atomic cells (see
+//! [`crate::Registry::snapshot`] — no text-format round-trip).
+//!
+//! Design points:
+//!
+//! * **Fixed memory.** Every series is a ring of at most
+//!   `samples_per_series` points, and at most `max_series` distinct
+//!   series are ever admitted; past both caps the store only overwrites.
+//!   Memory is provably bounded however long the process runs.
+//! * **Coarse ticks.** Samples are `(tick, f64)` pairs where a tick is
+//!   the scrape index (one tick per self-scrape interval). Queries,
+//!   windows and downsampling all speak ticks, so tests can scale time
+//!   by shrinking the scrape interval instead of sleeping wall-clock
+//!   hours.
+//! * **Delta-aware counters.** Counter-kind series store the per-tick
+//!   *increase*, not the raw monotone value, so a window sum is directly
+//!   "events in this window" (what the SLO burn-rate math needs). A raw
+//!   value below its predecessor is treated as a counter reset. The
+//!   first sample attributes the counter's whole standing value to its
+//!   first tick.
+//! * **Histogram fan-out.** A histogram sample expands into
+//!   `{family}_bucket{le="…"}` (cumulative per-bound, counter-kind),
+//!   `{family}_count` and `{family}_sum` series — the same derived
+//!   series PromQL would see — plus a per-family exemplar trace id so an
+//!   alert can point at a concrete violating request.
+//!
+//! **Privacy discipline:** series are keyed by metric name + label body
+//! only. Labels are route shapes, methods, status classes and privacy
+//! levels by the serving crates' construction; nothing here can carry an
+//! identity, and the `loki-lint` sensitive-egress rule keeps forbidden
+//! identifier names out of this module.
+
+use crate::registry::{Sample, SampleValue};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Mutex, PoisonError};
+
+/// Sizing knobs for a [`Tsdb`]. Memory is bounded by roughly
+/// `max_series × samples_per_series × 16` bytes plus key strings.
+#[derive(Debug, Clone, Copy)]
+pub struct TsdbConfig {
+    /// Retained points per series (ring capacity, minimum 1).
+    pub samples_per_series: usize,
+    /// Hard cap on distinct series; later series are counted in
+    /// [`Tsdb::dropped_series`] and never stored (minimum 1).
+    pub max_series: usize,
+}
+
+impl Default for TsdbConfig {
+    fn default() -> TsdbConfig {
+        TsdbConfig {
+            // 512 ticks at the default 1 s scrape interval ≈ 8.5 minutes
+            // of full-resolution history per series; ~1024 series covers
+            // every server family including histogram fan-out.
+            samples_per_series: 512,
+            max_series: 1024,
+        }
+    }
+}
+
+/// How a series interprets incoming raw values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeriesKind {
+    /// Store the raw value.
+    Gauge,
+    /// Store the per-tick increase (delta), reset-aware.
+    Counter,
+}
+
+/// One bounded series: a ring of `(tick, value)` points.
+#[derive(Debug)]
+struct RingSeries {
+    kind: SeriesKind,
+    /// Last raw (pre-delta) value seen, for counter series.
+    prev_raw: Option<f64>,
+    points: VecDeque<(u64, f64)>,
+}
+
+impl RingSeries {
+    fn new(kind: SeriesKind, capacity: usize) -> RingSeries {
+        RingSeries {
+            kind,
+            prev_raw: None,
+            points: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    fn push(&mut self, capacity: usize, tick: u64, raw: f64) {
+        let value = match self.kind {
+            SeriesKind::Gauge => raw,
+            SeriesKind::Counter => {
+                let delta = match self.prev_raw {
+                    // Reset-aware: a drop below the previous raw value
+                    // means the process restarted the counter.
+                    Some(prev) if raw >= prev => raw - prev,
+                    Some(_) => raw,
+                    None => raw,
+                };
+                self.prev_raw = Some(raw);
+                delta
+            }
+        };
+        if self.points.len() >= capacity {
+            self.points.pop_front();
+        }
+        self.points.push_back((tick, value));
+    }
+}
+
+/// One downsampled point covering a `step`-wide tick bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointAgg {
+    /// First tick of the bin.
+    pub tick: u64,
+    /// Minimum stored value inside the bin.
+    pub min: f64,
+    /// Maximum stored value inside the bin.
+    pub max: f64,
+    /// Mean of stored values inside the bin.
+    pub avg: f64,
+    /// Most recent stored value inside the bin.
+    pub last: f64,
+    /// Number of raw points aggregated into the bin.
+    pub count: u64,
+}
+
+/// One series' downsampled range-query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesData {
+    /// Full series key: `name` or `name{label="…",…}`.
+    pub key: String,
+    /// Downsampled points, oldest first.
+    pub points: Vec<PointAgg>,
+}
+
+#[derive(Debug, Default)]
+struct TsdbInner {
+    series: BTreeMap<String, RingSeries>,
+    /// Last exemplar trace id per histogram family.
+    exemplars: BTreeMap<String, u64>,
+    dropped: u64,
+}
+
+/// The fixed-memory time-series store. All methods take `&self`; one
+/// mutex guards the series map (the scraper writes once per interval and
+/// queries are operator-paced, so contention is nil by construction).
+#[derive(Debug)]
+pub struct Tsdb {
+    config: TsdbConfig,
+    inner: Mutex<TsdbInner>,
+}
+
+impl Default for Tsdb {
+    fn default() -> Tsdb {
+        Tsdb::new(TsdbConfig::default())
+    }
+}
+
+impl Tsdb {
+    /// An empty store with the given sizing.
+    pub fn new(config: TsdbConfig) -> Tsdb {
+        let config = TsdbConfig {
+            samples_per_series: config.samples_per_series.max(1),
+            max_series: config.max_series.max(1),
+        };
+        Tsdb {
+            config,
+            inner: Mutex::new(TsdbInner::default()),
+        }
+    }
+
+    /// The active sizing.
+    pub fn config(&self) -> TsdbConfig {
+        self.config
+    }
+
+    /// Ingests one scrape's worth of samples at `tick`. Histogram
+    /// samples fan out into `_bucket`/`_count`/`_sum` derived series.
+    pub fn ingest(&self, tick: u64, samples: &[Sample]) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        for sample in samples {
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    let key = series_key(&sample.name, &sample.labels);
+                    push(&mut inner, &self.config, key, SeriesKind::Counter, tick, *v as f64);
+                }
+                SampleValue::Gauge(v) => {
+                    let key = series_key(&sample.name, &sample.labels);
+                    push(&mut inner, &self.config, key, SeriesKind::Gauge, tick, *v);
+                }
+                SampleValue::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    exemplar_trace,
+                } => {
+                    let mut cum = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        cum = cum.saturating_add(*c);
+                        let le = match bounds.get(i) {
+                            Some(b) => format!("{b}"),
+                            None => "+Inf".to_string(),
+                        };
+                        let labels = join_label(&sample.labels, &format!("le=\"{le}\""));
+                        let key = series_key(&format!("{}_bucket", sample.name), &labels);
+                        push(&mut inner, &self.config, key, SeriesKind::Counter, tick, cum as f64);
+                    }
+                    let count_key = series_key(&format!("{}_count", sample.name), &sample.labels);
+                    push(&mut inner, &self.config, count_key, SeriesKind::Counter, tick, cum as f64);
+                    let sum_key = series_key(&format!("{}_sum", sample.name), &sample.labels);
+                    push(&mut inner, &self.config, sum_key, SeriesKind::Counter, tick, *sum);
+                    if let Some(trace) = exemplar_trace {
+                        inner.exemplars.insert(sample.name.clone(), *trace);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Downsampled range query: every series whose key starts with
+    /// `name` and whose label body contains `label_filter` (empty filter
+    /// matches everything), points with `tick >= since`, aggregated into
+    /// `step`-wide bins (`step` 0 behaves as 1).
+    pub fn query(&self, name: &str, label_filter: &str, since: u64, step: u64) -> Vec<SeriesData> {
+        let step = step.max(1);
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = Vec::new();
+        for (key, series) in matching(&inner.series, name, label_filter) {
+            let mut points: Vec<PointAgg> = Vec::new();
+            for &(tick, value) in series.points.iter().filter(|(t, _)| *t >= since) {
+                let bin = since + ((tick - since) / step) * step;
+                match points.last_mut() {
+                    Some(p) if p.tick == bin => {
+                        p.min = p.min.min(value);
+                        p.max = p.max.max(value);
+                        // `avg` accumulates the sum until the bin closes.
+                        p.avg += value;
+                        p.last = value;
+                        p.count += 1;
+                    }
+                    _ => points.push(PointAgg {
+                        tick: bin,
+                        min: value,
+                        max: value,
+                        avg: value,
+                        last: value,
+                        count: 1,
+                    }),
+                }
+            }
+            for p in &mut points {
+                if p.count > 0 {
+                    p.avg /= p.count as f64;
+                }
+            }
+            out.push(SeriesData {
+                key: key.clone(),
+                points,
+            });
+        }
+        out
+    }
+
+    /// Sum of stored values over ticks in `(from, to]`, across every
+    /// matching series. For counter-kind series (which store deltas)
+    /// this is "events in the window" — the SLO engine's burn-rate
+    /// numerators and denominators.
+    pub fn window_sum(&self, name: &str, label_filter: &str, from: u64, to: u64) -> f64 {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut total = 0.0;
+        for (_, series) in matching(&inner.series, name, label_filter) {
+            for &(tick, value) in &series.points {
+                if tick > from && tick <= to {
+                    total += value;
+                }
+            }
+        }
+        total
+    }
+
+    /// The most recent stored value across matching series (highest
+    /// tick wins), e.g. the current level of a gauge series.
+    pub fn latest(&self, name: &str, label_filter: &str) -> Option<f64> {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut best: Option<(u64, f64)> = None;
+        for (_, series) in matching(&inner.series, name, label_filter) {
+            if let Some(&(tick, value)) = series.points.back() {
+                if best.map_or(true, |(t, _)| tick >= t) {
+                    best = Some((tick, value));
+                }
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// The last exemplar trace id ingested for a histogram family.
+    pub fn exemplar(&self, family: &str) -> Option<u64> {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.exemplars.get(family).copied()
+    }
+
+    /// Number of admitted series.
+    pub fn series_count(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.series.len()
+    }
+
+    /// Samples refused because the series cap was reached (series, not
+    /// points: an established series never drops a point, it evicts).
+    pub fn dropped_series(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.dropped
+    }
+
+    /// Total ring slots currently allocated across all series — the
+    /// bounded-memory proof hook: after warm-up this number must stop
+    /// growing no matter how many more ticks are ingested.
+    pub fn allocated_points(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.series.values().map(|s| s.points.capacity()).sum()
+    }
+}
+
+fn push(
+    inner: &mut TsdbInner,
+    config: &TsdbConfig,
+    key: String,
+    kind: SeriesKind,
+    tick: u64,
+    raw: f64,
+) {
+    if !inner.series.contains_key(&key) {
+        if inner.series.len() >= config.max_series {
+            inner.dropped += 1;
+            return;
+        }
+        inner
+            .series
+            .insert(key.clone(), RingSeries::new(kind, config.samples_per_series));
+    }
+    if let Some(series) = inner.series.get_mut(&key) {
+        series.push(config.samples_per_series, tick, raw);
+    }
+}
+
+fn series_key(name: &str, labels: &str) -> String {
+    if labels.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{labels}}}")
+    }
+}
+
+fn join_label(base: &str, extra: &str) -> String {
+    if base.is_empty() {
+        extra.to_string()
+    } else {
+        format!("{base},{extra}")
+    }
+}
+
+/// Series whose key starts with `name` and whose label body contains
+/// `label_filter`. Prefix matching is what lets one query cover a
+/// histogram family's derived `_bucket`/`_count`/`_sum` series.
+fn matching<'a>(
+    series: &'a BTreeMap<String, RingSeries>,
+    name: &'a str,
+    label_filter: &'a str,
+) -> impl Iterator<Item = (&'a String, &'a RingSeries)> {
+    series
+        .range(name.to_string()..)
+        .take_while(move |(k, _)| k.starts_with(name))
+        .filter(move |(k, _)| label_filter.is_empty() || k.contains(label_filter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(name: &str, labels: &str, v: u64) -> Sample {
+        Sample {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            value: SampleValue::Counter(v),
+        }
+    }
+
+    fn gauge(name: &str, v: f64) -> Sample {
+        Sample {
+            name: name.to_string(),
+            labels: String::new(),
+            value: SampleValue::Gauge(v),
+        }
+    }
+
+    #[test]
+    fn counters_store_deltas_and_handle_resets() {
+        let db = Tsdb::default();
+        db.ingest(0, &[counter("c_total", "", 5)]);
+        db.ingest(1, &[counter("c_total", "", 8)]);
+        db.ingest(2, &[counter("c_total", "", 8)]);
+        db.ingest(3, &[counter("c_total", "", 2)]); // reset
+        let data = db.query("c_total", "", 0, 1);
+        assert_eq!(data.len(), 1);
+        let values: Vec<f64> = data[0].points.iter().map(|p| p.last).collect();
+        assert_eq!(values, vec![5.0, 3.0, 0.0, 2.0]);
+        assert_eq!(db.window_sum("c_total", "", 0, 3), 5.0, "(0,3] sums the deltas");
+    }
+
+    #[test]
+    fn gauges_store_raw_values() {
+        let db = Tsdb::default();
+        for t in 0..4 {
+            db.ingest(t, &[gauge("g", t as f64 * 1.5)]);
+        }
+        let data = db.query("g", "", 0, 1);
+        let values: Vec<f64> = data[0].points.iter().map(|p| p.last).collect();
+        assert_eq!(values, vec![0.0, 1.5, 3.0, 4.5]);
+        assert_eq!(db.latest("g", ""), Some(4.5));
+    }
+
+    #[test]
+    fn downsampling_aggregates_min_max_avg_last() {
+        let db = Tsdb::default();
+        // Gauge values 10, 20, 30, 40 over ticks 0..4; step 2.
+        for t in 0..4u64 {
+            db.ingest(t, &[gauge("g", (t as f64 + 1.0) * 10.0)]);
+        }
+        let data = db.query("g", "", 0, 2);
+        assert_eq!(data[0].points.len(), 2);
+        let first = data[0].points[0];
+        assert_eq!((first.tick, first.min, first.max), (0, 10.0, 20.0));
+        assert_eq!(first.avg, 15.0);
+        assert_eq!(first.last, 20.0);
+        assert_eq!(first.count, 2);
+        let second = data[0].points[1];
+        assert_eq!((second.tick, second.min, second.max), (2, 30.0, 40.0));
+        // `since` trims older ticks before binning.
+        let tail = db.query("g", "", 3, 2);
+        assert_eq!(tail[0].points.len(), 1);
+        assert_eq!(tail[0].points[0].count, 1);
+        assert_eq!(tail[0].points[0].last, 40.0);
+    }
+
+    #[test]
+    fn label_filter_selects_children() {
+        let db = Tsdb::default();
+        db.ingest(
+            0,
+            &[
+                counter("req_total", "method=\"GET\",class=\"2xx\"", 7),
+                counter("req_total", "method=\"GET\",class=\"5xx\"", 3),
+            ],
+        );
+        assert_eq!(db.query("req_total", "", 0, 1).len(), 2);
+        let bad = db.query("req_total", "class=\"5xx\"", 0, 1);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].points[0].last, 3.0);
+        assert_eq!(db.window_sum("req_total", "", u64::MAX, u64::MAX), 0.0);
+        assert_eq!(db.window_sum("req_total", "class=\"5xx\"", 0, 1), 0.0, "tick 0 excluded (from is exclusive)");
+    }
+
+    #[test]
+    fn histograms_fan_out_into_bucket_count_sum_series() {
+        let db = Tsdb::default();
+        let sample = Sample {
+            name: "lat_seconds".to_string(),
+            labels: String::new(),
+            value: SampleValue::Histogram {
+                bounds: vec![0.1, 1.0],
+                counts: vec![2, 1, 1], // non-cumulative, overflow last
+                sum: 3.5,
+                exemplar_trace: Some(0xbeef),
+            },
+        };
+        db.ingest(0, std::slice::from_ref(&sample));
+        let buckets = db.query("lat_seconds_bucket", "", 0, 1);
+        assert_eq!(buckets.len(), 3);
+        let by_key: BTreeMap<&str, f64> = buckets
+            .iter()
+            .map(|s| (s.key.as_str(), s.points[0].last))
+            .collect();
+        // Cumulative per-le, exactly as exposition would render.
+        assert_eq!(by_key["lat_seconds_bucket{le=\"0.1\"}"], 2.0);
+        assert_eq!(by_key["lat_seconds_bucket{le=\"1\"}"], 3.0);
+        assert_eq!(by_key["lat_seconds_bucket{le=\"+Inf\"}"], 4.0);
+        assert_eq!(db.query("lat_seconds_count", "", 0, 1)[0].points[0].last, 4.0);
+        assert_eq!(db.query("lat_seconds_sum", "", 0, 1)[0].points[0].last, 3.5);
+        assert_eq!(db.exemplar("lat_seconds"), Some(0xbeef));
+        // A family prefix query covers all derived series.
+        assert_eq!(db.query("lat_seconds", "", 0, 1).len(), 5);
+    }
+
+    #[test]
+    fn series_cap_is_enforced() {
+        let db = Tsdb::new(TsdbConfig {
+            samples_per_series: 4,
+            max_series: 2,
+        });
+        db.ingest(0, &[gauge("a", 1.0), gauge("b", 2.0), gauge("c", 3.0)]);
+        assert_eq!(db.series_count(), 2);
+        assert_eq!(db.dropped_series(), 1);
+        // Established series keep accepting points.
+        db.ingest(1, &[gauge("a", 9.0), gauge("c", 9.0)]);
+        assert_eq!(db.latest("a", ""), Some(9.0));
+        assert_eq!(db.latest("c", ""), None);
+        assert_eq!(db.dropped_series(), 2);
+    }
+
+    #[test]
+    fn soak_memory_is_bounded_and_aggregates_stay_correct() {
+        // The acceptance soak: insert 100× the ring capacity and assert
+        // allocation stops growing after warm-up while downsampled
+        // min/max/avg stay exact over the retained window.
+        let capacity = 32u64;
+        let db = Tsdb::new(TsdbConfig {
+            samples_per_series: capacity as usize,
+            max_series: 4,
+        });
+        let warm = |t: u64| {
+            [
+                gauge("g", t as f64),
+                counter("c_total", "", t * 2), // +2 per tick
+            ]
+        };
+        for t in 0..capacity {
+            db.ingest(t, &warm(t));
+        }
+        let allocated = db.allocated_points();
+        assert!(allocated >= 2 * capacity as usize);
+        for t in capacity..capacity * 100 {
+            db.ingest(t, &warm(t));
+        }
+        assert_eq!(
+            db.allocated_points(),
+            allocated,
+            "allocation must be flat after warm-up"
+        );
+        assert_eq!(db.series_count(), 2);
+        assert_eq!(db.dropped_series(), 0);
+        // Retained window is exactly the last `capacity` ticks.
+        let last = capacity * 100 - 1;
+        let data = db.query("g", "", 0, 1);
+        assert_eq!(data[0].points.len(), capacity as usize);
+        assert_eq!(data[0].points[0].tick, last - capacity + 1);
+        // Downsampled aggregates over the final 8 ticks: gauge values are
+        // the tick numbers themselves.
+        let since = last - 7;
+        let agg = db.query("g", "", since, 8);
+        assert_eq!(agg[0].points.len(), 1);
+        let p = agg[0].points[0];
+        assert_eq!(p.min, since as f64);
+        assert_eq!(p.max, last as f64);
+        assert_eq!(p.avg, (since as f64 + last as f64) / 2.0);
+        assert_eq!(p.last, last as f64);
+        assert_eq!(p.count, 8);
+        // Counter deltas stay +2 per tick across the whole soak.
+        assert_eq!(db.window_sum("c_total", "", last - 8, last), 16.0);
+    }
+
+    #[test]
+    fn prefix_matching_does_not_cross_family_names() {
+        let db = Tsdb::default();
+        db.ingest(0, &[gauge("ledger_users", 5.0), gauge("ledger_unbounded", 1.0)]);
+        assert_eq!(db.query("ledger_users", "", 0, 1).len(), 1);
+        assert_eq!(db.query("ledger_", "", 0, 1).len(), 2);
+    }
+}

@@ -373,7 +373,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
             let metrics = s.enable_metrics();
             // The ε gauges walk every ledger, so they refresh on scrape
             // rather than on every submission.
-            metrics.refresh_ledger_gauges(&s.accountant);
+            metrics.refresh_ledger_gauges(&s.accountant, s.epsilon_budget());
             let mut resp = Response::status(StatusCode::OK);
             resp.headers
                 .insert("Content-Type", "text/plain; version=0.0.4; charset=utf-8");
@@ -397,6 +397,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
     );
 
     let s = Arc::clone(&state);
+    let m = Arc::clone(&metrics);
     mount(
         &mut router,
         &metrics,
@@ -404,7 +405,17 @@ pub fn build_router(state: Arc<AppState>) -> Router {
         "/healthz",
         Arc::new(move |_, _| {
             let (attached, poisoned) = s.journal_health();
-            let degraded = poisoned.is_some();
+            let firing: Vec<String> = m
+                .slo()
+                .statuses()
+                .into_iter()
+                .filter(|st| st.state == loki_obs::AlertState::Firing)
+                .map(|st| st.name)
+                .collect();
+            // Degraded on either axis: the journal can no longer make
+            // writes durable, or an SLO's error budget is burning fast
+            // enough that a paging rule fired.
+            let degraded = poisoned.is_some() || !firing.is_empty();
             let status = if degraded {
                 StatusCode::SERVICE_UNAVAILABLE
             } else {
@@ -418,8 +429,12 @@ pub fn build_router(state: Arc<AppState>) -> Router {
                     "uptime_seconds": s.uptime_seconds(),
                     "journal": {
                         "attached": attached,
-                        "poisoned": degraded,
+                        "poisoned": poisoned.is_some(),
                         "error": poisoned,
+                    },
+                    "slo": {
+                        "scrapes": m.scrapes(),
+                        "firing": firing,
                     },
                 }),
             ))
@@ -510,13 +525,161 @@ pub fn build_router(state: Arc<AppState>) -> Router {
         }),
     );
 
+    let m = Arc::clone(&metrics);
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
+        "/timeseries",
+        Arc::new(move |req, _| {
+            let name = req.query_param("name").ok_or_else(|| {
+                ApiError::new(
+                    StatusCode::BAD_REQUEST,
+                    "bad_param",
+                    "query parameter `name` is required (a metric family, e.g. loki_submit_seconds_count)",
+                )
+            })?;
+            let label = req.query_param("label").unwrap_or("");
+            let since = query_u64(req, "since", 0)?;
+            let step = query_u64(req, "step", 1)?;
+            let series: Vec<serde_json::Value> = m
+                .tsdb()
+                .query(name, label, since, step)
+                .iter()
+                .map(|sd| {
+                    let points: Vec<serde_json::Value> = sd
+                        .points
+                        .iter()
+                        .map(|p| {
+                            serde_json::json!({
+                                "tick": p.tick,
+                                "min": finite(p.min),
+                                "max": finite(p.max),
+                                "avg": finite(p.avg),
+                                "last": finite(p.last),
+                                "count": p.count,
+                            })
+                        })
+                        .collect();
+                    serde_json::json!({"key": sd.key, "points": points})
+                })
+                .collect();
+            Ok(json_response(
+                StatusCode::OK,
+                &serde_json::json!({"tick": m.scrapes(), "series": series}),
+            ))
+        }),
+    );
+
+    let m = Arc::clone(&metrics);
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
+        "/slo",
+        Arc::new(move |_, _| {
+            let slos: Vec<serde_json::Value> =
+                m.slo().statuses().iter().map(slo_status_json).collect();
+            Ok(json_response(
+                StatusCode::OK,
+                &serde_json::json!({"tick": m.scrapes(), "slos": slos}),
+            ))
+        }),
+    );
+
+    let m = Arc::clone(&metrics);
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
+        "/alerts",
+        Arc::new(move |_, _| {
+            let statuses = m.slo().statuses();
+            let alerts: Vec<serde_json::Value> = statuses.iter().map(slo_status_json).collect();
+            let firing = statuses
+                .iter()
+                .any(|st| st.state == loki_obs::AlertState::Firing);
+            Ok(json_response(
+                StatusCode::OK,
+                &serde_json::json!({"firing": firing, "alerts": alerts}),
+            ))
+        }),
+    );
+
+    let m = Arc::clone(&metrics);
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
+        "/alerts/history",
+        Arc::new(move |_, _| {
+            let engine = m.slo();
+            let events: Vec<serde_json::Value> = engine
+                .history_tail(100)
+                .iter()
+                .map(|e| {
+                    serde_json::json!({
+                        "seq": e.seq,
+                        "timestamp_ms": e.timestamp_ms,
+                        "tick": e.tick,
+                        "slo": e.slo,
+                        "from": e.from.as_str(),
+                        "to": e.to.as_str(),
+                        "burn_short": finite(e.burn_short),
+                        "burn_long": finite(e.burn_long),
+                        "trace_id": e.trace_id.map(|id| format!("{id:016x}")),
+                    })
+                })
+                .collect();
+            Ok(json_response(
+                StatusCode::OK,
+                &serde_json::json!({"total": engine.history_total(), "events": events}),
+            ))
+        }),
+    );
+
     router
+}
+
+/// Parses an optional non-negative integer query parameter.
+fn query_u64(req: &Request, key: &str, default: u64) -> Result<u64, ApiError> {
+    match req.query_param(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| {
+            ApiError::new(
+                StatusCode::BAD_REQUEST,
+                "bad_param",
+                format!("query parameter `{key}` must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+/// JSON shape of one SLO status, shared by `/v1/slo` and `/v1/alerts`.
+fn slo_status_json(st: &loki_obs::SloStatus) -> serde_json::Value {
+    serde_json::json!({
+        "slo": st.name,
+        "objective": st.objective,
+        "state": st.state.as_str(),
+        "since_tick": st.since_tick,
+        "bad_ratio": finite(st.bad_ratio),
+        "burn_short": finite(st.burn_short),
+        "burn_long": finite(st.burn_long),
+        "budget_remaining": finite(st.budget_remaining),
+    })
 }
 
 /// Binds the API server on `addr` over fresh or shared state, with the
 /// request observer and shed counter feeding the state's metrics.
+///
+/// Also starts the history layer's self-scraper at a 1 s interval unless
+/// one is already running — a test (or embedder) that wants a faster
+/// cadence starts its own via [`AppState::start_self_scraper`] *before*
+/// calling this, and the default here backs off (the start is
+/// idempotent).
 pub fn serve(addr: &str, state: Arc<AppState>) -> std::io::Result<ServerHandle> {
     let metrics = state.enable_metrics();
+    state.start_self_scraper(std::time::Duration::from_secs(1));
     let config = ServerConfig {
         observer: Some(metrics.observer()),
         shed_observer: Some(metrics.shed_observer()),
@@ -858,6 +1021,93 @@ mod tests {
         assert!(v["uptime_seconds"].is_u64());
         assert_eq!(v["journal"]["attached"], false, "no journal in this fixture");
         assert_eq!(v["journal"]["poisoned"], false);
+        assert_eq!(v["slo"]["firing"].as_array().unwrap().len(), 0, "{v}");
+        assert!(v["slo"]["scrapes"].is_u64());
+        h.shutdown();
+    }
+
+    #[test]
+    fn slo_and_alert_endpoints_report_default_specs_at_rest() {
+        let (h, c, _) = start();
+        let resp = c.get("/v1/slo").unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let slos = v["slos"].as_array().unwrap();
+        let names: Vec<&str> = slos.iter().map(|s| s["slo"].as_str().unwrap()).collect();
+        assert_eq!(names, ["availability", "submit-latency", "privacy-headroom"]);
+        for slo in slos {
+            assert_eq!(slo["state"], "ok", "{slo}");
+            assert_eq!(slo["budget_remaining"], 1.0, "{slo}");
+        }
+
+        let resp = c.get("/v1/alerts").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["firing"], false);
+        assert_eq!(v["alerts"].as_array().unwrap().len(), 3);
+
+        let resp = c.get("/v1/alerts/history").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["total"], 0, "no transitions at rest");
+        assert_eq!(v["events"].as_array().unwrap().len(), 0);
+        h.shutdown();
+    }
+
+    #[test]
+    fn timeseries_endpoint_serves_scraped_history() {
+        let (h, c, state) = start();
+        c.post("/v1/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+            .unwrap();
+        // Deterministic history: two explicit ticks instead of waiting on
+        // the 1 s background scraper.
+        state.scrape_once();
+        state.scrape_once();
+
+        let resp = c
+            .get("/v1/timeseries?name=loki_submit_seconds_count&since=0&step=1")
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{:?}", resp.body);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert!(v["tick"].as_u64().unwrap() >= 2);
+        let series = v["series"].as_array().unwrap();
+        assert_eq!(series.len(), 1, "{v}");
+        assert_eq!(series[0]["key"], "loki_submit_seconds_count");
+        let points = series[0]["points"].as_array().unwrap();
+        assert!(!points.is_empty(), "{v}");
+        // Counters land as deltas: exactly one submission across history.
+        let total: f64 = points.iter().map(|p| p["last"].as_f64().unwrap()).sum();
+        assert_eq!(total, 1.0, "{v}");
+
+        // Label filter (plain substring, no percent-decoding) narrows a
+        // labelled family to the matching series.
+        let resp = c
+            .get("/v1/timeseries?name=loki_http_requests_total&label=2xx")
+            .unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let series = v["series"].as_array().unwrap();
+        assert!(!series.is_empty(), "{v}");
+        for s in series {
+            assert!(s["key"].as_str().unwrap().contains("2xx"), "{v}");
+        }
+        h.shutdown();
+    }
+
+    #[test]
+    fn timeseries_endpoint_validates_parameters() {
+        let (h, c, _) = start();
+        let resp = c.get("/v1/timeseries").unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["error"]["code"], "bad_param");
+
+        let resp = c.get("/v1/timeseries?name=x&since=yesterday").unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        let resp = c.get("/v1/timeseries?name=x&step=-1").unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        // Unknown family is an empty result, not an error.
+        let resp = c.get("/v1/timeseries?name=no_such_metric").unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["series"].as_array().unwrap().len(), 0);
         h.shutdown();
     }
 
@@ -909,7 +1159,7 @@ mod tests {
         let (h, c, state) = start();
         // One medium-level release costs far more than ε = 1, so the
         // first submission charges and the next one hits the cap.
-        state.set_epsilon_budget(Some(1.0));
+        state.set_epsilon_budget(Some(1.0)).unwrap();
         let resp = c
             .post("/surveys/1/responses", "application/json", submit_body("u1", 4.0))
             .unwrap();

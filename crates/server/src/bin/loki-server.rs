@@ -67,15 +67,14 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-// Startup-only demo data with a statically valid shape; never on the
-// request path. Grandfathered in the panic-path lint baseline.
-#[allow(clippy::expect_used)]
-fn demo_survey() -> loki_survey::survey::Survey {
+// Startup-only demo data; the builder error is surfaced at the call
+// site like every other startup failure instead of panicking.
+fn demo_survey() -> Result<loki_survey::survey::Survey, loki_survey::survey::SurveyError> {
     let mut b = SurveyBuilder::new(SurveyId(1), "Rate your lecturers (demo)");
     for i in 1..=5 {
         b.question(format!("Rate lecturer {i}"), QuestionKind::likert5(), false);
     }
-    b.build().expect("demo survey is valid")
+    b.build()
 }
 
 fn main() {
@@ -123,11 +122,19 @@ fn main() {
         state.add_requester_token(token.clone());
     }
     if let Some(budget) = opts.budget {
-        state.set_epsilon_budget(Some(budget));
-        eprintln!("per-user cumulative ε capped at {budget}");
+        match state.set_epsilon_budget(Some(budget)) {
+            Ok(()) => eprintln!("per-user cumulative ε capped at {budget}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
     }
     if opts.demo && state.survey(SurveyId(1)).is_none() {
-        match state.add_survey(demo_survey()) {
+        let outcome = demo_survey()
+            .map_err(|e| e.to_string())
+            .and_then(|sv| state.add_survey(sv).map_err(|e| e.to_string()));
+        match outcome {
             Ok(_) => eprintln!("published demo survey 1"),
             Err(e) => {
                 eprintln!("failed to publish demo survey: {e}");
@@ -147,7 +154,8 @@ fn main() {
     eprintln!("routes (also reachable without the /v1 prefix):");
     eprintln!("  /v1/health /v1/surveys /v1/surveys/:id /v1/surveys/:id/responses");
     eprintln!("  /v1/surveys/:id/results/:q /v1/surveys/:id/choices/:q /v1/ledger/:user");
-    eprintln!("  /v1/stats /v1/metrics /v1/accesslog");
+    eprintln!("  /v1/stats /v1/metrics /v1/accesslog /v1/healthz");
+    eprintln!("  /v1/timeseries /v1/slo /v1/alerts /v1/alerts/history");
     eprintln!("press Ctrl-D to shut down");
 
     // Block until stdin closes, then shut down (and snapshot if asked).

@@ -20,6 +20,10 @@
 //! | `GET /v1/traces` | retained request traces (summaries) |
 //! | `GET /v1/traces/:id` | one trace's full span tree |
 //! | `GET /v1/audit` | recent ε-audit events (opaque subject index) |
+//! | `GET /v1/timeseries` | downsampled metric history ([`metrics`] tsdb) |
+//! | `GET /v1/slo` | current SLO statuses + burn rates |
+//! | `GET /v1/alerts` | alert states (any firing ⇒ healthz `degraded`) |
+//! | `GET /v1/alerts/history` | bounded ring of alert transitions |
 //!
 //! Every route is also reachable at its unversioned legacy path
 //! (`/surveys` ≡ `/v1/surveys`); both share one handler, so the alias
@@ -53,11 +57,13 @@ pub mod app;
 pub mod error;
 pub mod metrics;
 pub mod persist;
+pub mod scrape;
 pub mod store;
 pub mod wal;
 
 pub use api::{LedgerInfo, QuestionResults, SubmitRequest, SurveySummary};
 pub use app::{build_router, serve};
 pub use error::ApiError;
-pub use metrics::ServerMetrics;
-pub use store::AppState;
+pub use metrics::{HistoryConfig, ServerMetrics};
+pub use scrape::SelfScraper;
+pub use store::{AppState, InvalidBudget};

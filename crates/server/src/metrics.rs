@@ -18,8 +18,10 @@ use loki_dp::params::Delta;
 use loki_net::http::Method;
 use loki_net::server::{RequestObserver, RequestTiming, ShedObserver};
 use loki_obs::{
-    AccessLog, AuditLog, Counter, Gauge, Histogram, Registry, TraceConfig, Tracer, LATENCY_BUCKETS,
+    AccessLog, AuditLog, BurnRule, Counter, Gauge, Histogram, Registry, SloEngine, SloKind,
+    SloSpec, TraceConfig, Tracer, Tsdb, TsdbConfig, LATENCY_BUCKETS,
 };
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,7 +42,7 @@ const EPSILON_STATS: [&str; 5] = ["p50", "p90", "p99", "mean", "max"];
 
 /// Path segments that are route literals and may appear verbatim in the
 /// access log; every other segment is a parameter and is masked.
-const ROUTE_LITERALS: [&str; 13] = [
+const ROUTE_LITERALS: [&str; 17] = [
     "v1",
     "health",
     "healthz",
@@ -54,6 +56,10 @@ const ROUTE_LITERALS: [&str; 13] = [
     "accesslog",
     "traces",
     "audit",
+    "timeseries",
+    "slo",
+    "alerts",
+    "history",
 ];
 
 /// Reduces a concrete request path to its route shape, masking every
@@ -72,6 +78,75 @@ pub fn route_shape(path: &str) -> String {
         shape.push('/');
     }
     shape
+}
+
+/// History-layer knobs: tsdb shape, SLO catalogue, alert-ring size.
+#[derive(Debug, Clone)]
+pub struct HistoryConfig {
+    /// Ring shape of the in-process time-series store.
+    pub tsdb: TsdbConfig,
+    /// The SLOs evaluated each scrape tick.
+    pub slo_specs: Vec<SloSpec>,
+    /// Alert-transition history ring capacity.
+    pub alert_history: usize,
+}
+
+impl Default for HistoryConfig {
+    /// Production posture at one scrape per second: multi-window
+    /// burn-rate pairs à la SRE (fast 5m/1h catches a total outage in
+    /// minutes, slow 30m/6h catches a slow leak), one minute of
+    /// pending-state hysteresis.
+    fn default() -> HistoryConfig {
+        let paging_rules = vec![
+            BurnRule { long_ticks: 3600, short_ticks: 300, factor: 14.4 },
+            BurnRule { long_ticks: 21_600, short_ticks: 1800, factor: 6.0 },
+        ];
+        HistoryConfig {
+            tsdb: TsdbConfig::default(),
+            slo_specs: vec![
+                SloSpec {
+                    name: "availability".to_string(),
+                    objective: 0.999,
+                    kind: SloKind::ErrorRatio {
+                        bad_name: "loki_http_requests_total".to_string(),
+                        bad_filter: "class=\"5xx\"".to_string(),
+                        total_name: "loki_http_requests_total".to_string(),
+                        total_filter: String::new(),
+                    },
+                    rules: paging_rules.clone(),
+                    pending_ticks: 60,
+                    exemplar_family: Some("loki_submit_seconds".to_string()),
+                },
+                SloSpec {
+                    name: "submit-latency".to_string(),
+                    objective: 0.99,
+                    kind: SloKind::LatencyThreshold {
+                        family: "loki_submit_seconds".to_string(),
+                        le: "0.25".to_string(),
+                    },
+                    rules: paging_rules,
+                    pending_ticks: 60,
+                    exemplar_family: Some("loki_submit_seconds".to_string()),
+                },
+                // The paper's §3.1 invariant as a pageable objective: at
+                // most 5% of ledgered subjects may sit above 80% of the
+                // ε cap (or be unbounded). A gauge level, not a rate, so
+                // one rule with factor 1.0 suffices.
+                SloSpec {
+                    name: "privacy-headroom".to_string(),
+                    objective: 0.95,
+                    kind: SloKind::GaugeLevel {
+                        name: "loki_ledger_near_cap_ratio".to_string(),
+                        filter: String::new(),
+                    },
+                    rules: vec![BurnRule { long_ticks: 3600, short_ticks: 300, factor: 1.0 }],
+                    pending_ticks: 60,
+                    exemplar_family: None,
+                },
+            ],
+            alert_history: 256,
+        }
+    }
 }
 
 /// Every instrument the backend records into.
@@ -98,9 +173,16 @@ pub struct ServerMetrics {
     epsilon_gauges: Vec<Arc<Gauge>>,
     ledger_users: Arc<Gauge>,
     ledger_unbounded: Arc<Gauge>,
+    /// Fraction of ledgered subjects at ≥ 80% of the ε cap (or
+    /// unbounded); 0 when no cap is configured. The privacy SLO's input.
+    ledger_near_cap: Arc<Gauge>,
     access_log: AccessLog,
     tracer: Tracer,
     audit_log: AuditLog,
+    /// The history layer: scrape counter, ring-buffer store, SLO engine.
+    scrape_tick: AtomicU64,
+    tsdb: Tsdb,
+    slo: SloEngine,
 }
 
 impl Default for ServerMetrics {
@@ -120,6 +202,13 @@ impl ServerMetrics {
     /// [`TraceConfig::disabled`] to compile tracing in but record
     /// nothing — the OBS-2 overhead configuration).
     pub fn with_trace_config(trace_config: TraceConfig) -> ServerMetrics {
+        ServerMetrics::with_configs(trace_config, HistoryConfig::default())
+    }
+
+    /// Fully explicit construction: tracing policy plus history-layer
+    /// shape (tests shrink the burn windows to scale hours into
+    /// milliseconds of scaled test time).
+    pub fn with_configs(trace_config: TraceConfig, history: HistoryConfig) -> ServerMetrics {
         let seed = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)
@@ -234,9 +323,18 @@ impl ServerMetrics {
                 "Users whose cumulative loss is unbounded (a raw release on record)",
                 &[],
             ),
+            ledger_near_cap: registry.gauge(
+                "ledger_near_cap_ratio",
+                "Fraction of ledgered users whose cumulative ε is at or above 80% of \
+                 the configured cap (unbounded users count); 0 without a cap",
+                &[],
+            ),
             access_log: AccessLog::with_capacity(1024),
             tracer: Tracer::new(seed, trace_config),
             audit_log: AuditLog::with_capacity(4096),
+            scrape_tick: AtomicU64::new(0),
+            tsdb: Tsdb::new(history.tsdb),
+            slo: SloEngine::new(history.slo_specs, history.alert_history),
             registry,
         }
     }
@@ -353,8 +451,10 @@ impl ServerMetrics {
     }
 
     /// Refreshes the ledger ε gauges from the accountant (called on
-    /// scrape, not on every submission — the summary walks every ledger).
-    pub fn refresh_ledger_gauges(&self, accountant: &Accountant) {
+    /// scrape, not on every submission — the summary walks every
+    /// ledger). `cap` is the server's cumulative-ε budget, used for the
+    /// near-cap headroom ratio; without one the ratio is 0.
+    pub fn refresh_ledger_gauges(&self, accountant: &Accountant, cap: Option<f64>) {
         let summary = accountant.epsilon_summary(Delta::new(loki_dp::DEFAULT_DELTA));
         let values = [summary.p50, summary.p90, summary.p99, summary.mean, summary.max];
         for (gauge, value) in self.epsilon_gauges.iter().zip(values) {
@@ -362,6 +462,45 @@ impl ServerMetrics {
         }
         self.ledger_users.set(summary.users as f64);
         self.ledger_unbounded.set(summary.unbounded as f64);
+        let near_cap = match cap {
+            Some(cap) if cap > 0.0 => {
+                let losses = accountant.loss_distribution(Delta::new(loki_dp::DEFAULT_DELTA));
+                if losses.is_empty() {
+                    0.0
+                } else {
+                    let near = losses.iter().filter(|(_, eps)| *eps >= 0.8 * cap).count();
+                    near as f64 / losses.len() as f64
+                }
+            }
+            _ => 0.0,
+        };
+        self.ledger_near_cap.set(near_cap);
+    }
+
+    /// One self-scrape: refresh the derived gauges, snapshot every
+    /// registered family straight from the atomic cells into the tsdb,
+    /// and run the SLO state machines. Returns the tick it recorded.
+    pub fn scrape(&self, accountant: &Accountant, cap: Option<f64>) -> u64 {
+        self.refresh_ledger_gauges(accountant, cap);
+        let tick = self.scrape_tick.fetch_add(1, Ordering::Relaxed);
+        self.tsdb.ingest(tick, &self.registry.snapshot());
+        self.slo.evaluate(tick, &self.tsdb);
+        tick
+    }
+
+    /// The in-process time-series store.
+    pub fn tsdb(&self) -> &Tsdb {
+        &self.tsdb
+    }
+
+    /// The SLO engine (statuses, alert states, transition history).
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
+    }
+
+    /// Number of self-scrapes recorded so far.
+    pub fn scrapes(&self) -> u64 {
+        self.scrape_tick.load(Ordering::Relaxed)
     }
 
     /// The Prometheus text exposition of every family.
@@ -493,7 +632,7 @@ mod tests {
             },
         );
         acc.record("b", "t", ReleaseKind::Raw);
-        m.refresh_ledger_gauges(&acc);
+        m.refresh_ledger_gauges(&acc, None);
         let text = m.render_exposition();
         assert!(text.contains("loki_ledger_users 2"), "{text}");
         assert!(text.contains("loki_ledger_unbounded_users 1"), "{text}");
@@ -502,5 +641,56 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("loki_ledger_epsilon{stat=\"p50\"}"), "{text}");
+        // No cap configured → the near-cap ratio reads 0.
+        assert!(text.contains("loki_ledger_near_cap_ratio 0"), "{text}");
+    }
+
+    #[test]
+    fn near_cap_ratio_counts_tight_and_unbounded_users() {
+        let m = ServerMetrics::new();
+        let acc = Accountant::new();
+        // One user far below the cap, one unbounded (counts as near).
+        acc.record(
+            "a",
+            "t",
+            ReleaseKind::Gaussian {
+                sigma: 100.0,
+                sensitivity: 1.0,
+            },
+        );
+        acc.record("b", "t", ReleaseKind::Raw);
+        m.refresh_ledger_gauges(&acc, Some(50.0));
+        let text = m.render_exposition();
+        assert!(text.contains("loki_ledger_near_cap_ratio 0.5"), "{text}");
+    }
+
+    #[test]
+    fn scrape_feeds_tsdb_and_slo_engine() {
+        let m = ServerMetrics::new();
+        let acc = Accountant::new();
+        let timing = RequestTiming {
+            parse: Duration::from_micros(30),
+            dispatch: Duration::from_micros(200),
+            reused: false,
+        };
+        m.on_request(Method::Get, "/v1/stats", 200, &timing);
+        assert_eq!(m.scrape(&acc, None), 0);
+        m.on_request(Method::Get, "/v1/stats", 200, &timing);
+        assert_eq!(m.scrape(&acc, None), 1);
+        assert_eq!(m.scrapes(), 2);
+        // The counter family landed as per-tick deltas.
+        let series = m.tsdb().query("loki_http_requests_total", "class=\"2xx\"", 0, 1);
+        let total: f64 = series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .map(|p| p.last * p.count as f64)
+            .sum();
+        assert_eq!(total, 2.0, "{series:?}");
+        // Histogram families fanned out; every configured SLO has a
+        // status and nothing fires on two healthy scrapes.
+        assert!(!m.tsdb().query("loki_http_dispatch_seconds_count", "", 0, 1).is_empty());
+        let statuses = m.slo().statuses();
+        assert_eq!(statuses.len(), 3, "{statuses:?}");
+        assert!(!m.slo().any_firing());
     }
 }

@@ -122,9 +122,6 @@ pub fn load(path: &Path) -> Result<AppState, PersistError> {
 
 /// The ledger entries a submission implies, derived from its level and
 /// the survey's question kinds — identical to what the client declared.
-// Rating/Numeric kinds always carry a range; grandfathered in the
-// panic-path lint baseline pending a typed replay error.
-#[allow(clippy::expect_used)]
 fn releases_for(
     survey: &Survey,
     sub: &StoredSubmission,
@@ -144,7 +141,10 @@ fn releases_for(
                     None => ReleaseKind::Raw,
                 },
                 QuestionKind::Rating { .. } | QuestionKind::Numeric { .. } => {
-                    let range = q.kind.numeric_range().expect("numeric kinds have a range");
+                    // Rating/Numeric kinds carry a range by construction;
+                    // a survey that somehow lost it contributes no ledger
+                    // entry rather than aborting the whole replay.
+                    let range = q.kind.numeric_range()?;
                     if level == loki_core::privacy_level::PrivacyLevel::None {
                         ReleaseKind::Raw
                     } else {

@@ -1,0 +1,175 @@
+//! The self-scraper: a background thread feeding the history layer.
+//!
+//! Every `interval` the scraper snapshots the registry straight from the
+//! atomic cells into the tsdb and runs the SLO state machines
+//! ([`crate::metrics::ServerMetrics::scrape`]). Two lifetime rules keep
+//! it from leaking or hanging:
+//!
+//! * it holds only a [`Weak`] reference to the [`AppState`], so a
+//!   forgotten scraper can never keep the server's state alive — when
+//!   the last strong reference drops, the next wake-up fails to upgrade
+//!   and the thread exits on its own;
+//! * dropping the [`SelfScraper`] handle signals an explicit shutdown
+//!   through a condvar (waking the thread immediately, not after the
+//!   interval) and joins the thread, so server teardown is prompt and
+//!   deterministic rather than implicit.
+//!
+//! The one exception to the join: when the *scraper thread itself* ends
+//! up dropping the last `Arc<AppState>` (and with it this handle), it
+//! must not join itself — it skips the join and exits via the weak
+//! upgrade failing on its next loop iteration.
+
+use crate::store::AppState;
+use std::sync::{Arc, Condvar, Mutex, PoisonError, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Shared stop flag + wake-up channel between handle and thread.
+#[derive(Debug, Default)]
+struct Shutdown {
+    stopped: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl Shutdown {
+    fn stop(&self) {
+        let mut stopped = self.stopped.lock().unwrap_or_else(PoisonError::into_inner);
+        *stopped = true;
+        self.wake.notify_all();
+    }
+}
+
+/// Handle to the background scrape thread; dropping it shuts the thread
+/// down and joins it.
+#[derive(Debug)]
+pub struct SelfScraper {
+    shutdown: Arc<Shutdown>,
+    handle: Option<JoinHandle<()>>,
+    interval: Duration,
+}
+
+impl SelfScraper {
+    /// Spawns the scrape loop over a weak reference to `state`, firing
+    /// every `interval` (floored at 1 ms so a zero interval cannot spin).
+    pub fn spawn(state: &Arc<AppState>, interval: Duration) -> SelfScraper {
+        let interval = interval.max(Duration::from_millis(1));
+        let shutdown = Arc::new(Shutdown::default());
+        let signal = Arc::clone(&shutdown);
+        let weak: Weak<AppState> = Arc::downgrade(state);
+        let handle = std::thread::Builder::new()
+            .name("loki-self-scrape".to_string())
+            .spawn(move || run(&weak, &signal, interval))
+            .ok();
+        SelfScraper {
+            shutdown,
+            handle,
+            interval,
+        }
+    }
+
+    /// The configured scrape interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+}
+
+impl Drop for SelfScraper {
+    fn drop(&mut self) {
+        self.shutdown.stop();
+        if let Some(handle) = self.handle.take() {
+            // The scraper thread itself can drop the last Arc<AppState>
+            // (its scrape held the final strong reference), running this
+            // drop on the thread being joined. Skip the self-join; the
+            // thread exits through the stop flag it just set.
+            if handle.thread().id() == std::thread::current().id() {
+                return;
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The scrape loop: sleep on the condvar (so shutdown wakes it early),
+/// scrape on timeout, exit when stopped or the state is gone.
+fn run(state: &Weak<AppState>, shutdown: &Shutdown, interval: Duration) {
+    loop {
+        {
+            let stopped = shutdown
+                .stopped
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if *stopped {
+                return;
+            }
+            let (stopped, _timeout) = shutdown
+                .wake
+                .wait_timeout(stopped, interval)
+                .unwrap_or_else(PoisonError::into_inner);
+            if *stopped {
+                return;
+            }
+            // Lock released here: the scrape itself runs unguarded so a
+            // slow ledger walk never blocks shutdown signalling.
+        }
+        let Some(state) = state.upgrade() else { return };
+        state.scrape_once();
+        // `state` drops here; if it was the last strong reference the
+        // AppState (and this scraper's handle) unwind on this thread —
+        // Drop above detects that and skips the self-join.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn scraper_feeds_ticks_until_dropped() {
+        let state = Arc::new(AppState::new());
+        let metrics = state.enable_metrics();
+        let scraper = SelfScraper::spawn(&state, Duration::from_millis(5));
+        assert_eq!(scraper.interval(), Duration::from_millis(5));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while metrics.scrapes() < 3 {
+            assert!(Instant::now() < deadline, "scraper never ticked");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(scraper);
+        let after = metrics.scrapes();
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(
+            metrics.scrapes() <= after + 1,
+            "thread kept scraping after drop"
+        );
+    }
+
+    #[test]
+    fn drop_joins_promptly_even_mid_interval() {
+        // A long interval must not delay shutdown: the condvar wakes the
+        // thread immediately.
+        let state = Arc::new(AppState::new());
+        state.enable_metrics();
+        let scraper = SelfScraper::spawn(&state, Duration::from_secs(3600));
+        let started = Instant::now();
+        drop(scraper);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "drop hung on the sleeping thread"
+        );
+    }
+
+    #[test]
+    fn scraper_exits_when_state_is_gone() {
+        let state = Arc::new(AppState::new());
+        state.enable_metrics();
+        let scraper = SelfScraper::spawn(&state, Duration::from_millis(5));
+        drop(state);
+        // The thread notices the dead weak reference on its next tick and
+        // exits; the subsequent drop-join must not hang.
+        std::thread::sleep(Duration::from_millis(30));
+        let started = Instant::now();
+        drop(scraper);
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -133,6 +133,20 @@ impl std::fmt::Debug for CrashHooks {
     }
 }
 
+/// Rejected ε-cap configuration: the budget must be strictly positive
+/// (a zero/negative/NaN cap would refuse every submission while looking
+/// like a working configuration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidBudget(pub f64);
+
+impl std::fmt::Display for InvalidBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "epsilon budget must be positive, got {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidBudget {}
+
 /// Stable lowercase name of a privacy level for audit events (audit
 /// fields are `'static` so nothing request-derived can leak into them).
 fn level_name(level: PrivacyLevel) -> &'static str {
@@ -179,6 +193,9 @@ pub struct AppState {
     metrics: Arc<std::sync::OnceLock<Arc<crate::metrics::ServerMetrics>>>,
     /// Fault-injection hook for the crash-point tests.
     crash_hooks: CrashHooks,
+    /// The background self-scraper feeding the metrics history layer;
+    /// dropped (signalled + joined) with the state.
+    scraper: Mutex<Option<crate::scrape::SelfScraper>>,
     /// Opaque per-process subject indices for the ε-audit stream: the
     /// audit log (in `loki-obs`) never sees a raw user id, only the
     /// insertion-order index assigned here.
@@ -200,6 +217,7 @@ impl Default for AppState {
             accountant: Accountant::default(),
             metrics: Arc::default(),
             crash_hooks: CrashHooks::default(),
+            scraper: Mutex::default(),
             user_indices: Mutex::default(),
             started: std::time::Instant::now(),
         }
@@ -291,6 +309,42 @@ impl AppState {
         )
     }
 
+    /// Enables metrics with an explicitly constructed instance (custom
+    /// trace or history config). First caller wins: if metrics are
+    /// already enabled the existing instance is returned unchanged, so
+    /// call this *before* [`crate::app::serve`]/`build_router`.
+    pub fn enable_metrics_with(
+        &self,
+        metrics: Arc<crate::metrics::ServerMetrics>,
+    ) -> Arc<crate::metrics::ServerMetrics> {
+        Arc::clone(self.metrics.get_or_init(|| metrics))
+    }
+
+    /// One history-layer scrape: ledger-gauge refresh, registry snapshot
+    /// into the tsdb, SLO evaluation. No-op until metrics are enabled.
+    pub fn scrape_once(&self) {
+        if let Some(m) = self.metrics.get() {
+            m.scrape(&self.accountant, self.epsilon_budget());
+        }
+    }
+
+    /// Starts the background self-scraper at `interval` (idempotent:
+    /// a scraper that is already running is left untouched, so tests can
+    /// start a fast one before [`crate::app::serve`] installs the 1 s
+    /// default). The scraper holds only a weak reference; it is signalled
+    /// and joined when the state drops or on [`AppState::stop_self_scraper`].
+    pub fn start_self_scraper(self: &Arc<Self>, interval: std::time::Duration) {
+        let mut slot = self.scraper.lock();
+        if slot.is_none() {
+            *slot = Some(crate::scrape::SelfScraper::spawn(self, interval));
+        }
+    }
+
+    /// Stops and joins the background self-scraper, if one is running.
+    pub fn stop_self_scraper(&self) {
+        self.scraper.lock().take();
+    }
+
     /// The metrics instance, if enabled.
     pub fn metrics(&self) -> Option<&Arc<crate::metrics::ServerMetrics>> {
         self.metrics.get()
@@ -308,12 +362,17 @@ impl AppState {
         }
     }
 
-    /// Caps every user's cumulative ε; `None` removes the cap.
-    pub fn set_epsilon_budget(&self, budget: Option<f64>) {
+    /// Caps every user's cumulative ε; `None` removes the cap. A
+    /// non-positive (or NaN) cap is refused with [`InvalidBudget`] and
+    /// leaves the existing configuration untouched.
+    pub fn set_epsilon_budget(&self, budget: Option<f64>) -> Result<(), InvalidBudget> {
         if let Some(b) = budget {
-            assert!(b > 0.0, "epsilon budget must be positive, got {b}");
+            if !(b > 0.0) {
+                return Err(InvalidBudget(b));
+            }
         }
         *self.epsilon_budget.write() = budget;
+        Ok(())
     }
 
     /// The configured cumulative-ε cap, if any.
@@ -893,7 +952,7 @@ mod tests {
             .privacy_loss(4.0)
             .epsilon
             .value();
-        s.set_epsilon_budget(Some(per_release * 1.5));
+        s.set_epsilon_budget(Some(per_release * 1.5)).unwrap();
 
         s.submit(
             "u1",
@@ -926,7 +985,7 @@ mod tests {
     fn budget_cap_blocks_unbounded_users() {
         let s = AppState::new();
         s.add_survey(survey()).unwrap();
-        s.set_epsilon_budget(Some(100.0));
+        s.set_epsilon_budget(Some(100.0)).unwrap();
         // A raw release makes the user's loss unbounded.
         s.accountant
             .record("u1", "earlier", loki_dp::accountant::ReleaseKind::Raw);
@@ -962,7 +1021,7 @@ mod tests {
         let two = probe.user_loss("p").epsilon.value();
         assert!(two > one);
         s.accountant.record("u1", "warmup", gaussian_release("warmup").1);
-        s.set_epsilon_budget(Some((one + two) / 2.0));
+        s.set_epsilon_budget(Some((one + two) / 2.0)).unwrap();
 
         let ok = Arc::new(AtomicUsize::new(0));
         let rejected = Arc::new(AtomicUsize::new(0));
@@ -1024,10 +1083,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "budget must be positive")]
     fn non_positive_budget_rejected() {
         let s = AppState::new();
-        s.set_epsilon_budget(Some(0.0));
+        assert_eq!(s.set_epsilon_budget(Some(0.0)), Err(InvalidBudget(0.0)));
+        assert_eq!(s.set_epsilon_budget(Some(-1.0)), Err(InvalidBudget(-1.0)));
+        assert!(s.epsilon_budget().is_none(), "rejected cap left no residue");
+        assert!(
+            InvalidBudget(0.0).to_string().contains("must be positive"),
+            "error explains the constraint"
+        );
+        s.set_epsilon_budget(Some(1.0)).unwrap();
+        s.set_epsilon_budget(None).unwrap();
     }
 
     #[test]

@@ -29,7 +29,7 @@ fn main() {
     state.attach_journal(loki::server::wal::Wal::open(&wal_path).unwrap());
     state.add_requester_token("research-team-42");
     // Each medium answer costs ε ≈ 24.4; allow about three.
-    state.set_epsilon_budget(Some(75.0));
+    state.set_epsilon_budget(Some(75.0)).unwrap();
 
     let requests = Arc::new(AtomicUsize::new(0));
     let config = ServerConfig {

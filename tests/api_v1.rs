@@ -1,8 +1,9 @@
 //! Integration tests for the versioned `/v1` REST API: the unified error
 //! envelope, the Prometheus `/v1/metrics` exposition, byte-identical
 //! legacy aliases, request tracing across the group-commit boundary
-//! (`x-loki-trace-id` → `/v1/traces/{id}`), the ε-audit stream, and
-//! `/v1/healthz`.
+//! (`x-loki-trace-id` → `/v1/traces/{id}`), the ε-audit stream,
+//! `/v1/healthz`, and the history layer's SLO alert lifecycle
+//! (`/v1/alerts`, `/v1/alerts/history`, `/v1/timeseries`).
 
 use loki::core::privacy_level::PrivacyLevel;
 use loki::net::client::HttpClient;
@@ -136,7 +137,7 @@ fn metrics_expose_the_serving_path_end_to_end() {
     state.attach_journal(loki::server::wal::Wal::open(&dir.join("wal.jsonl")).unwrap());
     state.add_survey(lecturer_survey()).unwrap();
     // A budget small enough that a second submission is rejected.
-    state.set_epsilon_budget(Some(1.0));
+    state.set_epsilon_budget(Some(1.0)).unwrap();
     let h = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
     let c = HttpClient::new(&h.base_url()).unwrap();
 
@@ -449,7 +450,7 @@ fn budget_cap_rejection_produces_a_matching_audit_event() {
     let (h, c, state) = start();
     // One medium-level release costs far more than ε = 1: the first
     // submission charges, and a second survey's submission hits the cap.
-    state.set_epsilon_budget(Some(1.0));
+    state.set_epsilon_budget(Some(1.0)).unwrap();
     let resp = c
         .post("/v1/surveys/1/responses", "application/json", submit_body("u1", 4.0))
         .unwrap();
@@ -496,4 +497,173 @@ fn budget_cap_rejection_produces_a_matching_audit_event() {
         "raw id leaked into the audit rendering"
     );
     h.shutdown();
+}
+
+/// The tentpole E2E: a synthetic 5xx incident drives the availability
+/// SLO through its whole lifecycle — Ok → Pending → Firing (healthz
+/// `degraded` with a healthy journal) → Resolved → Ok — observed purely
+/// through the public `/v1/alerts`, `/v1/alerts/history`, `/v1/healthz`
+/// and `/v1/timeseries` endpoints.
+#[test]
+#[cfg(target_os = "linux")]
+fn availability_slo_fires_and_resolves_through_the_alert_endpoints() {
+    use loki::obs::{BurnRule, SloKind, SloSpec, TraceConfig, TsdbConfig};
+    use loki::server::{HistoryConfig, ServerMetrics};
+    use std::time::{Duration, Instant};
+
+    // Windows scaled to a 25 ms scrape tick: the long window is 1 s of
+    // history, breaches must persist 2 ticks before paging, and burning
+    // at 1× the 50%-error budget is already a page.
+    let history = HistoryConfig {
+        tsdb: TsdbConfig::default(),
+        slo_specs: vec![SloSpec {
+            name: "availability".to_string(),
+            objective: 0.9,
+            kind: SloKind::ErrorRatio {
+                bad_name: "loki_http_requests_total".to_string(),
+                bad_filter: "class=\"5xx\"".to_string(),
+                total_name: "loki_http_requests_total".to_string(),
+                total_filter: String::new(),
+            },
+            rules: vec![BurnRule {
+                long_ticks: 40,
+                short_ticks: 20,
+                factor: 1.0,
+            }],
+            pending_ticks: 2,
+            exemplar_family: Some("loki_submit_seconds".to_string()),
+        }],
+        alert_history: 64,
+    };
+    let state = Arc::new(AppState::new());
+    state.add_survey(lecturer_survey()).unwrap();
+    state.enable_metrics_with(Arc::new(ServerMetrics::with_configs(
+        TraceConfig::default(),
+        history,
+    )));
+    state.start_self_scraper(Duration::from_millis(25));
+    // /dev/full poisons the journal on the first durable write: every
+    // submission from then on is a 503.
+    state.attach_journal(
+        loki::server::wal::Wal::open(std::path::Path::new("/dev/full")).unwrap(),
+    );
+    let h = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+    let c = HttpClient::new(&h.base_url()).unwrap();
+
+    // Quiescent start: nothing firing, healthz happy.
+    let resp = c.get("/v1/alerts").unwrap();
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(v["firing"], false, "{v}");
+
+    // --- Incident: a storm of failing (503) slow submits --------------
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let firing = loop {
+        assert!(Instant::now() < deadline, "availability SLO never fired");
+        let resp = c
+            .post("/v1/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE, "{:?}", resp.body);
+        let resp = c.get("/v1/alerts").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        if v["firing"] == true {
+            break v;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let alert = &firing["alerts"].as_array().unwrap()[0];
+    assert_eq!(alert["slo"], "availability");
+    assert_eq!(alert["state"], "firing");
+    assert!(alert["burn_long"].as_f64().unwrap() >= 1.0, "{firing}");
+
+    // --- healthz: degraded on the SLO axis alone ----------------------
+    // Detach the poisoned journal immediately; the journal axis is
+    // healthy again but the SLO is still burning through its window, so
+    // healthz must stay degraded on the alert engine's say-so.
+    state.detach_journal();
+    let resp = c.get("/v1/healthz").unwrap();
+    assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(v["status"], "degraded", "{v}");
+    assert_eq!(v["journal"]["poisoned"], false, "{v}");
+    assert_eq!(v["slo"]["firing"].as_array().unwrap()[0], "availability", "{v}");
+
+    // The state machine walked Ok → Pending → Firing, and the paging
+    // transition carries the trace id of a violating submit exemplar.
+    let resp = c.get("/v1/alerts/history").unwrap();
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    let events = v["events"].as_array().unwrap();
+    let transitions: Vec<(&str, &str)> = events
+        .iter()
+        .map(|e| (e["from"].as_str().unwrap(), e["to"].as_str().unwrap()))
+        .collect();
+    assert!(transitions.contains(&("ok", "pending")), "{v}");
+    assert!(transitions.contains(&("pending", "firing")), "{v}");
+    let fired = events.iter().find(|e| e["to"] == "firing").unwrap();
+    let exemplar = fired["trace_id"].as_str().expect("exemplar trace id");
+    assert_eq!(exemplar.len(), 16, "{exemplar}");
+
+    // --- Recovery: good traffic until the alert resolves --------------
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut fresh = 0u64;
+    loop {
+        assert!(Instant::now() < deadline, "availability SLO never resolved");
+        // A fresh user each round: all-2xx traffic (a repeat user would
+        // trip duplicate detection and 409).
+        fresh += 1;
+        let resp = c
+            .post(
+                "/v1/surveys/1/responses",
+                "application/json",
+                submit_body(&format!("r{fresh}"), 4.0),
+            )
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::CREATED, "{:?}", resp.body);
+        let resp = c.get("/v1/alerts/history").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let done = v["events"].as_array().unwrap().iter().any(|e| {
+            e["slo"] == "availability" && e["from"] == "firing" && e["to"] == "resolved"
+        });
+        if done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Resolved decays to Ok on a later clear tick, and healthz recovers.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(Instant::now() < deadline, "healthz never recovered");
+        let resp = c.get("/v1/healthz").unwrap();
+        if resp.status == StatusCode::OK {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // --- The tsdb covered the incident --------------------------------
+    // Submit latency history: one series, non-empty, downsampled (step
+    // 4) with bin-local aggregates present.
+    let resp = c
+        .get("/v1/timeseries?name=loki_submit_seconds_count&since=0&step=4")
+        .unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    let series = v["series"].as_array().unwrap();
+    assert_eq!(series.len(), 1, "{v}");
+    let points = series[0]["points"].as_array().unwrap();
+    assert!(!points.is_empty(), "{v}");
+    let observed: f64 = points.iter().map(|p| p["last"].as_f64().unwrap()).sum();
+    assert!(observed >= 2.0, "incident + recovery submits in history: {v}");
+    for p in points {
+        assert!(p["count"].as_u64().unwrap() >= 1, "{v}");
+        assert!(p["min"].as_f64().unwrap() <= p["max"].as_f64().unwrap(), "{v}");
+    }
+    // And the 5xx request-class series recorded the outage itself.
+    let resp = c
+        .get("/v1/timeseries?name=loki_http_requests_total&label=5xx")
+        .unwrap();
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert!(!v["series"].as_array().unwrap().is_empty(), "{v}");
+
+    h.shutdown();
+    state.stop_self_scraper();
 }

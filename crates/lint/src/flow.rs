@@ -1,0 +1,830 @@
+//! Intra-procedural dataflow over the token tree.
+//!
+//! Two walkers live here, both linear single-pass over a function body
+//! from [`crate::tree`]:
+//!
+//! * **Guard liveness** ([`function_flows`]): tracks results of
+//!   `.lock()` / `.read()` / `.write()` acquisitions. A guard bound by
+//!   `let name = …` lives until its scope ends or an explicit
+//!   `drop(name)`; an unbound (temporary) guard lives to the end of the
+//!   statement; `let _ = …` drops immediately. Every acquisition and
+//!   every call records the set of locks held at that point — the raw
+//!   material for the `lock-order`, `double-lock` and
+//!   `guard-across-blocking` rules.
+//! * **Identity taint** ([`identity_taint`]): locals assigned from
+//!   identity-named params/fields are tainted, taint propagates through
+//!   assignment and method receivers, and only taint reaching a sink
+//!   call (format/log/trace/…) is reported.
+//!
+//! Known imprecision, chosen deliberately for a lint: guards acquired in
+//! an `if`/`while` condition are treated as held through the following
+//! block (Rust drops them before the block runs), and a guard returned
+//! from a nested block's tail expression is treated as statement-local.
+//! Both err in opposite directions and neither has produced a workspace
+//! false positive; `// lint:allow` covers intentional exceptions.
+
+use crate::tree::{Delim, FnItem, Group, Node};
+use std::collections::HashMap;
+
+/// Receiver-chain method names that forward the underlying object, so
+/// `self.journal.clone().lock()` still classifies as lock `journal`.
+const PASSTHROUGH: &[&str] = &[
+    "clone", "unwrap", "expect", "as_ref", "as_mut", "borrow", "borrow_mut", "to_owned",
+];
+
+/// A lock held at some program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldLock {
+    /// Canonical lock name (field or originating method name).
+    pub lock: String,
+    /// Line where it was acquired.
+    pub line: u32,
+}
+
+/// One `.lock()`/`.read()`/`.write()` acquisition.
+#[derive(Debug, Clone)]
+pub struct Acquire {
+    /// Canonical lock name.
+    pub lock: String,
+    /// Acquisition line.
+    pub line: u32,
+    /// Locks already held at this point (acquisition order).
+    pub held: Vec<HeldLock>,
+}
+
+/// One call site (method, free function, or macro).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (last path segment, `r#…` spelling preserved).
+    pub callee: String,
+    /// Whether it was a `.method()` call.
+    pub method: bool,
+    /// Call line.
+    pub line: u32,
+    /// Locks held when the call runs (argument effects included).
+    pub held: Vec<HeldLock>,
+}
+
+/// Everything the concurrency rules need to know about one function.
+#[derive(Debug)]
+pub struct FnFlow {
+    /// Function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Acquisitions in source order.
+    pub acquires: Vec<Acquire>,
+    /// Calls in source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// Runs the guard-liveness walker over every cleanly-parsed function in
+/// `nodes`. Functions with unbalanced bodies are skipped entirely.
+pub fn function_flows(nodes: &[Node]) -> Vec<FnFlow> {
+    crate::tree::functions(nodes)
+        .iter()
+        .filter(|f| f.analyzable())
+        .map(analyze_fn)
+        .collect()
+}
+
+fn analyze_fn(item: &FnItem) -> FnFlow {
+    let mut w = Walker {
+        scopes: Vec::new(),
+        temps: Vec::new(),
+        locals: HashMap::new(),
+        pending: None,
+        flow: FnFlow {
+            name: item.name.clone(),
+            line: item.line,
+            acquires: Vec::new(),
+            calls: Vec::new(),
+        },
+    };
+    w.walk_block(item.body);
+    w.flow
+}
+
+/// A live guard and the binding that owns it (empty for temporaries and
+/// destructured patterns).
+#[derive(Debug)]
+struct Guard {
+    binding: String,
+    lock: String,
+    line: u32,
+}
+
+/// The `let` binding the current statement is initializing.
+#[derive(Debug)]
+enum Pending {
+    /// `let name = …` — first acquisition becomes a scope guard.
+    Named(String),
+    /// `let _ = …` — acquisitions are dropped immediately.
+    Wild,
+    /// `let (a, b) = …` etc. — acquisitions become anonymous scope guards.
+    Pattern,
+}
+
+struct Walker {
+    scopes: Vec<Vec<Guard>>,
+    temps: Vec<Guard>,
+    /// Local name → origin (the method/field it was produced by), used to
+    /// canonicalize `user_lock.lock()` to the `user_commit_lock` it came
+    /// from.
+    locals: HashMap<String, String>,
+    pending: Option<Pending>,
+    flow: FnFlow,
+}
+
+impl Walker {
+    fn walk_block(&mut self, group: &Group) {
+        self.scopes.push(Vec::new());
+        self.walk_nodes(&group.nodes, true);
+        self.scopes.pop();
+    }
+
+    /// Walks a node sequence. `stmt_level` is true inside brace groups,
+    /// where `;`/`,` end statements (commas cover match arms) and `let`
+    /// bindings are recognized.
+    fn walk_nodes(&mut self, nodes: &[Node], stmt_level: bool) {
+        let mut i = 0usize;
+        while i < nodes.len() {
+            // A nested `fn` item is a separate function with its own
+            // flow: skip its body here.
+            if stmt_level && nodes[i].is_ident("fn") {
+                if let Some(end) = skip_fn_item(nodes, i) {
+                    i = end;
+                    continue;
+                }
+            }
+            if stmt_level && (nodes[i].is_op(";") || nodes[i].is_op(",")) {
+                self.end_statement();
+                i += 1;
+                continue;
+            }
+            if stmt_level && nodes[i].is_ident("let") {
+                self.pending = Some(read_let_pattern(nodes, i + 1));
+                i += 1;
+                continue;
+            }
+            // `drop(name)` ends a guard's life.
+            if nodes[i].is_ident("drop")
+                && !is_dot(nodes, i)
+                && matches!(nodes.get(i + 1), Some(Node::Group(g)) if g.delim == Delim::Paren)
+            {
+                let g = nodes[i + 1].group().unwrap();
+                if let [only] = &g.nodes[..] {
+                    if let Some(t) = only.tok() {
+                        self.kill_guard(&t.text);
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            // Acquisition: `.lock()` / `.read()` / `.write()` with empty
+            // parens (`.write(buf)` is I/O, not a lock).
+            if let Some((lock, line)) = self.match_acquisition(nodes, i) {
+                self.record_acquire(lock, line);
+                i += 2; // past the method ident and its `()`
+                continue;
+            }
+            // Calls: `name(…)`, `.name(…)`, `name!(…)`. Walk arguments
+            // first so acquisitions inside them are held when the call
+            // itself runs.
+            if let Some((callee, method, line, args, next)) = match_call(nodes, i) {
+                if let Some(args) = args {
+                    self.walk_nodes(&args.nodes, false);
+                }
+                // A call in a `let` initializer is the binding's origin
+                // (last one wins, matching evaluation order).
+                if !PASSTHROUGH.contains(&callee.as_str()) {
+                    if let Some(Pending::Named(binding)) = &self.pending {
+                        if callee != *binding {
+                            self.locals.insert(binding.clone(), callee.clone());
+                        }
+                    }
+                }
+                self.flow.calls.push(CallSite {
+                    callee,
+                    method,
+                    line,
+                    held: self.held(),
+                });
+                i = next;
+                continue;
+            }
+            match &nodes[i] {
+                Node::Group(g) if g.delim == Delim::Brace => self.walk_block(g),
+                Node::Group(g) => self.walk_nodes(&g.nodes, false),
+                Node::Tok(t) => {
+                    // Track origin chains at statement level so a later
+                    // `.lock()` on the local canonicalizes.
+                    if stmt_level {
+                        self.note_chain_name(nodes, i, &t.text);
+                    }
+                }
+            }
+            i += 1;
+        }
+        if stmt_level {
+            self.end_statement();
+        }
+    }
+
+    /// `nodes[i]` is `lock`/`read`/`write` preceded by `.` and followed
+    /// by `()` → the canonical lock name and line.
+    fn match_acquisition(&self, nodes: &[Node], i: usize) -> Option<(String, u32)> {
+        let t = nodes[i].tok()?;
+        if !matches!(t.text.as_str(), "lock" | "read" | "write") || !is_dot(nodes, i) {
+            return None;
+        }
+        match nodes.get(i + 1) {
+            Some(Node::Group(g)) if g.delim == Delim::Paren && g.nodes.is_empty() => {}
+            _ => return None,
+        }
+        let name = self
+            .receiver_name(nodes, i)
+            .unwrap_or_else(|| "<unknown>".to_string());
+        Some((name, t.line))
+    }
+
+    /// Walks the receiver chain left of the `.` before `nodes[i]`,
+    /// skipping call-argument groups, index brackets and passthrough
+    /// methods, and resolving locals to their recorded origin.
+    fn receiver_name(&self, nodes: &[Node], i: usize) -> Option<String> {
+        let mut j = i.checked_sub(2)?;
+        loop {
+            match &nodes[j] {
+                Node::Group(g) if g.delim != Delim::Brace => j = j.checked_sub(1)?,
+                Node::Tok(t) if t.kind == crate::lexer::TokKind::Number => {
+                    // Tuple-index field (`self.crash_hooks.0.write()`):
+                    // keep walking left.
+                    if j >= 2 && is_dot(nodes, j) {
+                        j -= 2;
+                    } else {
+                        return None;
+                    }
+                }
+                Node::Tok(t) if t.kind == crate::lexer::TokKind::Ident => {
+                    if PASSTHROUGH.contains(&t.text.as_str()) && j >= 2 && is_dot(nodes, j) {
+                        j -= 2;
+                        continue;
+                    }
+                    // A bare `self` receiver (newtype wrappers locking
+                    // their own payload) names no particular lock.
+                    if t.text == "self" {
+                        return None;
+                    }
+                    let name = self
+                        .locals
+                        .get(&t.text)
+                        .cloned()
+                        .unwrap_or_else(|| t.text.clone());
+                    return Some(name);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn record_acquire(&mut self, lock: String, line: u32) {
+        self.flow.acquires.push(Acquire {
+            lock: lock.clone(),
+            line,
+            held: self.held(),
+        });
+        match self.pending.take() {
+            Some(Pending::Named(binding)) => {
+                // First acquisition claims the binding; later ones in the
+                // same statement are temporaries again.
+                self.push_scope_guard(Guard { binding, lock, line });
+            }
+            Some(Pending::Wild) => {} // `let _ = …` drops at once
+            Some(Pending::Pattern) => {
+                self.push_scope_guard(Guard {
+                    binding: String::new(),
+                    lock,
+                    line,
+                });
+                self.pending = Some(Pending::Pattern);
+            }
+            None => self.temps.push(Guard {
+                binding: String::new(),
+                lock,
+                line,
+            }),
+        }
+    }
+
+    fn push_scope_guard(&mut self, guard: Guard) {
+        match self.scopes.last_mut() {
+            Some(scope) => scope.push(guard),
+            None => self.temps.push(guard),
+        }
+    }
+
+    fn held(&self) -> Vec<HeldLock> {
+        self.scopes
+            .iter()
+            .flatten()
+            .chain(self.temps.iter())
+            .map(|g| HeldLock {
+                lock: g.lock.clone(),
+                line: g.line,
+            })
+            .collect()
+    }
+
+    fn end_statement(&mut self) {
+        self.temps.clear();
+        self.pending = None;
+    }
+
+    fn kill_guard(&mut self, binding: &str) {
+        for scope in &mut self.scopes {
+            scope.retain(|g| g.binding != binding);
+        }
+        self.temps.retain(|g| g.binding != binding);
+    }
+
+    /// Records the origin of a `let x = self.foo(…);` chain: the last
+    /// non-passthrough field/method name at statement level, or an
+    /// existing local's origin for plain `let y = x;`.
+    fn note_chain_name(&mut self, nodes: &[Node], i: usize, text: &str) {
+        let Some(Pending::Named(binding)) = &self.pending else {
+            return;
+        };
+        if text == binding || PASSTHROUGH.contains(&text) {
+            return;
+        }
+        let is_chain = is_dot(nodes, i)
+            || matches!(nodes.get(i + 1), Some(Node::Group(g)) if g.delim == Delim::Paren);
+        let origin = if let Some(known) = self.locals.get(text) {
+            known.clone()
+        } else if is_chain {
+            text.to_string()
+        } else {
+            return;
+        };
+        self.locals.insert(binding.clone(), origin);
+    }
+}
+
+fn is_dot(nodes: &[Node], i: usize) -> bool {
+    i >= 1 && nodes[i - 1].is_op(".")
+}
+
+/// Reads the pattern after `let`: `mut? name` / `_` / anything else.
+fn read_let_pattern(nodes: &[Node], mut i: usize) -> Pending {
+    if nodes.get(i).is_some_and(|n| n.is_ident("mut")) {
+        i += 1;
+    }
+    match nodes.get(i).and_then(Node::tok) {
+        Some(t) if t.text == "_" => Pending::Wild,
+        Some(t) if t.kind == crate::lexer::TokKind::Ident => Pending::Named(t.text.clone()),
+        _ => Pending::Pattern,
+    }
+}
+
+/// Skips a nested `fn` item starting at the `fn` keyword; returns the
+/// index just past its body (or `;` for a declaration).
+fn skip_fn_item(nodes: &[Node], at: usize) -> Option<usize> {
+    let mut j = at + 1;
+    while let Some(n) = nodes.get(j) {
+        if n.is_op(";") {
+            return Some(j + 1);
+        }
+        if let Some(g) = n.group() {
+            if g.delim == Delim::Brace {
+                return Some(j + 1);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Matches a call at `nodes[i]`: `name(…)`, `.name(…)`, or `name!(…)`.
+/// Returns (callee, is_method, line, args, next_index). Control-flow
+/// keywords are not calls.
+fn match_call<'a>(
+    nodes: &'a [Node],
+    i: usize,
+) -> Option<(String, bool, u32, Option<&'a Group>, usize)> {
+    let t = nodes[i].tok()?;
+    if t.kind != crate::lexer::TokKind::Ident
+        || matches!(
+            t.text.as_str(),
+            "if" | "else" | "while" | "for" | "loop" | "match" | "return" | "fn" | "let"
+                | "move" | "in" | "mut" | "ref" | "break" | "continue" | "unsafe" | "async"
+                | "await" | "where" | "impl" | "dyn"
+        )
+    {
+        return None;
+    }
+    let method = is_dot(nodes, i);
+    let (args_at, bang) = match nodes.get(i + 1) {
+        Some(n) if n.is_op("!") => (i + 2, true),
+        _ => (i + 1, false),
+    };
+    match nodes.get(args_at) {
+        Some(Node::Group(g)) if bang || g.delim == Delim::Paren => {
+            Some((t.text.clone(), method, t.line, Some(g), args_at + 1))
+        }
+        _ if bang => Some((t.text.clone(), method, t.line, None, args_at)),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Identity taint
+// ---------------------------------------------------------------------
+
+/// Taint that reached a sink.
+#[derive(Debug, Clone)]
+pub struct TaintHit {
+    /// Line of the sink call.
+    pub line: u32,
+    /// Sink callee name.
+    pub sink: String,
+    /// The tainted identifier passed to it.
+    pub ident: String,
+    /// The identity source it derives from, when not the ident itself.
+    pub origin: Option<String>,
+}
+
+/// Runs the identity-taint pass over one function. `sources` are
+/// identity-named identifiers (params, fields, locals derived from
+/// them); `sinks` are substrings matched against callee names
+/// (`format`, `log`, `trace`, …).
+pub fn identity_taint(item: &FnItem, sources: &[String], sinks: &[String]) -> Vec<TaintHit> {
+    if !item.analyzable() {
+        return Vec::new();
+    }
+    let mut t = Taint {
+        tainted: HashMap::new(),
+        sources,
+        sinks,
+        hits: Vec::new(),
+    };
+    // Identity-named parameters are tainted from the start.
+    if let Some(params) = item.params {
+        for n in &params.nodes {
+            if let Some(tok) = n.tok() {
+                if t.is_source(&tok.text) {
+                    t.tainted.insert(tok.text.clone(), tok.text.clone());
+                }
+            }
+        }
+    }
+    t.walk(&item.body.nodes, true);
+    t.hits
+}
+
+struct Taint<'a> {
+    /// Local name → the identity source it derives from.
+    tainted: HashMap<String, String>,
+    sources: &'a [String],
+    sinks: &'a [String],
+    hits: Vec<TaintHit>,
+}
+
+impl Taint<'_> {
+    fn is_source(&self, name: &str) -> bool {
+        self.sources.iter().any(|s| s == name)
+    }
+
+    fn is_sink(&self, callee: &str) -> bool {
+        let lower = callee.to_lowercase();
+        self.sinks.iter().any(|s| lower.contains(&s.to_lowercase()))
+    }
+
+    /// The identity root of `name`, if tainted.
+    fn root(&self, name: &str) -> Option<String> {
+        if self.is_source(name) {
+            return Some(name.to_string());
+        }
+        self.tainted.get(name).cloned()
+    }
+
+    /// First tainted identifier anywhere under `nodes` (recursing into
+    /// groups), with its root.
+    fn find_taint(&self, nodes: &[Node]) -> Option<(String, String)> {
+        for n in nodes {
+            match n {
+                Node::Tok(t) if t.kind == crate::lexer::TokKind::Ident => {
+                    if let Some(root) = self.root(&t.text) {
+                        return Some((t.text.clone(), root));
+                    }
+                }
+                Node::Group(g) => {
+                    if let Some(hit) = self.find_taint(&g.nodes) {
+                        return Some(hit);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    fn walk(&mut self, nodes: &[Node], stmt_level: bool) {
+        let mut i = 0usize;
+        while i < nodes.len() {
+            if stmt_level && nodes[i].is_ident("fn") {
+                if let Some(end) = skip_fn_item(nodes, i) {
+                    i = end;
+                    continue;
+                }
+            }
+            // `let name = INIT;` — propagate taint from the initializer.
+            if stmt_level && nodes[i].is_ident("let") {
+                if let Pending::Named(binding) = read_let_pattern(nodes, i + 1) {
+                    let init_end = stmt_end(nodes, i + 1);
+                    // Only the initializer — past the `=` — carries
+                    // taint; a rebinding to a clean value clears it.
+                    let init_start = (i + 1..init_end)
+                        .find(|&j| nodes[j].is_op("="))
+                        .map_or(init_end, |j| j + 1);
+                    // Sinks inside the initializer still count.
+                    self.walk(&nodes[init_start..init_end], false);
+                    self.tainted.remove(&binding);
+                    if let Some((_, root)) = self.find_taint(&nodes[init_start..init_end]) {
+                        self.tainted.insert(binding, root);
+                    }
+                    i = init_end;
+                    continue;
+                }
+            }
+            if let Some((callee, method, line, args, next)) = match_call(nodes, i) {
+                let args_nodes: &[Node] = args.map(|g| g.nodes.as_slice()).unwrap_or(&[]);
+                if self.is_sink(&callee) {
+                    // Tainted argument, or tainted method receiver.
+                    let hit = self.find_taint(args_nodes).or_else(|| {
+                        if !method {
+                            return None;
+                        }
+                        let recv = nodes[i.checked_sub(2)?].tok()?;
+                        self.root(&recv.text).map(|r| (recv.text.clone(), r))
+                    });
+                    if let Some((ident, root)) = hit {
+                        self.hits.push(TaintHit {
+                            line,
+                            sink: callee.clone(),
+                            origin: (root != ident).then_some(root),
+                            ident,
+                        });
+                    }
+                } else if method {
+                    // Receiver propagation: `buf.push_str(&user_id)`
+                    // taints `buf`.
+                    if let Some((_, root)) = self.find_taint(args_nodes) {
+                        if let Some(recv) =
+                            i.checked_sub(2).and_then(|j| nodes[j].tok()).map(|t| &t.text)
+                        {
+                            self.tainted.insert(recv.clone(), root);
+                        }
+                    }
+                }
+                self.walk(args_nodes, false);
+                i = next;
+                continue;
+            }
+            if let Some(g) = nodes[i].group() {
+                self.walk(&g.nodes, g.delim == Delim::Brace);
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Index of the `;` (or `,` at statement level) ending the statement
+/// starting at `from`, or `nodes.len()`.
+fn stmt_end(nodes: &[Node], from: usize) -> usize {
+    let mut j = from;
+    while j < nodes.len() {
+        if nodes[j].is_op(";") || nodes[j].is_op(",") {
+            return j;
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree::build;
+
+    fn flows(src: &str) -> Vec<FnFlow> {
+        function_flows(&build(&lex(src).toks))
+    }
+
+    fn flow(src: &str) -> FnFlow {
+        let mut fs = flows(src);
+        assert_eq!(fs.len(), 1, "expected one fn in {src}");
+        fs.remove(0)
+    }
+
+    fn held_at<'a>(f: &'a FnFlow, lock: &str) -> &'a [HeldLock] {
+        &f.acquires.iter().find(|a| a.lock == lock).unwrap().held
+    }
+
+    #[test]
+    fn let_guard_lives_to_scope_end() {
+        let f = flow(
+            "fn f(&self) {\n\
+                 let a = self.surveys.lock().unwrap();\n\
+                 let b = self.journal.lock().unwrap();\n\
+             }",
+        );
+        assert_eq!(f.acquires.len(), 2);
+        assert!(held_at(&f, "surveys").is_empty());
+        assert_eq!(held_at(&f, "journal"), &[HeldLock { lock: "surveys".into(), line: 2 }]);
+    }
+
+    #[test]
+    fn temp_guard_dies_at_statement_end() {
+        let f = flow(
+            "fn f(&self) {\n\
+                 self.surveys.lock().unwrap().insert(k, v);\n\
+                 let b = self.journal.lock().unwrap();\n\
+             }",
+        );
+        assert!(held_at(&f, "journal").is_empty());
+        // But the insert call itself ran with the temp held.
+        let insert = f.calls.iter().find(|c| c.callee == "insert").unwrap();
+        assert_eq!(insert.held.len(), 1);
+        assert_eq!(insert.held[0].lock, "surveys");
+    }
+
+    #[test]
+    fn drop_and_scope_end_kill_guards() {
+        let f = flow(
+            "fn f(&self) {\n\
+                 let a = self.surveys.lock().unwrap();\n\
+                 drop(a);\n\
+                 { let b = self.journal.lock().unwrap(); }\n\
+                 let c = self.submissions.lock().unwrap();\n\
+             }",
+        );
+        assert!(held_at(&f, "journal").is_empty(), "drop(a) must release");
+        assert!(held_at(&f, "submissions").is_empty(), "scope end must release");
+    }
+
+    #[test]
+    fn wildcard_let_drops_immediately() {
+        let f = flow(
+            "fn f(&self) {\n\
+                 let _ = self.surveys.lock().unwrap();\n\
+                 let b = self.journal.lock().unwrap();\n\
+             }",
+        );
+        assert!(held_at(&f, "journal").is_empty());
+    }
+
+    #[test]
+    fn local_origin_canonicalizes_lock_name() {
+        let f = flow(
+            "fn f(&self) {\n\
+                 let user_lock = self.user_commit_lock(user);\n\
+                 let g = user_lock.lock().unwrap();\n\
+             }",
+        );
+        assert_eq!(f.acquires.len(), 1);
+        assert_eq!(f.acquires[0].lock, "user_commit_lock");
+    }
+
+    #[test]
+    fn rwlock_read_write_and_io_write_disambiguated() {
+        let f = flow(
+            "fn f(&self) {\n\
+                 let g = self.index.read().unwrap();\n\
+                 file.write(buf).unwrap();\n\
+             }",
+        );
+        assert_eq!(f.acquires.len(), 1, "{:?}", f.acquires);
+        assert_eq!(f.acquires[0].lock, "index");
+    }
+
+    #[test]
+    fn call_records_held_set_including_args() {
+        let f = flow(
+            "fn f(&self) {\n\
+                 publish(self.surveys.lock().unwrap());\n\
+             }",
+        );
+        let call = f.calls.iter().find(|c| c.callee == "publish").unwrap();
+        assert_eq!(call.held.len(), 1, "arg acquisition held when call runs");
+    }
+
+    #[test]
+    fn branch_guards_do_not_leak() {
+        let f = flow(
+            "fn f(&self, c: bool) {\n\
+                 if c { let a = self.surveys.lock().unwrap(); }\n\
+                 else { let b = self.journal.lock().unwrap(); }\n\
+                 let z = self.submissions.lock().unwrap();\n\
+             }",
+        );
+        assert!(held_at(&f, "journal").is_empty());
+        assert!(held_at(&f, "submissions").is_empty());
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_separate_flows() {
+        let fs = flows(
+            "fn outer(&self) {\n\
+                 let a = self.surveys.lock().unwrap();\n\
+                 fn inner(s: &S) { let b = s.journal.lock().unwrap(); }\n\
+                 let c = self.submissions.lock().unwrap();\n\
+             }",
+        );
+        let inner = fs.iter().find(|f| f.name == "inner").unwrap();
+        assert!(held_at(inner, "journal").is_empty(), "outer guard must not leak in");
+        let outer = fs.iter().find(|f| f.name == "outer").unwrap();
+        assert_eq!(held_at(outer, "submissions").len(), 1);
+    }
+
+    #[test]
+    fn raw_identifier_receiver_keeps_spelling() {
+        let f = flow("fn f(&self) { let g = self.r#type.lock().unwrap(); }");
+        assert_eq!(f.acquires[0].lock, "r#type");
+    }
+
+    fn taint(src: &str, sources: &[&str], sinks: &[&str]) -> Vec<TaintHit> {
+        let nodes = build(&lex(src).toks);
+        let fns = crate::tree::functions(&nodes);
+        let sources: Vec<String> = sources.iter().map(|s| s.to_string()).collect();
+        let sinks: Vec<String> = sinks.iter().map(|s| s.to_string()).collect();
+        fns.iter()
+            .flat_map(|f| identity_taint(f, &sources, &sinks))
+            .collect()
+    }
+
+    #[test]
+    fn tainted_param_reaching_sink_fires() {
+        let hits = taint(
+            "fn t(user_id: &str) { trace!(\"submit {}\", user_id); }",
+            &["user_id"],
+            &["trace"],
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].ident, "user_id");
+        assert_eq!(hits[0].sink, "trace");
+    }
+
+    #[test]
+    fn taint_propagates_through_assignment() {
+        let hits = taint(
+            "fn t(user_id: &str) { let who = user_id; let msg = format!(\"{}\", who); }",
+            &["user_id"],
+            &["format"],
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].ident, "who");
+        assert_eq!(hits[0].origin.as_deref(), Some("user_id"));
+    }
+
+    #[test]
+    fn taint_propagates_through_receiver() {
+        let hits = taint(
+            "fn t(user: &str) { let mut buf = String::new(); buf.push_str(user); log_line(&buf); }",
+            &["user"],
+            &["log"],
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].ident, "buf");
+    }
+
+    #[test]
+    fn no_sink_means_no_finding() {
+        let hits = taint(
+            "fn t(user_id: &str) { let key = hash(user_id); table.insert(key, 1); }",
+            &["user_id"],
+            &["format", "log", "trace"],
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn untainted_value_at_sink_is_clean() {
+        let hits = taint(
+            "fn t(user_id: &str, n: usize) { let count = n + 1; trace!(\"{}\", count); }",
+            &["user_id"],
+            &["trace"],
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn taint_after_sink_does_not_fire() {
+        let hits = taint(
+            "fn t(user_id: &str) { let s = one(); trace!(\"{}\", s); let s = user_id; }",
+            &["user_id"],
+            &["trace"],
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+}

@@ -126,6 +126,30 @@ pub fn lex(src: &str) -> LexOutput {
                 line += newlines;
                 i = j;
             }
+            // Byte-char literal `b'x'` / `b'\n'`: one opaque Str token.
+            // Without this arm the `b` lexes as a stray identifier, which
+            // breaks token-pattern rules and the token-tree item scanner.
+            'b' if chars.get(i + 1) == Some(&'\'') => {
+                let (j, newlines) = scan_string(&chars, i + 1);
+                push(&mut out, TokKind::Str, String::from("b'…'"), line);
+                line += newlines;
+                i = j;
+            }
+            // Raw identifier `r#type`: one Ident token carrying the full
+            // `r#…` spelling. Without this arm the escaped keyword leaks
+            // as a bare keyword token (`r#fn` → `fn`), which would start a
+            // phantom item in the tree parser.
+            'r' if chars.get(i + 1) == Some(&'#')
+                && chars.get(i + 2).is_some_and(|&c| is_ident_start(c)) =>
+            {
+                let mut j = i + 3;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                push(&mut out, TokKind::Ident, text, line);
+                i = j;
+            }
             '\'' => {
                 // Lifetime or char literal.
                 if is_lifetime(&chars, i) {
@@ -416,6 +440,42 @@ mod tests {
         let out = lex("let a = \"multi\nline\";\nlet b = 1;");
         let b = out.toks.iter().find(|t| t.is_ident("b")).unwrap();
         assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn byte_char_literals_are_one_opaque_token() {
+        // Regression: `b'x'` used to lex as Ident("b") + char literal.
+        assert_eq!(texts("let x = b'x';"), vec!["let", "x", "=", "b'…'", ";"]);
+        let toks = lex("match c { b'a'..=b'z' => 1, _ => 0 }").toks;
+        assert!(!toks.iter().any(|t| t.is_ident("b")), "{toks:?}");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+        // Escapes, including an escaped quote and a brace payload (the
+        // brace must stay opaque to the token-tree parser).
+        assert_eq!(texts(r"f(b'\n', b'\'', b'{')").len(), 8); // f ( s , s , s )
+        assert_eq!(
+            lex(r"f(b'\n', b'\'', b'{')")
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Str)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_one_token_and_not_keywords() {
+        // Regression: `r#type` used to lex as Ident("r") + `#` + Ident("type"),
+        // leaking the escaped keyword as a real keyword token.
+        assert_eq!(texts("let t = r#type;"), vec!["let", "t", "=", "r#type", ";"]);
+        let toks = lex("let f = r#fn; fn real() {}").toks;
+        assert_eq!(
+            toks.iter().filter(|t| t.is_ident("fn")).count(),
+            1,
+            "only the genuine `fn` keyword remains: {toks:?}"
+        );
+        // Raw strings still lex as strings, not raw identifiers.
+        let toks = lex(r####"let s = r#"text"#;"####).toks;
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
     }
 
     #[test]

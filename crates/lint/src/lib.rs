@@ -11,9 +11,11 @@
 
 pub mod baseline;
 pub mod config;
+pub mod flow;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod tree;
 
 use config::Config;
 use source::SourceFile;
@@ -45,19 +47,36 @@ impl Diagnostic {
 }
 
 /// Runs every enabled rule over one in-memory source file. This is the
-/// entry point the fixture tests use; [`analyze_workspace`] funnels every
-/// on-disk file through it.
+/// entry point the fixture tests use; it is [`analyze_sources`] with a
+/// single-file "workspace", so workspace rules (e.g. `lock-order`) see
+/// the file too.
 pub fn analyze_source(
     rel_path: &str,
     crate_name: &str,
     src: &str,
     cfg: &Config,
 ) -> Vec<Diagnostic> {
-    let file = SourceFile::parse(rel_path, crate_name, src);
+    analyze_sources(&[(rel_path, crate_name, src)], cfg)
+}
+
+/// Runs every enabled rule — per-file and workspace-level — over a set
+/// of in-memory source files.
+pub fn analyze_sources(files: &[(&str, &str, &str)], cfg: &Config) -> Vec<Diagnostic> {
+    let parsed: Vec<SourceFile> = files
+        .iter()
+        .map(|(rel, krate, src)| SourceFile::parse(rel, krate, src))
+        .collect();
     let mut out = Vec::new();
-    for rule in rules::registry() {
+    for file in &parsed {
+        for rule in rules::registry() {
+            if cfg.rule_enabled(rule.id()) {
+                rule.check(file, cfg, &mut out);
+            }
+        }
+    }
+    for rule in rules::workspace_registry() {
         if cfg.rule_enabled(rule.id()) {
-            rule.check(&file, cfg, &mut out);
+            rule.check(&parsed, cfg, &mut out);
         }
     }
     out
@@ -70,13 +89,17 @@ pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Diagnostic
     collect_rs_files(root, root, &cfg.excludes(), &mut files)?;
     files.sort();
     let mut crate_names: HashMap<String, String> = HashMap::new();
-    let mut out = Vec::new();
+    let mut sources: Vec<(String, String, String)> = Vec::new();
     for rel in files {
         let crate_name = crate_name_for(root, &rel, &mut crate_names);
         let src = fs::read_to_string(root.join(&rel))?;
-        out.extend(analyze_source(&rel, &crate_name, &src, cfg));
+        sources.push((rel, crate_name, src));
     }
-    Ok(out)
+    let refs: Vec<(&str, &str, &str)> = sources
+        .iter()
+        .map(|(r, c, s)| (r.as_str(), c.as_str(), s.as_str()))
+        .collect();
+    Ok(analyze_sources(&refs, cfg))
 }
 
 /// Recursively collects `.rs` paths relative to `root`, skipping hidden

@@ -4,6 +4,7 @@
 //! cargo run -p loki-lint                  # diff against the baseline
 //! cargo run -p loki-lint -- --deny-new    # CI mode: also fail on stale entries
 //! cargo run -p loki-lint -- --format json # machine-readable output
+//! cargo run -p loki-lint -- --format github  # ::error annotations for Actions
 //! cargo run -p loki-lint -- --write-baseline  # regenerate the baseline
 //! ```
 //!
@@ -31,6 +32,9 @@ struct Opts {
 enum Format {
     Human,
     Json,
+    /// GitHub Actions workflow commands: one `::error` per *new*
+    /// finding, so annotations land on the PR diff.
+    Github,
 }
 
 fn main() -> ExitCode {
@@ -45,6 +49,9 @@ fn main() -> ExitCode {
 
     if opts.list_rules {
         for rule in rules::registry() {
+            out(&format!("{:<24} {}", rule.id(), rule.description()));
+        }
+        for rule in rules::workspace_registry() {
             out(&format!("{:<24} {}", rule.id(), rule.description()));
         }
         return ExitCode::SUCCESS;
@@ -121,6 +128,27 @@ fn main() -> ExitCode {
             ));
         }
         Format::Json => out(&render_json(&findings, &diff.new, &diff.stale)),
+        Format::Github => {
+            for d in &diff.new {
+                out(&render_github(d));
+            }
+            for e in &diff.stale {
+                out(&format!(
+                    "::warning file={}::stale loki-lint baseline entry ({}): \
+                     no longer found: {}",
+                    github_escape_property(&e.file),
+                    github_escape(&e.rule),
+                    github_escape(&e.snippet)
+                ));
+            }
+            out(&format!(
+                "loki-lint: {} file findings, {} baselined, {} new, {} stale",
+                findings.len(),
+                baseline.len(),
+                diff.new.len(),
+                diff.stale.len()
+            ));
+        }
     }
 
     if !diff.new.is_empty() || (opts.deny_new && !diff.stale.is_empty()) {
@@ -131,7 +159,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: loki-lint [--root DIR] [--config FILE] [--baseline FILE]
-                 [--format human|json] [--write-baseline] [--deny-new] [--list-rules]";
+                 [--format human|json|github] [--write-baseline] [--deny-new] [--list-rules]";
 
 /// Writes one line to stdout, ignoring write failures such as a closed
 /// pipe (`loki-lint | head`) — the exit code, not the stream, carries
@@ -167,6 +195,7 @@ fn parse_args() -> Result<Opts, String> {
                 opts.format = match value("--format")?.as_str() {
                     "human" => Format::Human,
                     "json" => Format::Json,
+                    "github" => Format::Github,
                     other => return Err(format!("unknown format `{other}`")),
                 }
             }
@@ -245,6 +274,29 @@ fn render_json(
         stale.len()
     ));
     out
+}
+
+/// One GitHub Actions `::error` workflow command, anchored to the
+/// finding's file and line so it renders on the PR diff.
+fn render_github(d: &Diagnostic) -> String {
+    format!(
+        "::error file={},line={},title=loki-lint {}::{}",
+        github_escape_property(&d.file),
+        d.line,
+        github_escape_property(d.rule),
+        github_escape(&d.message)
+    )
+}
+
+/// Escapes workflow-command message data (`%`, CR, LF).
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Escapes workflow-command property values, which additionally reserve
+/// `:` and `,`.
+fn github_escape_property(s: &str) -> String {
+    github_escape(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 fn json_escape(s: &str) -> String {

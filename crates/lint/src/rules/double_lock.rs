@@ -1,0 +1,63 @@
+//! `double-lock`: re-acquiring a lock already held on the same path.
+//!
+//! `std::sync::Mutex` is not reentrant: a second `.lock()` on a mutex
+//! the same thread already holds deadlocks at runtime, silently, and a
+//! second `RwLock::read()` can deadlock against a queued writer. The
+//! guard-liveness walker makes this checkable: at every acquisition we
+//! know which canonical lock names are live, so a same-name re-acquire
+//! is flagged at the exact line. (Re-acquires hidden behind a same-file
+//! call are reported by `lock-order` as a self-cycle.)
+
+use crate::config::Config;
+use crate::flow;
+use crate::rules::{emit, in_scope, Rule};
+use crate::source::SourceFile;
+use crate::tree;
+use crate::Diagnostic;
+
+/// See module docs.
+pub struct DoubleLock;
+
+const ID: &str = "double-lock";
+
+/// Crates with enough locks for this to bite.
+const DEFAULT_CRATES: &[&str] = &["loki-server"];
+
+impl Rule for DoubleLock {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "re-acquiring a lock already held on the same path — std mutexes \
+         are not reentrant, this deadlocks at runtime"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        if !in_scope(file, cfg, ID, DEFAULT_CRATES, &[]) {
+            return;
+        }
+        let nodes = tree::build(&file.toks);
+        for fun in flow::function_flows(&nodes) {
+            for acq in &fun.acquires {
+                if acq.lock == "<unknown>" {
+                    continue;
+                }
+                if let Some(prev) = acq.held.iter().find(|h| h.lock == acq.lock) {
+                    emit(
+                        file,
+                        ID,
+                        acq.line,
+                        format!(
+                            "lock `{}` re-acquired in `{}` while already held \
+                             (acquired line {}) — std locks are not reentrant; \
+                             this deadlocks",
+                            acq.lock, fun.name, prev.line,
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}

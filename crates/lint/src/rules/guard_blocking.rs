@@ -1,0 +1,90 @@
+//! `guard-across-blocking`: no lock guard may be live across a blocking
+//! call.
+//!
+//! The submit path's tail latency is bounded by its critical sections
+//! (§ DESIGN 4): PR 5 moved fsync out of every lock by design, and this
+//! rule keeps it that way mechanically. A guard live across `sync_all`,
+//! a channel `send`/`recv`, or a thread `join` stretches the critical
+//! section by an unbounded I/O or scheduling delay — and a `recv`/`join`
+//! while holding a lock the other side needs is a deadlock, not just a
+//! stall. Intentional exceptions (e.g. a dedicated writer thread that
+//! owns its file behind the same mutex) carry a `// lint:allow` with the
+//! justification inline.
+
+use crate::config::Config;
+use crate::flow;
+use crate::rules::{emit, in_scope, Rule};
+use crate::source::SourceFile;
+use crate::tree;
+use crate::Diagnostic;
+
+/// See module docs.
+pub struct GuardAcrossBlocking;
+
+const ID: &str = "guard-across-blocking";
+
+/// Crates with locks on latency-critical paths.
+const DEFAULT_CRATES: &[&str] = &["loki-server"];
+
+/// Method names that block on I/O, a channel peer, or another thread.
+/// `wait`/`wait_timeout` are deliberately absent: a condvar *requires*
+/// its guard, and flagging the idiom would teach people to allow-list
+/// this rule reflexively.
+pub const DEFAULT_BLOCKING: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "fsync",
+    "write_all",
+    "flush",
+    "send",
+    "recv",
+    "recv_timeout",
+    "join",
+];
+
+impl Rule for GuardAcrossBlocking {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "a lock guard must not be live across fsync/channel send/recv/join — \
+         blocking inside a critical section stretches or deadlocks it"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        if !in_scope(file, cfg, ID, DEFAULT_CRATES, &[]) {
+            return;
+        }
+        let blocking = cfg.list(ID, "blocking", DEFAULT_BLOCKING);
+        let nodes = tree::build(&file.toks);
+        for fun in flow::function_flows(&nodes) {
+            for call in &fun.calls {
+                if !call.method
+                    || call.held.is_empty()
+                    || !blocking.iter().any(|b| b == &call.callee)
+                {
+                    continue;
+                }
+                let held: Vec<String> = call
+                    .held
+                    .iter()
+                    .map(|h| format!("`{}` (acquired line {})", h.lock, h.line))
+                    .collect();
+                emit(
+                    file,
+                    ID,
+                    call.line,
+                    format!(
+                        "blocking call `.{}()` in `{}` while holding {} — move the \
+                         blocking operation outside the critical section",
+                        call.callee,
+                        fun.name,
+                        held.join(", "),
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}

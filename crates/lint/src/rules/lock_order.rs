@@ -1,0 +1,296 @@
+//! `lock-order`: the acquired-while-held graph must match the declared
+//! order and stay acyclic.
+//!
+//! Every acquisition with a non-empty held set contributes an edge
+//! `held → acquired` to a per-crate graph, keyed by canonical lock name
+//! (field or originating method). Calls to same-file functions propagate
+//! transitively: if `f` calls `g` while holding `a`, every lock `g`
+//! (transitively) acquires is treated as acquired under `a`. Two checks
+//! run over the edges:
+//!
+//! 1. **Declared order** — `loki-lint.toml` pins the workspace order
+//!    (`[rules.lock-order] order = [...]`). An edge from a later name to
+//!    an earlier one is an inversion: two threads taking the pair in
+//!    opposite orders deadlock.
+//! 2. **Cycles** — for lock pairs outside the declared list, any edge
+//!    whose reverse is also reachable is reported; a self-edge through a
+//!    call chain means a non-reentrant re-acquire.
+//!
+//! This is the PR-gate for the sharding arc: the shard refactor will
+//! multiply `store.rs` locks, and each new edge either respects the
+//! declared order or fails `--deny-new` at the exact acquisition site.
+
+use crate::config::Config;
+use crate::flow::{self, FnFlow};
+use crate::rules::{emit, in_scope, WorkspaceRule};
+use crate::source::SourceFile;
+use crate::tree;
+use crate::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// See module docs.
+pub struct LockOrder;
+
+const ID: &str = "lock-order";
+
+/// Crates whose lock graph is checked.
+const DEFAULT_CRATES: &[&str] = &["loki-server"];
+
+/// The canonical workspace lock order (outermost first). Mirrors the
+/// `[rules.lock-order] order` declaration in `loki-lint.toml` and the
+/// doc comment on `AppState` in `crates/server/src/store.rs`.
+pub const DEFAULT_ORDER: &[&str] = &[
+    "publish_lock",
+    "user_locks",
+    "user_commit_lock",
+    "surveys",
+    "submissions",
+    "epsilon_budget",
+    "user_indices",
+    "journal",
+    "crash_hooks",
+];
+
+/// One acquired-while-held edge.
+struct Edge {
+    krate: String,
+    /// Lock held.
+    from: String,
+    /// Lock acquired under it.
+    to: String,
+    /// Index into the analyzed file list.
+    file: usize,
+    line: u32,
+    /// Same-file callee the acquisition happened through, if indirect.
+    via: Option<String>,
+}
+
+impl WorkspaceRule for LockOrder {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "lock acquisitions must respect the declared workspace order and \
+         the acquired-while-held graph must stay acyclic"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let order = cfg.list(ID, "order", DEFAULT_ORDER);
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut seen: HashSet<(String, String, String, usize, u32)> = HashSet::new();
+        for (fi, file) in files.iter().enumerate() {
+            if !in_scope(file, cfg, ID, DEFAULT_CRATES, &[]) {
+                continue;
+            }
+            let nodes = tree::build(&file.toks);
+            let flows = flow::function_flows(&nodes);
+            let locksets = transitive_locksets(&flows);
+            for fun in &flows {
+                for acq in &fun.acquires {
+                    for h in &acq.held {
+                        push_edge(
+                            &mut edges,
+                            &mut seen,
+                            file,
+                            fi,
+                            &h.lock,
+                            &acq.lock,
+                            acq.line,
+                            None,
+                        );
+                    }
+                }
+                for call in &fun.calls {
+                    if call.held.is_empty() {
+                        continue;
+                    }
+                    let Some(callee_locks) = locksets.get(&call.callee) else {
+                        continue;
+                    };
+                    for h in &call.held {
+                        for l in callee_locks {
+                            push_edge(
+                                &mut edges,
+                                &mut seen,
+                                file,
+                                fi,
+                                &h.lock,
+                                l,
+                                call.line,
+                                Some(&call.callee),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Adjacency per crate over distinct (from → to) pairs.
+        let mut adj: HashMap<&str, BTreeMap<&str, BTreeSet<&str>>> = HashMap::new();
+        for e in &edges {
+            adj.entry(&e.krate)
+                .or_default()
+                .entry(&e.from)
+                .or_default()
+                .insert(&e.to);
+        }
+
+        let rank = |name: &str| order.iter().position(|o| o == name);
+        for e in &edges {
+            let file = &files[e.file];
+            if e.from == e.to {
+                // Direct re-acquires are double-lock's finding; only the
+                // call-mediated ones surface here.
+                if let Some(via) = &e.via {
+                    emit(
+                        file,
+                        ID,
+                        e.line,
+                        format!(
+                            "call to `{via}` re-acquires `{}` already held here — \
+                             std locks are not reentrant; this deadlocks",
+                            e.from,
+                        ),
+                        out,
+                    );
+                }
+                continue;
+            }
+            let via = e
+                .via
+                .as_ref()
+                .map(|v| format!(" (via call to `{v}`)"))
+                .unwrap_or_default();
+            if let (Some(rf), Some(rt)) = (rank(&e.from), rank(&e.to)) {
+                if rf > rt {
+                    emit(
+                        file,
+                        ID,
+                        e.line,
+                        format!(
+                            "`{}` acquired while `{}` is held{via} — declared order \
+                             in loki-lint.toml requires `{}` before `{}`",
+                            e.to, e.from, e.to, e.from,
+                        ),
+                        out,
+                    );
+                }
+                // Pairs the declared order covers are fully adjudicated
+                // by it; the cycle check is for undeclared locks.
+                continue;
+            }
+            if reaches(adj.get(e.krate.as_str()), &e.to, &e.from) {
+                emit(
+                    file,
+                    ID,
+                    e.line,
+                    format!(
+                        "`{}` acquired while `{}` is held{via}, but `{}` is also \
+                         acquired while `{}` is held elsewhere — acquisition cycle, \
+                         pick one order and declare it in loki-lint.toml",
+                        e.to, e.from, e.from, e.to,
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_edge(
+    edges: &mut Vec<Edge>,
+    seen: &mut HashSet<(String, String, String, usize, u32)>,
+    file: &SourceFile,
+    fi: usize,
+    from: &str,
+    to: &str,
+    line: u32,
+    via: Option<&str>,
+) {
+    if from == "<unknown>" || to == "<unknown>" {
+        return;
+    }
+    let key = (
+        file.crate_name.clone(),
+        from.to_string(),
+        to.to_string(),
+        fi,
+        line,
+    );
+    if !seen.insert(key) {
+        return;
+    }
+    edges.push(Edge {
+        krate: file.crate_name.clone(),
+        from: from.to_string(),
+        to: to.to_string(),
+        file: fi,
+        line,
+        via: via.map(str::to_string),
+    });
+}
+
+/// Per function name, every lock it acquires directly or through
+/// same-file calls (fixpoint). Duplicate names across impls merge
+/// conservatively.
+fn transitive_locksets(flows: &[FnFlow]) -> HashMap<String, BTreeSet<String>> {
+    let mut sets: HashMap<String, BTreeSet<String>> = HashMap::new();
+    for f in flows {
+        let entry = sets.entry(f.name.clone()).or_default();
+        entry.extend(
+            f.acquires
+                .iter()
+                .map(|a| a.lock.clone())
+                .filter(|l| l != "<unknown>"),
+        );
+    }
+    loop {
+        let mut changed = false;
+        for f in flows {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for c in &f.calls {
+                if c.callee == f.name {
+                    continue;
+                }
+                if let Some(callee_set) = sets.get(&c.callee) {
+                    add.extend(callee_set.iter().cloned());
+                }
+            }
+            if let Some(own) = sets.get_mut(&f.name) {
+                let before = own.len();
+                own.extend(add);
+                changed |= own.len() != before;
+            }
+        }
+        if !changed {
+            return sets;
+        }
+    }
+}
+
+/// Whether `to` is reachable from `from` in the crate's edge graph.
+fn reaches(
+    adj: Option<&BTreeMap<&str, BTreeSet<&str>>>,
+    from: &str,
+    to: &str,
+) -> bool {
+    let Some(adj) = adj else {
+        return false;
+    };
+    let mut stack = vec![from];
+    let mut visited: HashSet<&str> = HashSet::new();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !visited.insert(n) {
+            continue;
+        }
+        if let Some(next) = adj.get(n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}

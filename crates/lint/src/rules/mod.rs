@@ -5,7 +5,10 @@
 //! filters: test-only code is skipped, and `// lint:allow <rule-id>`
 //! directives (same line or the line above) suppress the finding.
 
+pub mod double_lock;
 pub mod float_eq_budget;
+pub mod guard_blocking;
+pub mod lock_order;
 pub mod panic_path;
 pub mod sensitive_egress;
 pub mod unchecked_budget_arith;
@@ -26,7 +29,19 @@ pub trait Rule {
     fn check(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>);
 }
 
-/// All registered rules, in diagnostic-output order.
+/// A rule that needs the whole workspace at once (cross-function,
+/// cross-file graphs). Findings still anchor to one file/line and flow
+/// through the same [`emit`] filters and baseline as per-file rules.
+pub trait WorkspaceRule {
+    /// Stable rule id.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Checks the full file set, appending findings to `out`.
+    fn check(&self, files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic>);
+}
+
+/// All registered per-file rules, in diagnostic-output order.
 pub fn registry() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(sensitive_egress::SensitiveEgress),
@@ -34,7 +49,14 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(float_eq_budget::FloatEqBudget),
         Box::new(panic_path::PanicPath),
         Box::new(unchecked_budget_arith::UncheckedBudgetArith),
+        Box::new(guard_blocking::GuardAcrossBlocking),
+        Box::new(double_lock::DoubleLock),
     ]
+}
+
+/// All registered workspace-level rules.
+pub fn workspace_registry() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![Box::new(lock_order::LockOrder)]
 }
 
 /// Appends a finding unless the line is test-only or explicitly allowed.

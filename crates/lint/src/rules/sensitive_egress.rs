@@ -15,16 +15,22 @@
 //!    derive `Serialize` or `Debug` — the two easiest accidental egress
 //!    channels (wire encoding and log output).
 //! 3. In the *raw-identity* files (the trace and ε-audit stores, which
-//!    are rendered verbatim over HTTP), no identifier may be named after
-//!    a person-level entity (`user`, `worker`, `respondent`, …). Those
-//!    stores key events by an opaque `subject_index`; an ident named
-//!    `user` there is one `format!` away from becoming an egress
-//!    channel, so the name itself is banned at the source.
+//!    are rendered verbatim over HTTP), identity-named values must not
+//!    reach an egress sink. This is a per-function taint pass over the
+//!    [`crate::flow`] walker: params/fields/locals named after a
+//!    person-level entity (`user`, `worker`, `respondent`, …) are taint
+//!    sources, taint propagates through assignment and method
+//!    receivers, and only taint reaching a format/serialize/log/trace/
+//!    audit call fires. Merely *naming* a local `user_id` to compute an
+//!    opaque index is fine — that was the false-positive class of the
+//!    earlier blanket ident ban.
 
 use crate::config::Config;
+use crate::flow;
 use crate::lexer::{Tok, TokKind};
 use crate::rules::{emit, Rule};
 use crate::source::SourceFile;
+use crate::tree;
 use crate::Diagnostic;
 
 /// See module docs.
@@ -59,7 +65,7 @@ const DEFAULT_ALLOWED_DERIVE: &[&str] = &["loki-survey", "loki-platform", "loki-
 const DEFAULT_RAW_IDENTITY_FILES: &[&str] =
     &["crates/obs/src/trace.rs", "crates/obs/src/audit.rs"];
 
-/// Person-level entity names banned as identifiers in those files
+/// Person-level entity names treated as taint sources in those files
 /// (exact ident-token match, so `subject_index` and doc comments pass).
 const DEFAULT_RAW_IDENTITY_IDENTS: &[&str] = &[
     "user",
@@ -69,6 +75,22 @@ const DEFAULT_RAW_IDENTITY_IDENTS: &[&str] = &[
     "worker_id",
     "respondent",
     "participant",
+];
+
+/// Callee-name substrings that count as egress sinks for the taint
+/// pass: string formatting, wire serialization and log/trace/audit
+/// emission.
+pub const DEFAULT_TAINT_SINKS: &[&str] = &[
+    "format",
+    "write_fmt",
+    "serialize",
+    "to_json",
+    "log",
+    "trace",
+    "audit",
+    "emit",
+    "print",
+    "record",
 ];
 
 impl Rule for SensitiveEgress {
@@ -98,26 +120,39 @@ impl Rule for SensitiveEgress {
             .iter()
             .any(|f| file.rel_path.starts_with(f.as_str()))
         {
-            let idents = cfg.list(ID, "raw_identity_idents", DEFAULT_RAW_IDENTITY_IDENTS);
-            check_raw_identity_idents(file, &idents, out);
+            let sources = cfg.list(ID, "raw_identity_idents", DEFAULT_RAW_IDENTITY_IDENTS);
+            let sinks = cfg.list(ID, "taint_sinks", DEFAULT_TAINT_SINKS);
+            check_identity_taint(file, &sources, &sinks, out);
         }
     }
 }
 
-/// Flags person-level entity names used as identifiers anywhere in a
-/// raw-identity file — locals, fields, parameters, all of it. These files
-/// must speak only in opaque indices.
-fn check_raw_identity_idents(file: &SourceFile, idents: &[String], out: &mut Vec<Diagnostic>) {
-    for t in &file.toks {
-        if t.kind == TokKind::Ident && idents.iter().any(|s| s == &t.text) {
+/// Flags identity-named values that reach an egress sink in a
+/// raw-identity file. These files are rendered verbatim over HTTP and
+/// must format/serialize subjects by opaque `subject_index` only.
+fn check_identity_taint(
+    file: &SourceFile,
+    sources: &[String],
+    sinks: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    let nodes = tree::build(&file.toks);
+    for fun in tree::functions(&nodes) {
+        for hit in flow::identity_taint(&fun, sources, sinks) {
+            let derived = hit
+                .origin
+                .as_ref()
+                .map(|o| format!(" (derived from `{o}`)"))
+                .unwrap_or_default();
             emit(
                 file,
                 ID,
-                t.line,
+                hit.line,
                 format!(
-                    "identifier `{}` in `{}` — the trace/audit stores are rendered \
-                     over HTTP and must key subjects by opaque `subject_index` only",
-                    t.text, file.rel_path
+                    "identity-tainted `{}`{derived} reaches sink `{}` in `{}` — \
+                     the trace/audit stores are rendered over HTTP and must emit \
+                     opaque `subject_index` values only",
+                    hit.ident, hit.sink, fun.name,
                 ),
                 out,
             );

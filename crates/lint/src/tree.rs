@@ -1,0 +1,374 @@
+//! Token-tree parser: delimiter nesting and item boundaries.
+//!
+//! The lexical rules match flat token patterns; the structural rules
+//! (lock discipline, identity taint) need to know *where scopes begin and
+//! end*. This module builds the minimal structure for that on top of
+//! [`crate::lexer`]: a tree of brace/paren/bracket groups, plus an item
+//! scanner that finds `fn` bodies (descending through `mod`/`impl`
+//! blocks).
+//!
+//! Robustness contract: the parser never fails. Unbalanced input degrades
+//! — a close delimiter with no matching open becomes a leaf token, an open
+//! with no close produces a group marked `balanced: false` that runs to
+//! end of input — and the structural passes skip analysis inside
+//! unbalanced groups ("no findings in that item", never a panic and never
+//! a finding hallucinated from a half-parsed scope).
+
+use crate::lexer::{Tok, TokKind};
+
+/// A delimiter class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `{ … }`
+    Brace,
+    /// `( … )`
+    Paren,
+    /// `[ … ]`
+    Bracket,
+}
+
+impl Delim {
+    fn open(op: &str) -> Option<Delim> {
+        match op {
+            "{" => Some(Delim::Brace),
+            "(" => Some(Delim::Paren),
+            "[" => Some(Delim::Bracket),
+            _ => None,
+        }
+    }
+
+    fn closes(self, op: &str) -> bool {
+        matches!(
+            (self, op),
+            (Delim::Brace, "}") | (Delim::Paren, ")") | (Delim::Bracket, "]")
+        )
+    }
+
+    fn is_close(op: &str) -> bool {
+        matches!(op, "}" | ")" | "]")
+    }
+}
+
+/// One node of the token tree.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A non-delimiter token.
+    Tok(Tok),
+    /// A delimited group.
+    Group(Group),
+}
+
+impl Node {
+    /// The leaf token, if this node is one.
+    pub fn tok(&self) -> Option<&Tok> {
+        match self {
+            Node::Tok(t) => Some(t),
+            Node::Group(_) => None,
+        }
+    }
+
+    /// The group, if this node is one.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Node::Tok(_) => None,
+            Node::Group(g) => Some(g),
+        }
+    }
+
+    /// Whether this node is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.tok().is_some_and(|t| t.is_ident(s))
+    }
+
+    /// Whether this node is the operator `s`.
+    pub fn is_op(&self, s: &str) -> bool {
+        self.tok().is_some_and(|t| t.is_op(s))
+    }
+
+    /// The source line this node starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Node::Tok(t) => t.line,
+            Node::Group(g) => g.open_line,
+        }
+    }
+}
+
+/// A delimited group of nodes.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Delimiter class.
+    pub delim: Delim,
+    /// Line of the opening delimiter.
+    pub open_line: u32,
+    /// Line of the closing delimiter (last token's line when unclosed).
+    pub close_line: u32,
+    /// Child nodes in source order.
+    pub nodes: Vec<Node>,
+    /// `false` when the close delimiter was missing (ran to end of input
+    /// or was cut short by an outer close). Analysis must not trust the
+    /// scope structure inside an unbalanced group.
+    pub balanced: bool,
+}
+
+impl Group {
+    /// Whether this group or any nested group is unbalanced.
+    pub fn deeply_balanced(&self) -> bool {
+        self.balanced
+            && self
+                .nodes
+                .iter()
+                .all(|n| n.group().is_none_or(Group::deeply_balanced))
+    }
+}
+
+/// Parses a token stream into top-level nodes. Never fails; see the
+/// module docs for the degradation rules.
+pub fn build(toks: &[Tok]) -> Vec<Node> {
+    let mut pos = 0usize;
+    let mut top = Vec::new();
+    while pos < toks.len() {
+        let (node, next) = parse_node(toks, pos);
+        // A stray close delimiter at top level becomes a leaf.
+        top.push(node);
+        pos = next;
+    }
+    top
+}
+
+/// Parses one node starting at `pos`; returns it and the next position.
+fn parse_node(toks: &[Tok], pos: usize) -> (Node, usize) {
+    let t = &toks[pos];
+    let Some(delim) = (t.kind == TokKind::Op)
+        .then(|| Delim::open(&t.text))
+        .flatten()
+    else {
+        return (Node::Tok(t.clone()), pos + 1);
+    };
+    let mut nodes = Vec::new();
+    let mut i = pos + 1;
+    while i < toks.len() {
+        let c = &toks[i];
+        if c.kind == TokKind::Op && Delim::is_close(&c.text) {
+            if delim.closes(&c.text) {
+                return (
+                    Node::Group(Group {
+                        delim,
+                        open_line: t.line,
+                        close_line: c.line,
+                        nodes,
+                        balanced: true,
+                    }),
+                    i + 1,
+                );
+            }
+            // A close that belongs to an outer group: stop here without
+            // consuming it, marking this group unbalanced.
+            break;
+        }
+        let (node, next) = parse_node(toks, i);
+        nodes.push(node);
+        i = next;
+    }
+    let close_line = toks.get(i.min(toks.len().saturating_sub(1))).map_or(t.line, |c| c.line);
+    (
+        Node::Group(Group {
+            delim,
+            open_line: t.line,
+            close_line,
+            nodes,
+            balanced: false,
+        }),
+        i,
+    )
+}
+
+/// One `fn` item found in the tree.
+#[derive(Debug)]
+pub struct FnItem<'a> {
+    /// Function name (raw identifiers keep their `r#` spelling).
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// The parameter list `( … )`, when present and well-formed.
+    pub params: Option<&'a Group>,
+    /// The body `{ … }`.
+    pub body: &'a Group,
+}
+
+impl FnItem<'_> {
+    /// Whether the body (including every nested group) parsed cleanly —
+    /// the precondition for running structural analysis on it.
+    pub fn analyzable(&self) -> bool {
+        self.body.deeply_balanced()
+    }
+}
+
+/// Collects every `fn` item with a body, descending through nested brace
+/// groups (`mod`/`impl` bodies, and function bodies for nested fns).
+pub fn functions<'a>(nodes: &'a [Node]) -> Vec<FnItem<'a>> {
+    let mut out = Vec::new();
+    collect_fns(nodes, &mut out);
+    out
+}
+
+fn collect_fns<'a>(nodes: &'a [Node], out: &mut Vec<FnItem<'a>>) {
+    let mut i = 0usize;
+    while i < nodes.len() {
+        if nodes[i].is_ident("fn") {
+            if let Some((item, next)) = match_fn(nodes, i) {
+                collect_fns(&item.body.nodes, out);
+                out.push(item);
+                i = next;
+                continue;
+            }
+        }
+        if let Some(g) = nodes[i].group() {
+            collect_fns(&g.nodes, out);
+        }
+        i += 1;
+    }
+}
+
+/// Matches `fn NAME … ( … ) … { … }` starting at the `fn` keyword.
+/// Returns the item and the index just past its body. `fn` pointer types
+/// (`fn(u8) -> u8`, no name) and bodiless trait methods (`fn f();`) do
+/// not match.
+fn match_fn<'a>(nodes: &'a [Node], at: usize) -> Option<(FnItem<'a>, usize)> {
+    let name_node = nodes.get(at + 1)?;
+    let name = name_node.tok().filter(|t| t.kind == TokKind::Ident)?;
+    let line = nodes[at].line();
+    // Scan forward for the parameter parens and then the body brace at
+    // this nesting level, giving up at a `;` (trait method declaration)
+    // or at another `fn` (we mis-guessed; resync there).
+    let mut params = None;
+    let mut j = at + 2;
+    while let Some(n) = nodes.get(j) {
+        if n.is_op(";") || n.is_ident("fn") {
+            return None;
+        }
+        match n.group() {
+            Some(g) if g.delim == Delim::Paren && params.is_none() => params = Some(g),
+            Some(g) if g.delim == Delim::Brace => {
+                // A brace before the params is not a fn body (e.g. a
+                // const generic default — give up rather than misparse).
+                params.as_ref()?;
+                return Some((
+                    FnItem {
+                        name: name.text.clone(),
+                        line,
+                        params,
+                        body: g,
+                    },
+                    j + 1,
+                ));
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Node> {
+        build(&lex(src).toks)
+    }
+
+    #[test]
+    fn nests_groups() {
+        let nodes = parse("fn f(a: u8) { if a > 0 { g(a); } }");
+        let fns = functions(&nodes);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "f");
+        assert!(fns[0].analyzable());
+        assert_eq!(fns[0].params.unwrap().delim, Delim::Paren);
+        // The body contains a nested brace group for the if.
+        assert!(fns[0]
+            .body
+            .nodes
+            .iter()
+            .any(|n| n.group().is_some_and(|g| g.delim == Delim::Brace)));
+    }
+
+    #[test]
+    fn finds_fns_in_impl_and_mod() {
+        let nodes = parse(
+            "mod m { impl Foo { fn a(&self) {} pub fn b() {} } fn c() {} }\nfn d() {}",
+        );
+        let mut names: Vec<String> = functions(&nodes).into_iter().map(|f| f.name).collect();
+        names.sort();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn nested_fn_and_closures() {
+        let nodes = parse("fn outer() { let c = |x: u8| { x + 1 }; fn inner() {} }");
+        let mut names: Vec<String> = functions(&nodes).into_iter().map(|f| f.name).collect();
+        names.sort();
+        assert_eq!(names, ["inner", "outer"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_and_trait_decls_are_not_items() {
+        let nodes = parse("trait T { fn m(&self); } type F = fn(u8) -> u8;");
+        assert!(functions(&nodes).is_empty());
+        // With a provided method the item is found.
+        let nodes = parse("trait T { fn m(&self) { self.n() } }");
+        assert_eq!(functions(&nodes).len(), 1);
+    }
+
+    #[test]
+    fn where_clause_and_generics() {
+        let nodes = parse("fn f<T: Clone>(x: T) -> Vec<T> where T: Send { vec![x] }");
+        let fns = functions(&nodes);
+        assert_eq!(fns.len(), 1);
+        assert!(fns[0].params.is_some());
+    }
+
+    #[test]
+    fn unbalanced_open_degrades() {
+        let nodes = parse("fn f() { let a = 1; ");
+        let fns = functions(&nodes);
+        assert_eq!(fns.len(), 1);
+        assert!(!fns[0].analyzable(), "unclosed body must not be analyzable");
+    }
+
+    #[test]
+    fn stray_close_is_a_leaf() {
+        let nodes = parse("} fn f() {}");
+        assert!(nodes[0].is_op("}"));
+        assert_eq!(functions(&nodes).len(), 1);
+    }
+
+    #[test]
+    fn mismatched_close_stops_inner_group() {
+        // The `)` closes nothing; the brace group containing it becomes
+        // unbalanced but the outer structure survives.
+        let nodes = parse("fn f() { ( } fn g() {}");
+        let fns = functions(&nodes);
+        assert!(fns.iter().any(|f| f.name == "g" && f.analyzable()));
+        let f = fns.iter().find(|f| f.name == "f");
+        assert!(f.is_none_or(|f| !f.analyzable()));
+    }
+
+    #[test]
+    fn braces_inside_strings_and_macros_do_not_nest() {
+        let nodes = parse(r#"fn f() { let s = "{ not a scope }"; m!({ inner }); }"#);
+        let fns = functions(&nodes);
+        assert_eq!(fns.len(), 1);
+        assert!(fns[0].analyzable());
+    }
+
+    #[test]
+    fn byte_char_brace_stays_opaque() {
+        let nodes = parse("fn f() { let b = b'{'; }");
+        let fns = functions(&nodes);
+        assert_eq!(fns.len(), 1);
+        assert!(fns[0].analyzable());
+    }
+}

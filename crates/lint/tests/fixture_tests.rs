@@ -125,11 +125,15 @@ fn fixtures_cover_every_rule() {
         .into_iter()
         .flat_map(|f| f.expected.into_values().flatten())
         .collect();
-    for rule in loki_lint::rules::registry() {
+    let ids: Vec<&'static str> = loki_lint::rules::registry()
+        .iter()
+        .map(|r| r.id())
+        .chain(loki_lint::rules::workspace_registry().iter().map(|r| r.id()))
+        .collect();
+    for id in ids {
         assert!(
-            covered.iter().any(|c| c == rule.id()),
-            "rule `{}` has no positive fixture coverage",
-            rule.id()
+            covered.iter().any(|c| c == id),
+            "rule `{id}` has no positive fixture coverage"
         );
     }
 }

@@ -1,0 +1,42 @@
+//@crate: loki-server
+//@path: crates/server/src/store_relock_fixture.rs
+// double-lock: re-acquiring a lock already held on the same path —
+// std locks are not reentrant. `.lock()` without `.unwrap()` keeps
+// panic-path out of this fixture.
+
+impl State {
+    pub fn relock(&self) {
+        let first = self.submissions.lock();
+        let second = self.submissions.lock(); //~ double-lock
+    }
+
+    // A second `.read()` can deadlock behind a queued writer.
+    pub fn double_read(&self) {
+        let one = self.user_indices.read();
+        let two = self.user_indices.read(); //~ double-lock
+    }
+
+    // Different locks in declared order: fine.
+    pub fn two_locks(&self) {
+        let surveys = self.surveys.lock();
+        let submissions = self.submissions.lock();
+    }
+
+    // Re-acquiring after an explicit drop: fine.
+    pub fn relock_after_drop(&self) {
+        let guard = self.journal.lock();
+        drop(guard);
+        let again = self.journal.lock();
+    }
+
+    // Sibling branches each acquire once: fine.
+    pub fn branches(&self, cond: bool) {
+        if cond {
+            let a = self.journal.lock();
+            a.push(1);
+        } else {
+            let b = self.journal.lock();
+            b.push(2);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//@crate: loki-obs
+//@path: crates/obs/src/audit.rs
+// Raw-identity file: the ε-audit stream is rendered verbatim over HTTP.
+// Identity-named values are taint sources; a finding needs the taint to
+// *reach a sink* (format/serialize/log/trace/audit). Merely naming a
+// local after a person-level entity is fine — that was the
+// false-positive class of the old blanket ident ban.
+
+pub struct AuditEvent {
+    pub subject_index: u64,
+}
+
+// Identity-named param used only to derive the opaque index: clean now
+// (fired under the pre-taint ident ban).
+pub fn subject_for(user_id: &str) -> u64 {
+    let key = stable_hash(user_id);
+    key % 1024
+}
+
+// Tainted param reaching a format sink fires.
+pub fn render_line(user_id: &str, epsilon: f64) -> String {
+    format!("spent {} by {}", epsilon, user_id) //~ sensitive-egress
+}
+
+// Taint propagates through assignment…
+pub fn log_alias(worker: &str) {
+    let who = worker;
+    log_event(who); //~ sensitive-egress
+}
+
+// …and through method receivers.
+pub fn buffered(respondent: &str) {
+    let mut line = String::new();
+    line.push_str(respondent);
+    emit_trace(&line); //~ sensitive-egress
+}
+
+// The opaque index is what the stores are supposed to emit: clean.
+pub fn render_event(subject_index: u64, epsilon: f64) -> String {
+    format!("spent {} by subject {}", epsilon, subject_index)
+}
+
+// An identity value that never reaches a sink: clean.
+pub fn count_only(participant: &str) -> usize {
+    participant.len()
+}

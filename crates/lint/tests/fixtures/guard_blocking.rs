@@ -1,0 +1,52 @@
+//@crate: loki-server
+//@path: crates/server/src/wal_blocking_fixture.rs
+// guard-across-blocking: no lock guard may be live across fsync/channel
+// send/recv/join. `.lock()` without `.unwrap()` keeps panic-path out of
+// this fixture.
+
+impl Writer {
+    // Guard live across fsync: the critical section contains disk I/O.
+    pub fn bad_sync(&self) {
+        let journal = self.journal.lock();
+        self.file.sync_all(); //~ guard-across-blocking
+    }
+
+    // Closing the scope before the fsync is the fix.
+    pub fn good_sync(&self) {
+        {
+            let journal = self.journal.lock();
+            journal.push(1);
+        }
+        self.file.sync_all();
+    }
+
+    // An explicit drop also ends guard liveness.
+    pub fn good_drop(&self) {
+        let state = self.state.lock();
+        drop(state);
+        self.tx.send(1);
+    }
+
+    // A channel send inside a critical section blocks on the peer.
+    pub fn bad_send(&self) {
+        let state = self.state.lock();
+        self.tx.send(2); //~ guard-across-blocking
+    }
+
+    // A temporary guard in the same statement still covers the call.
+    pub fn bad_inline(&self) {
+        self.journal.lock().write_all(b"x"); //~ guard-across-blocking
+    }
+
+    // Joining a thread while holding a lock it may need: deadlock.
+    pub fn bad_join(&self, handle: JoinHandle) {
+        let registry = self.registry.lock();
+        handle.join(); //~ guard-across-blocking
+    }
+
+    // Blocking calls with no guard live are fine.
+    pub fn good_plain(&self) {
+        self.file.sync_all();
+        self.tx.send(3);
+    }
+}

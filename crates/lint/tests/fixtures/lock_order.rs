@@ -1,0 +1,67 @@
+//@crate: loki-server
+//@path: crates/server/src/store_order_fixture.rs
+// lock-order: the acquired-while-held graph must respect the declared
+// order (publish_lock < … < journal < crash_hooks) and stay acyclic.
+// `.lock()` without `.unwrap()` keeps panic-path out of this fixture.
+
+impl Store {
+    // Declared order respected: publish_lock, then surveys, then journal.
+    pub fn publish(&self) {
+        let guard = self.publish_lock.lock();
+        let surveys = self.surveys.lock();
+        self.journal.lock();
+    }
+
+    // Direct inversion: surveys is declared *before* journal.
+    pub fn inverted(&self) {
+        let journal = self.journal.lock();
+        let surveys = self.surveys.lock(); //~ lock-order
+    }
+
+    // Dropping the first guard removes the edge entirely.
+    pub fn sequential(&self) {
+        let journal = self.journal.lock();
+        drop(journal);
+        let surveys = self.surveys.lock();
+    }
+
+    fn takes_journal(&self) {
+        self.journal.lock();
+    }
+
+    // Same-file interprocedural: calling takes_journal while holding
+    // publish_lock is fine (publish_lock < journal)…
+    pub fn chained_ok(&self) {
+        let guard = self.publish_lock.lock();
+        self.takes_journal();
+    }
+
+    // …but holding crash_hooks (declared last) is an inversion.
+    pub fn chained_inverted(&self) {
+        let hooks = self.crash_hooks.lock();
+        self.takes_journal(); //~ lock-order
+    }
+
+    // Locks outside the declared order are still checked for cycles:
+    // alpha→beta here, beta→alpha below — both directions flagged.
+    pub fn alpha_then_beta(&self) {
+        let alpha = self.alpha.lock();
+        let beta = self.beta.lock(); //~ lock-order
+    }
+
+    pub fn beta_then_alpha(&self) {
+        let beta = self.beta.lock();
+        let alpha = self.alpha.lock(); //~ lock-order
+    }
+
+    fn locks_gamma(&self) {
+        let gamma = self.gamma.lock();
+        self.counter.bump();
+    }
+
+    // Re-acquiring a held lock through a call chain: self-cycle.
+    pub fn relock_via_call(&self) {
+        let gamma = self.gamma.lock();
+        self.locks_gamma(); //~ lock-order
+    }
+}

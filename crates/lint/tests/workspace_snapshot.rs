@@ -87,6 +87,11 @@ fn committed_config_pins_rule_scopes() {
             .any(|t| t == "WorkerId"),
         "the stable worker identity must stay in the sensitive set"
     );
+    assert_eq!(
+        scope("sensitive-egress", "taint_sinks"),
+        loki_lint::rules::sensitive_egress::DEFAULT_TAINT_SINKS,
+        "committed taint sinks must match the compiled defaults the fixtures use"
+    );
     assert_eq!(scope("unseeded-rng", "crates"), ["loki-dp"]);
     assert_eq!(scope("panic-path", "crates"), ["loki-net", "loki-server"]);
     assert_eq!(scope("float-eq-budget", "crates"), ["loki-dp"]);
@@ -94,4 +99,22 @@ fn committed_config_pins_rule_scopes() {
         scope("unchecked-budget-arith", "files"),
         ["crates/core/src/ledger.rs", "crates/dp/src/accountant.rs"]
     );
+
+    // Concurrency family: the declared lock order adjudicates every pair
+    // the store's acquired-while-held graph can produce, and must match
+    // both the compiled defaults and the doc comment on `AppState` in
+    // crates/server/src/store.rs.
+    assert_eq!(scope("lock-order", "crates"), ["loki-server"]);
+    assert_eq!(
+        scope("lock-order", "order"),
+        loki_lint::rules::lock_order::DEFAULT_ORDER,
+        "committed lock order must match the compiled defaults the fixtures use"
+    );
+    assert_eq!(scope("guard-across-blocking", "crates"), ["loki-server"]);
+    assert_eq!(
+        scope("guard-across-blocking", "blocking"),
+        loki_lint::rules::guard_blocking::DEFAULT_BLOCKING,
+        "committed blocking set must match the compiled defaults the fixtures use"
+    );
+    assert_eq!(scope("double-lock", "crates"), ["loki-server"]);
 }

@@ -158,7 +158,34 @@ fn level_name(level: PrivacyLevel) -> &'static str {
     }
 }
 
+/// Soft cap on the per-user commit-lock map: reaching it triggers a
+/// garbage-collection sweep of idle entries before the next insert (see
+/// [`AppState::user_commit_lock`]).
+const USER_LOCKS_GC_THRESHOLD: usize = 1024;
+
 /// The server's whole mutable state.
+///
+/// # Canonical lock order
+///
+/// Every path that holds more than one of these locks acquires them in
+/// this order (earlier may be held while taking later, never the
+/// reverse):
+///
+/// 1. `publish_lock`
+/// 2. `user_locks` (the map mutex)
+/// 3. `user_commit_lock` (a per-user entry *from* that map)
+/// 4. `surveys`
+/// 5. `submissions`
+/// 6. `epsilon_budget`
+/// 7. `user_indices`
+/// 8. `journal`
+/// 9. `crash_hooks`
+///
+/// The order is machine-checked: `loki-lint.toml` declares the same
+/// sequence under `[rules.lock-order]`, and the `lock-order` pass
+/// rebuilds the acquired-while-held graph from source on every CI run.
+/// Deliberate exceptions would carry a `// lint:allow lock-order`
+/// comment; there are currently none.
 #[derive(Debug)]
 pub struct AppState {
     surveys: RwLock<BTreeMap<SurveyId, Survey>>,
@@ -181,7 +208,10 @@ pub struct AppState {
     /// Per-user commit locks: the ε-budget check, the duplicate check,
     /// the journal append and the accountant charge for one user happen
     /// under that user's lock, making check+charge atomic without
-    /// serializing unrelated users.
+    /// serializing unrelated users. Bounded: once the map reaches
+    /// [`USER_LOCKS_GC_THRESHOLD`], entries whose `Arc` strong count is
+    /// 1 (no in-flight commit holds a clone) are garbage-collected
+    /// before the next insert.
     user_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     /// Server-side mirror of cumulative privacy loss per user.
     pub accountant: Accountant,
@@ -381,16 +411,33 @@ impl AppState {
     }
 
     /// This user's commit lock, created on first use.
+    ///
+    /// The map would otherwise grow by one entry per distinct user id
+    /// forever (an unauthenticated-request memory leak): before
+    /// inserting a new entry into a map at [`USER_LOCKS_GC_THRESHOLD`]
+    /// or above, idle entries — `Arc` strong count 1, i.e. the map
+    /// holds the only reference, so no commit is in flight — are
+    /// dropped. A dropped user simply gets a fresh lock next time; the
+    /// per-user atomicity only needs the lock to be unique *while
+    /// referenced*, which the strong-count test guarantees. Live size
+    /// is therefore at most `threshold + concurrent in-flight commits`.
     fn user_commit_lock(&self, user: &str) -> Arc<Mutex<()>> {
         let mut locks = self.user_locks.lock();
-        match locks.get(user) {
-            Some(lock) => Arc::clone(lock),
-            None => {
-                let lock = Arc::new(Mutex::new(()));
-                locks.insert(user.to_string(), Arc::clone(&lock));
-                lock
-            }
+        if let Some(lock) = locks.get(user) {
+            return Arc::clone(lock);
         }
+        if locks.len() >= USER_LOCKS_GC_THRESHOLD {
+            locks.retain(|_, lock| Arc::strong_count(lock) > 1);
+        }
+        let lock = Arc::new(Mutex::new(()));
+        locks.insert(user.to_string(), Arc::clone(&lock));
+        lock
+    }
+
+    /// Number of per-user commit-lock entries currently held (ops/test
+    /// visibility for the boundedness contract above).
+    pub fn user_locks_len(&self) -> usize {
+        self.user_locks.lock().len()
     }
 
     /// Journals a survey publication (durable before return); no-op
@@ -883,6 +930,41 @@ mod tests {
         for sub in &subs {
             assert!(s.has_submitted(SurveyId(1), &sub.user));
         }
+    }
+
+    #[test]
+    fn user_locks_map_stays_bounded() {
+        let s = AppState::new();
+        // A clone held across sweeps (an in-flight commit) must survive.
+        let pinned = s.user_commit_lock("pinned");
+        for i in 0..(3 * USER_LOCKS_GC_THRESHOLD) {
+            let lock = s.user_commit_lock(&format!("u{i}"));
+            drop(lock); // commit finished: the map holds the only reference
+        }
+        assert!(
+            s.user_locks_len() <= USER_LOCKS_GC_THRESHOLD,
+            "user_locks grew past the GC threshold: {} entries",
+            s.user_locks_len()
+        );
+        assert!(
+            Arc::ptr_eq(&pinned, &s.user_commit_lock("pinned")),
+            "an entry with a live reference must never be collected"
+        );
+    }
+
+    #[test]
+    fn commit_releases_user_lock_reference() {
+        let s = AppState::new();
+        s.add_survey(survey()).unwrap();
+        s.submit("u1", PrivacyLevel::Low, obfuscated_response("u1", 4.0), &[])
+            .unwrap();
+        let locks = s.user_locks.lock();
+        let entry = locks.get("u1").expect("entry exists after a commit");
+        assert_eq!(
+            Arc::strong_count(entry),
+            1,
+            "a finished commit must not pin its lock entry (GC relies on this)"
+        );
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! SHARD-1 — submit throughput scaling across store shard counts.
+//!
+//! The pre-shard store serialized every submission behind process-wide
+//! locks: one `submissions` map, one `user_locks` registry, so adding
+//! submitter threads bought nothing. The sharded store routes each
+//! survey to its own shard (maps + locks + WAL lane), so submissions to
+//! unrelated surveys never touch the same lock. This bench measures
+//! exactly that effect: 8 submitter threads, each hammering its *own*
+//! survey (chosen so the 8 surveys land on 8 distinct shards at the top
+//! of the sweep), against in-memory stores built with 1 → 8 shards.
+//! No journal is attached — the point is lock contention, not fsync
+//! amortization (that is GC-1's axis).
+//!
+//! Reports aggregate submits/s per shard count and the 8-shard vs
+//! 1-shard speedup, and writes the machine-readable result to
+//! `BENCH_SHARD1.json` (the repo's first tracked perf trajectory; CI
+//! uploads it as an artifact). The acceptance bar is **≥3×** at 8 shards
+//! vs 1 on an 8-way host; override with `LOKI_SHARD1_MIN` (e.g. on a
+//! 2-core runner where 8 threads cannot physically scale).
+
+use loki_bench::{banner, f, n, Table};
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::accountant::ReleaseKind;
+use loki_server::store::AppState;
+use loki_survey::question::{Answer, QuestionKind};
+use loki_survey::response::Response;
+use loki_survey::survey::{Survey, SurveyBuilder, SurveyId};
+use loki_survey::QuestionId;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const THREADS: usize = 8;
+const SUBMITS_PER_THREAD: usize = 1024;
+const TRIALS: usize = 5;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn survey(id: u64) -> Survey {
+    let mut b = SurveyBuilder::new(SurveyId(id), format!("bench-{id}"));
+    b.question("rate", QuestionKind::likert5(), false);
+    b.build().expect("static survey")
+}
+
+fn releases(id: u64) -> Vec<(String, ReleaseKind)> {
+    vec![(
+        format!("survey-{id}/q0"),
+        ReleaseKind::Gaussian {
+            sigma: 1.0,
+            sensitivity: 4.0,
+        },
+    )]
+}
+
+/// Picks `THREADS` survey ids that land on pairwise-distinct shards at
+/// the top of the sweep, so "disjoint surveys" also means disjoint
+/// shards there — the sweep then measures lock contention, not hash
+/// collisions. Deterministic: the routing hash is fixed.
+fn disjoint_survey_ids() -> Vec<u64> {
+    let max = *SHARD_COUNTS.iter().max().expect("non-empty sweep");
+    let probe = AppState::with_shards(max);
+    let mut seen = vec![false; max];
+    let mut ids = Vec::with_capacity(THREADS);
+    let mut id = 1u64;
+    while ids.len() < THREADS {
+        let shard = probe.shard_of_survey(SurveyId(id));
+        if !seen[shard] {
+            seen[shard] = true;
+            ids.push(id);
+        }
+        id += 1;
+    }
+    ids
+}
+
+/// One trial: a fresh in-memory state with `shards` shards, 8 threads
+/// each submitting `SUBMITS_PER_THREAD` distinct users to its own
+/// survey. Returns the wall time of the submit storm (payloads are
+/// pre-built outside the timed section).
+fn run_trial(shards: usize, ids: &[u64]) -> Duration {
+    let state = Arc::new(AppState::with_shards(shards));
+    for &id in ids {
+        state.add_survey(survey(id)).expect("bench survey");
+    }
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let state = Arc::clone(&state);
+            let barrier = Arc::clone(&barrier);
+            let id = ids[t];
+            let rel = releases(id);
+            std::thread::spawn(move || {
+                let batch: Vec<(String, Response)> = (0..SUBMITS_PER_THREAD)
+                    .map(|i| {
+                        let user = format!("t{t}-u{i}");
+                        let mut r = Response::new(user.clone(), SurveyId(id));
+                        r.answer(QuestionId(0), Answer::Obfuscated(4.0));
+                        (user, r)
+                    })
+                    .collect();
+                barrier.wait();
+                for (user, r) in batch {
+                    state
+                        .submit(&user, PrivacyLevel::Medium, r, &rel)
+                        .expect("bench submission");
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("bench thread");
+    }
+    start.elapsed()
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    banner(
+        "SHARD-1",
+        "submit throughput vs store shard count, 8 submitter threads",
+        "disjoint surveys must not contend (>=3x aggregate at 8 shards)",
+    );
+    let ids = disjoint_survey_ids();
+    println!(
+        "surveys: {ids:?} (distinct shards at {} shards)",
+        SHARD_COUNTS[SHARD_COUNTS.len() - 1]
+    );
+
+    // Interleave shard counts within each trial so no variant owns the
+    // warmer half of the run.
+    let mut walls: Vec<Vec<Duration>> = vec![Vec::with_capacity(TRIALS); SHARD_COUNTS.len()];
+    for _trial in 0..TRIALS {
+        for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
+            walls[i].push(run_trial(shards, &ids));
+        }
+    }
+
+    let total = (THREADS * SUBMITS_PER_THREAD) as f64;
+    let mut rates = Vec::with_capacity(SHARD_COUNTS.len());
+    let mut t = Table::new(&["shards", "submits", "median wall ms", "submits/s"]);
+    for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
+        let wall = median(&mut walls[i]);
+        let rate = total / wall.as_secs_f64();
+        t.row(&[
+            n(shards),
+            n(THREADS * SUBMITS_PER_THREAD),
+            f(wall.as_secs_f64() * 1e3),
+            f(rate),
+        ]);
+        rates.push((shards, wall, rate));
+    }
+    println!("{}", t.render());
+
+    let base = rates[0].2;
+    let top = rates[rates.len() - 1].2;
+    let speedup = top / base;
+    println!("SHARD-1 speedup at {THREADS} threads, 8 vs 1 shards: {speedup:.2}x");
+
+    let bar: f64 = std::env::var("LOKI_SHARD1_MIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let pass = speedup >= bar;
+
+    let results: Vec<serde_json::Value> = rates
+        .iter()
+        .map(|(shards, wall, rate)| {
+            serde_json::json!({
+                "shards": shards,
+                "median_wall_ms": wall.as_secs_f64() * 1e3,
+                "submits_per_sec": rate,
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "bench": "SHARD-1",
+        "threads": THREADS,
+        "submits_per_thread": SUBMITS_PER_THREAD,
+        "trials": TRIALS,
+        "survey_ids": ids,
+        "results": results,
+        "speedup_top_vs_one": speedup,
+        "min_required": bar,
+        "pass": pass,
+    });
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_SHARD1.json", json).expect("write BENCH_SHARD1.json");
+    println!("wrote BENCH_SHARD1.json");
+
+    if pass {
+        println!("PASS: >= {bar:.1}x");
+    } else {
+        println!("FAIL: below the {bar:.1}x bar");
+        std::process::exit(1);
+    }
+}

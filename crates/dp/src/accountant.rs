@@ -156,10 +156,40 @@ impl UserLedger {
     }
 }
 
+/// Number of internal ledger shards. Fixed (not tied to the server's
+/// store shard count) so the accountant's concurrency is independent of
+/// how the caller partitions surveys; must be a power of two only by
+/// convention, the router uses `%` and works for any positive count.
+const LEDGER_SHARDS: usize = 16;
+
+/// FNV-1a 64-bit over the user id. Deterministic across processes —
+/// unlike `std::collections::hash_map::RandomState` — so shard routing
+/// is stable across restart and replay.
+fn user_shard(user: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in user.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % LEDGER_SHARDS as u64) as usize
+}
+
 /// Thread-safe platform-wide accountant: one ledger per user.
-#[derive(Debug, Default)]
+///
+/// Internally sharded by `fnv1a(user) % LEDGER_SHARDS` so concurrent
+/// `record` calls for unrelated users never contend on one lock; every
+/// public method presents the same single-map semantics as before.
+#[derive(Debug)]
 pub struct Accountant {
-    ledgers: RwLock<HashMap<String, UserLedger>>,
+    shards: Vec<RwLock<HashMap<String, UserLedger>>>,
+}
+
+impl Default for Accountant {
+    fn default() -> Self {
+        Accountant {
+            shards: (0..LEDGER_SHARDS).map(|_| RwLock::default()).collect(),
+        }
+    }
 }
 
 impl Accountant {
@@ -168,9 +198,13 @@ impl Accountant {
         Accountant::default()
     }
 
+    fn shard_for(&self, user: &str) -> &RwLock<HashMap<String, UserLedger>> {
+        &self.shards[user_shard(user)]
+    }
+
     /// Records a release for a user, creating the ledger on first use.
     pub fn record(&self, user: &str, tag: impl Into<String>, kind: ReleaseKind) {
-        self.ledgers
+        self.shard_for(user)
             .write()
             .entry(user.to_owned())
             .or_default()
@@ -179,7 +213,7 @@ impl Accountant {
 
     /// The tight cumulative loss of one user (zero if unknown).
     pub fn loss_of(&self, user: &str, delta: Delta) -> PrivacyLoss {
-        self.ledgers
+        self.shard_for(user)
             .read()
             .get(user)
             .map(|l| l.tight_loss(delta))
@@ -188,35 +222,66 @@ impl Accountant {
 
     /// Number of releases recorded for one user.
     pub fn releases_of(&self, user: &str) -> usize {
-        self.ledgers.read().get(user).map_or(0, UserLedger::len)
+        self.shard_for(user).read().get(user).map_or(0, UserLedger::len)
     }
 
     /// Snapshot of one user's ledger.
     pub fn ledger_of(&self, user: &str) -> Option<UserLedger> {
-        self.ledgers.read().get(user).cloned()
+        self.shard_for(user).read().get(user).cloned()
     }
 
     /// Number of users with a ledger.
     pub fn user_count(&self) -> usize {
-        self.ledgers.read().len()
+        let mut total = 0usize;
+        for shard in &self.shards {
+            total = total.saturating_add(shard.read().len());
+        }
+        total
+    }
+
+    /// Counts users per caller-defined bucket (e.g. the server's store
+    /// shards) by walking ledger keys only — no loss computation. The
+    /// returned vector has `buckets` entries; `bucket_of` values outside
+    /// the range are ignored.
+    pub fn count_users_by<F: Fn(&str) -> usize>(&self, buckets: usize, bucket_of: F) -> Vec<usize> {
+        let mut counts = vec![0usize; buckets];
+        for shard in &self.shards {
+            for user in shard.read().keys() {
+                let b = bucket_of(user);
+                if let Some(c) = counts.get_mut(b) {
+                    *c = c.saturating_add(1);
+                }
+            }
+        }
+        counts
     }
 
     /// Cumulative ε of every user (at `delta`), for balancing decisions.
     /// Users with unbounded loss report `f64::INFINITY`.
     pub fn loss_distribution(&self, delta: Delta) -> Vec<(String, f64)> {
-        self.ledgers
-            .read()
-            .iter()
-            .map(|(u, l)| (u.clone(), l.tight_loss(delta).epsilon.value()))
-            .collect()
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(
+                shard
+                    .read()
+                    .iter()
+                    .map(|(u, l)| (u.clone(), l.tight_loss(delta).epsilon.value())),
+            );
+        }
+        out
     }
 
     /// The maximum cumulative ε across the user base (0 if empty).
     pub fn max_loss(&self, delta: Delta) -> f64 {
-        self.ledgers
-            .read()
-            .values()
-            .map(|l| l.tight_loss(delta).epsilon.value())
+        self.shards
+            .iter()
+            .flat_map(|shard| {
+                let guard = shard.read();
+                guard
+                    .values()
+                    .map(|l| l.tight_loss(delta).epsilon.value())
+                    .collect::<Vec<f64>>()
+            })
             .fold(0.0, f64::max)
     }
 
@@ -224,19 +289,21 @@ impl Accountant {
     /// observability scrapes: quantiles and mean are over the finite
     /// ledgers; `max` is `+∞` whenever any user's total is unbounded.
     pub fn epsilon_summary(&self, delta: Delta) -> EpsilonSummary {
-        let ledgers = self.ledgers.read();
-        let users = ledgers.len();
-        let mut finite: Vec<f64> = Vec::with_capacity(users);
+        let mut users = 0usize;
+        let mut finite: Vec<f64> = Vec::new();
         let mut unbounded = 0usize;
-        for ledger in ledgers.values() {
-            let total = ledger.tight_loss(delta).epsilon.value();
-            if total.is_finite() {
-                finite.push(total);
-            } else {
-                unbounded = unbounded.saturating_add(1);
+        for shard in &self.shards {
+            let ledgers = shard.read();
+            users = users.saturating_add(ledgers.len());
+            for ledger in ledgers.values() {
+                let total = ledger.tight_loss(delta).epsilon.value();
+                if total.is_finite() {
+                    finite.push(total);
+                } else {
+                    unbounded = unbounded.saturating_add(1);
+                }
             }
         }
-        drop(ledgers);
         finite.sort_by(f64::total_cmp);
         let mean = if finite.is_empty() {
             0.0
@@ -436,6 +503,33 @@ mod tests {
         assert!(
             (back.basic_loss().epsilon.value() - l.basic_loss().epsilon.value()).abs() < 1e-12
         );
+    }
+
+    #[test]
+    fn ledger_shard_routing_is_deterministic() {
+        // Same user id must hit the same internal shard in any process
+        // (restart/replay stability) — pin a few values so a hash change
+        // is a conscious decision, not an accident.
+        for user in ["alice", "bob", "t0-u63", ""] {
+            assert_eq!(user_shard(user), user_shard(&user.to_string()));
+            assert!(user_shard(user) < LEDGER_SHARDS);
+        }
+        assert_eq!(user_shard("alice"), 7);
+        assert_eq!(user_shard("bob"), 4);
+    }
+
+    #[test]
+    fn count_users_by_walks_every_shard() {
+        let acc = Accountant::new();
+        for i in 0..40 {
+            acc.record(&format!("u{i}"), "t", gaussian_entry());
+        }
+        // Bucket by the same internal router: totals must agree with
+        // user_count and out-of-range buckets must be dropped, not panic.
+        let counts = acc.count_users_by(LEDGER_SHARDS, user_shard);
+        assert_eq!(counts.iter().sum::<usize>(), acc.user_count());
+        let none = acc.count_users_by(1, |_| 7);
+        assert_eq!(none, vec![0]);
     }
 
     #[test]

@@ -38,16 +38,19 @@ const DEFAULT_CRATES: &[&str] = &["loki-server"];
 
 /// The canonical workspace lock order (outermost first). Mirrors the
 /// `[rules.lock-order] order` declaration in `loki-lint.toml` and the
-/// doc comment on `AppState` in `crates/server/src/store.rs`.
+/// doc comment on `AppState` in `crates/server/src/store.rs`. The first
+/// seven names are per-shard locks (one instance per store shard; no
+/// path crosses shards while holding a same-ranked lock, so one order
+/// covers all shards), the trailing two are the global set.
 pub const DEFAULT_ORDER: &[&str] = &[
     "publish_lock",
     "user_locks",
     "user_commit_lock",
     "surveys",
     "submissions",
-    "epsilon_budget",
     "user_indices",
     "journal",
+    "epsilon_budget",
     "crash_hooks",
 ];
 

@@ -30,7 +30,11 @@ type ApiHandler = Arc<dyn Fn(&Request, &Params) -> Result<Response, ApiError> + 
 
 /// Registers `handler` under `/v1{pattern}` and the legacy unversioned
 /// `{pattern}`. Both routes dispatch to the same closure, so the alias
-/// can never drift from the versioned route.
+/// can never drift from the versioned route. Legacy dispatches keep the
+/// byte-identical body but carry a `Deprecation: true` /
+/// `Successor-Version` header pair pointing at the `/v1` twin, and
+/// count into `loki_http_legacy_requests_total` so operators can watch
+/// alias traffic drain before retiring the unversioned surface.
 ///
 /// This is also the tracing chokepoint: every dispatch starts a trace,
 /// installs its context as the thread-local current (so the store and
@@ -45,7 +49,7 @@ fn mount(
     handler: ApiHandler,
 ) {
     let versioned = format!("/v1{pattern}");
-    for pat in [versioned.as_str(), pattern] {
+    for (pat, legacy) in [(versioned.as_str(), false), (pattern, true)] {
         let m = Arc::clone(metrics);
         let h = Arc::clone(&handler);
         router.route(method, pat, move |req, params| {
@@ -58,9 +62,40 @@ fn mount(
             let mut resp =
                 outcome.unwrap_or_else(|err| err.into_response_traced(trace_id));
             resp.headers.insert(TRACE_ID_HEADER, format!("{trace_id:016x}"));
+            if legacy {
+                m.on_legacy_request();
+                resp.headers.insert("Deprecation", "true");
+                resp.headers.insert("Successor-Version", format!("/v1{}", req.path));
+            }
             m.tracer().finish(trace);
             resp
         });
+    }
+}
+
+/// XOR key folded into pagination cursors so they read as opaque tokens
+/// rather than raw survey ids — clients must echo `next` verbatim, and
+/// the key lets us change the encoding later without anyone noticing.
+const CURSOR_XOR: u64 = 0x9bd1_c4e2_3a75_086f;
+
+/// Encodes a survey id as an opaque 16-hex-digit pagination cursor.
+fn encode_cursor(id: u64) -> String {
+    format!("{:016x}", id ^ CURSOR_XOR)
+}
+
+/// Decodes a cursor minted by [`encode_cursor`]. Anything that is not
+/// exactly 16 hex digits is rejected as `bad_cursor`.
+fn decode_cursor(raw: &str) -> Result<u64, ApiError> {
+    let parsed = (raw.len() == 16)
+        .then(|| u64::from_str_radix(raw, 16).ok())
+        .flatten();
+    match parsed {
+        Some(v) => Ok(v ^ CURSOR_XOR),
+        None => Err(ApiError::new(
+            StatusCode::BAD_REQUEST,
+            "bad_cursor",
+            "query parameter `after` is not a valid cursor",
+        )),
     }
 }
 
@@ -132,18 +167,41 @@ pub fn build_router(state: Arc<AppState>) -> Router {
         &metrics,
         Method::Get,
         "/surveys",
-        Arc::new(move |_, _| {
-            let list: Vec<SurveySummary> = s
-                .surveys()
-                .into_iter()
-                .map(|sv| SurveySummary {
-                    id: sv.id.0,
-                    title: sv.title.clone(),
-                    questions: sv.len(),
-                    reward_cents: sv.reward_cents,
-                })
-                .collect();
-            Ok(json_response(StatusCode::OK, &list))
+        Arc::new(move |req, _| {
+            let summarize = |sv: &Survey| SurveySummary {
+                id: sv.id.0,
+                title: sv.title.clone(),
+                questions: sv.len(),
+                reward_cents: sv.reward_cents,
+            };
+            // Unpaginated calls keep the original bare-array shape for
+            // compatibility; `?limit=`/`?after=` opt into the cursor
+            // envelope, which stays O(page) under the sharded store.
+            if req.query_param("limit").is_none() && req.query_param("after").is_none() {
+                let list: Vec<SurveySummary> = s.surveys().iter().map(summarize).collect();
+                return Ok(json_response(StatusCode::OK, &list));
+            }
+            let limit = query_u64(req, "limit", 50)?;
+            if limit == 0 || limit > 1000 {
+                return Err(ApiError::new(
+                    StatusCode::BAD_REQUEST,
+                    "bad_param",
+                    "query parameter `limit` must be between 1 and 1000",
+                ));
+            }
+            let after = match req.query_param("after") {
+                None => None,
+                Some(raw) => Some(SurveyId(decode_cursor(raw)?)),
+            };
+            let (page, has_more) = s.surveys_page(after, limit as usize);
+            let next = has_more
+                .then(|| page.last().map(|sv| encode_cursor(sv.id.0)))
+                .flatten();
+            let items: Vec<SurveySummary> = page.iter().map(summarize).collect();
+            Ok(json_response(
+                StatusCode::OK,
+                &serde_json::json!({"surveys": items, "next": next}),
+            ))
         }),
     );
 
@@ -360,6 +418,62 @@ pub fn build_router(state: Arc<AppState>) -> Router {
                 delta: loki_dp::DEFAULT_DELTA,
             };
             Ok(json_response(StatusCode::OK, &info))
+        }),
+    );
+
+    let s = Arc::clone(&state);
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
+        "/admin/shards",
+        Arc::new(move |req, _| {
+            // Optional routing preview: which shard would this survey id
+            // land on? Answered from the hash alone, so it works for ids
+            // that do not exist yet.
+            let routing = match req.query_param("survey_id") {
+                None => None,
+                Some(raw) => {
+                    let id: u64 = raw.parse().map_err(|_| {
+                        ApiError::new(
+                            StatusCode::BAD_REQUEST,
+                            "bad_param",
+                            "query parameter `survey_id` must be a non-negative integer",
+                        )
+                    })?;
+                    Some(serde_json::json!({
+                        "survey_id": id,
+                        "shard": s.shard_of_survey(SurveyId(id)),
+                    }))
+                }
+            };
+            let shards: Vec<serde_json::Value> = s
+                .shard_stats()
+                .iter()
+                .map(|st| {
+                    serde_json::json!({
+                        "shard": st.shard,
+                        "surveys": st.surveys,
+                        "submissions": st.submissions,
+                        "ledger_users": st.ledger_users,
+                        "user_locks_len": st.user_locks_len,
+                        "wal": {
+                            "attached": st.wal_attached,
+                            "shared": st.wal_shared,
+                            "depth": st.wal_depth,
+                            "poisoned": st.wal_poisoned,
+                        },
+                    })
+                })
+                .collect();
+            Ok(json_response(
+                StatusCode::OK,
+                &serde_json::json!({
+                    "num_shards": s.num_shards(),
+                    "shards": shards,
+                    "routing": routing,
+                }),
+            ))
         }),
     );
 

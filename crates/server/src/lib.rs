@@ -6,7 +6,7 @@
 //! | Route | Purpose |
 //! |---|---|
 //! | `GET /v1/health` | liveness |
-//! | `GET /v1/surveys` | survey list (Fig. 1(a)'s screen) |
+//! | `GET /v1/surveys` | survey list (Fig. 1(a)'s screen); `?limit=`/`?after=` cursor pagination |
 //! | `GET /v1/surveys/:id` | full survey definition |
 //! | `POST /v1/surveys` | publish a survey |
 //! | `POST /v1/surveys/:id/responses` | upload an **obfuscated** response |
@@ -24,6 +24,7 @@
 //! | `GET /v1/slo` | current SLO statuses + burn rates |
 //! | `GET /v1/alerts` | alert states (any firing ⇒ healthz `degraded`) |
 //! | `GET /v1/alerts/history` | bounded ring of alert transitions |
+//! | `GET /v1/admin/shards` | per-shard occupancy, WAL lane health, `?survey_id=` routing preview |
 //!
 //! Every route is also reachable at its unversioned legacy path
 //! (`/surveys` ≡ `/v1/surveys`); both share one handler, so the alias
@@ -66,4 +67,4 @@ pub use app::{build_router, serve};
 pub use error::ApiError;
 pub use metrics::{HistoryConfig, ServerMetrics};
 pub use scrape::SelfScraper;
-pub use store::{AppState, InvalidBudget};
+pub use store::{AppState, InvalidBudget, ShardStats};

@@ -42,7 +42,7 @@ const EPSILON_STATS: [&str; 5] = ["p50", "p90", "p99", "mean", "max"];
 
 /// Path segments that are route literals and may appear verbatim in the
 /// access log; every other segment is a parameter and is masked.
-const ROUTE_LITERALS: [&str; 17] = [
+const ROUTE_LITERALS: [&str; 19] = [
     "v1",
     "health",
     "healthz",
@@ -60,7 +60,14 @@ const ROUTE_LITERALS: [&str; 17] = [
     "slo",
     "alerts",
     "history",
+    "admin",
+    "shards",
 ];
+
+/// Static label values for the per-shard instrument children. Stores
+/// with more shards than this fold the overflow into the last label —
+/// the aggregate (unlabeled) families stay exact either way.
+const SHARD_LABELS: [&str; 8] = ["0", "1", "2", "3", "4", "5", "6", "7"];
 
 /// Reduces a concrete request path to its route shape, masking every
 /// non-literal segment as `:p` (`/v1/ledger/alice` → `/v1/ledger/:p`).
@@ -166,6 +173,13 @@ pub struct ServerMetrics {
     wal_errors: Arc<Counter>,
     conns_shed: Arc<Counter>,
     store_lock_seconds: Arc<Histogram>,
+    /// Per-shard children of the lock family, in [`SHARD_LABELS`] order
+    /// (shard indices past the pool clamp to the last child).
+    shard_lock_seconds: Vec<Arc<Histogram>>,
+    /// Per-shard (per WAL lane) children of the group-commit family.
+    shard_commit_seconds: Vec<Arc<Histogram>>,
+    /// Requests served through a legacy (un-`/v1`) route alias.
+    legacy_requests: Arc<Counter>,
     budget_rejections: Arc<Counter>,
     /// Accepted-submission counters in [`PrivacyLevel::ALL`] order.
     submissions_by_level: Vec<Arc<Counter>>,
@@ -310,6 +324,33 @@ impl ServerMetrics {
                 LATENCY_BUCKETS,
                 &[],
             ),
+            shard_lock_seconds: SHARD_LABELS
+                .iter()
+                .map(|shard| {
+                    registry.histogram(
+                        "store_lock_seconds",
+                        "Submission-store write-lock hold time",
+                        LATENCY_BUCKETS,
+                        &[("shard", shard)],
+                    )
+                })
+                .collect(),
+            shard_commit_seconds: SHARD_LABELS
+                .iter()
+                .map(|shard| {
+                    registry.histogram(
+                        "wal_group_commit_seconds",
+                        "Full group-commit latency of one batch (write + fsync)",
+                        LATENCY_BUCKETS,
+                        &[("shard", shard)],
+                    )
+                })
+                .collect(),
+            legacy_requests: registry.counter(
+                "http_legacy_requests_total",
+                "Requests served through a legacy (un-/v1) route alias",
+                &[],
+            ),
             budget_rejections: registry.counter(
                 "budget_rejections_total",
                 "Submissions refused because the user's cumulative ε is at or over the cap",
@@ -404,6 +445,22 @@ impl ServerMetrics {
         self.store_lock_seconds.observe_duration(held);
     }
 
+    /// Records a submission-store write-lock hold time against both the
+    /// aggregate family and the `shard` child (clamped into the label
+    /// pool), so the exact-total assertions and the per-shard view stay
+    /// consistent.
+    pub fn observe_store_lock_sharded(&self, held: Duration, shard: usize) {
+        self.store_lock_seconds.observe_duration(held);
+        if let Some(h) = self.shard_lock_seconds.get(shard.min(SHARD_LABELS.len() - 1)) {
+            h.observe_duration(held);
+        }
+    }
+
+    /// Counts one request served through a legacy (un-`/v1`) alias.
+    pub fn on_legacy_request(&self) {
+        self.legacy_requests.inc();
+    }
+
     /// Records one journal append's write and fsync phases.
     pub fn observe_wal_append(&self, timing: &crate::wal::AppendTiming) {
         self.wal_write_seconds.observe_duration(timing.write);
@@ -427,6 +484,19 @@ impl ServerMetrics {
             }
             crate::wal::BatchEvent::Failed { records } => {
                 self.wal_errors.add(*records as u64);
+            }
+        }
+    }
+
+    /// [`ServerMetrics::on_wal_batch`] for a per-shard WAL lane: the
+    /// aggregate families record as usual, and a committed batch also
+    /// lands in the lane's `wal_group_commit_seconds{shard=…}` child
+    /// (clamped into the label pool).
+    pub fn on_wal_batch_lane(&self, event: &crate::wal::BatchEvent, lane: usize) {
+        self.on_wal_batch(event);
+        if let crate::wal::BatchEvent::Committed(t) = event {
+            if let Some(h) = self.shard_commit_seconds.get(lane.min(SHARD_LABELS.len() - 1)) {
+                h.observe_duration(t.write + t.fsync);
             }
         }
     }
@@ -607,6 +677,72 @@ mod tests {
         assert!(text.contains("loki_wal_write_seconds_count 1"), "{text}");
         assert!(text.contains("loki_wal_fsync_seconds_count 1"), "{text}");
         assert!(text.contains("loki_wal_errors_total 4"), "{text}");
+    }
+
+    #[test]
+    fn sharded_lock_observation_feeds_aggregate_and_child() {
+        let m = ServerMetrics::new();
+        m.observe_store_lock_sharded(Duration::from_micros(5), 2);
+        // Out-of-pool shard indices clamp to the last label.
+        m.observe_store_lock_sharded(Duration::from_micros(5), 99);
+        let text = m.render_exposition();
+        assert!(text.contains("loki_store_lock_seconds_count 2"), "{text}");
+        assert!(
+            text.contains("loki_store_lock_seconds_count{shard=\"2\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("loki_store_lock_seconds_count{shard=\"7\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("loki_store_lock_seconds_count{shard=\"0\"} 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn lane_batch_events_feed_per_shard_commit_family() {
+        let m = ServerMetrics::new();
+        m.on_wal_batch_lane(
+            &crate::wal::BatchEvent::Committed(crate::wal::BatchTiming {
+                write: Duration::from_micros(80),
+                fsync: Duration::from_millis(3),
+                records: 3,
+                exemplar_trace: None,
+            }),
+            1,
+        );
+        m.on_wal_batch_lane(&crate::wal::BatchEvent::Failed { records: 2 }, 1);
+        let text = m.render_exposition();
+        // Aggregates recorded exactly as the unlane'd path would.
+        assert!(text.contains("loki_wal_group_commit_seconds_count 1"), "{text}");
+        assert!(text.contains("loki_wal_batch_size_sum 3"), "{text}");
+        assert!(text.contains("loki_wal_errors_total 2"), "{text}");
+        // The lane child got only the committed batch.
+        assert!(
+            text.contains("loki_wal_group_commit_seconds_count{shard=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("loki_wal_group_commit_seconds_count{shard=\"0\"} 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn legacy_requests_counted_separately() {
+        let m = ServerMetrics::new();
+        m.on_legacy_request();
+        m.on_legacy_request();
+        let text = m.render_exposition();
+        assert!(text.contains("loki_http_legacy_requests_total 2"), "{text}");
+    }
+
+    #[test]
+    fn admin_route_segments_are_literals() {
+        assert_eq!(route_shape("/v1/admin/shards"), "/v1/admin/shards");
+        assert_eq!(route_shape("/admin/shards"), "/admin/shards");
     }
 
     #[test]

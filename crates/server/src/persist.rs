@@ -4,6 +4,13 @@
 //! The accountant is *not* snapshotted directly — it is reconstructed
 //! from the stored submissions' declared releases on load, so the ledger
 //! can never drift from the data that justifies it.
+//!
+//! This module only ever talks to the [`AppState`] facade, never to
+//! individual shards: [`AppState::surveys`] merges every shard in id
+//! order and submissions are walked survey-by-survey, so the snapshot
+//! bytes are identical no matter how many shards the source state ran
+//! with — a 1-shard and an 8-shard store that saw the same operations
+//! produce byte-equal files (pinned by a test below).
 
 use crate::store::{AppState, StoredSubmission};
 use loki_survey::survey::Survey;
@@ -57,6 +64,10 @@ impl From<std::io::Error> for PersistError {
 /// submission's own ledger view: we reconstruct minimal Gaussian entries
 /// from the stored privacy level, which is what the server would have
 /// recorded. (Submissions store everything the accountant needs.)
+///
+/// Iteration order is the facade's deterministic merged order (surveys
+/// ascending by id, each survey's submissions in arrival order), so the
+/// output is independent of the store's shard count.
 pub fn save(state: &AppState, path: &Path) -> Result<(), PersistError> {
     let surveys = state.surveys();
     let mut submissions = Vec::new();
@@ -215,6 +226,46 @@ mod tests {
         assert!(
             loaded.user_loss("u0").epsilon.value() > loaded.user_loss("u1").epsilon.value()
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_bytes_are_shard_count_invariant() {
+        let dir = std::env::temp_dir().join(format!("loki-persist-shards-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // The same operation sequence against a single-shard and a
+        // many-shard store must serialize to byte-identical snapshots.
+        let mut bytes = Vec::new();
+        for (i, shards) in [1usize, 8].iter().enumerate() {
+            let state = AppState::with_shards(*shards);
+            for id in [5u64, 2, 9, 1] {
+                let mut b = SurveyBuilder::new(SurveyId(id), format!("s{id}"));
+                b.question("rate", QuestionKind::likert5(), false);
+                state.add_survey(b.build().unwrap()).unwrap();
+                let user = format!("u{id}");
+                let mut r = Response::new(user.clone(), SurveyId(id));
+                r.answer(QuestionId(0), Answer::Obfuscated(3.5));
+                state
+                    .submit(
+                        &user,
+                        PrivacyLevel::Medium,
+                        r,
+                        &[(
+                            format!("survey-{id}/q0"),
+                            loki_dp::accountant::ReleaseKind::Gaussian {
+                                sigma: 1.0,
+                                sensitivity: 4.0,
+                            },
+                        )],
+                    )
+                    .unwrap();
+            }
+            let path = dir.join(format!("snap-{i}.json"));
+            save(&state, &path).unwrap();
+            bytes.push(std::fs::read(&path).unwrap());
+        }
+        assert_eq!(bytes[0], bytes[1], "snapshot must not depend on shard count");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

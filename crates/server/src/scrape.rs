@@ -18,6 +18,13 @@
 //! up dropping the last `Arc<AppState>` (and with it this handle), it
 //! must not join itself — it skips the join and exits via the weak
 //! upgrade failing on its next loop iteration.
+//!
+//! Sharding note: the scraper only ever goes through the [`AppState`]
+//! facade ([`AppState::scrape_once`]), which reads atomic instrument
+//! cells and walks the accountant's internal ledger shards — it never
+//! takes any store shard's survey/submission locks, so a scrape cannot
+//! contend with the sharded submit hot path. Per-shard occupancy is an
+//! admin-surface concern (`GET /v1/admin/shards`), not a scrape concern.
 
 use crate::store::AppState;
 use std::sync::{Arc, Condvar, Mutex, PoisonError, Weak};

@@ -20,6 +20,23 @@
 //! check and the accountant charge both happen inside the same per-user
 //! critical section, so two racing submits from one user can never both
 //! pass the cap (the check/charge TOCTOU this module used to have).
+//!
+//! # Sharding
+//!
+//! [`AppState`] is the store facade over `N` internal [`Shard`]s
+//! (default [`DEFAULT_SHARDS`]): survey-keyed state routes by
+//! `splitmix64(survey_id) % N`, user-keyed state (commit locks, audit
+//! indices; ε-ledgers inside the accountant use their own router) by
+//! `fnv1a64(user) % N`. Both hashes are process-independent, so routing
+//! is stable across restart and replay. Each shard owns its survey and
+//! submission maps, duplicate-user index, per-user commit locks, publish
+//! lock, and WAL group-commit lane — writes to unrelated surveys never
+//! contend, and fsync batches form per shard when per-lane journals are
+//! attached ([`AppState::attach_journal_lanes`]). Everything above this
+//! module (`app`, `persist`, `scrape`, the bins) talks only to the
+//! facade; read APIs like [`AppState::surveys`] merge shards in id
+//! order, so snapshots and replay stay deterministic for any shard
+//! count.
 
 use loki_core::estimator::Estimator;
 use loki_core::privacy_level::PrivacyLevel;
@@ -158,28 +175,124 @@ fn level_name(level: PrivacyLevel) -> &'static str {
     }
 }
 
-/// Soft cap on the per-user commit-lock map: reaching it triggers a
-/// garbage-collection sweep of idle entries before the next insert (see
-/// [`AppState::user_commit_lock`]).
+/// Soft cap on the per-user commit-lock maps, summed across shards:
+/// each shard sweeps idle entries when its own map reaches
+/// `threshold / num_shards` (see [`AppState::user_commit_lock`]), so
+/// the whole-store bound is unchanged by sharding.
 const USER_LOCKS_GC_THRESHOLD: usize = 1024;
 
-/// The server's whole mutable state.
+/// Default shard count for [`AppState::new`]. Eight matches the
+/// submitter-thread count the SHARD-1 bench drives and is enough that
+/// unrelated-survey contention effectively disappears; use
+/// [`AppState::with_shards`] to pick another value.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// splitmix64 finalizer: full-avalanche mix of the survey id so
+/// consecutive ids (1, 2, 3, …) spread across shards instead of
+/// clustering. Deterministic across processes — shard routing must
+/// survive restart/replay, which rules out `RandomState` hashing.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a 64 of a user id — same cross-process stability argument as
+/// [`splitmix64`].
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Shard index of a survey id in an `n`-shard store.
+pub(crate) fn survey_shard_of(id: SurveyId, n: usize) -> usize {
+    (splitmix64(id.0) % n.max(1) as u64) as usize
+}
+
+/// Shard index of a user id in an `n`-shard store.
+pub(crate) fn user_shard_of(user: &str, n: usize) -> usize {
+    (fnv1a64(user) % n.max(1) as u64) as usize
+}
+
+/// One store shard: the survey/submission maps, duplicate-user index,
+/// per-user commit locks, audit indices, and WAL group-commit lane for
+/// the slice of surveys (and users) that route here.
+///
+/// Field names deliberately match the pre-shard `AppState` fields: the
+/// `lock-order` lint keys its acquired-while-held graph on the field
+/// ident, so the declared order in `loki-lint.toml` carries over as a
+/// *per-shard* order without renames.
+#[derive(Debug, Default)]
+struct Shard {
+    surveys: RwLock<BTreeMap<SurveyId, Survey>>,
+    submissions: RwLock<BTreeMap<SurveyId, SurveySubmissions>>,
+    /// Serializes survey publication on this shard (commit critical
+    /// section for `add_survey`): exists-check → journal → apply must
+    /// be atomic against another publish of the same id — and equal ids
+    /// always route to the same shard, so a shard-local lock suffices.
+    publish_lock: Mutex<()>,
+    /// This shard's WAL group-commit lane. Single-file mode
+    /// ([`AppState::attach_journal`]) installs one shared committer into
+    /// every lane; per-lane mode ([`AppState::attach_journal_lanes`])
+    /// gives each shard its own file and committer thread so fsync
+    /// batches form per shard.
+    journal: RwLock<Option<Arc<crate::wal::GroupCommitter>>>,
+    /// Per-user commit locks for users routed here (see
+    /// [`AppState::user_commit_lock`]).
+    user_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// Opaque audit indices for users routed here; values come off the
+    /// store-wide `next_subject` counter so indices stay globally
+    /// unique and insertion-ordered.
+    user_indices: Mutex<HashMap<String, u64>>,
+}
+
+/// Point-in-time occupancy of one shard, for `GET /v1/admin/shards`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Surveys stored on this shard.
+    pub surveys: usize,
+    /// Submissions stored on this shard (summed over its surveys).
+    pub submissions: usize,
+    /// ε-ledger users whose ids route to this shard.
+    pub ledger_users: usize,
+    /// Live per-user commit-lock entries.
+    pub user_locks_len: usize,
+    /// Whether a WAL lane is attached.
+    pub wal_attached: bool,
+    /// Whether the lane is shared with another shard (single-file mode).
+    pub wal_shared: bool,
+    /// Writes enqueued on the lane but not yet fsync-durable.
+    pub wal_depth: usize,
+    /// Poison reason, if an I/O failure has killed the lane.
+    pub wal_poisoned: Option<String>,
+}
+
+/// The server's whole mutable state: the store facade over the shards.
 ///
 /// # Canonical lock order
 ///
-/// Every path that holds more than one of these locks acquires them in
-/// this order (earlier may be held while taking later, never the
-/// reverse):
+/// Every path that holds more than one lock acquires them in this
+/// order (earlier may be held while taking later, never the reverse).
+/// The first seven live **per shard** — and no path ever holds one
+/// shard's lock while taking the same-ranked lock of another shard —
+/// the last two are process-global:
 ///
-/// 1. `publish_lock`
-/// 2. `user_locks` (the map mutex)
+/// 1. `publish_lock` (per shard)
+/// 2. `user_locks` (per shard; the map mutex)
 /// 3. `user_commit_lock` (a per-user entry *from* that map)
-/// 4. `surveys`
-/// 5. `submissions`
-/// 6. `epsilon_budget`
-/// 7. `user_indices`
-/// 8. `journal`
-/// 9. `crash_hooks`
+/// 4. `surveys` (per shard)
+/// 5. `submissions` (per shard)
+/// 6. `user_indices` (per shard)
+/// 7. `journal` (per shard; the WAL lane)
+/// 8. `epsilon_budget` (global)
+/// 9. `crash_hooks` (global)
 ///
 /// The order is machine-checked: `loki-lint.toml` declares the same
 /// sequence under `[rules.lock-order]`, and the `lock-order` pass
@@ -188,8 +301,9 @@ const USER_LOCKS_GC_THRESHOLD: usize = 1024;
 /// comment; there are currently none.
 #[derive(Debug)]
 pub struct AppState {
-    surveys: RwLock<BTreeMap<SurveyId, Survey>>,
-    submissions: RwLock<BTreeMap<SurveyId, SurveySubmissions>>,
+    /// The shards. Survey-keyed state routes by `splitmix64(id) % N`,
+    /// user-keyed state by `fnv1a64(user) % N`; see the module docs.
+    shards: Vec<Shard>,
     /// Requester tokens allowed to publish surveys. Empty = open server
     /// (useful for tests and local demos).
     requester_tokens: RwLock<HashSet<String>>,
@@ -197,23 +311,8 @@ pub struct AppState {
     /// or over the cap are refused (the enforcement arm of §3.1's
     /// "tracked and balanced" loss).
     epsilon_budget: RwLock<Option<f64>>,
-    /// Optional group-commit journal. Behind an `RwLock` (not a `Mutex`)
-    /// so concurrent writers can block on the committer *together* —
-    /// that concurrency is what forms the batches.
-    journal: RwLock<Option<crate::wal::GroupCommitter>>,
-    /// Serializes survey publication (commit critical section for
-    /// `add_survey`): exists-check → journal → apply must be atomic
-    /// against another publish of the same id.
-    publish_lock: Mutex<()>,
-    /// Per-user commit locks: the ε-budget check, the duplicate check,
-    /// the journal append and the accountant charge for one user happen
-    /// under that user's lock, making check+charge atomic without
-    /// serializing unrelated users. Bounded: once the map reaches
-    /// [`USER_LOCKS_GC_THRESHOLD`], entries whose `Arc` strong count is
-    /// 1 (no in-flight commit holds a clone) are garbage-collected
-    /// before the next insert.
-    user_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
-    /// Server-side mirror of cumulative privacy loss per user.
+    /// Server-side mirror of cumulative privacy loss per user
+    /// (internally sharded by its own user-id router).
     pub accountant: Accountant,
     /// Lazily enabled metrics. Until [`AppState::enable_metrics`] is
     /// called every instrumentation point is a cheap `None` check, so
@@ -226,38 +325,73 @@ pub struct AppState {
     /// The background self-scraper feeding the metrics history layer;
     /// dropped (signalled + joined) with the state.
     scraper: Mutex<Option<crate::scrape::SelfScraper>>,
-    /// Opaque per-process subject indices for the ε-audit stream: the
-    /// audit log (in `loki-obs`) never sees a raw user id, only the
-    /// insertion-order index assigned here.
-    user_indices: Mutex<HashMap<String, u64>>,
+    /// Feeds the per-shard `user_indices` maps: the opaque audit index
+    /// of a new subject is drawn here so indices stay globally unique
+    /// and insertion-ordered (0, 1, 2, …) across shards. The audit log
+    /// (in `loki-obs`) never sees a raw user id, only this index.
+    next_subject: std::sync::atomic::AtomicU64,
     /// Process start, for `/v1/healthz` uptime.
     started: std::time::Instant,
 }
 
 impl Default for AppState {
     fn default() -> AppState {
-        AppState {
-            surveys: RwLock::default(),
-            submissions: RwLock::default(),
-            requester_tokens: RwLock::default(),
-            epsilon_budget: RwLock::default(),
-            journal: RwLock::default(),
-            publish_lock: Mutex::default(),
-            user_locks: Mutex::default(),
-            accountant: Accountant::default(),
-            metrics: Arc::default(),
-            crash_hooks: CrashHooks::default(),
-            scraper: Mutex::default(),
-            user_indices: Mutex::default(),
-            started: std::time::Instant::now(),
-        }
+        AppState::with_shards(DEFAULT_SHARDS)
     }
 }
 
 impl AppState {
-    /// Creates empty state.
+    /// Creates empty state with [`DEFAULT_SHARDS`] shards.
     pub fn new() -> AppState {
         AppState::default()
+    }
+
+    /// Creates empty state with `n` shards (clamped to at least 1).
+    /// `with_shards(1)` reproduces the pre-shard single-map store
+    /// exactly — the snapshot-equivalence tests rely on that.
+    pub fn with_shards(n: usize) -> AppState {
+        AppState {
+            shards: (0..n.max(1)).map(|_| Shard::default()).collect(),
+            requester_tokens: RwLock::default(),
+            epsilon_budget: RwLock::default(),
+            accountant: Accountant::default(),
+            metrics: Arc::default(),
+            crash_hooks: CrashHooks::default(),
+            scraper: Mutex::default(),
+            next_subject: std::sync::atomic::AtomicU64::new(0),
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Number of shards this store was built with.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a survey id routes to (admin/test visibility).
+    pub fn shard_of_survey(&self, id: SurveyId) -> usize {
+        survey_shard_of(id, self.shards.len())
+    }
+
+    /// The shard index a user id routes to (admin/test visibility).
+    pub fn shard_of_user(&self, user: &str) -> usize {
+        user_shard_of(user, self.shards.len())
+    }
+
+    /// The one place shard indices become references. Both routing
+    /// functions reduce `hash % shards.len()` and `with_shards` clamps
+    /// the count to >= 1, so the index is in range by construction.
+    fn shard_at(&self, idx: usize) -> &Shard {
+        // lint:allow panic-path -- idx is `hash % len` with len >= 1.
+        &self.shards[idx]
+    }
+
+    fn shard_for_survey(&self, id: SurveyId) -> &Shard {
+        self.shard_at(self.shard_of_survey(id))
+    }
+
+    fn shard_for_user(&self, user: &str) -> &Shard {
+        self.shard_at(self.shard_of_user(user))
     }
 
     /// Seconds since this state was created (server uptime for healthz).
@@ -265,24 +399,39 @@ impl AppState {
         self.started.elapsed().as_secs()
     }
 
-    /// Journal health as `(attached, poisoned_reason)`: whether a
-    /// journal is attached and, if so, whether an I/O failure has
-    /// poisoned it (every later write 503s until operator recovery).
+    /// Journal health as `(attached, poisoned_reason)`, aggregated over
+    /// the lanes: attached if any lane has a committer, poisoned with
+    /// the first lane's reason if any lane has failed (every later
+    /// write on that lane 503s until operator recovery).
     pub fn journal_health(&self) -> (bool, Option<String>) {
-        let journal = self.journal.read();
-        match journal.as_ref() {
-            Some(committer) => (true, committer.poisoned()),
-            None => (false, None),
+        let mut attached = false;
+        let mut poisoned = None;
+        for shard in &self.shards {
+            let lane = shard.journal.read().clone();
+            if let Some(committer) = lane {
+                attached = true;
+                if poisoned.is_none() {
+                    poisoned = committer.poisoned();
+                }
+            }
         }
+        (attached, poisoned)
     }
 
     /// The opaque audit index for `user`, assigned in insertion order on
-    /// first use. This is the only form in which a submission's subject
-    /// ever reaches the observability layer.
+    /// first use (globally, via `next_subject`). This is the only form
+    /// in which a submission's subject ever reaches the observability
+    /// layer.
     fn subject_index(&self, user: &str) -> u64 {
-        let mut indices = self.user_indices.lock();
-        let next = indices.len() as u64;
-        *indices.entry(user.to_string()).or_insert(next)
+        let mut indices = self.shard_for_user(user).user_indices.lock();
+        if let Some(index) = indices.get(user) {
+            return *index;
+        }
+        let next = self
+            .next_subject
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        indices.insert(user.to_string(), next);
+        next
     }
 
     /// Registers a requester token; once any token exists, publishing
@@ -303,6 +452,11 @@ impl AppState {
     /// made fsync-durable **before** it is applied or acked. Use
     /// [`crate::wal::replay`] at startup to restore, then attach the same
     /// journal path for new writes.
+    ///
+    /// Single-file mode: one committer serves every shard's lane, so
+    /// all shards share one journal file and one fsync queue. For
+    /// per-shard files and queues use
+    /// [`AppState::attach_journal_lanes`].
     pub fn attach_journal(&self, wal: crate::wal::Wal) {
         self.attach_journal_with(wal, crate::wal::GroupCommitConfig::default());
     }
@@ -317,17 +471,48 @@ impl AppState {
                 m.on_wal_batch(event);
             }
         });
-        *self.journal.write() = Some(crate::wal::GroupCommitter::spawn(
+        let committer = Arc::new(crate::wal::GroupCommitter::spawn(
             wal,
             config,
             Some(observer),
         ));
+        for shard in &self.shards {
+            *shard.journal.write() = Some(Arc::clone(&committer));
+        }
     }
 
-    /// Detaches the journal (if any), joining the committer thread so
-    /// every in-flight commit resolves first.
+    /// Attaches one WAL lane **per shard**: each shard gets its own
+    /// journal file under `dir` ([`crate::wal::lane_file_name`]) and its
+    /// own group-commit thread, so fsync batches form per shard and a
+    /// slow lane never stalls the others. Restore with
+    /// [`crate::wal::replay_lanes`] at startup, then attach the same
+    /// directory for new writes.
+    pub fn attach_journal_lanes(
+        &self,
+        dir: &std::path::Path,
+        config: crate::wal::GroupCommitConfig,
+    ) -> Result<(), crate::wal::WalError> {
+        for (lane, shard) in self.shards.iter().enumerate() {
+            let wal = crate::wal::Wal::open(&dir.join(crate::wal::lane_file_name(lane)))?;
+            let metrics = Arc::clone(&self.metrics);
+            let observer: crate::wal::BatchObserver = Arc::new(move |event| {
+                if let Some(m) = metrics.get() {
+                    m.on_wal_batch_lane(event, lane);
+                }
+            });
+            let committer = crate::wal::GroupCommitter::spawn(wal, config, Some(observer));
+            *shard.journal.write() = Some(Arc::new(committer));
+        }
+        Ok(())
+    }
+
+    /// Detaches every journal lane, joining each committer thread (the
+    /// shared committer, in single-file mode, joins when its last lane
+    /// drops) so every in-flight commit resolves first.
     pub fn detach_journal(&self) {
-        *self.journal.write() = None;
+        for shard in &self.shards {
+            *shard.journal.write() = None;
+        }
     }
 
     /// Enables metrics (idempotent) and returns the shared instance. The
@@ -410,23 +595,26 @@ impl AppState {
         *self.epsilon_budget.read()
     }
 
-    /// This user's commit lock, created on first use.
+    /// This user's commit lock, created on first use in the user's
+    /// shard.
     ///
-    /// The map would otherwise grow by one entry per distinct user id
+    /// The maps would otherwise grow by one entry per distinct user id
     /// forever (an unauthenticated-request memory leak): before
-    /// inserting a new entry into a map at [`USER_LOCKS_GC_THRESHOLD`]
-    /// or above, idle entries — `Arc` strong count 1, i.e. the map
-    /// holds the only reference, so no commit is in flight — are
-    /// dropped. A dropped user simply gets a fresh lock next time; the
-    /// per-user atomicity only needs the lock to be unique *while
-    /// referenced*, which the strong-count test guarantees. Live size
-    /// is therefore at most `threshold + concurrent in-flight commits`.
+    /// inserting a new entry into a shard map at its share of
+    /// [`USER_LOCKS_GC_THRESHOLD`] or above, idle entries — `Arc`
+    /// strong count 1, i.e. the map holds the only reference, so no
+    /// commit is in flight — are dropped. A dropped user simply gets a
+    /// fresh lock next time; the per-user atomicity only needs the lock
+    /// to be unique *while referenced*, which the strong-count test
+    /// guarantees. Live size summed over shards is therefore at most
+    /// `threshold + concurrent in-flight commits`.
     fn user_commit_lock(&self, user: &str) -> Arc<Mutex<()>> {
-        let mut locks = self.user_locks.lock();
+        let shard_threshold = (USER_LOCKS_GC_THRESHOLD / self.shards.len()).max(1);
+        let mut locks = self.shard_for_user(user).user_locks.lock();
         if let Some(lock) = locks.get(user) {
             return Arc::clone(lock);
         }
-        if locks.len() >= USER_LOCKS_GC_THRESHOLD {
+        if locks.len() >= shard_threshold {
             locks.retain(|_, lock| Arc::strong_count(lock) > 1);
         }
         let lock = Arc::new(Mutex::new(()));
@@ -434,16 +622,20 @@ impl AppState {
         lock
     }
 
-    /// Number of per-user commit-lock entries currently held (ops/test
-    /// visibility for the boundedness contract above).
+    /// Number of per-user commit-lock entries currently held across all
+    /// shards (ops/test visibility for the boundedness contract above).
     pub fn user_locks_len(&self) -> usize {
-        self.user_locks.lock().len()
+        let mut total = 0usize;
+        for shard in &self.shards {
+            total = total.saturating_add(shard.user_locks.lock().len());
+        }
+        total
     }
 
-    /// Journals a survey publication (durable before return); no-op
-    /// without an attached journal.
-    fn journal_survey(&self, survey: &Survey) -> Result<(), SubmitError> {
-        let journal = self.journal.read();
+    /// Journals a survey publication on its shard's lane (durable
+    /// before return); no-op without an attached journal.
+    fn journal_survey(&self, shard: &Shard, survey: &Survey) -> Result<(), SubmitError> {
+        let journal = shard.journal.read();
         let Some(committer) = journal.as_ref() else {
             return Ok(());
         };
@@ -452,16 +644,17 @@ impl AppState {
             .map_err(|e| SubmitError::Durability(e.to_string()))
     }
 
-    /// Journals an accepted submission (durable before return); no-op
-    /// without an attached journal.
+    /// Journals an accepted submission on its survey's lane (durable
+    /// before return); no-op without an attached journal.
     fn journal_submission(
         &self,
+        shard: &Shard,
         user: &str,
         level: PrivacyLevel,
         response: &Response,
         releases: &[(String, ReleaseKind)],
     ) -> Result<(), SubmitError> {
-        let journal = self.journal.read();
+        let journal = shard.journal.read();
         let Some(committer) = journal.as_ref() else {
             return Ok(());
         };
@@ -474,35 +667,125 @@ impl AppState {
     /// already exists, `Err(Durability)` if the journal refused the write
     /// (in which case nothing was published).
     pub fn add_survey(&self, survey: Survey) -> Result<bool, SubmitError> {
-        let _publish = self.publish_lock.lock();
-        if self.surveys.read().contains_key(&survey.id) {
+        let shard = self.shard_for_survey(survey.id);
+        let _publish = shard.publish_lock.lock();
+        if shard.surveys.read().contains_key(&survey.id) {
             return Ok(false);
         }
-        self.journal_survey(&survey)?;
+        self.journal_survey(shard, &survey)?;
         self.crash_point(CrashPoint::AfterDurableBeforeApply);
-        self.surveys.write().insert(survey.id, survey);
+        shard.surveys.write().insert(survey.id, survey);
         self.crash_point(CrashPoint::AfterApplyBeforeAck);
         Ok(true)
     }
 
     /// A survey by id.
     pub fn survey(&self, id: SurveyId) -> Option<Survey> {
-        self.surveys.read().get(&id).cloned()
+        self.shard_for_survey(id).surveys.read().get(&id).cloned()
     }
 
-    /// All surveys, id-ordered.
+    /// All surveys, id-ordered: shards are merged and re-sorted, so the
+    /// result is byte-identical for any shard count (snapshots and the
+    /// listing depend on that).
     pub fn surveys(&self) -> Vec<Survey> {
-        self.surveys.read().values().cloned().collect()
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.surveys.read().values().cloned());
+        }
+        all.sort_by_key(|s| s.id);
+        all
+    }
+
+    /// One id-ordered page of surveys strictly after `after`, plus
+    /// whether more remain. Each shard contributes at most `limit + 1`
+    /// candidates from its id-ordered map, so the cost is
+    /// O(shards × limit), not O(total surveys).
+    pub fn surveys_page(&self, after: Option<SurveyId>, limit: usize) -> (Vec<Survey>, bool) {
+        use std::ops::Bound;
+        let lower = match after {
+            Some(id) => Bound::Excluded(id),
+            None => Bound::Unbounded,
+        };
+        let mut merged = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.surveys.read();
+            merged.extend(
+                guard
+                    .range((lower, Bound::Unbounded))
+                    .take(limit.saturating_add(1))
+                    .map(|(_, s)| s.clone()),
+            );
+        }
+        merged.sort_by_key(|s| s.id);
+        let has_more = merged.len() > limit;
+        merged.truncate(limit);
+        (merged, has_more)
+    }
+
+    /// Point-in-time occupancy of every shard, for the admin surface.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let n = self.shards.len();
+        let ledger_users = self.accountant.count_users_by(n, |user| user_shard_of(user, n));
+        // Each lock below is taken inside its own block so no two shard
+        // locks are ever held together: stats reads are point-in-time
+        // per lock, never a consistent cross-lock snapshot.
+        let mut lanes: Vec<Option<Arc<crate::wal::GroupCommitter>>> = Vec::with_capacity(n);
+        for shard in &self.shards {
+            let lane = {
+                let guard = shard.journal.read();
+                guard.clone()
+            };
+            lanes.push(lane);
+        }
+        let mut out = Vec::with_capacity(n);
+        for (i, shard) in self.shards.iter().enumerate() {
+            let survey_count = {
+                let guard = shard.surveys.read();
+                guard.len()
+            };
+            let submission_count: usize = {
+                let guard = shard.submissions.read();
+                guard.values().map(|s| s.list.len()).sum()
+            };
+            let user_locks_len = {
+                let guard = shard.user_locks.lock();
+                guard.len()
+            };
+            let lane = lanes.get(i).cloned().flatten();
+            let wal_shared = match &lane {
+                Some(c) => lanes.iter().enumerate().any(|(j, other)| {
+                    j != i && other.as_ref().is_some_and(|o| Arc::ptr_eq(o, c))
+                }),
+                None => false,
+            };
+            out.push(ShardStats {
+                shard: i,
+                surveys: survey_count,
+                submissions: submission_count,
+                ledger_users: ledger_users.get(i).copied().unwrap_or(0),
+                user_locks_len,
+                wal_attached: lane.is_some(),
+                wal_shared,
+                wal_depth: lane.as_ref().map_or(0, |c| c.depth()),
+                wal_poisoned: lane.as_ref().and_then(|c| c.poisoned()),
+            });
+        }
+        out
     }
 
     /// Number of stored submissions for a survey.
     pub fn submission_count(&self, id: SurveyId) -> usize {
-        self.submissions.read().get(&id).map_or(0, |s| s.list.len())
+        self.shard_for_survey(id)
+            .submissions
+            .read()
+            .get(&id)
+            .map_or(0, |s| s.list.len())
     }
 
     /// All submissions for a survey.
     pub fn submissions(&self, id: SurveyId) -> Vec<StoredSubmission> {
-        self.submissions
+        self.shard_for_survey(id)
+            .submissions
             .read()
             .get(&id)
             .map(|s| s.list.clone())
@@ -512,7 +795,8 @@ impl AppState {
     /// Whether `user` has already submitted to `survey` (O(1) via the
     /// per-survey user index).
     pub fn has_submitted(&self, survey: SurveyId, user: &str) -> bool {
-        self.submissions
+        self.shard_for_survey(survey)
+            .submissions
             .read()
             .get(&survey)
             .is_some_and(|s| s.users.contains(user))
@@ -651,13 +935,17 @@ impl AppState {
         // change, and the client is told instead of silently dropped.
         // The trace context crosses into the committer thread via the
         // commit request, recording enqueue/batch/fsync spans there.
-        self.journal_submission(user, level, &response, releases)?;
+        // Submissions journal to their *survey's* lane, so per-lane
+        // replay keeps every survey before its submissions.
+        let survey_shard_index = self.shard_of_survey(response.survey);
+        let survey_shard = self.shard_for_survey(response.survey);
+        self.journal_submission(survey_shard, user, level, &response, releases)?;
         self.crash_point(CrashPoint::AfterDurableBeforeApply);
 
         let apply_span = trace_ctx.as_ref().map(|c| c.start_child("apply"));
         let lock_started = std::time::Instant::now();
         let stored = {
-            let mut submissions = self.submissions.write();
+            let mut submissions = survey_shard.submissions.write();
             let entry = submissions.entry(response.survey).or_default();
             for (tag, kind) in releases {
                 self.accountant.record(user, tag.clone(), *kind);
@@ -675,7 +963,7 @@ impl AppState {
             span.finish();
         }
         if let Some(m) = self.metrics.get() {
-            m.observe_store_lock(lock_started.elapsed());
+            m.observe_store_lock_sharded(lock_started.elapsed(), survey_shard_index);
             m.on_submission_stored(level);
         }
         if let Some((m, index, charge, running_after)) = audit {
@@ -701,7 +989,7 @@ impl AppState {
         question: loki_survey::QuestionId,
     ) -> BTreeMap<PrivacyLevel, Vec<f64>> {
         let mut bins: BTreeMap<PrivacyLevel, Vec<f64>> = BTreeMap::new();
-        if let Some(subs) = self.submissions.read().get(&survey) {
+        if let Some(subs) = self.shard_for_survey(survey).submissions.read().get(&survey) {
             for sub in &subs.list {
                 if let Some(v) = sub.response.get(question).and_then(Answer::as_f64) {
                     bins.entry(sub.level).or_default().push(v);
@@ -741,7 +1029,7 @@ impl AppState {
         options: usize,
     ) -> BTreeMap<PrivacyLevel, Vec<u64>> {
         let mut bins: BTreeMap<PrivacyLevel, Vec<u64>> = BTreeMap::new();
-        if let Some(subs) = self.submissions.read().get(&survey) {
+        if let Some(subs) = self.shard_for_survey(survey).submissions.read().get(&survey) {
             for sub in &subs.list {
                 if let Some(Answer::Choice(c)) = sub.response.get(question) {
                     if *c < options {
@@ -958,7 +1246,7 @@ mod tests {
         s.add_survey(survey()).unwrap();
         s.submit("u1", PrivacyLevel::Low, obfuscated_response("u1", 4.0), &[])
             .unwrap();
-        let locks = s.user_locks.lock();
+        let locks = s.shard_for_user("u1").user_locks.lock();
         let entry = locks.get("u1").expect("entry exists after a commit");
         assert_eq!(
             Arc::strong_count(entry),
@@ -1176,6 +1464,126 @@ mod tests {
         );
         s.set_epsilon_budget(Some(1.0)).unwrap();
         s.set_epsilon_budget(None).unwrap();
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_in_range() {
+        let s = AppState::new();
+        assert_eq!(s.num_shards(), DEFAULT_SHARDS);
+        for id in 0..200u64 {
+            let shard = s.shard_of_survey(SurveyId(id));
+            assert!(shard < s.num_shards());
+            assert_eq!(shard, survey_shard_of(SurveyId(id), DEFAULT_SHARDS));
+        }
+        for user in ["u1", "alice", "t7-u63", ""] {
+            let shard = s.shard_of_user(user);
+            assert!(shard < s.num_shards());
+            assert_eq!(shard, user_shard_of(user, DEFAULT_SHARDS));
+        }
+        // A single-shard store routes everything to shard 0.
+        let single = AppState::with_shards(1);
+        assert_eq!(single.shard_of_survey(SurveyId(99)), 0);
+        assert_eq!(single.shard_of_user("anyone"), 0);
+        // Zero is clamped, not a panic.
+        assert_eq!(AppState::with_shards(0).num_shards(), 1);
+    }
+
+    #[test]
+    fn consecutive_survey_ids_spread_across_shards() {
+        // The whole point of the splitmix64 mix: ids 1..=8 must not all
+        // land on one shard (8 sequential ids hitting 1 of 8 shards by
+        // chance is ~8^-7, so a collapse here means a routing bug).
+        let s = AppState::new();
+        let mut seen = HashSet::new();
+        for id in 1..=8u64 {
+            seen.insert(s.shard_of_survey(SurveyId(id)));
+        }
+        assert!(seen.len() > 2, "ids 1..=8 clustered on {seen:?}");
+    }
+
+    #[test]
+    fn facade_reads_merge_shards_in_id_order() {
+        let s = AppState::new();
+        // Insert in descending id order so a "merge without sort" bug
+        // can't accidentally pass.
+        for id in (1..=20u64).rev() {
+            s.add_survey(one_question_survey(id)).unwrap();
+        }
+        let listed: Vec<u64> = s.surveys().iter().map(|sv| sv.id.0).collect();
+        assert_eq!(listed, (1..=20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn surveys_page_walks_the_full_set() {
+        let s = AppState::new();
+        for id in 1..=13u64 {
+            s.add_survey(one_question_survey(id)).unwrap();
+        }
+        let mut walked = Vec::new();
+        let mut after = None;
+        loop {
+            let (page, has_more) = s.surveys_page(after, 5);
+            assert!(page.len() <= 5);
+            walked.extend(page.iter().map(|sv| sv.id.0));
+            if !has_more {
+                break;
+            }
+            after = page.last().map(|sv| sv.id);
+        }
+        assert_eq!(walked, (1..=13).collect::<Vec<u64>>());
+        // Past the end: empty page, nothing more.
+        assert_eq!(s.surveys_page(Some(SurveyId(13)), 5), (Vec::new(), false));
+        // Zero limit is legal and reports whether anything remains.
+        let (page, has_more) = s.surveys_page(None, 0);
+        assert!(page.is_empty());
+        assert!(has_more);
+    }
+
+    #[test]
+    fn shard_stats_report_occupancy_and_lanes() {
+        let s = AppState::new();
+        s.add_survey(survey()).unwrap();
+        s.submit("u1", PrivacyLevel::Low, obfuscated_response("u1", 4.0), &[
+            gaussian_release("t0"),
+        ])
+        .unwrap();
+        let stats = s.shard_stats();
+        assert_eq!(stats.len(), DEFAULT_SHARDS);
+        assert_eq!(stats.iter().map(|st| st.surveys).sum::<usize>(), 1);
+        assert_eq!(stats.iter().map(|st| st.submissions).sum::<usize>(), 1);
+        assert_eq!(stats.iter().map(|st| st.ledger_users).sum::<usize>(), 1);
+        let survey_shard = s.shard_of_survey(SurveyId(1));
+        assert_eq!(stats[survey_shard].surveys, 1);
+        assert_eq!(stats[survey_shard].submissions, 1);
+        assert_eq!(stats[s.shard_of_user("u1")].ledger_users, 1);
+        assert!(stats.iter().all(|st| !st.wal_attached && !st.wal_shared));
+
+        // Single-file journal: every lane attached, all shared.
+        let path = std::env::temp_dir().join(format!("shard-stats-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        s.attach_journal(crate::wal::Wal::open(&path).unwrap());
+        let stats = s.shard_stats();
+        assert!(stats.iter().all(|st| st.wal_attached && st.wal_shared));
+        assert!(stats.iter().all(|st| st.wal_poisoned.is_none()));
+        s.detach_journal();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn single_shard_store_behaves_identically() {
+        // The fuzz test in tests/sharding.rs does the deep comparison;
+        // this pins the cheap invariant that a 1-shard store passes the
+        // same submit flow end to end.
+        let s = AppState::with_shards(1);
+        s.add_survey(survey()).unwrap();
+        s.submit("u1", PrivacyLevel::Medium, obfuscated_response("u1", 4.0), &[
+            gaussian_release("t0"),
+        ])
+        .unwrap();
+        assert_eq!(s.submission_count(SurveyId(1)), 1);
+        assert_eq!(s.accountant.releases_of("u1"), 1);
+        assert_eq!(s.user_locks_len(), 1);
+        assert_eq!(s.shard_stats().len(), 1);
     }
 
     #[test]

@@ -293,6 +293,17 @@ fn legacy_aliases_are_byte_identical_to_v1() {
         let v1 = c.get(&format!("/v1{path}")).unwrap();
         assert_eq!(legacy.status, v1.status, "{path}");
         assert_eq!(legacy.body, v1.body, "alias drift on {path}");
+        // The alias answers byte-identically but is marked deprecated,
+        // pointing at its /v1 twin; the twin carries neither header.
+        assert_eq!(legacy.headers.get("deprecation"), Some("true"), "{path}");
+        let successor = format!("/v1{path}");
+        assert_eq!(
+            legacy.headers.get("successor-version"),
+            Some(successor.as_str()),
+            "{path}"
+        );
+        assert_eq!(v1.headers.get("deprecation"), None, "{path}");
+        assert_eq!(v1.headers.get("successor-version"), None, "{path}");
     }
 
     // Error paths must alias identically too — modulo the per-request
@@ -666,4 +677,129 @@ fn availability_slo_fires_and_resolves_through_the_alert_endpoints() {
 
     h.shutdown();
     state.stop_self_scraper();
+}
+
+#[test]
+fn legacy_requests_count_into_their_own_metric() {
+    let (h, c, _) = start();
+    // Three legacy hits; everything else in this test goes through /v1.
+    for path in ["/surveys", "/stats", "/health"] {
+        assert!(c.get(path).unwrap().status.is_success(), "{path}");
+    }
+    let resp = c.get("/v1/metrics").unwrap();
+    let text = String::from_utf8_lossy(&resp.body).to_string();
+    assert!(text.contains("# TYPE loki_http_legacy_requests_total counter"), "{text}");
+    assert!(text.contains("loki_http_legacy_requests_total 3"), "{text}");
+    h.shutdown();
+}
+
+#[test]
+fn admin_shards_reports_occupancy_and_routing() {
+    let (h, c, state) = start();
+    let resp = c
+        .post("/v1/surveys/1/responses", "application/json", submit_body("u1", 4.0))
+        .unwrap();
+    assert_eq!(resp.status, StatusCode::CREATED, "{:?}", resp.body);
+
+    let resp = c.get("/v1/admin/shards").unwrap();
+    assert_eq!(resp.status, StatusCode::OK, "{:?}", resp.body);
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    let n = v["num_shards"].as_u64().unwrap() as usize;
+    assert_eq!(n, state.num_shards(), "{v}");
+    let shards = v["shards"].as_array().unwrap();
+    assert_eq!(shards.len(), n, "{v}");
+    // Exactly one survey, one submission, one ledger user — somewhere.
+    let sum = |key: &str| -> u64 {
+        shards.iter().map(|s| s[key].as_u64().unwrap()).sum()
+    };
+    assert_eq!(sum("surveys"), 1, "{v}");
+    assert_eq!(sum("submissions"), 1, "{v}");
+    assert_eq!(sum("ledger_users"), 1, "{v}");
+    // And on the shard the router says survey 1 lives on.
+    let home = state.shard_of_survey(SurveyId(1));
+    assert_eq!(shards[home]["surveys"], 1, "{v}");
+    assert_eq!(shards[home]["submissions"], 1, "{v}");
+    for (i, s) in shards.iter().enumerate() {
+        assert_eq!(s["shard"].as_u64().unwrap() as usize, i, "{v}");
+        assert!(s["user_locks_len"].is_u64(), "{v}");
+        assert_eq!(s["wal"]["attached"], false, "no journal in this fixture: {v}");
+        assert_eq!(s["wal"]["depth"], 0, "{v}");
+        assert_eq!(s["wal"]["poisoned"], serde_json::Value::Null, "{v}");
+    }
+
+    // Routing preview answers from the hash alone — the id need not
+    // exist — and agrees with the store's own router.
+    let resp = c.get("/v1/admin/shards?survey_id=123").unwrap();
+    assert_eq!(resp.status, StatusCode::OK, "{:?}", resp.body);
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(v["routing"]["survey_id"], 123, "{v}");
+    assert_eq!(
+        v["routing"]["shard"].as_u64().unwrap() as usize,
+        state.shard_of_survey(SurveyId(123)),
+        "{v}"
+    );
+
+    // A malformed preview id draws the standard envelope.
+    let resp = c.get("/v1/admin/shards?survey_id=abc").unwrap();
+    assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+    assert_envelope(&resp, "bad_param");
+    h.shutdown();
+}
+
+#[test]
+fn survey_listing_paginates_with_opaque_cursors() {
+    let (h, c, state) = start();
+    for id in 2..=7u64 {
+        let mut b = SurveyBuilder::new(SurveyId(id), format!("s{id}"));
+        b.question("q", QuestionKind::likert5(), false);
+        state.add_survey(b.build().unwrap()).unwrap();
+    }
+
+    // Unpaginated calls keep today's bare-array shape: all seven
+    // surveys, ascending by id, no envelope.
+    let resp = c.get("/v1/surveys").unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    let all = v.as_array().expect("bare array without ?limit=");
+    let ids: Vec<u64> = all.iter().map(|s| s["id"].as_u64().unwrap()).collect();
+    assert_eq!(ids, (1..=7).collect::<Vec<_>>(), "{v}");
+
+    // Paginated walk in pages of 3: same ids, same order, opaque
+    // cursors, `next` null on the last page.
+    let mut walked = Vec::new();
+    let mut after: Option<String> = None;
+    for _page in 0..10 {
+        let path = match &after {
+            None => "/v1/surveys?limit=3".to_string(),
+            Some(cursor) => format!("/v1/surveys?limit=3&after={cursor}"),
+        };
+        let resp = c.get(&path).unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{:?}", resp.body);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let page = v["surveys"].as_array().expect("cursor envelope");
+        assert!(page.len() <= 3, "{v}");
+        walked.extend(page.iter().map(|s| s["id"].as_u64().unwrap()));
+        match v["next"].as_str() {
+            Some(cursor) => {
+                // Opaque token: fixed-width hex, not a raw survey id.
+                assert_eq!(cursor.len(), 16, "{cursor}");
+                assert!(cursor.chars().all(|ch| ch.is_ascii_hexdigit()), "{cursor}");
+                after = Some(cursor.to_string());
+            }
+            None => break,
+        }
+    }
+    assert_eq!(walked, (1..=7).collect::<Vec<_>>());
+
+    // Bad inputs draw the standard envelope.
+    let resp = c.get("/v1/surveys?limit=0").unwrap();
+    assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+    assert_envelope(&resp, "bad_param");
+    let resp = c.get("/v1/surveys?limit=x").unwrap();
+    assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+    assert_envelope(&resp, "bad_param");
+    let resp = c.get("/v1/surveys?limit=3&after=nonsense").unwrap();
+    assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+    assert_envelope(&resp, "bad_cursor");
+    h.shutdown();
 }

@@ -1,0 +1,380 @@
+//! NET-1 — connection scalability of the evented edge.
+//!
+//! The pre-reactor server parked one OS thread per connection, so open
+//! sockets — even idle keep-alive ones — consumed stacks, and a few
+//! thousand of them exhausted the worker pool. The reactor multiplexes
+//! every connection onto a fixed set of epoll shards, so thread count is
+//! a function of configuration alone. This bench holds that claim to a
+//! sweep: ramp 1k → 10k idle keep-alive connections (each completes one
+//! real `/v1/healthz` request, then sits parked), and at every step push
+//! a mixed submit load through the full `/v1` stack while sampling the
+//! process thread count and submit latency.
+//!
+//! Pass criteria: the thread count at 10k connections equals the thread
+//! count at 1k (the C100K structural property), and submit p99 stays
+//! under the bar while ~10k sockets idle in the slabs. Writes the
+//! machine-readable result to `BENCH_NET1.json` (CI uploads it as an
+//! artifact).
+//!
+//! Knobs for small runners: `LOKI_NET1_CONNS` caps the sweep's top step
+//! (the fd rlimit is respected automatically — client and in-process
+//! server ends both count against it), `LOKI_NET1_MAX_P99_MS` moves the
+//! latency bar (default 250 ms).
+
+use loki_bench::{banner, f, n, Table};
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::accountant::ReleaseKind;
+use loki_net::server::{Server, ServerConfig, ServerHandle};
+use loki_server::store::AppState;
+use loki_server::{build_router, SubmitRequest};
+use loki_survey::question::{Answer, QuestionKind};
+use loki_survey::response::Response;
+use loki_survey::survey::{Survey, SurveyBuilder, SurveyId};
+use loki_survey::QuestionId;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+const BASE_STEPS: [usize; 4] = [1000, 2500, 5000, 10_000];
+const REACTOR_SHARDS: usize = 2;
+const RAMP_THREADS: usize = 8;
+const SUBMIT_THREADS: usize = 4;
+const SUBMITS_PER_THREAD: usize = 250;
+
+fn survey() -> Survey {
+    let mut b = SurveyBuilder::new(SurveyId(1), "net1");
+    b.question("rate", QuestionKind::likert5(), false);
+    b.build().expect("static survey")
+}
+
+fn submit_body(user: &str) -> Vec<u8> {
+    let mut response = Response::new(user, SurveyId(1));
+    response.answer(QuestionId(0), Answer::Obfuscated(4.0));
+    serde_json::to_vec(&SubmitRequest {
+        user: user.into(),
+        privacy_level: PrivacyLevel::Medium,
+        response,
+        releases: vec![(
+            "survey-1/q0".into(),
+            ReleaseKind::Gaussian {
+                sigma: 1.0,
+                sensitivity: 4.0,
+            },
+        )],
+    })
+    .expect("bench body serializes")
+}
+
+/// Current thread count of this process (server shards included — the
+/// server runs in-process, which is exactly what makes the constancy
+/// assertion meaningful). `None` off Linux.
+fn process_threads() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Connections the fd rlimit can carry: each one burns a client fd and
+/// an in-process server fd, plus headroom for transient submit sockets.
+fn fd_budget() -> usize {
+    let limits = std::fs::read_to_string("/proc/self/limits").unwrap_or_default();
+    let soft = limits
+        .lines()
+        .find(|l| l.starts_with("Max open files"))
+        .and_then(|l| l.split_whitespace().nth(3))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1024);
+    soft.saturating_sub(128) / 2
+}
+
+/// Reads one complete HTTP response (headers + Content-Length body).
+fn read_response(s: &mut TcpStream) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        let got = s.read(&mut chunk)?;
+        if got == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof before headers",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..got]);
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            if name.eq_ignore_ascii_case("content-length") {
+                value.trim().parse().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or(0);
+    let mut remaining = content_length.saturating_sub(buf.len() - header_end - 4);
+    while remaining > 0 {
+        let got = s.read(&mut chunk)?;
+        if got == 0 {
+            break;
+        }
+        remaining -= got.min(remaining);
+    }
+    Ok(())
+}
+
+/// Opens one idle keep-alive connection: a full request round-trip, then
+/// the socket parks in a reactor slab.
+fn open_idle_conn(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let mut s = TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(Duration::from_secs(10)))?;
+    s.write_all(b"GET /v1/healthz HTTP/1.1\r\n\r\n")?;
+    read_response(&mut s)?;
+    Ok(s)
+}
+
+/// Ramps `count` idle connections with a small thread pool; returns the
+/// held sockets (dropping them is what ends the step).
+fn ramp_idle(addr: SocketAddr, count: usize) -> Vec<TcpStream> {
+    let held = Arc::new(Mutex::new(Vec::with_capacity(count)));
+    let threads: Vec<_> = (0..RAMP_THREADS)
+        .map(|t| {
+            let held = Arc::clone(&held);
+            let share = count / RAMP_THREADS + usize::from(t < count % RAMP_THREADS);
+            std::thread::spawn(move || {
+                let mut mine = Vec::with_capacity(share);
+                for _ in 0..share {
+                    match open_idle_conn(addr) {
+                        Ok(s) => mine.push(s),
+                        Err(e) => {
+                            eprintln!("ramp conn failed: {e}");
+                            break;
+                        }
+                    }
+                }
+                held.lock().expect("ramp lock").append(&mut mine);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("ramp thread");
+    }
+    Arc::try_unwrap(held)
+        .expect("ramp threads joined")
+        .into_inner()
+        .expect("ramp lock")
+}
+
+/// Pushes the mixed submit load (one connection per request, the
+/// client's posture) and returns every request's wall latency.
+fn submit_storm(addr: SocketAddr, step: usize) -> Vec<Duration> {
+    let barrier = Arc::new(Barrier::new(SUBMIT_THREADS));
+    let threads: Vec<_> = (0..SUBMIT_THREADS)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let bodies: Vec<Vec<u8>> = (0..SUBMITS_PER_THREAD)
+                    .map(|i| submit_body(&format!("net1-s{step}-t{t}-u{i}")))
+                    .collect();
+                barrier.wait();
+                let mut latencies = Vec::with_capacity(bodies.len());
+                for body in bodies {
+                    let started = Instant::now();
+                    let outcome = (|| -> std::io::Result<()> {
+                        let mut s = TcpStream::connect(addr)?;
+                        s.set_read_timeout(Some(Duration::from_secs(10)))?;
+                        let mut wire = Vec::with_capacity(256 + body.len());
+                        wire.extend_from_slice(
+                            b"POST /v1/surveys/1/responses HTTP/1.1\r\n\
+                              Content-Type: application/json\r\n",
+                        );
+                        wire.extend_from_slice(
+                            format!("Content-Length: {}\r\n", body.len()).as_bytes(),
+                        );
+                        wire.extend_from_slice(b"Connection: close\r\n\r\n");
+                        wire.extend_from_slice(&body);
+                        s.write_all(&wire)?;
+                        read_response(&mut s)
+                    })();
+                    outcome.expect("bench submit");
+                    latencies.push(started.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut all = Vec::with_capacity(SUBMIT_THREADS * SUBMITS_PER_THREAD);
+    for t in threads {
+        all.extend(t.join().expect("submit thread"));
+    }
+    all
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn spawn_server(top_step: usize) -> (ServerHandle, Arc<AppState>) {
+    let state = Arc::new(AppState::new());
+    state.add_survey(survey()).expect("bench survey");
+    let config = ServerConfig {
+        workers: REACTOR_SHARDS,
+        // Per-shard cap: leave room for every idle conn to land on one
+        // shard in the worst accept-race split, plus submit traffic.
+        backlog: top_step + 256,
+        read_timeout: Duration::from_secs(60),
+        ..ServerConfig::default()
+    };
+    let handle =
+        Server::spawn("127.0.0.1:0", build_router(Arc::clone(&state)), config).expect("bench server");
+    (handle, state)
+}
+
+fn main() {
+    banner(
+        "NET-1",
+        "idle keep-alive connection sweep + mixed submit load",
+        "thread count must not grow with connections; submit p99 holds",
+    );
+
+    let cap_env: Option<usize> = std::env::var("LOKI_NET1_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let budget = fd_budget();
+    let cap = cap_env.unwrap_or(usize::MAX).min(budget);
+    let mut steps: Vec<usize> = BASE_STEPS.iter().copied().filter(|&s| s <= cap).collect();
+    if steps.is_empty() {
+        steps.push(cap.max(128));
+    }
+    println!(
+        "fd budget {budget} conns (rlimit), env cap {:?} -> sweep {steps:?}",
+        cap_env
+    );
+
+    let top = *steps.iter().max().expect("non-empty sweep");
+    let (handle, _state) = spawn_server(top);
+    let addr = handle.addr();
+    let stats = handle.stats();
+    println!(
+        "server: {REACTOR_SHARDS} reactor shards at {addr}, backlog {} per shard",
+        top + 256
+    );
+
+    let p99_bar_ms: f64 = std::env::var("LOKI_NET1_MAX_P99_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250.0);
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "idle conns",
+        "ramp ms",
+        "open (server)",
+        "threads",
+        "submit p50 ms",
+        "submit p99 ms",
+    ]);
+    for &step in &steps {
+        let ramp_started = Instant::now();
+        let held = ramp_idle(addr, step);
+        let ramp = ramp_started.elapsed();
+        assert_eq!(held.len(), step, "ramp fell short at {step} conns");
+
+        // The reactor's own accounting must see every parked socket.
+        let open = stats.open_conns();
+        assert!(
+            open >= step as u64,
+            "server counts {open} open conns, expected >= {step}"
+        );
+
+        let mut latencies = submit_storm(addr, step);
+        latencies.sort();
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        let threads = process_threads();
+
+        table.row(&[
+            n(step),
+            f(ramp.as_secs_f64() * 1e3),
+            n(open as usize),
+            threads.map_or_else(|| "n/a".to_string(), n),
+            f(p50.as_secs_f64() * 1e3),
+            f(p99.as_secs_f64() * 1e3),
+        ]);
+        rows.push((step, ramp, open, threads, p50, p99));
+        drop(held);
+        // Let the reactors reap the dropped sockets before the next ramp.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while stats.open_conns() > 64 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    println!("{}", table.render());
+
+    let thread_samples: Vec<u64> = rows.iter().filter_map(|r| r.3).collect();
+    let threads_constant = thread_samples.windows(2).all(|w| w[0] == w[1]);
+    let worst_p99 = rows
+        .iter()
+        .map(|r| r.5)
+        .max()
+        .unwrap_or(Duration::ZERO)
+        .as_secs_f64()
+        * 1e3;
+    let p99_ok = worst_p99 <= p99_bar_ms;
+    let pass = threads_constant && p99_ok;
+
+    println!(
+        "threads across sweep: {thread_samples:?} ({})",
+        if threads_constant { "constant" } else { "GREW" }
+    );
+    println!("worst submit p99: {worst_p99:.2} ms (bar {p99_bar_ms:.0} ms)");
+
+    let results: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|(step, ramp, open, threads, p50, p99)| {
+            serde_json::json!({
+                "idle_conns": step,
+                "ramp_ms": ramp.as_secs_f64() * 1e3,
+                "server_open_conns": open,
+                "process_threads": threads,
+                "submit_p50_ms": p50.as_secs_f64() * 1e3,
+                "submit_p99_ms": p99.as_secs_f64() * 1e3,
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "bench": "NET-1",
+        "reactor_shards": REACTOR_SHARDS,
+        "submit_threads": SUBMIT_THREADS,
+        "submits_per_thread": SUBMITS_PER_THREAD,
+        "fd_budget": budget,
+        "steps": steps,
+        "results": results,
+        "threads_constant": threads_constant,
+        "worst_p99_ms": worst_p99,
+        "p99_bar_ms": p99_bar_ms,
+        "pass": pass,
+    });
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_NET1.json", json).expect("write BENCH_NET1.json");
+    println!("wrote BENCH_NET1.json");
+
+    handle.shutdown();
+    if pass {
+        println!("PASS: threads constant, p99 under {p99_bar_ms:.0} ms");
+    } else {
+        println!("FAIL: thread growth or p99 over the bar");
+        std::process::exit(1);
+    }
+}

@@ -104,7 +104,7 @@ fn committed_config_pins_rule_scopes() {
     // the store's acquired-while-held graph can produce, and must match
     // both the compiled defaults and the doc comment on `AppState` in
     // crates/server/src/store.rs.
-    assert_eq!(scope("lock-order", "crates"), ["loki-server"]);
+    assert_eq!(scope("lock-order", "crates"), ["loki-server", "loki-net"]);
     assert_eq!(
         scope("lock-order", "order"),
         loki_lint::rules::lock_order::DEFAULT_ORDER,
@@ -116,5 +116,5 @@ fn committed_config_pins_rule_scopes() {
         loki_lint::rules::guard_blocking::DEFAULT_BLOCKING,
         "committed blocking set must match the compiled defaults the fixtures use"
     );
-    assert_eq!(scope("double-lock", "crates"), ["loki-server"]);
+    assert_eq!(scope("double-lock", "crates"), ["loki-server", "loki-net"]);
 }

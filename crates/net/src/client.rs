@@ -73,6 +73,13 @@ impl HttpClient {
         self.send(Request::new(Method::Get, path))
     }
 
+    /// Issues a HEAD. The returned response has an empty body even
+    /// though `Content-Length` advertises the GET body's size — that is
+    /// the HEAD contract, and the parser accounts for it.
+    pub fn head(&self, path: &str) -> Result<Response, ClientError> {
+        self.send(Request::new(Method::Head, path))
+    }
+
     /// Issues a POST with a body and content type.
     pub fn post(
         &self,
@@ -114,14 +121,23 @@ impl HttpClient {
 
         let mut raw = Vec::with_capacity(4096);
         stream.read_to_end(&mut raw)?;
-        parse_response(&raw)
+        // HEAD responses carry the GET body's Content-Length but no
+        // body octets; telling the parser avoids a bogus "truncated
+        // body" error.
+        parse_response_for(&raw, request.method == Method::Head)
     }
+}
+
+/// Parses a complete HTTP/1.1 response to a non-HEAD request.
+fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
+    parse_response_for(raw, false)
 }
 
 /// Parses a complete HTTP/1.1 response. Every byte access is checked —
 /// a malformed or truncated response becomes a [`ClientError`], never a
-/// panic.
-fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
+/// panic. When `is_head` is set, `Content-Length` is treated as
+/// advisory and the body is empty by definition.
+fn parse_response_for(raw: &[u8], is_head: bool) -> Result<Response, ClientError> {
     let header_end = raw
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
@@ -156,17 +172,21 @@ fn parse_response(raw: &[u8]) -> Result<Response, ClientError> {
     }
 
     let body_start = header_end + 4;
-    let body = match headers.content_length() {
-        Some(len) => {
-            let body_end = body_start
-                .checked_add(len)
-                .ok_or_else(|| ClientError::BadResponse("bad content length".into()))?;
-            let bytes = raw
-                .get(body_start..body_end)
-                .ok_or_else(|| ClientError::BadResponse("truncated body".into()))?;
-            Bytes::copy_from_slice(bytes)
+    let body = if is_head {
+        Bytes::new()
+    } else {
+        match headers.content_length() {
+            Some(len) => {
+                let body_end = body_start
+                    .checked_add(len)
+                    .ok_or_else(|| ClientError::BadResponse("bad content length".into()))?;
+                let bytes = raw
+                    .get(body_start..body_end)
+                    .ok_or_else(|| ClientError::BadResponse("truncated body".into()))?;
+                Bytes::copy_from_slice(bytes)
+            }
+            None => Bytes::copy_from_slice(raw.get(body_start..).unwrap_or_default()),
         }
-        None => Bytes::copy_from_slice(raw.get(body_start..).unwrap_or_default()),
     };
     Ok(Response {
         status: StatusCode(code),
@@ -269,5 +289,27 @@ mod tests {
     fn parse_response_without_content_length_reads_to_eof() {
         let r = parse_response(b"HTTP/1.1 200 OK\r\n\r\neverything").unwrap();
         assert_eq!(&r.body[..], b"everything");
+    }
+
+    #[test]
+    fn head_response_with_advertised_length_parses_empty() {
+        // A correct HEAD reply: full Content-Length, zero body octets.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\n";
+        assert!(parse_response(raw).is_err(), "non-HEAD parse must reject");
+        let r = parse_response_for(raw, true).unwrap();
+        assert_eq!(r.status, StatusCode::OK);
+        assert_eq!(r.headers.content_length(), Some(5));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn head_round_trip_against_get_route() {
+        let h = demo_server();
+        let c = HttpClient::new(&h.base_url()).unwrap();
+        let resp = c.head("/hello").unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.headers.content_length(), Some(5), "GET length kept");
+        assert!(resp.body.is_empty(), "HEAD body suppressed");
+        h.shutdown();
     }
 }

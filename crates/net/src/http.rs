@@ -48,6 +48,44 @@ impl fmt::Display for Method {
     }
 }
 
+/// HTTP protocol version of a request. The framework speaks HTTP/1.1;
+/// HTTP/1.0 clients are served with 1.0 connection semantics (close by
+/// default, keep-alive only on request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Version {
+    /// `HTTP/1.0`: connections close after the response unless the
+    /// client sent `Connection: keep-alive`.
+    Http10,
+    /// `HTTP/1.1`: connections persist unless `Connection: close`.
+    #[default]
+    Http11,
+}
+
+impl Version {
+    /// Parses a version token from a request line.
+    pub fn parse(s: &str) -> Option<Version> {
+        match s {
+            "HTTP/1.0" => Some(Version::Http10),
+            "HTTP/1.1" => Some(Version::Http11),
+            _ => None,
+        }
+    }
+
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Version::Http10 => "HTTP/1.0",
+            Version::Http11 => "HTTP/1.1",
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Response status codes used by the framework.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatusCode(pub u16);
@@ -143,15 +181,47 @@ impl Headers {
             .map(|(_, v)| v.as_str())
     }
 
-    /// The `Content-Length` value, if present and numeric.
-    pub fn content_length(&self) -> Option<usize> {
-        self.get("content-length")?.trim().parse().ok()
+    /// All values of a header, case-insensitively, in insertion order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
-    /// Whether the client asked to close the connection.
+    /// The `Content-Length` value. Strict per RFC 9110 §8.6: the value
+    /// must be a plain run of ASCII digits — a sign (`"+42"`), inner
+    /// whitespace, or any other decoration returns `None` so the caller
+    /// rejects the message instead of guessing (request-smuggling
+    /// defense).
+    pub fn content_length(&self) -> Option<usize> {
+        let v = self.get("content-length")?;
+        if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        v.parse().ok()
+    }
+
+    /// Whether any `Connection` header carries the given token.
+    /// `Connection` is a comma-separated token list and may appear more
+    /// than once; tokens match case-insensitively.
+    pub fn has_connection_token(&self, token: &str) -> bool {
+        self.get_all("connection")
+            .flat_map(|v| v.split(','))
+            .any(|t| t.trim().eq_ignore_ascii_case(token))
+    }
+
+    /// Whether the client asked to close the connection
+    /// (`Connection: close` anywhere in the token list).
     pub fn wants_close(&self) -> bool {
-        self.get("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        self.has_connection_token("close")
+    }
+
+    /// Whether the client asked to keep the connection open
+    /// (`Connection: keep-alive` anywhere in the token list) — the
+    /// HTTP/1.0 opt-in.
+    pub fn wants_keep_alive(&self) -> bool {
+        self.has_connection_token("keep-alive")
     }
 
     /// Iterates over all entries.
@@ -183,6 +253,9 @@ pub struct Request {
     pub headers: Headers,
     /// Body bytes.
     pub body: Bytes,
+    /// Protocol version from the request line (1.1 when constructed
+    /// programmatically).
+    pub version: Version,
 }
 
 impl Request {
@@ -199,6 +272,18 @@ impl Request {
             query,
             headers: Headers::new(),
             body: Bytes::new(),
+            version: Version::Http11,
+        }
+    }
+
+    /// Whether the connection should close after this exchange, under
+    /// the request's own version semantics: HTTP/1.1 persists unless
+    /// `Connection: close`; HTTP/1.0 closes unless
+    /// `Connection: keep-alive`.
+    pub fn wants_close(&self) -> bool {
+        match self.version {
+            Version::Http11 => self.headers.wants_close(),
+            Version::Http10 => !self.headers.wants_keep_alive(),
         }
     }
 
@@ -258,7 +343,15 @@ impl Response {
     /// Serializes the response to wire format, appending Content-Length
     /// and the connection directive.
     pub fn to_bytes(&self, close: bool) -> Vec<u8> {
-        let mut out = Vec::with_capacity(128 + self.body.len());
+        self.serialize(close, false)
+    }
+
+    /// Serializes the response, optionally suppressing the body for a
+    /// HEAD exchange. The `Content-Length` of the full body is always
+    /// emitted — HEAD promises the metadata of the equivalent GET — but
+    /// with `head` set no body octets follow the blank line.
+    pub fn serialize(&self, close: bool, head: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + if head { 0 } else { self.body.len() });
         out.extend_from_slice(format!("HTTP/1.1 {}\r\n", self.status).as_bytes());
         for (n, v) in self.headers.iter() {
             out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
@@ -270,7 +363,9 @@ impl Response {
             b"Connection: keep-alive\r\n"
         });
         out.extend_from_slice(b"\r\n");
-        out.extend_from_slice(&self.body);
+        if !head {
+            out.extend_from_slice(&self.body);
+        }
         out
     }
 }
@@ -314,11 +409,32 @@ mod tests {
     #[test]
     fn content_length_parsing() {
         let mut h = Headers::new();
-        h.insert("Content-Length", " 42 ");
+        h.insert("Content-Length", "42");
         assert_eq!(h.content_length(), Some(42));
         let mut bad = Headers::new();
         bad.insert("Content-Length", "nope");
         assert_eq!(bad.content_length(), None);
+    }
+
+    #[test]
+    fn content_length_rejects_sign_and_whitespace() {
+        // "+42" parses under str::parse::<usize> — a classic smuggling
+        // vector where two hops disagree on the body length. The strict
+        // digits-only reading returns None for every decorated form.
+        for v in ["+42", "-42", " 42", "42 ", "4 2", "0x2a", ""] {
+            let mut h = Headers::new();
+            h.insert("Content-Length", v);
+            assert_eq!(h.content_length(), None, "value {v:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn content_length_get_all_sees_duplicates() {
+        let mut h = Headers::new();
+        h.insert("Content-Length", "10");
+        h.insert("content-length", "20");
+        let all: Vec<&str> = h.get_all("Content-Length").collect();
+        assert_eq!(all, ["10", "20"]);
     }
 
     #[test]
@@ -327,6 +443,49 @@ mod tests {
         h.insert("Connection", "Close");
         assert!(h.wants_close());
         assert!(!Headers::new().wants_close());
+    }
+
+    #[test]
+    fn connection_token_lists_split_on_commas() {
+        let mut h = Headers::new();
+        h.insert("Connection", "keep-alive, Close");
+        assert!(h.wants_close());
+        assert!(h.wants_keep_alive());
+
+        let mut spaced = Headers::new();
+        spaced.insert("Connection", "upgrade ,  CLOSE");
+        assert!(spaced.wants_close());
+
+        let mut other = Headers::new();
+        other.insert("Connection", "keep-alive, upgrade");
+        assert!(!other.wants_close());
+
+        // Token match, not substring match.
+        let mut sub = Headers::new();
+        sub.insert("Connection", "not-close");
+        assert!(!sub.wants_close());
+    }
+
+    #[test]
+    fn connection_tokens_across_repeated_headers() {
+        let mut h = Headers::new();
+        h.insert("Connection", "upgrade");
+        h.insert("Connection", "close");
+        assert!(h.wants_close());
+    }
+
+    #[test]
+    fn request_close_semantics_by_version() {
+        let mut r10 = Request::new(Method::Get, "/");
+        r10.version = Version::Http10;
+        assert!(r10.wants_close(), "HTTP/1.0 defaults to close");
+        r10.headers.insert("Connection", "Keep-Alive");
+        assert!(!r10.wants_close(), "HTTP/1.0 keep-alive is honored");
+
+        let mut r11 = Request::new(Method::Get, "/");
+        assert!(!r11.wants_close(), "HTTP/1.1 defaults to keep-alive");
+        r11.headers.insert("Connection", "x, close");
+        assert!(r11.wants_close());
     }
 
     #[test]
@@ -355,5 +514,24 @@ mod tests {
         let text = String::from_utf8(r.to_bytes(false)).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.contains("Content-Length: 0\r\n"));
+    }
+
+    #[test]
+    fn head_serialization_keeps_length_drops_body() {
+        let r = Response::text(StatusCode::OK, "hello");
+        let text = String::from_utf8(r.serialize(false, true)).unwrap();
+        assert!(text.contains("Content-Length: 5\r\n"), "true GET length kept");
+        assert!(text.ends_with("\r\n\r\n"), "no body octets follow: {text:?}");
+        // And the non-HEAD path is unchanged.
+        let full = String::from_utf8(r.serialize(false, false)).unwrap();
+        assert!(full.ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn version_round_trip() {
+        assert_eq!(Version::parse("HTTP/1.1"), Some(Version::Http11));
+        assert_eq!(Version::parse("HTTP/1.0"), Some(Version::Http10));
+        assert_eq!(Version::parse("HTTP/2"), None);
+        assert_eq!(Version::Http10.to_string(), "HTTP/1.0");
     }
 }

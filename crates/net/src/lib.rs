@@ -1,4 +1,4 @@
-//! # loki-net — a minimal blocking HTTP/1.1 framework over `std::net`
+//! # loki-net — a minimal evented HTTP/1.1 framework over `std::net`
 //!
 //! The Django-substrate of the reproduction: the smallest web framework
 //! that makes the Loki backend real rather than mocked. Design follows
@@ -8,13 +8,21 @@
 //!   incrementally out of a `bytes::BytesMut` receive buffer
 //!   ([`parser`]); no line-at-a-time `BufRead` trickery, no hidden
 //!   copies.
+//! * **C100K edge** — connections are multiplexed by a fixed set of
+//!   per-core reactor shards over non-blocking sockets and an epoll
+//!   readiness loop ([`server`]); thread count is a function of
+//!   configuration, never of open connections. A timer wheel gives
+//!   every connection a header deadline and keep-alive idle timeout, so
+//!   slow-loris clients are structurally evicted and shutdown is
+//!   bounded.
 //! * **Simplicity over type tricks** — handlers are plain
 //!   `Fn(&Request, &Params) -> Response` closures behind an `Arc`
 //!   ([`router`]); no macro DSL, no generic middleware towers.
 //! * **Robustness** — strict limits on request-line, header and body
-//!   sizes; malformed input produces 4xx responses, never panics
-//!   ([`parser`] error taxonomy); connections are handled by a fixed
-//!   thread pool with graceful shutdown ([`server`]).
+//!   sizes; malformed input (including smuggling-shaped
+//!   `Content-Length` values) produces 4xx responses, never panics
+//!   ([`parser`] error taxonomy); connections past the per-shard cap
+//!   are shed with an observable best-effort 503.
 //! * **Std naming** — types mirror `std`/common-crate conventions:
 //!   [`http::Request`], [`http::Response`], [`http::StatusCode`].
 //!
@@ -41,17 +49,23 @@
 //! handle.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// The raw epoll/eventfd syscall wrapper is the one place unsafe is
+// allowed (module-scoped in `epoll`); everything above it is safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+mod epoll;
 pub mod http;
 pub mod json;
 pub mod parser;
+mod reactor;
 pub mod router;
 pub mod server;
 
 pub use client::HttpClient;
-pub use http::{Headers, Method, Request, Response, StatusCode};
+pub use http::{Headers, Method, Request, Response, StatusCode, Version};
 pub use router::{ErrorRenderer, Params, Router};
-pub use server::{RequestObserver, RequestTiming, Server, ServerConfig, ServerHandle};
+pub use server::{
+    NetStats, RequestObserver, RequestTiming, Server, ServerConfig, ServerHandle,
+};

@@ -12,7 +12,7 @@
 //! Limits guard every dimension an attacker controls: request-line
 //! length, header count and size, and body size.
 
-use crate::http::{Headers, Method, Request};
+use crate::http::{Headers, Method, Request, Version};
 use crate::http::StatusCode;
 use bytes::{Buf, Bytes, BytesMut};
 use std::fmt;
@@ -144,7 +144,7 @@ impl RequestParser {
 
         // Parse the head into owned values so the borrow of `buf` ends
         // before the consuming `advance` below.
-        let (method, target, headers) = {
+        let (method, target, version, headers) = {
             // header_end is the CRLFCRLF offset found inside buf, so the
             // slice is in-bounds by construction.
             // lint:allow panic-path
@@ -167,9 +167,7 @@ impl RequestParser {
                 return Err(ParseError::BadRequestLine);
             }
             let method = Method::parse(method).ok_or(ParseError::BadMethod)?;
-            if version != "HTTP/1.1" && version != "HTTP/1.0" {
-                return Err(ParseError::BadVersion);
-            }
+            let version = Version::parse(version).ok_or(ParseError::BadVersion)?;
 
             let mut headers = Headers::new();
             for line in lines {
@@ -187,20 +185,31 @@ impl RequestParser {
                 }
                 headers.insert(name, value.trim());
             }
-            (method, target.to_string(), headers)
+            (method, target.to_string(), version, headers)
         };
 
         // Body handling: only via Content-Length (no chunked uploads —
         // the API clients never send them, and rejecting is safer than
-        // half-implementing).
+        // half-implementing). Duplicate Content-Length headers with
+        // conflicting values are a request-smuggling vector (two hops
+        // framing the stream differently), so any disagreement is fatal;
+        // identical repeats are tolerated per RFC 9110 §8.6.
         let body_len = match headers.get("transfer-encoding") {
             Some(_) => return Err(ParseError::BadContentLength),
-            None => match headers.get("content-length") {
-                Some(_) => headers
-                    .content_length()
-                    .ok_or(ParseError::BadContentLength)?,
-                None => 0,
-            },
+            None => {
+                let mut values = headers.get_all("content-length");
+                match values.next() {
+                    Some(first) => {
+                        if values.any(|v| v != first) {
+                            return Err(ParseError::BadContentLength);
+                        }
+                        headers
+                            .content_length()
+                            .ok_or(ParseError::BadContentLength)?
+                    }
+                    None => 0,
+                }
+            }
         };
         if body_len > cfg.max_body {
             return Err(ParseError::BodyTooLarge);
@@ -217,6 +226,7 @@ impl RequestParser {
         let mut request = Request::new(method, target);
         request.headers = headers;
         request.body = body;
+        request.version = version;
         Ok(Some(request))
     }
 }
@@ -399,6 +409,74 @@ mod tests {
     fn http_1_0_accepted() {
         let r = parse_all("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
         assert_eq!(r.method, Method::Get);
+        assert_eq!(r.version, Version::Http10);
+        assert!(r.wants_close(), "HTTP/1.0 closes by default");
+    }
+
+    #[test]
+    fn http_1_0_keep_alive_honored() {
+        let r = parse_all("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.version, Version::Http10);
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn http_1_1_version_recorded() {
+        let r = parse_all("GET / HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(r.version, Version::Http11);
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn connection_token_list_close_detected() {
+        let r = parse_all("GET / HTTP/1.1\r\nConnection: keep-alive, Close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(r.wants_close(), "close token inside a list must win");
+    }
+
+    #[test]
+    fn rejects_signed_content_length() {
+        // "+42" satisfies str::parse::<usize> but is not a valid
+        // Content-Length; hops that parse it differently disagree on
+        // where the next request starts (smuggling).
+        assert_eq!(
+            parse_all("POST / HTTP/1.1\r\nContent-Length: +4\r\n\r\nabcd").unwrap_err(),
+            ParseError::BadContentLength
+        );
+    }
+
+    #[test]
+    fn rejects_conflicting_duplicate_content_length() {
+        assert_eq!(
+            parse_all("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 40\r\n\r\nabcd")
+                .unwrap_err(),
+            ParseError::BadContentLength
+        );
+    }
+
+    #[test]
+    fn tolerates_identical_duplicate_content_length() {
+        let r = parse_all("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(&r.body[..], b"abcd");
+    }
+
+    #[test]
+    fn rejects_content_length_with_transfer_encoding() {
+        // CL + TE together is the classic smuggling split; TE alone is
+        // already rejected (no chunked support), and the combination
+        // must not downgrade to the CL framing.
+        assert_eq!(
+            parse_all(
+                "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 4\r\n\r\nabcd"
+            )
+            .unwrap_err(),
+            ParseError::BadContentLength
+        );
     }
 
     #[test]

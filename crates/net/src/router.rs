@@ -112,7 +112,9 @@ impl Router {
     }
 
     /// Dispatches a request: 404 when no pattern matches, 405 when a
-    /// pattern matches but only under other methods.
+    /// pattern matches but only under other methods. HEAD requests with
+    /// no dedicated route fall back to the GET handler for the same
+    /// pattern (the server's write path suppresses the body).
     pub fn dispatch(&self, request: &Request) -> Response {
         let path_segments: Vec<&str> = request
             .path
@@ -129,6 +131,16 @@ impl Router {
             saw_path_match = true;
             if route.method == request.method {
                 return (route.handler)(request, &params);
+            }
+        }
+        if request.method == Method::Head {
+            for route in &self.routes {
+                if route.method != Method::Get {
+                    continue;
+                }
+                if let Some(params) = match_segments(&route.segments, &path_segments) {
+                    return (route.handler)(request, &params);
+                }
             }
         }
         if saw_path_match {
@@ -242,6 +254,36 @@ mod tests {
     fn method_not_allowed() {
         let req = Request::new(Method::Post, "/surveys");
         let resp = router().dispatch(&req);
+        assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
+    }
+
+    #[test]
+    fn head_falls_back_to_get_handler() {
+        let resp = router().dispatch(&Request::new(Method::Head, "/surveys/9"));
+        assert_eq!(resp.status, StatusCode::OK);
+        // The handler runs in full — body suppression happens in the
+        // server's write path, so Content-Length stays truthful.
+        assert_eq!(&resp.body[..], b"survey 9");
+    }
+
+    #[test]
+    fn head_without_any_match_is_404() {
+        let resp = router().dispatch(&Request::new(Method::Head, "/nope"));
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn explicit_head_route_wins_over_get_fallback() {
+        let mut r = Router::new();
+        r.get("/x", |_, _| Response::text(StatusCode::OK, "get"));
+        r.route(Method::Head, "/x", |_, _| Response::status(StatusCode::NO_CONTENT));
+        let resp = r.dispatch(&Request::new(Method::Head, "/x"));
+        assert_eq!(resp.status, StatusCode::NO_CONTENT);
+    }
+
+    #[test]
+    fn head_on_post_only_route_is_405() {
+        let resp = router().dispatch(&Request::new(Method::Head, "/surveys/1/responses"));
         assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
     }
 

@@ -1,22 +1,33 @@
-//! The connection-handling server: accept loop + fixed thread pool.
+//! The connection-handling server: per-core reactor shards over a
+//! shared non-blocking listener.
 //!
-//! One thread accepts; a fixed pool of workers owns connections end to
-//! end (read → parse → dispatch → write, with keep-alive). Connections
-//! are passed to workers over a crossbeam channel. Shutdown is graceful:
-//! a flag flips, the listener is woken with a loopback connection, the
-//! channel closes, and workers drain.
+//! `workers` reactor threads each run an epoll readiness loop
+//! ([`crate::reactor`]): every shard registers a clone of the listener,
+//! accepts into its own connection slab (so a connection lives on the
+//! shard that accepted it), and multiplexes reads, dispatch, and writes
+//! over non-blocking sockets. Thread count is therefore a function of
+//! configuration, not of open connections — 10k idle keep-alive sockets
+//! cost table entries, not stacks.
+//!
+//! Shedding happens at accept: past `backlog` open connections per
+//! shard, new arrivals get a best-effort `503` envelope with
+//! `Retry-After: 1` and are closed, and every shed is observable.
+//! Shutdown flips a flag and wakes every shard; each drops all of its
+//! connections — idle keep-alive ones included — on the next loop turn,
+//! so `ServerHandle::shutdown()` is bounded by a poll wakeup, not by
+//! `read_timeout`.
 
+use crate::epoll::{Poller, Waker};
 use crate::http::Response;
-use crate::parser::{ParserConfig, RequestParser};
+use crate::parser::ParserConfig;
+use crate::reactor::{self, ShardContext, LISTENER_TOKEN, WAKER_TOKEN};
 use crate::router::Router;
-use bytes::BytesMut;
-use crossbeam::channel::{bounded, Sender};
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Per-request timing measured by the connection loop, handed to the
 /// [`RequestObserver`] alongside the request/response pair.
@@ -33,30 +44,34 @@ pub struct RequestTiming {
 }
 
 /// Observer invoked after every dispatched request (access logging,
-/// metrics). Runs on the connection's worker thread; keep it cheap.
+/// metrics). Runs on the connection's reactor shard; keep it cheap.
 pub type RequestObserver =
     Arc<dyn Fn(&crate::http::Request, &Response, &RequestTiming) + Send + Sync>;
 
-/// Observer invoked each time the accept loop sheds a connection because
-/// the worker queue is full. Runs on the accept thread; keep it cheap.
-/// Without one installed, saturation is invisible — the whole point of
-/// wiring this up is that dropped connections leave a trace.
+/// Observer invoked each time a shard sheds a connection because it is
+/// at its open-connection cap. Runs on the reactor thread; keep it
+/// cheap. Without one installed, saturation is invisible — the whole
+/// point of wiring this up is that shed connections leave a trace.
 pub type ShedObserver = Arc<dyn Fn() + Send + Sync>;
 
 /// Server tuning.
 #[derive(Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling connections.
+    /// Reactor shards (threads) multiplexing connections.
     pub workers: usize,
-    /// Per-read socket timeout; a connection idle longer is dropped.
+    /// Request deadline and keep-alive idle timeout: a connection must
+    /// complete a request within this much of accept (or of its last
+    /// response) or it is closed. Partial bytes do not extend the
+    /// deadline — the anti-slow-loris property.
     pub read_timeout: Duration,
     /// Parser limits.
     pub parser: ParserConfig,
-    /// Maximum queued connections awaiting a worker.
+    /// Maximum open connections per reactor shard; arrivals beyond the
+    /// cap are shed with a best-effort 503.
     pub backlog: usize,
     /// Optional per-request observer (access log / metrics hook).
     pub observer: Option<RequestObserver>,
-    /// Optional observer for connections shed by a full worker queue.
+    /// Optional observer for shed connections.
     pub shed_observer: Option<ShedObserver>,
 }
 
@@ -86,17 +101,108 @@ impl Default for ServerConfig {
     }
 }
 
+/// Live counters maintained by the reactor shards, exposed through
+/// [`ServerHandle::stats`] so the metrics layer can publish
+/// `loki_net_open_conns` / `loki_net_reactor_wakeups_total` gauges
+/// without the hot path knowing about any metrics registry.
+#[derive(Debug)]
+pub struct NetStats {
+    open: Vec<AtomicU64>,
+    wakeups: Vec<AtomicU64>,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl NetStats {
+    /// Creates a stats block for `shards` reactor shards.
+    pub fn new(shards: usize) -> NetStats {
+        let shards = shards.max(1);
+        NetStats {
+            open: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            wakeups: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of reactor shards.
+    pub fn shards(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Open connections across all shards.
+    pub fn open_conns(&self) -> u64 {
+        self.open.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Open connections on one shard (0 for out-of-range shards).
+    pub fn open_conns_for(&self, shard: usize) -> u64 {
+        self.open
+            .get(shard)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Reactor loop wakeups across all shards.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Reactor loop wakeups on one shard.
+    pub fn wakeups_for(&self, shard: usize) -> u64 {
+        self.wakeups
+            .get(shard)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Total connections accepted (admitted or shed).
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Total connections shed at the accept gate.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_open(&self, shard: usize) {
+        if let Some(c) = self.open.get(shard) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_close(&self, shard: usize) {
+        if let Some(c) = self.open.get(shard) {
+            c.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_wakeup(&self, shard: usize) {
+        if let Some(c) = self.wakeups.get(shard) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// A bound, running server.
 #[derive(Debug)]
 pub struct Server;
 
-/// Handle to a running server: address + shutdown.
+/// Handle to a running server: address, live stats, shutdown.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
+    wakers: Vec<Waker>,
+    stats: Arc<NetStats>,
 }
 
 impl Server {
@@ -109,140 +215,47 @@ impl Server {
     ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let router = Arc::new(router);
+        let shard_count = config.workers.max(1);
+        let stats = Arc::new(NetStats::new(shard_count));
 
-        let (tx, rx) = bounded::<TcpStream>(config.backlog);
-
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let rx = rx.clone();
-                let router = Arc::clone(&router);
-                let config = config.clone();
-                std::thread::spawn(move || {
-                    while let Ok(stream) = rx.recv() {
-                        // A broken connection affects only itself.
-                        let _ = handle_connection(stream, &router, &config);
-                    }
-                })
-            })
-            .collect();
-
-        let accept_shutdown = Arc::clone(&shutdown);
-        let shed_observer = config.shed_observer.clone();
-        let accept_thread = std::thread::spawn(move || {
-            accept_loop(listener, tx, accept_shutdown, shed_observer);
-        });
+        let mut wakers = Vec::with_capacity(shard_count);
+        let mut shards = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let poller = Poller::new()?;
+            let waker = Waker::new(&poller, WAKER_TOKEN)?;
+            // Every shard polls its own clone of the listener fd
+            // (level-triggered): accept races are resolved by the
+            // kernel, and a connection stays on the shard that won it.
+            let shard_listener = listener.try_clone()?;
+            poller.add(shard_listener.as_raw_fd(), LISTENER_TOKEN, true, false)?;
+            wakers.push(waker.clone());
+            let ctx = ShardContext {
+                shard,
+                listener: shard_listener,
+                poller,
+                waker,
+                router: Arc::clone(&router),
+                config: config.clone(),
+                shutdown: Arc::clone(&shutdown),
+                stats: Arc::clone(&stats),
+            };
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("loki-net-reactor-{shard}"))
+                    .spawn(move || reactor::run(ctx))?,
+            );
+        }
 
         Ok(ServerHandle {
             addr: local,
             shutdown,
-            accept_thread: Some(accept_thread),
-            workers,
+            shards,
+            wakers,
+            stats,
         })
-    }
-}
-
-fn accept_loop(
-    listener: TcpListener,
-    tx: Sender<TcpStream>,
-    shutdown: Arc<AtomicBool>,
-    shed_observer: Option<ShedObserver>,
-) {
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::Acquire) {
-            break;
-        }
-        match stream {
-            Ok(s) => {
-                // If the queue is full the connection is dropped — load
-                // shedding beats unbounded queueing — but every shed is
-                // reported so saturation stays diagnosable.
-                if let Err(e) = tx.try_send(s) {
-                    if e.is_full() {
-                        if let Some(observer) = &shed_observer {
-                            observer();
-                        }
-                    }
-                }
-            }
-            Err(_) => {
-                if shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-            }
-        }
-    }
-    // Dropping `tx` closes the channel; workers drain and exit.
-}
-
-/// Serves one connection until close, error, or idle timeout.
-fn handle_connection(
-    mut stream: TcpStream,
-    router: &Router,
-    config: &ServerConfig,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(config.read_timeout))?;
-    stream.set_nodelay(true)?;
-    let parser = RequestParser::new(config.parser);
-    let mut buf = BytesMut::with_capacity(4096);
-    let mut chunk = [0u8; 4096];
-    let mut served = 0usize;
-    // Parse time accumulates across partial reads and resets per request.
-    let mut parse_spent = Duration::ZERO;
-
-    loop {
-        // Parse everything already buffered before reading again.
-        loop {
-            let parse_started = Instant::now();
-            let parsed = parser.parse(&mut buf);
-            parse_spent += parse_started.elapsed();
-            match parsed {
-                Ok(Some(request)) => {
-                    let close = request.headers.wants_close();
-                    let dispatch_started = Instant::now();
-                    let response = router.dispatch(&request);
-                    let timing = RequestTiming {
-                        parse: parse_spent,
-                        dispatch: dispatch_started.elapsed(),
-                        reused: served > 0,
-                    };
-                    parse_spent = Duration::ZERO;
-                    served += 1;
-                    if let Some(observer) = &config.observer {
-                        observer(&request, &response, &timing);
-                    }
-                    stream.write_all(&response.to_bytes(close))?;
-                    if close {
-                        return Ok(());
-                    }
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    let status = e.status();
-                    let response =
-                        router.render_error(status, parse_error_code(status), &e.to_string());
-                    let _ = stream.write_all(&response.to_bytes(true));
-                    return Ok(());
-                }
-            }
-        }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Ok(()); // peer closed
-        }
-        buf.extend_from_slice(chunk.get(..n).unwrap_or(&chunk));
-    }
-}
-
-/// Machine-readable code for a parse-level error status, fed to the
-/// router's error renderer so parser rejections share the application's
-/// error body shape.
-fn parse_error_code(status: crate::http::StatusCode) -> &'static str {
-    match status.0 {
-        413 => "payload_too_large",
-        431 => "headers_too_large",
-        _ => "bad_request",
     }
 }
 
@@ -257,27 +270,39 @@ impl ServerHandle {
         format!("http://{}", self.addr)
     }
 
-    /// Requests shutdown and joins all threads.
+    /// Live reactor counters (open connections, wakeups, sheds).
+    pub fn stats(&self) -> Arc<NetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Number of reactor shards serving this listener — the server's
+    /// whole thread count, independent of open connections.
+    pub fn reactor_shards(&self) -> usize {
+        self.stats.shards()
+    }
+
+    /// Requests shutdown and joins all shards. Bounded: shards drop
+    /// idle keep-alive connections on the next wakeup instead of
+    /// waiting out `read_timeout`.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
         self.shutdown.store(true, Ordering::Release);
-        // Wake the accept loop.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        for waker in &self.wakers {
+            waker.wake();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for shard in self.shards.drain(..) {
+            let _ = shard.join();
         }
+        self.wakers.clear();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if !self.shards.is_empty() {
             self.shutdown_inner();
         }
     }
@@ -287,7 +312,10 @@ impl Drop for ServerHandle {
 mod tests {
     use super::*;
     use crate::http::StatusCode;
-    use std::io::BufRead;
+    use crate::parser::ParserConfig;
+    use std::io::{BufRead, Read, Write};
+    use std::net::TcpStream;
+    use std::time::Instant;
 
     fn demo_router() -> Router {
         let mut r = Router::new();
@@ -307,6 +335,28 @@ mod tests {
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
         out
+    }
+
+    /// Reads one response (status line + headers + Content-Length body)
+    /// off a keep-alive connection.
+    fn read_one_response(reader: &mut impl BufRead) -> (String, Vec<u8>) {
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut line = String::new();
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+            if line == "\r\n" {
+                break;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, body)
     }
 
     #[test]
@@ -339,26 +389,27 @@ mod tests {
         for _ in 0..3 {
             s.write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
             let mut reader = std::io::BufReader::new(&s);
-            let mut status = String::new();
-            reader.read_line(&mut status).unwrap();
+            let (status, body) = read_one_response(&mut reader);
             assert!(status.starts_with("HTTP/1.1 200"), "{status}");
-            // Drain headers + body (Content-Length: 4).
-            let mut line = String::new();
-            let mut content_length = 0usize;
-            loop {
-                line.clear();
-                reader.read_line(&mut line).unwrap();
-                if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
-                    content_length = v.trim().parse().unwrap();
-                }
-                if line == "\r\n" {
-                    break;
-                }
-            }
-            let mut body = vec![0u8; content_length];
-            reader.read_exact(&mut body).unwrap();
             assert_eq!(&body, b"pong");
         }
+        h.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_all_answered() {
+        let h = Server::spawn("127.0.0.1:0", demo_router(), ServerConfig::default()).unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        // Two requests in one segment; the second asks to close, so the
+        // whole conversation is readable to EOF.
+        s.write_all(
+            b"GET /ping HTTP/1.1\r\n\r\nGET /ping HTTP/1.1\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert_eq!(out.matches("HTTP/1.1 200 OK").count(), 2, "{out}");
+        assert!(out.ends_with("pong"));
         h.shutdown();
     }
 
@@ -375,6 +426,60 @@ mod tests {
         let h = Server::spawn("127.0.0.1:0", demo_router(), ServerConfig::default()).unwrap();
         let reply = raw_roundtrip(h.addr(), "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
         assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn http_1_0_closes_by_default() {
+        let h = Server::spawn("127.0.0.1:0", demo_router(), ServerConfig::default()).unwrap();
+        // No Connection header at all: 1.0 semantics close the socket,
+        // so read_to_string terminates without our asking.
+        let reply = raw_roundtrip(h.addr(), "GET /ping HTTP/1.0\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.contains("Connection: close\r\n"), "{reply}");
+        assert!(reply.ends_with("pong"));
+        h.shutdown();
+    }
+
+    #[test]
+    fn http_1_0_keep_alive_is_honored() {
+        let h = Server::spawn("127.0.0.1:0", demo_router(), ServerConfig::default()).unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        for _ in 0..2 {
+            s.write_all(b"GET /ping HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap();
+            let mut reader = std::io::BufReader::new(&s);
+            let (status, body) = read_one_response(&mut reader);
+            assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+            assert_eq!(&body, b"pong");
+        }
+        h.shutdown();
+    }
+
+    #[test]
+    fn connection_close_token_list_is_respected() {
+        let h = Server::spawn("127.0.0.1:0", demo_router(), ServerConfig::default()).unwrap();
+        // "keep-alive, close" — the buggy first-token-only reading kept
+        // this open and the client would hang reading to EOF.
+        let reply = raw_roundtrip(
+            h.addr(),
+            "GET /ping HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.ends_with("pong"));
+        h.shutdown();
+    }
+
+    #[test]
+    fn head_suppresses_body_but_keeps_content_length() {
+        let h = Server::spawn("127.0.0.1:0", demo_router(), ServerConfig::default()).unwrap();
+        let reply = raw_roundtrip(h.addr(), "HEAD /ping HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(
+            reply.contains("Content-Length: 4\r\n"),
+            "true GET length advertised: {reply}"
+        );
+        assert!(reply.ends_with("\r\n\r\n"), "no body octets: {reply:?}");
         h.shutdown();
     }
 
@@ -421,10 +526,27 @@ mod tests {
     }
 
     #[test]
+    fn smuggling_shaped_content_length_is_rejected() {
+        let h = Server::spawn("127.0.0.1:0", demo_router(), ServerConfig::default()).unwrap();
+        let reply = raw_roundtrip(
+            h.addr(),
+            "POST /echo HTTP/1.1\r\nContent-Length: +5\r\nConnection: close\r\n\r\nhello",
+        );
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        let reply = raw_roundtrip(
+            h.addr(),
+            "POST /echo HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello!",
+        );
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        h.shutdown();
+    }
+
+    #[test]
     fn observer_sees_every_request() {
         use std::sync::atomic::AtomicUsize;
+        use std::sync::Mutex;
         let hits = Arc::new(AtomicUsize::new(0));
-        let statuses = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let statuses = Arc::new(Mutex::new(Vec::new()));
         let config = ServerConfig {
             observer: Some({
                 let hits = Arc::clone(&hits);
@@ -433,6 +555,7 @@ mod tests {
                     hits.fetch_add(1, Ordering::SeqCst);
                     statuses
                         .lock()
+                        .unwrap()
                         .push((req.path.clone(), resp.status.0, *timing));
                 })
             }),
@@ -443,7 +566,7 @@ mod tests {
         raw_roundtrip(h.addr(), "GET /missing HTTP/1.1\r\nConnection: close\r\n\r\n");
         h.shutdown();
         assert_eq!(hits.load(Ordering::SeqCst), 2);
-        let seen = statuses.lock();
+        let seen = statuses.lock().unwrap();
         assert!(seen.iter().any(|(p, s, _)| p == "/ping" && *s == 200));
         assert!(seen.iter().any(|(p, s, _)| p == "/missing" && *s == 404));
         for (_, _, timing) in seen.iter() {
@@ -454,12 +577,13 @@ mod tests {
 
     #[test]
     fn observer_timing_marks_keepalive_reuse() {
-        let reuses = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        use std::sync::Mutex;
+        let reuses = Arc::new(Mutex::new(Vec::new()));
         let config = ServerConfig {
             observer: Some({
                 let reuses = Arc::clone(&reuses);
                 Arc::new(move |_req, _resp, timing: &RequestTiming| {
-                    reuses.lock().push(timing.reused);
+                    reuses.lock().unwrap().push(timing.reused);
                 })
             }),
             ..ServerConfig::default()
@@ -469,30 +593,30 @@ mod tests {
         for _ in 0..3 {
             s.write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
             let mut reader = std::io::BufReader::new(&s);
-            let mut line = String::new();
-            loop {
-                line.clear();
-                reader.read_line(&mut line).unwrap();
-                if line == "\r\n" {
-                    break;
-                }
-            }
-            let mut body = [0u8; 4]; // "pong"
-            reader.read_exact(&mut body).unwrap();
+            let _ = read_one_response(&mut reader);
         }
         drop(s);
         h.shutdown();
-        assert_eq!(&*reuses.lock(), &[false, true, true]);
+        assert_eq!(&*reuses.lock().unwrap(), &[false, true, true]);
     }
 
     #[test]
     fn sheds_are_observed_when_the_worker_queue_is_full() {
         use std::sync::atomic::AtomicUsize;
         let sheds = Arc::new(AtomicUsize::new(0));
+        // An application-style JSON renderer, to pin the envelope shape
+        // a shed client actually receives.
+        let mut router = demo_router();
+        router.set_error_renderer(|status, code, _message| {
+            Response::json_bytes(
+                status,
+                format!("{{\"error\":{{\"code\":\"{code}\"}}}}").into_bytes(),
+            )
+        });
         let config = ServerConfig {
             workers: 1,
             backlog: 1,
-            read_timeout: Duration::from_millis(300),
+            read_timeout: Duration::from_millis(500),
             shed_observer: Some({
                 let sheds = Arc::clone(&sheds);
                 Arc::new(move || {
@@ -501,24 +625,118 @@ mod tests {
             }),
             ..ServerConfig::default()
         };
-        let h = Server::spawn("127.0.0.1:0", demo_router(), config).unwrap();
-        // Stall the single worker with a half-sent request: it blocks in
-        // read() until the timeout.
+        let h = Server::spawn("127.0.0.1:0", router, config).unwrap();
+        // Occupy the single connection slot with a half-sent request.
         let mut stall = TcpStream::connect(h.addr()).unwrap();
         stall.write_all(b"GET /ping HTTP/1.1\r\n").unwrap();
-        std::thread::sleep(Duration::from_millis(50));
-        // Flood: the 1-slot queue fills, the rest must be shed — and
-        // every shed counted.
-        let flood: Vec<_> = (0..16)
+        std::thread::sleep(Duration::from_millis(100));
+        // Flood: every arrival past the cap must be shed — observably,
+        // and with a 503 envelope rather than a silent RST.
+        let flood: Vec<_> = (0..8)
             .map(|_| TcpStream::connect(h.addr()).unwrap())
             .collect();
-        std::thread::sleep(Duration::from_millis(100));
+        let mut envelopes = 0;
+        for mut s in flood {
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut reply = String::new();
+            if s.read_to_string(&mut reply).is_ok() && !reply.is_empty() {
+                assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
+                assert!(reply.contains("Retry-After: 1\r\n"), "{reply}");
+                assert!(reply.contains("\"code\":\"shed\""), "{reply}");
+                envelopes += 1;
+            }
+        }
         assert!(
             sheds.load(Ordering::SeqCst) >= 1,
             "saturation left no trace: 0 sheds observed"
         );
-        drop(flood);
+        assert!(envelopes >= 1, "no shed client saw the 503 envelope");
+        assert!(h.stats().shed_total() >= 1, "stats missed the sheds");
         drop(stall);
+        h.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_is_deadlined_without_blocking_others() {
+        let config = ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        };
+        let h = Server::spawn("127.0.0.1:0", demo_router(), config).unwrap();
+        // The loris: a partial request line, then a trickle.
+        let mut loris = TcpStream::connect(h.addr()).unwrap();
+        loris.write_all(b"GET /ping HTTP/1.1\r\nX-Slow: ").unwrap();
+
+        // With one shard and the loris pending, normal traffic must
+        // still be served promptly — the old thread-per-connection
+        // design parked its only worker here for read_timeout.
+        let started = Instant::now();
+        let reply = raw_roundtrip(h.addr(), "GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(reply.ends_with("pong"), "{reply}");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "request behind a loris took {:?}",
+            started.elapsed()
+        );
+
+        // Trickling bytes does NOT extend the deadline: only a completed
+        // request does. The loris gets closed ~read_timeout after accept.
+        for _ in 0..6 {
+            let _ = loris.write(b"a");
+            std::thread::sleep(Duration::from_millis(150));
+        }
+        loris
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut sink = Vec::new();
+        let outcome = loris.read_to_end(&mut sink);
+        assert!(
+            outcome.is_ok(),
+            "loris socket should be closed by deadline, got {outcome:?}"
+        );
+        h.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_bounded_despite_idle_keepalive_conns() {
+        // Default read_timeout is 10s; shutdown must not wait it out.
+        let h = Server::spawn("127.0.0.1:0", demo_router(), ServerConfig::default()).unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(&s);
+        let (status, _) = read_one_response(&mut reader);
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        // `s` now sits idle in a shard's slab.
+        let started = Instant::now();
+        h.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "shutdown stalled {:?} behind an idle keep-alive connection",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn stats_track_open_connections() {
+        let h = Server::spawn("127.0.0.1:0", demo_router(), ServerConfig::default()).unwrap();
+        let stats = h.stats();
+        assert_eq!(stats.shards(), 4);
+        assert_eq!(stats.open_conns(), 0);
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(&s);
+        let _ = read_one_response(&mut reader);
+        assert_eq!(stats.open_conns(), 1, "keep-alive conn is counted");
+        assert!(stats.accepted() >= 1);
+        assert!(stats.wakeups() >= 1);
+        drop(s);
+        // The reactor notices the close on its next wakeup.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while stats.open_conns() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(stats.open_conns(), 0, "close was not accounted");
         h.shutdown();
     }
 
@@ -542,6 +760,22 @@ mod tests {
         );
         assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
         assert!(reply.contains("payload_too_large:"), "{reply}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn bad_content_length_renders_its_own_code() {
+        let mut router = demo_router();
+        router.set_error_renderer(|status, code, message| {
+            Response::text(status, format!("{code}: {message}"))
+        });
+        let h = Server::spawn("127.0.0.1:0", router, ServerConfig::default()).unwrap();
+        let reply = raw_roundtrip(
+            h.addr(),
+            "POST /echo HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello",
+        );
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(reply.contains("bad_content_length:"), "{reply}");
         h.shutdown();
     }
 

@@ -486,8 +486,10 @@ pub fn build_router(state: Arc<AppState>) -> Router {
         Arc::new(move |_, _| {
             let metrics = s.enable_metrics();
             // The ε gauges walk every ledger, so they refresh on scrape
-            // rather than on every submission.
+            // rather than on every submission; the reactor gauges read
+            // the live shard counters the same way.
             metrics.refresh_ledger_gauges(&s.accountant, s.epsilon_budget());
+            metrics.refresh_net_gauges();
             let mut resp = Response::status(StatusCode::OK);
             resp.headers
                 .insert("Content-Type", "text/plain; version=0.0.4; charset=utf-8");
@@ -799,7 +801,11 @@ pub fn serve(addr: &str, state: Arc<AppState>) -> std::io::Result<ServerHandle> 
         shed_observer: Some(metrics.shed_observer()),
         ..ServerConfig::default()
     };
-    Server::spawn(addr, build_router(state), config)
+    let handle = Server::spawn(addr, build_router(state), config)?;
+    // Feed the reactor's live counters into the loki_net_* families so
+    // open-connection and wakeup telemetry rides the normal scrape path.
+    metrics.attach_net_stats(handle.stats());
+    Ok(handle)
 }
 
 #[cfg(test)]

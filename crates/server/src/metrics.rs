@@ -16,13 +16,13 @@ use loki_core::privacy_level::PrivacyLevel;
 use loki_dp::accountant::Accountant;
 use loki_dp::params::Delta;
 use loki_net::http::Method;
-use loki_net::server::{RequestObserver, RequestTiming, ShedObserver};
+use loki_net::server::{NetStats, RequestObserver, RequestTiming, ShedObserver};
 use loki_obs::{
     AccessLog, AuditLog, BurnRule, Counter, Gauge, Histogram, Registry, SloEngine, SloKind,
     SloSpec, TraceConfig, Tracer, Tsdb, TsdbConfig, LATENCY_BUCKETS,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Buckets for the group-commit batch-size histogram (records per
@@ -68,6 +68,16 @@ const ROUTE_LITERALS: [&str; 19] = [
 /// with more shards than this fold the overflow into the last label —
 /// the aggregate (unlabeled) families stay exact either way.
 const SHARD_LABELS: [&str; 8] = ["0", "1", "2", "3", "4", "5", "6", "7"];
+
+/// The reactor stats block currently feeding the `loki_net_*` families,
+/// plus per-label wakeup watermarks (counters advance by delta, so a
+/// scrape is idempotent with respect to the monotone source counts).
+#[derive(Debug, Default)]
+struct NetAttachment {
+    stats: Option<Arc<NetStats>>,
+    seen: [u64; SHARD_LABELS.len()],
+    seen_total: u64,
+}
 
 /// Reduces a concrete request path to its route shape, masking every
 /// non-literal segment as `:p` (`/v1/ledger/alice` → `/v1/ledger/:p`).
@@ -190,6 +200,17 @@ pub struct ServerMetrics {
     /// Fraction of ledgered subjects at ≥ 80% of the ε cap (or
     /// unbounded); 0 when no cap is configured. The privacy SLO's input.
     ledger_near_cap: Arc<Gauge>,
+    /// Open reactor connections, refreshed on scrape from the attached
+    /// [`NetStats`] (aggregate plus [`SHARD_LABELS`] children).
+    net_open_conns: Arc<Gauge>,
+    shard_net_open: Vec<Arc<Gauge>>,
+    /// Reactor event-loop wakeups, advanced by counter deltas against
+    /// the attached [`NetStats`] on each refresh.
+    net_wakeups: Arc<Counter>,
+    shard_net_wakeups: Vec<Arc<Counter>>,
+    /// The live stats block of the currently-served listener, plus the
+    /// wakeup watermarks already folded into the counters.
+    net: Mutex<NetAttachment>,
     access_log: AccessLog,
     tracer: Tracer,
     audit_log: AuditLog,
@@ -370,6 +391,37 @@ impl ServerMetrics {
                  the configured cap (unbounded users count); 0 without a cap",
                 &[],
             ),
+            net_open_conns: registry.gauge(
+                "net_open_conns",
+                "Open connections across the reactor shards; refreshed on scrape",
+                &[],
+            ),
+            shard_net_open: SHARD_LABELS
+                .iter()
+                .map(|shard| {
+                    registry.gauge(
+                        "net_open_conns",
+                        "Open connections across the reactor shards; refreshed on scrape",
+                        &[("shard", shard)],
+                    )
+                })
+                .collect(),
+            net_wakeups: registry.counter(
+                "net_reactor_wakeups_total",
+                "Reactor event-loop wakeups (poll returns), across all shards",
+                &[],
+            ),
+            shard_net_wakeups: SHARD_LABELS
+                .iter()
+                .map(|shard| {
+                    registry.counter(
+                        "net_reactor_wakeups_total",
+                        "Reactor event-loop wakeups (poll returns), across all shards",
+                        &[("shard", shard)],
+                    )
+                })
+                .collect(),
+            net: Mutex::new(NetAttachment::default()),
             access_log: AccessLog::with_capacity(1024),
             tracer: Tracer::new(seed, trace_config),
             audit_log: AuditLog::with_capacity(4096),
@@ -547,11 +599,71 @@ impl ServerMetrics {
         self.ledger_near_cap.set(near_cap);
     }
 
+    /// Points the `loki_net_*` families at a live reactor stats block
+    /// (normally the serving listener's, via `ServerHandle::stats()`).
+    /// Re-attaching — e.g. when a test embeds several servers in turn —
+    /// resets the wakeup watermarks so the counters only ever advance.
+    pub fn attach_net_stats(&self, stats: Arc<NetStats>) {
+        self.reset_net_attachment(stats);
+        self.refresh_net_gauges();
+    }
+
+    /// Swaps the attached stats block and zeroes the wakeup watermarks
+    /// (its own fn so the `net` guard is provably released before
+    /// [`ServerMetrics::refresh_net_gauges`] re-locks).
+    fn reset_net_attachment(&self, stats: Arc<NetStats>) {
+        if let Ok(mut net) = self.net.lock() {
+            net.stats = Some(stats);
+            net.seen = [0; SHARD_LABELS.len()];
+            net.seen_total = 0;
+        }
+    }
+
+    /// Refreshes the `loki_net_*` families from the attached stats
+    /// block: gauges are overwritten, wakeup counters advance by delta.
+    /// A no-op until [`ServerMetrics::attach_net_stats`] is called.
+    pub fn refresh_net_gauges(&self) {
+        let Ok(mut net) = self.net.lock() else {
+            return;
+        };
+        let Some(stats) = net.stats.clone() else {
+            return;
+        };
+        let mut open = [0u64; SHARD_LABELS.len()];
+        let mut wakeups = [0u64; SHARD_LABELS.len()];
+        for shard in 0..stats.shards() {
+            let label = shard.min(SHARD_LABELS.len() - 1);
+            if let Some(slot) = open.get_mut(label) {
+                *slot += stats.open_conns_for(shard);
+            }
+            if let Some(slot) = wakeups.get_mut(label) {
+                *slot += stats.wakeups_for(shard);
+            }
+        }
+        self.net_open_conns.set(stats.open_conns() as f64);
+        for (gauge, count) in self.shard_net_open.iter().zip(open) {
+            gauge.set(count as f64);
+        }
+        let total = stats.wakeups();
+        self.net_wakeups.add(total.saturating_sub(net.seen_total));
+        net.seen_total = total;
+        for ((counter, seen), current) in self
+            .shard_net_wakeups
+            .iter()
+            .zip(net.seen.iter_mut())
+            .zip(wakeups)
+        {
+            counter.add(current.saturating_sub(*seen));
+            *seen = current;
+        }
+    }
+
     /// One self-scrape: refresh the derived gauges, snapshot every
     /// registered family straight from the atomic cells into the tsdb,
     /// and run the SLO state machines. Returns the tick it recorded.
     pub fn scrape(&self, accountant: &Accountant, cap: Option<f64>) -> u64 {
         self.refresh_ledger_gauges(accountant, cap);
+        self.refresh_net_gauges();
         let tick = self.scrape_tick.fetch_add(1, Ordering::Relaxed);
         self.tsdb.ingest(tick, &self.registry.snapshot());
         self.slo.evaluate(tick, &self.tsdb);
@@ -798,6 +910,57 @@ mod tests {
         m.refresh_ledger_gauges(&acc, Some(50.0));
         let text = m.render_exposition();
         assert!(text.contains("loki_ledger_near_cap_ratio 0.5"), "{text}");
+    }
+
+    #[test]
+    fn net_families_refresh_from_a_live_reactor() {
+        use loki_net::http::{Response, StatusCode};
+        use loki_net::router::Router;
+        use loki_net::server::{Server, ServerConfig};
+        use std::io::{Read, Write};
+
+        let m = ServerMetrics::new();
+        let mut r = Router::new();
+        r.get("/ping", |_, _| Response::text(StatusCode::OK, "pong"));
+        let h = Server::spawn("127.0.0.1:0", r, ServerConfig::default()).unwrap();
+        // One keep-alive connection held open so the gauge has something
+        // to count.
+        let mut s = std::net::TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+        let mut byte = [0u8; 1];
+        s.read_exact(&mut byte).unwrap();
+
+        m.attach_net_stats(h.stats());
+        let text = m.render_exposition();
+        assert!(text.contains("loki_net_open_conns 1"), "{text}");
+        assert!(text.contains("loki_net_open_conns{shard="), "{text}");
+        assert!(!text.contains("loki_net_reactor_wakeups_total 0\n"), "{text}");
+
+        // Refreshing twice must not double-count wakeups: the counter
+        // advances by delta against the monotone source.
+        m.refresh_net_gauges();
+        let text = m.render_exposition();
+        let rendered: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("loki_net_reactor_wakeups_total "))
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(
+            rendered <= h.stats().wakeups(),
+            "counter {rendered} ran ahead of source {}",
+            h.stats().wakeups()
+        );
+        drop(s);
+        h.shutdown();
+    }
+
+    #[test]
+    fn net_families_are_inert_until_attached() {
+        let m = ServerMetrics::new();
+        m.refresh_net_gauges();
+        let text = m.render_exposition();
+        assert!(text.contains("loki_net_open_conns 0"), "{text}");
+        assert!(text.contains("loki_net_reactor_wakeups_total 0"), "{text}");
     }
 
     #[test]

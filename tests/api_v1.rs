@@ -339,6 +339,47 @@ fn healthz_reports_build_info_without_a_journal() {
 }
 
 #[test]
+fn head_healthz_advertises_length_without_body() {
+    let (h, c, _) = start();
+    let get = c.get("/v1/healthz").unwrap();
+    assert_eq!(get.status, StatusCode::OK);
+
+    // HEAD rides the GET handler: same status, same advertised length,
+    // zero body octets on the wire.
+    let head = c.head("/v1/healthz").unwrap();
+    assert_eq!(head.status, StatusCode::OK);
+    assert!(head.body.is_empty(), "HEAD body must be suppressed");
+    let advertised = head.headers.content_length().expect("Content-Length kept");
+    assert!(advertised > 0);
+    assert_eq!(
+        head.headers.get("content-type"),
+        get.headers.get("content-type")
+    );
+    h.shutdown();
+}
+
+#[test]
+fn metrics_expose_reactor_families() {
+    let (h, c, _) = start();
+    // One request so the reactor has accepted and woken at least once.
+    let _ = c.get("/v1/healthz").unwrap();
+    let resp = c.get("/v1/metrics").unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    let text = String::from_utf8_lossy(&resp.body).into_owned();
+    assert!(text.contains("loki_net_open_conns"), "{text}");
+    assert!(text.contains("loki_net_open_conns{shard=\"0\"}"), "{text}");
+    assert!(text.contains("loki_net_reactor_wakeups_total"), "{text}");
+    // The scrape itself arrives over a connection the reactor counts.
+    let open: f64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("loki_net_open_conns "))
+        .and_then(|v| v.parse().ok())
+        .expect("aggregate open-conns gauge rendered");
+    assert!(open >= 1.0, "scraping connection not counted: {open}");
+    h.shutdown();
+}
+
+#[test]
 #[cfg(target_os = "linux")]
 fn healthz_degrades_when_the_journal_poisons() {
     // /dev/full accepts opens but fails every write with ENOSPC.

@@ -1,0 +1,227 @@
+//! PROF-1 — continuous-profiling overhead on the submit path.
+//!
+//! The profiling layer is three pieces of always-on telemetry: the
+//! phase-tagged wall-clock sampler (~97 Hz reads of per-thread relaxed
+//! atomics), the counting global allocator (three relaxed bumps per
+//! alloc/free), and phase tags on the submit path itself (one relaxed
+//! store per section). This bench drives `AppState::submit` from
+//! `THREADS` concurrent submitters — phase tags exercised exactly as in
+//! production — and compares profiling fully ON (allocator counting +
+//! sampler running) against fully OFF, interleaved so neither variant
+//! owns the warmer half of the run.
+//!
+//! The acceptance bar is **<2%** median overhead per submission;
+//! override with `LOKI_PROF1_MAX` (e.g. on noisy shared runners).
+//! Emits `BENCH_PROF1.json` (CI uploads it as an artifact), including
+//! the phase-attribution ratio observed under load.
+
+use loki_bench::{banner, f, n, Table};
+use loki_core::privacy_level::PrivacyLevel;
+use loki_dp::accountant::ReleaseKind;
+use loki_server::store::AppState;
+use loki_survey::question::{Answer, QuestionKind};
+use loki_survey::response::Response;
+use loki_survey::survey::{Survey, SurveyBuilder, SurveyId};
+use loki_survey::QuestionId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+// The bench bin installs the counting allocator exactly as the server
+// bin does, so the ON variant measures the real production configuration
+// (counting enabled) and OFF measures the same wrapper with the
+// bookkeeping gated off — the forwarding cost itself is part of both.
+#[global_allocator]
+static ALLOC: loki_obs::CountingAlloc = loki_obs::CountingAlloc::new();
+
+const THREADS: usize = 4;
+const SUBMITS_PER_THREAD: usize = 512;
+const TRIALS: usize = 7;
+
+fn survey() -> Survey {
+    let mut b = SurveyBuilder::new(SurveyId(1), "bench");
+    b.question("rate", QuestionKind::likert5(), false);
+    b.build().expect("static survey")
+}
+
+fn releases() -> Vec<(String, ReleaseKind)> {
+    vec![(
+        "survey-1/q0".into(),
+        ReleaseKind::Gaussian {
+            sigma: 1.0,
+            sensitivity: 4.0,
+        },
+    )]
+}
+
+/// One batch: a fresh instrumented state, `THREADS` registered submitter
+/// threads pushing `SUBMITS_PER_THREAD` distinct-user submissions each.
+fn run_trial() -> Duration {
+    let state = Arc::new(AppState::new());
+    state.add_survey(survey()).expect("bench survey");
+    state.enable_metrics();
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let state = Arc::clone(&state);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let _prof = loki_obs::prof::register_thread("bench.submit", t as u16);
+                let rel = releases();
+                barrier.wait();
+                for i in 0..SUBMITS_PER_THREAD {
+                    loki_obs::phase!("bench.loop");
+                    let user = format!("t{t}u{i}");
+                    let mut r = Response::new(user.clone(), SurveyId(1));
+                    r.answer(QuestionId(0), Answer::Obfuscated(4.0));
+                    state
+                        .submit(&user, PrivacyLevel::Medium, r, &rel)
+                        .expect("bench submission");
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("submitter thread");
+    }
+    start.elapsed()
+}
+
+/// Switches the whole profiling layer on or off between trials. The
+/// sampler thread keeps running either way (it is process-lifetime);
+/// disabled it skips the read pass, which is the production off-switch.
+fn set_profiling(on: bool) {
+    loki_obs::CountingAlloc::set_enabled(on);
+    loki_obs::prof::set_sampler_enabled(on);
+}
+
+/// Attribution probe: submitters loop under load while the main thread
+/// snapshots the live profiler, so the ratio is measured exactly as a
+/// `/v1/profile` scrape under concurrent submit traffic would see it.
+fn attribution_ratio() -> (u64, u64) {
+    set_profiling(true);
+    let state = Arc::new(AppState::new());
+    state.add_survey(survey()).expect("bench survey");
+    state.enable_metrics();
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let _prof = loki_obs::prof::register_thread("bench.submit", t as u16);
+                let rel = releases();
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    loki_obs::phase!("bench.loop");
+                    let user = format!("p{t}u{i}");
+                    i += 1;
+                    let mut r = Response::new(user.clone(), SurveyId(1));
+                    r.answer(QuestionId(0), Answer::Obfuscated(4.0));
+                    state
+                        .submit(&user, PrivacyLevel::Medium, r, &rel)
+                        .expect("bench submission");
+                }
+            })
+        })
+        .collect();
+    // ~50 sampler ticks at 97 Hz — enough for a stable ratio.
+    std::thread::sleep(Duration::from_millis(500));
+    let snap = loki_obs::prof::snapshot();
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("submitter thread");
+    }
+    (snap.attributed_samples(), snap.total_samples())
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    banner(
+        "PROF-1",
+        "continuous-profiling overhead on the concurrent submit path",
+        "sampler + counting allocator + phase tags must cost <2%",
+    );
+    loki_obs::prof::start_sampler();
+
+    let mut off = Vec::with_capacity(TRIALS);
+    let mut on = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        set_profiling(false);
+        off.push(run_trial());
+        set_profiling(true);
+        on.push(run_trial());
+    }
+    let off_med = median(&mut off);
+    let on_med = median(&mut on);
+    let total = (THREADS * SUBMITS_PER_THREAD) as f64;
+    let per_off = off_med.as_nanos() as f64 / total;
+    let per_on = on_med.as_nanos() as f64 / total;
+    let overhead = (per_on / per_off - 1.0) * 100.0;
+
+    let mut t = Table::new(&["variant", "submits", "median wall ms", "ns/submit"]);
+    t.row(&[
+        "profiling off".into(),
+        n(THREADS * SUBMITS_PER_THREAD),
+        f(off_med.as_secs_f64() * 1e3),
+        f(per_off),
+    ]);
+    t.row(&[
+        "profiling on".into(),
+        n(THREADS * SUBMITS_PER_THREAD),
+        f(on_med.as_secs_f64() * 1e3),
+        f(per_on),
+    ]);
+    println!("{}", t.render());
+    println!("PROF-1 overhead: {overhead:+.2}% per submission");
+
+    let (attributed, sampled) = attribution_ratio();
+    let ratio = if sampled == 0 {
+        0.0
+    } else {
+        attributed as f64 / sampled as f64
+    };
+    println!("phase attribution under load: {attributed}/{sampled} samples ({:.1}%)", ratio * 100.0);
+    if sampled > 0 && ratio < 0.95 {
+        println!("WARN: attribution below 95% on this run/host");
+    }
+
+    let bar: f64 = std::env::var("LOKI_PROF1_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let pass = overhead < bar;
+
+    let report = serde_json::json!({
+        "bench": "PROF-1",
+        "threads": THREADS,
+        "submits_per_thread": SUBMITS_PER_THREAD,
+        "trials": TRIALS,
+        "off_median_wall_ms": off_med.as_secs_f64() * 1e3,
+        "on_median_wall_ms": on_med.as_secs_f64() * 1e3,
+        "ns_per_submit_off": per_off,
+        "ns_per_submit_on": per_on,
+        "overhead_pct": overhead,
+        "attributed_samples": attributed,
+        "total_samples": sampled,
+        "attribution_ratio": ratio,
+        "max_allowed_pct": bar,
+        "pass": pass,
+    });
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_PROF1.json", json).expect("write BENCH_PROF1.json");
+    println!("wrote BENCH_PROF1.json");
+
+    if pass {
+        println!("PASS: < {bar:.1}%");
+    } else {
+        println!("FAIL: at or above the {bar:.1}% bar");
+        std::process::exit(1);
+    }
+}

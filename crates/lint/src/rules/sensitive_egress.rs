@@ -60,10 +60,17 @@ const DEFAULT_FORBIDDEN: &[&str] = &["loki-net", "loki-server"];
 const DEFAULT_ALLOWED_DERIVE: &[&str] = &["loki-survey", "loki-platform", "loki-client"];
 
 /// Files whose every record is rendered verbatim over HTTP: the trace
-/// store and the ε-audit stream. Identifier hygiene is enforced here,
-/// not just public-API hygiene.
-const DEFAULT_RAW_IDENTITY_FILES: &[&str] =
-    &["crates/obs/src/trace.rs", "crates/obs/src/audit.rs"];
+/// store, the ε-audit stream and the continuous-profiling surfaces
+/// (phase tables, allocator counters, procfs readings all render on
+/// `/v1/profile` / `/v1/procstats`). Identifier hygiene is enforced
+/// here, not just public-API hygiene.
+const DEFAULT_RAW_IDENTITY_FILES: &[&str] = &[
+    "crates/obs/src/trace.rs",
+    "crates/obs/src/audit.rs",
+    "crates/obs/src/prof.rs",
+    "crates/obs/src/alloc.rs",
+    "crates/obs/src/procstats.rs",
+];
 
 /// Person-level entity names treated as taint sources in those files
 /// (exact ident-token match, so `subject_index` and doc comments pass).

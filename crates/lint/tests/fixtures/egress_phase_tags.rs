@@ -1,0 +1,49 @@
+//@crate: loki-obs
+//@path: crates/obs/src/prof.rs
+// Raw-identity file (PR 9): the profiler's phase tables render verbatim
+// on /v1/profile, so identifier hygiene applies here exactly as in the
+// trace and audit stores. Phase names are `&'static str` literals by the
+// `phase!` macro's contract — naming them, interning them and rendering
+// them is clean; an identity-named value reaching a render sink fires.
+
+pub const UNTAGGED: &str = "untagged";
+
+// Literal phase names flowing into the table and the collapsed-stack
+// rendering: no identity ident anywhere, clean.
+pub fn intern(name: &'static str) -> u16 {
+    let id = table_slot(name);
+    id
+}
+
+pub fn collapse_row(thread: &'static str, phase: &'static str, samples: u64) -> String {
+    format!("{}/{};{} {}", thread, 0, phase, samples)
+}
+
+// Deriving an opaque ordinal from an identity-named value without
+// rendering it: clean under the taint pass (the old blanket ident ban
+// would have fired here).
+pub fn ordinal_for(worker_id: &str) -> u16 {
+    (stable_hash(worker_id) % 64) as u16
+}
+
+// An identity-named value reaching the format sink fires: a per-user
+// phase name would republish identity on every /v1/profile scrape.
+pub fn tag_for(user_id: &str) -> String {
+    format!("submit.{}", user_id) //~ sensitive-egress
+}
+
+// Taint propagates through assignment into an emission sink.
+pub fn register_named(worker: &str) {
+    let label = worker;
+    emit_phase(label); //~ sensitive-egress
+}
+
+fn table_slot(_name: &'static str) -> u16 {
+    0
+}
+
+fn stable_hash(s: &str) -> u64 {
+    s.len() as u64
+}
+
+fn emit_phase(_label: &str) {}

@@ -292,6 +292,10 @@ pub(crate) fn run(ctx: ShardContext) {
     let mut slab = Slab::new();
     let mut wheel = TimerWheel::new(TICK, WHEEL_SLOTS, Instant::now());
     let mut events: Vec<Event> = Vec::with_capacity(256);
+    // Continuous profiling: each shard thread is sampled by name; the
+    // phase tags below split its wall-clock into epoll wait vs. accept
+    // vs. connection I/O + dispatch vs. timer work.
+    let _prof = loki_obs::prof::register_thread("net.reactor", shard.min(usize::from(u16::MAX)) as u16);
 
     loop {
         if shutdown.load(Ordering::Acquire) {
@@ -299,6 +303,7 @@ pub(crate) fn run(ctx: ShardContext) {
         }
         let timeout = wheel.next_wakeup(Instant::now());
         events.clear();
+        loki_obs::phase!("reactor.epoll_wait");
         if poller.wait(&mut events, timeout).is_err() {
             // A broken poller is unrecoverable for this shard; other
             // shards keep the listener served.
@@ -315,11 +320,18 @@ pub(crate) fn run(ctx: ShardContext) {
             };
             match ev.token {
                 WAKER_TOKEN => waker.drain(),
-                LISTENER_TOKEN => accept_burst(
-                    &listener, &poller, &mut slab, &mut wheel, &router, &config, &stats, shard,
-                ),
+                LISTENER_TOKEN => {
+                    loki_obs::phase!("reactor.accept");
+                    accept_burst(
+                        &listener, &poller, &mut slab, &mut wheel, &router, &config, &stats,
+                        shard,
+                    );
+                }
                 token => {
                     let (idx, gen) = unpack(token);
+                    // Covers reads, router dispatch and writes; the
+                    // store's own tags refine it during a submit.
+                    loki_obs::phase!("reactor.dispatch");
                     drive_conn(
                         &poller, &mut slab, &mut wheel, &router, &config, &shutdown, &stats,
                         shard, idx, gen, ev,
@@ -330,6 +342,7 @@ pub(crate) fn run(ctx: ShardContext) {
 
         // Fire deadlines. Entries are hints: a connection whose deadline
         // moved since scheduling is re-armed for the remainder.
+        loki_obs::phase!("reactor.timers");
         let now = Instant::now();
         let mut fired: Vec<(u32, u32)> = Vec::new();
         wheel.advance(now, |idx, gen| fired.push((idx, gen)));
@@ -370,10 +383,10 @@ fn accept_burst(
     for _ in 0..ACCEPTS_PER_EVENT {
         match listener.accept() {
             Ok((stream, _)) => {
-                stats.record_accept();
+                stats.record_accept(shard);
                 if slab.len() >= config.backlog.max(1) {
                     shed(stream, router, config);
-                    stats.record_shed();
+                    stats.record_shed(shard);
                     continue;
                 }
                 if stream.set_nonblocking(true).is_err() {
@@ -703,6 +716,85 @@ mod tests {
         wheel.advance(t0 + Duration::from_secs(5), |i, _| fired.push(i));
         fired.sort_unstable();
         assert_eq!(fired, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wheel_boundary_exact_deadline_fires_strictly_after_not_at() {
+        // A deadline that lands *exactly* on a tick boundary must not
+        // fire at that boundary: `schedule`'s +1 puts it on the first
+        // boundary at-or-after the deadline, so a request finishing at
+        // the instant its tick fires can never be evicted by the very
+        // tick that saw it complete.
+        let t0 = Instant::now();
+        let tick = Duration::from_millis(10);
+        let mut wheel = TimerWheel::new(tick, 16, t0);
+        let boundary = t0 + tick * 3; // exactly tick index 3
+        wheel.schedule(5, 0, boundary);
+
+        let mut fired = Vec::new();
+        wheel.advance(boundary, |i, g| fired.push((i, g)));
+        assert!(fired.is_empty(), "fired at its own boundary: {fired:?}");
+        wheel.advance(boundary + tick, |i, g| fired.push((i, g)));
+        assert_eq!(fired, vec![(5, 0)], "fires on the next boundary");
+    }
+
+    #[test]
+    fn completed_request_on_tick_boundary_rearms_without_eviction() {
+        // Regression for the PR-8 keep-alive rule, replaying the event
+        // loop's own fire-time check: a request completes exactly on a
+        // wheel-tick boundary and refreshes `conn.deadline`; the stale
+        // wheel entry later fires as a *hint*, and because the real
+        // deadline moved, the loop re-arms instead of closing. Only the
+        // connection's deadline is authoritative — never the hint.
+        let t0 = Instant::now();
+        let tick = Duration::from_millis(10);
+        let timeout = tick * 4;
+        let mut wheel = TimerWheel::new(tick, 16, t0);
+        let mut slab = Slab::new();
+
+        let first_deadline = t0 + timeout; // exactly tick index 4
+        let (idx, gen) = slab.insert(dummy_conn(first_deadline));
+        wheel.schedule(idx, gen, first_deadline);
+
+        // The request completes exactly at the original deadline's
+        // boundary; run() refreshes on completed requests only.
+        let refreshed = first_deadline + timeout;
+        slab.get_mut(idx, gen).unwrap().deadline = refreshed;
+        wheel.schedule(idx, gen, refreshed);
+
+        // The stale hint fires one tick after the old boundary; the
+        // loop's check sees deadline > now and must keep the conn.
+        let mut evicted = Vec::new();
+        let mut fired = Vec::new();
+        wheel.advance(first_deadline + tick, |i, g| fired.push((i, g)));
+        assert!(!fired.is_empty(), "stale hint fires");
+        for (i, g) in fired.drain(..) {
+            let deadline = slab.get_mut(i, g).unwrap().deadline;
+            let now = first_deadline + tick;
+            if deadline <= now {
+                evicted.push((i, g));
+            } else {
+                wheel.schedule(i, g, deadline);
+            }
+        }
+        assert!(evicted.is_empty(), "spurious eviction: {evicted:?}");
+        assert!(slab.get_mut(idx, gen).is_some(), "connection survives");
+
+        // With no further requests, the refreshed deadline does evict —
+        // trickling time (or bytes) past it never re-arms anything. The
+        // hint may fire more than once (refresh + re-arm both scheduled
+        // an entry); duplicates are harmless because the first close
+        // leaves the slot stale for the rest.
+        wheel.advance(refreshed + tick, |i, g| fired.push((i, g)));
+        let due: Vec<_> = fired
+            .drain(..)
+            .filter(|&(i, g)| {
+                slab.get_mut(i, g)
+                    .is_some_and(|c| c.deadline <= refreshed + tick)
+            })
+            .collect();
+        assert!(!due.is_empty(), "idle conn expires at the refreshed deadline");
+        assert!(due.iter().all(|&e| e == (idx, gen)), "{due:?}");
     }
 
     #[test]

@@ -109,8 +109,12 @@ impl Default for ServerConfig {
 pub struct NetStats {
     open: Vec<AtomicU64>,
     wakeups: Vec<AtomicU64>,
-    accepted: AtomicU64,
-    shed: AtomicU64,
+    // Per-shard like open/wakeups, so shard imbalance at the accept
+    // gate (a hot listener shard, one shard shedding while others sit
+    // idle) is visible in the `shard=` metric children, not averaged
+    // away in a process-global total.
+    accepted: Vec<AtomicU64>,
+    shed: Vec<AtomicU64>,
 }
 
 impl NetStats {
@@ -120,8 +124,8 @@ impl NetStats {
         NetStats {
             open: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             wakeups: (0..shards).map(|_| AtomicU64::new(0)).collect(),
-            accepted: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
+            accepted: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -154,14 +158,28 @@ impl NetStats {
             .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
-    /// Total connections accepted (admitted or shed).
+    /// Total connections accepted (admitted or shed), across all shards.
     pub fn accepted(&self) -> u64 {
-        self.accepted.load(Ordering::Relaxed)
+        self.accepted.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
-    /// Total connections shed at the accept gate.
+    /// Connections accepted by one shard (0 for out-of-range shards).
+    pub fn accepted_for(&self, shard: usize) -> u64 {
+        self.accepted
+            .get(shard)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Total connections shed at the accept gate, across all shards.
     pub fn shed_total(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.shed.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Connections shed by one shard (0 for out-of-range shards).
+    pub fn shed_for(&self, shard: usize) -> u64 {
+        self.shed
+            .get(shard)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
     pub(crate) fn record_open(&self, shard: usize) {
@@ -182,12 +200,16 @@ impl NetStats {
         }
     }
 
-    pub(crate) fn record_accept(&self) {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record_accept(&self, shard: usize) {
+        if let Some(c) = self.accepted.get(shard) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    pub(crate) fn record_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record_shed(&self, shard: usize) {
+        if let Some(c) = self.shed.get(shard) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -653,6 +675,37 @@ mod tests {
         assert!(envelopes >= 1, "no shed client saw the 503 envelope");
         assert!(h.stats().shed_total() >= 1, "stats missed the sheds");
         drop(stall);
+        h.shutdown();
+    }
+
+    #[test]
+    fn completed_requests_refresh_the_keepalive_deadline() {
+        // The companion edge to the slow-loris rule: byte trickles never
+        // refresh the deadline, but *completed* requests always do. Three
+        // requests spaced just inside the timeout add up to well past it;
+        // the connection must survive because each completion re-arms.
+        let config = ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        };
+        let h = Server::spawn("127.0.0.1:0", demo_router(), config).unwrap();
+        let s = TcpStream::connect(h.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut writer = s.try_clone().unwrap();
+        let mut reader = std::io::BufReader::new(s);
+        let started = Instant::now();
+        for round in 0..3 {
+            writer.write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+            let (status, body) = read_one_response(&mut reader);
+            assert!(status.contains("200"), "round {round}: {status}");
+            assert_eq!(body, b"pong", "round {round}");
+            std::thread::sleep(Duration::from_millis(220));
+        }
+        assert!(
+            started.elapsed() > Duration::from_millis(600),
+            "the rounds must outlive the 300ms idle deadline in total"
+        );
         h.shutdown();
     }
 

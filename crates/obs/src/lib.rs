@@ -33,24 +33,45 @@
 //!   bounded audit-style ring of [`AlertEvent`] transitions carrying
 //!   violating-exemplar trace ids.
 //!
+//! * [`prof`] — the continuous-profiling layer: threads declare their
+//!   current phase with [`phase!`]`("name")` (interned `&'static str`
+//!   literals), a 97 Hz sampler accumulates per-thread × per-phase
+//!   wall-clock sample tables (`/v1/profile`), and [`CountingAlloc`]
+//!   attributes every allocation to the tagging thread's phase.
+//! * [`ProcStats`] — `/proc/self` resource readings (RSS, fds, threads,
+//!   CPU ticks) on Linux, `None`s elsewhere, feeding the tsdb so
+//!   `/v1/timeseries` covers process resources too.
+//!
 //! Deliberately `std`-only: no serde, no parking_lot, no clocks beyond
 //! `std::time`. Privacy note: metric *labels* must never carry
 //! quasi-identifiers (user ids, raw paths with embedded ids); the serving
 //! crates label by route pattern, method, status class and privacy level
 //! only, and `loki-lint`'s `sensitive-egress` rule covers this crate.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` since the profiling layer landed: the
+// counting global allocator (alloc.rs) implements the unsafe
+// `GlobalAlloc` trait and is the single, module-scoped opt-out below.
+// Everything else in the crate still refuses unsafe at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod access;
+// GlobalAlloc is an unsafe trait; the module forwards verbatim to
+// std's System allocator and documents each block. See alloc.rs.
+#[allow(unsafe_code)]
+mod alloc;
 mod audit;
 mod metrics;
+pub mod prof;
+mod procstats;
 mod registry;
 mod slo;
 pub mod trace;
 mod tsdb;
 
 pub use access::{AccessLog, AccessRecord};
+pub use alloc::{CountingAlloc, PhaseAlloc};
+pub use procstats::ProcStats;
 pub use audit::{AuditEvent, AuditLog, AuditOutcome};
 pub use metrics::{Counter, Gauge, Histogram, LATENCY_BUCKETS};
 pub use registry::{Registry, Sample, SampleValue};

@@ -1,0 +1,140 @@
+//! Process resource stats from `/proc/self` (Linux), with a portable
+//! no-op fallback.
+//!
+//! The metrics layer covers what the *code* does; this covers what the
+//! *process* costs the machine: resident set, open file descriptors,
+//! thread count and CPU time split user/system. On Linux the numbers
+//! come straight from `procfs` text files — no libc calls, no unsafe,
+//! in keeping with the crate's zero-dep discipline. Off Linux every
+//! field reads [`None`] and callers degrade gracefully (gauges simply
+//! are not set, the `/v1/procstats` endpoint says `"available": false`).
+//!
+//! Every field is per-process and identity-free by construction — there
+//! is nothing user-shaped in `/proc/self` — but the file sits in
+//! `loki-lint`'s raw-identity scope like the rest of the egress
+//! surfaces, so that stays true structurally.
+
+use std::fs;
+
+/// A point-in-time reading of the process's resource footprint. Fields
+/// are `None` when the platform (or a racing teardown) cannot supply
+/// them; readings are not atomic across fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Resident set size in bytes (`VmRSS` of `/proc/self/status`).
+    pub rss_bytes: Option<u64>,
+    /// Open file descriptors (entries in `/proc/self/fd`).
+    pub open_fds: Option<u64>,
+    /// OS threads in the process (`num_threads` of `/proc/self/stat`).
+    pub threads: Option<u64>,
+    /// User-mode CPU time in clock ticks (`utime`).
+    pub utime_ticks: Option<u64>,
+    /// Kernel-mode CPU time in clock ticks (`stime`).
+    pub stime_ticks: Option<u64>,
+}
+
+impl ProcStats {
+    /// Reads the current process's stats. Cheap (three small procfs
+    /// reads plus one directory scan) but not free — call it on scrape
+    /// ticks, not per request.
+    pub fn read() -> ProcStats {
+        imp::read()
+    }
+
+    /// Whether this platform supplies any readings at all.
+    pub fn available() -> bool {
+        cfg!(target_os = "linux")
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{fs, ProcStats};
+
+    pub(super) fn read() -> ProcStats {
+        let (threads, utime, stime) = stat_fields().unwrap_or((None, None, None));
+        ProcStats {
+            rss_bytes: vm_rss(),
+            open_fds: fd_count(),
+            threads,
+            utime_ticks: utime,
+            stime_ticks: stime,
+        }
+    }
+
+    /// `VmRSS:	  12345 kB` from `/proc/self/status`.
+    fn vm_rss() -> Option<u64> {
+        let status = fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kb * 1024)
+    }
+
+    fn fd_count() -> Option<u64> {
+        Some(fs::read_dir("/proc/self/fd").ok()?.count() as u64)
+    }
+
+    /// `utime`, `stime` and `num_threads` from `/proc/self/stat`. The
+    /// `comm` field may itself contain spaces and parentheses, so the
+    /// parse anchors on the *last* `)` and counts space-separated fields
+    /// from there: utime is overall field 14, stime 15, num_threads 20;
+    /// after the comm that is rest[11], rest[12], rest[17].
+    fn stat_fields() -> Option<(Option<u64>, Option<u64>, Option<u64>)> {
+        let stat = fs::read_to_string("/proc/self/stat").ok()?;
+        let rest = &stat[stat.rfind(')')? + 1..];
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        let grab = |i: usize| fields.get(i).and_then(|v| v.parse::<u64>().ok());
+        Some((grab(17), grab(11), grab(12)))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::ProcStats;
+
+    pub(super) fn read() -> ProcStats {
+        ProcStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn linux_readings_are_sane() {
+        let s = ProcStats::read();
+        assert!(ProcStats::available());
+        // A running Rust test binary is comfortably past all of these.
+        assert!(s.rss_bytes.unwrap_or(0) > 1024 * 1024, "{s:?}");
+        assert!(s.open_fds.unwrap_or(0) >= 3, "{s:?}");
+        assert!(s.threads.unwrap_or(0) >= 1, "{s:?}");
+        assert!(s.utime_ticks.is_some() && s.stime_ticks.is_some(), "{s:?}");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn thread_count_sees_a_parked_helper_thread() {
+        // Other tests spawn/join threads concurrently, so exact deltas
+        // are racy; a parked helper guarantees the floor is >= 2.
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        let joiner = std::thread::spawn(move || {
+            ready_tx.send(()).ok();
+            rx.recv().ok();
+        });
+        ready_rx.recv().expect("helper thread started");
+        let during = ProcStats::read().threads.unwrap_or(0);
+        assert!(during >= 2, "during={during}");
+        tx.send(()).ok();
+        joiner.join().expect("helper thread joined");
+    }
+
+    #[test]
+    #[cfg(not(target_os = "linux"))]
+    fn non_linux_reads_are_all_none() {
+        assert_eq!(ProcStats::read(), ProcStats::default());
+        assert!(!ProcStats::available());
+    }
+}

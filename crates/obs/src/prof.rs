@@ -1,0 +1,513 @@
+//! Phase-tagged wall-clock profiler: always-on, near-zero hot-path cost.
+//!
+//! The serving threads (reactor shards, the WAL group committer, the
+//! self-scraper) are long-lived loops, and the question an operator asks
+//! under load is *where inside the loop the wall-clock goes* — epoll
+//! wait vs. dispatch, fsync vs. batch drain, lock vs. apply. Signal
+//! profilers answer that with `SIGPROF` + stack unwinding, which is
+//! exactly the machinery a zero-dep `std`-only workspace cannot carry
+//! (and whose async-signal handlers are a well of UB). This module
+//! answers it with cooperation instead:
+//!
+//! * Hot loops *declare* their current phase with [`phase!`]`("name")`.
+//!   Names are interned to a small integer id once per call site (a
+//!   `OnceLock` in the macro expansion), so the steady-state cost is one
+//!   thread-local store plus one relaxed atomic store — cheaper than a
+//!   metrics counter bump.
+//! * Long-lived threads [`register_thread`] once; the registration guard
+//!   owns a [`ThreadSlot`] whose `phase` cell the sampler reads.
+//! * A sampler ticks at [`SAMPLE_HZ`] (97 Hz — prime, so it cannot lock
+//!   step with 10 ms/100 ms periodic work), reads every registered
+//!   thread's current phase and bumps a fixed per-thread × per-phase
+//!   sample table. No signals, no unwinding, no allocation on the
+//!   sampled threads.
+//!
+//! The result is a statistical wall-clock profile — `samples ×
+//! 1/SAMPLE_HZ ≈ time` — rendered by [`snapshot`] as a phase table and
+//! by [`ProfileSnapshot::collapsed`] in the collapsed-stack text format
+//! flamegraph tooling eats.
+//!
+//! **Privacy contract:** phase names and thread names are `&'static str`
+//! literals (the [`phase!`] macro only accepts a literal), so per-user
+//! or per-request data structurally cannot enter the profile. The
+//! sampler never reads anything but the phase id. `loki-lint`'s
+//! raw-identity taint pass covers this file as an egress surface.
+//!
+//! The allocator wrapper ([`crate::CountingAlloc`]) reads the same
+//! thread-local phase tag to attribute allocations, which is why the
+//! thread-local is a const-initialized `Cell` (its first access must not
+//! allocate — the allocator itself consults it).
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
+use std::time::Duration;
+
+/// Capacity of the phase intern table. Phases are compile-time literals
+/// named by this workspace's own hot loops, so a small fixed table is a
+/// feature: overflow means someone is generating phase names, which the
+/// design forbids. Overflowing interns collapse into id 0 ("untagged")
+/// and are counted in [`phases_dropped`].
+pub const MAX_PHASES: usize = 64;
+
+/// Sampler frequency. Prime, so the sampling grid cannot alias with the
+/// reactor's 100 ms timer tick, a 1 Hz scraper or any other round-number
+/// periodic loop (the classic "profiler only ever fires during sleep"
+/// failure mode of aligned sampling).
+pub const SAMPLE_HZ: u64 = 97;
+
+/// Phase id 0: registered but not (currently) inside a declared phase.
+pub const UNTAGGED: &str = "untagged";
+
+static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static TICKS: AtomicU64 = AtomicU64::new(0);
+static THREADS: Mutex<Vec<Weak<ThreadSlot>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// The calling thread's current phase id, readable by the counting
+    /// allocator mid-allocation: const-initialized so the first access
+    /// allocates nothing (a lazy TLS init inside `GlobalAlloc::alloc`
+    /// would recurse).
+    static PHASE: Cell<u32> = const { Cell::new(0) };
+    /// The slot the sampler reads for this thread, when registered.
+    static SLOT: RefCell<Option<Arc<ThreadSlot>>> = const { RefCell::new(None) };
+}
+
+/// Interns a phase name, returning its small id. Idempotent; call sites
+/// should cache the id (the [`phase!`] macro does, via a `OnceLock`).
+/// A full table returns id 0 and counts the drop.
+pub fn intern(name: &'static str) -> u16 {
+    let mut names = NAMES.lock().unwrap_or_else(PoisonError::into_inner);
+    if names.is_empty() {
+        names.push(UNTAGGED);
+    }
+    if let Some(idx) = names.iter().position(|n| *n == name) {
+        return idx as u16;
+    }
+    if names.len() >= MAX_PHASES {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return 0;
+    }
+    names.push(name);
+    (names.len() - 1) as u16
+}
+
+/// Resolves a phase id back to its name ([`UNTAGGED`] for unknown ids).
+pub fn phase_name(id: u16) -> &'static str {
+    let names = NAMES.lock().unwrap_or_else(PoisonError::into_inner);
+    names.get(id as usize).copied().unwrap_or(UNTAGGED)
+}
+
+/// Number of distinct interned phases (including [`UNTAGGED`] once
+/// anything has been interned).
+pub fn phase_count() -> usize {
+    NAMES.lock().unwrap_or_else(PoisonError::into_inner).len()
+}
+
+/// Interns that were collapsed into id 0 because the table was full.
+pub fn phases_dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Declares the calling thread's current phase by interned id. Use the
+/// [`phase!`] macro instead of calling this directly — the macro pins
+/// the name to a `&'static str` literal and caches the intern.
+pub fn set_phase(id: u16) {
+    // `try_with` so a phase declared during thread teardown (a Drop impl
+    // late in TLS destruction) degrades to a no-op instead of aborting.
+    let _ = PHASE.try_with(|c| c.set(u32::from(id)));
+    let _ = SLOT.try_with(|s| {
+        if let Some(slot) = s.borrow().as_ref() {
+            slot.phase.store(u32::from(id), Ordering::Relaxed);
+        }
+    });
+}
+
+/// The calling thread's current phase id. Allocation-safe: reads only
+/// the const-initialized cell, returning 0 when TLS is already torn
+/// down. This is the counting allocator's attribution hook.
+pub fn current_phase_id() -> u16 {
+    PHASE.try_with(|c| c.get()).unwrap_or(0) as u16
+}
+
+/// One registered thread as the sampler sees it: an identity (a
+/// `&'static str` name plus an ordinal for thread pools, e.g.
+/// `net.reactor/3`), the phase cell the thread publishes into, and the
+/// sample table the sampler accumulates into.
+#[derive(Debug)]
+pub struct ThreadSlot {
+    name: &'static str,
+    ordinal: u16,
+    phase: AtomicU32,
+    samples: [AtomicU64; MAX_PHASES],
+}
+
+impl ThreadSlot {
+    /// The thread's registered (static) name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Ordinal distinguishing threads that share a name.
+    pub fn ordinal(&self) -> u16 {
+        self.ordinal
+    }
+}
+
+/// Guard returned by [`register_thread`]; the thread stays visible to
+/// the sampler until this drops.
+#[derive(Debug)]
+pub struct ThreadRegistration {
+    slot: Arc<ThreadSlot>,
+}
+
+impl ThreadRegistration {
+    /// The registered slot (mostly useful in tests).
+    pub fn slot(&self) -> &Arc<ThreadSlot> {
+        &self.slot
+    }
+}
+
+impl Drop for ThreadRegistration {
+    fn drop(&mut self) {
+        let _ = SLOT.try_with(|s| *s.borrow_mut() = None);
+        let _ = PHASE.try_with(|c| c.set(0));
+        // The registry holds only a Weak; dropping our Arc is what
+        // actually retires the slot. The sampler prunes dead entries.
+    }
+}
+
+#[allow(clippy::declare_interior_mutable_const)] // const template for array init
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+/// Registers the calling thread with the profiler under a static `name`
+/// (plus `ordinal` for pools). The returned guard must live as long as
+/// the thread's working loop; on drop the thread disappears from
+/// subsequent samples. Re-registering replaces the previous slot.
+pub fn register_thread(name: &'static str, ordinal: u16) -> ThreadRegistration {
+    let slot = Arc::new(ThreadSlot {
+        name,
+        ordinal,
+        phase: AtomicU32::new(u32::from(current_phase_id())),
+        samples: [ZERO; MAX_PHASES],
+    });
+    let _ = SLOT.try_with(|s| *s.borrow_mut() = Some(Arc::clone(&slot)));
+    let mut threads = THREADS.lock().unwrap_or_else(PoisonError::into_inner);
+    threads.retain(|w| w.strong_count() > 0);
+    threads.push(Arc::downgrade(&slot));
+    ThreadRegistration { slot }
+}
+
+/// Takes one sample: reads every live registered thread's current phase
+/// and bumps its table entry, pruning threads that exited. Normally
+/// driven by the background sampler; tests call it directly for
+/// determinism. Returns the number of threads sampled.
+pub fn sample_once() -> usize {
+    let slots: Vec<Arc<ThreadSlot>> = {
+        let mut threads = THREADS.lock().unwrap_or_else(PoisonError::into_inner);
+        threads.retain(|w| w.strong_count() > 0);
+        threads.iter().filter_map(Weak::upgrade).collect()
+    };
+    for slot in &slots {
+        let phase = slot.phase.load(Ordering::Relaxed) as usize;
+        if let Some(cell) = slot.samples.get(phase) {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    TICKS.fetch_add(1, Ordering::Relaxed);
+    slots.len()
+}
+
+/// Total sampling ticks taken so far (across the background sampler and
+/// any direct [`sample_once`] calls).
+pub fn ticks() -> u64 {
+    TICKS.load(Ordering::Relaxed)
+}
+
+static SAMPLER_STARTED: OnceLock<()> = OnceLock::new();
+static SAMPLER_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Pauses/resumes the background sampler without tearing it down (the
+/// PROF-1 bench interleaves on/off trials in one process this way).
+/// [`sample_once`] is unaffected.
+pub fn set_sampler_enabled(on: bool) {
+    SAMPLER_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the background sampler is currently taking samples.
+pub fn sampler_enabled() -> bool {
+    SAMPLER_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Starts the process-wide background sampler thread (idempotent;
+/// returns `true` only for the call that actually started it). The
+/// thread is detached and lives for the rest of the process — it costs
+/// one wakeup every ~10 ms and touches only profiler state, so there is
+/// nothing to shut down in an orderly way.
+pub fn start_sampler() -> bool {
+    let mut started = false;
+    SAMPLER_STARTED.get_or_init(|| {
+        started = true;
+        // The sampler must never sample itself into the tables it reads
+        // (it is not registered), but it does declare a phase so its own
+        // allocations (the snapshot Vec in sample_once) are attributed.
+        let spawned = std::thread::Builder::new()
+            .name("loki-prof-sampler".to_string())
+            .spawn(|| {
+                let period = Duration::from_nanos(1_000_000_000 / SAMPLE_HZ);
+                loop {
+                    if SAMPLER_ENABLED.load(Ordering::Relaxed) {
+                        sample_once();
+                    }
+                    std::thread::sleep(period);
+                }
+            });
+        // A spawn failure (thread exhaustion) degrades to "no background
+        // sampler": sample_once still works, /v1/profile just stays at
+        // whatever was accumulated.
+        drop(spawned);
+    });
+    started
+}
+
+/// One phase row of a thread's profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSample {
+    /// Interned phase name.
+    pub phase: &'static str,
+    /// Samples observed in this phase.
+    pub samples: u64,
+}
+
+/// One registered thread's accumulated profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadProfile {
+    /// Registered thread name (static by construction).
+    pub name: &'static str,
+    /// Ordinal distinguishing threads sharing a name.
+    pub ordinal: u16,
+    /// Total samples across all phases.
+    pub total: u64,
+    /// Non-zero phase rows, descending by sample count.
+    pub phases: Vec<PhaseSample>,
+}
+
+/// A point-in-time view of the whole profiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// The background sampler's nominal frequency.
+    pub hz: u64,
+    /// Sampling ticks taken so far.
+    pub ticks: u64,
+    /// Interns dropped because the phase table was full.
+    pub dropped_phases: u64,
+    /// Live registered threads, in registration order.
+    pub threads: Vec<ThreadProfile>,
+}
+
+impl ProfileSnapshot {
+    /// Sum of every thread's sample count.
+    pub fn total_samples(&self) -> u64 {
+        self.threads.iter().map(|t| t.total).sum()
+    }
+
+    /// Samples attributed to a declared phase (everything except
+    /// [`UNTAGGED`]) — the numerator of the attribution ratio the
+    /// PROF-1 acceptance bar is stated over.
+    pub fn attributed_samples(&self) -> u64 {
+        self.threads
+            .iter()
+            .flat_map(|t| t.phases.iter())
+            .filter(|p| p.phase != UNTAGGED)
+            .map(|p| p.samples)
+            .sum()
+    }
+
+    /// Renders the collapsed-stack text format flamegraph tooling
+    /// consumes: one `thread/ordinal;phase count` line per non-zero
+    /// cell, sorted for stable output.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for t in &self.threads {
+            for p in &t.phases {
+                out.push_str(t.name);
+                out.push('/');
+                out.push_str(&t.ordinal.to_string());
+                out.push(';');
+                out.push_str(p.phase);
+                out.push(' ');
+                out.push_str(&p.samples.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Snapshots every live registered thread's sample table. Reads race
+/// benignly with the sampler (relaxed counters only ever grow).
+pub fn snapshot() -> ProfileSnapshot {
+    let slots: Vec<Arc<ThreadSlot>> = {
+        let threads = THREADS.lock().unwrap_or_else(PoisonError::into_inner);
+        threads.iter().filter_map(Weak::upgrade).collect()
+    };
+    let threads = slots
+        .iter()
+        .map(|slot| {
+            let mut phases: Vec<PhaseSample> = slot
+                .samples
+                .iter()
+                .enumerate()
+                .filter_map(|(id, cell)| {
+                    let samples = cell.load(Ordering::Relaxed);
+                    (samples > 0).then(|| PhaseSample {
+                        phase: phase_name(id as u16),
+                        samples,
+                    })
+                })
+                .collect();
+            phases.sort_by(|a, b| b.samples.cmp(&a.samples).then(a.phase.cmp(b.phase)));
+            ThreadProfile {
+                name: slot.name,
+                ordinal: slot.ordinal,
+                total: phases.iter().map(|p| p.samples).sum(),
+                phases,
+            }
+        })
+        .collect();
+    ProfileSnapshot {
+        hz: SAMPLE_HZ,
+        ticks: ticks(),
+        dropped_phases: phases_dropped(),
+        threads,
+    }
+}
+
+/// Declares the calling thread's current phase. The argument must be a
+/// string *literal* — the macro rejects expressions at expansion time,
+/// which is the structural guarantee that request- or user-derived data
+/// can never become a phase name (an egress surface). The intern id is
+/// cached per call site, so steady-state cost is one `OnceLock` load,
+/// one thread-local store and one relaxed atomic store.
+#[macro_export]
+macro_rules! phase {
+    ($name:literal) => {{
+        static __LOKI_PHASE_ID: ::std::sync::OnceLock<u16> = ::std::sync::OnceLock::new();
+        $crate::prof::set_phase(*__LOKI_PHASE_ID.get_or_init(|| $crate::prof::intern($name)));
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The intern table and registry are process-global, so tests here
+    // share them (cargo runs tests in threads of one process). Each test
+    // therefore asserts on its *own* registrations and relative growth,
+    // never on global totals being exact.
+
+    #[test]
+    fn intern_is_idempotent_and_names_resolve() {
+        let a = intern("test.alpha");
+        let b = intern("test.beta");
+        assert_ne!(a, b);
+        assert_eq!(intern("test.alpha"), a);
+        assert_eq!(phase_name(a), "test.alpha");
+        assert_eq!(phase_name(b), "test.beta");
+        assert_eq!(phase_name(u16::MAX), UNTAGGED);
+        assert!(phase_count() >= 3); // untagged + the two above
+    }
+
+    #[test]
+    fn registered_thread_phases_accumulate_samples() {
+        let reg = register_thread("test.worker", 7);
+        phase!("test.phase_one");
+        sample_once();
+        sample_once();
+        phase!("test.phase_two");
+        sample_once();
+
+        let snap = snapshot();
+        let me = snap
+            .threads
+            .iter()
+            .find(|t| t.name == "test.worker" && t.ordinal == 7)
+            .expect("registered thread visible");
+        assert_eq!(me.total, 3);
+        let one = me.phases.iter().find(|p| p.phase == "test.phase_one");
+        let two = me.phases.iter().find(|p| p.phase == "test.phase_two");
+        assert_eq!(one.map(|p| p.samples), Some(2));
+        assert_eq!(two.map(|p| p.samples), Some(1));
+        assert!(snap.collapsed().contains("test.worker/7;test.phase_one 2"));
+        drop(reg);
+
+        // After deregistration the thread no longer appears.
+        let snap = snapshot();
+        assert!(
+            !snap.threads.iter().any(|t| t.name == "test.worker" && t.ordinal == 7),
+            "{snap:?}"
+        );
+    }
+
+    #[test]
+    fn unregistered_threads_are_invisible_but_keep_a_phase_tag() {
+        phase!("test.loose_phase");
+        assert_eq!(phase_name(current_phase_id()), "test.loose_phase");
+        let snap = snapshot();
+        assert!(
+            !snap.threads.iter().any(|t| t.name == "test.loose_phase"),
+            "phases are not thread names"
+        );
+        // Reset so later tests on this runner thread start untagged.
+        set_phase(0);
+    }
+
+    #[test]
+    fn exited_threads_are_pruned_from_samples() {
+        let handle = std::thread::spawn(|| {
+            let _reg = register_thread("test.ephemeral", 0);
+            phase!("test.ephemeral_work");
+            sample_once();
+        });
+        handle.join().expect("ephemeral thread");
+        sample_once(); // prunes the dead weak
+        let snap = snapshot();
+        assert!(
+            !snap.threads.iter().any(|t| t.name == "test.ephemeral"),
+            "{snap:?}"
+        );
+    }
+
+    #[test]
+    fn attribution_ratio_counts_only_declared_phases() {
+        let _reg = register_thread("test.ratio", 0);
+        set_phase(0); // untagged
+        sample_once();
+        phase!("test.ratio_work");
+        sample_once();
+        sample_once();
+        let snap = snapshot();
+        let me = snap
+            .threads
+            .iter()
+            .find(|t| t.name == "test.ratio")
+            .expect("registered");
+        assert_eq!(me.total, 3);
+        let tagged: u64 = me
+            .phases
+            .iter()
+            .filter(|p| p.phase != UNTAGGED)
+            .map(|p| p.samples)
+            .sum();
+        assert_eq!(tagged, 2);
+    }
+
+    #[test]
+    fn sampler_toggle_is_observable() {
+        assert!(sampler_enabled());
+        set_sampler_enabled(false);
+        assert!(!sampler_enabled());
+        set_sampler_enabled(true);
+    }
+}

@@ -490,6 +490,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
             // the live shard counters the same way.
             metrics.refresh_ledger_gauges(&s.accountant, s.epsilon_budget());
             metrics.refresh_net_gauges();
+            metrics.refresh_resource_gauges();
             let mut resp = Response::status(StatusCode::OK);
             resp.headers
                 .insert("Content-Type", "text/plain; version=0.0.4; charset=utf-8");
@@ -521,6 +522,7 @@ pub fn build_router(state: Arc<AppState>) -> Router {
         "/healthz",
         Arc::new(move |_, _| {
             let (attached, poisoned) = s.journal_health();
+            let proc = loki_obs::ProcStats::read();
             let firing: Vec<String> = m
                 .slo()
                 .statuses()
@@ -551,6 +553,16 @@ pub fn build_router(state: Arc<AppState>) -> Router {
                     "slo": {
                         "scrapes": m.scrapes(),
                         "firing": firing,
+                    },
+                    // Process footprint (fields null off-Linux): the
+                    // same procfs reading the scrape ticks feed into
+                    // loki_proc_* — surfaced here so a health probe can
+                    // watch for resource runaway without a tsdb query.
+                    "resources": {
+                        "available": loki_obs::ProcStats::available(),
+                        "rss_bytes": proc.rss_bytes,
+                        "open_fds": proc.open_fds,
+                        "threads": proc.threads,
                     },
                 }),
             ))
@@ -754,6 +766,81 @@ pub fn build_router(state: Arc<AppState>) -> Router {
         }),
     );
 
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
+        "/profile",
+        Arc::new(move |req, _| {
+            let snap = loki_obs::prof::snapshot();
+            if req.query_param("format") == Some("collapsed") {
+                // The collapsed-stack text format flamegraph tooling
+                // consumes directly (`flamegraph.pl`, inferno, speedscope).
+                return Ok(Response::text(StatusCode::OK, snap.collapsed()));
+            }
+            let threads: Vec<serde_json::Value> = snap
+                .threads
+                .iter()
+                .map(|t| {
+                    let phases: Vec<serde_json::Value> = t
+                        .phases
+                        .iter()
+                        .map(|p| serde_json::json!({"phase": p.phase, "samples": p.samples}))
+                        .collect();
+                    serde_json::json!({
+                        "thread": t.name,
+                        "ordinal": t.ordinal,
+                        "total_samples": t.total,
+                        "phases": phases,
+                    })
+                })
+                .collect();
+            Ok(json_response(
+                StatusCode::OK,
+                &serde_json::json!({
+                    "hz": snap.hz,
+                    "ticks": snap.ticks,
+                    "sampler_running": loki_obs::prof::sampler_enabled(),
+                    "dropped_phases": snap.dropped_phases,
+                    "total_samples": snap.total_samples(),
+                    "attributed_samples": snap.attributed_samples(),
+                    "threads": threads,
+                }),
+            ))
+        }),
+    );
+
+    let m = Arc::clone(&metrics);
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
+        "/procstats",
+        Arc::new(move |_, _| {
+            // Refresh on read so the loki_proc_*/loki_alloc_* families
+            // are current even between scrape ticks.
+            m.refresh_resource_gauges();
+            let proc = loki_obs::ProcStats::read();
+            Ok(json_response(
+                StatusCode::OK,
+                &serde_json::json!({
+                    "available": loki_obs::ProcStats::available(),
+                    "rss_bytes": proc.rss_bytes,
+                    "open_fds": proc.open_fds,
+                    "threads": proc.threads,
+                    "utime_ticks": proc.utime_ticks,
+                    "stime_ticks": proc.stime_ticks,
+                    "alloc": {
+                        "counting": loki_obs::CountingAlloc::enabled(),
+                        "allocs_total": loki_obs::CountingAlloc::allocs(),
+                        "frees_total": loki_obs::CountingAlloc::frees(),
+                        "bytes_total": loki_obs::CountingAlloc::bytes(),
+                    },
+                }),
+            ))
+        }),
+    );
+
     router
 }
 
@@ -796,6 +883,10 @@ fn slo_status_json(st: &loki_obs::SloStatus) -> serde_json::Value {
 pub fn serve(addr: &str, state: Arc<AppState>) -> std::io::Result<ServerHandle> {
     let metrics = state.enable_metrics();
     state.start_self_scraper(std::time::Duration::from_secs(1));
+    // Start the wall-clock phase sampler (process-wide, idempotent): the
+    // reactor shards and committer threads about to spawn register with
+    // the profiler and /v1/profile reads what this thread accumulates.
+    loki_obs::prof::start_sampler();
     let config = ServerConfig {
         observer: Some(metrics.observer()),
         shed_observer: Some(metrics.shed_observer()),

@@ -18,6 +18,13 @@ use std::io::Read;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+/// Counting wrapper over the system allocator: feeds the
+/// `loki_alloc_*` families and the per-phase allocation deltas on
+/// `/v1/profile`. Forwarding-only except three relaxed atomic bumps,
+/// and the PROF-1 bench holds its submit-path overhead under 2%.
+#[global_allocator]
+static ALLOC: loki_obs::CountingAlloc = loki_obs::CountingAlloc::new();
+
 struct Options {
     addr: String,
     snapshot: Option<PathBuf>,
@@ -156,6 +163,7 @@ fn main() {
     eprintln!("  /v1/surveys/:id/results/:q /v1/surveys/:id/choices/:q /v1/ledger/:user");
     eprintln!("  /v1/stats /v1/metrics /v1/accesslog /v1/healthz");
     eprintln!("  /v1/timeseries /v1/slo /v1/alerts /v1/alerts/history");
+    eprintln!("  /v1/profile /v1/procstats");
     eprintln!("press Ctrl-D to shut down");
 
     // Block until stdin closes, then shut down (and snapshot if asked).

@@ -42,7 +42,7 @@ const EPSILON_STATS: [&str; 5] = ["p50", "p90", "p99", "mean", "max"];
 
 /// Path segments that are route literals and may appear verbatim in the
 /// access log; every other segment is a parameter and is masked.
-const ROUTE_LITERALS: [&str; 19] = [
+const ROUTE_LITERALS: [&str; 21] = [
     "v1",
     "health",
     "healthz",
@@ -62,12 +62,18 @@ const ROUTE_LITERALS: [&str; 19] = [
     "history",
     "admin",
     "shards",
+    "profile",
+    "procstats",
 ];
 
 /// Static label values for the per-shard instrument children. Stores
 /// with more shards than this fold the overflow into the last label —
 /// the aggregate (unlabeled) families stay exact either way.
 const SHARD_LABELS: [&str; 8] = ["0", "1", "2", "3", "4", "5", "6", "7"];
+
+/// Label values for the CPU-time counter children (`/proc/self/stat`
+/// utime/stime, in clock ticks).
+const CPU_MODES: [&str; 2] = ["user", "system"];
 
 /// The reactor stats block currently feeding the `loki_net_*` families,
 /// plus per-label wakeup watermarks (counters advance by delta, so a
@@ -77,6 +83,25 @@ struct NetAttachment {
     stats: Option<Arc<NetStats>>,
     seen: [u64; SHARD_LABELS.len()],
     seen_total: u64,
+    seen_accepted: [u64; SHARD_LABELS.len()],
+    seen_accepted_total: u64,
+    seen_shed: [u64; SHARD_LABELS.len()],
+    seen_shed_total: u64,
+}
+
+/// Watermarks for the process-global monotone resource sources (the
+/// counting allocator's statics, the wall-clock profiler's sample
+/// count, `/proc/self` CPU ticks). Those sources outlive any one
+/// `ServerMetrics`, so each instance advances its counters by delta —
+/// the same scrape-idempotence discipline as [`NetAttachment`].
+#[derive(Debug, Default)]
+struct ResourceWatermarks {
+    allocs: u64,
+    frees: u64,
+    bytes: u64,
+    samples: u64,
+    utime: u64,
+    stime: u64,
 }
 
 /// Reduces a concrete request path to its route shape, masking every
@@ -208,9 +233,32 @@ pub struct ServerMetrics {
     /// the attached [`NetStats`] on each refresh.
     net_wakeups: Arc<Counter>,
     shard_net_wakeups: Vec<Arc<Counter>>,
+    /// Connections accepted / shed by the reactor accept loops, advanced
+    /// by counter deltas on refresh. The [`SHARD_LABELS`] children make
+    /// accept imbalance across reactor shards directly visible.
+    net_accepted: Arc<Counter>,
+    shard_net_accepted: Vec<Arc<Counter>>,
+    net_shed: Arc<Counter>,
+    shard_net_shed: Vec<Arc<Counter>>,
     /// The live stats block of the currently-served listener, plus the
     /// wakeup watermarks already folded into the counters.
     net: Mutex<NetAttachment>,
+    /// Process-wide allocator counters, advanced by watermark deltas
+    /// against the [`loki_obs::CountingAlloc`] statics on each scrape
+    /// (zero and flat unless the bin installs the counting allocator).
+    alloc_allocs: Arc<Counter>,
+    alloc_frees: Arc<Counter>,
+    alloc_bytes: Arc<Counter>,
+    /// Wall-clock profiler samples accumulated so far, by delta.
+    prof_samples: Arc<Counter>,
+    /// `/proc/self` resource gauges (flat 0 off-Linux).
+    proc_rss_bytes: Arc<Gauge>,
+    proc_open_fds: Arc<Gauge>,
+    proc_threads: Arc<Gauge>,
+    /// CPU ticks by mode in [`CPU_MODES`] order, advanced by delta.
+    proc_cpu_ticks: Vec<Arc<Counter>>,
+    /// Watermarks for the process-global sources above.
+    resources: Mutex<ResourceWatermarks>,
     access_log: AccessLog,
     tracer: Tracer,
     audit_log: AuditLog,
@@ -421,7 +469,83 @@ impl ServerMetrics {
                     )
                 })
                 .collect(),
+            net_accepted: registry.counter(
+                "net_accepted_total",
+                "Connections accepted by the reactor accept loops, across all shards",
+                &[],
+            ),
+            shard_net_accepted: SHARD_LABELS
+                .iter()
+                .map(|shard| {
+                    registry.counter(
+                        "net_accepted_total",
+                        "Connections accepted by the reactor accept loops, across all shards",
+                        &[("shard", shard)],
+                    )
+                })
+                .collect(),
+            net_shed: registry.counter(
+                "net_conns_shed_total",
+                "Connections shed by the reactor accept loops (per-shard conn cap hit)",
+                &[],
+            ),
+            shard_net_shed: SHARD_LABELS
+                .iter()
+                .map(|shard| {
+                    registry.counter(
+                        "net_conns_shed_total",
+                        "Connections shed by the reactor accept loops (per-shard conn cap hit)",
+                        &[("shard", shard)],
+                    )
+                })
+                .collect(),
             net: Mutex::new(NetAttachment::default()),
+            alloc_allocs: registry.counter(
+                "alloc_allocs_total",
+                "Heap allocations counted by the installed counting allocator",
+                &[],
+            ),
+            alloc_frees: registry.counter(
+                "alloc_frees_total",
+                "Heap frees counted by the installed counting allocator",
+                &[],
+            ),
+            alloc_bytes: registry.counter(
+                "alloc_bytes_total",
+                "Heap bytes requested across counted allocations",
+                &[],
+            ),
+            prof_samples: registry.counter(
+                "prof_samples_total",
+                "Wall-clock profiler samples accumulated across registered threads",
+                &[],
+            ),
+            proc_rss_bytes: registry.gauge(
+                "proc_rss_bytes",
+                "Resident set size from /proc/self/status (0 off-Linux)",
+                &[],
+            ),
+            proc_open_fds: registry.gauge(
+                "proc_open_fds",
+                "Open file descriptors from /proc/self/fd (0 off-Linux)",
+                &[],
+            ),
+            proc_threads: registry.gauge(
+                "proc_threads",
+                "OS threads from /proc/self/stat (0 off-Linux)",
+                &[],
+            ),
+            proc_cpu_ticks: CPU_MODES
+                .iter()
+                .map(|mode| {
+                    registry.counter(
+                        "proc_cpu_ticks_total",
+                        "CPU time from /proc/self/stat in clock ticks, by mode",
+                        &[("mode", mode)],
+                    )
+                })
+                .collect(),
+            resources: Mutex::new(ResourceWatermarks::default()),
             access_log: AccessLog::with_capacity(1024),
             tracer: Tracer::new(seed, trace_config),
             audit_log: AuditLog::with_capacity(4096),
@@ -616,6 +740,10 @@ impl ServerMetrics {
             net.stats = Some(stats);
             net.seen = [0; SHARD_LABELS.len()];
             net.seen_total = 0;
+            net.seen_accepted = [0; SHARD_LABELS.len()];
+            net.seen_accepted_total = 0;
+            net.seen_shed = [0; SHARD_LABELS.len()];
+            net.seen_shed_total = 0;
         }
     }
 
@@ -631,6 +759,8 @@ impl ServerMetrics {
         };
         let mut open = [0u64; SHARD_LABELS.len()];
         let mut wakeups = [0u64; SHARD_LABELS.len()];
+        let mut accepted = [0u64; SHARD_LABELS.len()];
+        let mut shed = [0u64; SHARD_LABELS.len()];
         for shard in 0..stats.shards() {
             let label = shard.min(SHARD_LABELS.len() - 1);
             if let Some(slot) = open.get_mut(label) {
@@ -638,6 +768,12 @@ impl ServerMetrics {
             }
             if let Some(slot) = wakeups.get_mut(label) {
                 *slot += stats.wakeups_for(shard);
+            }
+            if let Some(slot) = accepted.get_mut(label) {
+                *slot += stats.accepted_for(shard);
+            }
+            if let Some(slot) = shed.get_mut(label) {
+                *slot += stats.shed_for(shard);
             }
         }
         self.net_open_conns.set(stats.open_conns() as f64);
@@ -656,6 +792,66 @@ impl ServerMetrics {
             counter.add(current.saturating_sub(*seen));
             *seen = current;
         }
+        let total = stats.accepted();
+        self.net_accepted.add(total.saturating_sub(net.seen_accepted_total));
+        net.seen_accepted_total = total;
+        for ((counter, seen), current) in self
+            .shard_net_accepted
+            .iter()
+            .zip(net.seen_accepted.iter_mut())
+            .zip(accepted)
+        {
+            counter.add(current.saturating_sub(*seen));
+            *seen = current;
+        }
+        let total = stats.shed_total();
+        self.net_shed.add(total.saturating_sub(net.seen_shed_total));
+        net.seen_shed_total = total;
+        for ((counter, seen), current) in self
+            .shard_net_shed
+            .iter()
+            .zip(net.seen_shed.iter_mut())
+            .zip(shed)
+        {
+            counter.add(current.saturating_sub(*seen));
+            *seen = current;
+        }
+    }
+
+    /// Refreshes the process-resource families: `/proc/self` gauges are
+    /// overwritten, allocator / profiler / CPU-tick counters advance by
+    /// watermark delta against their process-global sources. Safe to
+    /// call with no counting allocator installed (the statics read 0).
+    pub fn refresh_resource_gauges(&self) {
+        let stats = loki_obs::ProcStats::read();
+        self.proc_rss_bytes.set(stats.rss_bytes.unwrap_or(0) as f64);
+        self.proc_open_fds.set(stats.open_fds.unwrap_or(0) as f64);
+        self.proc_threads.set(stats.threads.unwrap_or(0) as f64);
+        let Ok(mut seen) = self.resources.lock() else {
+            return;
+        };
+        let seen = &mut *seen;
+        let allocs = loki_obs::CountingAlloc::allocs();
+        self.alloc_allocs.add(allocs.saturating_sub(seen.allocs));
+        seen.allocs = allocs;
+        let frees = loki_obs::CountingAlloc::frees();
+        self.alloc_frees.add(frees.saturating_sub(seen.frees));
+        seen.frees = frees;
+        let bytes = loki_obs::CountingAlloc::bytes();
+        self.alloc_bytes.add(bytes.saturating_sub(seen.bytes));
+        seen.bytes = bytes;
+        let samples = loki_obs::prof::snapshot().total_samples();
+        self.prof_samples.add(samples.saturating_sub(seen.samples));
+        seen.samples = samples;
+        let utime = stats.utime_ticks.unwrap_or(0);
+        let stime = stats.stime_ticks.unwrap_or(0);
+        for (counter, (current, seen)) in self.proc_cpu_ticks.iter().zip([
+            (utime, &mut seen.utime),
+            (stime, &mut seen.stime),
+        ]) {
+            counter.add(current.saturating_sub(*seen));
+            *seen = current;
+        }
     }
 
     /// One self-scrape: refresh the derived gauges, snapshot every
@@ -664,6 +860,7 @@ impl ServerMetrics {
     pub fn scrape(&self, accountant: &Accountant, cap: Option<f64>) -> u64 {
         self.refresh_ledger_gauges(accountant, cap);
         self.refresh_net_gauges();
+        self.refresh_resource_gauges();
         let tick = self.scrape_tick.fetch_add(1, Ordering::Relaxed);
         self.tsdb.ingest(tick, &self.registry.snapshot());
         self.slo.evaluate(tick, &self.tsdb);
@@ -961,6 +1158,102 @@ mod tests {
         let text = m.render_exposition();
         assert!(text.contains("loki_net_open_conns 0"), "{text}");
         assert!(text.contains("loki_net_reactor_wakeups_total 0"), "{text}");
+        assert!(text.contains("loki_net_accepted_total 0"), "{text}");
+        assert!(text.contains("loki_net_conns_shed_total 0"), "{text}");
+    }
+
+    /// Exposition-shape regression for the per-shard accept/shed
+    /// children (PR 9 satellite): the families must render one child per
+    /// label in [`SHARD_LABELS`] alongside the exact aggregate, and the
+    /// accepted deltas must land on the shard that did the accepting.
+    #[test]
+    fn accept_and_shed_families_render_per_shard_children() {
+        use loki_net::http::{Response, StatusCode};
+        use loki_net::router::Router;
+        use loki_net::server::{Server, ServerConfig};
+        use std::io::{Read, Write};
+
+        let m = ServerMetrics::new();
+        let mut r = Router::new();
+        r.get("/ping", |_, _| Response::text(StatusCode::OK, "pong"));
+        let mut cfg = ServerConfig::default();
+        cfg.workers = 1; // one shard → the child that must carry the count
+        let h = Server::spawn("127.0.0.1:0", r, cfg).unwrap();
+        let mut s = std::net::TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+        let mut byte = [0u8; 1];
+        s.read_exact(&mut byte).unwrap();
+
+        m.attach_net_stats(h.stats());
+        let text = m.render_exposition();
+        // Shape: every shard label present for both families.
+        for shard in SHARD_LABELS {
+            assert!(
+                text.contains(&format!("loki_net_accepted_total{{shard=\"{shard}\"}}")),
+                "missing accepted child {shard}: {text}"
+            );
+            assert!(
+                text.contains(&format!("loki_net_conns_shed_total{{shard=\"{shard}\"}}")),
+                "missing shed child {shard}: {text}"
+            );
+        }
+        // Values: the single accept landed on shard 0 and the aggregate.
+        assert!(text.contains("loki_net_accepted_total 1"), "{text}");
+        assert!(text.contains("loki_net_accepted_total{shard=\"0\"} 1"), "{text}");
+        assert!(text.contains("loki_net_conns_shed_total 0"), "{text}");
+
+        // Refreshing again must not double-count (watermark deltas).
+        m.refresh_net_gauges();
+        let text = m.render_exposition();
+        assert!(text.contains("loki_net_accepted_total 1"), "{text}");
+        drop(s);
+        h.shutdown();
+    }
+
+    #[test]
+    fn resource_families_refresh_by_watermark_delta() {
+        let m = ServerMetrics::new();
+        m.refresh_resource_gauges();
+        let text = m.render_exposition();
+        // The allocator counters exist even when the counting allocator
+        // is not installed as #[global_allocator] in the test bin; the
+        // counting statics may still be zero, so assert shape only.
+        assert!(text.contains("loki_alloc_allocs_total"), "{text}");
+        assert!(text.contains("loki_alloc_frees_total"), "{text}");
+        assert!(text.contains("loki_alloc_bytes_total"), "{text}");
+        assert!(text.contains("loki_prof_samples_total"), "{text}");
+        assert!(text.contains("loki_proc_cpu_ticks_total{mode=\"user\"}"), "{text}");
+        assert!(text.contains("loki_proc_cpu_ticks_total{mode=\"system\"}"), "{text}");
+        if loki_obs::ProcStats::available() {
+            let rss: f64 = text
+                .lines()
+                .find_map(|l| l.strip_prefix("loki_proc_rss_bytes "))
+                .and_then(|v| v.parse().ok())
+                .unwrap();
+            assert!(rss > 0.0, "{text}");
+            let threads: f64 = text
+                .lines()
+                .find_map(|l| l.strip_prefix("loki_proc_threads "))
+                .and_then(|v| v.parse().ok())
+                .unwrap();
+            assert!(threads >= 1.0, "{text}");
+        }
+        // Idempotence: a second refresh must not inflate the counters
+        // faster than the process-global sources themselves grow.
+        let parse = |text: &str, prefix: &str| -> u64 {
+            text.lines()
+                .find_map(|l| l.strip_prefix(prefix))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        let before = parse(&text, "loki_alloc_allocs_total ");
+        m.refresh_resource_gauges();
+        let after = parse(&m.render_exposition(), "loki_alloc_allocs_total ");
+        assert!(
+            after <= loki_obs::CountingAlloc::allocs(),
+            "counter {after} ran ahead of source"
+        );
+        assert!(after >= before, "counter went backwards: {before} -> {after}");
     }
 
     #[test]

@@ -99,8 +99,13 @@ impl Drop for SelfScraper {
 /// The scrape loop: sleep on the condvar (so shutdown wakes it early),
 /// scrape on timeout, exit when stopped or the state is gone.
 fn run(state: &Weak<AppState>, shutdown: &Shutdown, interval: Duration) {
+    // Continuous profiling: scrapers are singletons per AppState, and
+    // tests run several at once, so they share ordinal 0 — the phase
+    // split (idle vs. tick) is what matters here, not per-instance rows.
+    let _prof = loki_obs::prof::register_thread("obs.scraper", 0);
     loop {
         {
+            loki_obs::phase!("scrape.idle");
             let stopped = shutdown
                 .stopped
                 .lock()
@@ -119,6 +124,7 @@ fn run(state: &Weak<AppState>, shutdown: &Shutdown, interval: Duration) {
             // slow ledger walk never blocks shutdown signalling.
         }
         let Some(state) = state.upgrade() else { return };
+        loki_obs::phase!("scrape.tick");
         state.scrape_once();
         // `state` drops here; if it was the last strong reference the
         // AppState (and this scraper's handle) unwind on this thread —

@@ -816,6 +816,7 @@ impl AppState {
         releases: &[(String, ReleaseKind)],
     ) -> Result<usize, SubmitError> {
         // Stateless validation first — no locks held.
+        loki_obs::phase!("store.validate");
         if response.worker != user {
             return Err(SubmitError::UserMismatch);
         }
@@ -852,6 +853,7 @@ impl AppState {
         // the accountant charge holds this user's lock, so check+charge
         // is atomic per user and unrelated users proceed in parallel
         // (their concurrent journal commits form the fsync batches).
+        loki_obs::phase!("store.lock");
         let user_lock = self.user_commit_lock(user);
         let _user_guard = user_lock.lock();
 
@@ -939,9 +941,14 @@ impl AppState {
         // replay keeps every survey before its submissions.
         let survey_shard_index = self.shard_of_survey(response.survey);
         let survey_shard = self.shard_for_survey(response.survey);
+        // The journal phase covers the whole durable wait (enqueue +
+        // group-commit fsync round-trip); the committer thread refines
+        // its own side under the wal.* tags.
+        loki_obs::phase!("store.journal");
         self.journal_submission(survey_shard, user, level, &response, releases)?;
         self.crash_point(CrashPoint::AfterDurableBeforeApply);
 
+        loki_obs::phase!("store.apply");
         let apply_span = trace_ctx.as_ref().map(|c| c.start_child("apply"));
         let lock_started = std::time::Instant::now();
         let stored = {
@@ -976,6 +983,7 @@ impl AppState {
                 trace_id,
             );
         }
+        loki_obs::phase!("store.ack");
         let ack_span = trace_ctx.as_ref().map(|c| c.start_child("ack"));
         self.crash_point(CrashPoint::AfterApplyBeforeAck);
         drop(ack_span);

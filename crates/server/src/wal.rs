@@ -204,9 +204,11 @@ impl Wal {
     /// Appends `records` pre-encoded, newline-terminated lines with one
     /// buffered write and one `sync_data` — the group-commit primitive.
     pub fn append_encoded(&mut self, bytes: &[u8], records: usize) -> Result<BatchTiming, WalError> {
+        loki_obs::phase!("wal.write");
         let write_started = std::time::Instant::now();
         self.file.write_all(bytes)?;
         let write = write_started.elapsed();
+        loki_obs::phase!("wal.fsync");
         let fsync_started = std::time::Instant::now();
         self.file.sync_data()?;
         Ok(BatchTiming {
@@ -316,7 +318,15 @@ impl GroupCommitter {
         let poisoned_flag = Arc::clone(&poisoned);
         let depth = Arc::new(AtomicUsize::new(0));
         let depth_counter = Arc::clone(&depth);
+        // Committers are spawned per WAL lane; a process-wide ordinal
+        // keeps each visible as its own row in /v1/profile.
+        static COMMITTER_ORDINAL: AtomicUsize = AtomicUsize::new(0);
+        let ordinal = COMMITTER_ORDINAL.fetch_add(1, Ordering::Relaxed);
         let thread = std::thread::spawn(move || {
+            let _prof = loki_obs::prof::register_thread(
+                "wal.committer",
+                ordinal.min(usize::from(u16::MAX)) as u16,
+            );
             committer_loop(
                 wal,
                 &rx,
@@ -428,7 +438,15 @@ fn committer_loop(
 ) {
     let mut poisoned: Option<String> = None;
     let mut batch_id: u64 = 0;
-    while let Ok(first) = rx.recv() {
+    loop {
+        // Idle: blocked on the commit queue. Tagged separately from the
+        // batch phases so /v1/profile distinguishes a committer waiting
+        // for work from one saturated by fsync.
+        loki_obs::phase!("wal.recv");
+        let Ok(first) = rx.recv() else {
+            break;
+        };
+        loki_obs::phase!("wal.batch");
         let mut batch = vec![first];
         while batch.len() < max_batch {
             match rx.try_recv() {
@@ -460,6 +478,9 @@ fn committer_loop(
         let batch_started = Instant::now();
         match wal.append_encoded(&bytes, batch.len()) {
             Ok(timing) => {
+                // append_encoded left the tag at wal.fsync; everything
+                // from here to the next recv is waking the waiters.
+                loki_obs::phase!("wal.wake");
                 batch_id += 1;
                 let batch_ended = Instant::now();
                 let fsync_started = batch_started + timing.write;

@@ -844,3 +844,143 @@ fn survey_listing_paginates_with_opaque_cursors() {
     assert_envelope(&resp, "bad_cursor");
     h.shutdown();
 }
+
+#[test]
+fn healthz_reports_process_resources() {
+    let (h, c, _) = start();
+    let resp = c.get("/v1/healthz").unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    let resources = &v["resources"];
+    assert!(resources.is_object(), "{v}");
+    assert!(resources["available"].is_boolean(), "{v}");
+    if cfg!(target_os = "linux") {
+        assert_eq!(resources["available"], true, "{v}");
+        assert!(resources["rss_bytes"].as_u64().unwrap() > 0, "{v}");
+        assert!(resources["open_fds"].as_u64().unwrap() > 0, "{v}");
+        assert!(resources["threads"].as_u64().unwrap() >= 1, "{v}");
+    }
+    h.shutdown();
+}
+
+#[test]
+fn procstats_reports_resources_and_alloc_totals() {
+    let (h, c, _) = start();
+    let resp = c.get("/v1/procstats").unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    assert!(
+        resp.headers.get("x-loki-trace-id").is_some(),
+        "trace id stamped on /v1/procstats"
+    );
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert!(v["available"].is_boolean(), "{v}");
+    // The alloc block always renders; the totals are only non-zero when
+    // the bin installs the counting allocator (the test bin does not).
+    assert!(v["alloc"]["counting"].is_boolean(), "{v}");
+    assert!(v["alloc"]["allocs_total"].is_u64(), "{v}");
+    assert!(v["alloc"]["frees_total"].is_u64(), "{v}");
+    assert!(v["alloc"]["bytes_total"].is_u64(), "{v}");
+    if cfg!(target_os = "linux") {
+        assert!(v["rss_bytes"].as_u64().unwrap() > 0, "{v}");
+        assert!(v["utime_ticks"].is_u64(), "{v}");
+        assert!(v["stime_ticks"].is_u64(), "{v}");
+    }
+
+    // The resource families ride the exposition after any scrape.
+    let resp = c.get("/v1/metrics").unwrap();
+    let text = String::from_utf8_lossy(&resp.body).into_owned();
+    assert!(text.contains("loki_proc_rss_bytes"), "{text}");
+    assert!(text.contains("loki_proc_open_fds"), "{text}");
+    assert!(text.contains("loki_proc_threads"), "{text}");
+    assert!(text.contains("loki_alloc_allocs_total"), "{text}");
+    assert!(text.contains("loki_proc_cpu_ticks_total{mode=\"user\"}"), "{text}");
+    assert!(text.contains("loki_net_accepted_total{shard=\"0\"}"), "{text}");
+    assert!(text.contains("loki_net_conns_shed_total{shard=\"0\"}"), "{text}");
+    h.shutdown();
+}
+
+#[test]
+fn profile_attributes_sampled_time_under_submit_load() {
+    let (h, c, _) = start();
+
+    // Concurrent submit load while the process-wide 97 Hz sampler runs:
+    // reactor shards tag reactor.* phases, the submit path tags store.*.
+    let base = h.base_url();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let workers: Vec<_> = (0..2)
+        .map(|w| {
+            let base = base.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let c = HttpClient::new(&base).unwrap();
+                let mut i = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let user = format!("prof-w{w}-{i}");
+                    i += 1;
+                    let resp = c
+                        .post("/v1/surveys/1/responses", "application/json", submit_body(&user, 4.0))
+                        .unwrap();
+                    assert_eq!(resp.status, StatusCode::CREATED, "{:?}", resp.body);
+                }
+            })
+        })
+        .collect();
+
+    // Poll /v1/profile until the sampler has accumulated enough ticks
+    // for a stable attribution ratio (the sampler is process-global, so
+    // a parallel test binary invocation only ever adds samples).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let v = loop {
+        let resp = c.get("/v1/profile").unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert!(
+            resp.headers.get("x-loki-trace-id").is_some(),
+            "trace id stamped on /v1/profile"
+        );
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        if v["total_samples"].as_u64().unwrap() >= 30 {
+            break v;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sampler never accumulated samples: {v}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    assert_eq!(v["hz"].as_u64().unwrap(), 97, "{v}");
+    assert!(v["ticks"].as_u64().unwrap() > 0, "{v}");
+    let threads = v["threads"].as_array().expect("thread profiles");
+    assert!(
+        threads.iter().any(|t| t["thread"] == "net.reactor"),
+        "reactor shards registered: {v}"
+    );
+    // The PR's acceptance bar: >=95% of sampled wall-clock time lands in
+    // a declared phase (everything except the "untagged" sentinel).
+    let total = v["total_samples"].as_u64().unwrap();
+    let attributed = v["attributed_samples"].as_u64().unwrap();
+    assert!(
+        attributed as f64 >= 0.95 * total as f64,
+        "attribution {attributed}/{total}: {v}"
+    );
+
+    // The collapsed-stack rendering is plain text flamegraph input:
+    // `thread/ordinal;phase count` lines.
+    let resp = c.get("/v1/profile?format=collapsed").unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    let text = String::from_utf8_lossy(&resp.body).into_owned();
+    assert!(
+        text.lines().any(|l| l.starts_with("net.reactor/")),
+        "{text}"
+    );
+    for line in text.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("stack count");
+        assert!(stack.contains('/') && stack.contains(';'), "{line}");
+        assert!(count.parse::<u64>().is_ok(), "{line}");
+    }
+    h.shutdown();
+}

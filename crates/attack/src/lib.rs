@@ -46,8 +46,10 @@ pub mod metrics;
 pub mod population;
 pub mod registry;
 pub mod reident;
+pub mod stream;
 
 pub use linkage::{LinkedDossier, Linker};
+pub use stream::{AnonymitySketch, KAnonymity};
 pub use population::{Person, PersonId, Population, PopulationConfig};
 pub use registry::Registry;
 pub use reident::{MatchOutcome, Reidentifier};

@@ -10,8 +10,9 @@
 //! under per-survey pseudonyms every dossier contains a single survey's
 //! fragment and the attack collapses (EXP-7).
 
+use crate::stream::merge_fragment;
 use loki_platform::spec::{QuestionSemantics, SurveySpec};
-use loki_survey::demographics::{Gender, PartialProfile, ZipCode};
+use loki_survey::demographics::PartialProfile;
 use loki_survey::question::Answer;
 use loki_survey::response::ResponseSet;
 use loki_survey::SurveyId;
@@ -105,24 +106,18 @@ impl Linker {
                     continue;
                 };
                 match (sem, answer) {
-                    (QuestionSemantics::BirthDay, Answer::Numeric(v)) => {
-                        fragment.day = u8::try_from(*v).ok();
-                    }
-                    (QuestionSemantics::BirthMonth, Answer::Numeric(v)) => {
-                        fragment.month = u8::try_from(*v).ok();
-                    }
-                    (QuestionSemantics::BirthYear, Answer::Numeric(v)) => {
-                        fragment.year = u16::try_from(*v).ok();
-                    }
-                    (QuestionSemantics::Gender, Answer::Choice(c)) => {
-                        fragment.gender = match c {
-                            0 => Some(Gender::Female),
-                            1 => Some(Gender::Male),
-                            _ => None,
-                        };
-                    }
-                    (QuestionSemantics::ZipCode, Answer::Numeric(v)) => {
-                        fragment.zip = u32::try_from(*v).ok().and_then(ZipCode::new);
+                    (
+                        QuestionSemantics::BirthDay
+                        | QuestionSemantics::BirthMonth
+                        | QuestionSemantics::BirthYear
+                        | QuestionSemantics::Gender
+                        | QuestionSemantics::ZipCode,
+                        a,
+                    ) => {
+                        // Shared with the server's streaming sketch
+                        // (crate::stream) so online and offline linkage
+                        // read fragments identically.
+                        merge_fragment(&mut fragment, sem, a);
                     }
                     (QuestionSemantics::SmokingLevel, a) => {
                         if let Some(v) = a.as_f64() {

@@ -1,0 +1,468 @@
+//! Incremental (streaming) adapter over the linkage machinery.
+//!
+//! [`crate::linkage::Linker`] is the *offline* adversary: it ingests whole
+//! response sets after the fact. The live platform needs the same
+//! quantity — how large is each respondent's anonymity set right now? —
+//! maintained one submission at a time inside the server's apply step, so
+//! the answer is available in O(cohorts) at any moment instead of an
+//! O(history) rescan.
+//!
+//! [`AnonymitySketch`] is that maintained state: a per-subject
+//! [`PartialProfile`] plus an exact cohort map over completed
+//! quasi-identifiers (the Sweeney DoB/gender/ZIP triple, §2 of the
+//! paper). Both the sketch and the offline `Linker` extract demographic
+//! fragments through the same [`merge_fragment`] routine, so the
+//! streaming k-anonymity distribution and an offline linkage run over the
+//! same answers agree *by construction* — that equivalence is pinned by
+//! tests at both layers.
+//!
+//! Identity hygiene: the sketch keys its internal maps by the opaque
+//! subject string but everything it *exports* ([`KAnonymity`]) is bucket
+//! counts only — no subject, no quasi-identifier values.
+
+use crate::linkage::Linker;
+use loki_platform::spec::QuestionSemantics;
+use loki_survey::demographics::{Gender, PartialProfile, QuasiIdentifier, ZipCode};
+use loki_survey::question::Answer;
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+
+/// Reads an answer as an integer for quasi-identifier extraction.
+///
+/// Raw `Numeric` answers pass through unchanged (the offline simulator's
+/// view). `Obfuscated` answers — the only numeric form the server ever
+/// stores, since raw uploads are refused at the door — are rounded to the
+/// nearest integer, exactly as a linkage adversary would read them; a
+/// zero-noise (level-None) obfuscated value round-trips losslessly.
+fn answer_as_int(answer: &Answer) -> Option<i64> {
+    match answer {
+        Answer::Numeric(v) => Some(*v),
+        Answer::Obfuscated(v) => {
+            if !v.is_finite() {
+                return None;
+            }
+            let rounded = v.round();
+            // i64::MAX is not exactly representable as f64; stay inside
+            // the exactly-convertible window.
+            if rounded >= -(2f64.powi(62)) && rounded <= 2f64.powi(62) {
+                Some(rounded as i64)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Folds one answered question into a demographic fragment, returning
+/// `true` when the answer contributed a quasi-identifier field.
+///
+/// This is the single fragment-extraction routine shared by the offline
+/// [`Linker`] and the streaming [`AnonymitySketch`]; out-of-range values
+/// are dropped exactly as the linker always dropped them (`try_from` +
+/// [`ZipCode::new`] validation).
+pub fn merge_fragment(
+    fragment: &mut PartialProfile,
+    sem: &QuestionSemantics,
+    answer: &Answer,
+) -> bool {
+    match sem {
+        QuestionSemantics::BirthDay => {
+            if let Some(day) = answer_as_int(answer).and_then(|v| u8::try_from(v).ok()) {
+                fragment.day = Some(day);
+                return true;
+            }
+            false
+        }
+        QuestionSemantics::BirthMonth => {
+            if let Some(month) = answer_as_int(answer).and_then(|v| u8::try_from(v).ok()) {
+                fragment.month = Some(month);
+                return true;
+            }
+            false
+        }
+        QuestionSemantics::BirthYear => {
+            if let Some(year) = answer_as_int(answer).and_then(|v| u16::try_from(v).ok()) {
+                fragment.year = Some(year);
+                return true;
+            }
+            false
+        }
+        QuestionSemantics::Gender => {
+            if let Answer::Choice(c) = answer {
+                let gender = match c {
+                    0 => Some(Gender::Female),
+                    1 => Some(Gender::Male),
+                    _ => None,
+                };
+                if gender.is_some() {
+                    fragment.gender = gender;
+                    return true;
+                }
+            }
+            false
+        }
+        QuestionSemantics::ZipCode => {
+            if let Some(zip) = answer_as_int(answer)
+                .and_then(|v| u32::try_from(v).ok())
+                .and_then(ZipCode::new)
+            {
+                fragment.zip = Some(zip);
+                return true;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Identity-free summary of the anonymity-set structure: everything the
+/// observatory publishes. Bucket counts only — no subject ids, no
+/// quasi-identifier values.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct KAnonymity {
+    /// Subjects whose quasi-identifier has completed (linkable at all).
+    pub complete: u64,
+    /// Distinct completed quasi-identifier values (anonymity cohorts).
+    pub cohorts: u64,
+    /// Cohort size `k` → number of subjects sitting in a cohort of
+    /// exactly that size. `histogram[1]` is the re-identifiable count —
+    /// the paper's "72 of 400" is this bucket.
+    pub histogram: BTreeMap<u64, u64>,
+    /// Subjects alone in their cohort (`k == 1`).
+    pub at_risk: u64,
+    /// Shannon entropy (bits) of the cohort-size distribution — the
+    /// linkage-entropy trend the observatory charts; higher is safer.
+    pub entropy_bits: f64,
+}
+
+impl KAnonymity {
+    /// Builds the summary from an iterator of cohort sizes.
+    pub fn from_cohort_sizes<I: IntoIterator<Item = u64>>(sizes: I) -> KAnonymity {
+        let mut out = KAnonymity::default();
+        for size in sizes {
+            if size == 0 {
+                continue;
+            }
+            out.cohorts += 1;
+            out.complete += size;
+            *out.histogram.entry(size).or_insert(0) += size;
+            if size == 1 {
+                out.at_risk += 1;
+            }
+        }
+        if out.complete > 0 {
+            let total = out.complete as f64;
+            let mut entropy = 0.0_f64;
+            for (&size, &members) in &out.histogram {
+                // `members` subjects sit in cohorts of `size`; each such
+                // cohort has probability mass size/total.
+                let cohorts_of_size = members / size;
+                let p = size as f64 / total;
+                entropy -= cohorts_of_size as f64 * p * p.log2();
+            }
+            out.entropy_bits = entropy.max(0.0);
+        }
+        out
+    }
+
+    /// The same summary computed from an offline linkage run — the
+    /// ground truth the streaming sketch is tested against.
+    pub fn of_linker(linker: &Linker) -> KAnonymity {
+        let mut cohorts: HashMap<QuasiIdentifier, u64> = HashMap::new();
+        for (_, dossier) in linker.complete_dossiers() {
+            if let Some(qi) = dossier.profile.quasi_identifier() {
+                *cohorts.entry(qi).or_insert(0) += 1;
+            }
+        }
+        KAnonymity::from_cohort_sizes(cohorts.into_values())
+    }
+
+    /// Fraction of linkable subjects who are unique in their cohort —
+    /// the re-identification-risk fraction (0 when nobody is linkable).
+    pub fn at_risk_ratio(&self) -> f64 {
+        if self.complete == 0 {
+            0.0
+        } else {
+            self.at_risk as f64 / self.complete as f64
+        }
+    }
+}
+
+/// Exact streaming anonymity-set sketch over the Sweeney triple.
+///
+/// `observe` folds one submission's demographic fragment into the
+/// subject's profile and moves the subject between quasi-identifier
+/// cohorts when the completed value changes; both operations are O(1)
+/// map updates, so the apply-path cost is constant per submission.
+#[derive(Debug, Clone, Default)]
+pub struct AnonymitySketch {
+    profiles: HashMap<String, PartialProfile>,
+    cohorts: HashMap<QuasiIdentifier, u64>,
+}
+
+impl AnonymitySketch {
+    /// Creates an empty sketch.
+    pub fn new() -> AnonymitySketch {
+        AnonymitySketch::default()
+    }
+
+    /// Folds one submission's fragment into `subject`'s profile,
+    /// re-bucketing the cohort map if the completed quasi-identifier
+    /// changed (later answers win, matching [`PartialProfile::merge`]).
+    pub fn observe(&mut self, subject: &str, fragment: &PartialProfile) {
+        if fragment.disclosed_count() == 0 {
+            return;
+        }
+        let profile = self
+            .profiles
+            .entry(subject.to_owned())
+            .or_insert_with(PartialProfile::new);
+        let before = profile.quasi_identifier();
+        profile.merge(fragment);
+        let after = profile.quasi_identifier();
+        if before == after {
+            return;
+        }
+        if let Some(qi) = before {
+            if let Some(count) = self.cohorts.get_mut(&qi) {
+                *count -= 1;
+                if *count == 0 {
+                    self.cohorts.remove(&qi);
+                }
+            }
+        }
+        if let Some(qi) = after {
+            *self.cohorts.entry(qi).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of subjects that have disclosed at least one fragment.
+    pub fn subjects(&self) -> u64 {
+        self.profiles.len() as u64
+    }
+
+    /// Adds this sketch's cohort counts into a cross-shard accumulator.
+    /// Subjects are routed to exactly one sketch shard, so summing per
+    /// quasi-identifier is the exact global cohort map.
+    pub fn merge_cohorts_into(&self, acc: &mut HashMap<QuasiIdentifier, u64>) {
+        for (qi, count) in &self.cohorts {
+            *acc.entry(*qi).or_insert(0) += count;
+        }
+    }
+
+    /// The k-anonymity summary of this sketch alone.
+    pub fn k_anonymity(&self) -> KAnonymity {
+        KAnonymity::from_cohort_sizes(self.cohorts.values().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_platform::behavior::BehaviorModel;
+    use loki_platform::spec::paper_surveys;
+    use loki_platform::worker::{HealthProfile, PrivacyAttitude, WorkerId, WorkerProfile};
+    use loki_survey::demographics::BirthDate;
+    use loki_survey::response::ResponseSet;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn worker(id: u64, zip: u32) -> WorkerProfile {
+        WorkerProfile::new(
+            WorkerId(id),
+            QuasiIdentifier {
+                birth: BirthDate::new(1970 + (id % 20) as u16, 1 + (id % 12) as u8, 1 + (id % 28) as u8)
+                    .expect("valid synthetic date"),
+                gender: if id % 2 == 0 { Gender::Female } else { Gender::Male },
+                zip: ZipCode::new(zip).expect("valid zip"),
+            },
+            HealthProfile {
+                smoking_level: 3,
+                cough_level: 2,
+            },
+            PrivacyAttitude {
+                aware_of_profiling: false,
+                would_participate_if_profiled: false,
+            },
+        )
+    }
+
+    fn fragment_of(sem: QuestionSemantics, answer: &Answer) -> PartialProfile {
+        let mut f = PartialProfile::new();
+        merge_fragment(&mut f, &sem, answer);
+        f
+    }
+
+    #[test]
+    fn obfuscated_answers_round_to_fragments() {
+        // The server stores QI answers only in obfuscated form; a
+        // zero-noise value must extract identically to the raw integer.
+        let raw = fragment_of(QuestionSemantics::BirthDay, &Answer::Numeric(14));
+        let obf = fragment_of(QuestionSemantics::BirthDay, &Answer::Obfuscated(14.0));
+        assert_eq!(raw.day, Some(14));
+        assert_eq!(obf.day, raw.day);
+        // Noisy values round like an adversary would read them.
+        let noisy = fragment_of(QuestionSemantics::BirthDay, &Answer::Obfuscated(13.7));
+        assert_eq!(noisy.day, Some(14));
+        // Garbage is dropped, not panicked on.
+        assert_eq!(
+            fragment_of(QuestionSemantics::BirthDay, &Answer::Obfuscated(f64::NAN)).day,
+            None
+        );
+        assert_eq!(
+            fragment_of(QuestionSemantics::BirthDay, &Answer::Obfuscated(1e300)).day,
+            None
+        );
+        assert_eq!(
+            fragment_of(QuestionSemantics::ZipCode, &Answer::Obfuscated(123_456.0)).zip,
+            None,
+            "out-of-range zips are rejected by ZipCode::new"
+        );
+    }
+
+    #[test]
+    fn gender_comes_from_choice_only() {
+        let f = fragment_of(QuestionSemantics::Gender, &Answer::Choice(1));
+        assert_eq!(f.gender, Some(Gender::Male));
+        let f = fragment_of(QuestionSemantics::Gender, &Answer::Choice(7));
+        assert_eq!(f.gender, None);
+        let f = fragment_of(QuestionSemantics::Gender, &Answer::Obfuscated(1.0));
+        assert_eq!(f.gender, None);
+    }
+
+    #[test]
+    fn sketch_counts_cohorts_exactly() {
+        let mut sketch = AnonymitySketch::new();
+        // Two subjects share a QI, one is unique.
+        for (subject, id, zip) in [("a", 2, 30_001), ("b", 2, 30_001), ("c", 3, 30_002)] {
+            let w = worker(id, zip);
+            let mut f = PartialProfile::new();
+            f.day = Some(w.demographics.birth.day);
+            f.month = Some(w.demographics.birth.month);
+            f.year = Some(w.demographics.birth.year);
+            f.gender = Some(w.demographics.gender);
+            f.zip = Some(w.demographics.zip);
+            sketch.observe(subject, &f);
+        }
+        let k = sketch.k_anonymity();
+        assert_eq!(k.complete, 3);
+        assert_eq!(k.cohorts, 2);
+        assert_eq!(k.at_risk, 1);
+        assert_eq!(k.histogram.get(&2), Some(&2));
+        assert_eq!(k.histogram.get(&1), Some(&1));
+        assert!((k.at_risk_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_disclosure_never_enters_a_cohort() {
+        let mut sketch = AnonymitySketch::new();
+        let mut f = PartialProfile::new();
+        f.day = Some(10);
+        f.month = Some(4);
+        sketch.observe("a", &f);
+        let k = sketch.k_anonymity();
+        assert_eq!(k.complete, 0);
+        assert_eq!(sketch.subjects(), 1);
+        assert_eq!(k.at_risk_ratio(), 0.0, "no linkable subjects, no risk");
+    }
+
+    #[test]
+    fn rebucketing_on_later_answers() {
+        // A subject completes a QI, then revises their ZIP: the cohort
+        // map must move them, never double-count.
+        let mut sketch = AnonymitySketch::new();
+        let w = worker(4, 30_004);
+        let mut f = PartialProfile::new();
+        f.day = Some(w.demographics.birth.day);
+        f.month = Some(w.demographics.birth.month);
+        f.year = Some(w.demographics.birth.year);
+        f.gender = Some(w.demographics.gender);
+        f.zip = Some(w.demographics.zip);
+        sketch.observe("mover", &f);
+        assert_eq!(sketch.k_anonymity().complete, 1);
+        let mut revision = PartialProfile::new();
+        revision.zip = ZipCode::new(40_000);
+        sketch.observe("mover", &revision);
+        let k = sketch.k_anonymity();
+        assert_eq!(k.complete, 1, "moved, not duplicated");
+        assert_eq!(k.cohorts, 1);
+    }
+
+    #[test]
+    fn streaming_sketch_matches_offline_linker() {
+        // Run the paper's five-survey campaign for 40 workers through
+        // BOTH paths: the offline Linker over whole response sets, and
+        // the sketch one response at a time. The k-anonymity summaries
+        // must be identical (same extraction routine by construction).
+        let specs = paper_surveys();
+        let model = BehaviorModel::Honest { opinion_noise: 0.3 };
+        let mut linker = Linker::new();
+        let mut sketch = AnonymitySketch::new();
+        for id in 0..40u64 {
+            // Collisions on purpose: zip spread smaller than worker count.
+            let w = worker(id, 30_000 + (id % 25) as u32);
+            let mut rng = ChaCha20Rng::seed_from_u64(id);
+            let subject = format!("w{id}");
+            for spec in &specs {
+                let response = model.respond(&mut rng, &w, spec, &subject);
+                // Offline path.
+                let mut set = ResponseSet::new();
+                set.push(response.clone());
+                linker.ingest(spec, &set);
+                // Streaming path: one fragment per response, exactly how
+                // the server's apply step feeds the observatory.
+                let mut fragment = PartialProfile::new();
+                for q in &spec.survey.questions {
+                    let (Some(sem), Some(answer)) = (spec.semantics_of(q.id), response.get(q.id))
+                    else {
+                        continue;
+                    };
+                    merge_fragment(&mut fragment, sem, answer);
+                }
+                sketch.observe(&subject, &fragment);
+            }
+        }
+        let offline = KAnonymity::of_linker(&linker);
+        let streamed = sketch.k_anonymity();
+        assert!(offline.complete > 0, "campaign must complete some QIs");
+        assert_eq!(streamed, offline);
+    }
+
+    #[test]
+    fn merged_shard_cohorts_equal_single_sketch() {
+        // Subjects partitioned across sketch shards: merging cohort maps
+        // must reproduce the unsharded summary exactly.
+        let mut single = AnonymitySketch::new();
+        let mut shards = vec![AnonymitySketch::new(), AnonymitySketch::new(), AnonymitySketch::new()];
+        for id in 0..30u64 {
+            let w = worker(id, 30_000 + (id % 7) as u32);
+            let mut f = PartialProfile::new();
+            f.day = Some(w.demographics.birth.day);
+            f.month = Some(w.demographics.birth.month);
+            f.year = Some(w.demographics.birth.year);
+            f.gender = Some(w.demographics.gender);
+            f.zip = Some(w.demographics.zip);
+            let subject = format!("s{id}");
+            single.observe(&subject, &f);
+            shards[(id % 3) as usize].observe(&subject, &f);
+        }
+        let mut merged = HashMap::new();
+        for shard in &shards {
+            shard.merge_cohorts_into(&mut merged);
+        }
+        let combined = KAnonymity::from_cohort_sizes(merged.into_values());
+        assert_eq!(combined, single.k_anonymity());
+    }
+
+    #[test]
+    fn entropy_tracks_uniformity() {
+        // 4 subjects in one cohort: zero entropy. 4 singletons: 2 bits.
+        let one_cohort = KAnonymity::from_cohort_sizes([4]);
+        assert!(one_cohort.entropy_bits.abs() < 1e-12);
+        let singletons = KAnonymity::from_cohort_sizes([1, 1, 1, 1]);
+        assert!((singletons.entropy_bits - 2.0).abs() < 1e-12);
+        assert_eq!(singletons.at_risk, 4);
+        assert!((singletons.at_risk_ratio() - 1.0).abs() < 1e-12);
+    }
+}

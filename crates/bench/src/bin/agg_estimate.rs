@@ -1,0 +1,150 @@
+//! AGG-1 — estimate-read latency vs stored submission count.
+//!
+//! The streaming aggregation layer folds per-bin sufficient statistics
+//! into the shard apply step, so an estimate read is an O(bins) merge of
+//! per-shard state — its cost must not grow with the number of stored
+//! submissions. The legacy path rescans every submission on every read.
+//! This bench pins the contrast: p99 read latency of the streaming
+//! estimate (`/v1/surveys/{id}/estimate/{q}`'s store call) against the
+//! scan-backed results call, at 1k → 10k → 100k stored submissions.
+//!
+//! Acceptance: streaming p99 at 100k submissions must stay within
+//! **3×** of its 1k baseline (flat modulo scheduler noise, while the
+//! scan baseline grows ~100×). Override the bar with `LOKI_AGG1_MAX`.
+//! Writes the machine-readable result to `BENCH_AGG1.json` (CI uploads
+//! it as an artifact next to the other perf trajectories).
+
+use loki_bench::{banner, f, n, Table};
+use loki_core::estimator::Estimator;
+use loki_core::privacy_level::PrivacyLevel;
+use loki_server::store::AppState;
+use loki_survey::question::{Answer, QuestionKind};
+use loki_survey::response::Response;
+use loki_survey::survey::{Survey, SurveyBuilder, SurveyId};
+use loki_survey::QuestionId;
+use std::time::{Duration, Instant};
+
+const POPULATIONS: [usize; 3] = [1_000, 10_000, 100_000];
+const READS: usize = 512;
+
+const LEVELS: [PrivacyLevel; 4] =
+    [PrivacyLevel::None, PrivacyLevel::Low, PrivacyLevel::Medium, PrivacyLevel::High];
+
+fn survey(id: u64) -> Survey {
+    let mut b = SurveyBuilder::new(SurveyId(id), format!("bench-{id}"));
+    b.question("rate", QuestionKind::likert5(), false);
+    b.build().expect("static survey")
+}
+
+/// Builds an 8-shard in-memory state holding `population` submissions
+/// to one survey, spread across all privacy bins with non-trivial
+/// mantissas (so the estimator does real work on every read).
+fn build(population: usize) -> AppState {
+    let state = AppState::with_shards(8);
+    state.add_survey(survey(1)).expect("bench survey");
+    for i in 0..population {
+        let user = format!("u{i}");
+        let mut r = Response::new(user.clone(), SurveyId(1));
+        r.answer(QuestionId(0), Answer::Obfuscated(1.0 + (i % 4001) as f64 / 1000.0));
+        state
+            .submit(&user, LEVELS[i % LEVELS.len()], r, &[])
+            .expect("bench submission");
+    }
+    state
+}
+
+fn p99(latencies: &mut [Duration]) -> Duration {
+    latencies.sort();
+    latencies[(latencies.len() * 99) / 100 - 1]
+}
+
+/// Times `READS` calls of `read`, returning the p99 single-call latency.
+fn measure(mut read: impl FnMut() -> u64) -> Duration {
+    let mut latencies = Vec::with_capacity(READS);
+    let mut sink = 0u64;
+    for _ in 0..READS {
+        let start = Instant::now();
+        sink = sink.wrapping_add(read());
+        latencies.push(start.elapsed());
+    }
+    assert!(sink > 0, "reads must observe real data");
+    p99(&mut latencies)
+}
+
+fn main() {
+    banner(
+        "AGG-1",
+        "estimate-read p99 vs stored submissions: streaming vs rescan",
+        "streaming p99 must stay flat 1k -> 100k (<=3x, override LOKI_AGG1_MAX)",
+    );
+    let estimator = Estimator::default();
+
+    let mut t = Table::new(&["submissions", "streaming p99 us", "scan p99 us", "scan/stream"]);
+    let mut rows = Vec::with_capacity(POPULATIONS.len());
+    for &population in &POPULATIONS {
+        let state = build(population);
+        let streaming = measure(|| {
+            state
+                .streaming_results(SurveyId(1), QuestionId(0), &estimator)
+                .map_or(0, |p| p.n_total as u64)
+        });
+        let scan = measure(|| {
+            state
+                .results(SurveyId(1), QuestionId(0), &estimator)
+                .map_or(0, |p| p.n_total as u64)
+        });
+        let ratio = scan.as_secs_f64() / streaming.as_secs_f64();
+        t.row(&[
+            n(population),
+            f(streaming.as_secs_f64() * 1e6),
+            f(scan.as_secs_f64() * 1e6),
+            f(ratio),
+        ]);
+        rows.push((population, streaming, scan));
+    }
+    println!("{}", t.render());
+
+    let base = rows[0].1.as_secs_f64();
+    let top = rows[rows.len() - 1].1.as_secs_f64();
+    let growth = top / base;
+    println!(
+        "AGG-1 streaming p99 growth {}k -> {}k submissions: {growth:.2}x",
+        POPULATIONS[0] / 1000,
+        POPULATIONS[POPULATIONS.len() - 1] / 1000
+    );
+
+    let bar: f64 = std::env::var("LOKI_AGG1_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let pass = growth <= bar;
+
+    let results: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|(population, streaming, scan)| {
+            serde_json::json!({
+                "submissions": population,
+                "streaming_p99_us": streaming.as_secs_f64() * 1e6,
+                "scan_p99_us": scan.as_secs_f64() * 1e6,
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "bench": "AGG-1",
+        "reads": READS,
+        "results": results,
+        "streaming_p99_growth": growth,
+        "max_allowed": bar,
+        "pass": pass,
+    });
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_AGG1.json", json).expect("write BENCH_AGG1.json");
+    println!("wrote BENCH_AGG1.json");
+
+    if pass {
+        println!("PASS: <= {bar:.1}x");
+    } else {
+        println!("FAIL: above the {bar:.1}x bar");
+        std::process::exit(1);
+    }
+}

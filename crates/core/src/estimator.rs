@@ -12,6 +12,90 @@ use loki_dp::utility;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// Mergeable sufficient statistics for one privacy bin — everything the
+/// estimator needs, with the raw samples thrown away.
+///
+/// The streaming aggregation layer maintains one of these per
+/// (survey, question, level) inside the shard-local apply step; a read
+/// merges `O(shards)` of them instead of rescanning submissions. The
+/// invariant that makes the swap exact: `push` accumulates `sum` in
+/// arrival order, which is the same order the legacy scan summed samples
+/// in, so `mean()` is bitwise-identical to the scan's mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinStats {
+    /// Number of responses folded in.
+    pub n: u64,
+    /// Running sum of responses (arrival order).
+    pub sum: f64,
+    /// Running sum of squared responses.
+    pub sum_sq: f64,
+    /// Smallest response seen (`+∞` when empty).
+    pub min: f64,
+    /// Largest response seen (`−∞` when empty).
+    pub max: f64,
+}
+
+impl Default for BinStats {
+    fn default() -> Self {
+        BinStats::EMPTY
+    }
+}
+
+impl BinStats {
+    /// The identity element for [`BinStats::merge`].
+    pub const EMPTY: BinStats = BinStats {
+        n: 0,
+        sum: 0.0,
+        sum_sq: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
+
+    /// Folds one response in.
+    pub fn push(&mut self, value: f64) {
+        self.n += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another bin's statistics in (shard merge).
+    pub fn merge(&mut self, other: &BinStats) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Sample mean, `None` when empty or non-finite.
+    pub fn mean(&self) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        let mean = self.sum / self.n as f64;
+        mean.is_finite().then_some(mean)
+    }
+
+    /// Sample variance (population form), `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self.sum_sq / self.n as f64 - mean * mean;
+        Some(var.max(0.0))
+    }
+
+    /// Builds the statistics from a slice of samples (the legacy scan's
+    /// view), folding in arrival order.
+    pub fn from_samples(samples: &[f64]) -> BinStats {
+        let mut stats = BinStats::EMPTY;
+        for &v in samples {
+            stats.push(v);
+        }
+        stats
+    }
+}
+
 /// The estimate from one privacy bin.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BinEstimate {
@@ -70,11 +154,16 @@ impl Estimator {
 
     /// Per-bin estimate; returns `None` for an empty bin.
     pub fn bin_estimate(&self, level: PrivacyLevel, samples: &[f64]) -> Option<BinEstimate> {
-        if samples.is_empty() {
-            return None;
-        }
-        let n = samples.len();
-        let mean = samples.iter().sum::<f64>() / n as f64;
+        // `BinStats::from_samples` folds in the same order `iter().sum()`
+        // did, so this is the exact value the pre-streaming scan computed.
+        self.bin_estimate_stats(level, &BinStats::from_samples(samples))
+    }
+
+    /// Per-bin estimate from sufficient statistics; `None` for an empty
+    /// bin or a non-finite accumulated mean.
+    pub fn bin_estimate_stats(&self, level: PrivacyLevel, stats: &BinStats) -> Option<BinEstimate> {
+        let mean = stats.mean()?;
+        let n = usize::try_from(stats.n).ok()?;
         let se = utility::mean_standard_error(self.pop_std, level.sigma(), n);
         Some(BinEstimate {
             level,
@@ -88,14 +177,43 @@ impl Estimator {
     /// its per-response variance.
     ///
     /// # Panics
-    /// Panics if every bin is empty.
+    /// Panics if every bin is empty. Use [`Estimator::pooled_checked`]
+    /// where "no responses yet" is a reachable state rather than a bug.
     pub fn pooled(&self, bins: &BTreeMap<PrivacyLevel, Vec<f64>>) -> PooledEstimate {
+        match self.pooled_checked(bins) {
+            Some(est) => est,
+            None => panic!("cannot pool zero responses"),
+        }
+    }
+
+    /// Pooled estimate across bins; `None` when every bin is empty
+    /// (instead of the panic `pooled` keeps for legacy callers).
+    pub fn pooled_checked(&self, bins: &BTreeMap<PrivacyLevel, Vec<f64>>) -> Option<PooledEstimate> {
         let estimates: Vec<BinEstimate> = bins
             .iter()
             .filter_map(|(level, samples)| self.bin_estimate(*level, samples))
             .collect();
-        assert!(!estimates.is_empty(), "cannot pool zero responses");
+        self.pool_estimates(estimates)
+    }
 
+    /// Pooled estimate from per-bin sufficient statistics; `None` when
+    /// every bin is empty. Streaming reads and the legacy scan both reach
+    /// [`Estimator::pool_estimates`] through identical `BinEstimate`
+    /// values, so their outputs agree bitwise.
+    pub fn pooled_stats(&self, bins: &BTreeMap<PrivacyLevel, BinStats>) -> Option<PooledEstimate> {
+        let estimates: Vec<BinEstimate> = bins
+            .iter()
+            .filter_map(|(level, stats)| self.bin_estimate_stats(*level, stats))
+            .collect();
+        self.pool_estimates(estimates)
+    }
+
+    /// Inverse-variance pooling over already-computed bin estimates —
+    /// the single code path both the scan and streaming APIs share.
+    fn pool_estimates(&self, estimates: Vec<BinEstimate>) -> Option<PooledEstimate> {
+        if estimates.is_empty() {
+            return None;
+        }
         let weight_input: Vec<(usize, f64)> = estimates
             .iter()
             .map(|b| (b.n, b.level.sigma()))
@@ -113,13 +231,66 @@ impl Estimator {
             .iter()
             .map(|b| 1.0 / (b.standard_error * b.standard_error))
             .sum();
+        if !mean.is_finite() || !inv_var.is_finite() || inv_var <= 0.0 {
+            return None;
+        }
         let n_total = estimates.iter().map(|b| b.n).sum();
-        PooledEstimate {
+        Some(PooledEstimate {
             mean,
             standard_error: (1.0 / inv_var).sqrt(),
             bins: estimates,
             n_total,
+        })
+    }
+
+    /// Sparse-LDP truth inference over per-bin sufficient statistics
+    /// (the `?mode=ldp-truth` estimate).
+    ///
+    /// Instead of trusting the declared noise σ alone, each bin's weight
+    /// is re-derived from how far its observed mean sits from the current
+    /// truth iterate — `w_b = n_b / (σ_b² + (mean_b − t)²)` — and the
+    /// truth is re-estimated as the weighted mean, for a fixed number of
+    /// rounds. Bins whose means are outliers (sparse, heavily-noised
+    /// uploads) are automatically down-weighted, which is the core of the
+    /// truth-inference iteration in "Truth Inference on Sparse
+    /// Crowdsourcing Data with Local Differential Privacy". Deterministic:
+    /// no RNG, fixed iteration count, `None` when every bin is empty.
+    pub fn ldp_truth(&self, bins: &BTreeMap<PrivacyLevel, BinStats>) -> Option<PooledEstimate> {
+        let estimates: Vec<BinEstimate> = bins
+            .iter()
+            .filter_map(|(level, stats)| self.bin_estimate_stats(*level, stats))
+            .collect();
+        if estimates.is_empty() {
+            return None;
         }
+        // Start from the plain inverse-variance pooled mean.
+        let mut truth = self.pool_estimates(estimates.clone())?.mean;
+        const ROUNDS: usize = 8;
+        for _ in 0..ROUNDS {
+            let mut num = 0.0_f64;
+            let mut den = 0.0_f64;
+            for b in &estimates {
+                let sigma = b.level.sigma();
+                let dev = b.mean - truth;
+                let w = b.n as f64 / (sigma * sigma + dev * dev).max(f64::MIN_POSITIVE);
+                num += w * b.mean;
+                den += w;
+            }
+            if den <= 0.0 || !den.is_finite() {
+                break;
+            }
+            let next = num / den;
+            if !next.is_finite() {
+                break;
+            }
+            truth = next;
+        }
+        // Report the truth-inference mean with the pooled error bar and
+        // per-bin detail of the plain estimator (the SE model is the
+        // same; only the weighting of means changed).
+        let mut pooled = self.pool_estimates(estimates)?;
+        pooled.mean = truth;
+        Some(pooled)
     }
 }
 
@@ -230,6 +401,129 @@ mod tests {
         let e = Estimator::default();
         let bins = BTreeMap::new();
         let _ = e.pooled(&bins);
+    }
+
+    #[test]
+    fn pooled_checked_guards_empty_and_all_empty_bins() {
+        // The legacy panic is unreachable through the checked API: an
+        // empty map and a map of only-empty bins both yield None, no
+        // division by zero, no NaN.
+        let e = Estimator::default();
+        assert!(e.pooled_checked(&BTreeMap::new()).is_none());
+        let mut bins = BTreeMap::new();
+        bins.insert(PrivacyLevel::Low, Vec::new());
+        bins.insert(PrivacyLevel::High, Vec::new());
+        assert!(e.pooled_checked(&bins).is_none());
+        let mut stats = BTreeMap::new();
+        stats.insert(PrivacyLevel::Low, BinStats::EMPTY);
+        assert!(e.pooled_stats(&stats).is_none());
+        assert!(e.ldp_truth(&stats).is_none());
+    }
+
+    #[test]
+    fn single_bin_pool_is_the_bin_estimate() {
+        // A one-bin survey must pool to exactly its own bin estimate —
+        // the weight normalizes to 1 and nothing divides by zero.
+        let e = Estimator::default();
+        let mut bins = BTreeMap::new();
+        bins.insert(PrivacyLevel::Medium, vec![3.5, 4.0, 2.5]);
+        let pooled = e.pooled_checked(&bins).expect("non-empty bin pools");
+        let solo = e
+            .bin_estimate(PrivacyLevel::Medium, &[3.5, 4.0, 2.5])
+            .expect("non-empty bin estimates");
+        assert_eq!(pooled.bins.len(), 1);
+        assert_eq!(pooled.mean, solo.mean);
+        assert!(pooled.standard_error.is_finite());
+        assert!((pooled.standard_error - solo.standard_error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_path_matches_sample_path_bitwise() {
+        // The streaming path must be indistinguishable from the scan:
+        // same samples, same arrival order → bit-equal estimates.
+        let e = Estimator::new(0.7);
+        let mut rng = ChaCha20Rng::seed_from_u64(9);
+        let mut bins = BTreeMap::new();
+        let mut stats = BTreeMap::new();
+        for level in [PrivacyLevel::None, PrivacyLevel::Low, PrivacyLevel::High] {
+            let samples = bin(&mut rng, 3.3, 0.7, level, 257);
+            stats.insert(level, BinStats::from_samples(&samples));
+            bins.insert(level, samples);
+        }
+        let scan = e.pooled(&bins);
+        let streamed = e.pooled_stats(&stats).expect("non-empty");
+        assert_eq!(scan, streamed);
+    }
+
+    #[test]
+    fn bin_stats_merge_is_order_preserving_concatenation() {
+        // Merging shard-local stats equals folding the concatenated
+        // sample stream: the per-survey arrival order is shard-count
+        // invariant, so this is what makes 1-shard ≡ 8-shard reads exact.
+        let a = [4.1, 3.9, 4.4];
+        let b = [2.0, 5.0];
+        let mut merged = BinStats::from_samples(&a);
+        merged.merge(&BinStats::from_samples(&b));
+        let whole: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(merged, BinStats::from_samples(&whole));
+        assert_eq!(merged.n, 5);
+        assert_eq!(merged.min, 2.0);
+        assert_eq!(merged.max, 5.0);
+    }
+
+    #[test]
+    fn bin_stats_guard_non_finite_accumulation() {
+        let mut s = BinStats::EMPTY;
+        assert!(s.mean().is_none());
+        assert!(s.variance().is_none());
+        s.push(f64::MAX);
+        s.push(f64::MAX); // sum overflows to +∞
+        assert!(s.mean().is_none(), "non-finite mean must be guarded");
+        let e = Estimator::default();
+        assert!(e.bin_estimate_stats(PrivacyLevel::Low, &s).is_none());
+    }
+
+    #[test]
+    fn ldp_truth_is_deterministic_and_near_pooled_on_agreeing_bins() {
+        let e = Estimator::new(0.8);
+        let mut rng = ChaCha20Rng::seed_from_u64(11);
+        let mut stats = BTreeMap::new();
+        for level in [PrivacyLevel::None, PrivacyLevel::Low, PrivacyLevel::Medium] {
+            let samples = bin(&mut rng, 4.2, 0.8, level, 400);
+            stats.insert(level, BinStats::from_samples(&samples));
+        }
+        let a = e.ldp_truth(&stats).expect("non-empty");
+        let b = e.ldp_truth(&stats).expect("non-empty");
+        assert_eq!(a.mean, b.mean, "no hidden randomness");
+        let pooled = e.pooled_stats(&stats).expect("non-empty");
+        assert!(
+            (a.mean - pooled.mean).abs() < 0.1,
+            "agreeing bins: truth {} vs pooled {}",
+            a.mean,
+            pooled.mean
+        );
+        assert_eq!(a.n_total, pooled.n_total);
+    }
+
+    #[test]
+    fn ldp_truth_downweights_outlier_bin() {
+        // Three well-populated bins agree near 4.0; a sparse noisy bin
+        // sits at 1.0. Truth inference must land closer to the consensus
+        // than plain inverse-variance pooling does.
+        let e = Estimator::new(0.8);
+        let mut stats = BTreeMap::new();
+        for level in [PrivacyLevel::None, PrivacyLevel::Low, PrivacyLevel::Medium] {
+            stats.insert(level, BinStats::from_samples(&vec![4.0; 200]));
+        }
+        stats.insert(PrivacyLevel::High, BinStats::from_samples(&vec![1.0; 40]));
+        let pooled = e.pooled_stats(&stats).expect("non-empty");
+        let truth = e.ldp_truth(&stats).expect("non-empty");
+        assert!(
+            (truth.mean - 4.0).abs() < (pooled.mean - 4.0).abs(),
+            "truth {} should beat pooled {}",
+            truth.mean,
+            pooled.mean
+        );
     }
 
     #[test]

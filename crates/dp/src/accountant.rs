@@ -16,6 +16,7 @@ use crate::sensitivity::Sensitivity;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One recorded release in a user's ledger.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -174,6 +175,71 @@ fn user_shard(user: &str) -> usize {
     (h % LEDGER_SHARDS as u64) as usize
 }
 
+/// Maintained counters for one registered near-cap threshold.
+///
+/// The near-cap SLO ratio ("fraction of users whose tight cumulative ε is
+/// at or above 80% of the cap") used to require a [`Accountant::loss_distribution`]
+/// walk on every scrape — O(users) with an RDP→DP conversion per ledger.
+/// Instead the accountant keeps the two integers the ratio needs and
+/// updates them inside [`Accountant::record`], exploiting monotonicity:
+/// `tight_loss` never decreases as releases accumulate, so each user
+/// crosses a fixed threshold exactly once and a saturating counter stays
+/// exact without ever re-examining old ledgers.
+///
+/// The counters are keyed by the exact `(threshold, delta)` bit patterns
+/// they were registered for; a scrape with a different cap re-registers
+/// with one exact walk (holding every shard's write lock so no `record`
+/// interleaves) and subsequent scrapes are O(1) again.
+#[derive(Debug)]
+struct NearCapCounters {
+    /// Registered ε threshold as IEEE-754 bits; `f64::NAN` bits means
+    /// no threshold is registered and `record` skips the bookkeeping.
+    threshold_bits: AtomicU64,
+    /// Registered δ (bit pattern) at which `tight_loss` is stated.
+    delta_bits: AtomicU64,
+    /// Users with a ledger.
+    users: AtomicUsize,
+    /// Users whose tight cumulative ε has reached the threshold
+    /// (unbounded ledgers included: +∞ exceeds any finite threshold).
+    near: AtomicUsize,
+    /// Users whose cumulative loss has become unbounded.
+    unbounded: AtomicUsize,
+}
+
+impl Default for NearCapCounters {
+    fn default() -> Self {
+        NearCapCounters {
+            threshold_bits: AtomicU64::new(f64::NAN.to_bits()),
+            delta_bits: AtomicU64::new(0),
+            users: AtomicUsize::new(0),
+            near: AtomicUsize::new(0),
+            unbounded: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Snapshot of the near-cap counters for one `(threshold, delta)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NearCapCounts {
+    /// Users with a ledger.
+    pub users: usize,
+    /// Users at or above the ε threshold (unbounded users included).
+    pub near: usize,
+    /// Users with unbounded cumulative loss.
+    pub unbounded: usize,
+}
+
+impl NearCapCounts {
+    /// `near / users`, or 0 when nobody has a ledger yet.
+    pub fn ratio(&self) -> f64 {
+        if self.users == 0 {
+            0.0
+        } else {
+            self.near as f64 / self.users as f64
+        }
+    }
+}
+
 /// Thread-safe platform-wide accountant: one ledger per user.
 ///
 /// Internally sharded by `fnv1a(user) % LEDGER_SHARDS` so concurrent
@@ -182,12 +248,14 @@ fn user_shard(user: &str) -> usize {
 #[derive(Debug)]
 pub struct Accountant {
     shards: Vec<RwLock<HashMap<String, UserLedger>>>,
+    near_cap: NearCapCounters,
 }
 
 impl Default for Accountant {
     fn default() -> Self {
         Accountant {
             shards: (0..LEDGER_SHARDS).map(|_| RwLock::default()).collect(),
+            near_cap: NearCapCounters::default(),
         }
     }
 }
@@ -203,12 +271,49 @@ impl Accountant {
     }
 
     /// Records a release for a user, creating the ledger on first use.
+    ///
+    /// When a near-cap threshold is registered (see
+    /// [`Accountant::near_cap_counts`]), the crossing bookkeeping happens
+    /// here, under the same shard write lock as the ledger mutation, so the
+    /// counters are exact: `tight_loss` is monotone in the release
+    /// sequence, a user crosses the fixed threshold at most once, and no
+    /// concurrent reader can observe the ledger updated but the counters
+    /// stale for that user.
     pub fn record(&self, user: &str, tag: impl Into<String>, kind: ReleaseKind) {
-        self.shard_for(user)
-            .write()
-            .entry(user.to_owned())
-            .or_default()
-            .record(tag, kind);
+        let mut shard = self.shard_for(user).write();
+        // Read the registered threshold while holding the shard lock:
+        // re-registration takes every shard write lock, so the pair
+        // (threshold, delta) cannot change under us.
+        let threshold = f64::from_bits(self.near_cap.threshold_bits.load(Ordering::Acquire));
+        if threshold.is_nan() {
+            shard.entry(user.to_owned()).or_default().record(tag, kind);
+            return;
+        }
+        let delta = Delta::new(f64::from_bits(self.near_cap.delta_bits.load(Ordering::Acquire)));
+        let is_new = !shard.contains_key(user);
+        let ledger = shard.entry(user.to_owned()).or_default();
+        let before = if is_new {
+            PrivacyLoss::ZERO
+        } else {
+            ledger.tight_loss(delta)
+        };
+        ledger.record(tag, kind);
+        let after = ledger.tight_loss(delta);
+        if is_new {
+            self.near_cap.users.fetch_add(1, Ordering::Relaxed);
+        }
+        let before_eps = before.epsilon.value();
+        let after_eps = after.epsilon.value();
+        // "Near" means ε ≥ threshold. A brand-new user starts outside the
+        // set even when the threshold is 0 (no ledger ⇒ not counted), so
+        // membership before this release is gated on `!is_new`.
+        let was_near = !is_new && before_eps >= threshold;
+        if !was_near && after_eps >= threshold {
+            self.near_cap.near.fetch_add(1, Ordering::Relaxed);
+        }
+        if before_eps.is_finite() && after_eps.is_infinite() {
+            self.near_cap.unbounded.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The tight cumulative loss of one user (zero if unknown).
@@ -254,6 +359,70 @@ impl Accountant {
             }
         }
         counts
+    }
+
+    /// Near-cap counters for `(threshold, delta)`: how many users have a
+    /// ledger, how many of them have tight cumulative ε ≥ `threshold`
+    /// (unbounded included), and how many are unbounded.
+    ///
+    /// O(1) once the pair is registered — [`Accountant::record`] maintains
+    /// the counters incrementally under the ledger shard lock. The first
+    /// call for a new pair (first scrape, or a cap change) re-registers
+    /// with one exact walk while holding **every** shard's write lock, so
+    /// the walk and the registration are atomic with respect to records.
+    ///
+    /// `threshold` must be finite (NaN is the "unregistered" sentinel);
+    /// non-finite thresholds return zeroed counts without registering.
+    pub fn near_cap_counts(&self, threshold: f64, delta: Delta) -> NearCapCounts {
+        if !threshold.is_finite() {
+            return NearCapCounts {
+                users: 0,
+                near: 0,
+                unbounded: 0,
+            };
+        }
+        let want_thr = threshold.to_bits();
+        let want_delta = delta.value().to_bits();
+        if self.near_cap.threshold_bits.load(Ordering::Acquire) == want_thr
+            // lint:allow float-eq-budget -- u64 to_bits() comparison: exact cache-key match by design
+            && self.near_cap.delta_bits.load(Ordering::Acquire) == want_delta
+        {
+            return NearCapCounts {
+                users: self.near_cap.users.load(Ordering::Relaxed),
+                near: self.near_cap.near.load(Ordering::Relaxed),
+                unbounded: self.near_cap.unbounded.load(Ordering::Relaxed),
+            };
+        }
+        // (Re)registration: hold all shard write locks so no `record` can
+        // interleave between the walk and the counter store. Lock order is
+        // ascending shard index, matching nothing else (records take one).
+        let guards: Vec<_> = self.shards.iter().map(RwLock::write).collect();
+        let mut users = 0usize;
+        let mut near = 0usize;
+        let mut unbounded = 0usize;
+        for guard in &guards {
+            users = users.saturating_add(guard.len());
+            for ledger in guard.values() {
+                let eps = ledger.tight_loss(delta).epsilon.value();
+                if eps >= threshold {
+                    near = near.saturating_add(1);
+                }
+                if eps.is_infinite() {
+                    unbounded = unbounded.saturating_add(1);
+                }
+            }
+        }
+        self.near_cap.users.store(users, Ordering::Relaxed);
+        self.near_cap.near.store(near, Ordering::Relaxed);
+        self.near_cap.unbounded.store(unbounded, Ordering::Relaxed);
+        self.near_cap.delta_bits.store(want_delta, Ordering::Release);
+        self.near_cap.threshold_bits.store(want_thr, Ordering::Release);
+        drop(guards);
+        NearCapCounts {
+            users,
+            near,
+            unbounded,
+        }
     }
 
     /// Cumulative ε of every user (at `delta`), for balancing decisions.
@@ -536,5 +705,112 @@ mod tests {
     fn accountant_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Accountant>();
+    }
+
+    /// Recomputes what the counters should say via the O(users) walk the
+    /// counters replace — the oracle for the incremental path.
+    fn recount(acc: &Accountant, threshold: f64, delta: Delta) -> NearCapCounts {
+        let dist = acc.loss_distribution(delta);
+        NearCapCounts {
+            users: dist.len(),
+            near: dist.iter().filter(|(_, e)| *e >= threshold).count(),
+            unbounded: dist.iter().filter(|(_, e)| e.is_infinite()).count(),
+        }
+    }
+
+    #[test]
+    fn near_cap_counts_track_records_incrementally() {
+        let acc = Accountant::new();
+        let d = Delta::new(1e-5);
+        let thr = 0.25;
+        // Register on an empty accountant, then interleave reads and
+        // records: every O(1) read must agree with a fresh recount.
+        assert_eq!(
+            acc.near_cap_counts(thr, d),
+            NearCapCounts { users: 0, near: 0, unbounded: 0 }
+        );
+        for i in 0..8 {
+            let user = format!("u{i}");
+            for _ in 0..=i {
+                acc.record(&user, "t", ReleaseKind::Pure { epsilon: 0.1 });
+            }
+            assert_eq!(acc.near_cap_counts(thr, d), recount(&acc, thr, d));
+        }
+        let counts = acc.near_cap_counts(thr, d);
+        assert_eq!(counts.users, 8);
+        // u0,u1 sit at ε=0.1,0.2 < 0.25; u2..u7 have crossed.
+        assert_eq!(counts.near, 6);
+        assert_eq!(counts.unbounded, 0);
+        assert!((counts.ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_cap_counts_registration_walks_existing_ledgers() {
+        let acc = Accountant::new();
+        let d = Delta::new(1e-5);
+        // Records made before any registration must be picked up by the
+        // registration walk, not lost.
+        acc.record("early", "t", ReleaseKind::Pure { epsilon: 1.0 });
+        acc.record("light", "t", ReleaseKind::Pure { epsilon: 0.01 });
+        acc.record("leaker", "t", ReleaseKind::Raw);
+        let counts = acc.near_cap_counts(0.5, d);
+        assert_eq!(counts, recount(&acc, 0.5, d));
+        assert_eq!(counts.users, 3);
+        assert_eq!(counts.near, 2); // early (1.0) and leaker (∞)
+        assert_eq!(counts.unbounded, 1);
+    }
+
+    #[test]
+    fn near_cap_unbounded_transition_counts_once() {
+        let acc = Accountant::new();
+        let d = Delta::new(1e-5);
+        acc.near_cap_counts(10.0, d);
+        acc.record("w", "t", ReleaseKind::Pure { epsilon: 0.1 });
+        assert_eq!(acc.near_cap_counts(10.0, d).near, 0);
+        acc.record("w", "t", ReleaseKind::Raw);
+        let counts = acc.near_cap_counts(10.0, d);
+        assert_eq!(counts.near, 1);
+        assert_eq!(counts.unbounded, 1);
+        // Further raw releases must not double-count the same user.
+        acc.record("w", "t", ReleaseKind::Raw);
+        acc.record("w", "t", ReleaseKind::Pure { epsilon: 0.1 });
+        let counts = acc.near_cap_counts(10.0, d);
+        assert_eq!(counts.near, 1);
+        assert_eq!(counts.unbounded, 1);
+        assert_eq!(counts, recount(&acc, 10.0, d));
+    }
+
+    #[test]
+    fn near_cap_threshold_change_re_registers_exactly() {
+        let acc = Accountant::new();
+        let d = Delta::new(1e-5);
+        for i in 1..=10 {
+            let user = format!("u{i}");
+            for _ in 0..i {
+                acc.record(&user, "t", ReleaseKind::Pure { epsilon: 0.1 });
+            }
+        }
+        // Different thresholds in sequence: each switch triggers a re-walk
+        // and must match the oracle; returning to a prior threshold too.
+        for thr in [0.35, 0.85, 0.35, 0.05] {
+            assert_eq!(acc.near_cap_counts(thr, d), recount(&acc, thr, d), "thr={thr}");
+        }
+        // And incremental updates keep working after the last switch.
+        acc.record("u1", "t", ReleaseKind::Pure { epsilon: 5.0 });
+        assert_eq!(acc.near_cap_counts(0.05, d), recount(&acc, 0.05, d));
+    }
+
+    #[test]
+    fn near_cap_non_finite_threshold_is_inert() {
+        let acc = Accountant::new();
+        let d = Delta::new(1e-5);
+        acc.record("a", "t", ReleaseKind::Pure { epsilon: 1.0 });
+        let zero = NearCapCounts { users: 0, near: 0, unbounded: 0 };
+        assert_eq!(acc.near_cap_counts(f64::NAN, d), zero);
+        assert_eq!(acc.near_cap_counts(f64::INFINITY, d), zero);
+        assert_eq!(zero.ratio(), 0.0);
+        // A NaN probe must not have registered anything: a real threshold
+        // afterwards still walks correctly.
+        assert_eq!(acc.near_cap_counts(0.5, d).near, 1);
     }
 }

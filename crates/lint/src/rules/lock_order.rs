@@ -50,6 +50,9 @@ pub const DEFAULT_ORDER: &[&str] = &[
     "submissions",
     "user_indices",
     "journal",
+    "agg",
+    "sketches",
+    "qi_surveys",
     "epsilon_budget",
     "crash_hooks",
 ];

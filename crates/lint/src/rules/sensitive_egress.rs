@@ -70,6 +70,11 @@ const DEFAULT_RAW_IDENTITY_FILES: &[&str] = &[
     "crates/obs/src/prof.rs",
     "crates/obs/src/alloc.rs",
     "crates/obs/src/procstats.rs",
+    // The privacy observatory's serializing surfaces: only k-anonymity
+    // bucket counts may leave; a subject id or raw quasi-identifier
+    // reaching a sink here is the /v1/privacy leak the rule guards.
+    "crates/server/src/agg.rs",
+    "crates/attack/src/stream.rs",
 ];
 
 /// Person-level entity names treated as taint sources in those files

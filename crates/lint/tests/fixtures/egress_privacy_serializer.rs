@@ -1,0 +1,45 @@
+//@crate: loki-server
+//@path: crates/server/src/agg.rs
+// The privacy observatory's serializing surface (rendered on
+// /v1/privacy). Two prongs of sensitive-egress apply here: the module is
+// a raw-identity file (identity-named values are taint sources and must
+// not reach a serializing sink), and loki-server's truly-public API may
+// not mention quasi-identifier types at all. Only anonymous bucket
+// counts may leave this module.
+
+pub struct KAnonSummary {
+    pub cohorts: u64,
+    pub at_risk: u64,
+}
+
+// A raw quasi-identifier value in the public observatory API: the exact
+// leak /v1/privacy exists to measure.
+pub fn cohort_of(qi: QuasiIdentifier) -> u64 { //~ sensitive-egress
+    0
+}
+
+// A subject id reaching the endpoint serializer fires the taint prong.
+pub fn render_cohort(user: &str, size: u64) -> String {
+    format!("{}:{}", user, size) //~ sensitive-egress
+}
+
+// Taint survives aliasing on the way to a wire serializer.
+pub fn observe_row(worker: &str) {
+    let subject = worker;
+    serialize_entry(subject); //~ sensitive-egress
+}
+
+// The opaque per-subject route index never names the person: clean.
+pub fn sketch_shard(subject_index: u64, shards: u64) -> u64 {
+    subject_index % shards
+}
+
+// Bucket counts only — the shape the endpoint is allowed to emit: clean.
+pub fn render_histogram(summary: &KAnonSummary) -> String {
+    format!("{} cohorts, {} at risk", summary.cohorts, summary.at_risk)
+}
+
+// Identity used purely for routing, never sunk: clean.
+pub fn shard_for(user: &str) -> usize {
+    user.len() % 16
+}

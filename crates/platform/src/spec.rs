@@ -10,7 +10,7 @@
 //! [`SurveySpecBuilder`] assembles spec'd surveys, and [`paper_surveys`]
 //! reconstructs the paper's five-survey campaign.
 
-use loki_survey::question::QuestionKind;
+use loki_survey::question::{Question, QuestionKind};
 use loki_survey::survey::{Survey, SurveyBuilder, SurveyId};
 use loki_survey::QuestionId;
 use serde::{Deserialize, Serialize};
@@ -54,6 +54,64 @@ pub enum QuestionSemantics {
         /// The instructed rating.
         expected: u8,
     },
+}
+
+impl QuestionSemantics {
+    /// Infers the disclosure semantics of a question from its stored form
+    /// alone (prompt text + kind) — the adversary's reading of a survey
+    /// they did not write.
+    ///
+    /// The live server stores only [`loki_survey::Survey`]; it never sees
+    /// a [`SurveySpec`]. This classifier is what lets the streaming
+    /// privacy observatory recognize quasi-identifier harvesting at
+    /// publish time, deterministically: it is a pure function of data
+    /// that survives snapshot and WAL replay, so a rebuilt store always
+    /// re-derives the same semantics. Only disclosure-relevant classes
+    /// are recognized (the Sweeney triple fields, star sign, and the
+    /// health questions); opinion and attitude questions return `None`.
+    ///
+    /// The paper-campaign phrasings in [`paper_surveys`] are all
+    /// recognized — pinned by a parity test.
+    pub fn infer(question: &Question) -> Option<QuestionSemantics> {
+        let text = question.text.to_lowercase();
+        let numeric = matches!(question.kind, QuestionKind::Numeric { .. });
+        let rating = matches!(question.kind, QuestionKind::Rating { .. });
+        let choices = match &question.kind {
+            QuestionKind::MultipleChoice { options } => options.len(),
+            _ => 0,
+        };
+
+        if choices == 12 && (text.contains("star sign") || text.contains("zodiac")) {
+            return Some(QuestionSemantics::StarSign);
+        }
+        if choices == 2 && (text.contains("gender") || text.contains("your sex")) {
+            return Some(QuestionSemantics::Gender);
+        }
+        if numeric && (text.contains("born") || text.contains("birth")) {
+            // "Day of the month you were born" names both units; the
+            // finer unit wins, so test day before month before year.
+            if text.contains("day") {
+                return Some(QuestionSemantics::BirthDay);
+            }
+            if text.contains("month") {
+                return Some(QuestionSemantics::BirthMonth);
+            }
+            if text.contains("year") {
+                return Some(QuestionSemantics::BirthYear);
+            }
+            return None;
+        }
+        if numeric && (text.contains("zip") || text.contains("postal")) {
+            return Some(QuestionSemantics::ZipCode);
+        }
+        if rating && text.contains("smok") {
+            return Some(QuestionSemantics::SmokingLevel);
+        }
+        if rating && text.contains("cough") {
+            return Some(QuestionSemantics::CoughLevel);
+        }
+        None
+    }
 }
 
 /// A survey plus per-question semantics, in question order.
@@ -398,6 +456,82 @@ mod tests {
         assert_eq!(star_sign_options().len(), 12);
         assert_eq!(star_sign_options()[0], "Aries");
         assert_eq!(star_sign_options()[11], "Pisces");
+    }
+
+    #[test]
+    fn infer_matches_every_paper_survey_declaration() {
+        // The server-side classifier must re-derive exactly the declared
+        // semantics of the paper campaign for the disclosure classes it
+        // recognizes, and stay silent (None) on opinion/attitude
+        // questions — never a misclassification.
+        let recognized = |s: &QuestionSemantics| {
+            matches!(
+                s,
+                QuestionSemantics::BirthDay
+                    | QuestionSemantics::BirthMonth
+                    | QuestionSemantics::BirthYear
+                    | QuestionSemantics::StarSign
+                    | QuestionSemantics::Gender
+                    | QuestionSemantics::ZipCode
+                    | QuestionSemantics::SmokingLevel
+                    | QuestionSemantics::CoughLevel
+            )
+        };
+        for spec in paper_surveys() {
+            for (q, declared) in spec.survey.questions.iter().zip(&spec.semantics) {
+                let inferred = QuestionSemantics::infer(q);
+                if recognized(declared) {
+                    assert_eq!(
+                        inferred.as_ref(),
+                        Some(declared),
+                        "{}: {:?}",
+                        spec.survey.title,
+                        q.text
+                    );
+                } else {
+                    assert_eq!(inferred, None, "{}: {:?}", spec.survey.title, q.text);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infer_requires_matching_kind() {
+        // Trigger words without the matching response shape stay None:
+        // a free-text "what is your gender" question is not choice-coded
+        // and cannot be folded into the QI sketch.
+        let q = |text: &str, kind: QuestionKind| Question {
+            id: QuestionId(0),
+            text: text.into(),
+            kind,
+            sensitive: false,
+        };
+        assert_eq!(
+            QuestionSemantics::infer(&q("What is your gender?", QuestionKind::FreeText)),
+            None
+        );
+        assert_eq!(
+            QuestionSemantics::infer(&q(
+                "What year were you born?",
+                QuestionKind::likert5()
+            )),
+            None
+        );
+        assert_eq!(
+            QuestionSemantics::infer(&q(
+                "Rate your day so far",
+                QuestionKind::likert5()
+            )),
+            None,
+            "'day' without birth context is not a QI"
+        );
+        assert_eq!(
+            QuestionSemantics::infer(&q(
+                "What is your ZIP code?",
+                QuestionKind::Numeric { min: 0, max: 99_999 }
+            )),
+            Some(QuestionSemantics::ZipCode)
+        );
     }
 
     #[test]

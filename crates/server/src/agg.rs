@@ -1,0 +1,357 @@
+//! Streaming aggregation and the live privacy observatory.
+//!
+//! Every read surface the server exposes used to answer by rescanning the
+//! submission maps: `/v1/surveys/:id/results/:q` walked a survey's whole
+//! submission list per request, `/v1/stats` walked every survey, and the
+//! near-cap SLO ratio walked every ε-ledger per scrape. This module keeps
+//! the *sufficient statistics* those answers need — count / sum / sum of
+//! squares / min / max per privacy bin per question
+//! ([`loki_core::estimator::BinStats`]), a per-shard submission counter,
+//! and a k-anonymity sketch over the Sweeney quasi-identifier triple
+//! ([`loki_attack::stream::AnonymitySketch`]) — updated inside the shard's
+//! apply step, so the read paths become O(shards) merges.
+//!
+//! Two invariants carry the design:
+//!
+//! * **Scan equivalence.** [`SurveyAgg::apply`] folds values in exactly
+//!   the order [`crate::store::AppState::bin_samples`] would visit them
+//!   (it runs inside the same `submissions` critical section that appends
+//!   the stored copy), and sequential `+=` is the same float fold as
+//!   `iter().sum()`, so streamed estimates equal rescanned estimates
+//!   *bitwise* — pinned by the `agg_stream` property tests.
+//! * **Identity hygiene.** The observatory ingests opaque subject ids and
+//!   demographic fragments, but everything it exports
+//!   ([`KAnonymity`], [`PrivacySummary`]) is bucket counts only. The
+//!   `sensitive-egress` lint's identity-taint pass covers this file, and
+//!   the ingest APIs that *do* touch fragments are `pub(crate)` so no
+//!   quasi-identifier-bearing type ever appears in the crate's public
+//!   surface.
+
+use loki_attack::stream::{merge_fragment, AnonymitySketch, KAnonymity};
+use loki_core::estimator::BinStats;
+use loki_core::privacy_level::PrivacyLevel;
+use loki_platform::spec::QuestionSemantics;
+use loki_survey::demographics::PartialProfile;
+use loki_survey::question::Answer;
+use loki_survey::response::Response;
+use loki_survey::survey::{Survey, SurveyId};
+use loki_survey::QuestionId;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+
+/// Whether a semantic class contributes to the Sweeney quasi-identifier
+/// triple (date of birth, gender, ZIP).
+fn is_quasi_identifier(sem: &QuestionSemantics) -> bool {
+    matches!(
+        sem,
+        QuestionSemantics::BirthDay
+            | QuestionSemantics::BirthMonth
+            | QuestionSemantics::BirthYear
+            | QuestionSemantics::Gender
+            | QuestionSemantics::ZipCode
+    )
+}
+
+/// Per-survey streaming state: inferred question semantics plus mergeable
+/// sufficient statistics per question per privacy bin.
+///
+/// Semantics are inferred once at publication from the stored
+/// [`Survey`] alone ([`QuestionSemantics::infer`] is a pure function of
+/// question text and kind), so a WAL replay or snapshot load rebuilds the
+/// identical classification with no extra persisted state.
+#[derive(Debug, Clone)]
+pub struct SurveyAgg {
+    /// `(question, inferred semantics)` in survey order — the apply loop
+    /// iterates this, which fixes the fold order to match a rescan.
+    semantics: Vec<(QuestionId, Option<QuestionSemantics>)>,
+    /// Submissions folded in so far.
+    submissions: u64,
+    /// Sufficient statistics per question per privacy bin.
+    questions: BTreeMap<QuestionId, BTreeMap<PrivacyLevel, BinStats>>,
+}
+
+impl SurveyAgg {
+    /// Fresh state for a newly published survey.
+    pub fn for_survey(survey: &Survey) -> SurveyAgg {
+        SurveyAgg {
+            semantics: survey
+                .questions
+                .iter()
+                .map(|q| (q.id, QuestionSemantics::infer(q)))
+                .collect(),
+            submissions: 0,
+            questions: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one accepted submission into the statistics and returns the
+    /// demographic fragment its answers disclosed (for the observatory).
+    ///
+    /// Must be called under the same critical section that appends the
+    /// stored submission, in append order — that is what makes the
+    /// accumulated sums bitwise-equal to a later rescan.
+    pub(crate) fn apply(&mut self, level: PrivacyLevel, response: &Response) -> PartialProfile {
+        loki_obs::phase!("agg.apply");
+        self.submissions = self.submissions.saturating_add(1);
+        let mut fragment = PartialProfile::new();
+        for (qid, sem) in &self.semantics {
+            let Some(answer) = response.get(*qid) else {
+                continue;
+            };
+            if let Some(v) = answer.as_f64() {
+                self.questions
+                    .entry(*qid)
+                    .or_default()
+                    .entry(level)
+                    .or_default()
+                    .push(v);
+            }
+            if let Some(sem) = sem {
+                merge_fragment(&mut fragment, sem, answer);
+            }
+        }
+        fragment
+    }
+
+    /// Submissions folded in so far.
+    pub fn folded_count(&self) -> u64 {
+        self.submissions
+    }
+
+    /// Number of questions whose inferred semantics contribute to the
+    /// quasi-identifier triple.
+    pub fn qi_questions(&self) -> u64 {
+        self.semantics
+            .iter()
+            .filter(|(_, s)| s.as_ref().is_some_and(is_quasi_identifier))
+            .count() as u64
+    }
+
+    /// The per-bin sufficient statistics of one question (`None` when no
+    /// numeric value has arrived for it). `BinStats` is `Copy`, so this
+    /// is a cheap snapshot the caller can estimate from without holding
+    /// any lock.
+    pub fn stats_for(&self, question: QuestionId) -> Option<BTreeMap<PrivacyLevel, BinStats>> {
+        self.questions.get(&question).cloned()
+    }
+}
+
+/// Shard count of the observatory's sketch map. Fixed like the
+/// accountant's ledger shards: subject routing must not depend on the
+/// store's survey-shard count.
+const SKETCH_SHARDS: usize = 16;
+
+/// The process-global privacy observatory: sharded anonymity sketches
+/// plus per-survey disclosure counters.
+///
+/// Subjects route to exactly one sketch shard (stable FNV-1a routing), so
+/// summing cohort maps across shards reproduces the exact global cohort
+/// structure — the same argument the store makes for its survey shards.
+#[derive(Debug)]
+pub struct PrivacyObservatory {
+    /// Sharded streaming sketches, subject-routed.
+    sketches: Vec<Mutex<AnonymitySketch>>,
+    /// Quasi-identifier fragments disclosed per survey (how much each
+    /// survey feeds the linkage attack).
+    qi_surveys: Mutex<BTreeMap<SurveyId, u64>>,
+}
+
+impl Default for PrivacyObservatory {
+    fn default() -> Self {
+        PrivacyObservatory {
+            sketches: (0..SKETCH_SHARDS).map(|_| Mutex::default()).collect(),
+            qi_surveys: Mutex::default(),
+        }
+    }
+}
+
+impl PrivacyObservatory {
+    /// Creates an empty observatory.
+    pub fn new() -> PrivacyObservatory {
+        PrivacyObservatory::default()
+    }
+
+    fn sketch_for(&self, subject: &str) -> &Mutex<AnonymitySketch> {
+        // lint:allow panic-path -- index is `hash % len` with len >= 1.
+        &self.sketches[crate::store::user_shard_of(subject, SKETCH_SHARDS)]
+    }
+
+    /// Folds one submission's disclosed fragment into the subject's
+    /// sketch entry. O(1): one sketch-shard lock, one counter update; the
+    /// two locks are taken strictly in sequence, never nested.
+    pub(crate) fn ingest(&self, survey: SurveyId, subject: &str, fragment: &PartialProfile) {
+        loki_obs::phase!("agg.sketch");
+        let disclosed = fragment.disclosed_count() as u64;
+        if disclosed == 0 {
+            return;
+        }
+        self.sketch_for(subject).lock().observe(subject, fragment);
+        let mut counters = self.qi_surveys.lock();
+        let entry = counters.entry(survey).or_insert(0);
+        *entry = entry.saturating_add(disclosed);
+    }
+
+    /// The platform-wide k-anonymity summary: merge the shard cohort
+    /// maps (O(cohorts), no submission scan) and bucket them.
+    pub fn k_anonymity(&self) -> KAnonymity {
+        loki_obs::phase!("agg.merge");
+        let mut cohorts: HashMap<_, u64> = HashMap::new();
+        for sketch in &self.sketches {
+            sketch.lock().merge_cohorts_into(&mut cohorts);
+        }
+        KAnonymity::from_cohort_sizes(cohorts.into_values())
+    }
+
+    /// Subjects that have disclosed at least one demographic fragment.
+    pub fn subject_count(&self) -> u64 {
+        self.sketches.iter().map(|s| s.lock().subjects()).sum()
+    }
+
+    /// Quasi-identifier fragments disclosed per survey.
+    pub fn fragments_by_survey(&self) -> BTreeMap<SurveyId, u64> {
+        self.qi_surveys.lock().clone()
+    }
+
+    /// Point-in-time summary for `/v1/privacy` and the metrics scrape.
+    pub fn summary(&self) -> PrivacySummary {
+        PrivacySummary {
+            k: self.k_anonymity(),
+            subjects: self.subject_count(),
+            fragments_by_survey: self.fragments_by_survey(),
+        }
+    }
+}
+
+/// Identity-free snapshot of the observatory, for the `/v1/privacy`
+/// endpoint and the scrape path. Bucket counts only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivacySummary {
+    /// Platform-wide k-anonymity over completed quasi-identifiers.
+    pub k: KAnonymity,
+    /// Subjects with at least one disclosed fragment.
+    pub subjects: u64,
+    /// Quasi-identifier fragments disclosed per survey.
+    pub fragments_by_survey: BTreeMap<SurveyId, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_survey::question::QuestionKind;
+    use loki_survey::survey::SurveyBuilder;
+
+    fn demo_survey() -> Survey {
+        let mut b = SurveyBuilder::new(SurveyId(9), "demographics");
+        b.question(
+            "Day of the month you were born",
+            QuestionKind::Numeric { min: 1, max: 31 },
+            false,
+        );
+        b.question(
+            "What is your gender?",
+            QuestionKind::MultipleChoice {
+                options: vec!["Female".into(), "Male".into()],
+            },
+            false,
+        );
+        b.question("Rate your mood", QuestionKind::likert5(), false);
+        b.build().unwrap()
+    }
+
+    fn response(user: &str, day: f64, gender: usize, mood: f64) -> Response {
+        let survey = demo_survey();
+        let mut r = Response::new(user, survey.id);
+        r.answer(survey.questions[0].id, Answer::Obfuscated(day));
+        r.answer(survey.questions[1].id, Answer::Choice(gender));
+        r.answer(survey.questions[2].id, Answer::Obfuscated(mood));
+        r
+    }
+
+    #[test]
+    fn apply_accumulates_stats_in_arrival_order() {
+        let survey = demo_survey();
+        let mut agg = SurveyAgg::for_survey(&survey);
+        let values = [4.0, 2.5, 3.0];
+        for (i, v) in values.iter().enumerate() {
+            agg.apply(PrivacyLevel::None, &response(&format!("u{i}"), 10.0, 0, *v));
+        }
+        assert_eq!(agg.folded_count(), 3);
+        let stats = agg.stats_for(survey.questions[2].id).unwrap();
+        let bin = stats.get(&PrivacyLevel::None).unwrap();
+        // Bitwise equality with the sequential fold a rescan would do.
+        assert_eq!(*bin, BinStats::from_samples(&values));
+        // Choice answers carry no numeric value: no stats for the gender
+        // question, but the day question (Obfuscated) accumulates.
+        assert!(agg.stats_for(survey.questions[1].id).is_none());
+        assert_eq!(
+            agg.stats_for(survey.questions[0].id).unwrap()[&PrivacyLevel::None].n,
+            3
+        );
+    }
+
+    #[test]
+    fn apply_extracts_fragments_for_inferred_qi_questions() {
+        let survey = demo_survey();
+        let mut agg = SurveyAgg::for_survey(&survey);
+        assert_eq!(agg.qi_questions(), 2, "day + gender, not the likert");
+        let fragment = agg.apply(PrivacyLevel::None, &response("u", 14.0, 1, 3.0));
+        assert_eq!(fragment.day, Some(14));
+        assert_eq!(
+            fragment.gender,
+            Some(loki_survey::demographics::Gender::Male)
+        );
+        assert_eq!(fragment.zip, None);
+    }
+
+    #[test]
+    fn observatory_counts_fragments_and_routes_subjects() {
+        let survey = demo_survey();
+        let mut agg = SurveyAgg::for_survey(&survey);
+        let obs = PrivacyObservatory::new();
+        for i in 0..20 {
+            let subject = format!("subject-{i}");
+            let fragment = agg.apply(
+                PrivacyLevel::None,
+                &response(&subject, 1.0 + f64::from(i % 5), i as usize % 2, 3.0),
+            );
+            obs.ingest(survey.id, &subject, &fragment);
+        }
+        assert_eq!(obs.subject_count(), 20);
+        // 2 fragments per submission (day + gender).
+        assert_eq!(obs.fragments_by_survey()[&survey.id], 40);
+        // Day+gender alone never completes a QI: no cohorts yet.
+        let summary = obs.summary();
+        assert_eq!(summary.k.complete, 0);
+        assert_eq!(summary.subjects, 20);
+    }
+
+    #[test]
+    fn observatory_merge_equals_unsharded_sketch() {
+        // Full QIs through the observatory's sharded sketches must
+        // summarize identically to one unsharded sketch.
+        let obs = PrivacyObservatory::new();
+        let mut single = AnonymitySketch::new();
+        for i in 0u64..30 {
+            let subject = format!("s{i}");
+            let mut f = PartialProfile::new();
+            f.day = Some(1 + (i % 4) as u8);
+            f.month = Some(1 + (i % 3) as u8);
+            f.year = Some(1980 + (i % 2) as u16);
+            f.gender = Some(loki_survey::demographics::Gender::Female);
+            f.zip = loki_survey::demographics::ZipCode::new(30_000 + (i % 5) as u32);
+            obs.ingest(SurveyId(1), &subject, &f);
+            single.observe(&subject, &f);
+        }
+        assert_eq!(obs.k_anonymity(), single.k_anonymity());
+        assert!(obs.k_anonymity().complete > 0);
+    }
+
+    #[test]
+    fn empty_fragment_is_not_a_subject() {
+        let obs = PrivacyObservatory::new();
+        obs.ingest(SurveyId(1), "ghost", &PartialProfile::new());
+        assert_eq!(obs.subject_count(), 0);
+        assert!(obs.fragments_by_survey().is_empty());
+        assert_eq!(obs.summary().k.at_risk_ratio(), 0.0);
+    }
+}

@@ -351,6 +351,70 @@ pub fn build_router(state: Arc<AppState>) -> Router {
         &mut router,
         &metrics,
         Method::Get,
+        "/surveys/:id/estimate/:question",
+        Arc::new(move |req, params| {
+            let id: u64 = path_param(params, "id")?;
+            let q: u32 = path_param(params, "question")?;
+            if s.survey(SurveyId(id)).is_none() {
+                return Err(ApiError::new(
+                    StatusCode::NOT_FOUND,
+                    "unknown_survey",
+                    "unknown survey",
+                ));
+            }
+            // Streaming read path: answered from the per-shard sufficient
+            // statistics, never from the submission maps. The default mode
+            // must serialize byte-identically to the scan-backed
+            // `/results/` route (pinned by the agg_stream property tests).
+            let estimator = Estimator::default();
+            let pooled = match req.query_param("mode") {
+                None | Some("pooled") => {
+                    s.streaming_results(SurveyId(id), QuestionId(q), &estimator)
+                }
+                Some("ldp-truth") => s.streaming_truth(SurveyId(id), QuestionId(q), &estimator),
+                Some(_) => {
+                    return Err(ApiError::new(
+                        StatusCode::BAD_REQUEST,
+                        "bad_param",
+                        "query parameter `mode` must be `pooled` or `ldp-truth`",
+                    ))
+                }
+            };
+            match pooled {
+                Some(pooled) => {
+                    let reply = QuestionResults {
+                        survey: id,
+                        question: q,
+                        bins: pooled
+                            .bins
+                            .iter()
+                            .map(|b| BinResult {
+                                level: b.level,
+                                n: b.n,
+                                mean: b.mean,
+                                standard_error: b.standard_error,
+                            })
+                            .collect(),
+                        pooled_mean: pooled.mean,
+                        pooled_standard_error: pooled.standard_error,
+                        n_total: pooled.n_total,
+                    };
+                    Ok(json_response(StatusCode::OK, &reply))
+                }
+                None => Err(ApiError::new(
+                    StatusCode::NOT_FOUND,
+                    "no_responses",
+                    "no responses for question",
+                )),
+            }
+        }),
+    );
+
+    let s = Arc::clone(&state);
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
         "/surveys/:id/choices/:question",
         Arc::new(move |_, params| {
             let id: u64 = path_param(params, "id")?;
@@ -381,7 +445,9 @@ pub fn build_router(state: Arc<AppState>) -> Router {
         "/stats",
         Arc::new(move |_, _| {
             let surveys = s.surveys();
-            let submissions: usize = surveys.iter().map(|sv| s.submission_count(sv.id)).sum();
+            // O(shards): summed from the per-shard apply counters, never
+            // by walking the submission maps.
+            let submissions = s.submission_total();
             let summary = s.accountant.epsilon_summary(Delta::new(loki_dp::DEFAULT_DELTA));
             Ok(json_response(
                 StatusCode::OK,
@@ -397,6 +463,60 @@ pub fn build_router(state: Arc<AppState>) -> Router {
                         "mean": finite(summary.mean),
                         "max": finite(summary.max),
                     },
+                }),
+            ))
+        }),
+    );
+
+    let s = Arc::clone(&state);
+    let privacy_metrics = Arc::clone(&metrics);
+    mount(
+        &mut router,
+        &metrics,
+        Method::Get,
+        "/privacy",
+        Arc::new(move |_, _| {
+            // The merge is O(sketch shards + cohorts) regardless of how
+            // many submissions produced the sketches; its latency feeds
+            // `loki_agg_merge_seconds` so the flat-cost claim is watchable.
+            let started = Instant::now();
+            let summary = s.privacy_summary();
+            privacy_metrics.observe_agg_merge(started.elapsed());
+            let fragments = &summary.fragments_by_survey;
+            let surveys: Vec<serde_json::Value> = s
+                .survey_agg_rollups()
+                .iter()
+                .map(|(id, submissions, qi_questions)| {
+                    serde_json::json!({
+                        "survey": id.0,
+                        "submissions": submissions,
+                        "qi_questions": qi_questions,
+                        "qi_fragments": fragments.get(id).copied().unwrap_or(0),
+                    })
+                })
+                .collect();
+            // Bucket counts only: no subject ids, no quasi-identifier
+            // values ever cross this serializer (loki-lint raw-identity
+            // scope covers this module).
+            let histogram: Vec<serde_json::Value> = summary
+                .k
+                .histogram
+                .iter()
+                .map(|(k, members)| serde_json::json!({"k": k, "subjects": members}))
+                .collect();
+            Ok(json_response(
+                StatusCode::OK,
+                &serde_json::json!({
+                    "subjects": summary.subjects,
+                    "k_anonymity": {
+                        "complete": summary.k.complete,
+                        "cohorts": summary.k.cohorts,
+                        "histogram": histogram,
+                        "at_risk": summary.k.at_risk,
+                    },
+                    "at_risk_ratio": finite(summary.k.at_risk_ratio()),
+                    "linkage_entropy_bits": finite(summary.k.entropy_bits),
+                    "surveys": surveys,
                 }),
             ))
         }),
@@ -1163,6 +1283,127 @@ mod tests {
     }
 
     #[test]
+    fn estimate_endpoint_matches_results_byte_for_byte() {
+        let (h, c, _) = start();
+        for (i, v) in [4.2, 3.9, 4.4].iter().enumerate() {
+            c.post(
+                "/surveys/1/responses",
+                "application/json",
+                submit_body(&format!("u{i}"), *v),
+            )
+            .unwrap();
+        }
+        // The streaming read path must be indistinguishable from the
+        // scan-backed one, down to the serialized bytes.
+        let scan = c.get("/surveys/1/results/0").unwrap();
+        let streaming = c.get("/surveys/1/estimate/0").unwrap();
+        assert_eq!(streaming.status, StatusCode::OK, "{:?}", streaming.body);
+        assert_eq!(scan.body, streaming.body);
+        let explicit = c.get("/surveys/1/estimate/0?mode=pooled").unwrap();
+        assert_eq!(scan.body, explicit.body);
+
+        // Truth inference is a different pooling rule: same counts,
+        // generally different mean.
+        let resp = c.get("/surveys/1/estimate/0?mode=ldp-truth").unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{:?}", resp.body);
+        let truth: QuestionResults = parse_json_response(&resp).unwrap();
+        assert_eq!(truth.n_total, 3);
+        assert!(truth.pooled_mean.is_finite());
+
+        let resp = c.get("/surveys/1/estimate/0?mode=bogus").unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        assert_eq!(c.get("/surveys/99/estimate/0").unwrap().status, StatusCode::NOT_FOUND);
+        assert_eq!(c.get("/surveys/1/estimate/7").unwrap().status, StatusCode::NOT_FOUND);
+        h.shutdown();
+    }
+
+    fn demographics_survey() -> Survey {
+        let mut b = SurveyBuilder::new(SurveyId(2), "about you");
+        b.question(
+            "Day of the month you were born",
+            QuestionKind::Numeric { min: 1, max: 31 },
+            true,
+        );
+        b.question("Month you were born", QuestionKind::Numeric { min: 1, max: 12 }, true);
+        b.question("Year you were born", QuestionKind::Numeric { min: 1900, max: 2020 }, true);
+        b.question(
+            "What is your gender?",
+            QuestionKind::MultipleChoice {
+                options: vec!["Female".into(), "Male".into()],
+            },
+            true,
+        );
+        b.question("What is your zip code?", QuestionKind::Numeric { min: 0, max: 99999 }, true);
+        b.build().unwrap()
+    }
+
+    fn submit_demographics(c: &HttpClient, user: &str, dmy: (f64, f64, f64), gender: usize, zip: f64) {
+        let mut response = Response::new(user, SurveyId(2));
+        response.answer(QuestionId(0), Answer::Obfuscated(dmy.0));
+        response.answer(QuestionId(1), Answer::Obfuscated(dmy.1));
+        response.answer(QuestionId(2), Answer::Obfuscated(dmy.2));
+        response.answer(QuestionId(3), Answer::Choice(gender));
+        response.answer(QuestionId(4), Answer::Obfuscated(zip));
+        let body = serde_json::to_string(&SubmitRequest {
+            user: user.into(),
+            privacy_level: PrivacyLevel::None,
+            response,
+            releases: vec![],
+        })
+        .unwrap();
+        let resp = c.post("/surveys/2/responses", "application/json", body).unwrap();
+        assert_eq!(resp.status, StatusCode::CREATED, "{:?}", resp.body);
+    }
+
+    #[test]
+    fn privacy_endpoint_reports_k_anonymity() {
+        let (h, c, state) = start();
+        // At rest: nothing linkable, nothing at risk.
+        let resp = c.get("/v1/privacy").unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{:?}", resp.body);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["subjects"], 0);
+        assert_eq!(v["k_anonymity"]["complete"], 0);
+        assert_eq!(v["at_risk_ratio"], 0.0);
+
+        state.add_survey(demographics_survey()).unwrap();
+        // Two subjects share a quasi-identifier (cohort of 2); one is
+        // unique — the paper's re-identifiable case.
+        submit_demographics(&c, "alice", (14.0, 3.0, 1988.0), 0, 11111.0);
+        submit_demographics(&c, "briar", (14.0, 3.0, 1988.0), 0, 11111.0);
+        submit_demographics(&c, "chen", (7.0, 9.0, 1975.0), 1, 42424.0);
+
+        let resp = c.get("/v1/privacy").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["subjects"], 3, "{v}");
+        assert_eq!(v["k_anonymity"]["complete"], 3);
+        assert_eq!(v["k_anonymity"]["cohorts"], 2);
+        assert_eq!(v["k_anonymity"]["at_risk"], 1);
+        let histogram = v["k_anonymity"]["histogram"].as_array().unwrap();
+        assert_eq!(histogram.len(), 2, "{v}");
+        assert_eq!(histogram[0], serde_json::json!({"k": 1, "subjects": 1}));
+        assert_eq!(histogram[1], serde_json::json!({"k": 2, "subjects": 2}));
+        assert!((v["at_risk_ratio"].as_f64().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(v["linkage_entropy_bits"].as_f64().unwrap() > 0.0);
+
+        let surveys = v["surveys"].as_array().unwrap();
+        let demo = surveys
+            .iter()
+            .find(|sv| sv["survey"] == 2)
+            .expect("demographic survey rollup");
+        assert_eq!(demo["submissions"], 3);
+        assert_eq!(demo["qi_questions"], 5);
+        assert_eq!(demo["qi_fragments"], 15, "5 QI answers per submission");
+        let lecturers = surveys.iter().find(|sv| sv["survey"] == 1).unwrap();
+        assert_eq!(lecturers["qi_questions"], 0);
+
+        // The handler timed the merge into the new histogram family.
+        let text = String::from_utf8(c.get("/v1/metrics").unwrap().body).unwrap();
+        assert!(text.contains("loki_agg_merge_seconds_count"), "{text}");
+        h.shutdown();
+    }
+
+    #[test]
     fn malformed_json_body_is_422() {
         let (h, c, _) = start();
         let resp = c
@@ -1245,7 +1486,10 @@ mod tests {
         let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
         let slos = v["slos"].as_array().unwrap();
         let names: Vec<&str> = slos.iter().map(|s| s["slo"].as_str().unwrap()).collect();
-        assert_eq!(names, ["availability", "submit-latency", "privacy-headroom"]);
+        assert_eq!(
+            names,
+            ["availability", "submit-latency", "privacy-headroom", "privacy-at-risk"]
+        );
         for slo in slos {
             assert_eq!(slo["state"], "ok", "{slo}");
             assert_eq!(slo["budget_remaining"], 1.0, "{slo}");
@@ -1254,7 +1498,7 @@ mod tests {
         let resp = c.get("/v1/alerts").unwrap();
         let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
         assert_eq!(v["firing"], false);
-        assert_eq!(v["alerts"].as_array().unwrap().len(), 3);
+        assert_eq!(v["alerts"].as_array().unwrap().len(), 4);
 
         let resp = c.get("/v1/alerts/history").unwrap();
         let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();

@@ -11,7 +11,9 @@
 //! | `POST /v1/surveys` | publish a survey |
 //! | `POST /v1/surveys/:id/responses` | upload an **obfuscated** response |
 //! | `GET /v1/surveys/:id/results/:question` | per-bin + pooled estimates |
+//! | `GET /v1/surveys/:id/estimate/:question` | streaming O(shards) estimate; `?mode=ldp-truth` for truth inference |
 //! | `GET /v1/surveys/:id/choices/:question` | RR-inverted choice frequencies |
+//! | `GET /v1/privacy` | live k-anonymity distribution, at-risk ratio, linkage entropy ([`agg`]) |
 //! | `GET /v1/ledger/:user` | cumulative privacy loss of a user |
 //! | `GET /v1/stats` | platform totals + ε-distribution summary |
 //! | `GET /v1/metrics` | Prometheus text exposition ([`metrics`]) |
@@ -53,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod api;
 pub mod app;
 pub mod error;

@@ -29,6 +29,11 @@ use std::time::Duration;
 /// fsync), powers of two up to the default `max_batch`.
 const BATCH_SIZE_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
 
+/// Cumulative anonymity-cohort-size bucket labels for
+/// `loki_privacy_k_anon_bucket{k=…}`: `k="1"` is the re-identifiable
+/// count, `k="+Inf"` every linkable subject (Prometheus `le` idiom).
+const K_ANON_BUCKETS: [&str; 7] = ["1", "2", "4", "8", "16", "32", "+Inf"];
+
 const METHODS: [Method; 6] = [
     Method::Get,
     Method::Post,
@@ -42,13 +47,14 @@ const EPSILON_STATS: [&str; 5] = ["p50", "p90", "p99", "mean", "max"];
 
 /// Path segments that are route literals and may appear verbatim in the
 /// access log; every other segment is a parameter and is masked.
-const ROUTE_LITERALS: [&str; 21] = [
+const ROUTE_LITERALS: [&str; 23] = [
     "v1",
     "health",
     "healthz",
     "surveys",
     "responses",
     "results",
+    "estimate",
     "choices",
     "stats",
     "ledger",
@@ -64,6 +70,7 @@ const ROUTE_LITERALS: [&str; 21] = [
     "shards",
     "profile",
     "procstats",
+    "privacy",
 ];
 
 /// Static label values for the per-shard instrument children. Stores
@@ -185,6 +192,21 @@ impl Default for HistoryConfig {
                     pending_ticks: 60,
                     exemplar_family: None,
                 },
+                // The observatory's re-identification objective: at most
+                // 5% of linkable subjects may be unique in their
+                // quasi-identifier cohort (k = 1). Fed from the streaming
+                // sketch on every scrape; firing degrades `/v1/healthz`.
+                SloSpec {
+                    name: "privacy-at-risk".to_string(),
+                    objective: 0.95,
+                    kind: SloKind::GaugeLevel {
+                        name: "loki_privacy_at_risk_ratio".to_string(),
+                        filter: String::new(),
+                    },
+                    rules: vec![BurnRule { long_ticks: 3600, short_ticks: 300, factor: 1.0 }],
+                    pending_ticks: 60,
+                    exemplar_family: None,
+                },
             ],
             alert_history: 256,
         }
@@ -225,6 +247,19 @@ pub struct ServerMetrics {
     /// Fraction of ledgered subjects at ≥ 80% of the ε cap (or
     /// unbounded); 0 when no cap is configured. The privacy SLO's input.
     ledger_near_cap: Arc<Gauge>,
+    /// Cumulative k-anonymity distribution gauges in [`K_ANON_BUCKETS`]
+    /// order: subjects sitting in a cohort of size ≤ k.
+    privacy_k_anon: Vec<Arc<Gauge>>,
+    /// Fraction of linkable subjects unique in their cohort — the
+    /// re-identification-risk ratio and the privacy-at-risk SLO's input.
+    privacy_at_risk: Arc<Gauge>,
+    /// Shannon entropy (bits) of the cohort-size distribution.
+    privacy_entropy: Arc<Gauge>,
+    /// Subjects with at least one disclosed demographic fragment.
+    privacy_subjects: Arc<Gauge>,
+    /// Time merging the observatory's shard sketches into one cohort
+    /// view (the O(shards) read the scan paths were replaced with).
+    agg_merge_seconds: Arc<Histogram>,
     /// Open reactor connections, refreshed on scrape from the attached
     /// [`NetStats`] (aggregate plus [`SHARD_LABELS`] children).
     net_open_conns: Arc<Gauge>,
@@ -437,6 +472,41 @@ impl ServerMetrics {
                 "ledger_near_cap_ratio",
                 "Fraction of ledgered users whose cumulative ε is at or above 80% of \
                  the configured cap (unbounded users count); 0 without a cap",
+                &[],
+            ),
+            privacy_k_anon: K_ANON_BUCKETS
+                .iter()
+                .map(|k| {
+                    registry.gauge(
+                        "privacy_k_anon_bucket",
+                        "Linkable subjects in a quasi-identifier cohort of size <= k \
+                         (cumulative, Prometheus le idiom); refreshed on scrape",
+                        &[("k", k)],
+                    )
+                })
+                .collect(),
+            privacy_at_risk: registry.gauge(
+                "privacy_at_risk_ratio",
+                "Fraction of linkable subjects unique in their quasi-identifier \
+                 cohort (k = 1); the privacy-at-risk SLO input",
+                &[],
+            ),
+            privacy_entropy: registry.gauge(
+                "privacy_linkage_entropy_bits",
+                "Shannon entropy of the anonymity-cohort-size distribution; \
+                 higher means harder linkage",
+                &[],
+            ),
+            privacy_subjects: registry.gauge(
+                "privacy_subjects",
+                "Subjects that have disclosed at least one demographic fragment",
+                &[],
+            ),
+            agg_merge_seconds: registry.histogram(
+                "agg_merge_seconds",
+                "Time merging per-shard streaming state for an O(shards) read \
+                 (estimates, /v1/privacy, /v1/stats)",
+                LATENCY_BUCKETS,
                 &[],
             ),
             net_open_conns: registry.gauge(
@@ -710,17 +780,45 @@ impl ServerMetrics {
         self.ledger_unbounded.set(summary.unbounded as f64);
         let near_cap = match cap {
             Some(cap) if cap > 0.0 => {
-                let losses = accountant.loss_distribution(Delta::new(loki_dp::DEFAULT_DELTA));
-                if losses.is_empty() {
-                    0.0
-                } else {
-                    let near = losses.iter().filter(|(_, eps)| *eps >= 0.8 * cap).count();
-                    near as f64 / losses.len() as f64
-                }
+                // O(1) once the threshold is registered: the accountant
+                // maintains the crossing counters inside `record`, so no
+                // per-scrape ledger walk remains on this path (the first
+                // scrape — or a cap change — pays one exact walk).
+                accountant
+                    .near_cap_counts(0.8 * cap, Delta::new(loki_dp::DEFAULT_DELTA))
+                    .ratio()
             }
             _ => 0.0,
         };
         self.ledger_near_cap.set(near_cap);
+    }
+
+    /// Refreshes the privacy-observatory gauges from an identity-free
+    /// summary (bucket counts only — the summary type cannot carry a
+    /// subject id or quasi-identifier value by construction).
+    pub fn refresh_privacy_gauges(&self, privacy: &crate::agg::PrivacySummary) {
+        for (gauge, label) in self.privacy_k_anon.iter().zip(K_ANON_BUCKETS) {
+            let le = match label {
+                "+Inf" => u64::MAX,
+                k => k.parse().unwrap_or(u64::MAX),
+            };
+            let cumulative: u64 = privacy
+                .k
+                .histogram
+                .iter()
+                .filter(|(size, _)| **size <= le)
+                .map(|(_, members)| *members)
+                .sum();
+            gauge.set(cumulative as f64);
+        }
+        self.privacy_at_risk.set(privacy.k.at_risk_ratio());
+        self.privacy_entropy.set(privacy.k.entropy_bits);
+        self.privacy_subjects.set(privacy.subjects as f64);
+    }
+
+    /// Records one observatory merge (the O(shards) read path).
+    pub fn observe_agg_merge(&self, elapsed: Duration) {
+        self.agg_merge_seconds.observe_duration(elapsed);
     }
 
     /// Points the `loki_net_*` families at a live reactor stats block
@@ -857,8 +955,14 @@ impl ServerMetrics {
     /// One self-scrape: refresh the derived gauges, snapshot every
     /// registered family straight from the atomic cells into the tsdb,
     /// and run the SLO state machines. Returns the tick it recorded.
-    pub fn scrape(&self, accountant: &Accountant, cap: Option<f64>) -> u64 {
+    pub fn scrape(
+        &self,
+        accountant: &Accountant,
+        cap: Option<f64>,
+        privacy: &crate::agg::PrivacySummary,
+    ) -> u64 {
         self.refresh_ledger_gauges(accountant, cap);
+        self.refresh_privacy_gauges(privacy);
         self.refresh_net_gauges();
         self.refresh_resource_gauges();
         let tick = self.scrape_tick.fetch_add(1, Ordering::Relaxed);
@@ -1265,10 +1369,11 @@ mod tests {
             dispatch: Duration::from_micros(200),
             reused: false,
         };
+        let privacy = crate::agg::PrivacyObservatory::new().summary();
         m.on_request(Method::Get, "/v1/stats", 200, &timing);
-        assert_eq!(m.scrape(&acc, None), 0);
+        assert_eq!(m.scrape(&acc, None, &privacy), 0);
         m.on_request(Method::Get, "/v1/stats", 200, &timing);
-        assert_eq!(m.scrape(&acc, None), 1);
+        assert_eq!(m.scrape(&acc, None, &privacy), 1);
         assert_eq!(m.scrapes(), 2);
         // The counter family landed as per-tick deltas.
         let series = m.tsdb().query("loki_http_requests_total", "class=\"2xx\"", 0, 1);
@@ -1282,7 +1387,33 @@ mod tests {
         // status and nothing fires on two healthy scrapes.
         assert!(!m.tsdb().query("loki_http_dispatch_seconds_count", "", 0, 1).is_empty());
         let statuses = m.slo().statuses();
-        assert_eq!(statuses.len(), 3, "{statuses:?}");
+        assert_eq!(statuses.len(), 4, "{statuses:?}");
         assert!(!m.slo().any_firing());
+    }
+
+    #[test]
+    fn privacy_gauges_render_cumulative_buckets() {
+        let m = ServerMetrics::new();
+        // Hand-built summary: 3 subjects in one cohort of 3, plus 2
+        // singletons → at-risk ratio 2/5, cumulative buckets 2 at k≤1
+        // and k≤2, 5 from k≤4 up.
+        let k = loki_attack::stream::KAnonymity::from_cohort_sizes([3, 1, 1]);
+        let privacy = crate::agg::PrivacySummary {
+            k,
+            subjects: 7,
+            fragments_by_survey: std::collections::BTreeMap::new(),
+        };
+        m.refresh_privacy_gauges(&privacy);
+        let text = m.render_exposition();
+        assert!(text.contains("loki_privacy_k_anon_bucket{k=\"1\"} 2"), "{text}");
+        assert!(text.contains("loki_privacy_k_anon_bucket{k=\"2\"} 2"), "{text}");
+        assert!(text.contains("loki_privacy_k_anon_bucket{k=\"4\"} 5"), "{text}");
+        assert!(text.contains("loki_privacy_k_anon_bucket{k=\"+Inf\"} 5"), "{text}");
+        assert!(text.contains("loki_privacy_at_risk_ratio 0.4"), "{text}");
+        assert!(text.contains("loki_privacy_subjects 7"), "{text}");
+        assert!(text.contains("loki_privacy_linkage_entropy_bits"), "{text}");
+        m.observe_agg_merge(Duration::from_micros(20));
+        let text = m.render_exposition();
+        assert!(text.contains("loki_agg_merge_seconds_count 1"), "{text}");
     }
 }

@@ -249,6 +249,14 @@ struct Shard {
     /// store-wide `next_subject` counter so indices stay globally
     /// unique and insertion-ordered.
     user_indices: Mutex<HashMap<String, u64>>,
+    /// Streaming sufficient statistics per survey routed here, folded in
+    /// under the same `submissions` critical section that appends the
+    /// stored copy (that ordering is what makes streamed estimates
+    /// bitwise-equal to a rescan; see [`crate::agg`]).
+    agg: RwLock<BTreeMap<SurveyId, crate::agg::SurveyAgg>>,
+    /// Submissions stored on this shard, for the O(shards) platform
+    /// total (`/v1/stats` without a submission-map walk).
+    agg_total: std::sync::atomic::AtomicU64,
 }
 
 /// Point-in-time occupancy of one shard, for `GET /v1/admin/shards`.
@@ -280,9 +288,11 @@ pub struct ShardStats {
 ///
 /// Every path that holds more than one lock acquires them in this
 /// order (earlier may be held while taking later, never the reverse).
-/// The first seven live **per shard** — and no path ever holds one
+/// The first eight live **per shard** — and no path ever holds one
 /// shard's lock while taking the same-ranked lock of another shard —
-/// the last two are process-global:
+/// the last four are process-global (the observatory's `sketches`
+/// entries are subject-routed like the per-user commit locks: one entry
+/// per call, never two at once):
 ///
 /// 1. `publish_lock` (per shard)
 /// 2. `user_locks` (per shard; the map mutex)
@@ -291,8 +301,11 @@ pub struct ShardStats {
 /// 5. `submissions` (per shard)
 /// 6. `user_indices` (per shard)
 /// 7. `journal` (per shard; the WAL lane)
-/// 8. `epsilon_budget` (global)
-/// 9. `crash_hooks` (global)
+/// 8. `agg` (per shard; streaming sufficient statistics)
+/// 9. `sketches` (global; one subject-routed observatory entry)
+/// 10. `qi_surveys` (global; observatory disclosure counters)
+/// 11. `epsilon_budget` (global)
+/// 12. `crash_hooks` (global)
 ///
 /// The order is machine-checked: `loki-lint.toml` declares the same
 /// sequence under `[rules.lock-order]`, and the `lock-order` pass
@@ -314,6 +327,9 @@ pub struct AppState {
     /// Server-side mirror of cumulative privacy loss per user
     /// (internally sharded by its own user-id router).
     pub accountant: Accountant,
+    /// The live privacy observatory: subject-routed anonymity sketches
+    /// fed from the submit apply path (see [`crate::agg`]).
+    observatory: crate::agg::PrivacyObservatory,
     /// Lazily enabled metrics. Until [`AppState::enable_metrics`] is
     /// called every instrumentation point is a cheap `None` check, so
     /// un-instrumented state (e.g. bench baselines) pays ~nothing.
@@ -355,6 +371,7 @@ impl AppState {
             requester_tokens: RwLock::default(),
             epsilon_budget: RwLock::default(),
             accountant: Accountant::default(),
+            observatory: crate::agg::PrivacyObservatory::new(),
             metrics: Arc::default(),
             crash_hooks: CrashHooks::default(),
             scraper: Mutex::default(),
@@ -535,11 +552,16 @@ impl AppState {
         Arc::clone(self.metrics.get_or_init(|| metrics))
     }
 
-    /// One history-layer scrape: ledger-gauge refresh, registry snapshot
-    /// into the tsdb, SLO evaluation. No-op until metrics are enabled.
+    /// One history-layer scrape: ledger-gauge refresh, privacy-gauge
+    /// refresh from the observatory, registry snapshot into the tsdb,
+    /// SLO evaluation. No-op until metrics are enabled.
     pub fn scrape_once(&self) {
         if let Some(m) = self.metrics.get() {
-            m.scrape(&self.accountant, self.epsilon_budget());
+            m.scrape(
+                &self.accountant,
+                self.epsilon_budget(),
+                &self.privacy_summary(),
+            );
         }
     }
 
@@ -674,6 +696,14 @@ impl AppState {
         }
         self.journal_survey(shard, &survey)?;
         self.crash_point(CrashPoint::AfterDurableBeforeApply);
+        // Register the streaming state before the survey becomes visible
+        // so no submission can race past an unregistered aggregate, then
+        // publish (surveys is taken after agg releases — a single lock
+        // at a time, so no ordering edge forms here).
+        shard
+            .agg
+            .write()
+            .insert(survey.id, crate::agg::SurveyAgg::for_survey(&survey));
         shard.surveys.write().insert(survey.id, survey);
         self.crash_point(CrashPoint::AfterApplyBeforeAck);
         Ok(true)
@@ -951,20 +981,40 @@ impl AppState {
         loki_obs::phase!("store.apply");
         let apply_span = trace_ctx.as_ref().map(|c| c.start_child("apply"));
         let lock_started = std::time::Instant::now();
-        let stored = {
-            let mut submissions = survey_shard.submissions.write();
-            let entry = submissions.entry(response.survey).or_default();
+        let survey_id = response.survey;
+        let (stored, fragment) = {
+            let mut subs_guard = survey_shard.submissions.write();
+            let entry = subs_guard.entry(response.survey).or_default();
             for (tag, kind) in releases {
                 self.accountant.record(user, tag.clone(), *kind);
             }
             entry.users.insert(user.to_string());
+            // Fold the streaming statistics inside the same critical
+            // section that appends the stored copy: identical fold order
+            // is what makes streamed estimates bitwise-equal to a rescan
+            // (submissions rank 5, agg rank 8 — consistent with the
+            // canonical order).
+            let fragment = {
+                let mut agg_guard = survey_shard.agg.write();
+                agg_guard
+                    .entry(response.survey)
+                    .or_insert_with(|| crate::agg::SurveyAgg::for_survey(&survey))
+                    .apply(level, &response)
+            };
             entry.list.push(StoredSubmission {
                 user: user.to_string(),
                 level,
                 response,
             });
-            entry.list.len()
+            survey_shard
+                .agg_total
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            (entry.list.len(), fragment)
         };
+        // Feed the observatory outside the shard locks (sketch entries
+        // are subject-routed; the user commit lock above serializes one
+        // subject's updates, so cohort accounting never races itself).
+        self.observatory.ingest(survey_id, user, &fragment);
         if let Some(mut span) = apply_span {
             span.attr("stored", stored as u64);
             span.finish();
@@ -1016,10 +1066,98 @@ impl AppState {
         estimator: &Estimator,
     ) -> Option<loki_core::estimator::PooledEstimate> {
         let bins = self.bin_samples(survey, question);
-        if bins.values().all(Vec::is_empty) {
-            return None;
+        // Checked pooling: an all-empty map is a routine "no responses
+        // yet", and a non-finite accumulation (overflowed sums) must
+        // degrade to 404, never panic a serving thread.
+        estimator.pooled_checked(&bins)
+    }
+
+    /// Total stored submissions across every survey, read from the
+    /// per-shard streaming counters: O(shards), no submission-map walk.
+    pub fn submission_total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.agg_total.load(std::sync::atomic::Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Streaming submission count of one survey (O(1): the survey's
+    /// shard, one map lookup).
+    pub fn survey_submission_total(&self, id: SurveyId) -> u64 {
+        self.shard_for_survey(id)
+            .agg
+            .read()
+            .get(&id)
+            .map_or(0, crate::agg::SurveyAgg::submissions)
+    }
+
+    /// Per-bin sufficient statistics of one question from the streaming
+    /// state — the O(1)-shard counterpart of [`AppState::bin_samples`].
+    /// `None` when the survey is unknown or no numeric value has arrived.
+    pub fn streaming_bins(
+        &self,
+        survey: SurveyId,
+        question: loki_survey::QuestionId,
+    ) -> Option<BTreeMap<PrivacyLevel, loki_core::estimator::BinStats>> {
+        self.shard_for_survey(survey)
+            .agg
+            .read()
+            .get(&survey)
+            .and_then(|a| a.stats_for(question))
+    }
+
+    /// Streaming pooled estimate of one question — must equal
+    /// [`AppState::results`] bitwise (pinned by the `agg_stream` property
+    /// tests); computed from the sufficient statistics without touching
+    /// the submission maps.
+    pub fn streaming_results(
+        &self,
+        survey: SurveyId,
+        question: loki_survey::QuestionId,
+        estimator: &Estimator,
+    ) -> Option<loki_core::estimator::PooledEstimate> {
+        let bins = self.streaming_bins(survey, question)?;
+        estimator.pooled_stats(&bins)
+    }
+
+    /// Streaming LDP truth-inference estimate of one question
+    /// (`?mode=ldp-truth` on the estimate endpoint): iterative
+    /// reliability-weighted pooling instead of inverse-variance pooling.
+    pub fn streaming_truth(
+        &self,
+        survey: SurveyId,
+        question: loki_survey::QuestionId,
+        estimator: &Estimator,
+    ) -> Option<loki_core::estimator::PooledEstimate> {
+        let bins = self.streaming_bins(survey, question)?;
+        estimator.ldp_truth(&bins)
+    }
+
+    /// Per-survey streaming rollups for `/v1/privacy`, id-ordered and
+    /// merged across shards: `(survey, submissions, QI questions)`.
+    pub fn survey_agg_rollups(&self) -> Vec<(SurveyId, u64, u64)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.agg.read();
+            out.extend(
+                guard
+                    .iter()
+                    .map(|(id, agg)| (*id, agg.folded_count(), agg.qi_questions())),
+            );
         }
-        Some(estimator.pooled(&bins))
+        out.sort_by_key(|(id, _, _)| *id);
+        out
+    }
+
+    /// The live privacy observatory (k-anonymity sketches).
+    pub fn observatory(&self) -> &crate::agg::PrivacyObservatory {
+        &self.observatory
+    }
+
+    /// Point-in-time identity-free privacy summary (for `/v1/privacy`
+    /// and the metrics scrape).
+    pub fn privacy_summary(&self) -> crate::agg::PrivacySummary {
+        self.observatory.summary()
     }
 
     /// Cumulative loss of a user at the default δ.
@@ -1318,6 +1456,42 @@ mod tests {
         assert_eq!(pooled.n_total, 4);
         assert_eq!(pooled.bins.len(), 3); // None, Low, High non-empty
         assert!(s.results(SurveyId(1), QuestionId(7), &est).is_none());
+    }
+
+    #[test]
+    fn degenerate_reads_return_none_instead_of_panicking() {
+        // Edge cases on the serving read path: no survey, no responses,
+        // and a bin whose accumulated sum is non-finite (two f64::MAX
+        // uploads overflow to +∞). All must degrade to None — a panic
+        // here would let one hostile payload kill a worker thread.
+        let s = AppState::new();
+        let est = Estimator::default();
+        assert!(s.results(SurveyId(1), QuestionId(0), &est).is_none());
+        assert!(s.streaming_results(SurveyId(1), QuestionId(0), &est).is_none());
+
+        s.add_survey(survey()).unwrap();
+        assert!(s.results(SurveyId(1), QuestionId(0), &est).is_none());
+        assert!(s.streaming_results(SurveyId(1), QuestionId(0), &est).is_none());
+        assert_eq!(s.survey_submission_total(SurveyId(1)), 0);
+
+        for (i, v) in [f64::MAX, f64::MAX].iter().enumerate() {
+            let user = format!("hostile{i}");
+            s.submit(&user, PrivacyLevel::Medium, obfuscated_response(&user, *v), &[])
+                .unwrap();
+        }
+        assert!(s.results(SurveyId(1), QuestionId(0), &est).is_none(), "overflowed sum");
+        assert!(s.streaming_results(SurveyId(1), QuestionId(0), &est).is_none());
+        assert!(s.streaming_truth(SurveyId(1), QuestionId(0), &est).is_none());
+
+        // A healthy submission on top: the finite bin pools, the poisoned
+        // bin stays excluded on both read paths.
+        s.submit("sane", PrivacyLevel::None, obfuscated_response("sane", 4.0), &[])
+            .unwrap();
+        let scan = s.results(SurveyId(1), QuestionId(0), &est).unwrap();
+        let stream = s.streaming_results(SurveyId(1), QuestionId(0), &est).unwrap();
+        assert_eq!(scan, stream);
+        assert_eq!(scan.bins.len(), 1);
+        assert_eq!(scan.n_total, 1);
     }
 
     #[test]

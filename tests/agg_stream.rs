@@ -1,0 +1,167 @@
+//! Streaming-aggregation equivalence: the per-shard sufficient
+//! statistics must be indistinguishable from a full submission rescan.
+//!
+//! Three properties pin the tentpole refactor:
+//!
+//! 1. **Bitwise estimate parity** — for every survey/question/shard
+//!    count, `streaming_results` equals the scan-backed `results` down
+//!    to the serialized bytes. `BinStats::push` is the same sequential
+//!    fold a rescan performs, and the fold runs inside the submission
+//!    critical section, so not even the last ulp may differ.
+//! 2. **Scan-free totals** — `/v1/stats`' submission total comes from
+//!    per-shard counters and must agree exactly with a per-survey walk.
+//! 3. **Truth-inference parity** — the `?mode=ldp-truth` path computes
+//!    from the same statistics a rescan would rebuild.
+//!
+//! All sequences are fixed-seed (explicit LCG), so failures reproduce.
+
+use loki::core::estimator::{BinStats, Estimator};
+use loki::core::privacy_level::PrivacyLevel;
+use loki::server::AppState;
+use loki::survey::question::{Answer, QuestionKind};
+use loki::survey::response::Response;
+use loki::survey::survey::{Survey, SurveyBuilder, SurveyId};
+use loki::survey::QuestionId;
+
+/// Deterministic generator — same constants as the sharding fuzz.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// A survey mixing estimator-relevant kinds: a likert rating, a bounded
+/// numeric, and a multiple choice (which carries no numeric magnitude
+/// and must stay invisible to the streaming statistics).
+fn mixed_survey(id: u64) -> Survey {
+    let mut b = SurveyBuilder::new(SurveyId(id), format!("survey-{id}"));
+    b.question("rate the lecture", QuestionKind::likert5(), false);
+    b.question("hours of sleep", QuestionKind::Numeric { min: 0, max: 24 }, false);
+    b.question(
+        "commute mode",
+        QuestionKind::MultipleChoice { options: vec!["walk".into(), "bus".into(), "car".into()] },
+        false,
+    );
+    b.build().unwrap()
+}
+
+const LEVELS: [PrivacyLevel; 4] =
+    [PrivacyLevel::None, PrivacyLevel::Low, PrivacyLevel::Medium, PrivacyLevel::High];
+
+/// Publishes `surveys` surveys and submits a fixed-seed stream of
+/// responses across them at mixed privacy levels (duplicates included,
+/// rejected identically everywhere).
+fn fill(state: &AppState, surveys: u64, ops: u64, seed: u64) {
+    for id in 1..=surveys {
+        state.add_survey(mixed_survey(id)).unwrap();
+    }
+    let mut rng = Lcg(seed);
+    for _ in 0..ops {
+        let id = 1 + rng.next() % surveys;
+        let user = format!("w{}", rng.next() % 48);
+        let level = LEVELS[(rng.next() % 4) as usize];
+        // Obfuscated values with plenty of mantissa bits in play, so any
+        // fold-order difference would actually show up.
+        let rating = 1.0 + (rng.next() % 40_000) as f64 / 10_000.0;
+        let sleep = (rng.next() % 24_000) as f64 / 1_000.0;
+        let mut r = Response::new(user.clone(), SurveyId(id));
+        r.answer(QuestionId(0), Answer::Obfuscated(rating));
+        r.answer(QuestionId(1), Answer::Obfuscated(sleep));
+        r.answer(QuestionId(2), Answer::Choice((rng.next() % 3) as usize));
+        let _ = state.submit(&user, level, r, &[]);
+    }
+}
+
+#[test]
+fn streaming_estimates_equal_full_rescan_on_every_shard_count() {
+    let estimator = Estimator::default();
+    for shards in [1usize, 3, 8] {
+        let state = AppState::with_shards(shards);
+        fill(&state, 6, 300, 0x00d1_5eed);
+        for id in 1..=6u64 {
+            for q in [0u32, 1] {
+                let scan = state.results(SurveyId(id), QuestionId(q), &estimator);
+                let stream = state.streaming_results(SurveyId(id), QuestionId(q), &estimator);
+                // Bitwise: serialize both and compare the bytes, not an
+                // epsilon — f64 equality through JSON round-trips every
+                // mantissa bit.
+                assert_eq!(
+                    serde_json::to_vec(&scan).unwrap(),
+                    serde_json::to_vec(&stream).unwrap(),
+                    "estimate diverged: {shards} shards, survey {id}, q{q}"
+                );
+            }
+            // Choice questions carry no magnitude: the streaming state
+            // must not have invented statistics for them.
+            assert_eq!(state.streaming_bins(SurveyId(id), QuestionId(2)), None);
+        }
+    }
+}
+
+#[test]
+fn streaming_bins_equal_rescanned_sufficient_statistics() {
+    let state = AppState::with_shards(8);
+    fill(&state, 3, 200, 0xb175_f00d);
+    for id in 1..=3u64 {
+        for q in [0u32, 1] {
+            let scanned = state.bin_samples(SurveyId(id), QuestionId(q));
+            let streamed = state.streaming_bins(SurveyId(id), QuestionId(q)).unwrap();
+            assert_eq!(streamed.len(), scanned.len(), "bin set diverged");
+            for (level, samples) in &scanned {
+                let rebuilt = BinStats::from_samples(samples);
+                let live = streamed[level];
+                // Field-for-field bit equality, including the squared
+                // sums where fold order matters most.
+                assert_eq!(
+                    serde_json::to_string(&rebuilt).unwrap(),
+                    serde_json::to_string(&live).unwrap(),
+                    "sufficient statistics diverged: survey {id}, q{q}, {level:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ldp_truth_mode_computes_from_the_same_statistics() {
+    let estimator = Estimator::default();
+    let state = AppState::with_shards(3);
+    fill(&state, 2, 150, 0x7007_1dea);
+    for id in 1..=2u64 {
+        let bins = state.streaming_bins(SurveyId(id), QuestionId(0)).unwrap();
+        let direct = estimator.ldp_truth(&bins);
+        let served = state.streaming_truth(SurveyId(id), QuestionId(0), &estimator);
+        assert_eq!(
+            serde_json::to_vec(&direct).unwrap(),
+            serde_json::to_vec(&served).unwrap()
+        );
+    }
+}
+
+#[test]
+fn stats_totals_match_per_survey_counts_exactly() {
+    for shards in [1usize, 3, 8] {
+        let state = AppState::with_shards(shards);
+        fill(&state, 5, 250, 0xc047_0c0a);
+        let walked: u64 = state
+            .surveys()
+            .iter()
+            .map(|sv| state.submission_count(sv.id) as u64)
+            .sum();
+        assert_eq!(state.submission_total(), walked, "{shards} shards");
+        for sv in state.surveys() {
+            assert_eq!(
+                state.survey_submission_total(sv.id),
+                state.submission_count(sv.id) as u64,
+                "survey {} at {shards} shards",
+                sv.id.0
+            );
+        }
+    }
+}

@@ -720,6 +720,216 @@ fn availability_slo_fires_and_resolves_through_the_alert_endpoints() {
     state.stop_self_scraper();
 }
 
+fn demographics_survey(id: u64) -> Survey {
+    let mut b = SurveyBuilder::new(SurveyId(id), "about you");
+    b.question("Day of the month you were born", QuestionKind::Numeric { min: 1, max: 31 }, true);
+    b.question("Month you were born", QuestionKind::Numeric { min: 1, max: 12 }, true);
+    b.question("Year you were born", QuestionKind::Numeric { min: 1900, max: 2020 }, true);
+    b.question(
+        "What is your gender?",
+        QuestionKind::MultipleChoice { options: vec!["Female".into(), "Male".into()] },
+        true,
+    );
+    b.question("What is your zip code?", QuestionKind::Numeric { min: 0, max: 99999 }, true);
+    b.build().unwrap()
+}
+
+fn demographics_response(user: &str, survey: u64, day: f64, zip: f64) -> Response {
+    let mut r = Response::new(user, SurveyId(survey));
+    r.answer(QuestionId(0), Answer::Obfuscated(day));
+    r.answer(QuestionId(1), Answer::Obfuscated(6.0));
+    r.answer(QuestionId(2), Answer::Obfuscated(1990.0));
+    r.answer(QuestionId(3), Answer::Choice(0));
+    r.answer(QuestionId(4), Answer::Obfuscated(zip));
+    r
+}
+
+fn submit_demographics(c: &HttpClient, user: &str, survey: u64, day: f64, zip: f64) {
+    let body = serde_json::to_string(&SubmitRequest {
+        user: user.into(),
+        privacy_level: PrivacyLevel::None,
+        response: demographics_response(user, survey, day, zip),
+        releases: vec![],
+    })
+    .unwrap();
+    let resp = c
+        .post(&format!("/v1/surveys/{survey}/responses"), "application/json", body)
+        .unwrap();
+    assert_eq!(resp.status, StatusCode::CREATED, "{:?}", resp.body);
+}
+
+#[test]
+fn privacy_endpoint_matches_an_offline_linkage_run() {
+    use loki::attack::{KAnonymity, Linker};
+    use loki::platform::spec::{QuestionSemantics, SurveySpec};
+    use loki::survey::response::ResponseSet;
+
+    let (h, c, state) = start();
+    state.add_survey(demographics_survey(2)).unwrap();
+
+    // Cohorts of sizes 4, 2, 1, 1 (day/zip collisions define the QI):
+    // at_risk 2, complete 8.
+    let population: &[(&str, f64, f64)] = &[
+        ("a1", 14.0, 11111.0),
+        ("a2", 14.0, 11111.0),
+        ("a3", 14.0, 11111.0),
+        ("a4", 14.0, 11111.0),
+        ("b1", 7.0, 22222.0),
+        ("b2", 7.0, 22222.0),
+        ("solo1", 3.0, 33333.0),
+        ("solo2", 28.0, 44444.0),
+    ];
+    for &(user, day, zip) in population {
+        submit_demographics(&c, user, 2, day, zip);
+    }
+
+    // Offline ground truth: the same responses through the batch linkage
+    // attack from `crates/attack`, classified with the same semantics
+    // the observatory infers at publish time.
+    let survey = demographics_survey(2);
+    let spec = SurveySpec {
+        semantics: survey
+            .questions
+            .iter()
+            .map(|q| QuestionSemantics::infer(q).expect("all questions are QI"))
+            .collect(),
+        survey,
+    };
+    let mut set = ResponseSet::new();
+    for &(user, day, zip) in population {
+        set.push(demographics_response(user, 2, day, zip));
+    }
+    let mut linker = Linker::new();
+    linker.ingest(&spec, &set);
+    let offline = KAnonymity::of_linker(&linker);
+    assert_eq!(offline.complete, 8, "fixture sanity");
+    assert_eq!(offline.at_risk, 2);
+
+    // The live endpoint must agree with the offline run on every field.
+    let resp = c.get("/v1/privacy").unwrap();
+    assert_eq!(resp.status, StatusCode::OK, "{:?}", resp.body);
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(v["k_anonymity"]["complete"], offline.complete, "{v}");
+    assert_eq!(v["k_anonymity"]["cohorts"], offline.cohorts, "{v}");
+    assert_eq!(v["k_anonymity"]["at_risk"], offline.at_risk, "{v}");
+    let histogram: Vec<(u64, u64)> = v["k_anonymity"]["histogram"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|e| (e["k"].as_u64().unwrap(), e["subjects"].as_u64().unwrap()))
+        .collect();
+    let expected: Vec<(u64, u64)> = offline.histogram.iter().map(|(k, m)| (*k, *m)).collect();
+    assert_eq!(histogram, expected, "{v}");
+    assert_eq!(v["at_risk_ratio"].as_f64().unwrap(), offline.at_risk_ratio(), "{v}");
+    assert_eq!(v["linkage_entropy_bits"].as_f64().unwrap(), offline.entropy_bits, "{v}");
+    h.shutdown();
+}
+
+#[test]
+fn privacy_at_risk_slo_fires_and_resolves_through_the_alert_endpoints() {
+    use loki::obs::{BurnRule, SloKind, SloSpec, TraceConfig, TsdbConfig};
+    use loki::server::{HistoryConfig, ServerMetrics};
+    use std::time::{Duration, Instant};
+
+    // Same windowing recipe as the availability test, but the objective
+    // is the observatory's gauge: at most 5% of linkable subjects may be
+    // unique in their quasi-identifier cohort.
+    let history = HistoryConfig {
+        tsdb: TsdbConfig::default(),
+        slo_specs: vec![SloSpec {
+            name: "privacy-at-risk".to_string(),
+            objective: 0.95,
+            kind: SloKind::GaugeLevel {
+                name: "loki_privacy_at_risk_ratio".to_string(),
+                filter: String::new(),
+            },
+            rules: vec![BurnRule {
+                long_ticks: 40,
+                short_ticks: 20,
+                factor: 1.0,
+            }],
+            pending_ticks: 2,
+            exemplar_family: None,
+        }],
+        alert_history: 64,
+    };
+    let state = Arc::new(AppState::new());
+    state.add_survey(demographics_survey(2)).unwrap();
+    state.enable_metrics_with(Arc::new(ServerMetrics::with_configs(
+        TraceConfig::default(),
+        history,
+    )));
+    state.start_self_scraper(Duration::from_millis(25));
+    let h = serve("127.0.0.1:0", Arc::clone(&state)).unwrap();
+    let c = HttpClient::new(&h.base_url()).unwrap();
+
+    // --- Incident: every linkable subject is unique (ratio 1.0) -------
+    submit_demographics(&c, "alice", 2, 14.0, 11111.0);
+    submit_demographics(&c, "bob", 2, 7.0, 22222.0);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let firing = loop {
+        assert!(Instant::now() < deadline, "privacy-at-risk SLO never fired");
+        let resp = c.get("/v1/alerts").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        if v["firing"] == true {
+            break v;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let alert = &firing["alerts"].as_array().unwrap()[0];
+    assert_eq!(alert["slo"], "privacy-at-risk");
+    assert_eq!(alert["state"], "firing");
+
+    // A firing privacy SLO degrades the health surface like any other.
+    let resp = c.get("/v1/healthz").unwrap();
+    assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(v["status"], "degraded", "{v}");
+    assert_eq!(v["slo"]["firing"].as_array().unwrap()[0], "privacy-at-risk", "{v}");
+
+    // --- Recovery: grow alice's cohort until at-risk < 5% -------------
+    // 30 more subjects sharing alice's quasi-identifier leave only bob
+    // unique: ratio 1/32 ≈ 0.031, under the 5% error budget.
+    for i in 0..30 {
+        submit_demographics(&c, &format!("crowd{i}"), 2, 14.0, 11111.0);
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "privacy-at-risk SLO never resolved");
+        let resp = c.get("/v1/alerts/history").unwrap();
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let done = v["events"].as_array().unwrap().iter().any(|e| {
+            e["slo"] == "privacy-at-risk" && e["from"] == "firing" && e["to"] == "resolved"
+        });
+        if done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(Instant::now() < deadline, "healthz never recovered");
+        if c.get("/v1/healthz").unwrap().status == StatusCode::OK {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The gauge's history covered the whole arc, and the k-anonymity
+    // buckets are live in the exposition.
+    let resp = c
+        .get("/v1/timeseries?name=loki_privacy_at_risk_ratio&since=0&step=1")
+        .unwrap();
+    let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert!(!v["series"].as_array().unwrap().is_empty(), "{v}");
+    let text = String::from_utf8(c.get("/v1/metrics").unwrap().body).unwrap();
+    assert!(text.contains("loki_privacy_k_anon_bucket"), "{text}");
+    assert!(text.contains("loki_privacy_subjects 32"), "{text}");
+
+    h.shutdown();
+    state.stop_self_scraper();
+}
+
 #[test]
 fn legacy_requests_count_into_their_own_metric() {
     let (h, c, _) = start();
